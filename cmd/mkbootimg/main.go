@@ -1,0 +1,71 @@
+// mkbootimg builds and inspects the kit's MultiBoot-style boot images
+// (paper §3.1): a kernel command line plus boot modules, each an
+// arbitrary flat file tagged with a user-defined string.
+//
+// Build:    mkbootimg -o boot.img -cmdline "kernel -v" file1 file2:name args...
+// Inspect:  mkbootimg -list boot.img
+//
+// A module argument is "path[:string]"; without the :string part the
+// path itself becomes the module string, matching how the original's
+// clients used module strings as path names.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"oskit/internal/boot"
+)
+
+func main() {
+	out := flag.String("o", "boot.img", "output image path")
+	cmdline := flag.String("cmdline", "kernel", "kernel command line")
+	list := flag.String("list", "", "inspect an existing image instead of building")
+	flag.Parse()
+
+	if *list != "" {
+		inspect(*list)
+		return
+	}
+
+	var mods []boot.ModuleSpec
+	for _, arg := range flag.Args() {
+		path, name, hasName := strings.Cut(arg, ":")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err.Error())
+		}
+		if !hasName {
+			name = path
+		}
+		mods = append(mods, boot.ModuleSpec{String: name, Data: data})
+	}
+	img := boot.BuildImage(*cmdline, mods)
+	if err := os.WriteFile(*out, img, 0o644); err != nil {
+		fatal(err.Error())
+	}
+	fmt.Printf("%s: %d bytes, %d modules, cmdline %q\n", *out, len(img), len(mods), *cmdline)
+}
+
+func inspect(path string) {
+	img, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err.Error())
+	}
+	cmdline, mods, err := boot.ParseImage(img)
+	if err != nil {
+		fatal(err.Error())
+	}
+	fmt.Printf("cmdline: %q\n", cmdline)
+	fmt.Printf("%-8s %-30s\n", "bytes", "string")
+	for _, m := range mods {
+		fmt.Printf("%-8d %-30s\n", len(m.Data), m.String)
+	}
+}
+
+func fatal(msg string) {
+	fmt.Fprintln(os.Stderr, "mkbootimg:", msg)
+	os.Exit(1)
+}

@@ -1,0 +1,22 @@
+// oskit-graph renders the paper's Figure 1 for this repository: the
+// overall structure of the kit — client OS on top, native and glue
+// components beneath it, encapsulated donor-style code shaded at the
+// bottom — with each component's dependencies.
+//
+// Run:  go run ./cmd/oskit-graph
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"oskit/internal/core"
+)
+
+func main() {
+	if err := core.CheckInventory(); err != nil {
+		fmt.Fprintln(os.Stderr, "oskit-graph:", err)
+		os.Exit(1)
+	}
+	core.WriteStructure(os.Stdout)
+}

@@ -1,0 +1,3 @@
+module oskit
+
+go 1.24

@@ -1,0 +1,249 @@
+// Package amm is the OSKit's address map manager (paper §3.3).
+//
+// The AMM manages address spaces that don't necessarily map directly to
+// physical or virtual memory: process address spaces, paging partitions,
+// free block maps, IPC namespaces.  A Map covers one address range with a
+// totally ordered, gap-free sequence of entries, each carrying a
+// client-defined attribute word; operations split and join entries as
+// attributes change.
+//
+// The conventional attribute values Free, Reserved, and Allocated are
+// provided, but the attribute word is otherwise entirely the client's:
+// protection bits, backing-store identifiers, whatever the space denotes.
+package amm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Flags is an entry's client-defined attribute word.
+type Flags uint32
+
+// Conventional attribute values (clients may define their own scheme).
+const (
+	Free      Flags = 0x01
+	Reserved  Flags = 0x02
+	Allocated Flags = 0x04
+)
+
+// Entry is one maximal run of addresses sharing an attribute word:
+// [Start, End).
+type Entry struct {
+	Start, End uint64
+	Flags      Flags
+}
+
+// Size returns the entry's extent in addresses.
+func (e Entry) Size() uint64 { return e.End - e.Start }
+
+// Map is one managed address space.
+type Map struct {
+	lo, hi  uint64
+	entries []Entry // sorted, gap-free cover of [lo, hi), adjacent flags differ
+}
+
+// New creates a map covering [lo, hi), initially all Free.
+func New(lo, hi uint64) *Map {
+	if hi <= lo {
+		panic("amm: empty address space")
+	}
+	return &Map{lo: lo, hi: hi, entries: []Entry{{lo, hi, Free}}}
+}
+
+// Bounds returns the managed range [lo, hi).
+func (m *Map) Bounds() (lo, hi uint64) { return m.lo, m.hi }
+
+// Lookup returns the entry containing addr.
+func (m *Map) Lookup(addr uint64) (Entry, bool) {
+	if addr < m.lo || addr >= m.hi {
+		return Entry{}, false
+	}
+	i := sort.Search(len(m.entries), func(i int) bool { return m.entries[i].End > addr })
+	return m.entries[i], true
+}
+
+// Iterate calls fn on each entry in address order; fn returning false
+// stops the walk.
+func (m *Map) Iterate(fn func(Entry) bool) {
+	for _, e := range m.entries {
+		if !fn(e) {
+			return
+		}
+	}
+}
+
+// IterateRange calls fn on each entry overlapping [start, start+size).
+func (m *Map) IterateRange(start, size uint64, fn func(Entry) bool) {
+	end := start + size
+	for _, e := range m.entries {
+		if e.End <= start {
+			continue
+		}
+		if e.Start >= end {
+			return
+		}
+		if !fn(e) {
+			return
+		}
+	}
+}
+
+// Modify sets the attribute word over [start, start+size), splitting
+// boundary entries and joining equal neighbours (amm_modify).
+func (m *Map) Modify(start, size uint64, flags Flags) error {
+	end := start + size
+	if size == 0 {
+		return nil
+	}
+	if start < m.lo || end > m.hi || end < start {
+		return fmt.Errorf("amm: range [%#x,%#x) outside map [%#x,%#x)", start, end, m.lo, m.hi)
+	}
+	var out []Entry
+	for _, e := range m.entries {
+		if e.End <= start || e.Start >= end {
+			out = appendJoin(out, e)
+			continue
+		}
+		if e.Start < start {
+			out = appendJoin(out, Entry{e.Start, start, e.Flags})
+		}
+		out = appendJoin(out, Entry{maxU64(e.Start, start), minU64(e.End, end), flags})
+		if e.End > end {
+			out = appendJoin(out, Entry{end, e.End, e.Flags})
+		}
+	}
+	m.entries = out
+	return nil
+}
+
+// FindGen searches for the first run of at least size addresses, at or
+// after from, whose attribute word matches (flags & mask) == want, with
+// the found address aligned so that (addr + alignOfs) is a multiple of
+// 2^alignBits (amm_find_gen).
+func (m *Map) FindGen(from, size uint64, mask, want Flags, alignBits uint, alignOfs uint64) (uint64, bool) {
+	if size == 0 || alignBits >= 64 {
+		return 0, false
+	}
+	align := uint64(1) << alignBits
+	for _, e := range m.entries {
+		if e.Flags&mask != want {
+			continue
+		}
+		start := e.Start
+		if start < from {
+			start = from
+		}
+		start = alignUp64(start, align, alignOfs)
+		if start+size <= e.End && start >= e.Start {
+			return start, true
+		}
+	}
+	return 0, false
+}
+
+// Allocate finds a Free run of the given size and alignment, marks it
+// with flags (conventionally Allocated plus client bits), and returns its
+// address (amm_allocate).
+func (m *Map) Allocate(size uint64, alignBits uint, flags Flags) (uint64, error) {
+	addr, ok := m.FindGen(m.lo, size, ^Flags(0), Free, alignBits, 0)
+	if !ok {
+		return 0, fmt.Errorf("amm: no free run of %#x addresses", size)
+	}
+	if err := m.Modify(addr, size, flags); err != nil {
+		return 0, err
+	}
+	return addr, nil
+}
+
+// AllocateAt claims [addr, addr+size), which must currently be entirely
+// Free, marking it with flags.
+func (m *Map) AllocateAt(addr, size uint64, flags Flags) error {
+	free := true
+	m.IterateRange(addr, size, func(e Entry) bool {
+		if e.Flags != Free {
+			free = false
+			return false
+		}
+		return true
+	})
+	if addr < m.lo || addr+size > m.hi {
+		return fmt.Errorf("amm: [%#x,%#x) outside map", addr, addr+size)
+	}
+	if !free {
+		return fmt.Errorf("amm: [%#x,%#x) not free", addr, addr+size)
+	}
+	return m.Modify(addr, size, flags)
+}
+
+// Deallocate returns [addr, addr+size) to Free (amm_deallocate).
+func (m *Map) Deallocate(addr, size uint64) error {
+	return m.Modify(addr, size, Free)
+}
+
+// Protect rewrites the attribute word over a range, preserving the
+// non-protection class bits given by keepMask: new = (old & keepMask) |
+// bits.  It fails if the range crosses the map bounds (amm_protect).
+func (m *Map) Protect(start, size uint64, keepMask, bits Flags) error {
+	end := start + size
+	if start < m.lo || end > m.hi || end < start {
+		return fmt.Errorf("amm: protect range [%#x,%#x) outside map", start, end)
+	}
+	// Collect affected sub-ranges first, then modify, to keep the
+	// iterate-while-mutating problem away.
+	type patch struct {
+		start, size uint64
+		flags       Flags
+	}
+	var patches []patch
+	m.IterateRange(start, size, func(e Entry) bool {
+		s := maxU64(e.Start, start)
+		t := minU64(e.End, end)
+		patches = append(patches, patch{s, t - s, e.Flags&keepMask | bits})
+		return true
+	})
+	for _, p := range patches {
+		if err := m.Modify(p.start, p.size, p.flags); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Entries returns a snapshot of the map (for tests and dumps).
+func (m *Map) Entries() []Entry { return append([]Entry(nil), m.entries...) }
+
+// appendJoin appends e, merging it into the previous entry when adjacent
+// with equal flags; empty entries vanish.
+func appendJoin(out []Entry, e Entry) []Entry {
+	if e.Start >= e.End {
+		return out
+	}
+	if n := len(out); n > 0 && out[n-1].End == e.Start && out[n-1].Flags == e.Flags {
+		out[n-1].End = e.End
+		return out
+	}
+	return append(out, e)
+}
+
+func alignUp64(a, align, ofs uint64) uint64 {
+	rem := (a + ofs) & (align - 1)
+	if rem == 0 {
+		return a
+	}
+	return a + (align - rem)
+}
+
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,285 @@
+package amm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMapIsAllFree(t *testing.T) {
+	m := New(0x1000, 0x10000)
+	es := m.Entries()
+	if len(es) != 1 || es[0].Start != 0x1000 || es[0].End != 0x10000 || es[0].Flags != Free {
+		t.Fatalf("entries = %+v", es)
+	}
+	lo, hi := m.Bounds()
+	if lo != 0x1000 || hi != 0x10000 {
+		t.Fatalf("bounds = %#x %#x", lo, hi)
+	}
+}
+
+func TestModifySplitsAndJoins(t *testing.T) {
+	m := New(0, 100)
+	if err := m.Modify(20, 10, Allocated); err != nil {
+		t.Fatal(err)
+	}
+	es := m.Entries()
+	if len(es) != 3 {
+		t.Fatalf("after split: %+v", es)
+	}
+	if es[1] != (Entry{20, 30, Allocated}) {
+		t.Fatalf("middle entry: %+v", es[1])
+	}
+	// Setting it back joins everything again.
+	if err := m.Modify(20, 10, Free); err != nil {
+		t.Fatal(err)
+	}
+	es = m.Entries()
+	if len(es) != 1 {
+		t.Fatalf("after re-join: %+v", es)
+	}
+}
+
+func TestModifyRejectsOutOfBounds(t *testing.T) {
+	m := New(10, 20)
+	if err := m.Modify(5, 10, Allocated); err == nil {
+		t.Fatal("below-bounds modify accepted")
+	}
+	if err := m.Modify(15, 10, Allocated); err == nil {
+		t.Fatal("above-bounds modify accepted")
+	}
+	if err := m.Modify(15, 0, Allocated); err != nil {
+		t.Fatal("zero-size modify should be a no-op")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	m := New(0, 100)
+	_ = m.Modify(40, 20, Reserved)
+	e, ok := m.Lookup(45)
+	if !ok || e.Flags != Reserved || e.Start != 40 || e.End != 60 {
+		t.Fatalf("Lookup(45) = %+v, %v", e, ok)
+	}
+	if _, ok := m.Lookup(100); ok {
+		t.Fatal("Lookup past end succeeded")
+	}
+	e, ok = m.Lookup(0)
+	if !ok || e.Flags != Free {
+		t.Fatalf("Lookup(0) = %+v", e)
+	}
+}
+
+func TestAllocateDeallocate(t *testing.T) {
+	m := New(0, 1<<20)
+	a1, err := m.Allocate(0x1000, 12, Allocated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1&0xfff != 0 {
+		t.Fatalf("allocation not page aligned: %#x", a1)
+	}
+	a2, err := m.Allocate(0x1000, 12, Allocated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 == a2 {
+		t.Fatal("same range allocated twice")
+	}
+	if err := m.Deallocate(a1, 0x1000); err != nil {
+		t.Fatal(err)
+	}
+	a3, err := m.Allocate(0x1000, 12, Allocated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a3 != a1 {
+		t.Fatalf("freed range not reused first-fit: got %#x want %#x", a3, a1)
+	}
+}
+
+func TestAllocateAt(t *testing.T) {
+	m := New(0, 0x10000)
+	if err := m.AllocateAt(0x4000, 0x1000, Allocated); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AllocateAt(0x4800, 0x1000, Allocated); err == nil {
+		t.Fatal("overlapping AllocateAt accepted")
+	}
+	if err := m.AllocateAt(0xf800, 0x1000, Allocated); err == nil {
+		t.Fatal("out-of-bounds AllocateAt accepted")
+	}
+}
+
+func TestAllocateExhaustion(t *testing.T) {
+	m := New(0, 0x3000)
+	for i := 0; i < 3; i++ {
+		if _, err := m.Allocate(0x1000, 0, Allocated); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.Allocate(1, 0, Allocated); err == nil {
+		t.Fatal("allocation from a full map succeeded")
+	}
+}
+
+func TestProtectPreservesBits(t *testing.T) {
+	// Simulate prot bits in the high byte, kind bits low.
+	const (
+		kindMask Flags = 0x0f
+		protR    Flags = 0x100
+		protW    Flags = 0x200
+	)
+	m := New(0, 100)
+	if err := m.Modify(0, 100, Allocated|protR|protW); err != nil {
+		t.Fatal(err)
+	}
+	// Drop write on [30,60) but keep the kind bits.
+	if err := m.Protect(30, 30, kindMask, protR); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := m.Lookup(40)
+	if e.Flags != Allocated|protR {
+		t.Fatalf("flags = %#x", e.Flags)
+	}
+	e, _ = m.Lookup(10)
+	if e.Flags != Allocated|protR|protW {
+		t.Fatalf("untouched flags = %#x", e.Flags)
+	}
+}
+
+func TestFindGenAlignmentAndMask(t *testing.T) {
+	m := New(0, 1<<16)
+	_ = m.Modify(0, 0x100, Reserved)
+	addr, ok := m.FindGen(0, 0x1000, ^Flags(0), Free, 12, 0)
+	if !ok || addr != 0x1000 {
+		t.Fatalf("FindGen = %#x, %v (want 0x1000)", addr, ok)
+	}
+	// Mask-match: look for the Reserved entry via a partial mask.
+	addr, ok = m.FindGen(0, 0x10, Reserved, Reserved, 0, 0)
+	if !ok || addr != 0 {
+		t.Fatalf("masked FindGen = %#x, %v", addr, ok)
+	}
+	// Nothing matching.
+	if _, ok := m.FindGen(0, 1, ^Flags(0), Allocated, 0, 0); ok {
+		t.Fatal("found nonexistent attribute")
+	}
+}
+
+func TestIterateRange(t *testing.T) {
+	m := New(0, 100)
+	_ = m.Modify(10, 10, Allocated)
+	_ = m.Modify(30, 10, Reserved)
+	var seen []Entry
+	m.IterateRange(15, 20, func(e Entry) bool {
+		seen = append(seen, e)
+		return true
+	})
+	if len(seen) != 3 { // tail of Allocated, Free gap, head of Reserved
+		t.Fatalf("IterateRange saw %+v", seen)
+	}
+	// Early stop.
+	n := 0
+	m.Iterate(func(Entry) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("Iterate ignored stop: %d", n)
+	}
+}
+
+// invariants checks the structural invariants of a map: sorted, gap-free
+// cover of [lo,hi), no empty entries, no adjacent entries with equal
+// flags.
+func invariants(m *Map) bool {
+	lo, hi := m.Bounds()
+	es := m.Entries()
+	if len(es) == 0 || es[0].Start != lo || es[len(es)-1].End != hi {
+		return false
+	}
+	for i, e := range es {
+		if e.Start >= e.End {
+			return false
+		}
+		if i > 0 {
+			if es[i-1].End != e.Start {
+				return false
+			}
+			if es[i-1].Flags == e.Flags {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Property: any sequence of Modify operations maintains the structural
+// invariants and agrees with a naive per-address model.
+func TestModifyAgainstModelProperty(t *testing.T) {
+	const space = 256
+	f := func(seed int64, n8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := New(0, space)
+		model := make([]Flags, space)
+		for i := range model {
+			model[i] = Free
+		}
+		for i := 0; i < int(n8%40)+5; i++ {
+			start := uint64(rng.Intn(space))
+			size := uint64(rng.Intn(space-int(start)) + 1)
+			flags := Flags(rng.Intn(4) + 1)
+			if err := m.Modify(start, size, flags); err != nil {
+				return false
+			}
+			for a := start; a < start+size; a++ {
+				model[a] = flags
+			}
+		}
+		if !invariants(m) {
+			return false
+		}
+		for a := 0; a < space; a++ {
+			e, ok := m.Lookup(uint64(a))
+			if !ok || e.Flags != model[a] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Allocate never returns overlapping ranges and Deallocate makes
+// them reusable.
+func TestAllocateInvariantProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := New(0, 1<<12)
+		type r struct{ addr, size uint64 }
+		var live []r
+		for i := 0; i < 50; i++ {
+			if rng.Intn(2) == 0 || len(live) == 0 {
+				size := uint64(rng.Intn(200) + 1)
+				addr, err := m.Allocate(size, 0, Allocated)
+				if err != nil {
+					continue
+				}
+				for _, l := range live {
+					if addr < l.addr+l.size && l.addr < addr+size {
+						return false
+					}
+				}
+				live = append(live, r{addr, size})
+			} else {
+				i := rng.Intn(len(live))
+				if err := m.Deallocate(live[i].addr, live[i].size); err != nil {
+					return false
+				}
+				live = append(live[:i], live[i+1:]...)
+			}
+		}
+		return invariants(m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,291 @@
+package bmfs
+
+import (
+	"bytes"
+	"testing"
+
+	"oskit/internal/boot"
+	"oskit/internal/com"
+	"oskit/internal/hw"
+)
+
+func populated(t *testing.T) *FS {
+	t.Helper()
+	mem := hw.NewPhysMem(8 << 20)
+	img := boot.BuildImage("kernel", []boot.ModuleSpec{
+		{String: "bin/init -s single-user", Data: []byte("INIT")},
+		{String: "etc/motd", Data: []byte("welcome\n")},
+		{String: "heap.img", Data: bytes.Repeat([]byte{7}, 4096)},
+	})
+	info, err := boot.Load(img, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := New(nil)
+	n, err := fs.Populate(info, mem)
+	if err != nil || n != 3 {
+		t.Fatalf("Populate = %d, %v", n, err)
+	}
+	return fs
+}
+
+// lookupPath walks slash-separated components, per the single-component
+// interface contract.
+func lookupPath(t *testing.T, fs *FS, parts ...string) com.File {
+	t.Helper()
+	root, err := fs.GetRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cur com.File = root
+	for _, p := range parts {
+		d, ok := cur.(com.Dir)
+		if !ok {
+			t.Fatalf("%q not a directory", p)
+		}
+		next, err := d.Lookup(p)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", p, err)
+		}
+		cur.Release()
+		cur = next
+	}
+	return cur
+}
+
+func TestPopulateFromBootModules(t *testing.T) {
+	fs := populated(t)
+	f := lookupPath(t, fs, "bin", "init")
+	defer f.Release()
+	buf := make([]byte, 16)
+	n, err := f.ReadAt(buf, 0)
+	if err != nil || string(buf[:n]) != "INIT" {
+		t.Fatalf("init contents = %q, %v", buf[:n], err)
+	}
+	if fs.ModuleArgs("/bin/init") != "-s single-user" {
+		t.Fatalf("ModuleArgs = %q", fs.ModuleArgs("/bin/init"))
+	}
+	st, err := f.GetStat()
+	if err != nil || st.Size != 4 || st.Mode&com.ModeIFMT != com.ModeIFREG {
+		t.Fatalf("stat = %+v, %v", st, err)
+	}
+}
+
+func TestSingleComponentRule(t *testing.T) {
+	fs := populated(t)
+	root, _ := fs.GetRoot()
+	defer root.Release()
+	if _, err := root.Lookup("bin/init"); err != com.ErrInval {
+		t.Fatalf("multi-component lookup: %v", err)
+	}
+	if _, err := root.Lookup(".."); err != com.ErrInval {
+		t.Fatalf("dot-dot lookup: %v", err)
+	}
+	if _, err := root.Lookup(""); err != com.ErrInval {
+		t.Fatalf("empty lookup: %v", err)
+	}
+	self, err := root.Lookup(".")
+	if err != nil {
+		t.Fatalf("dot lookup: %v", err)
+	}
+	self.Release()
+}
+
+func TestCreateWriteRead(t *testing.T) {
+	fs := New(nil)
+	root, _ := fs.GetRoot()
+	defer root.Release()
+	f, err := root.Create("notes", 0o600, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Release()
+	if _, err := f.WriteAt([]byte("hello"), 0); err != nil {
+		t.Fatal(err)
+	}
+	// Sparse write: gap must read back as zeros.
+	if _, err := f.WriteAt([]byte("end"), 10); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 32)
+	n, _ := f.ReadAt(buf, 0)
+	want := append([]byte("hello"), 0, 0, 0, 0, 0, 'e', 'n', 'd')
+	if !bytes.Equal(buf[:n], want) {
+		t.Fatalf("contents = %q", buf[:n])
+	}
+	// Exclusive create of an existing name fails; non-exclusive returns it.
+	if _, err := root.Create("notes", 0o600, true); err != com.ErrExist {
+		t.Fatalf("excl create: %v", err)
+	}
+	same, err := root.Create("notes", 0o600, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := same.GetStat()
+	if st.Size != 13 {
+		t.Fatalf("reopened size = %d", st.Size)
+	}
+	same.Release()
+	// Truncate.
+	if err := f.SetSize(5); err != nil {
+		t.Fatal(err)
+	}
+	n, _ = f.ReadAt(buf, 0)
+	if string(buf[:n]) != "hello" {
+		t.Fatalf("after truncate: %q", buf[:n])
+	}
+}
+
+func TestMkdirUnlinkRmdir(t *testing.T) {
+	fs := New(nil)
+	root, _ := fs.GetRoot()
+	defer root.Release()
+	if err := root.Mkdir("d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Mkdir("d", 0o755); err != com.ErrExist {
+		t.Fatalf("duplicate mkdir: %v", err)
+	}
+	df, _ := root.Lookup("d")
+	d := mustDir(t, df)
+	if _, err := d.Create("f", 0o644, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Rmdir("d"); err != com.ErrNotEmpty {
+		t.Fatalf("rmdir non-empty: %v", err)
+	}
+	if err := root.Unlink("d"); err != com.ErrIsDir {
+		t.Fatalf("unlink dir: %v", err)
+	}
+	if err := d.Unlink("f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Unlink("f"); err != com.ErrNoEnt {
+		t.Fatalf("double unlink: %v", err)
+	}
+	d.Release()
+	if err := root.Rmdir("d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := root.Lookup("d"); err != com.ErrNoEnt {
+		t.Fatalf("lookup after rmdir: %v", err)
+	}
+}
+
+func TestRename(t *testing.T) {
+	fs := populated(t)
+	root, _ := fs.GetRoot()
+	defer root.Release()
+	etcF, _ := root.Lookup("etc")
+	etc := mustDir(t, etcF)
+	defer etc.Release()
+	// Move /heap.img into /etc/heap.
+	if err := root.Rename("heap.img", etc, "heap"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := root.Lookup("heap.img"); err != com.ErrNoEnt {
+		t.Fatal("source still present after rename")
+	}
+	f, err := etc.Lookup("heap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := f.GetStat()
+	if st.Size != 4096 {
+		t.Fatalf("renamed size = %d", st.Size)
+	}
+	f.Release()
+	// Rename over an existing file replaces it.
+	if err := etc.Rename("heap", etc, "motd"); err != nil {
+		t.Fatal(err)
+	}
+	f, _ = etc.Lookup("motd")
+	st, _ = f.GetStat()
+	if st.Size != 4096 {
+		t.Fatalf("replace-rename size = %d", st.Size)
+	}
+	f.Release()
+}
+
+func TestReadDirPaging(t *testing.T) {
+	fs := populated(t)
+	root, _ := fs.GetRoot()
+	defer root.Release()
+	all, err := root.ReadDir(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// bin, etc, heap.img in name order.
+	if len(all) != 3 || all[0].Name != "bin" || all[1].Name != "etc" || all[2].Name != "heap.img" {
+		t.Fatalf("ReadDir = %+v", all)
+	}
+	page, err := root.ReadDir(1, 1)
+	if err != nil || len(page) != 1 || page[0].Name != "etc" {
+		t.Fatalf("paged ReadDir = %+v, %v", page, err)
+	}
+	if _, err := root.ReadDir(-1, 0); err != com.ErrInval {
+		t.Fatalf("negative start: %v", err)
+	}
+	if out, err := root.ReadDir(3, 0); err != nil || len(out) != 0 {
+		t.Fatalf("start at end: %+v, %v", out, err)
+	}
+}
+
+func TestQueryInterfaceShapes(t *testing.T) {
+	fs := populated(t)
+	if _, err := fs.QueryInterface(com.FileSystemIID); err != nil {
+		t.Fatal(err)
+	}
+	root, _ := fs.GetRoot()
+	defer root.Release()
+	// A directory answers for Dir and File.
+	if _, err := root.QueryInterface(com.DirIID); err != nil {
+		t.Fatal(err)
+	}
+	// A regular file answers for File but not Dir.
+	f := lookupPath(t, fs, "etc", "motd")
+	defer f.Release()
+	if _, err := f.QueryInterface(com.FileIID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.QueryInterface(com.DirIID); err != com.ErrNoInterface {
+		t.Fatalf("file answered for Dir: %v", err)
+	}
+	if _, ok := f.(com.Dir); ok {
+		// Interface satisfaction is structural in Go, but the COM query
+		// is the contract: directory ops on a file must fail.
+		if _, err := f.(com.Dir).Lookup("x"); err != com.ErrNotDir {
+			t.Fatalf("dir op on file: %v", err)
+		}
+	}
+}
+
+func TestStatFS(t *testing.T) {
+	fs := populated(t)
+	st, err := fs.StatFS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// root, bin, etc, init, motd, heap.img = 6 nodes.
+	if st.TotalFiles != 6 {
+		t.Fatalf("TotalFiles = %d", st.TotalFiles)
+	}
+	if st.TotalBlocks != 4+8+4096 {
+		t.Fatalf("TotalBlocks = %d", st.TotalBlocks)
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Unmount(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustDir(t *testing.T, f com.File) com.Dir {
+	t.Helper()
+	d, ok := f.(com.Dir)
+	if !ok {
+		t.Fatal("not a Dir")
+	}
+	return d
+}

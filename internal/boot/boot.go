@@ -1,0 +1,197 @@
+// Package boot is the kit's bootstrap support (paper §3.1).
+//
+// The paper's OSKit supports the MultiBoot standard: a simple, general
+// interface between boot loaders and kernels, whose key research-friendly
+// feature is *boot modules* — arbitrary flat files the loader places in
+// reserved physical memory along with the kernel, each tagged with an
+// arbitrary user-defined string.  The kernel interprets modules however it
+// sees fit: initial programs, device data, file system images, a language
+// runtime's precompiled heap (the ML/OS case, §6.2.2).
+//
+// This package defines the kit's boot-image container format (the
+// MultiBoot analog for the simulated PC), a builder used by the mkbootimg
+// tool, and the loader that places modules into a machine's physical
+// memory and produces the Info structure handed to the kernel.
+package boot
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"oskit/internal/hw"
+)
+
+// Magic begins every boot image.
+var Magic = [8]byte{'O', 'S', 'K', 'B', 'O', 'O', 'T', '1'}
+
+// ModuleSpec is one module given to the image builder.
+type ModuleSpec struct {
+	// String is the arbitrary user-defined string associated with the
+	// module; by convention the kit's clients use it as a path name.
+	String string
+	// Data is the flat file contents; the loader never interprets it.
+	Data []byte
+}
+
+// Module is one boot module as placed in memory by the loader.
+type Module struct {
+	// Addr and Size locate the module in physical memory.
+	Addr hw.PhysAddr
+	Size uint32
+	// String is the module's user-defined string.
+	String string
+}
+
+// Info is what the boot loader hands the kernel: the MultiBoot info
+// analog.  The kernel support library locates the modules through it and
+// reserves their memory before initializing the free pool (§3.2).
+type Info struct {
+	// Cmdline is the kernel command line as given to the builder.
+	Cmdline string
+	// MemBytes is the machine's physical memory size.
+	MemBytes uint32
+	// Modules lists the loaded boot modules in image order.
+	Modules []Module
+}
+
+// Args splits the command line into the argv passed to the client's Main;
+// words of the form NAME=VALUE after a "--" separator become environment
+// variables instead.
+func (i *Info) Args() (args []string, env map[string]string) {
+	env = map[string]string{}
+	fields := strings.Fields(i.Cmdline)
+	inEnv := false
+	for _, f := range fields {
+		switch {
+		case f == "--":
+			inEnv = true
+		case inEnv:
+			if k, v, ok := strings.Cut(f, "="); ok {
+				env[k] = v
+			}
+		default:
+			args = append(args, f)
+		}
+	}
+	return args, env
+}
+
+// FindModule returns the first module whose string equals s.
+func (i *Info) FindModule(s string) (Module, bool) {
+	for _, m := range i.Modules {
+		if m.String == s {
+			return m, true
+		}
+	}
+	return Module{}, false
+}
+
+// BuildImage serializes a command line and modules into a boot image.
+//
+// Layout (all integers little-endian uint32 unless noted):
+//
+//	magic[8] | cmdlineLen cmdline | nModules | n × (strLen str dataLen data)
+func BuildImage(cmdline string, modules []ModuleSpec) []byte {
+	var out []byte
+	out = append(out, Magic[:]...)
+	out = appendU32(out, uint32(len(cmdline)))
+	out = append(out, cmdline...)
+	out = appendU32(out, uint32(len(modules)))
+	for _, m := range modules {
+		out = appendU32(out, uint32(len(m.String)))
+		out = append(out, m.String...)
+		out = appendU32(out, uint32(len(m.Data)))
+		out = append(out, m.Data...)
+	}
+	return out
+}
+
+// ParseImage decodes a boot image without loading it.
+func ParseImage(img []byte) (cmdline string, modules []ModuleSpec, err error) {
+	r := reader{buf: img}
+	var magic [8]byte
+	copy(magic[:], r.bytes(8))
+	if r.err != nil || magic != Magic {
+		return "", nil, fmt.Errorf("boot: bad magic")
+	}
+	cmdline = string(r.bytes(int(r.u32())))
+	n := r.u32()
+	if r.err != nil {
+		return "", nil, r.err
+	}
+	if n > 1<<16 {
+		return "", nil, fmt.Errorf("boot: implausible module count %d", n)
+	}
+	for i := uint32(0); i < n; i++ {
+		s := string(r.bytes(int(r.u32())))
+		d := r.bytes(int(r.u32()))
+		if r.err != nil {
+			return "", nil, r.err
+		}
+		modules = append(modules, ModuleSpec{String: s, Data: append([]byte(nil), d...)})
+	}
+	return cmdline, modules, nil
+}
+
+// LoadBase is the physical address at which the loader starts placing
+// modules (above the classical 1 MB "upper memory" boundary, leaving room
+// for a kernel image below).
+const LoadBase hw.PhysAddr = 0x200000
+
+// Load places an image's modules into a machine's physical memory,
+// page-aligned and consecutive from LoadBase, and returns the boot Info.
+// It is the boot-loader half of the handoff; the kernel support library
+// does the reserving.
+func Load(img []byte, mem *hw.PhysMem) (*Info, error) {
+	cmdline, mods, err := ParseImage(img)
+	if err != nil {
+		return nil, err
+	}
+	info := &Info{Cmdline: cmdline, MemBytes: mem.Size()}
+	addr := LoadBase
+	for _, m := range mods {
+		size := uint32(len(m.Data))
+		dst, err := mem.Slice(addr, size)
+		if err != nil {
+			return nil, fmt.Errorf("boot: module %q does not fit at %#x: %v", m.String, addr, err)
+		}
+		copy(dst, m.Data)
+		info.Modules = append(info.Modules, Module{Addr: addr, Size: size, String: m.String})
+		addr = pageAlign(addr + size)
+	}
+	return info, nil
+}
+
+func pageAlign(a hw.PhysAddr) hw.PhysAddr { return (a + 0xfff) &^ 0xfff }
+
+func appendU32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) bytes(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.buf) {
+		r.err = fmt.Errorf("boot: truncated image")
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *reader) u32() uint32 {
+	b := r.bytes(4)
+	if r.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}

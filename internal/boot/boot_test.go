@@ -1,0 +1,135 @@
+package boot
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"oskit/internal/hw"
+)
+
+func TestImageRoundTrip(t *testing.T) {
+	mods := []ModuleSpec{
+		{String: "bin/init", Data: []byte("init program")},
+		{String: "etc/config -flag", Data: []byte{0, 1, 2, 255}},
+		{String: "empty", Data: nil},
+	}
+	img := BuildImage("kernel -v -- HOME=/ TERM=vt100", mods)
+	cmdline, got, err := ParseImage(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmdline != "kernel -v -- HOME=/ TERM=vt100" {
+		t.Fatalf("cmdline = %q", cmdline)
+	}
+	if len(got) != len(mods) {
+		t.Fatalf("modules = %d", len(got))
+	}
+	for i := range mods {
+		if got[i].String != mods[i].String || !bytes.Equal(got[i].Data, mods[i].Data) {
+			t.Fatalf("module %d mismatch: %+v", i, got[i])
+		}
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, _, err := ParseImage([]byte("not an image")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Truncations at every byte boundary must error, not panic.
+	img := BuildImage("cmd", []ModuleSpec{{String: "m", Data: []byte("xyz")}})
+	for cut := 0; cut < len(img); cut++ {
+		if _, _, err := ParseImage(img[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestLoadPlacesModules(t *testing.T) {
+	mem := hw.NewPhysMem(8 << 20)
+	img := BuildImage("k", []ModuleSpec{
+		{String: "a", Data: bytes.Repeat([]byte{0xAA}, 5000)},
+		{String: "b", Data: []byte("bee")},
+	})
+	info, err := Load(img, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Modules) != 2 {
+		t.Fatalf("modules = %d", len(info.Modules))
+	}
+	a, b := info.Modules[0], info.Modules[1]
+	if a.Addr != LoadBase || a.Size != 5000 {
+		t.Fatalf("module a at %#x size %d", a.Addr, a.Size)
+	}
+	if b.Addr&0xfff != 0 || b.Addr < a.Addr+a.Size {
+		t.Fatalf("module b at %#x", b.Addr)
+	}
+	if got := mem.MustSlice(a.Addr, 4)[0]; got != 0xAA {
+		t.Fatalf("module a contents = %#x", got)
+	}
+	if string(mem.MustSlice(b.Addr, b.Size)) != "bee" {
+		t.Fatal("module b contents wrong")
+	}
+	if info.MemBytes != 8<<20 {
+		t.Fatalf("MemBytes = %d", info.MemBytes)
+	}
+
+	m, ok := info.FindModule("b")
+	if !ok || m.Addr != b.Addr {
+		t.Fatal("FindModule failed")
+	}
+	if _, ok := info.FindModule("zzz"); ok {
+		t.Fatal("FindModule found phantom")
+	}
+}
+
+func TestLoadRejectsOversizedModules(t *testing.T) {
+	mem := hw.NewPhysMem(4 << 20)
+	img := BuildImage("k", []ModuleSpec{{String: "big", Data: make([]byte, 4<<20)}})
+	if _, err := Load(img, mem); err == nil {
+		t.Fatal("module larger than memory accepted")
+	}
+}
+
+func TestInfoArgsAndEnv(t *testing.T) {
+	info := &Info{Cmdline: "kernel -v --trace -- PATH=/bin DEBUG=1 malformed"}
+	args, env := info.Args()
+	if len(args) != 3 || args[0] != "kernel" || args[2] != "--trace" {
+		t.Fatalf("args = %v", args)
+	}
+	if env["PATH"] != "/bin" || env["DEBUG"] != "1" {
+		t.Fatalf("env = %v", env)
+	}
+	if _, ok := env["malformed"]; ok {
+		t.Fatal("malformed env var accepted")
+	}
+}
+
+// Property: build/parse round-trips any module set.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(cmdline string, names []string, blobs [][]byte) bool {
+		n := len(names)
+		if len(blobs) < n {
+			n = len(blobs)
+		}
+		var mods []ModuleSpec
+		for i := 0; i < n; i++ {
+			mods = append(mods, ModuleSpec{String: names[i], Data: blobs[i]})
+		}
+		img := BuildImage(cmdline, mods)
+		c2, m2, err := ParseImage(img)
+		if err != nil || c2 != cmdline || len(m2) != len(mods) {
+			return false
+		}
+		for i := range mods {
+			if m2[i].String != mods[i].String || !bytes.Equal(m2[i].Data, mods[i].Data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,81 @@
+package com
+
+// This file is the Go rendering of Figure 2 of the paper: the OSKit's COM
+// interface for block I/O, implemented by every disk device driver as well
+// as by other components (partition views, RAM disks, file-backed stores).
+//
+// The original C interface is a struct whose first member points to a
+// dispatch table (blkio_ops) of eight methods:
+//
+//	query, addref, release, getblocksize, read, write, getsize, setsize
+//
+// The Go interface carries the same eight methods; query/addref/release come
+// from the embedded IUnknown.
+
+// BlkIOIID identifies the BlkIO interface.  The constants are the exact
+// GUID printed in Figure 2.
+var BlkIOIID = NewGUID(0x4aa7dfe1, 0x7c74, 0x11cf,
+	0xb5, 0x00, 0x08, 0x00, 0x09, 0x53, 0xad, 0xc2)
+
+// BlkIO is absolute-offset block I/O.  Offsets and sizes are in bytes, but
+// implementations may require callers to respect BlockSize granularity
+// (raw disk drivers do; buffered objects need not).
+type BlkIO interface {
+	IUnknown
+
+	// BlockSize returns the natural block size of the object.  Reads and
+	// writes whose offset or amount is not a multiple of this size may be
+	// rejected with ErrInval by strict implementations.
+	BlockSize() uint
+
+	// Read copies up to len(buf) bytes starting at the absolute byte
+	// offset into buf, returning the number of bytes actually read.
+	// Reading at end-of-object returns 0, nil.
+	Read(buf []byte, offset uint64) (uint, error)
+
+	// Write copies len(buf) bytes from buf to the absolute byte offset,
+	// returning the number of bytes actually written.
+	Write(buf []byte, offset uint64) (uint, error)
+
+	// Size returns the current size of the object in bytes.
+	Size() (uint64, error)
+
+	// SetSize grows or truncates the object.  Fixed-size objects (raw
+	// disks, partitions) return ErrNotImplemented.
+	SetSize(size uint64) error
+}
+
+// BufIOIID identifies the BufIO extension interface (§4.4.2).
+var BufIOIID = NewGUID(0x4aa7dfe2, 0x7c74, 0x11cf,
+	0xb5, 0x00, 0x08, 0x00, 0x09, 0x53, 0xad, 0xc2)
+
+// BufIO extends BlkIO for objects whose data happens to live in local
+// memory, adding direct pointer-based access so clients can avoid copies in
+// the common case (§4.4.2, §4.7.3).  Network packet buffers are the
+// canonical implementors: the Linux glue exports skbuffs and the FreeBSD
+// glue exports mbufs through this interface.
+//
+// Raw, unbuffered disk drivers provide only the base BlkIO; querying them
+// for BufIO fails, and clients fall back on Read/Write.
+type BufIO interface {
+	BlkIO
+
+	// Map returns a slice aliasing the object's storage for the byte
+	// range [offset, offset+amount).  It fails with ErrNotImplemented if
+	// the implementation cannot expose that range as one contiguous
+	// local-memory extent (e.g. the range spans links of an mbuf chain),
+	// in which case the caller must fall back on Read.  The mapping
+	// remains valid until Unmap (or the final Release).
+	Map(offset, amount uint) ([]byte, error)
+
+	// Unmap releases a mapping obtained from Map.
+	Unmap(buf []byte) error
+
+	// Wire pins the object's storage so device DMA may address it, and
+	// returns the (simulated) physical address.  Implementations whose
+	// storage is not in DMA-able memory return ErrNotImplemented.
+	Wire() (physAddr uint32, err error)
+
+	// Unwire releases a Wire pin.
+	Unwire() error
+}

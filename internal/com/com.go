@@ -1,0 +1,103 @@
+// Package com implements the subset of the Component Object Model that the
+// OSKit adopted as the framework for its component interfaces (paper §4.4).
+//
+// At its lowest level COM is a language-independent protocol letting
+// components in one address space rendezvous and interact while remaining
+// independently evolvable.  The Go rendering keeps the three properties the
+// paper relies on:
+//
+//   - Implementation hiding (§4.4.1): interfaces are pure method sets; an
+//     object's concrete type is never required by a client.
+//   - Interface extension and evolution (§4.4.2): every object implements
+//     IUnknown and can be queried at run time, by GUID, for any other
+//     interface it exports ("safe downcasting"), allowing extended
+//     interfaces such as BufIO to coexist with the base BlkIO.
+//   - No required support code (§4.4.3): interfaces here are purely
+//     behavioral contracts; there is no common infrastructure an
+//     implementation must link against.
+//
+// Interfaces are identified by GUIDs so new interfaces can be defined
+// independently with essentially no chance of collision.
+package com
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// GUID is a DCE-style globally unique identifier naming a COM interface.
+//
+// The layout follows the classic (data1, data2, data3, data4[8]) form used
+// by the OSKit's GUID macro (see Figure 2 of the paper).
+type GUID struct {
+	Data1 uint32
+	Data2 uint16
+	Data3 uint16
+	Data4 [8]byte
+}
+
+// NewGUID assembles a GUID from the eleven literal components used by the
+// OSKit's GUID() macro, e.g. the blkio IID
+// GUID(0x4aa7dfe1, 0x7c74, 0x11cf, 0xb5,0x00, 0x08,0x00,0x09,0x53,0xad,0xc2).
+func NewGUID(d1 uint32, d2, d3 uint16, b0, b1, b2, b3, b4, b5, b6, b7 byte) GUID {
+	return GUID{d1, d2, d3, [8]byte{b0, b1, b2, b3, b4, b5, b6, b7}}
+}
+
+// String renders the GUID in the conventional 8-4-4-4-12 hex form.
+func (g GUID) String() string {
+	return fmt.Sprintf("%08x-%04x-%04x-%02x%02x-%02x%02x%02x%02x%02x%02x",
+		g.Data1, g.Data2, g.Data3,
+		g.Data4[0], g.Data4[1], g.Data4[2], g.Data4[3],
+		g.Data4[4], g.Data4[5], g.Data4[6], g.Data4[7])
+}
+
+// IUnknown is the root of every COM interface: reference management plus
+// run-time interface discovery.
+//
+// QueryInterface returns an object implementing the interface identified by
+// iid, or ErrNoInterface.  A successful query transfers one reference to the
+// caller (COM rules); the returned value must eventually be Released.
+type IUnknown interface {
+	// QueryInterface asks the object for another of its interfaces.
+	QueryInterface(iid GUID) (IUnknown, error)
+	// AddRef increments and returns the reference count.
+	AddRef() uint32
+	// Release decrements the reference count, destroying the object when
+	// it reaches zero, and returns the new count.
+	Release() uint32
+}
+
+// UnknownIID identifies the IUnknown interface itself; querying for it must
+// succeed on every COM object.
+var UnknownIID = NewGUID(0x00000000, 0x0000, 0x0000, 0xc0, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x46)
+
+// RefCount is an embeddable reference count providing the AddRef/Release
+// half of IUnknown.  The zero value has count zero; constructors normally
+// call Init (or set the count with AddRef) before handing the object out.
+//
+// OnLastRelease, if non-nil, runs when the count drops to zero (the analog
+// of a COM destructor); it is the hook by which, e.g., the Linux glue frees
+// an skbuff once external code drops the last BufIO reference (§4.7.3).
+type RefCount struct {
+	count         atomic.Uint32
+	OnLastRelease func()
+}
+
+// Init sets the reference count to 1, the conventional state of a freshly
+// constructed object owned by its creator.
+func (r *RefCount) Init() { r.count.Store(1) }
+
+// AddRef implements IUnknown.
+func (r *RefCount) AddRef() uint32 { return r.count.Add(1) }
+
+// Release implements IUnknown.
+func (r *RefCount) Release() uint32 {
+	n := r.count.Add(^uint32(0)) // decrement
+	if n == 0 && r.OnLastRelease != nil {
+		r.OnLastRelease()
+	}
+	return n
+}
+
+// Refs reports the current reference count (for tests and leak checking).
+func (r *RefCount) Refs() uint32 { return r.count.Load() }

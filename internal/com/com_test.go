@@ -1,0 +1,231 @@
+package com
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestGUIDStringForm(t *testing.T) {
+	// The blkio IID from Figure 2 of the paper.
+	got := BlkIOIID.String()
+	want := "4aa7dfe1-7c74-11cf-b500-08000953adc2"
+	if got != want {
+		t.Errorf("BlkIOIID.String() = %q, want %q", got, want)
+	}
+}
+
+func TestGUIDsAreDistinct(t *testing.T) {
+	ids := map[GUID]string{}
+	for _, x := range []struct {
+		name string
+		iid  GUID
+	}{
+		{"unknown", UnknownIID},
+		{"blkio", BlkIOIID},
+		{"bufio", BufIOIID},
+		{"netio", NetIOIID},
+		{"etherdev", EtherDevIID},
+		{"socket", SocketIID},
+		{"socketfactory", SocketFactoryIID},
+		{"file", FileIID},
+		{"dir", DirIID},
+		{"filesystem", FileSystemIID},
+		{"device", DeviceIID},
+		{"driver", DriverIID},
+		{"stream", StreamIID},
+		{"clock", ClockIID},
+	} {
+		if prev, dup := ids[x.iid]; dup {
+			t.Errorf("GUID collision: %s and %s share %v", prev, x.name, x.iid)
+		}
+		ids[x.iid] = x.name
+	}
+}
+
+func TestRefCountLifecycle(t *testing.T) {
+	var destroyed bool
+	var rc RefCount
+	rc.OnLastRelease = func() { destroyed = true }
+	rc.Init()
+	if rc.AddRef() != 2 {
+		t.Fatal("AddRef after Init should yield 2")
+	}
+	if rc.Release() != 1 {
+		t.Fatal("Release should yield 1")
+	}
+	if destroyed {
+		t.Fatal("destructor ran with references outstanding")
+	}
+	if rc.Release() != 0 {
+		t.Fatal("final Release should yield 0")
+	}
+	if !destroyed {
+		t.Fatal("destructor did not run at refcount zero")
+	}
+}
+
+func TestErrorStrings(t *testing.T) {
+	if ErrNoEnt.Error() == "" || ErrNoInterface.Error() == "" {
+		t.Fatal("error strings must be non-empty")
+	}
+	var e error = ErrInval
+	if e.Error() != "oskit: invalid argument" {
+		t.Errorf("ErrInval = %q", e.Error())
+	}
+	if Error(0x9999).Error() != "oskit: error 0x9999" {
+		t.Errorf("unknown code formatting: %q", Error(0x9999).Error())
+	}
+}
+
+func TestMemBufQueryInterface(t *testing.T) {
+	b := NewMemBuf(make([]byte, 64))
+	// Every COM object answers for IUnknown.
+	u, err := b.QueryInterface(UnknownIID)
+	if err != nil {
+		t.Fatalf("QueryInterface(IUnknown): %v", err)
+	}
+	u.Release()
+	// MemBuf exports both the base and the extension interface.
+	bi, err := b.QueryInterface(BlkIOIID)
+	if err != nil {
+		t.Fatalf("QueryInterface(BlkIO): %v", err)
+	}
+	if _, ok := bi.(BlkIO); !ok {
+		t.Fatal("BlkIO query did not return a BlkIO")
+	}
+	bi.Release()
+	xi, err := b.QueryInterface(BufIOIID)
+	if err != nil {
+		t.Fatalf("QueryInterface(BufIO): %v", err)
+	}
+	if _, ok := xi.(BufIO); !ok {
+		t.Fatal("BufIO query did not return a BufIO")
+	}
+	xi.Release()
+	// Unknown interfaces fail cleanly.
+	if _, err := b.QueryInterface(SocketIID); err != ErrNoInterface {
+		t.Fatalf("bogus query: got %v, want ErrNoInterface", err)
+	}
+	if b.Refs() != 1 {
+		t.Fatalf("reference leak: %d refs after queries released", b.Refs())
+	}
+}
+
+func TestMemBufReadWrite(t *testing.T) {
+	b := NewMemBuf(make([]byte, 16))
+	if _, err := b.Write([]byte("hello"), 3); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, 5)
+	n, err := b.Read(out, 3)
+	if err != nil || n != 5 || string(out) != "hello" {
+		t.Fatalf("Read = %d %v %q", n, err, out)
+	}
+	// Reads at EOF return 0, nil.
+	if n, err := b.Read(out, 16); n != 0 || err != nil {
+		t.Fatalf("read at EOF = %d, %v", n, err)
+	}
+	// Writes past the end are rejected.
+	if _, err := b.Write(make([]byte, 8), 12); err != ErrInval {
+		t.Fatalf("overlong write: %v", err)
+	}
+	// Map aliases the storage.
+	m, err := b.Map(3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m[0] = 'H'
+	n, _ = b.Read(out, 3)
+	if string(out[:n]) != "Hello" {
+		t.Fatalf("Map does not alias storage: %q", out[:n])
+	}
+	if err := b.Unmap(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemBufWire(t *testing.T) {
+	plain := NewMemBuf(make([]byte, 8))
+	if _, err := plain.Wire(); err != ErrNotImplemented {
+		t.Fatalf("plain buffer Wire: %v", err)
+	}
+	phys := NewMemBufPhys(make([]byte, 8), 0x100000)
+	a, err := phys.Wire()
+	if err != nil || a != 0x100000 {
+		t.Fatalf("Wire = %#x, %v", a, err)
+	}
+	if err := phys.Unwire(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for any data and any in-range (offset, length), a round trip of
+// Write then Read through the BlkIO view returns the bytes written.
+func TestMemBufRoundTripProperty(t *testing.T) {
+	f := func(data []byte, off8 uint8) bool {
+		size := len(data) + int(off8) + 1
+		b := NewMemBuf(make([]byte, size))
+		if _, err := b.Write(data, uint64(off8)); err != nil {
+			return false
+		}
+		out := make([]byte, len(data))
+		n, err := b.Read(out, uint64(off8))
+		return err == nil && int(n) == len(data) && bytes.Equal(out, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ReadFullBufIO returns identical bytes whether or not Map is
+// available (the copy-avoidance fallback must be semantically invisible).
+func TestReadFullEquivalenceProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		mappable := NewMemBuf(append([]byte(nil), data...))
+		got1, err1 := ReadFullBufIO(mappable, uint(len(data)))
+		unmappable := &noMapBuf{MemBuf: NewMemBuf(append([]byte(nil), data...))}
+		got2, err2 := ReadFullBufIO(unmappable, uint(len(data)))
+		return err1 == nil && err2 == nil &&
+			bytes.Equal(got1, data) && bytes.Equal(got2, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// noMapBuf simulates a BufIO whose storage is not contiguous (an mbuf
+// chain): Map always fails, forcing the Read fallback.
+type noMapBuf struct{ *MemBuf }
+
+func (b *noMapBuf) Map(offset, amount uint) ([]byte, error) {
+	return nil, ErrNotImplemented
+}
+
+func TestNetIOFunc(t *testing.T) {
+	var gotSize uint
+	sink := NetIOFunc(func(pkt BufIO, size uint) error {
+		gotSize = size
+		pkt.Release()
+		return nil
+	})
+	if _, err := sink.QueryInterface(NetIOIID); err != nil {
+		t.Fatalf("NetIOFunc must answer for NetIO: %v", err)
+	}
+	if _, err := sink.QueryInterface(BlkIOIID); err != ErrNoInterface {
+		t.Fatalf("NetIOFunc must reject other IIDs: %v", err)
+	}
+	pkt := NewMemBuf(make([]byte, 60))
+	if err := sink.Push(pkt, 42); err != nil {
+		t.Fatal(err)
+	}
+	if gotSize != 42 {
+		t.Fatalf("Push size = %d", gotSize)
+	}
+	if _, err := sink.AllocBufIO(64); err != ErrNotImplemented {
+		t.Fatalf("AllocBufIO on func adapter: %v", err)
+	}
+}

@@ -1,0 +1,73 @@
+package com
+
+// Device-framework interfaces (paper §3.6).  Each device driver — whether
+// derived from Linux or BSD — exports this common set of basic interfaces
+// which hide the nature and origin of the driver; extended driver-specific
+// interfaces remain reachable through QueryInterface (open implementation,
+// §4.6).
+
+// DeviceIID identifies the Device interface, the common "front" of every
+// device node registered by a driver.
+var DeviceIID = NewGUID(0x4aa7dfea, 0x7c74, 0x11cf,
+	0xb5, 0x00, 0x08, 0x00, 0x09, 0x53, 0xad, 0xc2)
+
+// DeviceInfo describes a device node.
+type DeviceInfo struct {
+	Name        string // short node name, e.g. "eth0", "hd0", "com1"
+	Description string // human-readable description
+	Vendor      string // donor/source of the driver, e.g. "linux", "freebsd"
+	Driver      string // driver name, e.g. "sne2k"
+}
+
+// Device is a probed, registered device node.  Its functional interface
+// (EtherDev, BlkIO, Stream, …) is obtained via QueryInterface.
+type Device interface {
+	IUnknown
+
+	// GetInfo describes the node.
+	GetInfo() DeviceInfo
+}
+
+// DriverIID identifies the Driver interface.
+var DriverIID = NewGUID(0x4aa7dfeb, 0x7c74, 0x11cf,
+	0xb5, 0x00, 0x08, 0x00, 0x09, 0x53, 0xad, 0xc2)
+
+// Driver is a registered device driver: a single entry point used to probe
+// for and register the hardware it controls (component-library style,
+// §4.3.2).
+type Driver interface {
+	IUnknown
+
+	// GetInfo describes the driver (Name/Description/Vendor fields).
+	GetInfo() DeviceInfo
+}
+
+// StreamIID identifies the Stream interface, the byte-stream view of
+// character devices (console, serial ports).
+var StreamIID = NewGUID(0x4aa7dfec, 0x7c74, 0x11cf,
+	0xb5, 0x00, 0x08, 0x00, 0x09, 0x53, 0xad, 0xc2)
+
+// Stream is sequential byte I/O.
+type Stream interface {
+	IUnknown
+
+	// Read blocks until at least one byte is available (or EOF: 0, nil).
+	Read(buf []byte) (uint, error)
+	// Write writes the buffer, blocking as needed.
+	Write(buf []byte) (uint, error)
+}
+
+// ClockIID identifies the Clock interface.
+var ClockIID = NewGUID(0x4aa7dfed, 0x7c74, 0x11cf,
+	0xb5, 0x00, 0x08, 0x00, 0x09, 0x53, 0xad, 0xc2)
+
+// Clock exposes the kit's time base (10 ms ticks on the simulated PC, the
+// granularity the paper's ttcp timing contends with).
+type Clock interface {
+	IUnknown
+
+	// Ticks returns the tick count since boot.
+	Ticks() uint64
+	// TickDuration returns the nanoseconds represented by one tick.
+	TickDuration() uint64
+}

@@ -1,0 +1,98 @@
+package com
+
+import "fmt"
+
+// Error is the OSKit's error_t: a numeric error code shared by every COM
+// interface in the kit.  Codes below 0x1000 mirror the COM/OSKit reserved
+// range; the rest mirror the POSIX errno values the encapsulated components
+// translate to and from in their glue layers (§4.7.2).
+type Error uint32
+
+// COM-level and OSKit-reserved error codes.
+const (
+	// ErrNoInterface is returned by QueryInterface when the object does
+	// not export the requested interface.
+	ErrNoInterface Error = 0x80004002
+	// ErrUnexpected is a catastrophic, unclassifiable failure.
+	ErrUnexpected Error = 0x8000ffff
+	// ErrNotImplemented marks methods an implementation chose not to
+	// provide (legal for optional behaviour such as SetSize on a raw
+	// disk).
+	ErrNotImplemented Error = 0x80004001
+)
+
+// POSIX-shaped error codes used across the OSKit interfaces.
+const (
+	ErrPerm      Error = 0x1001 // operation not permitted
+	ErrNoEnt     Error = 0x1002 // no such file or directory
+	ErrIO        Error = 0x1005 // I/O error
+	ErrBadF      Error = 0x1009 // bad file handle
+	ErrAgain     Error = 0x100b // resource temporarily unavailable
+	ErrNoMem     Error = 0x100c // out of memory
+	ErrAccess    Error = 0x100d // permission denied
+	ErrFault     Error = 0x100e // bad address
+	ErrBusy      Error = 0x1010 // device busy
+	ErrExist     Error = 0x1011 // file exists
+	ErrNoDev     Error = 0x1013 // no such device
+	ErrNotDir    Error = 0x1014 // not a directory
+	ErrIsDir     Error = 0x1015 // is a directory
+	ErrInval     Error = 0x1016 // invalid argument
+	ErrNFile     Error = 0x1017 // file table overflow
+	ErrNoSpace   Error = 0x101c // no space left on device
+	ErrROFS      Error = 0x101e // read-only file system
+	ErrPipe      Error = 0x1020 // broken pipe
+	ErrNameLong  Error = 0x1024 // file name too long
+	ErrNotEmpty  Error = 0x1027 // directory not empty
+	ErrAddrInUse Error = 0x1030 // address already in use
+	ErrConnReset Error = 0x1036 // connection reset by peer
+	ErrNotConn   Error = 0x1039 // socket is not connected
+	ErrTimedOut  Error = 0x103c // operation timed out
+	ErrConnRef   Error = 0x103d // connection refused
+	ErrHostDown  Error = 0x1040 // host is down or unreachable
+	ErrInProg    Error = 0x1044 // operation now in progress
+	ErrXDev      Error = 0x1048 // cross-device link
+	ErrRange     Error = 0x1049 // result out of range
+)
+
+var errText = map[Error]string{
+	ErrNoInterface:    "no such interface",
+	ErrUnexpected:     "unexpected error",
+	ErrNotImplemented: "not implemented",
+	ErrPerm:           "operation not permitted",
+	ErrNoEnt:          "no such file or directory",
+	ErrIO:             "I/O error",
+	ErrBadF:           "bad file handle",
+	ErrAgain:          "resource temporarily unavailable",
+	ErrNoMem:          "out of memory",
+	ErrAccess:         "permission denied",
+	ErrFault:          "bad address",
+	ErrBusy:           "device busy",
+	ErrExist:          "file exists",
+	ErrNoDev:          "no such device",
+	ErrNotDir:         "not a directory",
+	ErrIsDir:          "is a directory",
+	ErrInval:          "invalid argument",
+	ErrNFile:          "file table overflow",
+	ErrNoSpace:        "no space left on device",
+	ErrROFS:           "read-only file system",
+	ErrPipe:           "broken pipe",
+	ErrNameLong:       "file name too long",
+	ErrNotEmpty:       "directory not empty",
+	ErrAddrInUse:      "address already in use",
+	ErrConnReset:      "connection reset by peer",
+	ErrNotConn:        "socket is not connected",
+	ErrTimedOut:       "operation timed out",
+	ErrConnRef:        "connection refused",
+	ErrHostDown:       "host is down",
+	ErrInProg:         "operation now in progress",
+	ErrXDev:           "cross-device link",
+	ErrRange:          "result out of range",
+}
+
+// Error implements the error interface.
+func (e Error) Error() string {
+	if s, ok := errText[e]; ok {
+		return "oskit: " + s
+	}
+	return fmt.Sprintf("oskit: error %#x", uint32(e))
+}

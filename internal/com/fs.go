@@ -1,0 +1,123 @@
+package com
+
+// File system interfaces (paper §3.8).  These are deliberately similar to
+// the internal VFS interface used by Unix file systems, and of fine enough
+// granularity that wrapping code can interpose on every operation: in
+// particular Dir.Lookup accepts only a single pathname component, which is
+// what let the Utah secure file server do per-component permission checking
+// without touching the file system internals.
+
+// Stat is file metadata (a pruned struct stat).
+type Stat struct {
+	Ino     uint32 // inode number
+	Mode    uint32 // type and permission bits
+	Nlink   uint32 // link count
+	UID     uint32
+	GID     uint32
+	Size    uint64 // size in bytes
+	Blocks  uint64 // blocks allocated
+	Atime   uint64 // access time, ticks
+	Mtime   uint64 // modification time, ticks
+	Ctime   uint64 // change time, ticks
+	BlkSize uint32 // preferred I/O size
+}
+
+// Mode bits (a pruned POSIX set).
+const (
+	ModeIFMT  = 0o170000 // mask for the type bits
+	ModeIFREG = 0o100000 // regular file
+	ModeIFDIR = 0o040000 // directory
+	ModeIRWXU = 0o000700
+	ModeIRUSR = 0o000400
+	ModeIWUSR = 0o000200
+	ModeIXUSR = 0o000100
+	ModeIRWXG = 0o000070
+	ModeIRWXO = 0o000007
+)
+
+// StatFS is file system metadata.
+type StatFS struct {
+	BlockSize   uint32
+	TotalBlocks uint64
+	FreeBlocks  uint64
+	TotalFiles  uint64
+	FreeFiles   uint64
+}
+
+// Dirent is one directory entry as returned by Dir.ReadDir.
+type Dirent struct {
+	Ino  uint32
+	Name string
+}
+
+// FileIID identifies the File interface.
+var FileIID = NewGUID(0x4aa7dfe7, 0x7c74, 0x11cf,
+	0xb5, 0x00, 0x08, 0x00, 0x09, 0x53, 0xad, 0xc2)
+
+// File is an open-less, stateless view of a file: all I/O carries explicit
+// offsets, so per-descriptor seek state lives in the client (the minimal C
+// library's POSIX layer keeps it in the fd table).
+type File interface {
+	IUnknown
+
+	// ReadAt reads up to len(buf) bytes at the given offset.  Reading at
+	// or beyond end-of-file returns 0, nil.
+	ReadAt(buf []byte, offset uint64) (uint, error)
+	// WriteAt writes len(buf) bytes at the given offset, extending the
+	// file as needed.
+	WriteAt(buf []byte, offset uint64) (uint, error)
+	// GetStat returns the file's metadata.
+	GetStat() (Stat, error)
+	// SetSize truncates or extends the file.
+	SetSize(size uint64) error
+	// Sync flushes the file's dirty data and metadata to stable storage.
+	Sync() error
+}
+
+// DirIID identifies the Dir interface.
+var DirIID = NewGUID(0x4aa7dfe8, 0x7c74, 0x11cf,
+	0xb5, 0x00, 0x08, 0x00, 0x09, 0x53, 0xad, 0xc2)
+
+// Dir is a directory.  Every Dir is also a File (directories have
+// metadata); name arguments are single pathname components containing no
+// '/' — multi-component traversal is the client's (or a wrapper's) job.
+type Dir interface {
+	File
+
+	// Lookup resolves one component to a File (which may itself be a
+	// Dir; use QueryInterface with DirIID to find out).
+	Lookup(name string) (File, error)
+	// Create makes a regular file; if it already exists and excl is
+	// false the existing file is returned.
+	Create(name string, mode uint32, excl bool) (File, error)
+	// Mkdir makes a subdirectory.
+	Mkdir(name string, mode uint32) error
+	// Unlink removes a regular file.
+	Unlink(name string) error
+	// Rmdir removes an empty subdirectory.
+	Rmdir(name string) error
+	// Rename moves old (a component in this directory) to newName in
+	// newDir, which must belong to the same file system.
+	Rename(old string, newDir Dir, newName string) error
+	// ReadDir returns the directory's entries starting at index start
+	// ("." and ".." excluded), up to count of them (count <= 0: all).
+	ReadDir(start, count int) ([]Dirent, error)
+}
+
+// FileSystemIID identifies the FileSystem interface.
+var FileSystemIID = NewGUID(0x4aa7dfe9, 0x7c74, 0x11cf,
+	0xb5, 0x00, 0x08, 0x00, 0x09, 0x53, 0xad, 0xc2)
+
+// FileSystem is a mounted file system.
+type FileSystem interface {
+	IUnknown
+
+	// GetRoot returns the root directory (one reference to the caller).
+	GetRoot() (Dir, error)
+	// StatFS returns file system metadata.
+	StatFS() (StatFS, error)
+	// Sync flushes all dirty state to the underlying BlkIO.
+	Sync() error
+	// Unmount flushes and detaches; further operations fail.
+	Unmount() error
+}

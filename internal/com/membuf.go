@@ -1,0 +1,118 @@
+package com
+
+// MemBuf is the trivial BufIO implementation: a packet or data buffer held
+// in ordinary contiguous memory.  Components use it when they have no
+// native buffer representation of their own; it is also the reference
+// implementation the interface tests run against.
+type MemBuf struct {
+	RefCount
+	data []byte
+	// phys is the simulated physical address of data, when the buffer
+	// aliases machine memory; zero means "not wireable".
+	phys uint32
+}
+
+// NewMemBuf wraps an existing byte slice as a BufIO with one reference.
+func NewMemBuf(data []byte) *MemBuf {
+	b := &MemBuf{data: data}
+	b.Init()
+	return b
+}
+
+// NewMemBufPhys wraps a slice that aliases simulated physical memory at
+// address phys, making the buffer wireable for DMA.
+func NewMemBufPhys(data []byte, phys uint32) *MemBuf {
+	b := NewMemBuf(data)
+	b.phys = phys
+	return b
+}
+
+// QueryInterface implements IUnknown.
+func (b *MemBuf) QueryInterface(iid GUID) (IUnknown, error) {
+	switch iid {
+	case UnknownIID, BlkIOIID, BufIOIID:
+		b.AddRef()
+		return b, nil
+	}
+	return nil, ErrNoInterface
+}
+
+// BlockSize implements BlkIO; memory buffers are byte-granular.
+func (b *MemBuf) BlockSize() uint { return 1 }
+
+// Read implements BlkIO.
+func (b *MemBuf) Read(buf []byte, offset uint64) (uint, error) {
+	if offset >= uint64(len(b.data)) {
+		return 0, nil
+	}
+	n := copy(buf, b.data[offset:])
+	return uint(n), nil
+}
+
+// Write implements BlkIO.
+func (b *MemBuf) Write(buf []byte, offset uint64) (uint, error) {
+	if offset+uint64(len(buf)) > uint64(len(b.data)) {
+		return 0, ErrInval
+	}
+	n := copy(b.data[offset:], buf)
+	return uint(n), nil
+}
+
+// Size implements BlkIO.
+func (b *MemBuf) Size() (uint64, error) { return uint64(len(b.data)), nil }
+
+// SetSize implements BlkIO; a MemBuf may shrink (reslice) but not grow.
+func (b *MemBuf) SetSize(size uint64) error {
+	if size > uint64(len(b.data)) {
+		return ErrNotImplemented
+	}
+	b.data = b.data[:size]
+	return nil
+}
+
+// Map implements BufIO: the whole buffer is one contiguous extent.
+func (b *MemBuf) Map(offset, amount uint) ([]byte, error) {
+	if uint64(offset)+uint64(amount) > uint64(len(b.data)) {
+		return nil, ErrInval
+	}
+	return b.data[offset : offset+amount], nil
+}
+
+// Unmap implements BufIO (no-op: mappings are plain slices).
+func (b *MemBuf) Unmap(buf []byte) error { return nil }
+
+// Wire implements BufIO.
+func (b *MemBuf) Wire() (uint32, error) {
+	if b.phys == 0 {
+		return 0, ErrNotImplemented
+	}
+	return b.phys, nil
+}
+
+// Unwire implements BufIO.
+func (b *MemBuf) Unwire() error { return nil }
+
+var _ BufIO = (*MemBuf)(nil)
+
+// ReadFullBufIO copies size bytes out of any BufIO, using Map when the
+// implementation supports it and falling back on Read — the exact pattern
+// the Linux transmit glue uses on "foreign" packet objects (§4.7.3).
+func ReadFullBufIO(b BufIO, size uint) ([]byte, error) {
+	if m, err := b.Map(0, size); err == nil {
+		out := make([]byte, size)
+		copy(out, m)
+		if err := b.Unmap(m); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	out := make([]byte, size)
+	n, err := b.Read(out, 0)
+	if err != nil {
+		return nil, err
+	}
+	if n < size {
+		return nil, ErrIO
+	}
+	return out, nil
+}

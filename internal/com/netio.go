@@ -1,0 +1,80 @@
+package com
+
+// Network packet-exchange interfaces (paper §5).
+//
+// When the client OS binds a protocol stack to a network device driver, the
+// two components exchange NetIO callbacks which are subsequently used to
+// pass packets back and forth asynchronously: the driver calls the stack's
+// NetIO when a packet arrives, and the stack calls the driver's NetIO to
+// transmit.  Packets are opaque BufIO objects, so neither side sees the
+// other's internal buffer representation (skbuff vs mbuf, §4.7.3).
+
+// NetIOIID identifies the NetIO interface.
+var NetIOIID = NewGUID(0x4aa7dfe3, 0x7c74, 0x11cf,
+	0xb5, 0x00, 0x08, 0x00, 0x09, 0x53, 0xad, 0xc2)
+
+// NetIO is a unidirectional packet sink.
+type NetIO interface {
+	IUnknown
+
+	// Push hands one packet to the sink.  size is the number of valid
+	// bytes in the packet, which may be less than pkt.Size() when the
+	// producer over-allocates.  Push consumes one reference to pkt: the
+	// sink Releases it (or holds it) as it pleases.
+	//
+	// Push never blocks; it may be called from interrupt level.
+	Push(pkt BufIO, size uint) error
+
+	// AllocBufIO asks the sink to manufacture a packet buffer in the
+	// sink's own native representation, so the producer can fill it in
+	// place and avoid a conversion copy on Push.  Sinks that do not care
+	// return ErrNotImplemented.
+	AllocBufIO(size uint) (BufIO, error)
+}
+
+// NetIOFunc adapts an ordinary function to the NetIO interface; the
+// resulting object is not reference counted (AddRef/Release are no-ops
+// returning 1) and answers QueryInterface for IUnknown and NetIO only.
+type NetIOFunc func(pkt BufIO, size uint) error
+
+// QueryInterface implements IUnknown.
+func (f NetIOFunc) QueryInterface(iid GUID) (IUnknown, error) {
+	switch iid {
+	case UnknownIID, NetIOIID:
+		return f, nil
+	}
+	return nil, ErrNoInterface
+}
+
+// AddRef implements IUnknown; the adapter is statically allocated.
+func (f NetIOFunc) AddRef() uint32 { return 1 }
+
+// Release implements IUnknown.
+func (f NetIOFunc) Release() uint32 { return 1 }
+
+// Push implements NetIO by calling the function.
+func (f NetIOFunc) Push(pkt BufIO, size uint) error { return f(pkt, size) }
+
+// AllocBufIO implements NetIO; function adapters have no native buffers.
+func (f NetIOFunc) AllocBufIO(size uint) (BufIO, error) { return nil, ErrNotImplemented }
+
+// EtherDevIID identifies the EtherDev interface implemented by Ethernet
+// device nodes in the fdev framework.
+var EtherDevIID = NewGUID(0x4aa7dfe4, 0x7c74, 0x11cf,
+	0xb5, 0x00, 0x08, 0x00, 0x09, 0x53, 0xad, 0xc2)
+
+// EtherDev is the open/configure view of an Ethernet device.
+type EtherDev interface {
+	IUnknown
+
+	// Open brings the interface up.  recv is the sink the driver will
+	// Push received packets to (from interrupt level); the returned
+	// NetIO is the sink the client pushes packets to for transmission.
+	Open(recv NetIO) (send NetIO, err error)
+
+	// Close shuts the interface down and forgets the receive sink.
+	Close() error
+
+	// GetAddr returns the station (MAC) address.
+	GetAddr() [6]byte
+}

@@ -1,0 +1,87 @@
+package com
+
+// Socket interfaces (paper §5).  The minimal C library's BSD socket
+// functions map directly onto these methods by associating file descriptors
+// with references to COM objects; because socket() uses a client-provided
+// SocketFactory, the C library works with any protocol stack that provides
+// these two interfaces.
+
+// Address/protocol families (the subset the kit's stacks implement).
+const (
+	AFInet = 2 // IPv4
+)
+
+// Socket types.
+const (
+	SockStream = 1 // TCP
+	SockDgram  = 2 // UDP
+)
+
+// Shutdown directions.
+const (
+	ShutRead  = 0
+	ShutWrite = 1
+	ShutBoth  = 2
+)
+
+// SockAddr is a protocol address: for AFInet, a 4-byte IP and a port.
+type SockAddr struct {
+	Family int
+	Addr   [4]byte
+	Port   uint16
+}
+
+// SocketIID identifies the Socket interface.
+var SocketIID = NewGUID(0x4aa7dfe5, 0x7c74, 0x11cf,
+	0xb5, 0x00, 0x08, 0x00, 0x09, 0x53, 0xad, 0xc2)
+
+// Socket mirrors the BSD socket operations.
+type Socket interface {
+	IUnknown
+
+	// Bind assigns a local address.
+	Bind(addr SockAddr) error
+	// Connect initiates (TCP) or fixes (UDP) a remote address.  For
+	// SockStream it blocks until established or refused.
+	Connect(addr SockAddr) error
+	// Listen marks the socket passive with the given backlog.
+	Listen(backlog int) error
+	// Accept blocks for an incoming connection, returning the connected
+	// socket and the peer address.
+	Accept() (Socket, SockAddr, error)
+	// Read receives data; for SockStream it blocks until at least one
+	// byte (or EOF: 0, nil); for SockDgram it returns one datagram.
+	Read(buf []byte) (uint, error)
+	// Write sends data, blocking for socket-buffer space as needed.
+	Write(buf []byte) (uint, error)
+	// RecvFrom is Read plus the source address (datagram sockets).
+	RecvFrom(buf []byte) (uint, SockAddr, error)
+	// SendTo is Write to an explicit destination (datagram sockets).
+	SendTo(buf []byte, to SockAddr) (uint, error)
+	// Shutdown closes one or both directions.
+	Shutdown(how int) error
+	// GetSockName returns the local address.
+	GetSockName() (SockAddr, error)
+	// GetPeerName returns the remote address.
+	GetPeerName() (SockAddr, error)
+	// SetSockOpt sets a named integer option ("rcvbuf", "sndbuf",
+	// "nodelay", "reuseaddr", …); unknown options return ErrInval.
+	SetSockOpt(name string, value int) error
+	// GetSockOpt reads a named integer option.
+	GetSockOpt(name string) (int, error)
+	// Close releases the socket (TCP: orderly close).
+	Close() error
+}
+
+// SocketFactoryIID identifies the SocketFactory interface.
+var SocketFactoryIID = NewGUID(0x4aa7dfe6, 0x7c74, 0x11cf,
+	0xb5, 0x00, 0x08, 0x00, 0x09, 0x53, 0xad, 0xc2)
+
+// SocketFactory creates sockets; a protocol stack exports one and the
+// client registers it with the C library (posix_set_socketcreator, §5).
+type SocketFactory interface {
+	IUnknown
+
+	// CreateSocket makes a new unbound socket.
+	CreateSocket(domain, typ, protocol int) (Socket, error)
+}

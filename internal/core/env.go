@@ -1,0 +1,179 @@
+// Package core is the heart of the kit: the component framework the rest
+// of the OSKit hangs off.
+//
+// It supplies the two separability mechanisms of paper §4.2:
+//
+//   - Overridable functions (§4.2.1): Env is a bundle of function-valued
+//     services (memory allocation, console output, logging, interrupt
+//     control, sleep records, time) with working defaults.  Components
+//     take an *Env; the client OS overrides exactly the services it wants
+//     to own — the f_dev_mem_alloc pattern.
+//   - Dynamic binding (§4.2.2): Registry lets the client OS register COM
+//     objects by interface GUID and bind components together at run time
+//     (any file system to any block device, any protocol stack to any
+//     driver), with no link-time dependencies between them.
+//
+// It also documents the kit's execution models (§4.5) and provides the
+// component-wide locking recipe for using non-reentrant encapsulated
+// components from multithreaded clients (§4.7.4).
+package core
+
+import (
+	"fmt"
+	"os"
+
+	"oskit/internal/hw"
+	"oskit/internal/lmm"
+)
+
+// MemFlags are memory-type constraints understood by Env.MemAlloc.
+type MemFlags uint32
+
+const (
+	// MemDMA demands memory a legacy DMA engine can address (below
+	// hw.DMALimit on the simulated PC).
+	MemDMA MemFlags = 1 << 0
+)
+
+// LMM region flags used by the default memory service; the kernel support
+// library types physical memory with these when it builds the boot arena.
+const (
+	LMMFlagDMA  lmm.Flags = 1 << 0 // below 16 MB
+	LMMFlagHigh lmm.Flags = 1 << 1 // above 16 MB
+)
+
+// DefaultTickNanos is the simulated clock granularity: 10 ms, the
+// granularity the paper's ttcp timing had to compensate for (§5).
+const DefaultTickNanos = 10_000_000
+
+// Env is the execution environment a component runs against: the
+// documented "all around" of §4.5.  Every field has a working default
+// installed by NewEnv; the client OS overrides individual services by
+// assigning the fields before handing the Env to components.
+type Env struct {
+	// Machine is the underlying simulated hardware.
+	Machine *hw.Machine
+
+	// MemAlloc allocates size bytes of (simulated) physical memory with
+	// the given constraints, returning the address and a slice aliasing
+	// the storage.  The default draws from the kit's LMM arena; a client
+	// OS with its own physical memory manager overrides this (§4.2.1).
+	MemAlloc func(size uint32, flags MemFlags, align uint32) (hw.PhysAddr, []byte, bool)
+	// MemFree returns memory obtained from MemAlloc.
+	MemFree func(addr hw.PhysAddr, size uint32)
+
+	// Putchar is the console output primitive.  The minimal C library's
+	// entire formatted-output stack bottoms out here, so a client that
+	// provides nothing but a Putchar gets working printf (§4.3.1).
+	Putchar func(c byte)
+
+	// Log emits a diagnostic line; Panic reports an unrecoverable kit
+	// error and must not return.
+	Log   func(format string, args ...any)
+	Panic func(format string, args ...any)
+
+	// IntrDisable/IntrEnable are cli/sti (nesting); InIntr reports
+	// interrupt level.  Defaults bind to the machine's controller.
+	IntrDisable func()
+	IntrEnable  func()
+	InIntr      func() bool
+
+	// SleepInit/Sleep/Wakeup are the sleep-record mechanism of §4.7.6:
+	// the single, extremely simple blocking abstraction the client OS
+	// must provide so encapsulated components can block.  A sleep record
+	// is like a condition variable on which only one thread of control
+	// can wait at a time.
+	SleepInit func() *SleepRec
+	Sleep     func(*SleepRec)
+	Wakeup    func(*SleepRec)
+
+	// TickNanos is the duration of one clock tick in nanoseconds.
+	TickNanos uint64
+
+	clock    *Clock
+	Registry *Registry
+
+	arena *lmm.Arena
+}
+
+// NewEnv builds an environment over a machine with every service at its
+// default.  arena supplies the default memory service and may be nil if
+// the client overrides MemAlloc/MemFree (full separability: using the
+// drivers does not force using the kit's memory manager, §4.2).
+func NewEnv(m *hw.Machine, arena *lmm.Arena) *Env {
+	e := &Env{
+		Machine:   m,
+		TickNanos: DefaultTickNanos,
+		Registry:  NewRegistry(),
+		arena:     arena,
+		clock:     NewClock(),
+	}
+	e.MemAlloc = e.defaultMemAlloc
+	e.MemFree = e.defaultMemFree
+	e.Putchar = func(c byte) { _, _ = os.Stdout.Write([]byte{c}) }
+	e.Log = func(format string, args ...any) {
+		msg := fmt.Sprintf(format, args...)
+		for i := 0; i < len(msg); i++ {
+			e.Putchar(msg[i])
+		}
+		e.Putchar('\n')
+	}
+	e.Panic = func(format string, args ...any) {
+		panic("oskit: " + fmt.Sprintf(format, args...))
+	}
+	e.IntrDisable = m.Intr.Disable
+	e.IntrEnable = m.Intr.Enable
+	e.InIntr = m.Intr.InIntr
+	e.SleepInit = NewSleepRec
+	e.Sleep = func(r *SleepRec) { r.Sleep() }
+	e.Wakeup = func(r *SleepRec) { r.Wakeup() }
+	return e
+}
+
+// Arena exposes the default LMM arena (nil if the client supplied its own
+// memory service): open implementation, §4.6.
+func (e *Env) Arena() *lmm.Arena { return e.arena }
+
+// Clock returns the environment's tick clock and callout service.
+func (e *Env) Clock() *Clock { return e.clock }
+
+// Ticks returns the tick count since boot.
+func (e *Env) Ticks() uint64 { return e.clock.Ticks() }
+
+// AfterTicks schedules fn to run at interrupt level after delay ticks,
+// returning a cancel function (the service donor timeout/untimeout glue
+// is built on, §4.7.6).
+func (e *Env) AfterTicks(delay uint64, fn func()) (cancel func()) {
+	return e.clock.After(delay, fn)
+}
+
+func (e *Env) defaultMemAlloc(size uint32, flags MemFlags, align uint32) (hw.PhysAddr, []byte, bool) {
+	if e.arena == nil {
+		return 0, nil, false
+	}
+	var lf lmm.Flags
+	if flags&MemDMA != 0 {
+		lf |= LMMFlagDMA
+	}
+	bits := uint(0)
+	for align > 1 {
+		bits++
+		align >>= 1
+	}
+	addr, ok := e.arena.AllocAligned(size, lf, bits, 0)
+	if !ok {
+		return 0, nil, false
+	}
+	buf, err := e.Machine.Mem.Slice(addr, size)
+	if err != nil {
+		e.arena.Free(addr, size)
+		return 0, nil, false
+	}
+	return addr, buf, true
+}
+
+func (e *Env) defaultMemFree(addr hw.PhysAddr, size uint32) {
+	if e.arena != nil {
+		e.arena.Free(addr, size)
+	}
+}

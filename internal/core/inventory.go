@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Kind classifies a component's provenance, matching the structure of
+// Figure 1 and Table 3 of the paper: native kit code, thin glue, or
+// donor-style encapsulated code.
+type Kind int
+
+// Component provenance kinds.
+const (
+	KindNative Kind = iota
+	KindGlue
+	KindEncapsulated
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNative:
+		return "native"
+	case KindGlue:
+		return "glue"
+	case KindEncapsulated:
+		return "encapsulated"
+	}
+	return "?"
+}
+
+// Component is one entry in the kit's structural inventory.
+type Component struct {
+	// Name is the library name, following Table 3 of the paper
+	// ("boot", "kern", "lmm", "freebsd_net", …).
+	Name string
+	// Dir is the repository directory holding the component.
+	Dir string
+	// Kind is the provenance class.
+	Kind Kind
+	// MachineDep is true for components tied to the (simulated) x86 PC.
+	MachineDep bool
+	// Deps names the inventory components this one uses.
+	Deps []string
+	// Desc is the one-line description printed in structure dumps.
+	Desc string
+}
+
+// Inventory is the kit's component list, mirroring Table 3 row for row
+// (minus the paper's in-progress X11 row and its math library, per
+// DESIGN.md §6).  cmd/oskit-graph renders it as Figure 1;
+// cmd/oskit-sizes joins it with source-line counts to regenerate Table 3.
+var Inventory = []Component{
+	{Name: "boot", Dir: "internal/boot", Kind: KindNative, MachineDep: true, Deps: []string{"lmm"}, Desc: "Bootstrap support (MultiBoot-style images and modules)"},
+	{Name: "kern", Dir: "internal/kern", Kind: KindNative, MachineDep: true, Deps: []string{"core", "lmm", "boot", "hw"}, Desc: "Kernel support library"},
+	{Name: "smp", Dir: "internal/smp", Kind: KindNative, MachineDep: true, Deps: []string{"core"}, Desc: "Multiprocessor support"},
+	{Name: "lmm", Dir: "internal/lmm", Kind: KindNative, MachineDep: false, Deps: nil, Desc: "List memory manager"},
+	{Name: "amm", Dir: "internal/amm", Kind: KindNative, MachineDep: false, Deps: nil, Desc: "Address map manager"},
+	{Name: "c", Dir: "internal/libc", Kind: KindNative, MachineDep: false, Deps: []string{"core", "com"}, Desc: "Minimal C library"},
+	{Name: "memdebug", Dir: "internal/memdebug", Kind: KindNative, MachineDep: false, Deps: []string{"core"}, Desc: "Malloc debugging"},
+	{Name: "diskpart", Dir: "internal/diskpart", Kind: KindNative, MachineDep: false, Deps: []string{"com"}, Desc: "Disk partitioning"},
+	{Name: "fsread", Dir: "internal/fsread", Kind: KindNative, MachineDep: false, Deps: []string{"com"}, Desc: "File system reading"},
+	{Name: "exec", Dir: "internal/exec", Kind: KindNative, MachineDep: false, Deps: []string{"amm", "com"}, Desc: "Program loading"},
+	{Name: "com", Dir: "internal/com", Kind: KindNative, MachineDep: false, Deps: nil, Desc: "COM interfaces and support"},
+	{Name: "core", Dir: "internal/core", Kind: KindNative, MachineDep: false, Deps: []string{"com", "lmm", "hw"}, Desc: "Component framework (osenv, registry, execution models)"},
+	{Name: "hw", Dir: "internal/hw", Kind: KindNative, MachineDep: true, Deps: nil, Desc: "Simulated PC platform (substitution substrate)"},
+	{Name: "fdev", Dir: "internal/dev", Kind: KindNative, MachineDep: false, Deps: []string{"core", "com"}, Desc: "Device driver support"},
+	{Name: "gdb", Dir: "internal/gdb", Kind: KindNative, MachineDep: true, Deps: []string{"hw", "kern"}, Desc: "GDB remote-protocol stub"},
+	{Name: "linux_dev", Dir: "internal/linux/dev", Kind: KindGlue, MachineDep: true, Deps: []string{"core", "com", "fdev", "linux_legacy"}, Desc: "Linux driver glue"},
+	{Name: "linux_legacy", Dir: "internal/linux/legacy", Kind: KindEncapsulated, MachineDep: true, Deps: nil, Desc: "Linux-style drivers and skbuffs (donor code)"},
+	{Name: "linux_net", Dir: "internal/linux/net", Kind: KindEncapsulated, MachineDep: false, Deps: []string{"linux_legacy"}, Desc: "Linux-style TCP/IP (baseline stack)"},
+	{Name: "freebsd_glue", Dir: "internal/freebsd/glue", Kind: KindGlue, MachineDep: false, Deps: []string{"core", "com"}, Desc: "FreeBSD environment emulation (curproc, sleep/wakeup, malloc)"},
+	{Name: "freebsd_dev", Dir: "internal/freebsd/dev", Kind: KindGlue, MachineDep: true, Deps: []string{"freebsd_glue", "fdev"}, Desc: "FreeBSD character drivers and support"},
+	{Name: "freebsd_net", Dir: "internal/freebsd/net", Kind: KindEncapsulated, MachineDep: false, Deps: []string{"freebsd_glue", "com"}, Desc: "FreeBSD-style TCP/IP network stack"},
+	{Name: "netbsd_fs", Dir: "internal/netbsd/fs", Kind: KindEncapsulated, MachineDep: false, Deps: []string{"freebsd_glue", "com"}, Desc: "NetBSD-style FFS file system"},
+	{Name: "kvm", Dir: "internal/kvm", Kind: KindNative, MachineDep: false, Deps: []string{"c"}, Desc: "Bytecode VM (language-runtime case study)"},
+	{Name: "bmfs", Dir: "internal/bmfs", Kind: KindNative, MachineDep: false, Deps: []string{"boot", "com"}, Desc: "Boot-module RAM file system"},
+	{Name: "linux_fs", Dir: "internal/linux/fs", Kind: KindEncapsulated, MachineDep: false, Deps: []string{"linux_legacy", "com"}, Desc: "Linux-style ext2-flavoured file system (the paper's in-progress row)"},
+	{Name: "evalrig", Dir: "internal/evalrig", Kind: KindNative, MachineDep: false, Deps: []string{"kern", "c", "fdev", "linux_dev", "linux_net", "freebsd_net"}, Desc: "Evaluation testbed (Tables 1-2 configurations)"},
+}
+
+// FindComponent looks a component up by name.
+func FindComponent(name string) (Component, bool) {
+	for _, c := range Inventory {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Component{}, false
+}
+
+// CheckInventory validates the inventory's internal consistency: unique
+// names and resolvable dependencies.  Returning an error rather than
+// panicking lets tools print something useful.
+func CheckInventory() error {
+	seen := map[string]bool{}
+	for _, c := range Inventory {
+		if seen[c.Name] {
+			return fmt.Errorf("core: duplicate inventory component %q", c.Name)
+		}
+		seen[c.Name] = true
+	}
+	for _, c := range Inventory {
+		for _, d := range c.Deps {
+			if !seen[d] {
+				return fmt.Errorf("core: component %q depends on unknown %q", c.Name, d)
+			}
+		}
+	}
+	return nil
+}
+
+// WriteStructure renders the Figure 1 structure: the client OS on top,
+// native and glue components in the middle, encapsulated donor code
+// shaded at the bottom, with dependency edges.
+func WriteStructure(w io.Writer) {
+	byKind := map[Kind][]Component{}
+	for _, c := range Inventory {
+		byKind[c.Kind] = append(byKind[c.Kind], c)
+	}
+	fmt.Fprintln(w, "Client Operating System or Language Run-Time System")
+	fmt.Fprintln(w, "====================================================")
+	for _, k := range []Kind{KindNative, KindGlue, KindEncapsulated} {
+		list := byKind[k]
+		sort.Slice(list, func(i, j int) bool { return list[i].Name < list[j].Name })
+		fmt.Fprintf(w, "[%s]\n", k)
+		for _, c := range list {
+			fmt.Fprintf(w, "  %-14s %s\n", c.Name, c.Desc)
+			if len(c.Deps) > 0 {
+				fmt.Fprintf(w, "  %-14s -> %v\n", "", c.Deps)
+			}
+		}
+	}
+}

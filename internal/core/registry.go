@@ -1,0 +1,72 @@
+package core
+
+import (
+	"sync"
+
+	"oskit/internal/com"
+)
+
+// Registry is the kit's services database: the rendezvous point for
+// dynamic binding (§4.2.2).  Components register the COM objects they
+// export under interface GUIDs; the client OS looks them up and wires
+// components together at run time.  Neither side acquires a link-time
+// dependency on the other.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[com.GUID][]com.IUnknown
+}
+
+// NewRegistry creates an empty database.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[com.GUID][]com.IUnknown)}
+}
+
+// Register adds obj under iid (an object may be registered under several
+// interface IDs).  The registry holds one reference.
+func (r *Registry) Register(iid com.GUID, obj com.IUnknown) {
+	obj.AddRef()
+	r.mu.Lock()
+	r.entries[iid] = append(r.entries[iid], obj)
+	r.mu.Unlock()
+}
+
+// Unregister removes one registration of obj under iid, dropping the
+// registry's reference; it reports whether anything was removed.
+func (r *Registry) Unregister(iid com.GUID, obj com.IUnknown) bool {
+	r.mu.Lock()
+	list := r.entries[iid]
+	for i, o := range list {
+		if o == obj {
+			r.entries[iid] = append(append([]com.IUnknown{}, list[:i]...), list[i+1:]...)
+			r.mu.Unlock()
+			obj.Release()
+			return true
+		}
+	}
+	r.mu.Unlock()
+	return false
+}
+
+// Lookup returns all objects registered under iid, in registration order,
+// with one new reference each.
+func (r *Registry) Lookup(iid com.GUID) []com.IUnknown {
+	r.mu.Lock()
+	list := append([]com.IUnknown(nil), r.entries[iid]...)
+	r.mu.Unlock()
+	for _, o := range list {
+		o.AddRef()
+	}
+	return list
+}
+
+// First returns the first object registered under iid (one new
+// reference), or nil.
+func (r *Registry) First(iid com.GUID) com.IUnknown {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if list := r.entries[iid]; len(list) > 0 {
+		list[0].AddRef()
+		return list[0]
+	}
+	return nil
+}

@@ -1,0 +1,33 @@
+package core
+
+// SleepRec is the kit's minimal blocking abstraction (paper §4.7.6): like
+// a condition variable except that only one thread of control can wait on
+// it at a time.  Encapsulated components emulate their donor OS's richer
+// sleep/wakeup machinery on top of nothing but this, and a client OS can
+// replace it with condition variables, event objects, or — as in the
+// kit's single-threaded example kernels — a busy-wait on one bit.
+//
+// A wakeup with no sleeper pending is remembered once ("binary
+// semaphore" behaviour), which is what makes the interrupt-completes-
+// before-the-sleep race benign: the classic lost-wakeup window between a
+// driver starting I/O and going to sleep.
+type SleepRec struct {
+	ch chan struct{}
+}
+
+// NewSleepRec creates a sleep record with no wakeup pending.
+func NewSleepRec() *SleepRec { return &SleepRec{ch: make(chan struct{}, 1)} }
+
+// Sleep blocks the calling process-level thread until the next (or a
+// pending) Wakeup.  It must not be called at interrupt level or inside an
+// IntrDisable section.
+func (r *SleepRec) Sleep() { <-r.ch }
+
+// Wakeup unblocks the sleeper, or marks the record so the next Sleep
+// returns immediately.  Safe from interrupt level; never blocks.
+func (r *SleepRec) Wakeup() {
+	select {
+	case r.ch <- struct{}{}:
+	default:
+	}
+}

@@ -1,0 +1,149 @@
+// Package dev is the kit's device driver support framework — the "fdev"
+// library of paper §3.6 and Table 3.
+//
+// Drivers are component-library style (§4.3.2): each is represented by a
+// single registration entry point; the client OS then probes, and
+// interacts with the resulting device nodes only through common COM
+// interfaces (EtherDev, BlkIO, Stream), with "plug and play" control over
+// which drivers are even linked in.  The §5 initialization sequence maps
+// onto this package as:
+//
+//	fdev_linux_init_ethernet()  ->  linuxdev.InitEthernet(fw)
+//	fdev_probe()                ->  fw.Probe()
+//	fdev_device_lookup(iid)     ->  fw.LookupByIID(com.EtherDevIID)
+package dev
+
+import (
+	"sync"
+
+	"oskit/internal/com"
+	"oskit/internal/core"
+)
+
+// Prober is implemented by drivers that can scan the machine's bus and
+// register device nodes for hardware they claim.
+type Prober interface {
+	// Probe examines the bus and registers device nodes on fw,
+	// returning how many devices it claimed.
+	Probe(fw *Framework) int
+}
+
+// Framework is the per-machine fdev registry of drivers and devices.
+type Framework struct {
+	env *core.Env
+
+	mu      sync.Mutex
+	drivers []com.Driver
+	devices []com.Device
+	probed  map[com.Driver]bool
+}
+
+// NewFramework creates an empty registry over env.
+func NewFramework(env *core.Env) *Framework {
+	return &Framework{env: env, probed: map[com.Driver]bool{}}
+}
+
+// Env returns the environment drivers run against.
+func (f *Framework) Env() *core.Env { return f.env }
+
+// RegisterDriver adds a driver (one registration entry point per driver,
+// §4.3.2).  The framework holds a reference.
+func (f *Framework) RegisterDriver(d com.Driver) {
+	d.AddRef()
+	f.mu.Lock()
+	f.drivers = append(f.drivers, d)
+	f.mu.Unlock()
+}
+
+// RegisterDevice adds a probed device node; called by drivers from Probe.
+func (f *Framework) RegisterDevice(d com.Device) {
+	d.AddRef()
+	f.mu.Lock()
+	f.devices = append(f.devices, d)
+	f.mu.Unlock()
+}
+
+// Probe asks every not-yet-probed driver to claim hardware, returning the
+// total number of devices registered (fdev_probe).
+func (f *Framework) Probe() int {
+	f.mu.Lock()
+	var todo []com.Driver
+	for _, d := range f.drivers {
+		if !f.probed[d] {
+			f.probed[d] = true
+			todo = append(todo, d)
+		}
+	}
+	f.mu.Unlock()
+	n := 0
+	for _, d := range todo {
+		if p, ok := d.(Prober); ok {
+			n += p.Probe(f)
+		}
+	}
+	return n
+}
+
+// Drivers returns the registered drivers.
+func (f *Framework) Drivers() []com.Driver {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]com.Driver(nil), f.drivers...)
+}
+
+// Devices returns all registered device nodes.
+func (f *Framework) Devices() []com.Device {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]com.Device(nil), f.devices...)
+}
+
+// LookupByIID returns the devices exporting the given interface, in probe
+// order — fdev_device_lookup.  Each returned object is the *queried
+// interface* with one reference (release it when done).
+func (f *Framework) LookupByIID(iid com.GUID) []com.IUnknown {
+	var out []com.IUnknown
+	for _, d := range f.Devices() {
+		if obj, err := d.QueryInterface(iid); err == nil {
+			out = append(out, obj)
+		}
+	}
+	return out
+}
+
+// LookupName finds a device node by name ("eth0", "hd0"), or nil.
+func (f *Framework) LookupName(name string) com.Device {
+	for _, d := range f.Devices() {
+		if d.GetInfo().Name == name {
+			d.AddRef()
+			return d
+		}
+	}
+	return nil
+}
+
+// DriverBase is an embeddable com.Driver implementation for driver
+// structs: refcount + info + standard QueryInterface.
+type DriverBase struct {
+	com.RefCount
+	Info com.DeviceInfo
+}
+
+// InitDriver initializes the embedded base (refcount 1 plus info).
+func (b *DriverBase) InitDriver(info com.DeviceInfo) {
+	b.Info = info
+	b.Init()
+}
+
+// GetInfo implements com.Driver.
+func (b *DriverBase) GetInfo() com.DeviceInfo { return b.Info }
+
+// QueryInterface implements com.IUnknown for the plain driver shape.
+func (b *DriverBase) QueryInterface(iid com.GUID) (com.IUnknown, error) {
+	switch iid {
+	case com.UnknownIID, com.DriverIID:
+		b.AddRef()
+		return b, nil
+	}
+	return nil, com.ErrNoInterface
+}

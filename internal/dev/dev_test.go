@@ -1,0 +1,107 @@
+package dev
+
+import (
+	"testing"
+
+	"oskit/internal/com"
+	"oskit/internal/core"
+	"oskit/internal/hw"
+)
+
+// stubDriver claims two fake devices at probe time.
+type stubDriver struct {
+	DriverBase
+	probes int
+}
+
+func (d *stubDriver) Probe(fw *Framework) int {
+	d.probes++
+	for _, name := range []string{"stub0", "stub1"} {
+		fw.RegisterDevice(newStubDevice(name))
+	}
+	return 2
+}
+
+type stubDevice struct {
+	com.RefCount
+	name string
+}
+
+func newStubDevice(name string) *stubDevice {
+	d := &stubDevice{name: name}
+	d.Init()
+	return d
+}
+
+func (d *stubDevice) GetInfo() com.DeviceInfo {
+	return com.DeviceInfo{Name: d.name, Vendor: "stub", Driver: "stub"}
+}
+
+func (d *stubDevice) QueryInterface(iid com.GUID) (com.IUnknown, error) {
+	switch iid {
+	case com.UnknownIID, com.DeviceIID:
+		d.AddRef()
+		return d, nil
+	case com.StreamIID:
+		if d.name == "stub0" { // only stub0 exports a stream
+			d.AddRef()
+			return d, nil
+		}
+	}
+	return nil, com.ErrNoInterface
+}
+
+func (d *stubDevice) Read(buf []byte) (uint, error)  { return 0, nil }
+func (d *stubDevice) Write(buf []byte) (uint, error) { return uint(len(buf)), nil }
+
+func TestFrameworkProbeAndLookup(t *testing.T) {
+	m := hw.NewMachine(hw.Config{MemBytes: 1 << 20})
+	defer m.Halt()
+	fw := NewFramework(core.NewEnv(m, nil))
+
+	drv := &stubDriver{}
+	drv.InitDriver(com.DeviceInfo{Name: "stub", Vendor: "test"})
+	fw.RegisterDriver(drv)
+	if got := len(fw.Drivers()); got != 1 {
+		t.Fatalf("Drivers = %d", got)
+	}
+	if n := fw.Probe(); n != 2 {
+		t.Fatalf("Probe = %d", n)
+	}
+	// Re-probing does not re-run already-probed drivers.
+	if n := fw.Probe(); n != 0 || drv.probes != 1 {
+		t.Fatalf("second Probe = %d (probes=%d)", n, drv.probes)
+	}
+	if got := len(fw.Devices()); got != 2 {
+		t.Fatalf("Devices = %d", got)
+	}
+
+	streams := fw.LookupByIID(com.StreamIID)
+	if len(streams) != 1 {
+		t.Fatalf("stream devices = %d", len(streams))
+	}
+	if _, ok := streams[0].(com.Stream); !ok {
+		t.Fatal("lookup did not return the queried interface")
+	}
+	streams[0].Release()
+
+	d := fw.LookupName("stub1")
+	if d == nil || d.GetInfo().Name != "stub1" {
+		t.Fatal("LookupName failed")
+	}
+	d.Release()
+	if fw.LookupName("nope") != nil {
+		t.Fatal("phantom device")
+	}
+
+	// Driver base answers COM queries correctly.
+	if _, err := drv.QueryInterface(com.DriverIID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := drv.QueryInterface(com.BlkIOIID); err != com.ErrNoInterface {
+		t.Fatal("driver answered for BlkIO")
+	}
+	if fw.Env().Machine != m {
+		t.Fatal("Env plumbing broken")
+	}
+}

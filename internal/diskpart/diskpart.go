@@ -1,0 +1,245 @@
+// Package diskpart is the kit's disk partitioning component (Table 3
+// "diskpart"): it interprets PC partition tables — the classic MBR at
+// sector 0 plus BSD-style disklabels inside BSD slices — and hands each
+// partition back as its own BlkIO view, so any file system component can
+// be bound to any partition of any disk driver at run time (§4.2.2).
+package diskpart
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"oskit/internal/com"
+)
+
+// SectorSize is the PC sector size partition tables speak in.
+const SectorSize = 512
+
+// Partition types we recognize specially.
+const (
+	TypeEmpty = 0x00
+	TypeFAT16 = 0x06
+	TypeLinux = 0x83
+	TypeBSD   = 0xa5 // carries a disklabel with sub-partitions
+)
+
+// MBR geometry.
+const (
+	mbrTableOff  = 446
+	mbrEntrySize = 16
+	mbrSigOff    = 510
+)
+
+// Disklabel geometry (simplified BSD label in the slice's second sector).
+const (
+	LabelMagic  = 0x82564557
+	labelSector = 1
+)
+
+// Partition describes one addressable region of a disk.
+type Partition struct {
+	// Name is "s1".."s4" for MBR slices, "s2a".."s2h" for disklabel
+	// sub-partitions.
+	Name string
+	// Start and Size are in bytes.
+	Start, Size uint64
+	// Type is the MBR type byte (or the label fstype).
+	Type byte
+}
+
+// ReadPartitions scans the MBR and any BSD disklabels, returning every
+// partition found in disk order.
+func ReadPartitions(dev com.BlkIO) ([]Partition, error) {
+	sector := make([]byte, SectorSize)
+	if n, err := dev.Read(sector, 0); err != nil || n != SectorSize {
+		return nil, com.ErrIO
+	}
+	if sector[mbrSigOff] != 0x55 || sector[mbrSigOff+1] != 0xAA {
+		return nil, com.ErrInval // no partition table
+	}
+	devSize, err := dev.Size()
+	if err != nil {
+		return nil, err
+	}
+	var out []Partition
+	for i := 0; i < 4; i++ {
+		e := sector[mbrTableOff+i*mbrEntrySize:]
+		ptype := e[4]
+		lbaStart := binary.LittleEndian.Uint32(e[8:12])
+		lbaCount := binary.LittleEndian.Uint32(e[12:16])
+		if ptype == TypeEmpty || lbaCount == 0 {
+			continue
+		}
+		p := Partition{
+			Name:  fmt.Sprintf("s%d", i+1),
+			Start: uint64(lbaStart) * SectorSize,
+			Size:  uint64(lbaCount) * SectorSize,
+			Type:  ptype,
+		}
+		if p.Start+p.Size > devSize {
+			return nil, com.ErrInval // table points off the disk
+		}
+		out = append(out, p)
+		if ptype == TypeBSD {
+			subs, err := readDisklabel(dev, p)
+			if err == nil {
+				out = append(out, subs...)
+			}
+		}
+	}
+	return out, nil
+}
+
+// readDisklabel parses the label in a BSD slice.
+func readDisklabel(dev com.BlkIO, slice Partition) ([]Partition, error) {
+	sector := make([]byte, SectorSize)
+	if n, err := dev.Read(sector, slice.Start+labelSector*SectorSize); err != nil || n != SectorSize {
+		return nil, com.ErrIO
+	}
+	if binary.LittleEndian.Uint32(sector[0:4]) != LabelMagic {
+		return nil, com.ErrInval
+	}
+	n := int(binary.LittleEndian.Uint16(sector[4:6]))
+	if n > 8 {
+		return nil, com.ErrInval
+	}
+	var out []Partition
+	for i := 0; i < n; i++ {
+		e := sector[8+i*12:]
+		off := binary.LittleEndian.Uint32(e[0:4])
+		size := binary.LittleEndian.Uint32(e[4:8])
+		fstype := e[8]
+		if size == 0 {
+			continue
+		}
+		p := Partition{
+			Name:  fmt.Sprintf("%s%c", slice.Name, 'a'+i),
+			Start: slice.Start + uint64(off)*SectorSize,
+			Size:  uint64(size) * SectorSize,
+			Type:  fstype,
+		}
+		if p.Start+p.Size > slice.Start+slice.Size {
+			continue // label entry escapes the slice; skip it
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// --- builders (the fdisk/disklabel side, used by tools and tests).
+
+// MBREntry describes one slice for WriteMBR.
+type MBREntry struct {
+	Type              byte
+	StartLBA, Sectors uint32
+}
+
+// WriteMBR writes a partition table to sector 0.
+func WriteMBR(dev com.BlkIO, entries []MBREntry) error {
+	if len(entries) > 4 {
+		return com.ErrInval
+	}
+	sector := make([]byte, SectorSize)
+	if n, err := dev.Read(sector, 0); err != nil || n != SectorSize {
+		return com.ErrIO
+	}
+	for i := range sector[mbrTableOff:mbrSigOff] {
+		sector[mbrTableOff+i] = 0
+	}
+	for i, e := range entries {
+		b := sector[mbrTableOff+i*mbrEntrySize:]
+		b[4] = e.Type
+		binary.LittleEndian.PutUint32(b[8:12], e.StartLBA)
+		binary.LittleEndian.PutUint32(b[12:16], e.Sectors)
+	}
+	sector[mbrSigOff], sector[mbrSigOff+1] = 0x55, 0xAA
+	if n, err := dev.Write(sector, 0); err != nil || n != SectorSize {
+		return com.ErrIO
+	}
+	return nil
+}
+
+// LabelEntry describes one disklabel sub-partition (offsets relative to
+// the slice, in sectors).
+type LabelEntry struct {
+	Offset, Sectors uint32
+	FSType          byte
+}
+
+// WriteDisklabel writes a label into a slice starting at sliceStart
+// bytes.
+func WriteDisklabel(dev com.BlkIO, sliceStart uint64, entries []LabelEntry) error {
+	if len(entries) > 8 {
+		return com.ErrInval
+	}
+	sector := make([]byte, SectorSize)
+	binary.LittleEndian.PutUint32(sector[0:4], LabelMagic)
+	binary.LittleEndian.PutUint16(sector[4:6], uint16(len(entries)))
+	for i, e := range entries {
+		b := sector[8+i*12:]
+		binary.LittleEndian.PutUint32(b[0:4], e.Offset)
+		binary.LittleEndian.PutUint32(b[4:8], e.Sectors)
+		b[8] = e.FSType
+	}
+	if n, err := dev.Write(sector, sliceStart+labelSector*SectorSize); err != nil || n != SectorSize {
+		return com.ErrIO
+	}
+	return nil
+}
+
+// Open returns a BlkIO view of one partition (one reference to the
+// caller); the view holds a reference on the underlying device.
+func Open(dev com.BlkIO, p Partition) com.BlkIO {
+	dev.AddRef()
+	v := &view{dev: dev, start: p.Start, size: p.Size}
+	v.Init()
+	v.OnLastRelease = func() { dev.Release() }
+	return v
+}
+
+// view is the partition window.
+type view struct {
+	com.RefCount
+	dev         com.BlkIO
+	start, size uint64
+}
+
+// QueryInterface implements com.IUnknown.
+func (v *view) QueryInterface(iid com.GUID) (com.IUnknown, error) {
+	switch iid {
+	case com.UnknownIID, com.BlkIOIID:
+		v.AddRef()
+		return v, nil
+	}
+	return nil, com.ErrNoInterface
+}
+
+// BlockSize implements com.BlkIO (inherited from the device).
+func (v *view) BlockSize() uint { return v.dev.BlockSize() }
+
+// Read implements com.BlkIO.
+func (v *view) Read(buf []byte, offset uint64) (uint, error) {
+	if offset >= v.size {
+		return 0, nil
+	}
+	if offset+uint64(len(buf)) > v.size {
+		return 0, com.ErrInval
+	}
+	return v.dev.Read(buf, v.start+offset)
+}
+
+// Write implements com.BlkIO.
+func (v *view) Write(buf []byte, offset uint64) (uint, error) {
+	if offset+uint64(len(buf)) > v.size {
+		return 0, com.ErrInval
+	}
+	return v.dev.Write(buf, v.start+offset)
+}
+
+// Size implements com.BlkIO.
+func (v *view) Size() (uint64, error) { return v.size, nil }
+
+// SetSize implements com.BlkIO; partitions are fixed.
+func (v *view) SetSize(uint64) error { return com.ErrNotImplemented }
+
+var _ com.BlkIO = (*view)(nil)

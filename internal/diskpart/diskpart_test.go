@@ -1,0 +1,122 @@
+package diskpart
+
+import (
+	"testing"
+
+	"oskit/internal/com"
+)
+
+func blank(t *testing.T, sectors uint32) com.BlkIO {
+	t.Helper()
+	return com.NewMemBuf(make([]byte, sectors*SectorSize))
+}
+
+func TestMBRRoundTrip(t *testing.T) {
+	dev := blank(t, 4096)
+	err := WriteMBR(dev, []MBREntry{
+		{Type: TypeLinux, StartLBA: 64, Sectors: 1000},
+		{Type: TypeFAT16, StartLBA: 1064, Sectors: 500},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := ReadPartitions(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 2 {
+		t.Fatalf("parts = %+v", parts)
+	}
+	if parts[0].Name != "s1" || parts[0].Start != 64*512 || parts[0].Size != 1000*512 || parts[0].Type != TypeLinux {
+		t.Fatalf("s1 = %+v", parts[0])
+	}
+	if parts[1].Name != "s2" || parts[1].Type != TypeFAT16 {
+		t.Fatalf("s2 = %+v", parts[1])
+	}
+}
+
+func TestNoTableRejected(t *testing.T) {
+	if _, err := ReadPartitions(blank(t, 64)); err != com.ErrInval {
+		t.Fatalf("blank disk: %v", err)
+	}
+}
+
+func TestTablePointingOffDiskRejected(t *testing.T) {
+	dev := blank(t, 128)
+	if err := WriteMBR(dev, []MBREntry{{Type: TypeLinux, StartLBA: 64, Sectors: 100000}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadPartitions(dev); err == nil {
+		t.Fatal("oversized partition accepted")
+	}
+}
+
+func TestDisklabelSubPartitions(t *testing.T) {
+	dev := blank(t, 8192)
+	if err := WriteMBR(dev, []MBREntry{{Type: TypeBSD, StartLBA: 64, Sectors: 8000}}); err != nil {
+		t.Fatal(err)
+	}
+	err := WriteDisklabel(dev, 64*512, []LabelEntry{
+		{Offset: 16, Sectors: 4000, FSType: 7}, // a: ffs
+		{Offset: 4016, Sectors: 2000, FSType: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := ReadPartitions(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// s1 (the slice) + s1a + s1b.
+	if len(parts) != 3 {
+		t.Fatalf("parts = %+v", parts)
+	}
+	if parts[1].Name != "s1a" || parts[1].Start != (64+16)*512 || parts[1].Size != 4000*512 {
+		t.Fatalf("s1a = %+v", parts[1])
+	}
+	if parts[2].Name != "s1b" {
+		t.Fatalf("s1b = %+v", parts[2])
+	}
+}
+
+func TestPartitionView(t *testing.T) {
+	dev := blank(t, 4096)
+	if err := WriteMBR(dev, []MBREntry{{Type: TypeLinux, StartLBA: 64, Sectors: 1000}}); err != nil {
+		t.Fatal(err)
+	}
+	parts, _ := ReadPartitions(dev)
+	v := Open(dev, parts[0])
+	if size, _ := v.Size(); size != 1000*512 {
+		t.Fatalf("view size = %d", size)
+	}
+	// Writes land at the right absolute offset.
+	if _, err := v.Write([]byte("partition data!!"), 512); err != nil {
+		t.Fatal(err)
+	}
+	raw := make([]byte, 16)
+	if _, err := dev.Read(raw, (64+1)*512); err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != "partition data!!" {
+		t.Fatalf("raw = %q", raw)
+	}
+	// Reads bounded by the view.
+	if _, err := v.Read(make([]byte, 512), 1000*512); err != nil {
+		t.Fatal("read at exact end should be EOF-like, got error")
+	}
+	if _, err := v.Write(make([]byte, 512), 1000*512-256); err != com.ErrInval {
+		t.Fatalf("overhang write: %v", err)
+	}
+	if err := v.SetSize(1); err != com.ErrNotImplemented {
+		t.Fatalf("SetSize: %v", err)
+	}
+	// Reference management: view holds the device.
+	base := dev.(*com.MemBuf)
+	if base.Refs() != 2 {
+		t.Fatalf("device refs = %d", base.Refs())
+	}
+	v.Release()
+	if base.Refs() != 1 {
+		t.Fatalf("device refs after view release = %d", base.Refs())
+	}
+}

@@ -1,0 +1,188 @@
+// Package evalrig assembles the three system configurations of the
+// paper's evaluation (§5, Tables 1 and 2) as pairs of simulated
+// machines on one Ethernet wire:
+//
+//   - Linux: the monolithic baseline — Linux-style stack bound natively
+//     to the donor driver, skbuffs end to end.
+//   - FreeBSD: the all-BSD baseline — FreeBSD-derived stack with the
+//     donor mbuf driver, mbufs end to end.
+//   - OSKit: the paper's system — FreeBSD-derived stack over the
+//     encapsulated Linux driver, bound through COM NetIO/BufIO, with
+//     the §5 initialization sequence.
+//
+// The same application code (ttcp, rtcp, the examples) drives all three
+// through the minimal C library's socket layer; only the configuration
+// differs, which is the point of the comparison.
+package evalrig
+
+import (
+	"fmt"
+	"time"
+
+	"oskit/internal/com"
+	"oskit/internal/dev"
+	bsdglue "oskit/internal/freebsd/glue"
+	bsdnet "oskit/internal/freebsd/net"
+	"oskit/internal/hw"
+	"oskit/internal/kern"
+	"oskit/internal/libc"
+	linuxdev "oskit/internal/linux/dev"
+	linuxnet "oskit/internal/linux/net"
+)
+
+// Config names one evaluation configuration.
+type Config string
+
+// The three rows of Tables 1 and 2.
+const (
+	Linux   Config = "linux"
+	FreeBSD Config = "freebsd"
+	OSKit   Config = "oskit"
+)
+
+// Configs lists them in table order.
+var Configs = []Config{Linux, FreeBSD, OSKit}
+
+// Node is one booted machine with a socket layer.
+type Node struct {
+	Machine *hw.Machine
+	Kernel  *kern.Kernel
+	C       *libc.C
+	IP      [4]byte
+
+	BSD *bsdnet.Stack   // nil for the Linux configuration
+	LX  *linuxnet.Stack // nil otherwise
+
+	nic *hw.NIC
+}
+
+// Pair is a two-machine testbed.  Sender and receiver may run different
+// configurations: Table 1 is a sender-system × receiver-system matrix,
+// which is how a system's send and receive paths are isolated (the
+// fixed peer is not the bottleneck under measurement).
+type Pair struct {
+	SendCfg, RecvCfg Config
+	Wire             *hw.EtherWire
+	Sender, Receiver *Node
+}
+
+var (
+	ipSender   = [4]byte{10, 1, 1, 1}
+	ipReceiver = [4]byte{10, 1, 1, 2}
+	netmask    = [4]byte{255, 255, 255, 0}
+)
+
+// NewPair boots a same-configuration sender/receiver pair with
+// free-running clocks (tick = tickInterval of host time).
+func NewPair(cfg Config, tickInterval time.Duration) (*Pair, error) {
+	return NewMixedPair(cfg, cfg, tickInterval)
+}
+
+// NewMixedPair boots a sender in one configuration and a receiver in
+// another (the stacks speak wire-standard TCP, so every combination
+// interoperates).
+func NewMixedPair(sendCfg, recvCfg Config, tickInterval time.Duration) (*Pair, error) {
+	wire := hw.NewEtherWire()
+	s, err := newNode(sendCfg, wire, 1, ipSender, tickInterval)
+	if err != nil {
+		return nil, err
+	}
+	r, err := newNode(recvCfg, wire, 2, ipReceiver, tickInterval)
+	if err != nil {
+		s.Machine.Halt()
+		return nil, err
+	}
+	return &Pair{SendCfg: sendCfg, RecvCfg: recvCfg, Wire: wire, Sender: s, Receiver: r}, nil
+}
+
+// Halt powers both machines off.
+func (p *Pair) Halt() {
+	if p.Sender.BSD != nil {
+		p.Sender.BSD.Close()
+	}
+	if p.Receiver.BSD != nil {
+		p.Receiver.BSD.Close()
+	}
+	p.Sender.Machine.Halt()
+	p.Receiver.Machine.Halt()
+}
+
+func newNode(cfg Config, wire *hw.EtherWire, unit byte, ip [4]byte, tick time.Duration) (*Node, error) {
+	m := hw.NewMachine(hw.Config{Name: fmt.Sprintf("%s-%d", cfg, unit), MemBytes: 64 << 20})
+	nic := m.AttachNIC(wire, [6]byte{2, 0, 0, 2, 0, unit}, hw.Model3C59X)
+	k, err := kern.Setup(m, nil)
+	if err != nil {
+		m.Halt()
+		return nil, err
+	}
+	n := &Node{Machine: m, Kernel: k, IP: ip, nic: nic}
+	n.C = libc.New(k.Env)
+
+	switch cfg {
+	case Linux:
+		lk, devs := linuxdev.ProbeNative(k.Env)
+		if len(devs) != 1 {
+			m.Halt()
+			return nil, fmt.Errorf("evalrig: native probe found %d devices", len(devs))
+		}
+		st, err := linuxnet.NewStack(lk, devs[0], ip, netmask)
+		if err != nil {
+			m.Halt()
+			return nil, err
+		}
+		n.LX = st
+		f := st.SocketFactory()
+		n.C.SetSocketCreator(f)
+		f.Release()
+
+	case FreeBSD:
+		st := bsdnet.NewStack(bsdglue.New(k.Env))
+		st.AttachNative(nic)
+		st.Ifconfig(bsdnet.IPAddr(ip), bsdnet.IPAddr(netmask))
+		n.BSD = st
+		f := st.SocketFactory()
+		n.C.SetSocketCreator(f)
+		f.Release()
+
+	case OSKit:
+		// The §5 initialization sequence, call for call:
+		//   fdev_linux_init_ethernet(); fdev_probe();
+		//   oskit_freebsd_net_init(&sf); posix_set_socketcreator(sf);
+		//   fdev_device_lookup(&fdev_ethernet_iid, &dev);
+		//   oskit_freebsd_net_open_ether_if(dev[0], &eif);
+		//   oskit_freebsd_net_ifconfig(eif, IPADDR, NETMASK);
+		fw := dev.NewFramework(k.Env)
+		linuxdev.InitEthernet(fw)
+		fw.Probe()
+		st := bsdnet.NewStack(bsdglue.New(k.Env))
+		f := st.SocketFactory()
+		n.C.SetSocketCreator(f)
+		f.Release()
+		devs := fw.LookupByIID(com.EtherDevIID)
+		if len(devs) != 1 {
+			m.Halt()
+			return nil, fmt.Errorf("evalrig: fdev lookup found %d devices", len(devs))
+		}
+		if err := st.OpenEtherIf(devs[0].(com.EtherDev)); err != nil {
+			m.Halt()
+			return nil, err
+		}
+		devs[0].Release()
+		st.Ifconfig(bsdnet.IPAddr(ip), bsdnet.IPAddr(netmask))
+		n.BSD = st
+
+	default:
+		m.Halt()
+		return nil, fmt.Errorf("evalrig: unknown config %q", cfg)
+	}
+
+	if tick > 0 {
+		m.Timer.Start(tick)
+	}
+	return n, nil
+}
+
+// Addr builds a socket address on the rig's subnet.
+func Addr(ip [4]byte, port uint16) com.SockAddr {
+	return com.SockAddr{Family: com.AFInet, Addr: ip, Port: port}
+}

@@ -1,0 +1,99 @@
+package evalrig
+
+import (
+	"testing"
+	"time"
+)
+
+// TestAllConfigsCarryTTCP proves every Table 1/2 configuration moves
+// data correctly; the bench harness then measures them.
+func TestAllConfigsCarryTTCP(t *testing.T) {
+	for _, cfg := range Configs {
+		cfg := cfg
+		t.Run(string(cfg), func(t *testing.T) {
+			p, err := NewPair(cfg, time.Millisecond)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer p.Halt()
+			res, err := TTCP(p, 64, 4096, 5001)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Bytes != 64*4096 {
+				t.Fatalf("bytes = %d", res.Bytes)
+			}
+			if res.SendMbps() <= 0 || res.RecvMbps() <= 0 {
+				t.Fatalf("rates = %.1f / %.1f", res.SendMbps(), res.RecvMbps())
+			}
+		})
+	}
+}
+
+func TestAllConfigsCarryRTCP(t *testing.T) {
+	for _, cfg := range Configs {
+		cfg := cfg
+		t.Run(string(cfg), func(t *testing.T) {
+			p, err := NewPair(cfg, time.Millisecond)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer p.Halt()
+			usec, err := RTCP(p, 50, 5002)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if usec <= 0 {
+				t.Fatalf("rtt = %f", usec)
+			}
+		})
+	}
+}
+
+// TestOSKitPathShape checks the mechanism behind Table 1's shape on the
+// OSKit configuration: inbound packets are wrapped zero-copy, outbound
+// data segments are chained (and therefore copied by the Linux glue).
+func TestOSKitPathShape(t *testing.T) {
+	p, err := NewPair(OSKit, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Halt()
+	if _, err := TTCP(p, 256, 4096, 5003); err != nil {
+		t.Fatal(err)
+	}
+	ss := p.Sender.BSD.StatsSnapshot()
+	rs := p.Receiver.BSD.StatsSnapshot()
+	if ss.TxChained == 0 {
+		t.Errorf("sender sent no chained packets: %+v", ss)
+	}
+	if ss.TxChained < ss.TxContiguous {
+		t.Errorf("data segments mostly contiguous (%d chained, %d contiguous): the send-copy story collapses",
+			ss.TxChained, ss.TxContiguous)
+	}
+	if rs.RxZeroCopy == 0 || rs.RxCopied != 0 {
+		t.Errorf("receive path not zero-copy: %+v", rs)
+	}
+}
+
+// TestFreeBSDNativePathShape: the all-BSD configuration never crosses a
+// buffer-representation boundary.
+func TestFreeBSDNativePathShape(t *testing.T) {
+	p, err := NewPair(FreeBSD, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Halt()
+	if _, err := TTCP(p, 64, 4096, 5004); err != nil {
+		t.Fatal(err)
+	}
+	// The COM receive sink is never involved: no zero-copy/copied
+	// accounting happens on the native path.
+	rs := p.Receiver.BSD.StatsSnapshot()
+	if rs.RxZeroCopy != 0 || rs.RxCopied != 0 {
+		t.Errorf("native path went through the COM sink: %+v", rs)
+	}
+	if rs.TCPIn == 0 {
+		t.Errorf("no TCP input recorded: %+v", rs)
+	}
+}

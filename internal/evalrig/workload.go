@@ -1,0 +1,217 @@
+package evalrig
+
+import (
+	"fmt"
+	"time"
+)
+
+// The two evaluation workloads, exactly as §5 describes them: ttcp
+// measures TCP bandwidth streaming fixed-size blocks, rtcp measures the
+// time for a 1-byte round trip.
+
+// TTCPResult is one bandwidth measurement.
+type TTCPResult struct {
+	Bytes       int
+	SendSeconds float64 // sender's wall time: write start to close acked
+	RecvSeconds float64 // receiver's wall time: first byte to EOF
+}
+
+// SendMbps is the transmit bandwidth in megabits per second.
+func (r TTCPResult) SendMbps() float64 { return mbps(r.Bytes, r.SendSeconds) }
+
+// RecvMbps is the receive bandwidth in megabits per second.
+func (r TTCPResult) RecvMbps() float64 { return mbps(r.Bytes, r.RecvSeconds) }
+
+func mbps(bytes int, secs float64) float64 {
+	if secs <= 0 {
+		return 0
+	}
+	return float64(bytes) * 8 / secs / 1e6
+}
+
+// TTCP streams blocks×blockSize bytes sender→receiver (the paper ran
+// 131072 × 4096 = 512 MB; callers scale) and returns both sides' timing.
+func TTCP(p *Pair, blocks, blockSize int, port uint16) (TTCPResult, error) {
+	res := TTCPResult{Bytes: blocks * blockSize}
+
+	type recvOut struct {
+		secs float64
+		err  error
+	}
+	recvDone := make(chan recvOut, 1)
+	ready := make(chan error, 1)
+	go func() {
+		c := p.Receiver.C
+		lfd, err := c.Socket(2, 1, 0)
+		if err != nil {
+			ready <- err
+			return
+		}
+		defer func() { _ = c.Close(lfd) }()
+		if err := c.Bind(lfd, Addr(p.Receiver.IP, port)); err != nil {
+			ready <- err
+			return
+		}
+		if err := c.Listen(lfd, 1); err != nil {
+			ready <- err
+			return
+		}
+		_ = c.SetSockOpt(lfd, "rcvbuf", 32*1024)
+		ready <- nil
+		fd, _, err := c.Accept(lfd)
+		if err != nil {
+			recvDone <- recvOut{err: err}
+			return
+		}
+		defer func() { _ = c.Close(fd) }()
+		_ = c.SetSockOpt(fd, "rcvbuf", 32*1024)
+		buf := make([]byte, blockSize)
+		start := time.Now()
+		total := 0
+		for {
+			n, err := c.Read(fd, buf)
+			if err != nil {
+				recvDone <- recvOut{err: err}
+				return
+			}
+			if n == 0 {
+				break
+			}
+			total += n
+		}
+		secs := time.Since(start).Seconds()
+		if total != blocks*blockSize {
+			recvDone <- recvOut{err: fmt.Errorf("ttcp: received %d of %d bytes", total, blocks*blockSize)}
+			return
+		}
+		recvDone <- recvOut{secs: secs}
+	}()
+	if err := <-ready; err != nil {
+		return res, err
+	}
+
+	c := p.Sender.C
+	fd, err := c.Socket(2, 1, 0)
+	if err != nil {
+		return res, err
+	}
+	defer func() { _ = c.Close(fd) }()
+	// Real ttcp raises the socket buffers (-b); a deep pipe keeps the
+	// sender from blocking on every ACK round trip.
+	_ = c.SetSockOpt(fd, "sndbuf", 32*1024)
+	if err := c.Connect(fd, Addr(p.Receiver.IP, port)); err != nil {
+		return res, err
+	}
+	block := make([]byte, blockSize)
+	for i := range block {
+		block[i] = byte(i)
+	}
+	start := time.Now()
+	for i := 0; i < blocks; i++ {
+		sent := 0
+		for sent < blockSize {
+			n, err := c.Write(fd, block[sent:])
+			if err != nil {
+				return res, err
+			}
+			sent += n
+		}
+	}
+	if err := c.Shutdown(fd, 1); err != nil {
+		return res, err
+	}
+	res.SendSeconds = time.Since(start).Seconds()
+
+	out := <-recvDone
+	if out.err != nil {
+		return res, out.err
+	}
+	res.RecvSeconds = out.secs
+	return res, nil
+}
+
+// RTCP measures 1-byte round trips (the paper's latency benchmark,
+// similar to hbench's lat_tcp), returning microseconds per round trip.
+func RTCP(p *Pair, rounds int, port uint16) (usec float64, err error) {
+	ready := make(chan error, 1)
+	done := make(chan error, 1)
+	go func() {
+		c := p.Receiver.C
+		lfd, err := c.Socket(2, 1, 0)
+		if err != nil {
+			ready <- err
+			return
+		}
+		defer func() { _ = c.Close(lfd) }()
+		if err := c.Bind(lfd, Addr(p.Receiver.IP, port)); err != nil {
+			ready <- err
+			return
+		}
+		if err := c.Listen(lfd, 1); err != nil {
+			ready <- err
+			return
+		}
+		ready <- nil
+		fd, _, err := c.Accept(lfd)
+		if err != nil {
+			done <- err
+			return
+		}
+		defer func() { _ = c.Close(fd) }()
+		var b [1]byte
+		for {
+			n, err := c.Read(fd, b[:])
+			if err != nil {
+				done <- err
+				return
+			}
+			if n == 0 {
+				done <- nil
+				return
+			}
+			if _, err := c.Write(fd, b[:]); err != nil {
+				done <- err
+				return
+			}
+		}
+	}()
+	if err := <-ready; err != nil {
+		return 0, err
+	}
+
+	c := p.Sender.C
+	fd, err := c.Socket(2, 1, 0)
+	if err != nil {
+		return 0, err
+	}
+	defer func() { _ = c.Close(fd) }()
+	if err := c.SetSockOpt(fd, "nodelay", 1); err != nil {
+		return 0, err
+	}
+	if err := c.Connect(fd, Addr(p.Receiver.IP, port)); err != nil {
+		return 0, err
+	}
+	var b [1]byte
+	// Warm up (ARP, caches).
+	for i := 0; i < 4; i++ {
+		if _, err := c.Write(fd, b[:]); err != nil {
+			return 0, err
+		}
+		if _, err := c.Read(fd, b[:]); err != nil {
+			return 0, err
+		}
+	}
+	start := time.Now()
+	for i := 0; i < rounds; i++ {
+		if _, err := c.Write(fd, b[:]); err != nil {
+			return 0, err
+		}
+		if n, err := c.Read(fd, b[:]); err != nil || n != 1 {
+			return 0, fmt.Errorf("rtcp: read %d, %v", n, err)
+		}
+	}
+	elapsed := time.Since(start)
+	_ = c.Shutdown(fd, 1)
+	<-done
+	return float64(elapsed.Microseconds()) / float64(rounds), nil
+}

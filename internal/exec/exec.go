@@ -1,0 +1,185 @@
+// Package exec is the kit's program loading component (Table 3 "exec"):
+// it interprets the kit's simple executable container — FLX, a segmented
+// flat format playing the role the a.out/ELF interpreters played in the
+// original — and loads program segments into (simulated) physical
+// memory, recording the address-space shape in an AMM map so the client
+// OS can manage the process image (§3.3's "management of processes'
+// address spaces").
+package exec
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"oskit/internal/amm"
+	"oskit/internal/core"
+	"oskit/internal/hw"
+)
+
+// Magic begins every FLX image.
+var Magic = [4]byte{'F', 'L', 'X', '1'}
+
+// Segment attribute flags (also stored as AMM attribute bits above
+// amm.Allocated).
+const (
+	SegRead  = 1 << 4
+	SegWrite = 1 << 5
+	SegExec  = 1 << 6
+)
+
+// Segment describes one loadable region.
+type Segment struct {
+	// VAddr is the segment's virtual load address.
+	VAddr uint32
+	// Data is the initialized prefix; the rest of MemSize is zero (bss).
+	Data []byte
+	// MemSize is the full in-memory size (>= len(Data)).
+	MemSize uint32
+	// Flags are SegRead/SegWrite/SegExec.
+	Flags uint32
+}
+
+// Image is a parsed executable.
+type Image struct {
+	Entry    uint32
+	Segments []Segment
+}
+
+// Build serializes an image:
+//
+//	magic[4] | entry u32 | nsegs u32 |
+//	nsegs × (vaddr u32 | filesz u32 | memsz u32 | flags u32) | data…
+func Build(img *Image) []byte {
+	out := append([]byte(nil), Magic[:]...)
+	out = binary.LittleEndian.AppendUint32(out, img.Entry)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(img.Segments)))
+	for _, s := range img.Segments {
+		out = binary.LittleEndian.AppendUint32(out, s.VAddr)
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(s.Data)))
+		out = binary.LittleEndian.AppendUint32(out, s.MemSize)
+		out = binary.LittleEndian.AppendUint32(out, s.Flags)
+	}
+	for _, s := range img.Segments {
+		out = append(out, s.Data...)
+	}
+	return out
+}
+
+// Parse decodes an image without loading it.
+func Parse(b []byte) (*Image, error) {
+	if len(b) < 12 || b[0] != 'F' || b[1] != 'L' || b[2] != 'X' || b[3] != '1' {
+		return nil, fmt.Errorf("exec: bad magic")
+	}
+	le := binary.LittleEndian
+	img := &Image{Entry: le.Uint32(b[4:8])}
+	n := le.Uint32(b[8:12])
+	if n > 64 {
+		return nil, fmt.Errorf("exec: implausible segment count %d", n)
+	}
+	hdr := 12 + int(n)*16
+	if len(b) < hdr {
+		return nil, fmt.Errorf("exec: truncated header")
+	}
+	dataOff := hdr
+	for i := 0; i < int(n); i++ {
+		e := b[12+i*16:]
+		filesz := int(le.Uint32(e[4:8]))
+		seg := Segment{
+			VAddr:   le.Uint32(e[0:4]),
+			MemSize: le.Uint32(e[8:12]),
+			Flags:   le.Uint32(e[12:16]),
+		}
+		if dataOff+filesz > len(b) {
+			return nil, fmt.Errorf("exec: truncated segment %d", i)
+		}
+		if seg.MemSize < uint32(filesz) {
+			return nil, fmt.Errorf("exec: segment %d memsz < filesz", i)
+		}
+		seg.Data = append([]byte(nil), b[dataOff:dataOff+filesz]...)
+		dataOff += filesz
+		img.Segments = append(img.Segments, seg)
+	}
+	return img, nil
+}
+
+// Loaded describes one loaded program.
+type Loaded struct {
+	Entry uint32
+	// Space maps the program's virtual layout: Free gaps plus one
+	// Allocated|Seg* entry per segment.
+	Space *amm.Map
+	// Phys maps each segment's virtual page base to its physical copy.
+	Phys map[uint32]hw.PhysAddr
+	env  *core.Env
+	// regions tracks the physical allocations for Unload.
+	regions []physRegion
+}
+
+type physRegion struct {
+	addr hw.PhysAddr
+	size uint32
+}
+
+const pageSize = 4096
+
+// Load places every segment into physical memory allocated from env and
+// records the virtual layout.  Segments must be page-aligned and
+// disjoint.
+func Load(env *core.Env, img *Image) (*Loaded, error) {
+	space := amm.New(0, 1<<32)
+	l := &Loaded{Entry: img.Entry, Space: space, Phys: map[uint32]hw.PhysAddr{}, env: env}
+	for i, s := range img.Segments {
+		if s.VAddr%pageSize != 0 {
+			return nil, fmt.Errorf("exec: segment %d not page aligned", i)
+		}
+		size := (s.MemSize + pageSize - 1) &^ (pageSize - 1)
+		if size == 0 {
+			continue
+		}
+		if err := space.AllocateAt(uint64(s.VAddr), uint64(size), amm.Allocated|amm.Flags(s.Flags)); err != nil {
+			l.Unload()
+			return nil, fmt.Errorf("exec: segment %d overlaps: %v", i, err)
+		}
+		addr, buf, ok := env.MemAlloc(size, 0, pageSize)
+		if !ok {
+			l.Unload()
+			return nil, fmt.Errorf("exec: out of memory for segment %d", i)
+		}
+		for j := range buf {
+			buf[j] = 0
+		}
+		copy(buf, s.Data)
+		l.Phys[s.VAddr] = addr
+		l.regions = append(l.regions, physRegion{addr, size})
+	}
+	return l, nil
+}
+
+// ReadVirtual copies memory out of the loaded image by virtual address
+// (for inspection and for the kvm runtime's code fetch).
+func (l *Loaded) ReadVirtual(vaddr uint32, buf []byte) error {
+	e, ok := l.Space.Lookup(uint64(vaddr))
+	if !ok || e.Flags&amm.Allocated == 0 {
+		return fmt.Errorf("exec: unmapped address %#x", vaddr)
+	}
+	segBase := uint32(e.Start)
+	phys, ok := l.Phys[segBase]
+	if !ok {
+		return fmt.Errorf("exec: no physical copy for %#x", segBase)
+	}
+	off := vaddr - segBase
+	if uint64(vaddr)+uint64(len(buf)) > e.End {
+		return fmt.Errorf("exec: read crosses segment end")
+	}
+	src := l.env.Machine.Mem.MustSlice(phys+off, uint32(len(buf)))
+	copy(buf, src)
+	return nil
+}
+
+// Unload releases the physical memory.
+func (l *Loaded) Unload() {
+	for _, r := range l.regions {
+		l.env.MemFree(r.addr, r.size)
+	}
+	l.regions = nil
+}

@@ -1,0 +1,166 @@
+package exec
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"oskit/internal/amm"
+	"oskit/internal/core"
+	"oskit/internal/hw"
+	"oskit/internal/lmm"
+)
+
+func testEnv(t *testing.T) *core.Env {
+	t.Helper()
+	m := hw.NewMachine(hw.Config{MemBytes: 16 << 20})
+	t.Cleanup(m.Halt)
+	arena := lmm.NewArena()
+	if err := arena.AddRegion(0x100000, 8<<20, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	arena.AddFree(0x100000, 8<<20)
+	return core.NewEnv(m, arena)
+}
+
+func sampleImage() *Image {
+	return &Image{
+		Entry: 0x1000,
+		Segments: []Segment{
+			{VAddr: 0x1000, Data: []byte("TEXT SEGMENT CODE"), MemSize: 0x2000, Flags: SegRead | SegExec},
+			{VAddr: 0x4000, Data: []byte("DATA"), MemSize: 0x1000 + 64, Flags: SegRead | SegWrite},
+		},
+	}
+}
+
+func TestBuildParseRoundTrip(t *testing.T) {
+	img := sampleImage()
+	b := Build(img)
+	got, err := Parse(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Entry != img.Entry || len(got.Segments) != 2 {
+		t.Fatalf("parsed = %+v", got)
+	}
+	for i := range img.Segments {
+		if !bytes.Equal(got.Segments[i].Data, img.Segments[i].Data) ||
+			got.Segments[i].VAddr != img.Segments[i].VAddr ||
+			got.Segments[i].MemSize != img.Segments[i].MemSize ||
+			got.Segments[i].Flags != img.Segments[i].Flags {
+			t.Fatalf("segment %d mismatch", i)
+		}
+	}
+}
+
+func TestParseRejectsBadImages(t *testing.T) {
+	if _, err := Parse([]byte("junk")); err == nil {
+		t.Fatal("junk accepted")
+	}
+	img := Build(sampleImage())
+	for _, cut := range []int{4, 11, 20, len(img) - 1} {
+		if _, err := Parse(img[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// memsz < filesz.
+	bad := Build(&Image{Segments: []Segment{{VAddr: 0, Data: make([]byte, 100), MemSize: 10}}})
+	if _, err := Parse(bad); err == nil {
+		t.Fatal("memsz < filesz accepted")
+	}
+}
+
+func TestLoadAndReadVirtual(t *testing.T) {
+	env := testEnv(t)
+	l, err := Load(env, sampleImage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Unload()
+	if l.Entry != 0x1000 {
+		t.Fatalf("entry = %#x", l.Entry)
+	}
+	// Initialized data reads back.
+	buf := make([]byte, 17)
+	if err := l.ReadVirtual(0x1000, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "TEXT SEGMENT CODE" {
+		t.Fatalf("text = %q", buf)
+	}
+	// BSS is zero.
+	if err := l.ReadVirtual(0x4004, buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range buf {
+		if b != 0 {
+			t.Fatal("bss not zeroed")
+		}
+	}
+	// The AMM layout records segments with their flags.
+	e, ok := l.Space.Lookup(0x1800)
+	if !ok || e.Flags&amm.Allocated == 0 || e.Flags&SegExec == 0 {
+		t.Fatalf("text mapping = %+v", e)
+	}
+	if _, ok := l.Space.Lookup(0x3000); !ok {
+		t.Fatal("gap lookup failed")
+	} else if e, _ := l.Space.Lookup(0x3000); e.Flags != amm.Free {
+		t.Fatalf("gap flags = %#x", e.Flags)
+	}
+	// Unmapped reads fail.
+	if err := l.ReadVirtual(0x9000, buf); err == nil {
+		t.Fatal("unmapped read succeeded")
+	}
+	// Crossing the page-rounded segment end (0x1000 + 0x2000) fails.
+	if err := l.ReadVirtual(0x3000-4, make([]byte, 16)); err == nil {
+		t.Fatal("cross-segment read succeeded")
+	}
+}
+
+func TestLoadRejectsOverlapsAndMisalignment(t *testing.T) {
+	env := testEnv(t)
+	if _, err := Load(env, &Image{Segments: []Segment{
+		{VAddr: 0x1000, Data: []byte("a"), MemSize: 0x2000},
+		{VAddr: 0x2000, Data: []byte("b"), MemSize: 0x1000},
+	}}); err == nil {
+		t.Fatal("overlapping segments accepted")
+	}
+	if _, err := Load(env, &Image{Segments: []Segment{
+		{VAddr: 0x1004, Data: []byte("a"), MemSize: 16},
+	}}); err == nil {
+		t.Fatal("misaligned segment accepted")
+	}
+}
+
+// Property: Build/Parse round-trips arbitrary page-aligned images.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(entry uint32, blobs [][]byte) bool {
+		img := &Image{Entry: entry}
+		va := uint32(0x1000)
+		for _, b := range blobs {
+			if len(b) > 2048 {
+				b = b[:2048]
+			}
+			img.Segments = append(img.Segments, Segment{
+				VAddr: va, Data: b, MemSize: uint32(len(b)) + 512, Flags: SegRead,
+			})
+			va += 0x10000
+			if len(img.Segments) == 8 {
+				break
+			}
+		}
+		got, err := Parse(Build(img))
+		if err != nil || got.Entry != entry || len(got.Segments) != len(img.Segments) {
+			return false
+		}
+		for i := range img.Segments {
+			if !bytes.Equal(got.Segments[i].Data, img.Segments[i].Data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,213 @@
+// Package bsdglue emulates the 4.4BSD kernel-internal environment for the
+// kit's encapsulated FreeBSD- and NetBSD-derived components (network
+// stack, file system, character drivers) — the BSD half of the paper's
+// §4.7 technique.
+//
+// It provides, over nothing but the kit's Env services:
+//
+//   - curproc manufactured on demand at each component entry point and
+//     saved across blocking calls (§4.7.5);
+//   - BSD's sleep/wakeup with its original event hash table design, each
+//     component instance getting its own private table, blocking bottoms
+//     out in one sleep record per sleeping process (§4.7.6);
+//   - spl interrupt-priority mapping: the kit does not require the client
+//     OS to provide IPLs (§4.5), so every splnet/splbio/splhigh maps to
+//     the single interrupt-exclusion level, and spl0/splx restore it;
+//   - the BSD kernel malloc with all three of its special properties,
+//     layered on the client memory service via a dynamically grown
+//     allocation table (§4.7.7) — see malloc.go;
+//   - timeout/untimeout over the kit's callout clock.
+package bsdglue
+
+import (
+	"oskit/internal/core"
+)
+
+// Proc is the donor's process structure, pruned to the fields the
+// encapsulated code touches: identification plus the sleep linkage.
+type Proc struct {
+	Pid   int
+	Comm  string
+	WChan uint32 // event the proc is sleeping on; 0 when running
+	WMesg string // sleep message ("biowait", "netio", …)
+
+	rec   *core.SleepRec
+	qnext *Proc // slpque hash chain
+}
+
+// slpqueSize is BSD's sleep-queue hash size (a power of two).
+const slpqueSize = 128
+
+// Glue is one component instance's BSD environment.  Distinct components
+// (the network stack, the file system) each get their own Glue, which is
+// what makes the sleep hash table per-component rather than system-wide,
+// and what lets a client lock the two components independently (§4.7.4).
+type Glue struct {
+	env *core.Env
+
+	// Curproc is the current process pointer donor code dereferences
+	// freely.  One process-level thread of control runs inside a
+	// component at a time (the documented execution model), so a plain
+	// field reproduces the donor global exactly.
+	Curproc *Proc
+
+	nextPid int
+	slpque  [slpqueSize]*Proc
+
+	// Malloc is the component's BSD kernel allocator.
+	Malloc *Malloc
+}
+
+// New builds a BSD environment over env.
+func New(env *core.Env) *Glue {
+	g := &Glue{env: env}
+	g.Malloc = newMalloc(g)
+	return g
+}
+
+// Env returns the kit environment underneath.
+func (g *Glue) Env() *core.Env { return g.env }
+
+// Enter manufactures the current process for one component entry point
+// (§4.7.5), returning the restore to run when the call leaves the
+// component.
+func (g *Glue) Enter(comm string) func() {
+	g.nextPid++
+	prev := g.Curproc
+	g.Curproc = &Proc{Pid: g.nextPid, Comm: comm}
+	return func() { g.Curproc = prev }
+}
+
+// --- spl emulation.
+//
+// Donor idiom: s := splnet(); …; splx(s).  Token 1 means "this call
+// disabled interrupts and splx must re-enable"; token 0 means the level
+// was already high (nested spl or interrupt context) and splx is a no-op
+// for the exclusion itself.
+
+// Splnet raises to network-interrupt protection level.
+func (g *Glue) Splnet() int { return g.splraise() }
+
+// Splbio raises to block-I/O protection level.
+func (g *Glue) Splbio() int { return g.splraise() }
+
+// Splhigh blocks everything.
+func (g *Glue) Splhigh() int { return g.splraise() }
+
+// Splx restores the level saved by a raise.
+func (g *Glue) Splx(s int) {
+	if s == 1 {
+		g.env.IntrEnable()
+	}
+}
+
+func (g *Glue) splraise() int {
+	if g.env.InIntr() {
+		return 0
+	}
+	g.env.IntrDisable()
+	return 1
+}
+
+// --- sleep/wakeup (§4.7.6).
+//
+// This is BSD's original structure: a hash table of sleeping processes
+// keyed by an arbitrary 32-bit "event" (the address of the thing waited
+// on).  Where BSD's scheduler fields used to be, each proc now carries
+// one kit sleep record.
+
+func slpHash(event uint32) int { return int((event >> 3) % slpqueSize) }
+
+// Tsleep blocks the current process on event.  Donor contract: entered
+// at raised spl (interrupts disabled); the process is enqueued
+// atomically, interrupts are enabled while blocked, and the call returns
+// with interrupts disabled again.  The current process is saved across
+// the block (§4.7.5).
+func (g *Glue) Tsleep(event uint32, wmesg string) {
+	p := g.Curproc
+	if p == nil {
+		// Donor code always has a process; a missing one is a glue
+		// bug, and BSD would have oopsed on curproc->p_wchan too.
+		g.env.Panic("bsdglue: tsleep(%#x) with no current process", event)
+		return
+	}
+	if p.rec == nil {
+		p.rec = g.env.SleepInit()
+	}
+	p.WChan = event
+	p.WMesg = wmesg
+	h := slpHash(event)
+	p.qnext = g.slpque[h]
+	g.slpque[h] = p
+
+	g.Curproc = nil
+	// tsleep drops to spl0 *completely* while blocked — the caller may
+	// be nested several spl levels deep across components (the file
+	// system sleeping inside the disk driver) — and restores the full
+	// depth afterwards.
+	depth := g.env.Machine.Intr.DropAll()
+	g.env.Sleep(p.rec)
+	g.env.Machine.Intr.RestoreAll(depth)
+	g.Curproc = p
+	p.WChan = 0
+	p.WMesg = ""
+}
+
+// Wakeup wakes every process sleeping on event.  Donor contract: called
+// with interrupts disabled (interrupt handlers are; process-level
+// callers hold an spl).
+func (g *Glue) Wakeup(event uint32) {
+	h := slpHash(event)
+	var prev *Proc
+	p := g.slpque[h]
+	for p != nil {
+		next := p.qnext
+		if p.WChan == event {
+			// Unlink and wake.
+			if prev == nil {
+				g.slpque[h] = next
+			} else {
+				prev.qnext = next
+			}
+			p.qnext = nil
+			g.env.Wakeup(p.rec)
+		} else {
+			prev = p
+		}
+		p = next
+	}
+}
+
+// SleepersOn counts processes sleeping on event (tests).
+func (g *Glue) SleepersOn(event uint32) int {
+	n := 0
+	for p := g.slpque[slpHash(event)]; p != nil; p = p.qnext {
+		if p.WChan == event {
+			n++
+		}
+	}
+	return n
+}
+
+// --- time.
+
+// Ticks returns the BSD `ticks` variable.
+func (g *Glue) Ticks() uint64 { return g.env.Ticks() }
+
+// Timeout schedules fn(arg) after delta ticks at interrupt level,
+// returning the handle for Untimeout.
+func (g *Glue) Timeout(fn func(arg any), arg any, delta uint64) func() {
+	return g.env.AfterTicks(delta, func() { fn(arg) })
+}
+
+// Untimeout cancels a Timeout handle (idempotent).
+func (g *Glue) Untimeout(handle func()) {
+	if handle != nil {
+		handle()
+	}
+}
+
+// Printf is the donor console printf.
+func (g *Glue) Printf(format string, args ...any) {
+	g.env.Log("bsd: "+format, args...)
+}

@@ -1,0 +1,158 @@
+package bsdnet
+
+import "encoding/binary"
+
+// ARP: the address-resolution table with one held packet per unresolved
+// entry, request/reply processing, and slow-timer aging.
+
+const (
+	arpHdrLen     = 28
+	arpOpRequest  = 1
+	arpOpReply    = 2
+	arpEntryTTL   = 1200 // slow ticks: 10 minutes
+	arpRetryTicks = 2    // slow ticks between re-requests
+)
+
+type arpEntry struct {
+	mac     [6]byte
+	valid   bool
+	age     uint32 // slow ticks since created/last request
+	held    *Mbuf  // one packet waiting on resolution
+	heldEty uint16
+}
+
+type arpTable struct {
+	s       *Stack
+	entries map[IPAddr]*arpEntry
+}
+
+func (t *arpTable) init(s *Stack) {
+	t.s = s
+	t.entries = map[IPAddr]*arpEntry{}
+}
+
+// resolve returns dst's MAC, or queues m and emits a request.  Called at
+// splnet.
+func (t *arpTable) resolve(dst IPAddr, m *Mbuf, etype uint16) (mac [6]byte, ok bool) {
+	if dst.IsBroadcast() {
+		return [6]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}, true
+	}
+	e := t.entries[dst]
+	if e != nil && e.valid {
+		return e.mac, true
+	}
+	if e == nil {
+		e = &arpEntry{}
+		t.entries[dst] = e
+	}
+	// Hold the newest packet (BSD holds one), drop any previous.
+	if e.held != nil {
+		e.held.FreeChain()
+	}
+	e.held = m
+	e.heldEty = etype
+	e.age = 0
+	t.request(dst)
+	return [6]byte{}, false
+}
+
+// request broadcasts "who-has dst".
+func (t *arpTable) request(dst IPAddr) {
+	s := t.s
+	m := s.MGetHdr()
+	if m == nil {
+		return
+	}
+	pkt := make([]byte, arpHdrLen)
+	packARP(pkt, arpOpRequest, s.ifMAC, s.ifIP, [6]byte{}, dst)
+	if !m.Append(pkt) {
+		m.FreeChain()
+		return
+	}
+	s.Stats.ARPOut++
+	s.etherOutput(m, [6]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}, EtherTypeARP)
+}
+
+// arpInput handles one ARP frame (interrupt level).
+func (s *Stack) arpInput(m *Mbuf) {
+	m = m.Pullup(arpHdrLen)
+	if m == nil {
+		return
+	}
+	p := m.Data()[:arpHdrLen]
+	defer m.FreeChain()
+	if binary.BigEndian.Uint16(p[0:2]) != 1 || // hardware: ethernet
+		binary.BigEndian.Uint16(p[2:4]) != EtherTypeIP ||
+		p[4] != 6 || p[5] != 4 {
+		return
+	}
+	op := binary.BigEndian.Uint16(p[6:8])
+	var srcMAC [6]byte
+	copy(srcMAC[:], p[8:14])
+	var srcIP, dstIP IPAddr
+	copy(srcIP[:], p[14:18])
+	copy(dstIP[:], p[24:28])
+	s.Stats.ARPIn++
+
+	// Learn the sender (merge step of the RFC 826 algorithm).
+	e := s.arp.entries[srcIP]
+	if e == nil {
+		e = &arpEntry{}
+		s.arp.entries[srcIP] = e
+	}
+	e.mac = srcMAC
+	e.valid = true
+	e.age = 0
+	if held := e.held; held != nil {
+		e.held = nil
+		s.etherOutput(held, srcMAC, e.heldEty)
+	}
+
+	if op == arpOpRequest && dstIP == s.ifIP {
+		r := s.MGetHdr()
+		if r == nil {
+			return
+		}
+		pkt := make([]byte, arpHdrLen)
+		packARP(pkt, arpOpReply, s.ifMAC, s.ifIP, srcMAC, srcIP)
+		if !r.Append(pkt) {
+			r.FreeChain()
+			return
+		}
+		s.Stats.ARPOut++
+		s.etherOutput(r, srcMAC, EtherTypeARP)
+	}
+}
+
+// age expires entries and re-requests unresolved ones (slow timer).
+func (t *arpTable) age() {
+	for ip, e := range t.entries {
+		e.age++
+		switch {
+		case e.valid && e.age > arpEntryTTL:
+			delete(t.entries, ip)
+		case !e.valid && e.age%arpRetryTicks == 0 && e.held != nil:
+			if e.age > 10*arpRetryTicks {
+				// Give up: drop the held packet (BSD returned
+				// EHOSTDOWN to the next sender).
+				e.held.FreeChain()
+				e.held = nil
+				delete(t.entries, ip)
+				t.s.Stats.DroppedUnreach++
+				continue
+			}
+			t.request(ip)
+		}
+	}
+}
+
+func packARP(p []byte, op uint16, sMAC [6]byte, sIP IPAddr, tMAC [6]byte, tIP IPAddr) {
+	binary.BigEndian.PutUint16(p[0:2], 1)
+	binary.BigEndian.PutUint16(p[2:4], EtherTypeIP)
+	p[4], p[5] = 6, 4
+	binary.BigEndian.PutUint16(p[6:8], op)
+	copy(p[8:14], sMAC[:])
+	copy(p[14:18], sIP[:])
+	copy(p[18:24], tMAC[:])
+	copy(p[24:28], tIP[:])
+}

@@ -1,0 +1,60 @@
+package bsdnet
+
+import "encoding/binary"
+
+// Ethernet layer: frame parse/build and the link-level demux.
+
+const etherHdrLen = 14
+
+// etherInput demuxes one inbound frame; runs at interrupt level under
+// the dispatcher's exclusion.
+func (s *Stack) etherInput(m *Mbuf) {
+	m = m.Pullup(etherHdrLen)
+	if m == nil {
+		return
+	}
+	hdr := m.Data()[:etherHdrLen]
+	etype := binary.BigEndian.Uint16(hdr[12:14])
+	m.Adj(etherHdrLen)
+	switch etype {
+	case EtherTypeIP:
+		s.ipInput(m)
+	case EtherTypeARP:
+		s.arpInput(m)
+	default:
+		m.FreeChain()
+	}
+}
+
+// etherOutput prepends the link header and hands the packet to the
+// driver through its NetIO — the component boundary of §5.
+func (s *Stack) etherOutput(m *Mbuf, dst [6]byte, etype uint16) {
+	m = m.Prepend(etherHdrLen)
+	if m == nil {
+		return
+	}
+	hdr := m.Data()[:etherHdrLen]
+	copy(hdr[0:6], dst[:])
+	copy(hdr[6:12], s.ifMAC[:])
+	binary.BigEndian.PutUint16(hdr[12:14], etype)
+
+	if m.PktLen < 60 { // pad runts to the Ethernet minimum
+		pad := make([]byte, 60-m.PktLen)
+		if !m.Append(pad) {
+			m.FreeChain()
+			return
+		}
+	}
+
+	if m.Contiguous() {
+		s.Stats.TxContiguous++
+	} else {
+		s.Stats.TxChained++
+	}
+	out := s.output
+	if out == nil {
+		m.FreeChain()
+		return
+	}
+	out(m) // consumes the chain
+}

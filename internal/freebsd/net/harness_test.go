@@ -1,0 +1,76 @@
+package bsdnet
+
+import (
+	"testing"
+	"time"
+
+	"oskit/internal/com"
+	"oskit/internal/dev"
+	bsdglue "oskit/internal/freebsd/glue"
+	"oskit/internal/hw"
+	"oskit/internal/kern"
+	linuxdev "oskit/internal/linux/dev"
+)
+
+func bsdGlueFor(k *kern.Kernel) *bsdglue.Glue { return bsdglue.New(k.Env) }
+
+// The integration harness: two simulated machines on one Ethernet wire,
+// each running the FreeBSD stack over an encapsulated Linux driver —
+// precisely the §5 configuration.
+
+var (
+	ipA = IPAddr{10, 0, 0, 1}
+	ipB = IPAddr{10, 0, 0, 2}
+	nm  = IPAddr{255, 255, 255, 0}
+)
+
+// bootStack brings up one machine + driver + stack.
+func bootStack(t *testing.T, wire *hw.EtherWire, mac byte, model hw.NICModel, ip IPAddr) *Stack {
+	t.Helper()
+	m := hw.NewMachine(hw.Config{Name: "net", MemBytes: 32 << 20})
+	t.Cleanup(m.Halt)
+	m.AttachNIC(wire, [6]byte{2, 0, 0, 0, 0, mac}, model)
+	k, err := kern.Setup(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw := dev.NewFramework(k.Env)
+	linuxdev.InitEthernet(fw)
+	if n := fw.Probe(); n != 1 {
+		t.Fatalf("probe = %d", n)
+	}
+	eths := fw.LookupByIID(com.EtherDevIID)
+	ed := eths[0].(com.EtherDev)
+
+	s := NewStack(bsdGlueFor(k))
+	t.Cleanup(s.Close)
+	if err := s.OpenEtherIf(ed); err != nil {
+		t.Fatal(err)
+	}
+	ed.Release()
+	s.Ifconfig(ip, nm)
+	// Free-run the clock so TCP timers work: 1 ms host time per 10 ms
+	// simulated tick keeps tests fast.
+	m.Timer.Start(time.Millisecond)
+	return s
+}
+
+func connectedStacks(t *testing.T) (*Stack, *Stack) {
+	wire := hw.NewEtherWire()
+	a := bootStack(t, wire, 1, hw.ModelNE2K, ipA)
+	b := bootStack(t, wire, 2, hw.Model3C59X, ipB)
+	return a, b
+}
+
+func waitSettle() { time.Sleep(30 * time.Millisecond) }
+
+// Aliases so test files avoid importing hw twice.
+func modelNE2K() hw.NICModel  { return hw.ModelNE2K }
+func model3C59X() hw.NICModel { return hw.Model3C59X }
+
+func hw_NewEtherWireLossy(t *testing.T, p float64, seed int64) *hw.EtherWire {
+	t.Helper()
+	w := hw.NewEtherWire()
+	w.SetLoss(p, seed)
+	return w
+}

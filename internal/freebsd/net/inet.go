@@ -1,0 +1,92 @@
+// Package bsdnet is the kit's FreeBSD-derived TCP/IP protocol stack
+// (paper §3.7): Ethernet framing, ARP, IPv4 with fragmentation and
+// reassembly, ICMP echo, UDP, and TCP with retransmission, RTT
+// estimation, slow start, congestion avoidance and fast retransmit —
+// "generally considered to have much more mature network protocols" than
+// the Linux of the day, which is why the OSKit paired BSD networking with
+// Linux drivers (§3.7) and why this package talks to *any* driver purely
+// through NetIO/BufIO (§4.7.3).
+//
+// Internally the stack is mbuf-native: packets are chains of small mbufs
+// and 2 KB clusters, possibly discontiguous.  At the component boundary
+// the glue exports chains as BufIO objects whose Map only succeeds for
+// single-run ranges; the resulting copy on the transmit path into
+// skbuff-native drivers — and the absence of one on the receive path —
+// is exactly the Table 1 asymmetry.
+//
+// The stack runs under the blocking execution model of §4.7.4: protocol
+// processing happens at "splnet" (interrupt exclusion), socket calls
+// block with tsleep/wakeup through the BSD glue.
+package bsdnet
+
+import "encoding/binary"
+
+// IPAddr is an IPv4 address in wire (big-endian) byte order.
+type IPAddr [4]byte
+
+// Uint32 returns the address as a host integer for hashing/compares.
+func (a IPAddr) Uint32() uint32 { return binary.BigEndian.Uint32(a[:]) }
+
+// IsBroadcast reports the limited broadcast address.
+func (a IPAddr) IsBroadcast() bool { return a == IPAddr{255, 255, 255, 255} }
+
+// String renders dotted quad.
+func (a IPAddr) String() string {
+	var b []byte
+	for i, v := range a {
+		if i > 0 {
+			b = append(b, '.')
+		}
+		b = appendDec(b, uint64(v))
+	}
+	return string(b)
+}
+
+func appendDec(b []byte, v uint64) []byte {
+	if v >= 10 {
+		b = appendDec(b, v/10)
+	}
+	return append(b, byte('0'+v%10))
+}
+
+// IP protocol numbers.
+const (
+	ProtoICMP = 1
+	ProtoTCP  = 6
+	ProtoUDP  = 17
+)
+
+// Ethernet types.
+const (
+	EtherTypeIP  = 0x0800
+	EtherTypeARP = 0x0806
+)
+
+// Checksum computes the Internet checksum over data with an initial
+// partial sum (for pseudo-headers).  RFC 1071.
+func Checksum(data []byte, initial uint32) uint16 {
+	sum := initial
+	n := len(data)
+	for i := 0; i+1 < n; i += 2 {
+		sum += uint32(data[i])<<8 | uint32(data[i+1])
+	}
+	if n%2 == 1 {
+		sum += uint32(data[n-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// pseudoSum folds the TCP/UDP pseudo-header into a partial sum.
+func pseudoSum(src, dst IPAddr, proto int, length int) uint32 {
+	var sum uint32
+	sum += uint32(src[0])<<8 | uint32(src[1])
+	sum += uint32(src[2])<<8 | uint32(src[3])
+	sum += uint32(dst[0])<<8 | uint32(dst[1])
+	sum += uint32(dst[2])<<8 | uint32(dst[3])
+	sum += uint32(proto)
+	sum += uint32(length)
+	return sum
+}

@@ -1,0 +1,57 @@
+package bsdnet
+
+import "oskit/internal/hw"
+
+// The donor-native Ethernet driver: the all-FreeBSD configuration the
+// paper's Table 1/2 "FreeBSD 2.1.5" row measures.  Packets move between
+// the driver and the protocol code as raw mbufs with no component
+// boundary: received frames land in cluster mbufs handed straight to
+// ether_input, and transmission gather-DMAs the chain onto the wire —
+// no BufIO export, no representation conversion, no glue dispatch.
+//
+// (Contrast OpenEtherIf, the OSKit configuration, where the same stack
+// talks to a Linux driver through COM and the chain must be copied into
+// an skbuff on transmit.)
+
+// AttachNative binds the stack directly to a NIC with the donor driver.
+func (s *Stack) AttachNative(nic *hw.NIC) {
+	s.ifMAC = nic.Mac
+	s.output = func(m *Mbuf) {
+		// Gather the chain for the DMA engine.
+		var parts [][]byte
+		for cur := m; cur != nil; cur = cur.Next {
+			if cur.len > 0 {
+				parts = append(parts, cur.Data())
+			}
+		}
+		nic.TransmitGather(parts)
+		m.FreeChain()
+	}
+	ic := s.g.Env().Machine.Intr
+	ic.SetHandler(nic.IRQ(), func(int) {
+		for {
+			f := nic.RxPop()
+			if f == nil {
+				return
+			}
+			m := s.MGetHdr()
+			if m == nil {
+				return
+			}
+			if len(f) > MHLEN && !m.MClGet() {
+				m.Free()
+				return
+			}
+			// The copy here is the receive DMA into the cluster.
+			if len(f) > len(m.store)-m.off {
+				m.Free()
+				continue // larger than a cluster: drop
+			}
+			copy(m.store[m.off:], f)
+			m.len = len(f)
+			m.PktLen = len(f)
+			s.etherInput(m)
+		}
+	})
+	ic.SetMask(nic.IRQ(), false)
+}

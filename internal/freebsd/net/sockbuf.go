@@ -1,0 +1,115 @@
+package bsdnet
+
+// Socket buffers, BSD style: an mbuf chain plus occupancy accounting and
+// a sleep event.  TCP's send buffer is the retransmission store (data
+// stays until acked, tcp_output shares it via CopyM); the receive buffer
+// is where tcp_input appends in-order data for readers to drain.
+
+const defaultSockbufBytes = 16384
+
+type sockbuf struct {
+	s     *Stack
+	head  *Mbuf
+	cc    int // bytes buffered
+	hiwat int // limit
+	event uint32
+}
+
+func (sb *sockbuf) init(s *Stack) {
+	sb.s = s
+	sb.hiwat = defaultSockbufBytes
+	sb.event = s.newEvent()
+}
+
+// space returns the free room.
+func (sb *sockbuf) space() int {
+	n := sb.hiwat - sb.cc
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// appendData copies user bytes in (sbappend of a fresh chain).
+func (sb *sockbuf) appendData(data []byte) bool {
+	if sb.head == nil {
+		m := sb.s.MGetHdr()
+		if m == nil {
+			return false
+		}
+		if len(data) > MHLEN && !m.MClGet() {
+			m.Free()
+			return false
+		}
+		sb.head = m
+	}
+	if !sb.head.Append(data) {
+		return false
+	}
+	sb.cc += len(data)
+	return true
+}
+
+// appendChain links an mbuf chain in (sbappend), taking ownership.
+func (sb *sockbuf) appendChain(m *Mbuf) {
+	n := m.PktLen
+	if sb.head == nil {
+		sb.head = m
+	} else {
+		last := sb.head
+		for last.Next != nil {
+			last = last.Next
+		}
+		last.Next = m
+		sb.head.PktLen += n
+		m.PktLen = 0
+	}
+	sb.cc += n
+}
+
+// drop discards n bytes from the front (sbdrop — TCP ack processing).
+func (sb *sockbuf) drop(n int) {
+	if n > sb.cc {
+		n = sb.cc
+	}
+	sb.cc -= n
+	remain := n
+	m := sb.head
+	for remain > 0 && m != nil {
+		if m.len > remain {
+			m.off += remain
+			m.len -= remain
+			remain = 0
+			break
+		}
+		remain -= m.len
+		m = m.Free()
+	}
+	sb.head = m
+	if m != nil {
+		m.PktLen = sb.cc
+	}
+}
+
+// read copies up to len(dst) bytes out and drops them.
+func (sb *sockbuf) read(dst []byte) int {
+	if sb.head == nil || sb.cc == 0 {
+		return 0
+	}
+	want := len(dst)
+	if want > sb.cc {
+		want = sb.cc
+	}
+	n := sb.head.CopyData(0, want, dst)
+	sb.drop(n)
+	return n
+}
+
+// flush releases everything.
+func (sb *sockbuf) flush() {
+	if sb.head != nil {
+		sb.head.FreeChain()
+		sb.head = nil
+	}
+	sb.cc = 0
+}

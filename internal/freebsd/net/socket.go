@@ -1,0 +1,444 @@
+package bsdnet
+
+import "oskit/internal/com"
+
+// The socket layer: the COM Socket/SocketFactory exported by the stack
+// (§5).  Every method is a component entry point: it manufactures a
+// current process (§4.7.5), raises splnet, and blocks — if it must —
+// with tsleep on the pcb's events.
+
+// Factory is the stack's socket factory (what oskit_freebsd_net_init
+// hands back for posix_set_socketcreator).
+type Factory struct {
+	com.RefCount
+	s *Stack
+}
+
+// SocketFactory returns the stack's factory with one reference.
+func (s *Stack) SocketFactory() *Factory {
+	f := &Factory{s: s}
+	f.Init()
+	return f
+}
+
+// QueryInterface implements com.IUnknown.
+func (f *Factory) QueryInterface(iid com.GUID) (com.IUnknown, error) {
+	switch iid {
+	case com.UnknownIID, com.SocketFactoryIID:
+		f.AddRef()
+		return f, nil
+	}
+	return nil, com.ErrNoInterface
+}
+
+// CreateSocket implements com.SocketFactory.
+func (f *Factory) CreateSocket(domain, typ, protocol int) (com.Socket, error) {
+	if domain != com.AFInet {
+		return nil, com.ErrInval
+	}
+	s := f.s
+	restore := s.g.Enter("socket")
+	defer restore()
+	spl := s.g.Splnet()
+	defer s.g.Splx(spl)
+	sock := &socket{s: s}
+	sock.Init()
+	switch typ {
+	case com.SockStream:
+		sock.tcp = s.tcpNew()
+		sock.tcp.refcnt++
+	case com.SockDgram:
+		sock.udp = s.udpNew()
+	default:
+		return nil, com.ErrInval
+	}
+	return sock, nil
+}
+
+var _ com.SocketFactory = (*Factory)(nil)
+
+// socket is one COM socket over a TCP or UDP pcb.
+type socket struct {
+	com.RefCount
+	s   *Stack
+	tcp *tcpcb
+	udp *udpPCB
+
+	reuse  bool
+	closed bool
+}
+
+// QueryInterface implements com.IUnknown.
+func (so *socket) QueryInterface(iid com.GUID) (com.IUnknown, error) {
+	switch iid {
+	case com.UnknownIID, com.SocketIID:
+		so.AddRef()
+		return so, nil
+	}
+	return nil, com.ErrNoInterface
+}
+
+// enter is the standard component prologue; the returned func is the
+// epilogue.
+func (so *socket) enter(what string) func() {
+	restore := so.s.g.Enter(what)
+	spl := so.s.g.Splnet()
+	return func() {
+		so.s.g.Splx(spl)
+		restore()
+	}
+}
+
+// Bind implements com.Socket.
+func (so *socket) Bind(addr com.SockAddr) error {
+	done := so.enter("bind")
+	defer done()
+	if so.closed {
+		return com.ErrBadF
+	}
+	if so.tcp != nil {
+		return so.s.tcpBind(so.tcp, addr.Port, so.reuse)
+	}
+	return so.s.udpBind(so.udp, addr.Port)
+}
+
+// Connect implements com.Socket: for TCP it blocks until the handshake
+// completes or fails.
+func (so *socket) Connect(addr com.SockAddr) error {
+	done := so.enter("connect")
+	defer done()
+	if so.closed {
+		return com.ErrBadF
+	}
+	if so.udp != nil {
+		copy(so.udp.faddr[:], addr.Addr[:])
+		so.udp.fport = addr.Port
+		if so.udp.lport == 0 {
+			return so.s.udpBind(so.udp, 0)
+		}
+		return nil
+	}
+	tp := so.tcp
+	var dst IPAddr
+	copy(dst[:], addr.Addr[:])
+	if err := tp.usrConnect(dst, addr.Port); err != nil {
+		return err
+	}
+	for tp.state != tcpsEstablished {
+		if tp.err != 0 {
+			err := tp.err
+			tp.err = 0
+			if err == com.ErrConnReset {
+				return com.ErrConnRef // RST during handshake = refused
+			}
+			return err
+		}
+		if tp.state == tcpsClosed {
+			return com.ErrConnRef
+		}
+		so.s.g.Tsleep(tp.connEvent, "connec")
+	}
+	return nil
+}
+
+// Listen implements com.Socket.
+func (so *socket) Listen(backlog int) error {
+	done := so.enter("listen")
+	defer done()
+	if so.tcp == nil {
+		return com.ErrInval
+	}
+	return so.tcp.usrListen(backlog)
+}
+
+// Accept implements com.Socket.
+func (so *socket) Accept() (com.Socket, com.SockAddr, error) {
+	done := so.enter("accept")
+	defer done()
+	tp := so.tcp
+	if tp == nil || !tp.listening {
+		return nil, com.SockAddr{}, com.ErrInval
+	}
+	for len(tp.acceptQ) == 0 {
+		if so.closed || tp.state == tcpsClosed {
+			return nil, com.SockAddr{}, com.ErrBadF
+		}
+		so.s.g.Tsleep(tp.acceptEvent, "accept")
+	}
+	child := tp.acceptQ[0]
+	tp.acceptQ = tp.acceptQ[1:]
+	ns := &socket{s: so.s, tcp: child}
+	ns.Init()
+	peer := com.SockAddr{Family: com.AFInet, Port: child.fport}
+	copy(peer.Addr[:], child.faddr[:])
+	return ns, peer, nil
+}
+
+// Read implements com.Socket.
+func (so *socket) Read(buf []byte) (uint, error) {
+	done := so.enter("soread")
+	defer done()
+	if so.udp != nil {
+		n, _, _, err := so.s.udpRecv(so.udp, buf)
+		return uint(n), err
+	}
+	tp := so.tcp
+	for {
+		if tp.rcvBuf.cc > 0 {
+			n := tp.rcvBuf.read(buf)
+			// Window update: tell the peer when substantial room
+			// reopens (BSD's tcp_output-after-PRU_RCVD behaviour).
+			if tp.state != tcpsClosed &&
+				seqGEQ(tp.rcvNxt+tp.rcvWindow(), tp.rcvAdv+2*tp.maxSeg) {
+				so.s.tcpRespondACK(tp)
+			}
+			return uint(n), nil
+		}
+		if tp.err != 0 {
+			err := tp.err
+			return 0, err
+		}
+		switch tp.state {
+		case tcpsCloseWait, tcpsClosing, tcpsLastAck, tcpsTimeWait, tcpsClosed:
+			return 0, nil // orderly EOF
+		}
+		if so.closed {
+			return 0, com.ErrBadF
+		}
+		so.s.g.Tsleep(tp.rcvBuf.event, "soread")
+	}
+}
+
+// Write implements com.Socket, blocking for send-buffer space.
+func (so *socket) Write(buf []byte) (uint, error) {
+	done := so.enter("sowrite")
+	defer done()
+	if so.udp != nil {
+		if so.udp.fport == 0 {
+			return 0, com.ErrNotConn
+		}
+		if err := so.s.udpOutput(so.udp, buf, so.udp.faddr, so.udp.fport); err != nil {
+			return 0, err
+		}
+		return uint(len(buf)), nil
+	}
+	tp := so.tcp
+	total := uint(0)
+	for len(buf) > 0 {
+		if tp.err != 0 {
+			return total, tp.err
+		}
+		switch tp.state {
+		case tcpsEstablished, tcpsCloseWait:
+		default:
+			return total, com.ErrPipe
+		}
+		space := tp.sndBuf.space()
+		if space == 0 {
+			tp.armPersistIfNeeded()
+			so.s.g.Tsleep(tp.sndBuf.event, "sowrite")
+			continue
+		}
+		n := minInt(space, len(buf))
+		if !tp.sndBuf.appendData(buf[:n]) {
+			return total, com.ErrNoMem
+		}
+		buf = buf[n:]
+		total += uint(n)
+		so.s.tcpOutput(tp)
+	}
+	return total, nil
+}
+
+// RecvFrom implements com.Socket (datagram).
+func (so *socket) RecvFrom(buf []byte) (uint, com.SockAddr, error) {
+	done := so.enter("recvfrom")
+	defer done()
+	if so.udp == nil {
+		n, err := so.readLockedTCP(buf)
+		a, _ := so.peerLocked()
+		return n, a, err
+	}
+	n, from, port, err := so.s.udpRecv(so.udp, buf)
+	addr := com.SockAddr{Family: com.AFInet, Port: port}
+	copy(addr.Addr[:], from[:])
+	return uint(n), addr, err
+}
+
+// readLockedTCP is Read's body for the RecvFrom alias (lock held).
+func (so *socket) readLockedTCP(buf []byte) (uint, error) {
+	tp := so.tcp
+	for {
+		if tp.rcvBuf.cc > 0 {
+			return uint(tp.rcvBuf.read(buf)), nil
+		}
+		if tp.err != 0 {
+			return 0, tp.err
+		}
+		switch tp.state {
+		case tcpsCloseWait, tcpsClosing, tcpsLastAck, tcpsTimeWait, tcpsClosed:
+			return 0, nil
+		}
+		so.s.g.Tsleep(tp.rcvBuf.event, "soread")
+	}
+}
+
+// SendTo implements com.Socket (datagram).
+func (so *socket) SendTo(buf []byte, to com.SockAddr) (uint, error) {
+	done := so.enter("sendto")
+	defer done()
+	if so.udp == nil {
+		return 0, com.ErrInval
+	}
+	var dst IPAddr
+	copy(dst[:], to.Addr[:])
+	if err := so.s.udpOutput(so.udp, buf, dst, to.Port); err != nil {
+		return 0, err
+	}
+	return uint(len(buf)), nil
+}
+
+// Shutdown implements com.Socket.
+func (so *socket) Shutdown(how int) error {
+	done := so.enter("shutdown")
+	defer done()
+	tp := so.tcp
+	if tp == nil {
+		return nil
+	}
+	if how == com.ShutWrite || how == com.ShutBoth {
+		switch tp.state {
+		case tcpsEstablished:
+			tp.state = tcpsFinWait1
+			so.s.tcpOutput(tp)
+		case tcpsCloseWait:
+			tp.state = tcpsLastAck
+			so.s.tcpOutput(tp)
+		}
+	}
+	if how == com.ShutRead || how == com.ShutBoth {
+		tp.rcvBuf.flush()
+		so.s.g.Wakeup(tp.rcvBuf.event)
+	}
+	return nil
+}
+
+// GetSockName implements com.Socket.
+func (so *socket) GetSockName() (com.SockAddr, error) {
+	done := so.enter("getsockname")
+	defer done()
+	a := com.SockAddr{Family: com.AFInet}
+	if so.tcp != nil {
+		copy(a.Addr[:], so.tcp.laddr[:])
+		a.Port = so.tcp.lport
+	} else {
+		copy(a.Addr[:], so.udp.laddr[:])
+		a.Port = so.udp.lport
+	}
+	return a, nil
+}
+
+// GetPeerName implements com.Socket.
+func (so *socket) GetPeerName() (com.SockAddr, error) {
+	done := so.enter("getpeername")
+	defer done()
+	return so.peerLocked()
+}
+
+func (so *socket) peerLocked() (com.SockAddr, error) {
+	a := com.SockAddr{Family: com.AFInet}
+	switch {
+	case so.tcp != nil && so.tcp.fport != 0:
+		copy(a.Addr[:], so.tcp.faddr[:])
+		a.Port = so.tcp.fport
+	case so.udp != nil && so.udp.fport != 0:
+		copy(a.Addr[:], so.udp.faddr[:])
+		a.Port = so.udp.fport
+	default:
+		return a, com.ErrNotConn
+	}
+	return a, nil
+}
+
+// SetSockOpt implements com.Socket.
+func (so *socket) SetSockOpt(name string, value int) error {
+	done := so.enter("setsockopt")
+	defer done()
+	switch name {
+	case "rcvbuf":
+		if value <= 0 {
+			return com.ErrInval
+		}
+		if so.tcp != nil {
+			so.tcp.rcvBuf.hiwat = value
+		} else {
+			so.udp.rcvLimit = value
+		}
+	case "sndbuf":
+		if value <= 0 {
+			return com.ErrInval
+		}
+		if so.tcp != nil {
+			so.tcp.sndBuf.hiwat = value
+		}
+	case "nodelay":
+		if so.tcp == nil {
+			return com.ErrInval
+		}
+		so.tcp.nodelay = value != 0
+	case "reuseaddr":
+		so.reuse = value != 0
+	default:
+		return com.ErrInval
+	}
+	return nil
+}
+
+// GetSockOpt implements com.Socket.
+func (so *socket) GetSockOpt(name string) (int, error) {
+	done := so.enter("getsockopt")
+	defer done()
+	switch name {
+	case "rcvbuf":
+		if so.tcp != nil {
+			return so.tcp.rcvBuf.hiwat, nil
+		}
+		return so.udp.rcvLimit, nil
+	case "sndbuf":
+		if so.tcp != nil {
+			return so.tcp.sndBuf.hiwat, nil
+		}
+		return 0, com.ErrInval
+	case "nodelay":
+		if so.tcp != nil && so.tcp.nodelay {
+			return 1, nil
+		}
+		return 0, nil
+	case "reuseaddr":
+		if so.reuse {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	return 0, com.ErrInval
+}
+
+// Close implements com.Socket: orderly TCP close, immediate UDP detach.
+func (so *socket) Close() error {
+	done := so.enter("soclose")
+	defer done()
+	if so.closed {
+		return com.ErrBadF
+	}
+	so.closed = true
+	if so.udp != nil {
+		so.udp.closed = true
+		so.s.g.Wakeup(so.udp.rcvEvent)
+		so.s.udpDetach(so.udp)
+		return nil
+	}
+	so.tcp.usrClose()
+	return nil
+}
+
+var _ com.Socket = (*socket)(nil)

@@ -1,0 +1,364 @@
+package bsdnet
+
+import (
+	"oskit/internal/com"
+	bsdglue "oskit/internal/freebsd/glue"
+	"oskit/internal/hw"
+)
+
+// Stack is one instance of the FreeBSD networking component.
+//
+// Initialization follows the §5 sequence: create the stack
+// (oskit_freebsd_net_init, which also yields the socket factory), bind a
+// driver (oskit_freebsd_net_open_ether_if — the components exchange
+// NetIO callbacks), then configure the interface
+// (oskit_freebsd_net_ifconfig).
+type Stack struct {
+	g *bsdglue.Glue
+
+	// Interface state (one Ethernet interface per stack instance, like
+	// the examples in §5; nothing below prevents generalizing).
+	ifSend com.NetIO // driver's transmit sink (COM-bound configuration)
+	// output ships one finished frame chain; set by OpenEtherIf (COM
+	// BufIO export) or AttachNative (donor mbuf driver).
+	output func(m *Mbuf)
+	ifMAC  [6]byte
+	ifIP   IPAddr
+	ifMask IPAddr
+	gw     IPAddr // optional default gateway
+
+	arp arpTable
+
+	// mbuf cluster refcounts (see mbuf.go).
+	mclBase   uint32
+	mclRefcnt []int16
+
+	// Protocol state.
+	udpPCBs []*udpPCB
+	tcpPCBs []*tcpcb
+	ipReasm map[reasmKey]*reasmQ
+	pings   map[uint16]*pingWaiter
+	ipID    uint16
+	issSeed uint32
+
+	nextEvent uint32 // tsleep event id allocator
+
+	stopSlow func()
+
+	// Statistics (exposed, open implementation §4.6).
+	Stats StackStats
+
+	// ForceRxCopy disables the receive-side Map fast path (ablation:
+	// every inbound packet is copied instead of wrapped).
+	ForceRxCopy bool
+}
+
+// StackStats counts stack-level events.
+type StackStats struct {
+	IPIn, IPOut    uint64
+	IPBadCsum      uint64
+	IPFragsIn      uint64
+	IPReasmOK      uint64
+	TCPIn, TCPOut  uint64
+	TCPRexmt       uint64
+	UDPIn, UDPOut  uint64
+	ARPIn, ARPOut  uint64
+	RxZeroCopy     uint64 // inbound packets wrapped via Map
+	RxCopied       uint64 // inbound packets copied via Read
+	TxContiguous   uint64 // outbound packets exported as one run
+	TxChained      uint64 // outbound packets exported as chains
+	DroppedNoRoute uint64
+	DroppedUnreach uint64
+	ICMPEchoReqIn  uint64
+	ICMPEchoRepIn  uint64
+	ICMPEchoRepOut uint64
+}
+
+// NewStack creates the networking component over a BSD glue environment
+// (oskit_freebsd_net_init).
+func NewStack(g *bsdglue.Glue) *Stack {
+	s := &Stack{
+		g:       g,
+		ipReasm: map[reasmKey]*reasmQ{},
+		issSeed: uint32(g.Ticks())*2654435761 + 12345,
+	}
+	s.arp.init(s)
+	// BSD slow timer: every 500 ms (50 ticks of the 10 ms clock), for
+	// TCP retransmit/persist/keep and ARP/reassembly aging.
+	var tick func()
+	tick = func() {
+		s.slowTimo()
+		s.stopSlow = s.g.Env().AfterTicks(slowTimoTicks, tick)
+	}
+	s.stopSlow = s.g.Env().AfterTicks(slowTimoTicks, tick)
+	return s
+}
+
+const slowTimoTicks = 50 // 500 ms at the 10 ms clock
+
+// Glue returns the stack's BSD environment (tests).
+func (s *Stack) Glue() *bsdglue.Glue { return s.g }
+
+// StatsSnapshot reads the counters under interrupt exclusion (they are
+// updated at interrupt level).
+func (s *Stack) StatsSnapshot() StackStats {
+	spl := s.g.Splnet()
+	defer s.g.Splx(spl)
+	return s.Stats
+}
+
+// newEvent mints a tsleep event handle.
+func (s *Stack) newEvent() uint32 {
+	s.nextEvent += 8
+	return 0x40000000 + s.nextEvent
+}
+
+// OpenEtherIf binds the stack to an Ethernet device: the two components
+// exchange NetIO callbacks and neither learns the other's buffer
+// representation (§5).
+func (s *Stack) OpenEtherIf(dev com.EtherDev) error {
+	recv := &stackRecv{s: s}
+	recv.Init()
+	send, err := dev.Open(recv)
+	if err != nil {
+		return err
+	}
+	s.ifSend = send
+	s.ifMAC = dev.GetAddr()
+	s.output = func(m *Mbuf) {
+		bio := s.wrapMbuf(m)
+		_ = send.Push(bio, uint(m.PktLen)) // Push consumes the reference
+	}
+	return nil
+}
+
+// Ifconfig assigns the interface address (oskit_freebsd_net_ifconfig).
+func (s *Stack) Ifconfig(ip, mask IPAddr) {
+	spl := s.g.Splnet()
+	s.ifIP = ip
+	s.ifMask = mask
+	s.g.Splx(spl)
+}
+
+// SetGateway sets the default route.
+func (s *Stack) SetGateway(gw IPAddr) {
+	spl := s.g.Splnet()
+	s.gw = gw
+	s.g.Splx(spl)
+}
+
+// Close unbinds timers (the interface itself is closed by the client,
+// which owns the device).
+func (s *Stack) Close() {
+	if s.stopSlow != nil {
+		s.stopSlow()
+	}
+}
+
+// onLink reports whether dst is directly reachable.
+func (s *Stack) onLink(dst IPAddr) bool {
+	for i := range dst {
+		if dst[i]&s.ifMask[i] != s.ifIP[i]&s.ifMask[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// route picks the next hop for dst, or fails (no route).
+func (s *Stack) route(dst IPAddr) (IPAddr, bool) {
+	if s.onLink(dst) || dst.IsBroadcast() {
+		return dst, true
+	}
+	if s.gw != (IPAddr{}) {
+		return s.gw, true
+	}
+	return IPAddr{}, false
+}
+
+// slowTimo runs at interrupt level every 500 ms.
+func (s *Stack) slowTimo() {
+	s.tcpSlowTimo()
+	s.arp.age()
+	s.reasmAge()
+}
+
+// --- receive path.
+
+// stackRecv is the NetIO the stack hands the driver; Push runs at
+// interrupt level.
+type stackRecv struct {
+	com.RefCount
+	s *Stack
+}
+
+// QueryInterface implements com.IUnknown.
+func (r *stackRecv) QueryInterface(iid com.GUID) (com.IUnknown, error) {
+	switch iid {
+	case com.UnknownIID, com.NetIOIID:
+		r.AddRef()
+		return r, nil
+	}
+	return nil, com.ErrNoInterface
+}
+
+// Push implements com.NetIO: one inbound frame.  If the producer's
+// buffer can be mapped (skbuffs always can), the frame is wrapped as an
+// external mbuf with zero copies; otherwise it is read into a fresh
+// chain.
+func (r *stackRecv) Push(pkt com.BufIO, size uint) error {
+	s := r.s
+	var m *Mbuf
+	if !s.ForceRxCopy {
+		if data, err := pkt.Map(0, size); err == nil {
+			m = s.MExt(pkt, data) // holds its own reference
+			s.Stats.RxZeroCopy++
+		}
+	}
+	if m == nil {
+		m = s.MGetHdr()
+		if m == nil {
+			pkt.Release()
+			return com.ErrNoMem
+		}
+		if size > uint(len(m.store)-m.off) && !m.MClGet() {
+			m.Free()
+			pkt.Release()
+			return com.ErrNoMem
+		}
+		buf := m.store[m.off : m.off+int(size)]
+		n, err := pkt.Read(buf, 0)
+		if err != nil || n < size {
+			m.Free()
+			pkt.Release()
+			return com.ErrIO
+		}
+		m.len = int(size)
+		m.PktLen = int(size)
+		s.Stats.RxCopied++
+	}
+	s.etherInput(m)
+	pkt.Release()
+	return nil
+}
+
+// AllocBufIO implements com.NetIO; the stack has no preference for
+// inbound buffers (it maps whatever arrives).
+func (r *stackRecv) AllocBufIO(size uint) (com.BufIO, error) {
+	return nil, com.ErrNotImplemented
+}
+
+// --- transmit-side BufIO export.
+
+// mbufIO exports an mbuf chain as a COM BufIO.  Map succeeds only when
+// the requested range lies in one contiguous run — for a chained packet
+// it fails and the consumer must Read (copy), which is the documented
+// §4.7.3 behaviour and the source of the send-path copy in Table 1.
+type mbufIO struct {
+	com.RefCount
+	s *Stack
+	m *Mbuf
+}
+
+func (s *Stack) wrapMbuf(m *Mbuf) *mbufIO {
+	b := &mbufIO{s: s, m: m}
+	b.Init()
+	b.OnLastRelease = func() { m.FreeChain() }
+	return b
+}
+
+// QueryInterface implements com.IUnknown.
+func (b *mbufIO) QueryInterface(iid com.GUID) (com.IUnknown, error) {
+	switch iid {
+	case com.UnknownIID, com.BlkIOIID, com.BufIOIID:
+		b.AddRef()
+		return b, nil
+	}
+	return nil, com.ErrNoInterface
+}
+
+// BlockSize implements com.BlkIO.
+func (b *mbufIO) BlockSize() uint { return 1 }
+
+// Read implements com.BlkIO: gather from the chain.
+func (b *mbufIO) Read(buf []byte, offset uint64) (uint, error) {
+	if offset >= uint64(b.m.PktLen) {
+		return 0, nil
+	}
+	want := len(buf)
+	if max := b.m.PktLen - int(offset); want > max {
+		want = max
+	}
+	return uint(b.m.CopyData(int(offset), want, buf)), nil
+}
+
+// Write implements com.BlkIO (scatter into the chain).
+func (b *mbufIO) Write(buf []byte, offset uint64) (uint, error) {
+	if offset+uint64(len(buf)) > uint64(b.m.PktLen) {
+		return 0, com.ErrInval
+	}
+	off := int(offset)
+	written := 0
+	for cur := b.m; cur != nil && written < len(buf); cur = cur.Next {
+		if off >= cur.len {
+			off -= cur.len
+			continue
+		}
+		c := copy(cur.Data()[off:], buf[written:])
+		written += c
+		off = 0
+	}
+	return uint(written), nil
+}
+
+// Size implements com.BlkIO.
+func (b *mbufIO) Size() (uint64, error) { return uint64(b.m.PktLen), nil }
+
+// SetSize implements com.BlkIO.
+func (b *mbufIO) SetSize(size uint64) error {
+	if size > uint64(b.m.PktLen) {
+		return com.ErrNotImplemented
+	}
+	b.m.Adj(-(b.m.PktLen - int(size)))
+	return nil
+}
+
+// Map implements com.BufIO: succeeds only for single-run ranges.
+func (b *mbufIO) Map(offset, amount uint) ([]byte, error) {
+	off := int(offset)
+	for cur := b.m; cur != nil; cur = cur.Next {
+		if off >= cur.len {
+			off -= cur.len
+			continue
+		}
+		if off+int(amount) <= cur.len {
+			return cur.Data()[off : off+int(amount)], nil
+		}
+		// The range continues into the next link: not one extent of
+		// local memory, so the contract says decline.
+		return nil, com.ErrNotImplemented
+	}
+	return nil, com.ErrInval
+}
+
+// Unmap implements com.BufIO.
+func (b *mbufIO) Unmap(buf []byte) error { return nil }
+
+// Wire implements com.BufIO; chains have no single address.
+func (b *mbufIO) Wire() (uint32, error) {
+	run := b.m.firstRun()
+	if run == nil || !b.m.Contiguous() || run.storeAddr == 0 {
+		return 0, com.ErrNotImplemented
+	}
+	return run.storeAddr + uint32(run.off), nil
+}
+
+// Unwire implements com.BufIO.
+func (b *mbufIO) Unwire() error { return nil }
+
+var _ com.BufIO = (*mbufIO)(nil)
+var _ hw.PhysAddr = 0
+
+// WrapMbufForTest exports a chain as the transmit path does; a hook for
+// the repository's bench harness (open implementation, §4.6).
+func WrapMbufForTest(s *Stack, m *Mbuf) com.BufIO { return s.wrapMbuf(m) }

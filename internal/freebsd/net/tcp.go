@@ -1,0 +1,333 @@
+package bsdnet
+
+import (
+	"encoding/binary"
+
+	"oskit/internal/com"
+)
+
+// TCP: the 4.4BSD-shaped implementation — sequence space arithmetic,
+// control blocks, retransmission with exponential backoff and RTT
+// estimation, slow start / congestion avoidance / fast retransmit,
+// out-of-order reassembly, and the full connection state machine.
+//
+// Everything runs at splnet: tcp_input from interrupt level when the
+// driver pushes a frame, tcp_output and the user requests from process
+// level under an spl raised in the socket layer.
+
+// TCP states.
+const (
+	tcpsClosed = iota
+	tcpsListen
+	tcpsSynSent
+	tcpsSynRcvd
+	tcpsEstablished
+	tcpsCloseWait
+	tcpsFinWait1
+	tcpsClosing
+	tcpsLastAck
+	tcpsFinWait2
+	tcpsTimeWait
+)
+
+// Header flags.
+const (
+	thFIN = 0x01
+	thSYN = 0x02
+	thRST = 0x04
+	thPSH = 0x08
+	thACK = 0x10
+	thURG = 0x20
+)
+
+const (
+	tcpHdrLen = 20
+	tcpMSS    = 1460 // Ethernet MTU minus IP and TCP headers
+)
+
+// Timer indices (slow ticks: 500 ms units).
+const (
+	tRexmt = iota
+	tPersist
+	tKeep
+	t2MSL
+	tcpNTimers
+)
+
+const (
+	tcpRexmtMin    = 1   // 500 ms
+	tcpRexmtMax    = 128 // 64 s
+	tcpMSLTicks    = 60  // 30 s
+	tcpMaxRxtShift = 12
+)
+
+// Sequence-space comparisons (RFC 793 modular arithmetic).
+func seqLT(a, b uint32) bool  { return int32(a-b) < 0 }
+func seqLEQ(a, b uint32) bool { return int32(a-b) <= 0 }
+func seqGT(a, b uint32) bool  { return int32(a-b) > 0 }
+func seqGEQ(a, b uint32) bool { return int32(a-b) >= 0 }
+
+// tcpSeg is one parsed segment (input side).
+type tcpSeg struct {
+	seq   uint32
+	ack   uint32
+	flags byte
+	wnd   uint16
+	mss   uint16 // from options; 0 if absent
+	data  []byte
+}
+
+// tcpcb is the connection control block.
+type tcpcb struct {
+	s     *Stack
+	state int
+
+	laddr, faddr IPAddr
+	lport, fport uint16
+
+	sndBuf sockbuf
+	rcvBuf sockbuf
+
+	// Send sequence space.
+	iss            uint32
+	sndUna, sndNxt uint32
+	sndMax         uint32
+	sndWnd         uint32
+	sndWL1, sndWL2 uint32
+	cwnd, ssthresh uint32
+	dupacks        int
+	maxSeg         uint32
+
+	// Receive sequence space.
+	irs    uint32
+	rcvNxt uint32
+	rcvAdv uint32
+
+	// Retransmission machinery.
+	timers   [tcpNTimers]int
+	rxtShift int
+	srtt     int // scaled by 8, in slow ticks
+	rttvar   int // scaled by 4
+	rtt      int // active measurement counter (0 = none)
+	rtseq    uint32
+
+	// Out-of-order segments, sorted by seq.
+	reass []tcpSeg
+
+	// Listener state.
+	listening bool
+	backlog   int
+	acceptQ   []*tcpcb
+	parent    *tcpcb
+
+	// User synchronization.
+	connEvent   uint32
+	acceptEvent uint32
+
+	nodelay bool
+	sentFin bool
+	err     com.Error // sticky socket error
+	refcnt  int       // socket references; pcb freed at 0 and closed
+}
+
+// tcpNew creates an attached pcb.
+func (s *Stack) tcpNew() *tcpcb {
+	tp := &tcpcb{
+		s:        s,
+		state:    tcpsClosed,
+		maxSeg:   tcpMSS,
+		cwnd:     tcpMSS,
+		ssthresh: 65535,
+		srtt:     0,
+		rttvar:   3 * 4, // BSD initial: srtt unset, rttvar 3 ticks
+	}
+	tp.sndBuf.init(s)
+	tp.rcvBuf.init(s)
+	tp.connEvent = s.newEvent()
+	tp.acceptEvent = s.newEvent()
+	s.tcpPCBs = append(s.tcpPCBs, tp)
+	return tp
+}
+
+// tcpDetach removes a pcb from the stack.
+func (s *Stack) tcpDetach(tp *tcpcb) {
+	for i, p := range s.tcpPCBs {
+		if p == tp {
+			s.tcpPCBs = append(s.tcpPCBs[:i], s.tcpPCBs[i+1:]...)
+			break
+		}
+	}
+	tp.sndBuf.flush()
+	tp.rcvBuf.flush()
+	tp.state = tcpsClosed
+}
+
+// tcpLookup demuxes an inbound segment.
+func (s *Stack) tcpLookup(dst IPAddr, dport uint16, src IPAddr, sport uint16) *tcpcb {
+	var listener *tcpcb
+	for _, tp := range s.tcpPCBs {
+		if tp.lport != dport {
+			continue
+		}
+		if !tp.listening && tp.fport == sport && tp.faddr == src {
+			return tp
+		}
+		if tp.listening {
+			listener = tp
+		}
+	}
+	return listener
+}
+
+// tcpBind assigns the local port.
+func (s *Stack) tcpBind(tp *tcpcb, port uint16, reuse bool) error {
+	if port == 0 {
+		port = s.ephemeral(func(p uint16) bool {
+			for _, o := range s.tcpPCBs {
+				if o != tp && o.lport == p {
+					return false
+				}
+			}
+			return true
+		})
+		if port == 0 {
+			return com.ErrAddrInUse
+		}
+	} else {
+		for _, o := range s.tcpPCBs {
+			if o != tp && o.lport == port && (o.listening || !reuse) {
+				if !reuse || o.listening {
+					return com.ErrAddrInUse
+				}
+			}
+		}
+	}
+	tp.laddr = s.ifIP
+	tp.lport = port
+	return nil
+}
+
+// newISS picks an initial send sequence.
+func (s *Stack) newISS() uint32 {
+	s.issSeed += 64000
+	return s.issSeed
+}
+
+// tcpUsrConnect starts the three-way handshake (caller blocks in the
+// socket layer on connEvent).
+func (tp *tcpcb) usrConnect(dst IPAddr, dport uint16) error {
+	if tp.lport == 0 {
+		if err := tp.s.tcpBind(tp, 0, false); err != nil {
+			return err
+		}
+	}
+	tp.faddr = dst
+	tp.fport = dport
+	tp.iss = tp.s.newISS()
+	tp.sndUna, tp.sndNxt, tp.sndMax = tp.iss, tp.iss, tp.iss
+	tp.state = tcpsSynSent
+	tp.timers[tRexmt] = tp.rexmtTimeout()
+	tp.s.tcpOutput(tp)
+	return nil
+}
+
+// usrListen makes the pcb passive.
+func (tp *tcpcb) usrListen(backlog int) error {
+	if tp.lport == 0 {
+		return com.ErrInval
+	}
+	if backlog < 1 {
+		backlog = 1
+	}
+	tp.listening = true
+	tp.backlog = backlog
+	tp.state = tcpsListen
+	return nil
+}
+
+// usrClose begins an orderly close from the user side.
+func (tp *tcpcb) usrClose() {
+	switch tp.state {
+	case tcpsClosed, tcpsListen, tcpsSynSent:
+		tp.s.tcpDetach(tp)
+	case tcpsSynRcvd, tcpsEstablished:
+		tp.state = tcpsFinWait1
+		tp.s.tcpOutput(tp)
+	case tcpsCloseWait:
+		tp.state = tcpsLastAck
+		tp.s.tcpOutput(tp)
+	}
+	// Wake anyone blocked; they will see the state change.
+	tp.wakeAll()
+}
+
+// usrAbort sends RST and drops the connection.
+func (tp *tcpcb) usrAbort() {
+	if tp.state == tcpsEstablished || tp.state == tcpsSynRcvd ||
+		tp.state == tcpsFinWait1 || tp.state == tcpsFinWait2 || tp.state == tcpsCloseWait {
+		tp.s.tcpRespond(tp.laddr, tp.lport, tp.faddr, tp.fport, tp.sndNxt, 0, thRST)
+	}
+	tp.drop(com.ErrConnReset)
+}
+
+// drop kills the connection with a sticky error and wakes everyone.
+func (tp *tcpcb) drop(err com.Error) {
+	tp.err = err
+	tp.s.tcpDetach(tp)
+	tp.wakeAll()
+}
+
+func (tp *tcpcb) wakeAll() {
+	g := tp.s.g
+	g.Wakeup(tp.rcvBuf.event)
+	g.Wakeup(tp.sndBuf.event)
+	g.Wakeup(tp.connEvent)
+	g.Wakeup(tp.acceptEvent)
+	if tp.parent != nil {
+		g.Wakeup(tp.parent.acceptEvent)
+	}
+}
+
+// rcvWindow computes the advertised window from receive-buffer room.
+func (tp *tcpcb) rcvWindow() uint32 {
+	w := tp.rcvBuf.space()
+	if w < 0 {
+		return 0
+	}
+	if w > 65535 {
+		w = 65535
+	}
+	return uint32(w)
+}
+
+// tcpRespond emits a bare control segment (RST or ACK) without a pcb
+// send buffer — BSD's tcp_respond.
+func (s *Stack) tcpRespond(laddr IPAddr, lport uint16, faddr IPAddr, fport uint16, seq, ack uint32, flags byte) {
+	m := s.MGetHdr()
+	if m == nil {
+		return
+	}
+	m.Append(make([]byte, 0))
+	m = m.Prepend(tcpHdrLen)
+	if m == nil {
+		return
+	}
+	h := m.Data()[:tcpHdrLen]
+	packTCPHeader(h, lport, fport, seq, ack, flags, 0)
+	csum := s.chainChecksum(m, pseudoSum(laddr, faddr, ProtoTCP, m.PktLen))
+	binary.BigEndian.PutUint16(h[16:18], csum)
+	s.Stats.TCPOut++
+	s.ipOutput(m, laddr, faddr, ProtoTCP, 0)
+}
+
+func packTCPHeader(h []byte, sport, dport uint16, seq, ack uint32, flags byte, wnd uint32) {
+	binary.BigEndian.PutUint16(h[0:2], sport)
+	binary.BigEndian.PutUint16(h[2:4], dport)
+	binary.BigEndian.PutUint32(h[4:8], seq)
+	binary.BigEndian.PutUint32(h[8:12], ack)
+	h[12] = (tcpHdrLen / 4) << 4
+	h[13] = flags
+	binary.BigEndian.PutUint16(h[14:16], uint16(wnd))
+	h[16], h[17] = 0, 0 // checksum, filled by caller
+	h[18], h[19] = 0, 0
+}

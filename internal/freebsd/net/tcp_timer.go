@@ -1,0 +1,110 @@
+package bsdnet
+
+import "oskit/internal/com"
+
+// TCP timers, BSD structure: per-pcb countdown slots decremented by the
+// stack's slow timer (500 ms) at interrupt level.
+
+// tcpSlowTimo ages every connection.
+func (s *Stack) tcpSlowTimo() {
+	// Copy the list: timer actions may detach pcbs.
+	pcbs := append([]*tcpcb(nil), s.tcpPCBs...)
+	for _, tp := range pcbs {
+		if tp.rtt > 0 {
+			tp.rtt++ // active RTT measurement, in slow ticks
+		}
+		for i := 0; i < tcpNTimers; i++ {
+			if tp.timers[i] > 0 {
+				tp.timers[i]--
+				if tp.timers[i] == 0 {
+					s.tcpTimerFire(tp, i)
+				}
+			}
+		}
+	}
+}
+
+func (s *Stack) tcpTimerFire(tp *tcpcb, which int) {
+	switch which {
+	case tRexmt:
+		tp.rxtShift++
+		if tp.rxtShift > tcpMaxRxtShift {
+			tp.drop(com.ErrTimedOut)
+			return
+		}
+		s.Stats.TCPRexmt++
+		// Collapse the congestion window and retransmit from snd_una.
+		flight := tp.sndMax - tp.sndUna
+		half := flight / 2
+		if half < 2*tp.maxSeg {
+			half = 2 * tp.maxSeg
+		}
+		tp.ssthresh = half
+		tp.cwnd = tp.maxSeg
+		tp.dupacks = 0
+		tp.rtt = 0 // Karn: don't time retransmitted data
+		tp.sndNxt = tp.sndUna
+		if tp.state == tcpsSynSent || tp.state == tcpsSynRcvd {
+			// Re-send the SYN.
+			tp.sentFin = false
+		}
+		tp.timers[tRexmt] = tp.rexmtTimeout()
+		s.tcpOutput(tp)
+
+	case tPersist:
+		// Window probe: force a single byte past the window edge.
+		s.tcpProbe(tp)
+		if tp.sndBuf.cc > 0 && tp.sndWnd == 0 {
+			tp.timers[tPersist] = tp.rexmtTimeout()
+		}
+
+	case tKeep:
+		// Handshake never completed (or idle drop for SYN_RCVD).
+		if tp.state == tcpsSynRcvd || tp.state == tcpsSynSent {
+			tp.drop(com.ErrTimedOut)
+		}
+
+	case t2MSL:
+		s.tcpDetach(tp)
+		tp.wakeAll()
+	}
+}
+
+// tcpProbe transmits one byte of data beyond the closed window so the
+// peer re-announces it (the persist state's zero-window probe).
+func (s *Stack) tcpProbe(tp *tcpcb) {
+	off := int(tp.sndNxt - tp.sndUna)
+	if tp.sndBuf.cc <= off {
+		return
+	}
+	var b [1]byte
+	tp.sndBuf.head.CopyData(off, 1, b[:])
+	m := s.MGetHdr()
+	if m == nil {
+		return
+	}
+	if !m.Append(b[:]) {
+		m.FreeChain()
+		return
+	}
+	m = m.Prepend(tcpHdrLen)
+	if m == nil {
+		return
+	}
+	h := m.Data()[:tcpHdrLen]
+	packTCPHeader(h, tp.lport, tp.fport, tp.sndNxt, tp.rcvNxt, thACK|thPSH, tp.rcvWindow())
+	csum := s.chainChecksum(m, pseudoSum(tp.laddr, tp.faddr, ProtoTCP, m.PktLen))
+	putU16(h[16:18], csum)
+	s.Stats.TCPOut++
+	s.ipOutput(m, tp.laddr, tp.faddr, ProtoTCP, 0)
+}
+
+func putU16(b []byte, v uint16) { b[0], b[1] = byte(v>>8), byte(v) }
+
+// armPersistIfNeeded starts the persist timer when the window closed
+// with data pending (called from the socket write path).
+func (tp *tcpcb) armPersistIfNeeded() {
+	if tp.sndWnd == 0 && tp.sndBuf.cc > 0 && tp.timers[tPersist] == 0 && tp.timers[tRexmt] == 0 {
+		tp.timers[tPersist] = tp.rexmtTimeout()
+	}
+}

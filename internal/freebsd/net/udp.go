@@ -1,0 +1,206 @@
+package bsdnet
+
+import (
+	"encoding/binary"
+
+	"oskit/internal/com"
+)
+
+// UDP: protocol control blocks, input demux, output.
+
+const udpHdrLen = 8
+
+type udpDatagram struct {
+	from IPAddr
+	port uint16
+	data []byte
+}
+
+type udpPCB struct {
+	s            *Stack
+	laddr, faddr IPAddr
+	lport, fport uint16
+
+	rcv      []udpDatagram
+	rcvBytes int
+	rcvLimit int
+	rcvEvent uint32
+	closed   bool
+}
+
+func (s *Stack) udpNew() *udpPCB {
+	pcb := &udpPCB{s: s, rcvLimit: defaultSockbufBytes, rcvEvent: s.newEvent()}
+	s.udpPCBs = append(s.udpPCBs, pcb)
+	return pcb
+}
+
+func (s *Stack) udpDetach(pcb *udpPCB) {
+	for i, p := range s.udpPCBs {
+		if p == pcb {
+			s.udpPCBs = append(s.udpPCBs[:i], s.udpPCBs[i+1:]...)
+			return
+		}
+	}
+}
+
+// udpBind assigns the local port (0 picks an ephemeral one).
+func (s *Stack) udpBind(pcb *udpPCB, port uint16) error {
+	if port == 0 {
+		port = s.ephemeral(func(p uint16) bool { return s.udpLookup(s.ifIP, p, IPAddr{}, 0) == nil })
+		if port == 0 {
+			return com.ErrAddrInUse
+		}
+	} else {
+		for _, other := range s.udpPCBs {
+			if other != pcb && other.lport == port {
+				return com.ErrAddrInUse
+			}
+		}
+	}
+	pcb.laddr = s.ifIP
+	pcb.lport = port
+	return nil
+}
+
+// ephemeral scans the dynamic port range.
+func (s *Stack) ephemeral(free func(uint16) bool) uint16 {
+	for p := uint16(49152); p != 0; p++ {
+		if free(p) {
+			return p
+		}
+	}
+	return 0
+}
+
+// udpLookup finds the best-matching PCB (exact 4-tuple beats wildcard).
+func (s *Stack) udpLookup(dst IPAddr, dport uint16, src IPAddr, sport uint16) *udpPCB {
+	var wild *udpPCB
+	for _, pcb := range s.udpPCBs {
+		if pcb.lport != dport {
+			continue
+		}
+		if pcb.fport == sport && pcb.faddr == src {
+			return pcb
+		}
+		if pcb.fport == 0 {
+			wild = pcb
+		}
+	}
+	return wild
+}
+
+// udpInput handles one datagram (interrupt level, splnet implied).
+func (s *Stack) udpInput(m *Mbuf, src, dst IPAddr) {
+	m = m.Pullup(udpHdrLen)
+	if m == nil {
+		return
+	}
+	h := m.Data()[:udpHdrLen]
+	sport := binary.BigEndian.Uint16(h[0:2])
+	dport := binary.BigEndian.Uint16(h[2:4])
+	ulen := int(binary.BigEndian.Uint16(h[4:6]))
+	if ulen < udpHdrLen || ulen > m.PktLen {
+		m.FreeChain()
+		return
+	}
+	if binary.BigEndian.Uint16(h[6:8]) != 0 {
+		// Checksum present: verify over pseudo-header + datagram.
+		buf := make([]byte, ulen)
+		m.CopyData(0, ulen, buf)
+		if Checksum(buf, pseudoSum(src, dst, ProtoUDP, ulen)) != 0 {
+			m.FreeChain()
+			return
+		}
+	}
+	pcb := s.udpLookup(dst, dport, src, sport)
+	if pcb == nil || pcb.closed {
+		m.FreeChain()
+		return
+	}
+	s.Stats.UDPIn++
+	payload := make([]byte, ulen-udpHdrLen)
+	m.CopyData(udpHdrLen, len(payload), payload)
+	m.FreeChain()
+	if pcb.rcvBytes+len(payload) > pcb.rcvLimit {
+		return // buffer full: drop, as UDP does
+	}
+	pcb.rcv = append(pcb.rcv, udpDatagram{from: src, port: sport, data: payload})
+	pcb.rcvBytes += len(payload)
+	s.g.Wakeup(pcb.rcvEvent)
+}
+
+// udpOutput sends one datagram.  Called at splnet.
+func (s *Stack) udpOutput(pcb *udpPCB, data []byte, dst IPAddr, dport uint16) error {
+	if pcb.lport == 0 {
+		if err := s.udpBind(pcb, 0); err != nil {
+			return err
+		}
+	}
+	m := s.MGetHdr()
+	if m == nil {
+		return com.ErrNoMem
+	}
+	if !m.Append(data) {
+		m.FreeChain()
+		return com.ErrNoMem
+	}
+	m = m.Prepend(udpHdrLen)
+	if m == nil {
+		return com.ErrNoMem
+	}
+	h := m.Data()[:udpHdrLen]
+	binary.BigEndian.PutUint16(h[0:2], pcb.lport)
+	binary.BigEndian.PutUint16(h[2:4], dport)
+	binary.BigEndian.PutUint16(h[4:6], uint16(m.PktLen))
+	h[6], h[7] = 0, 0
+	csum := s.chainChecksum(m, pseudoSum(s.ifIP, dst, ProtoUDP, m.PktLen))
+	if csum == 0 {
+		csum = 0xffff
+	}
+	binary.BigEndian.PutUint16(h[6:8], csum)
+	s.Stats.UDPOut++
+	s.ipOutput(m, s.ifIP, dst, ProtoUDP, 0)
+	return nil
+}
+
+// udpRecv blocks for one datagram (process level; enters at splnet).
+func (s *Stack) udpRecv(pcb *udpPCB, buf []byte) (int, IPAddr, uint16, error) {
+	for len(pcb.rcv) == 0 {
+		if pcb.closed {
+			return 0, IPAddr{}, 0, com.ErrBadF
+		}
+		s.g.Tsleep(pcb.rcvEvent, "udprcv")
+	}
+	d := pcb.rcv[0]
+	pcb.rcv = pcb.rcv[1:]
+	pcb.rcvBytes -= len(d.data)
+	n := copy(buf, d.data)
+	return n, d.from, d.port, nil
+}
+
+// chainChecksum computes the Internet checksum over a whole chain with
+// an initial pseudo-header sum, handling odd-length links (in_cksum).
+func (s *Stack) chainChecksum(m *Mbuf, initial uint32) uint16 {
+	sum := initial
+	odd := false
+	for cur := m; cur != nil; cur = cur.Next {
+		d := cur.Data()
+		i := 0
+		if odd && len(d) > 0 {
+			sum += uint32(d[0])
+			i = 1
+			odd = false
+		}
+		for ; i+1 < len(d); i += 2 {
+			sum += uint32(d[i])<<8 | uint32(d[i+1])
+		}
+		if i < len(d) {
+			sum += uint32(d[i]) << 8
+			odd = true
+		}
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}

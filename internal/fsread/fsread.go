@@ -1,0 +1,216 @@
+// Package fsread is the kit's minimal file-system reading component
+// (Table 3 "fsread"): a small, standalone, read-only interpreter of the
+// kit's FFS on-disk layout, for boot-time use — loading a kernel or its
+// first programs off disk before (and without) the full file system
+// component, its buffer cache, or its glue.  It deliberately duplicates
+// the few dozen lines of layout knowledge instead of depending on the
+// netbsd_fs component: boot loaders want to be tiny and freestanding.
+package fsread
+
+import (
+	"encoding/binary"
+	"strings"
+
+	"oskit/internal/com"
+)
+
+// Layout constants (must match internal/netbsd/fs; checked by test).
+const (
+	blockSize = 1024
+	inodeSize = 64
+	nDirect   = 8
+	ptrsPerBl = blockSize / 4
+	magic     = 0x0FF51997
+	rootIno   = 1
+	direntSz  = 64
+)
+
+// reader is one open device.
+type reader struct {
+	dev             com.BlkIO
+	inodeTableStart uint32
+	ninodes         uint32
+}
+
+func open(dev com.BlkIO) (*reader, error) {
+	sb := make([]byte, 64)
+	if _, err := dev.Read(sb, 0); err != nil {
+		return nil, com.ErrIO
+	}
+	if binary.LittleEndian.Uint32(sb[0:4]) != magic {
+		return nil, com.ErrInval
+	}
+	return &reader{
+		dev:             dev,
+		ninodes:         binary.LittleEndian.Uint32(sb[8:12]),
+		inodeTableStart: binary.LittleEndian.Uint32(sb[20:24]),
+	}, nil
+}
+
+type inode struct {
+	mode      uint16
+	size      uint64
+	direct    [nDirect]uint32
+	indirect  uint32
+	dindirect uint32
+}
+
+func (r *reader) iget(ino uint32) (*inode, error) {
+	if ino == 0 || ino >= r.ninodes {
+		return nil, com.ErrInval
+	}
+	blk := r.inodeTableStart + ino/(blockSize/inodeSize)
+	buf := make([]byte, blockSize)
+	if _, err := r.dev.Read(buf, uint64(blk)*blockSize); err != nil {
+		return nil, com.ErrIO
+	}
+	off := (ino % (blockSize / inodeSize)) * inodeSize
+	b := buf[off:]
+	var di inode
+	di.mode = binary.LittleEndian.Uint16(b[0:2])
+	di.size = binary.LittleEndian.Uint64(b[8:16])
+	for i := 0; i < nDirect; i++ {
+		di.direct[i] = binary.LittleEndian.Uint32(b[24+i*4:])
+	}
+	di.indirect = binary.LittleEndian.Uint32(b[56:])
+	di.dindirect = binary.LittleEndian.Uint32(b[60:])
+	return &di, nil
+}
+
+// bmap resolves a logical block (read-only walk).
+func (r *reader) bmap(di *inode, lbn uint32) (uint32, error) {
+	if lbn < nDirect {
+		return di.direct[lbn], nil
+	}
+	lbn -= nDirect
+	readPtr := func(blk, slot uint32) (uint32, error) {
+		if blk == 0 {
+			return 0, nil
+		}
+		buf := make([]byte, blockSize)
+		if _, err := r.dev.Read(buf, uint64(blk)*blockSize); err != nil {
+			return 0, com.ErrIO
+		}
+		return binary.LittleEndian.Uint32(buf[slot*4:]), nil
+	}
+	if lbn < ptrsPerBl {
+		return readPtr(di.indirect, lbn)
+	}
+	lbn -= ptrsPerBl
+	l1, err := readPtr(di.dindirect, lbn/ptrsPerBl)
+	if err != nil {
+		return 0, err
+	}
+	return readPtr(l1, lbn%ptrsPerBl)
+}
+
+// readAll slurps an inode's contents.
+func (r *reader) readAll(di *inode) ([]byte, error) {
+	out := make([]byte, di.size)
+	for off := uint64(0); off < di.size; off += blockSize {
+		blk, err := r.bmap(di, uint32(off/blockSize))
+		if err != nil {
+			return nil, err
+		}
+		n := di.size - off
+		if n > blockSize {
+			n = blockSize
+		}
+		if blk == 0 {
+			continue // hole: already zero
+		}
+		buf := make([]byte, blockSize)
+		if _, err := r.dev.Read(buf, uint64(blk)*blockSize); err != nil {
+			return nil, com.ErrIO
+		}
+		copy(out[off:off+n], buf)
+	}
+	return out, nil
+}
+
+// lookup resolves one component in a directory inode.
+func (r *reader) lookup(di *inode, name string) (uint32, error) {
+	data, err := r.readAll(di)
+	if err != nil {
+		return 0, err
+	}
+	for off := 0; off+direntSz <= len(data); off += direntSz {
+		ino := binary.LittleEndian.Uint32(data[off:])
+		if ino == 0 {
+			continue
+		}
+		n := int(data[off+4])
+		if n <= 59 && string(data[off+5:off+5+n]) == name {
+			return ino, nil
+		}
+	}
+	return 0, com.ErrNoEnt
+}
+
+// walk resolves a slash path from the root.
+func (r *reader) walk(path string) (*inode, error) {
+	di, err := r.iget(rootIno)
+	if err != nil {
+		return nil, err
+	}
+	for _, part := range strings.Split(path, "/") {
+		if part == "" || part == "." {
+			continue
+		}
+		ino, err := r.lookup(di, part)
+		if err != nil {
+			return nil, err
+		}
+		if di, err = r.iget(ino); err != nil {
+			return nil, err
+		}
+	}
+	return di, nil
+}
+
+// ReadFile returns the contents of path on a formatted device.
+func ReadFile(dev com.BlkIO, path string) ([]byte, error) {
+	r, err := open(dev)
+	if err != nil {
+		return nil, err
+	}
+	di, err := r.walk(path)
+	if err != nil {
+		return nil, err
+	}
+	if di.mode&uint16(com.ModeIFMT) == uint16(com.ModeIFDIR) {
+		return nil, com.ErrIsDir
+	}
+	return r.readAll(di)
+}
+
+// List returns the entry names of the directory at path.
+func List(dev com.BlkIO, path string) ([]string, error) {
+	r, err := open(dev)
+	if err != nil {
+		return nil, err
+	}
+	di, err := r.walk(path)
+	if err != nil {
+		return nil, err
+	}
+	if di.mode&uint16(com.ModeIFMT) != uint16(com.ModeIFDIR) {
+		return nil, com.ErrNotDir
+	}
+	data, err := r.readAll(di)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for off := 0; off+direntSz <= len(data); off += direntSz {
+		if binary.LittleEndian.Uint32(data[off:]) == 0 {
+			continue
+		}
+		n := int(data[off+4])
+		if n > 59 {
+			n = 59
+		}
+		names = append(names, string(data[off+5:off+5+n]))
+	}
+	return names, nil
+}

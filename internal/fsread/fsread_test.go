@@ -1,0 +1,118 @@
+package fsread
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+
+	"oskit/internal/com"
+	"oskit/internal/core"
+	bsdglue "oskit/internal/freebsd/glue"
+	"oskit/internal/hw"
+	"oskit/internal/lmm"
+	netbsdfs "oskit/internal/netbsd/fs"
+)
+
+// image builds a formatted device with the full FS component, which
+// fsread must then interpret independently.
+func image(t *testing.T) com.BlkIO {
+	t.Helper()
+	m := hw.NewMachine(hw.Config{MemBytes: 16 << 20})
+	t.Cleanup(m.Halt)
+	arena := lmm.NewArena()
+	if err := arena.AddRegion(0x100000, 8<<20, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	arena.AddFree(0x100000, 8<<20)
+	g := bsdglue.New(core.NewEnv(m, arena))
+	dev := com.NewMemBuf(make([]byte, 2048*netbsdfs.BlockSize))
+	if err := netbsdfs.Mkfs(dev, 0); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := netbsdfs.Mount(g, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, _ := fs.GetRoot()
+	defer root.Release()
+	if err := root.Mkdir("boot", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	bootF, _ := root.Lookup("boot")
+	bq, _ := bootF.QueryInterface(com.DirIID)
+	bootF.Release()
+	bootDir := bq.(com.Dir)
+	defer bootDir.Release()
+
+	kernF, err := bootDir.Create("kernel", 0o755, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spans indirect blocks.
+	payload := bytes.Repeat([]byte("KERNEL-IMAGE-XYZ"), 2048) // 32 KiB
+	if _, err := kernF.WriteAt(payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	kernF.Release()
+	smallF, _ := bootDir.Create("cfg", 0o644, true)
+	if _, err := smallF.WriteAt([]byte("console=com1"), 0); err != nil {
+		t.Fatal(err)
+	}
+	smallF.Release()
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Unmount(); err != nil {
+		t.Fatal(err)
+	}
+	return dev
+}
+
+func TestReadFileStandalone(t *testing.T) {
+	dev := image(t)
+	got, err := ReadFile(dev, "/boot/kernel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bytes.Repeat([]byte("KERNEL-IMAGE-XYZ"), 2048)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("kernel image: %d bytes, want %d", len(got), len(want))
+	}
+	cfg, err := ReadFile(dev, "boot/cfg")
+	if err != nil || string(cfg) != "console=com1" {
+		t.Fatalf("cfg = %q, %v", cfg, err)
+	}
+	if _, err := ReadFile(dev, "/boot/missing"); err != com.ErrNoEnt {
+		t.Fatalf("missing file: %v", err)
+	}
+	if _, err := ReadFile(dev, "/boot"); err != com.ErrIsDir {
+		t.Fatalf("reading a directory: %v", err)
+	}
+}
+
+func TestListStandalone(t *testing.T) {
+	dev := image(t)
+	names, err := List(dev, "/boot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(names)
+	if len(names) != 2 || names[0] != "cfg" || names[1] != "kernel" {
+		t.Fatalf("names = %v", names)
+	}
+	if _, err := List(dev, "/boot/cfg"); err != com.ErrNotDir {
+		t.Fatalf("listing a file: %v", err)
+	}
+	if _, err := List(com.NewMemBuf(make([]byte, 4096)), "/"); err != com.ErrInval {
+		t.Fatalf("unformatted device: %v", err)
+	}
+}
+
+// The layout constants are duplicated by design; this guards the copies.
+func TestLayoutConstantsMatch(t *testing.T) {
+	if blockSize != netbsdfs.BlockSize || inodeSize != netbsdfs.InodeSize ||
+		nDirect != netbsdfs.NDirect || magic != netbsdfs.Magic ||
+		rootIno != netbsdfs.RootIno || direntSz != netbsdfs.DirentSize {
+		t.Fatal("fsread layout constants diverge from internal/netbsd/fs")
+	}
+}

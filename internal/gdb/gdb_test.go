@@ -1,0 +1,213 @@
+package gdb
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"oskit/internal/hw"
+	"oskit/internal/kern"
+)
+
+// pipePair builds a stub/client serial pair (the simulated serial line of
+// §3.5 with GDB on the far machine).
+func pipePair() (target, host *hw.SerialPort) {
+	target = hw.NewSerialPort(nil, 0)
+	host = hw.NewSerialPort(nil, 0)
+	hw.ConnectSerial(target, host)
+	return
+}
+
+func TestFullDebugSession(t *testing.T) {
+	targetPort, hostPort := pipePair()
+	mem := hw.NewPhysMem(1 << 20)
+	copy(mem.MustSlice(0x1000, 8), "SENTINEL")
+	stub := New(targetPort, mem)
+
+	frame := &kern.TrapFrame{TrapNo: kern.TrapBreakpoint, EIP: 0x4000, EAX: 0x1111, ESP: 0x9000}
+	done := make(chan bool, 1)
+	go func() { done <- stub.Trap(frame) }()
+
+	c := NewClient(hostPort)
+	sig, err := c.WaitStop()
+	if err != nil || sig != 5 {
+		t.Fatalf("WaitStop = %d, %v (want SIGTRAP)", sig, err)
+	}
+	// '?' re-query.
+	if sig, err = c.HaltReason(); err != nil || sig != 5 {
+		t.Fatalf("HaltReason = %d, %v", sig, err)
+	}
+	// Registers arrive in i386 GDB order.
+	regs, err := c.ReadRegs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs[0] != 0x1111 || regs[4] != 0x9000 || regs[8] != 0x4000 {
+		t.Fatalf("regs = %#v", regs)
+	}
+	// Poke EIP through the wire; the kernel's frame must change.
+	if err := c.WriteReg(8, 0x4242); err != nil {
+		t.Fatal(err)
+	}
+	// Read and patch target memory.
+	data, err := c.ReadMem(0x1000, 8)
+	if err != nil || string(data) != "SENTINEL" {
+		t.Fatalf("ReadMem = %q, %v", data, err)
+	}
+	if err := c.WriteMem(0x1004, []byte("RIES")); err != nil {
+		t.Fatal(err)
+	}
+	if string(mem.MustSlice(0x1000, 8)) != "SENTRIES" {
+		t.Fatal("WriteMem did not hit target memory")
+	}
+	// Out-of-range memory access is an error packet, not a crash.
+	if _, err := c.ReadMem(0xFFFFFF00, 16); err == nil {
+		t.Fatal("out-of-range ReadMem succeeded")
+	}
+	// Plant a breakpoint, then continue.
+	if err := c.SetBreakpoint(0x5000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.roundTrip("Hg0"); err != nil { // thread ops are accepted
+		t.Fatal(err)
+	}
+	if reply, err := c.roundTrip("qSupported:xmlRegisters=i386"); err != nil || reply == "" {
+		t.Fatalf("qSupported = %q, %v", reply, err)
+	}
+	if reply, err := c.roundTrip("vMustReplyEmpty"); err != nil || reply != "" {
+		t.Fatalf("unknown command reply = %q, %v", reply, err)
+	}
+	go func() {
+		if _, err := c.Continue(); err != nil {
+			// Continue's stop reply comes from the *next* trap below.
+			t.Error(err)
+		}
+	}()
+	alive := <-done
+	if !alive {
+		t.Fatal("continue killed the target")
+	}
+	if frame.EIP != 0x4242 {
+		t.Fatalf("register write lost: eip=%#x", frame.EIP)
+	}
+	// The cooperative engine consults the breakpoint table.
+	if !stub.IsBreakpoint(0x5000) || stub.IsBreakpoint(0x5004) {
+		t.Fatal("breakpoint table wrong")
+	}
+
+	// Hit the breakpoint: trap again; the pending Continue sees the stop.
+	frame2 := &kern.TrapFrame{TrapNo: kern.TrapBreakpoint, EIP: 0x5000}
+	go func() { done <- stub.Trap(frame2) }()
+	time.Sleep(10 * time.Millisecond) // let Continue's WaitStop consume it
+	// Clear it and step.
+	if err := c.ClearBreakpoint(0x5000); err != nil {
+		t.Fatal(err)
+	}
+	if stub.IsBreakpoint(0x5000) {
+		t.Fatal("breakpoint survived clear")
+	}
+	stepDone := make(chan int, 1)
+	go func() {
+		sig, _ := c.Step()
+		stepDone <- sig
+	}()
+	<-done // target resumed
+	if !stub.StepPending() {
+		t.Fatal("step not pending after 's'")
+	}
+	if stub.StepPending() {
+		t.Fatal("StepPending did not consume the request")
+	}
+	// Engine executes one instruction and re-enters with a debug trap.
+	frame3 := &kern.TrapFrame{TrapNo: kern.TrapDebug, EIP: 0x5001}
+	go func() { done <- stub.Trap(frame3) }()
+	if sig := <-stepDone; sig != 5 {
+		t.Fatalf("step stop sig = %d", sig)
+	}
+	// Kill ends the session; Trap reports the target not alive.
+	if err := c.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	if alive := <-done; alive {
+		t.Fatal("kill left the target alive")
+	}
+	if !stub.Killed() {
+		t.Fatal("Killed flag unset")
+	}
+}
+
+func TestStopReplySignals(t *testing.T) {
+	cases := map[uint32]string{
+		kern.TrapBreakpoint: "S05",
+		kern.TrapDebug:      "S05",
+		kern.TrapPageFault:  "S0b",
+		kern.TrapGPF:        "S0b",
+		kern.TrapDivide:     "S08",
+	}
+	for trap, want := range cases {
+		if got := stopReply(&kern.TrapFrame{TrapNo: trap}); got != want {
+			t.Errorf("stopReply(%d) = %q, want %q", trap, got, want)
+		}
+	}
+}
+
+func TestPacketChecksumRejection(t *testing.T) {
+	target, host := pipePair()
+	// Send a corrupted packet, then a good one; the reader must NAK the
+	// bad one and deliver the good one.
+	go func() {
+		_, _ = host.Write([]byte("$bad#00"))
+		// Wait for the '-' NAK before retransmitting, as GDB would.
+		one := make([]byte, 1)
+		for {
+			n, _ := host.Read(one)
+			if n == 1 && one[0] == '-' {
+				break
+			}
+		}
+		_ = writePacketTo(host, "good", false)
+	}()
+	pkt, err := readPacketFrom(target, true)
+	if err != nil || pkt != "good" {
+		t.Fatalf("readPacket = %q, %v", pkt, err)
+	}
+}
+
+// Property: the hex32 little-endian codec round-trips all values.
+func TestHex32RoundTripProperty(t *testing.T) {
+	f := func(v uint32) bool {
+		enc := appendHex32LE(nil, v)
+		got, err := parseHex32LE(string(enc))
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: packet framing round-trips arbitrary payload strings that
+// avoid the protocol's framing metacharacters.
+func TestPacketRoundTripProperty(t *testing.T) {
+	f := func(raw []byte) bool {
+		payload := make([]byte, 0, len(raw))
+		for _, b := range raw {
+			switch b {
+			case '$', '#', '+', '-':
+				continue
+			default:
+				payload = append(payload, b)
+			}
+		}
+		target, host := pipePair()
+		errc := make(chan error, 1)
+		go func() { errc <- writePacketTo(host, string(payload), true) }()
+		got, err := readPacketFrom(target, true)
+		if err != nil || got != string(payload) {
+			return false
+		}
+		return <-errc == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

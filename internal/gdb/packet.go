@@ -1,0 +1,168 @@
+package gdb
+
+import (
+	"fmt"
+	"io"
+)
+
+// GDB remote serial protocol framing: $<payload>#<2-hex checksum>, where
+// the checksum is the payload bytes summed modulo 256; each packet is
+// acknowledged with '+' (or '-' to request retransmission).
+
+const hexDigits = "0123456789abcdef"
+
+// rw is the byte transport both Stub and Client frame packets over.
+type rw interface {
+	Read(p []byte) (int, error)
+	Write(p []byte) (int, error)
+}
+
+// readPacketFrom scans for a framed packet, verifies its checksum, and
+// acknowledges it.
+func readPacketFrom(port rw, ack bool) (string, error) {
+	one := make([]byte, 1)
+	readByte := func() (byte, error) {
+		for {
+			n, err := port.Read(one)
+			if err != nil {
+				return 0, err
+			}
+			if n == 1 {
+				return one[0], nil
+			}
+		}
+	}
+	for {
+		// Hunt for '$' (skipping acks and line noise).
+		for {
+			b, err := readByte()
+			if err != nil {
+				return "", err
+			}
+			if b == '$' {
+				break
+			}
+		}
+		var payload []byte
+		for {
+			b, err := readByte()
+			if err != nil {
+				return "", err
+			}
+			if b == '#' {
+				break
+			}
+			payload = append(payload, b)
+		}
+		h1, err := readByte()
+		if err != nil {
+			return "", err
+		}
+		h2, err := readByte()
+		if err != nil {
+			return "", err
+		}
+		d1, e1 := unhex(h1)
+		d2, e2 := unhex(h2)
+		sum := checksum(payload)
+		if e1 != nil || e2 != nil || d1<<4|d2 != sum {
+			if ack {
+				_, _ = port.Write([]byte{'-'})
+			}
+			continue // re-hunt; sender will retransmit
+		}
+		if ack {
+			_, _ = port.Write([]byte{'+'})
+		}
+		return string(payload), nil
+	}
+}
+
+// writePacketTo frames and sends payload, waiting for the '+' ack when
+// ack mode is on.
+func writePacketTo(port rw, payload string, ack bool) error {
+	frame := make([]byte, 0, len(payload)+4)
+	frame = append(frame, '$')
+	frame = append(frame, payload...)
+	sum := checksum([]byte(payload))
+	frame = append(frame, '#', hexDigits[sum>>4], hexDigits[sum&0xf])
+	for attempt := 0; attempt < 5; attempt++ {
+		if _, err := port.Write(frame); err != nil {
+			return err
+		}
+		if !ack {
+			return nil
+		}
+		one := make([]byte, 1)
+		for {
+			n, err := port.Read(one)
+			if err != nil {
+				return err
+			}
+			if n == 0 {
+				continue
+			}
+			if one[0] == '+' {
+				return nil
+			}
+			if one[0] == '-' {
+				break // retransmit
+			}
+			// Stray byte (e.g. an interrupt char): keep scanning.
+		}
+	}
+	return fmt.Errorf("gdb: packet never acknowledged")
+}
+
+func (s *Stub) readPacket() (string, error) { return readPacketFrom(s.port, !s.noAckMode) }
+
+func (s *Stub) writePacket(payload string) {
+	_ = writePacketTo(s.port, payload, !s.noAckMode)
+}
+
+func checksum(b []byte) byte {
+	var sum byte
+	for _, c := range b {
+		sum += c
+	}
+	return sum
+}
+
+func unhex(b byte) (byte, error) {
+	switch {
+	case b >= '0' && b <= '9':
+		return b - '0', nil
+	case b >= 'a' && b <= 'f':
+		return b - 'a' + 10, nil
+	case b >= 'A' && b <= 'F':
+		return b - 'A' + 10, nil
+	}
+	return 0, io.ErrUnexpectedEOF
+}
+
+// appendHex32LE appends a 32-bit value as 8 hex digits in little-endian
+// byte order, the i386 'g'-packet convention.
+func appendHex32LE(out []byte, v uint32) []byte {
+	for i := 0; i < 4; i++ {
+		b := byte(v >> (8 * i))
+		out = append(out, hexDigits[b>>4], hexDigits[b&0xf])
+	}
+	return out
+}
+
+// parseHex32LE inverts appendHex32LE.
+func parseHex32LE(s string) (uint32, error) {
+	if len(s) < 8 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	var v uint32
+	for i := 0; i < 4; i++ {
+		hi, err1 := unhex(s[2*i])
+		lo, err2 := unhex(s[2*i+1])
+		if err1 != nil || err2 != nil {
+			return 0, io.ErrUnexpectedEOF
+		}
+		v |= uint32(hi<<4|lo) << (8 * i)
+	}
+	return v, nil
+}

@@ -1,0 +1,229 @@
+// Package gdb is the kit's serial-line stub for the GNU debugger (paper
+// §3.5): a small module that handles traps in the client OS environment
+// and talks GDB's standard remote serial protocol over a serial line to a
+// debugger running on another machine.
+//
+// The stub implements kern.Debugger.  When a trap enters it, it reports a
+// stop to the remote GDB and then serves protocol requests — read/write
+// registers (the documented trap frame, in i386 GDB order), read/write
+// (simulated) physical memory, set/clear breakpoints — until the remote
+// resumes the target with continue or step.
+//
+// Breakpoints are cooperative: execution engines that want them (the kvm
+// bytecode VM does) ask IsBreakpoint(pc) per instruction and raise a
+// breakpoint trap on a hit; single-step works the same way via
+// StepPending.  This mirrors the real stub's contract, where the
+// breakpoint instruction and the TF bit did that work in hardware.
+package gdb
+
+import (
+	"fmt"
+	"sync"
+
+	"oskit/internal/hw"
+	"oskit/internal/kern"
+)
+
+// Stub is one remote-debugging session endpoint.
+type Stub struct {
+	port *hw.SerialPort
+	mem  *hw.PhysMem
+
+	mu          sync.Mutex
+	breakpoints map[uint32]bool
+	stepping    bool
+	killed      bool
+	// noAckMode is negotiated via QStartNoAckMode.
+	noAckMode bool
+}
+
+// New creates a stub speaking on port, exposing mem to the debugger.
+func New(port *hw.SerialPort, mem *hw.PhysMem) *Stub {
+	return &Stub{port: port, mem: mem, breakpoints: map[uint32]bool{}}
+}
+
+// IsBreakpoint reports whether a cooperative execution engine should trap
+// at pc.
+func (s *Stub) IsBreakpoint(pc uint32) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.breakpoints[pc]
+}
+
+// StepPending reports (and consumes) a pending single-step request: a
+// cooperating engine executes one instruction and raises a debug trap.
+func (s *Stub) StepPending() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.stepping
+	s.stepping = false
+	return p
+}
+
+// Killed reports whether the remote debugger issued a kill.
+func (s *Stub) Killed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.killed
+}
+
+// Trap implements kern.Debugger: report the stop and serve the remote
+// until it resumes us.  Returns true (trap consumed) unless the debugger
+// killed or detached from the target.
+func (s *Stub) Trap(f *kern.TrapFrame) bool {
+	s.writePacket(stopReply(f))
+	for {
+		pkt, err := s.readPacket()
+		if err != nil {
+			return false // serial line gone: fall to the default handler
+		}
+		resume, alive := s.handle(pkt, f)
+		if resume {
+			return alive
+		}
+	}
+}
+
+// handle processes one packet; resume true ends the stop, alive false
+// means the target was killed/detached.
+func (s *Stub) handle(pkt string, f *kern.TrapFrame) (resume, alive bool) {
+	if pkt == "" {
+		s.writePacket("")
+		return false, true
+	}
+	switch pkt[0] {
+	case '?':
+		s.writePacket(stopReply(f))
+	case 'g':
+		regs := f.Regs()
+		out := make([]byte, 0, len(regs)*8)
+		for _, r := range regs {
+			out = appendHex32LE(out, r)
+		}
+		s.writePacket(string(out))
+	case 'G':
+		body := pkt[1:]
+		for i := 0; i < kern.NumRegs && (i+1)*8 <= len(body); i++ {
+			v, err := parseHex32LE(body[i*8 : (i+1)*8])
+			if err != nil {
+				s.writePacket("E01")
+				return false, true
+			}
+			f.SetReg(i, v)
+		}
+		s.writePacket("OK")
+	case 'P': // Pn=r — write one register
+		var idx int
+		var val string
+		if _, err := fmt.Sscanf(pkt, "P%x=%s", &idx, &val); err != nil {
+			s.writePacket("E01")
+			return false, true
+		}
+		v, err := parseHex32LE(val)
+		if err != nil || !f.SetReg(idx, v) {
+			s.writePacket("E01")
+			return false, true
+		}
+		s.writePacket("OK")
+	case 'm': // maddr,len — read memory
+		var addr, n uint32
+		if _, err := fmt.Sscanf(pkt, "m%x,%x", &addr, &n); err != nil {
+			s.writePacket("E01")
+			return false, true
+		}
+		buf, err := s.mem.Slice(addr, n)
+		if err != nil {
+			s.writePacket("E02")
+			return false, true
+		}
+		out := make([]byte, 0, n*2)
+		for _, b := range buf {
+			out = append(out, hexDigits[b>>4], hexDigits[b&0xf])
+		}
+		s.writePacket(string(out))
+	case 'M': // Maddr,len:hexbytes — write memory
+		var addr, n uint32
+		var data string
+		if _, err := fmt.Sscanf(pkt, "M%x,%x:%s", &addr, &n, &data); err != nil {
+			s.writePacket("E01")
+			return false, true
+		}
+		buf, err := s.mem.Slice(addr, n)
+		if err != nil || uint32(len(data)) < 2*n {
+			s.writePacket("E02")
+			return false, true
+		}
+		for i := uint32(0); i < n; i++ {
+			hi, err1 := unhex(data[2*i])
+			lo, err2 := unhex(data[2*i+1])
+			if err1 != nil || err2 != nil {
+				s.writePacket("E01")
+				return false, true
+			}
+			buf[i] = hi<<4 | lo
+		}
+		s.writePacket("OK")
+	case 'Z', 'z': // Z0,addr,kind — set/clear software breakpoint
+		var typ, addr, kind uint32
+		if _, err := fmt.Sscanf(pkt[1:], "%x,%x,%x", &typ, &addr, &kind); err != nil || typ != 0 {
+			s.writePacket("") // unsupported breakpoint type
+			return false, true
+		}
+		s.mu.Lock()
+		if pkt[0] == 'Z' {
+			s.breakpoints[addr] = true
+		} else {
+			delete(s.breakpoints, addr)
+		}
+		s.mu.Unlock()
+		s.writePacket("OK")
+	case 'c': // continue
+		return true, true
+	case 's': // single step
+		s.mu.Lock()
+		s.stepping = true
+		s.mu.Unlock()
+		return true, true
+	case 'k': // kill
+		s.mu.Lock()
+		s.killed = true
+		s.mu.Unlock()
+		return true, false
+	case 'D': // detach
+		s.writePacket("OK")
+		return true, false
+	case 'H': // set thread for subsequent ops — single-threaded target
+		s.writePacket("OK")
+	case 'q':
+		switch {
+		case pkt == "qAttached":
+			s.writePacket("1")
+		case hasPrefix(pkt, "qSupported"):
+			s.writePacket("PacketSize=4000;swbreak+")
+		case pkt == "qC":
+			s.writePacket("QC0")
+		default:
+			s.writePacket("")
+		}
+	default:
+		// Unknown command: the protocol's mandated reply is the empty
+		// packet.
+		s.writePacket("")
+	}
+	return false, true
+}
+
+// stopReply builds the T/S stop packet for a trap: SIGTRAP for
+// breakpoints and steps, SIGSEGV for faults.
+func stopReply(f *kern.TrapFrame) string {
+	sig := 5 // SIGTRAP
+	switch f.TrapNo {
+	case kern.TrapPageFault, kern.TrapGPF:
+		sig = 11 // SIGSEGV
+	case kern.TrapDivide:
+		sig = 8 // SIGFPE
+	}
+	return fmt.Sprintf("S%02x", sig)
+}
+
+func hasPrefix(s, p string) bool { return len(s) >= len(p) && s[:len(p)] == p }

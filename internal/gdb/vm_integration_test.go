@@ -1,0 +1,135 @@
+package gdb
+
+import (
+	"testing"
+	"time"
+
+	"oskit/internal/hw"
+	"oskit/internal/kern"
+	"oskit/internal/kvm"
+)
+
+// TestGDBDebugsVM is the paper's §3.5 debugging story end to end: the
+// kernel runs a language runtime (kvm), the GDB stub fields its traps
+// and serves the remote protocol over the serial line, and "GDB on the
+// other machine" (the in-repo client) plants a breakpoint, inspects
+// state, single-steps, and continues the program to completion.
+func TestGDBDebugsVM(t *testing.T) {
+	m := hw.NewMachine(hw.Config{MemBytes: 8 << 20})
+	defer m.Halt()
+	k, err := kern.Setup(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wire the stub to Com2 and a host-side GDB client to the far end.
+	hostPort := hw.NewSerialPort(nil, 0)
+	hw.ConnectSerial(m.Com2, hostPort)
+	stub := New(m.Com2, m.Mem)
+	k.SetDebugger(stub)
+	client := NewClient(hostPort)
+
+	// A counting loop; we will breakpoint inside it.
+	prog, err := kvm.Assemble(`
+		push 0
+		storg 0
+	loop:
+		loadg 0
+		push 10
+		ge
+		jnz done
+		loadg 0
+		push 1
+		add
+		storg 0
+		jmp loop
+	done:
+		loadg 0
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := kvm.New(prog.Code, prog.Consts)
+	// The cooperative contract: the VM consults the stub's breakpoint
+	// table per instruction and raises a breakpoint trap on a hit; a
+	// pending single-step raises a debug trap after one instruction.
+	stepOne := false
+	vm.BreakHook = func(pc int) bool {
+		hit := stub.IsBreakpoint(uint32(pc)) || stepOne
+		if hit {
+			trapNo := uint32(kern.TrapBreakpoint)
+			if stepOne {
+				trapNo = kern.TrapDebug
+				stepOne = false
+			}
+			f := &kern.TrapFrame{TrapNo: trapNo, EIP: uint32(pc)}
+			k.Trap(f) // blocks inside the stub until GDB resumes
+			if stub.Killed() {
+				return true // suspend the VM
+			}
+			stepOne = stub.StepPending()
+		}
+		return false
+	}
+
+	// The loop body's first instruction is `loadg 0` at the loop label:
+	// offset = push(5)+storg(5) = 10.  The breakpoint is planted before
+	// the program starts (the stub answers protocol requests only while
+	// the target is stopped, so an attached GDB would have set it at
+	// load time); all further interaction happens over the wire.
+	const loopPC = 10
+	stubPlant(stub, loopPC)
+
+	done := make(chan int32, 1)
+	go func() {
+		v, err := vm.Run()
+		if err != nil {
+			t.Error(err)
+		}
+		done <- v
+	}()
+
+	sig, err := client.WaitStop()
+	if err != nil || sig != 5 {
+		t.Fatalf("WaitStop = %d, %v", sig, err)
+	}
+	regs, err := client.ReadRegs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs[8] != loopPC { // EIP
+		t.Fatalf("stopped at pc %d, want %d", regs[8], loopPC)
+	}
+	// Single-step: the next stop is one instruction later.
+	if _, err := client.Step(); err != nil {
+		t.Fatal(err)
+	}
+	regs, _ = client.ReadRegs()
+	if regs[8] == loopPC {
+		t.Fatal("step did not advance")
+	}
+	// Clear the breakpoint and continue to completion.
+	if err := client.ClearBreakpoint(loopPC); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		// The final continue gets no stop reply; fire and forget.
+		_, _ = client.Continue()
+	}()
+	select {
+	case v := <-done:
+		if v != 10 {
+			t.Fatalf("program result = %d", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("program never completed after continue")
+	}
+}
+
+// stubPlant inserts a breakpoint as an attached GDB would have before
+// resuming the target (the stub's table is the authority either way).
+func stubPlant(s *Stub, pc uint32) {
+	s.mu.Lock()
+	s.breakpoints[pc] = true
+	s.mu.Unlock()
+}

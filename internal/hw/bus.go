@@ -1,0 +1,45 @@
+package hw
+
+import "sync"
+
+// BusDevice describes one device the machine's bus exposes to probing.
+// Drivers claim devices by (Vendor, Device) ID, exactly as the donor
+// Linux drivers probe PCI/ISA hardware.
+type BusDevice struct {
+	Name           string
+	Vendor, Device uint16
+	IRQ            int
+	// HW is the simulated silicon: *NIC, *Disk, or *SerialPort.
+	HW any
+}
+
+// Bus is the machine's device bus.
+type Bus struct {
+	mu   sync.Mutex
+	devs []BusDevice
+}
+
+// Add registers a device.
+func (b *Bus) Add(d BusDevice) {
+	b.mu.Lock()
+	b.devs = append(b.devs, d)
+	b.mu.Unlock()
+}
+
+// Devices returns a snapshot of everything on the bus, in attach order.
+func (b *Bus) Devices() []BusDevice {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]BusDevice(nil), b.devs...)
+}
+
+// Find returns the devices matching a (vendor, device) ID pair.
+func (b *Bus) Find(vendor, device uint16) []BusDevice {
+	var out []BusDevice
+	for _, d := range b.Devices() {
+		if d.Vendor == vendor && d.Device == device {
+			out = append(out, d)
+		}
+	}
+	return out
+}

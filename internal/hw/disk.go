@@ -1,0 +1,190 @@
+package hw
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// SectorSize is the simulated disk's sector size.
+const SectorSize = 512
+
+// DiskReq is one disk transfer.  The driver fills in the geometry and, for
+// writes, the data; the disk completes asynchronously and raises its IRQ.
+// Buf must be Count*SectorSize bytes; for reads it is filled in place
+// (simulated DMA into the driver's buffer).
+type DiskReq struct {
+	Write  bool
+	Sector uint32
+	Count  uint32
+	Buf    []byte
+
+	// Done and Err are valid once the completion interrupt fires.
+	Done bool
+	Err  error
+}
+
+// Disk is a simulated fixed disk with a request queue, an optional
+// per-request latency, and completion interrupts.
+type Disk struct {
+	ic   *IntrController
+	line int
+
+	mu      sync.Mutex
+	data    []byte
+	queue   []*DiskReq
+	done    []*DiskReq
+	latency time.Duration
+	wake    chan struct{}
+	quit    chan struct{}
+	wg      sync.WaitGroup
+	started bool
+}
+
+// NewDisk creates a zero-filled disk of the given number of sectors.
+func NewDisk(sectors uint32) *Disk {
+	return &Disk{
+		data: make([]byte, uint64(sectors)*SectorSize),
+		wake: make(chan struct{}, 1),
+		quit: make(chan struct{}),
+	}
+}
+
+// NewDiskImage creates a disk initialized with an image (rounded up to a
+// whole sector).
+func NewDiskImage(image []byte) *Disk {
+	sectors := (uint32(len(image)) + SectorSize - 1) / SectorSize
+	d := NewDisk(sectors)
+	copy(d.data, image)
+	return d
+}
+
+// Sectors returns the disk capacity in sectors.
+func (d *Disk) Sectors() uint32 { return uint32(len(d.data) / SectorSize) }
+
+// SetLatency configures the simulated per-request service time.
+func (d *Disk) SetLatency(l time.Duration) {
+	d.mu.Lock()
+	d.latency = l
+	d.mu.Unlock()
+}
+
+// Image returns a copy of the raw disk contents (for test inspection).
+func (d *Disk) Image() []byte {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]byte(nil), d.data...)
+}
+
+// connect attaches the disk to a machine's interrupt controller and starts
+// its service goroutine; called by Machine.AttachDisk.
+func (d *Disk) connect(ic *IntrController, line int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.started {
+		panic("hw: disk attached twice")
+	}
+	d.ic = ic
+	d.line = line
+	d.started = true
+	d.wg.Add(1)
+	go d.serve()
+}
+
+// IRQ returns the disk's interrupt line.
+func (d *Disk) IRQ() int { return d.line }
+
+// Submit queues one request.  Completion is signalled by the disk IRQ;
+// the driver then collects finished requests with Reap.
+func (d *Disk) Submit(r *DiskReq) {
+	d.mu.Lock()
+	d.queue = append(d.queue, r)
+	d.mu.Unlock()
+	select {
+	case d.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Reap removes and returns one completed request, or nil.
+func (d *Disk) Reap() *DiskReq {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.done) == 0 {
+		return nil
+	}
+	r := d.done[0]
+	d.done = d.done[1:]
+	return r
+}
+
+func (d *Disk) serve() {
+	defer d.wg.Done()
+	for {
+		d.mu.Lock()
+		var r *DiskReq
+		if len(d.queue) > 0 {
+			r = d.queue[0]
+			d.queue = d.queue[1:]
+		}
+		latency := d.latency
+		d.mu.Unlock()
+
+		if r == nil {
+			select {
+			case <-d.wake:
+				continue
+			case <-d.quit:
+				return
+			}
+		}
+
+		if latency > 0 {
+			select {
+			case <-time.After(latency):
+			case <-d.quit:
+				return
+			}
+		}
+
+		r.Err = d.transfer(r)
+		r.Done = true
+		d.mu.Lock()
+		d.done = append(d.done, r)
+		d.mu.Unlock()
+		if d.ic != nil {
+			d.ic.Raise(d.line)
+		}
+	}
+}
+
+func (d *Disk) transfer(r *DiskReq) error {
+	n := uint64(r.Count) * SectorSize
+	off := uint64(r.Sector) * SectorSize
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if off+n > uint64(len(d.data)) {
+		return fmt.Errorf("hw: disk access beyond end (sector %d + %d)", r.Sector, r.Count)
+	}
+	if uint64(len(r.Buf)) < n {
+		return fmt.Errorf("hw: disk buffer too small: %d < %d", len(r.Buf), n)
+	}
+	if r.Write {
+		copy(d.data[off:off+n], r.Buf)
+	} else {
+		copy(r.Buf, d.data[off:off+n])
+	}
+	return nil
+}
+
+// stop halts the service goroutine (machine power-off).
+func (d *Disk) stop() {
+	d.mu.Lock()
+	started := d.started
+	d.started = false
+	d.mu.Unlock()
+	if started {
+		close(d.quit)
+		d.wg.Wait()
+	}
+}

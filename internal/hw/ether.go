@@ -1,0 +1,220 @@
+package hw
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// EtherMTU is the Ethernet payload MTU; frames carry a 14-byte header.
+const (
+	EtherMTU     = 1500
+	EtherHdrLen  = 14
+	EtherMinLen  = 60 // minimum frame (without FCS)
+	EtherMaxLen  = EtherHdrLen + EtherMTU
+	EtherRingLen = 256 // receive ring slots per NIC (PCI-era descriptor count)
+)
+
+// BroadcastMAC is the all-ones station address.
+var BroadcastMAC = [6]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// EtherWire is a shared Ethernet segment.  Transmission is synchronous:
+// delivery happens on the sender's thread of control, ending in the
+// receiving NIC's ring and an interrupt on the receiving machine.  The
+// wire is therefore never the bottleneck, which is what makes the paper's
+// software-overhead comparisons (Tables 1 and 2) observable.
+//
+// A loss rate may be configured to exercise protocol retransmission paths;
+// drops are deterministic for a given seed.
+type EtherWire struct {
+	mu   sync.Mutex
+	nics []*NIC
+	rng  *rand.Rand
+	loss float64 // probability a frame is dropped
+
+	txFrames uint64
+	drops    uint64
+}
+
+// NewEtherWire creates an empty segment.
+func NewEtherWire() *EtherWire {
+	return &EtherWire{rng: rand.New(rand.NewSource(1))}
+}
+
+// SetLoss configures the frame-drop probability with a deterministic seed.
+func (w *EtherWire) SetLoss(p float64, seed int64) {
+	w.mu.Lock()
+	w.loss = p
+	w.rng = rand.New(rand.NewSource(seed))
+	w.mu.Unlock()
+}
+
+// Attach joins a NIC to the segment.
+func (w *EtherWire) Attach(n *NIC) {
+	w.mu.Lock()
+	w.nics = append(w.nics, n)
+	n.wire = w
+	w.mu.Unlock()
+}
+
+// Stats reports frames transmitted and frames dropped by loss injection.
+func (w *EtherWire) Stats() (tx, drops uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.txFrames, w.drops
+}
+
+// transmit carries one frame from src to every other NIC whose address
+// filter accepts it.  The wire copies the frame, so the sender may reuse
+// its buffer immediately (like a NIC that has DMA'd the frame out).
+func (w *EtherWire) transmit(src *NIC, frame []byte) {
+	w.transmitGather(src, [][]byte{frame})
+}
+
+// transmitGather is transmit for scattered frames: the per-receiver copy
+// gathers the runs directly, so scattered and contiguous transmission
+// cost the same single DMA copy.
+func (w *EtherWire) transmitGather(src *NIC, parts [][]byte) {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if total < EtherHdrLen || len(parts[0]) < 6 {
+		return
+	}
+	w.mu.Lock()
+	w.txFrames++
+	if w.loss > 0 && w.rng.Float64() < w.loss {
+		w.drops++
+		w.mu.Unlock()
+		return
+	}
+	nics := append([]*NIC(nil), w.nics...)
+	w.mu.Unlock()
+
+	var dst [6]byte
+	copy(dst[:], parts[0][0:6])
+	for _, n := range nics {
+		if n == src {
+			continue
+		}
+		if n.accepts(dst) {
+			n.receiveGather(parts, total)
+		}
+	}
+}
+
+// NIC is a simulated Ethernet controller: a transmit path onto the wire
+// and a fixed-size receive ring drained at interrupt level by its driver.
+type NIC struct {
+	Mac  [6]byte
+	wire *EtherWire
+	ic   *IntrController
+	line int
+
+	mu      sync.Mutex
+	ring    [][]byte
+	promisc bool
+
+	rxDrops uint64
+	rxOK    uint64
+	txOK    uint64
+}
+
+// NewNIC creates a NIC raising the given IRQ line on receive.
+func NewNIC(ic *IntrController, line int, mac [6]byte) *NIC {
+	return &NIC{Mac: mac, ic: ic, line: line}
+}
+
+// IRQ returns the NIC's interrupt line.
+func (n *NIC) IRQ() int { return n.line }
+
+// SetPromiscuous controls whether the address filter accepts all frames.
+func (n *NIC) SetPromiscuous(on bool) {
+	n.mu.Lock()
+	n.promisc = on
+	n.mu.Unlock()
+}
+
+// Transmit sends one complete Ethernet frame.  Called by the driver from
+// any level; returns once the frame is on the wire.
+func (n *NIC) Transmit(frame []byte) {
+	if n.wire == nil {
+		return
+	}
+	n.mu.Lock()
+	n.txOK++
+	n.mu.Unlock()
+	n.wire.transmit(n, frame)
+}
+
+// TransmitGather sends one frame scattered across several memory runs —
+// the gather-DMA engine of busmaster controllers, which is how
+// mbuf-chain-native drivers transmit without first flattening the chain
+// in software.  The single gather into the receiving ring models the DMA
+// transfer itself (the same one copy a contiguous Transmit incurs).
+func (n *NIC) TransmitGather(parts [][]byte) {
+	if n.wire == nil {
+		return
+	}
+	n.mu.Lock()
+	n.txOK++
+	n.mu.Unlock()
+	n.wire.transmitGather(n, parts)
+}
+
+// RxPop removes and returns the oldest frame in the receive ring, or nil
+// when the ring is empty.  Drivers call it repeatedly from their interrupt
+// handler until it returns nil (the controller coalesces interrupts).
+func (n *NIC) RxPop() []byte {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.ring) == 0 {
+		return nil
+	}
+	f := n.ring[0]
+	n.ring = n.ring[1:]
+	return f
+}
+
+// Stats reports receive/transmit counters and ring-overflow drops.
+func (n *NIC) Stats() (rx, tx, drops uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.rxOK, n.txOK, n.rxDrops
+}
+
+func (n *NIC) accepts(dst [6]byte) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.promisc || dst == n.Mac || dst == BroadcastMAC
+}
+
+func (n *NIC) receiveGather(parts [][]byte, total int) {
+	f := make([]byte, 0, total)
+	for _, p := range parts {
+		f = append(f, p...)
+	}
+	n.deliver(f)
+}
+
+func (n *NIC) receive(frame []byte) {
+	n.deliver(append([]byte(nil), frame...))
+}
+
+func (n *NIC) deliver(f []byte) {
+	n.mu.Lock()
+	if len(n.ring) >= EtherRingLen {
+		n.rxDrops++ // ring overrun, as on real silicon
+		n.mu.Unlock()
+		return
+	}
+	n.ring = append(n.ring, f)
+	n.rxOK++
+	n.mu.Unlock()
+	if n.ic != nil {
+		n.ic.Raise(n.line)
+	}
+}
+
+// WireOfForTest exposes the segment a NIC is attached to (test hook).
+func WireOfForTest(n *NIC) *EtherWire { return n.wire }

@@ -1,0 +1,242 @@
+package hw
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// runtimeStack is indirected for testability.
+var runtimeStack = func(buf []byte) int { return runtime.Stack(buf, false) }
+
+// NumIRQs is the number of interrupt request lines (PC PIC pair).
+const NumIRQs = 16
+
+// IntrHandler is an interrupt-level handler.  Per the execution model of
+// §4.7.4, a handler runs to completion, never blocks, and must not call
+// Disable (interrupts are already disabled while it runs).
+type IntrHandler func(line int)
+
+// IntrController is the machine's interrupt controller plus the CPU's
+// interrupt-enable flag.
+//
+// Model (paper §4.7.4): there are two levels of execution.  Process-level
+// activities run on ordinary goroutines and may block at well-defined
+// points.  Interrupt-level activities run one at a time on the controller's
+// dispatcher, any time interrupts are enabled.  Process level excludes
+// interrupt level with Disable/Enable (cli/sti); these nest, like the
+// save_flags/cli/restore_flags idiom in donor code.
+//
+// Disable/Enable may be called only from process level.  The kit's process
+// level is serialized per machine (the kernel support library runs client
+// code under a single process-level lock; see internal/kern), which makes
+// the nest counter safe.
+type IntrController struct {
+	// cliMu is held whenever interrupts are disabled: either by a
+	// process-level Disable section or for the duration of one handler.
+	// Sections nest per thread of control (BSD spl semantics), so the
+	// controller tracks the owning goroutine.
+	cliMu    sync.Mutex
+	cliOwner atomic.Uint64
+	cliNest  int
+
+	// inIntr is true while a handler runs, letting glue code implement
+	// donor save_flags correctly when donor code is entered from
+	// interrupt level.
+	inIntr atomic.Bool
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	pending  uint32
+	masked   uint32
+	handlers [NumIRQs]IntrHandler
+	stopped  bool
+	// counts[i] is the number of times line i has been dispatched.
+	counts [NumIRQs]uint64
+
+	done chan struct{}
+}
+
+// NewIntrController starts the dispatcher with every line masked and no
+// handlers installed.
+func NewIntrController() *IntrController {
+	ic := &IntrController{masked: (1 << NumIRQs) - 1, done: make(chan struct{})}
+	ic.cond = sync.NewCond(&ic.mu)
+	go ic.dispatch()
+	return ic
+}
+
+// Raise asserts an interrupt line.  It may be called from any context —
+// device goroutines, interrupt handlers, process level.  Raising a line
+// that is already pending is idempotent (edge-triggered coalescing, as on
+// the PC's PIC): drivers must drain their device in the handler.
+func (ic *IntrController) Raise(line int) {
+	ic.mu.Lock()
+	ic.pending |= 1 << line
+	ic.mu.Unlock()
+	ic.cond.Signal()
+}
+
+// SetHandler installs (or, with nil, removes) the handler for a line.
+func (ic *IntrController) SetHandler(line int, h IntrHandler) {
+	ic.mu.Lock()
+	ic.handlers[line] = h
+	ic.mu.Unlock()
+}
+
+// SetMask masks (true) or unmasks (false) one line.  Pending interrupts on
+// a masked line are held, not dropped.
+func (ic *IntrController) SetMask(line int, masked bool) {
+	ic.mu.Lock()
+	if masked {
+		ic.masked |= 1 << line
+	} else {
+		ic.masked &^= 1 << line
+	}
+	ic.mu.Unlock()
+	ic.cond.Signal()
+}
+
+// Disable enters a critical section excluding interrupt handlers (cli).
+// Sections nest within one thread of control; distinct threads exclude
+// each other, matching per-CPU EFLAGS.IF plus the one-at-a-time
+// process-level model of §4.7.4.
+func (ic *IntrController) Disable() {
+	id := goid()
+	if ic.cliOwner.Load() == id {
+		ic.cliNest++ // nested: only the owner touches cliNest
+		return
+	}
+	ic.cliMu.Lock()
+	ic.cliOwner.Store(id)
+	ic.cliNest = 1
+}
+
+// DropAll releases the calling thread's *entire* Disable nesting,
+// returning the depth for RestoreAll.  Donor sleep paths need this: BSD's
+// tsleep and Linux's sleep_on drop to spl0/sti completely before
+// blocking, no matter how deeply the caller's components have nested
+// their exclusion — otherwise a file system sleeping inside a disk
+// driver would hold interrupts off and deadlock against the completion
+// handler.
+func (ic *IntrController) DropAll() int {
+	if ic.cliOwner.Load() == 0 {
+		panic("hw: DropAll without Disable")
+	}
+	n := ic.cliNest
+	ic.cliNest = 0
+	ic.cliOwner.Store(0)
+	ic.cliMu.Unlock()
+	return n
+}
+
+// RestoreAll re-acquires the exclusion at the depth DropAll returned.
+func (ic *IntrController) RestoreAll(n int) {
+	if n <= 0 {
+		panic("hw: RestoreAll of a non-positive depth")
+	}
+	ic.cliMu.Lock()
+	ic.cliOwner.Store(goid())
+	ic.cliNest = n
+}
+
+// Enable leaves the innermost Disable section (sti).  The owner check
+// is depth-only (goid would cost microseconds per call on the hottest
+// path in the kit); unbalanced Enable still panics via the zero owner.
+func (ic *IntrController) Enable() {
+	if ic.cliOwner.Load() == 0 {
+		panic("hw: Enable without Disable")
+	}
+	ic.cliNest--
+	if ic.cliNest == 0 {
+		ic.cliOwner.Store(0)
+		ic.cliMu.Unlock()
+	}
+}
+
+// InIntr reports whether the caller might be running at interrupt level
+// (true exactly while a handler is being dispatched).
+func (ic *IntrController) InIntr() bool { return ic.inIntr.Load() }
+
+// Count returns how many times a line's handler has been dispatched.
+func (ic *IntrController) Count(line int) uint64 {
+	ic.mu.Lock()
+	defer ic.mu.Unlock()
+	return ic.counts[line]
+}
+
+// stop terminates the dispatcher (machine halt) and waits for it to exit.
+func (ic *IntrController) stop() {
+	ic.mu.Lock()
+	if ic.stopped {
+		ic.mu.Unlock()
+		return
+	}
+	ic.stopped = true
+	ic.mu.Unlock()
+	ic.cond.Signal()
+	<-ic.done
+}
+
+// dispatch is the interrupt level: one handler at a time, lowest pending
+// unmasked line first, each excluded against process-level cli sections.
+func (ic *IntrController) dispatch() {
+	defer close(ic.done)
+	dispatcherID := goid() // hoisted: one goroutine serves all handlers
+	for {
+		ic.mu.Lock()
+		for !ic.stopped && ic.pending&^ic.masked == 0 {
+			ic.cond.Wait()
+		}
+		if ic.stopped {
+			ic.mu.Unlock()
+			return
+		}
+		ready := ic.pending &^ ic.masked
+		line := lowestBit(ready)
+		ic.pending &^= 1 << line
+		h := ic.handlers[line]
+		ic.counts[line]++
+		ic.mu.Unlock()
+
+		ic.cliMu.Lock()
+		ic.cliOwner.Store(dispatcherID) // handlers may themselves nest Disable
+		ic.cliNest = 1
+		ic.inIntr.Store(true)
+		if h != nil {
+			h(line)
+		}
+		ic.inIntr.Store(false)
+		ic.cliNest = 0
+		ic.cliOwner.Store(0)
+		ic.cliMu.Unlock()
+	}
+}
+
+// goid extracts the current goroutine's id from the runtime stack header
+// ("goroutine N [running]: …").  It is the simulator's stand-in for
+// per-CPU identity; the first line of runtime.Stack output is stable
+// across Go releases.
+func goid() uint64 {
+	var buf [32]byte
+	n := runtimeStack(buf[:])
+	// Skip "goroutine ".
+	var id uint64
+	for i := 10; i < n; i++ {
+		c := buf[i]
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
+}
+
+func lowestBit(v uint32) int {
+	for i := 0; i < 32; i++ {
+		if v&(1<<i) != 0 {
+			return i
+		}
+	}
+	return -1
+}

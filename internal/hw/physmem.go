@@ -1,0 +1,54 @@
+package hw
+
+import "fmt"
+
+// PhysAddr is a simulated physical memory address.
+type PhysAddr = uint32
+
+// DMALimit is the highest physical address (exclusive) reachable by the
+// simulated machine's legacy DMA engines — the PC's ISA constraint the
+// paper cites in §3.3: "only the first 16MB of physical memory on PCs is
+// accessible to the built-in DMA controller".
+const DMALimit PhysAddr = 16 << 20
+
+// PhysMem is the machine's flat physical memory.  Addresses are offsets
+// into a single backing array, so components that manipulate addresses
+// arithmetically (the LMM's alignment machinery, BSD malloc's block-size
+// table, page tables) operate on genuine integer addresses whose storage
+// they can also touch.
+//
+// Code that needs to translate a buffer back to its physical address (for
+// DMA programming, §4.7.8) must carry the address alongside the slice; the
+// kit's allocators all hand out (address, slice) pairs for this reason.
+type PhysMem struct {
+	data []byte
+}
+
+// NewPhysMem allocates size bytes of zeroed physical memory.
+func NewPhysMem(size uint32) *PhysMem {
+	return &PhysMem{data: make([]byte, size)}
+}
+
+// Size returns the physical memory size in bytes.
+func (p *PhysMem) Size() uint32 { return uint32(len(p.data)) }
+
+// Slice returns the memory aliasing [addr, addr+size).  Out-of-range
+// accesses return an error (the simulated machine-check).
+func (p *PhysMem) Slice(addr PhysAddr, size uint32) ([]byte, error) {
+	end := uint64(addr) + uint64(size)
+	if end > uint64(len(p.data)) {
+		return nil, fmt.Errorf("hw: physical access [%#x,%#x) beyond %#x", addr, end, len(p.data))
+	}
+	return p.data[addr:end:end], nil
+}
+
+// MustSlice is Slice for callers whose addresses were validated at
+// allocation time; a bad address is a kit bug and panics like a machine
+// check would halt a real CPU.
+func (p *PhysMem) MustSlice(addr PhysAddr, size uint32) []byte {
+	b, err := p.Slice(addr, size)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}

@@ -1,0 +1,120 @@
+package hw
+
+import (
+	"io"
+	"sync"
+)
+
+// SerialPort is a simulated UART.  Transmit goes wherever the port is
+// wired: to a peer port (ConnectSerial — the paper's serial line between
+// the test machine and the machine running GDB, §3.5), or to a host-side
+// io.Writer (AttachWriter — the developer watching the console).  Receive
+// raises the port's IRQ and buffers bytes until read.
+type SerialPort struct {
+	ic   *IntrController
+	line int
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	rx   []byte
+	eof  bool
+
+	txMu sync.Mutex
+	tx   func([]byte)
+}
+
+// NewSerialPort creates an unwired port.
+func NewSerialPort(ic *IntrController, line int) *SerialPort {
+	s := &SerialPort{ic: ic, line: line}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// ConnectSerial cross-wires two ports: bytes written to one arrive at the
+// other.
+func ConnectSerial(a, b *SerialPort) {
+	a.setTx(b.deliver)
+	b.setTx(a.deliver)
+}
+
+// AttachWriter sends this port's transmit side to a host writer (console
+// capture).  Receive is unaffected; use Inject to supply input.
+func (s *SerialPort) AttachWriter(w io.Writer) {
+	s.setTx(func(p []byte) { _, _ = w.Write(p) })
+}
+
+func (s *SerialPort) setTx(tx func([]byte)) {
+	s.txMu.Lock()
+	s.tx = tx
+	s.txMu.Unlock()
+}
+
+// Write transmits bytes out the port.  An unwired port drops them (like a
+// UART with nothing on the line).
+func (s *SerialPort) Write(p []byte) (int, error) {
+	s.txMu.Lock()
+	tx := s.tx
+	s.txMu.Unlock()
+	if tx != nil {
+		// Copy: the receiver buffers asynchronously.
+		q := append([]byte(nil), p...)
+		tx(q)
+	}
+	return len(p), nil
+}
+
+// Inject feeds bytes into the port's receive side from the host (test
+// input, keystrokes).
+func (s *SerialPort) Inject(p []byte) { s.deliver(append([]byte(nil), p...)) }
+
+// CloseInput marks end-of-input: blocked and future Reads return io.EOF
+// once the buffer drains.
+func (s *SerialPort) CloseInput() {
+	s.mu.Lock()
+	s.eof = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+func (s *SerialPort) deliver(p []byte) {
+	s.mu.Lock()
+	s.rx = append(s.rx, p...)
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	if s.ic != nil {
+		s.ic.Raise(s.line)
+	}
+}
+
+// Read blocks until at least one byte is available, then returns what is
+// buffered (up to len(p)).  It is the polling-style read used by the GDB
+// stub and console input.
+func (s *SerialPort) Read(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.rx) == 0 {
+		if s.eof {
+			return 0, io.EOF
+		}
+		s.cond.Wait()
+	}
+	n := copy(p, s.rx)
+	s.rx = s.rx[n:]
+	return n, nil
+}
+
+// TryRead is a non-blocking Read returning 0 when nothing is buffered.
+func (s *SerialPort) TryRead(p []byte) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := copy(p, s.rx)
+	s.rx = s.rx[n:]
+	return n
+}
+
+// Buffered reports how many received bytes are waiting.
+func (s *SerialPort) Buffered() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.rx)
+}

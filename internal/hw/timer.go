@@ -1,0 +1,64 @@
+package hw
+
+import (
+	"sync"
+	"time"
+)
+
+// Timer is the machine's programmable interval timer.  It can free-run off
+// the host clock (Start) for benchmarks and interactive kernels, or be
+// advanced by hand (Tick) for deterministic tests.
+type Timer struct {
+	ic   *IntrController
+	line int
+
+	mu     sync.Mutex
+	ticker *time.Ticker
+	quit   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// NewTimer wires a timer to an interrupt line; it is stopped initially.
+func NewTimer(ic *IntrController, line int) *Timer {
+	return &Timer{ic: ic, line: line}
+}
+
+// Start free-runs the timer at the given interval (the simulated PC's
+// clock tick; the paper's platform used 10 ms granularity).
+func (t *Timer) Start(interval time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.ticker != nil {
+		return
+	}
+	t.ticker = time.NewTicker(interval)
+	t.quit = make(chan struct{})
+	t.wg.Add(1)
+	go func(ticker *time.Ticker, quit chan struct{}) {
+		defer t.wg.Done()
+		for {
+			select {
+			case <-ticker.C:
+				t.ic.Raise(t.line)
+			case <-quit:
+				return
+			}
+		}
+	}(t.ticker, t.quit)
+}
+
+// Tick raises one timer interrupt by hand.
+func (t *Timer) Tick() { t.ic.Raise(t.line) }
+
+// Stop halts a free-running timer; a stopped timer may be restarted.
+func (t *Timer) Stop() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.ticker == nil {
+		return
+	}
+	t.ticker.Stop()
+	close(t.quit)
+	t.wg.Wait()
+	t.ticker = nil
+}

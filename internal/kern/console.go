@@ -1,0 +1,59 @@
+package kern
+
+import (
+	"oskit/internal/com"
+	"oskit/internal/hw"
+)
+
+// Console is the kernel console: a thin cooked layer over the machine's
+// first serial port.  It is what the Env's default Putchar feeds and what
+// the minimal C library's stdio bottoms out in.
+type Console struct {
+	com.RefCount
+	port *hw.SerialPort
+}
+
+func newConsole(port *hw.SerialPort) *Console {
+	c := &Console{port: port}
+	c.Init()
+	return c
+}
+
+// Putchar emits one byte, expanding "\n" to "\r\n" as serial consoles
+// expect.
+func (c *Console) Putchar(b byte) {
+	if b == '\n' {
+		_, _ = c.port.Write([]byte{'\r', '\n'})
+		return
+	}
+	_, _ = c.port.Write([]byte{b})
+}
+
+// QueryInterface implements com.IUnknown.
+func (c *Console) QueryInterface(iid com.GUID) (com.IUnknown, error) {
+	switch iid {
+	case com.UnknownIID, com.StreamIID:
+		c.AddRef()
+		return c, nil
+	}
+	return nil, com.ErrNoInterface
+}
+
+// Read implements com.Stream: blocking console input.
+func (c *Console) Read(buf []byte) (uint, error) {
+	n, err := c.port.Read(buf)
+	if err != nil {
+		return 0, com.ErrIO
+	}
+	return uint(n), nil
+}
+
+// Write implements com.Stream.
+func (c *Console) Write(buf []byte) (uint, error) {
+	for _, b := range buf {
+		c.Putchar(b)
+	}
+	return uint(len(buf)), nil
+}
+
+var _ com.Stream = (*Console)(nil)

@@ -1,0 +1,153 @@
+// Package kern is the kit's kernel support library (paper §3.2): easy
+// access to the raw (simulated) hardware without overhead or obscured
+// abstractions.
+//
+// Like its x86 original — which moved the processor from 16-bit mode into
+// a convenient 32-bit execution environment, built segment and page
+// tables, installed an interrupt vector table with default handlers, and
+// located the boot modules — Boot does everything necessary so that
+// "interrupts, traps, debugging, and other standard facilities work as
+// expected", then calls the client's Main with the arguments and
+// environment passed by the boot loader.  A "Hello World" kernel is as
+// simple as a "Hello World" application (examples/quickstart).
+//
+// Everything Boot installs can be modified or overridden by the client
+// OS: trap handlers, the memory arena, every Env service.  The
+// architecture-specific pieces (trap frame layout, page tables) are
+// deliberately exposed (§4.6) — the layout of the trap frame is
+// documented and is the same for synchronous traps and hardware
+// interrupts, the fix the paper reports making for ML/OS and Java/PC
+// (§6.2.10).
+package kern
+
+import (
+	"fmt"
+
+	"oskit/internal/boot"
+	"oskit/internal/core"
+	"oskit/internal/hw"
+	"oskit/internal/lmm"
+)
+
+// ReservedBase is the physical memory below which the kit never
+// allocates: the BIOS/kernel-image analog of the PC's low 1 MB.
+const ReservedBase hw.PhysAddr = 0x100000
+
+// Main is the client OS entry point, called once the machine is up.  The
+// returned value becomes the kernel's exit code.
+type Main func(k *Kernel, args []string, env map[string]string) int
+
+// Kernel is the per-machine kernel support state.
+type Kernel struct {
+	Machine *hw.Machine
+	Env     *core.Env
+	Info    *boot.Info
+	Console *Console
+
+	traps    [NumTraps]TrapHandler
+	debugger Debugger
+}
+
+// Boot brings a machine into the convenient execution environment and
+// runs main on it, returning main's exit code.
+//
+// Steps, mirroring §3.2: load the boot image (modules into physical
+// memory); build the LMM arena typing memory below hw.DMALimit as
+// DMA-able at low priority; reserve the low-memory kernel area and every
+// boot module; create the Env with its defaults; install default trap
+// handlers and the clock interrupt; unmask the timer; call main.
+//
+// When main returns, the machine is simply halted without any cleanup —
+// the §6.2.10 deficiency is reproduced faithfully: network peers of an
+// exiting kernel are left hanging.
+func Boot(m *hw.Machine, image []byte, main Main) (int, error) {
+	k, err := Setup(m, image)
+	if err != nil {
+		return 0, err
+	}
+	defer m.Halt()
+	args, env := k.Info.Args()
+	return main(k, args, env), nil
+}
+
+// Setup performs all of Boot's machine initialization but returns the
+// Kernel instead of calling a Main, for clients (and tests) that drive
+// the machine themselves.  The caller owns the eventual Machine.Halt.
+func Setup(m *hw.Machine, image []byte) (*Kernel, error) {
+	var info *boot.Info
+	if image != nil {
+		var err error
+		info, err = boot.Load(image, m.Mem)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		info = &boot.Info{MemBytes: m.Mem.Size()}
+	}
+
+	arena, err := buildArena(m.Mem, info)
+	if err != nil {
+		return nil, err
+	}
+	env := core.NewEnv(m, arena)
+
+	k := &Kernel{Machine: m, Env: env, Info: info}
+	k.Console = newConsole(m.Com1)
+	env.Putchar = k.Console.Putchar
+
+	for v := range k.traps {
+		k.traps[v] = nil
+	}
+
+	// The clock interrupt advances the tick counter and runs callouts.
+	m.Intr.SetHandler(hw.IRQTimer, func(int) { env.Clock().Tick() })
+	m.Intr.SetMask(hw.IRQTimer, false)
+
+	return k, nil
+}
+
+// buildArena types the machine's physical memory the way the paper's
+// kernel support library did: DMA-able low memory in a low-priority
+// region so it is consumed only on demand, everything else high priority.
+// The kernel area below ReservedBase and all boot modules are reserved.
+func buildArena(mem *hw.PhysMem, info *boot.Info) (*lmm.Arena, error) {
+	arena := lmm.NewArena()
+	size := mem.Size()
+	dmaTop := size
+	if dmaTop > hw.DMALimit {
+		dmaTop = hw.DMALimit
+	}
+	if err := arena.AddRegion(0, dmaTop, core.LMMFlagDMA, 0); err != nil {
+		return nil, err
+	}
+	if size > dmaTop {
+		if err := arena.AddRegion(dmaTop, size-dmaTop, core.LMMFlagHigh, 10); err != nil {
+			return nil, err
+		}
+	}
+	arena.AddFree(0, size)
+	arena.RemoveFree(0, ReservedBase)
+	for _, mod := range info.Modules {
+		// Reserve whole pages: the loader placed modules page-aligned.
+		end := (mod.Addr + mod.Size + lmm.PageSize - 1) &^ (lmm.PageSize - 1)
+		arena.RemoveFree(mod.Addr, end-mod.Addr)
+	}
+	return arena, nil
+}
+
+// MemAvail reports free physical memory (a convenience over the arena).
+func (k *Kernel) MemAvail() uint32 {
+	if a := k.Env.Arena(); a != nil {
+		return a.Avail(0)
+	}
+	return 0
+}
+
+// Printf formats to the kernel console (the quick diagnostic path; the
+// minimal C library provides the full formatted-output stack).
+func (k *Kernel) Printf(format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	for i := 0; i < len(msg); i++ {
+		k.Console.Putchar(msg[i])
+	}
+}

@@ -1,0 +1,307 @@
+package kern
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"oskit/internal/boot"
+	"oskit/internal/core"
+	"oskit/internal/hw"
+)
+
+// consoleCapture attaches a buffer to a machine's Com1.
+type consoleCapture struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (c *consoleCapture) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.buf.Write(p)
+}
+
+func (c *consoleCapture) String() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.buf.String()
+}
+
+func TestBootHelloWorld(t *testing.T) {
+	m := hw.NewMachine(hw.Config{Name: "hello"})
+	cap := &consoleCapture{}
+	m.Com1.AttachWriter(cap)
+	img := boot.BuildImage("kernel hello -- USER=utah", nil)
+	code, err := Boot(m, img, func(k *Kernel, args []string, env map[string]string) int {
+		k.Printf("Hello, World! args=%v user=%s\n", args, env["USER"])
+		return 42
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 42 {
+		t.Fatalf("exit code = %d", code)
+	}
+	out := cap.String()
+	if !strings.Contains(out, "Hello, World! args=[kernel hello] user=utah") {
+		t.Fatalf("console output = %q", out)
+	}
+	if !strings.Contains(out, "\r\n") {
+		t.Fatal("console did not cook newlines")
+	}
+}
+
+func TestBootReservesModulesAndLowMemory(t *testing.T) {
+	m := hw.NewMachine(hw.Config{MemBytes: 8 << 20})
+	img := boot.BuildImage("k", []boot.ModuleSpec{
+		{String: "mod", Data: bytes.Repeat([]byte{0x5A}, 3000)},
+	})
+	_, err := Boot(m, img, func(k *Kernel, args []string, env map[string]string) int {
+		mod, ok := k.Info.FindModule("mod")
+		if !ok {
+			t.Error("module missing from Info")
+			return 1
+		}
+		// The module's memory must be intact and never handed out.
+		data := k.Machine.Mem.MustSlice(mod.Addr, mod.Size)
+		for range [200]int{} {
+			addr, _, ok := k.Env.MemAlloc(4096, 0, 0)
+			if !ok {
+				break
+			}
+			if addr < ReservedBase {
+				t.Errorf("allocation in reserved low memory: %#x", addr)
+			}
+			if addr+4096 > mod.Addr && addr < mod.Addr+mod.Size {
+				t.Errorf("allocation inside boot module: %#x", addr)
+			}
+		}
+		if data[0] != 0x5A || data[2999] != 0x5A {
+			t.Error("boot module corrupted")
+		}
+		return 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBootClockRuns(t *testing.T) {
+	m := hw.NewMachine(hw.Config{})
+	img := boot.BuildImage("k", nil)
+	_, err := Boot(m, img, func(k *Kernel, args []string, env map[string]string) int {
+		m.Timer.Start(time.Millisecond)
+		deadline := time.After(2 * time.Second)
+		for k.Env.Ticks() < 3 {
+			select {
+			case <-deadline:
+				t.Error("clock did not advance")
+				return 1
+			default:
+				time.Sleep(time.Millisecond)
+			}
+		}
+		return 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrapDefaultPanics(t *testing.T) {
+	m := hw.NewMachine(hw.Config{})
+	defer m.Halt()
+	k, err := Setup(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("default trap handler did not panic the kernel")
+		}
+	}()
+	k.Trap(&TrapFrame{TrapNo: TrapGPF, Err: 0x10, EIP: 0xdeadbeef})
+}
+
+func TestTrapHandlerOverride(t *testing.T) {
+	m := hw.NewMachine(hw.Config{})
+	defer m.Halt()
+	k, err := Setup(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen *TrapFrame
+	old := k.SetTrapHandler(TrapBreakpoint, func(k *Kernel, f *TrapFrame) error {
+		seen = f
+		return nil
+	})
+	if old != nil {
+		t.Fatal("fresh vector had a handler")
+	}
+	k.Breakpoint(0x1234)
+	if seen == nil || seen.EIP != 0x1234 || seen.TrapNo != TrapBreakpoint {
+		t.Fatalf("handler saw %+v", seen)
+	}
+}
+
+type fakeDebugger struct {
+	frames []*TrapFrame
+	eat    bool
+}
+
+func (d *fakeDebugger) Trap(f *TrapFrame) bool {
+	d.frames = append(d.frames, f)
+	return d.eat
+}
+
+func TestDebuggerSeesTrapsFirst(t *testing.T) {
+	m := hw.NewMachine(hw.Config{})
+	defer m.Halt()
+	k, err := Setup(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &fakeDebugger{eat: true}
+	k.SetDebugger(d)
+	handlerRan := false
+	k.SetTrapHandler(TrapBreakpoint, func(*Kernel, *TrapFrame) error {
+		handlerRan = true
+		return nil
+	})
+	k.Breakpoint(1)
+	if len(d.frames) != 1 {
+		t.Fatal("debugger did not see the trap")
+	}
+	if handlerRan {
+		t.Fatal("vector handler ran although debugger consumed the trap")
+	}
+	// Debugger declining passes through to the vector.
+	d.eat = false
+	k.Breakpoint(2)
+	if !handlerRan {
+		t.Fatal("vector handler skipped after debugger declined")
+	}
+	k.SetDebugger(nil)
+}
+
+func TestTrapFrameRegsRoundTrip(t *testing.T) {
+	f := &TrapFrame{EAX: 1, ECX: 2, EDX: 3, EBX: 4, ESP: 5, EBP: 6, ESI: 7, EDI: 8,
+		EIP: 9, EFLAGS: 10, CS: 11, SS: 12, DS: 13, ES: 14, FS: 15, GS: 16}
+	regs := f.Regs()
+	for i, v := range regs {
+		if v != uint32(i+1) {
+			t.Fatalf("reg %d = %d (GDB ordering broken)", i, v)
+		}
+	}
+	if !f.SetReg(8, 0xfeed) || f.EIP != 0xfeed {
+		t.Fatal("SetReg(eip) failed")
+	}
+	if f.SetReg(99, 0) || f.SetReg(-1, 0) {
+		t.Fatal("bad register index accepted")
+	}
+	if !strings.Contains(f.String(), "eip=0000feed") {
+		t.Fatalf("frame dump: %s", f.String())
+	}
+}
+
+func TestPageDirMapTranslate(t *testing.T) {
+	m := hw.NewMachine(hw.Config{MemBytes: 8 << 20})
+	defer m.Halt()
+	k, err := Setup(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, err := NewPageDir(k.Env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pd.Free()
+	if pd.Base()&(PageSize-1) != 0 {
+		t.Fatalf("page directory not page aligned: %#x", pd.Base())
+	}
+
+	// Map a user page and a kernel page in different 4 MB regions.
+	if err := pd.Map(0x0040_0000, 0x0030_0000, PTEWrite|PTEUser); err != nil {
+		t.Fatal(err)
+	}
+	if err := pd.Map(0xC000_1000, 0x0031_0000, PTEWrite); err != nil {
+		t.Fatal(err)
+	}
+
+	pa, flags, ok := pd.Translate(0x0040_0ABC)
+	if !ok || pa != 0x0030_0ABC {
+		t.Fatalf("translate = %#x, %v", pa, ok)
+	}
+	if flags&PTEUser == 0 || flags&PTEWrite == 0 || flags&PTEPresent == 0 {
+		t.Fatalf("flags = %#x", flags)
+	}
+	pa, flags, ok = pd.Translate(0xC000_1FFF)
+	if !ok || pa != 0x0031_0FFF || flags&PTEUser != 0 {
+		t.Fatalf("kernel translate = %#x flags=%#x ok=%v", pa, flags, ok)
+	}
+
+	// Unmapped addresses miss.
+	if _, _, ok := pd.Translate(0x0800_0000); ok {
+		t.Fatal("translated an unmapped address")
+	}
+	pd.Unmap(0x0040_0000)
+	if _, _, ok := pd.Translate(0x0040_0000); ok {
+		t.Fatal("translated an unmapped page")
+	}
+	// Unaligned mappings rejected.
+	if err := pd.Map(0x1001, 0x2000, 0); err == nil {
+		t.Fatal("unaligned va accepted")
+	}
+	if err := pd.Map(0x1000, 0x2002, 0); err == nil {
+		t.Fatal("unaligned pa accepted")
+	}
+}
+
+func TestPageDirEntriesAreRealI386Encodings(t *testing.T) {
+	m := hw.NewMachine(hw.Config{MemBytes: 8 << 20})
+	defer m.Halt()
+	k, _ := Setup(m, nil)
+	pd, err := NewPageDir(k.Env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pd.Free()
+	if err := pd.Map(0x0000_3000, 0x0050_0000, PTEWrite); err != nil {
+		t.Fatal(err)
+	}
+	// Walk the raw memory as the MMU would: PDE 0 -> PT, PTE 3.
+	pdMem := m.Mem.MustSlice(pd.Base(), PageSize)
+	pde := uint32(pdMem[0]) | uint32(pdMem[1])<<8 | uint32(pdMem[2])<<16 | uint32(pdMem[3])<<24
+	if pde&PTEPresent == 0 {
+		t.Fatal("PDE 0 not present")
+	}
+	pt := m.Mem.MustSlice(pde&0xfffff000, PageSize)
+	off := 3 * 4
+	pte := uint32(pt[off]) | uint32(pt[off+1])<<8 | uint32(pt[off+2])<<16 | uint32(pt[off+3])<<24
+	if pte != 0x0050_0000|PTEPresent|PTEWrite {
+		t.Fatalf("raw PTE = %#x", pte)
+	}
+}
+
+func TestMemAvailAndEnvDefaults(t *testing.T) {
+	m := hw.NewMachine(hw.Config{MemBytes: 8 << 20})
+	defer m.Halt()
+	k, err := Setup(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avail := k.MemAvail()
+	if avail == 0 || avail > 8<<20 {
+		t.Fatalf("MemAvail = %d", avail)
+	}
+	// DMA-typed allocations stay below the limit even on this small
+	// machine (whole memory is below 16 MB, so this just checks flags
+	// plumbing).
+	addr, _, ok := k.Env.MemAlloc(4096, core.MemDMA, 0)
+	if !ok || addr >= hw.DMALimit {
+		t.Fatalf("DMA alloc = %#x, %v", addr, ok)
+	}
+}

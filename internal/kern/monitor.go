@@ -1,0 +1,164 @@
+package kern
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"oskit/internal/com"
+	"oskit/internal/hw"
+)
+
+// Monitor is the local kernel debugger the paper lists as future work
+// (§3.5: "we plan to integrate a local debugger into the OSKit as well,
+// which can be used when a separate machine running GDB is not
+// available").  It is a kern.Debugger that, on any trap, drops into a
+// command loop on the console: inspect and patch physical memory, dump
+// the documented trap frame, then continue or halt.
+//
+// Commands:
+//
+//	r                 dump the trap frame registers
+//	m <addr> [len]    hex-dump physical memory (addr hex, len decimal)
+//	w <addr> <b>...   write bytes (all hex)
+//	c                 continue the interrupted computation
+//	halt              decline the trap (falls to the default handler)
+//	help              this text
+type Monitor struct {
+	console com.Stream
+	mem     *hw.PhysMem
+
+	// Entered counts monitor activations (tests).
+	Entered int
+}
+
+// NewMonitor builds a monitor talking on console (normally the kernel
+// console stream) and inspecting mem.
+func NewMonitor(console com.Stream, mem *hw.PhysMem) *Monitor {
+	return &Monitor{console: console, mem: mem}
+}
+
+// Trap implements Debugger.
+func (mon *Monitor) Trap(f *TrapFrame) bool {
+	mon.Entered++
+	mon.printf("\nmonitor: %s\n%s\n", trapName(f.TrapNo), f.String())
+	for {
+		mon.printf("kd> ")
+		line, ok := mon.readLine()
+		if !ok {
+			return false // console gone: let the default handler rule
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "c":
+			return true
+		case "halt":
+			return false
+		case "r":
+			mon.printf("%s\n", f.String())
+		case "m":
+			mon.dump(fields[1:])
+		case "w":
+			mon.write(fields[1:])
+		case "help":
+			mon.printf("r | m <addr> [len] | w <addr> <byte>... | c | halt\n")
+		default:
+			mon.printf("?%s (try help)\n", fields[0])
+		}
+	}
+}
+
+func (mon *Monitor) dump(args []string) {
+	if len(args) < 1 {
+		mon.printf("m <hexaddr> [len]\n")
+		return
+	}
+	addr, err := strconv.ParseUint(strings.TrimPrefix(args[0], "0x"), 16, 32)
+	if err != nil {
+		mon.printf("bad address %q\n", args[0])
+		return
+	}
+	n := uint64(64)
+	if len(args) > 1 {
+		if v, err := strconv.ParseUint(args[1], 10, 16); err == nil {
+			n = v
+		}
+	}
+	buf, err := mon.mem.Slice(uint32(addr), uint32(n))
+	if err != nil {
+		mon.printf("%v\n", err)
+		return
+	}
+	for off := 0; off < len(buf); off += 16 {
+		end := off + 16
+		if end > len(buf) {
+			end = len(buf)
+		}
+		mon.printf("%08x ", addr+uint64(off))
+		for i := off; i < end; i++ {
+			mon.printf(" %02x", buf[i])
+		}
+		mon.printf("  ")
+		for i := off; i < end; i++ {
+			c := buf[i]
+			if c < 32 || c > 126 {
+				c = '.'
+			}
+			mon.printf("%c", c)
+		}
+		mon.printf("\n")
+	}
+}
+
+func (mon *Monitor) write(args []string) {
+	if len(args) < 2 {
+		mon.printf("w <hexaddr> <hexbyte>...\n")
+		return
+	}
+	addr, err := strconv.ParseUint(strings.TrimPrefix(args[0], "0x"), 16, 32)
+	if err != nil {
+		mon.printf("bad address %q\n", args[0])
+		return
+	}
+	buf, err := mon.mem.Slice(uint32(addr), uint32(len(args)-1))
+	if err != nil {
+		mon.printf("%v\n", err)
+		return
+	}
+	for i, a := range args[1:] {
+		v, err := strconv.ParseUint(a, 16, 8)
+		if err != nil {
+			mon.printf("bad byte %q\n", a)
+			return
+		}
+		buf[i] = byte(v)
+	}
+	mon.printf("ok\n")
+}
+
+func (mon *Monitor) printf(format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	_, _ = mon.console.Write([]byte(msg))
+}
+
+// readLine gathers console bytes to a newline, echoing nothing (the
+// console device echoes if it wants to).
+func (mon *Monitor) readLine() (string, bool) {
+	var line []byte
+	var b [1]byte
+	for {
+		n, err := mon.console.Read(b[:])
+		if err != nil || n == 0 {
+			return "", false
+		}
+		switch b[0] {
+		case '\n', '\r':
+			return string(line), true
+		default:
+			line = append(line, b[0])
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package kern
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"oskit/internal/com"
+	"oskit/internal/hw"
+)
+
+// scriptedStream plays a canned command script and records output.
+type scriptedStream struct {
+	com.RefCount
+	mu    sync.Mutex
+	input []byte
+	out   strings.Builder
+}
+
+func newScripted(script string) *scriptedStream {
+	s := &scriptedStream{input: []byte(script)}
+	s.Init()
+	return s
+}
+
+func (s *scriptedStream) QueryInterface(iid com.GUID) (com.IUnknown, error) {
+	if iid == com.UnknownIID || iid == com.StreamIID {
+		s.AddRef()
+		return s, nil
+	}
+	return nil, com.ErrNoInterface
+}
+
+func (s *scriptedStream) Read(buf []byte) (uint, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.input) == 0 {
+		return 0, nil // console gone
+	}
+	n := copy(buf, s.input)
+	s.input = s.input[n:]
+	return uint(n), nil
+}
+
+func (s *scriptedStream) Write(buf []byte) (uint, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.out.Write(buf)
+	return uint(len(buf)), nil
+}
+
+func (s *scriptedStream) output() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.out.String()
+}
+
+func TestMonitorSession(t *testing.T) {
+	m := hw.NewMachine(hw.Config{MemBytes: 4 << 20})
+	defer m.Halt()
+	k, err := Setup(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(m.Mem.MustSlice(0x1000, 8), "MONDATA!")
+
+	console := newScripted(strings.Join([]string{
+		"help",
+		"r",
+		"m 1000 8",
+		"w 1000 58 59", // patch "XY" over "MO"
+		"m 1000 8",
+		"bogus",
+		"c",
+	}, "\n") + "\n")
+	mon := NewMonitor(console, m.Mem)
+	k.SetDebugger(mon)
+
+	k.Breakpoint(0xBEEF)
+	if mon.Entered != 1 {
+		t.Fatalf("Entered = %d", mon.Entered)
+	}
+	out := console.output()
+	for _, want := range []string{
+		"monitor: trap: breakpoint",
+		"eip=0000beef",
+		"4d 4f 4e 44 41 54 41 21", // MONDATA! hex
+		"MONDATA!",
+		"ok",
+		"XYNDATA!",
+		"?bogus",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+	// The patch really landed in physical memory.
+	if string(m.Mem.MustSlice(0x1000, 2)) != "XY" {
+		t.Fatal("w command did not write memory")
+	}
+}
+
+func TestMonitorHaltDeclinesTrap(t *testing.T) {
+	m := hw.NewMachine(hw.Config{MemBytes: 1 << 20})
+	defer m.Halt()
+	k, _ := Setup(m, nil)
+	console := newScripted("halt\n")
+	k.SetDebugger(NewMonitor(console, m.Mem))
+	handled := false
+	k.SetTrapHandler(TrapBreakpoint, func(*Kernel, *TrapFrame) error {
+		handled = true
+		return nil
+	})
+	k.Breakpoint(1)
+	if !handled {
+		t.Fatal("halt did not fall through to the vector handler")
+	}
+}
+
+func TestMonitorConsoleGone(t *testing.T) {
+	m := hw.NewMachine(hw.Config{MemBytes: 1 << 20})
+	defer m.Halt()
+	k, _ := Setup(m, nil)
+	console := newScripted("") // EOF immediately
+	k.SetDebugger(NewMonitor(console, m.Mem))
+	fellThrough := false
+	k.SetTrapHandler(TrapBreakpoint, func(*Kernel, *TrapFrame) error {
+		fellThrough = true
+		return nil
+	})
+	k.Breakpoint(1)
+	if !fellThrough {
+		t.Fatal("dead console did not decline the trap")
+	}
+}

@@ -1,0 +1,140 @@
+package kern
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"oskit/internal/core"
+	"oskit/internal/hw"
+)
+
+// x86-style two-level page tables, built in simulated physical memory
+// exactly as the real kernel support library built them in RAM: a page
+// directory of 1024 4-byte entries, each pointing at a page table of 1024
+// entries mapping 4 KB pages.  The encodings are the real i386 bit
+// layouts, so tests can check them against the architecture manual.
+//
+// This is one of the deliberately machine-specific facilities of §3.2:
+// higher-level components may build architecture-neutral layers above it,
+// but the raw mechanism stays accessible.
+
+// PageSize is the i386 page size.
+const PageSize = 4096
+
+// Page table entry bits (i386).
+const (
+	PTEPresent  uint32 = 1 << 0
+	PTEWrite    uint32 = 1 << 1
+	PTEUser     uint32 = 1 << 2
+	PTEAccessed uint32 = 1 << 5
+	PTEDirty    uint32 = 1 << 6
+	pteAddrMask uint32 = 0xfffff000
+)
+
+// PageDir is one address space: a page directory plus the page tables it
+// points to, all living in (simulated) physical memory allocated from the
+// environment's memory service.
+type PageDir struct {
+	env    *core.Env
+	pdAddr hw.PhysAddr
+	pd     []byte
+}
+
+// NewPageDir allocates an empty page directory.
+func NewPageDir(env *core.Env) (*PageDir, error) {
+	addr, buf, ok := env.MemAlloc(PageSize, 0, PageSize)
+	if !ok {
+		return nil, fmt.Errorf("kern: out of memory for page directory")
+	}
+	for i := range buf {
+		buf[i] = 0
+	}
+	return &PageDir{env: env, pdAddr: addr, pd: buf}, nil
+}
+
+// Base returns the physical address of the page directory (what would be
+// loaded into CR3).
+func (p *PageDir) Base() hw.PhysAddr { return p.pdAddr }
+
+// Map establishes va -> pa with the given PTE permission bits (PTEPresent
+// is implied).  Both addresses must be page aligned.  An existing mapping
+// is replaced.
+func (p *PageDir) Map(va, pa uint32, flags uint32) error {
+	if va&(PageSize-1) != 0 || pa&(PageSize-1) != 0 {
+		return fmt.Errorf("kern: unaligned mapping %#x -> %#x", va, pa)
+	}
+	pt, err := p.pageTable(va, true)
+	if err != nil {
+		return err
+	}
+	pti := (va >> 12) & 0x3ff
+	putPTE(pt, pti, pa|flags|PTEPresent)
+	return nil
+}
+
+// Unmap removes the mapping for va; absent mappings are ignored.
+func (p *PageDir) Unmap(va uint32) {
+	pt, err := p.pageTable(va, false)
+	if err != nil || pt == nil {
+		return
+	}
+	putPTE(pt, (va>>12)&0x3ff, 0)
+}
+
+// Translate walks the tables as the MMU would, returning the physical
+// address for va and the PTE flags.
+func (p *PageDir) Translate(va uint32) (pa uint32, flags uint32, ok bool) {
+	pt, err := p.pageTable(va, false)
+	if err != nil || pt == nil {
+		return 0, 0, false
+	}
+	pte := getPTE(pt, (va>>12)&0x3ff)
+	if pte&PTEPresent == 0 {
+		return 0, 0, false
+	}
+	return pte&pteAddrMask | va&(PageSize-1), pte &^ pteAddrMask, true
+}
+
+// pageTable returns the page table covering va, creating it when create
+// is set; returns nil with no error when absent and not creating.
+func (p *PageDir) pageTable(va uint32, create bool) ([]byte, error) {
+	pdi := va >> 22
+	pde := getPTE(p.pd, pdi)
+	if pde&PTEPresent == 0 {
+		if !create {
+			return nil, nil
+		}
+		addr, buf, ok := p.env.MemAlloc(PageSize, 0, PageSize)
+		if !ok {
+			return nil, fmt.Errorf("kern: out of memory for page table")
+		}
+		for i := range buf {
+			buf[i] = 0
+		}
+		// Directory entries carry Write|User so the PTE governs.
+		putPTE(p.pd, pdi, addr|PTEPresent|PTEWrite|PTEUser)
+		return buf, nil
+	}
+	return p.env.Machine.Mem.Slice(pde&pteAddrMask, PageSize)
+}
+
+// Free releases the directory and every page table (not the mapped
+// frames, which the client owns).
+func (p *PageDir) Free() {
+	for pdi := uint32(0); pdi < 1024; pdi++ {
+		pde := getPTE(p.pd, pdi)
+		if pde&PTEPresent != 0 {
+			p.env.MemFree(pde&pteAddrMask, PageSize)
+		}
+	}
+	p.env.MemFree(p.pdAddr, PageSize)
+	p.pd = nil
+}
+
+func getPTE(table []byte, i uint32) uint32 {
+	return binary.LittleEndian.Uint32(table[i*4:])
+}
+
+func putPTE(table []byte, i uint32, v uint32) {
+	binary.LittleEndian.PutUint32(table[i*4:], v)
+}

@@ -1,0 +1,165 @@
+package kern
+
+import "fmt"
+
+// NumTraps is the size of the trap vector table (x86 exception vectors).
+const NumTraps = 32
+
+// Well-known trap vectors (x86 numbering).
+const (
+	TrapDivide     = 0 // divide error
+	TrapDebug      = 1 // single step
+	TrapBreakpoint = 3 // int3
+	TrapOverflow   = 4
+	TrapBound      = 5
+	TrapInvalidOp  = 6
+	TrapGPF        = 13 // general protection fault
+	TrapPageFault  = 14
+)
+
+// TrapFrame is the saved processor state pushed on a trap.
+//
+// Its layout is part of the kit's documented interface, and — per the
+// §6.2.10 fix — the *same* frame is used for hardware interrupts, so
+// language runtimes handling preemption (ML/OS, Java/PC) can always get
+// at the interrupted state.  Register names and the order of Regs()
+// follow the i386 GDB remote protocol so the gdb stub can ship frames to
+// a debugger verbatim.
+type TrapFrame struct {
+	TrapNo uint32
+	// Err is the hardware error code (page faults, GPF); Cr2 is the
+	// faulting address for page faults.
+	Err uint32
+	Cr2 uint32
+
+	EAX, ECX, EDX, EBX uint32
+	ESP, EBP, ESI, EDI uint32
+	EIP, EFLAGS        uint32
+	CS, SS, DS, ES     uint32
+	FS, GS             uint32
+}
+
+// NumRegs is the i386 GDB register count.
+const NumRegs = 16
+
+// Regs returns the registers in i386 GDB remote-protocol order:
+// eax, ecx, edx, ebx, esp, ebp, esi, edi, eip, eflags, cs, ss, ds, es,
+// fs, gs.
+func (f *TrapFrame) Regs() [NumRegs]uint32 {
+	return [NumRegs]uint32{
+		f.EAX, f.ECX, f.EDX, f.EBX,
+		f.ESP, f.EBP, f.ESI, f.EDI,
+		f.EIP, f.EFLAGS,
+		f.CS, f.SS, f.DS, f.ES, f.FS, f.GS,
+	}
+}
+
+// SetReg stores a register by GDB index, returning false for a bad index.
+func (f *TrapFrame) SetReg(i int, v uint32) bool {
+	regs := []*uint32{
+		&f.EAX, &f.ECX, &f.EDX, &f.EBX,
+		&f.ESP, &f.EBP, &f.ESI, &f.EDI,
+		&f.EIP, &f.EFLAGS,
+		&f.CS, &f.SS, &f.DS, &f.ES, &f.FS, &f.GS,
+	}
+	if i < 0 || i >= len(regs) {
+		return false
+	}
+	*regs[i] = v
+	return true
+}
+
+// String renders the frame in the classic panic-dump shape.
+func (f *TrapFrame) String() string {
+	return fmt.Sprintf(
+		"trap %d err=%#x cr2=%#x\n"+
+			"eax=%08x ecx=%08x edx=%08x ebx=%08x\n"+
+			"esp=%08x ebp=%08x esi=%08x edi=%08x\n"+
+			"eip=%08x eflags=%08x",
+		f.TrapNo, f.Err, f.Cr2,
+		f.EAX, f.ECX, f.EDX, f.EBX,
+		f.ESP, f.EBP, f.ESI, f.EDI,
+		f.EIP, f.EFLAGS)
+}
+
+// TrapHandler handles one trap.  Returning nil resumes the interrupted
+// computation; returning an error falls through to the default handler
+// (console dump and kernel panic).
+type TrapHandler func(k *Kernel, f *TrapFrame) error
+
+// Debugger is the hook the GDB stub implements (§3.5).  If attached, it
+// sees every trap before the vector table; Handled true means the
+// debugger consumed the trap (the stub blocks inside Trap until the
+// remote GDB continues).
+type Debugger interface {
+	Trap(f *TrapFrame) (handled bool)
+}
+
+// SetTrapHandler installs a handler for a vector, returning the previous
+// one.  Clients can thereby take over, say, breakpoint traps while
+// leaving the default behaviour for the rest — the Java/PC null-pointer
+// trick of §6.2.4.
+func (k *Kernel) SetTrapHandler(vec int, h TrapHandler) TrapHandler {
+	if vec < 0 || vec >= NumTraps {
+		panic(fmt.Sprintf("kern: bad trap vector %d", vec))
+	}
+	old := k.traps[vec]
+	k.traps[vec] = h
+	return old
+}
+
+// SetDebugger attaches (or, with nil, detaches) a trap-level debugger.
+func (k *Kernel) SetDebugger(d Debugger) { k.debugger = d }
+
+// Trap dispatches a trap as the CPU would: debugger first, then the
+// vector table, then the default handler.  Kernel-mode components raise
+// traps by calling this (the simulated INT instruction); the kvm runtime
+// raises TrapGPF for null-pointer accesses this way.
+func (k *Kernel) Trap(f *TrapFrame) {
+	if d := k.debugger; d != nil {
+		if d.Trap(f) {
+			return
+		}
+	}
+	if f.TrapNo < NumTraps {
+		if h := k.traps[f.TrapNo]; h != nil {
+			if err := h(k, f); err == nil {
+				return
+			}
+		}
+	}
+	k.defaultTrap(f)
+}
+
+// Breakpoint raises a breakpoint trap carrying the given marker address
+// as its EIP; with a debugger attached this enters the remote GDB
+// session.
+func (k *Kernel) Breakpoint(eip uint32) {
+	f := &TrapFrame{TrapNo: TrapBreakpoint, EIP: eip, CS: 0x08, SS: 0x10, EFLAGS: 0x202}
+	k.Trap(f)
+}
+
+// defaultTrap is the default handler: dump the documented frame on the
+// console and panic the kernel.
+func (k *Kernel) defaultTrap(f *TrapFrame) {
+	k.Printf("panic: unexpected %s\n", trapName(f.TrapNo))
+	k.Printf("%s\n", f.String())
+	k.Env.Panic("unhandled trap %d", f.TrapNo)
+}
+
+func trapName(no uint32) string {
+	names := map[uint32]string{
+		TrapDivide:     "divide error",
+		TrapDebug:      "debug trap",
+		TrapBreakpoint: "breakpoint",
+		TrapOverflow:   "overflow",
+		TrapBound:      "bound check",
+		TrapInvalidOp:  "invalid opcode",
+		TrapGPF:        "general protection fault",
+		TrapPageFault:  "page fault",
+	}
+	if n, ok := names[no]; ok {
+		return fmt.Sprintf("trap: %s", n)
+	}
+	return fmt.Sprintf("trap %d", no)
+}

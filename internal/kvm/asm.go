@@ -1,0 +1,202 @@
+package kvm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// The kvm assembler: line-oriented, two-pass, labels and string
+// constants.  Grammar:
+//
+//	; comment
+//	label:
+//	.str name "text"          ; define a string constant
+//	push 42                   ; immediate
+//	push @label               ; label address as immediate
+//	jmp label / jz label / jnz label
+//	call label nargs
+//	native id nargs           ; id numeric or a name from NativeNames
+//	pushs name                ; push interned string buffer
+//	spawn label
+//	add sub mul div mod neg and or xor shl shr
+//	eq ne lt le gt ge
+//	pop dup swap ret halt yield selfid exit
+//	loadg n / storg n / loadl n / storl n
+//	newbuf bget bset blen
+
+// Program is an assembled unit.
+type Program struct {
+	Code   []byte
+	Consts []string
+}
+
+type patch struct {
+	off   int
+	label string
+	line  int
+}
+
+// Assemble translates kvm assembly source.
+func Assemble(src string) (*Program, error) {
+	p := &Program{}
+	labels := map[string]int{}
+	strIdx := map[string]int32{}
+	var patches []patch
+
+	emit := func(b ...byte) { p.Code = append(p.Code, b...) }
+	emit32 := func(v int32) {
+		emit(byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+
+	simple := map[string]byte{
+		"pop": opPop, "dup": opDup, "swap": opSwap,
+		"add": opAdd, "sub": opSub, "mul": opMul, "div": opDiv, "mod": opMod,
+		"neg": opNeg, "and": opAnd, "or": opOr, "xor": opXor, "shl": opShl, "shr": opShr,
+		"eq": opEq, "ne": opNe, "lt": opLt, "le": opLe, "gt": opGt, "ge": opGe,
+		"ret": opRet, "halt": opHalt, "yield": opYield, "selfid": opSelfID, "exit": opExit,
+		"newbuf": opNewBuf, "bget": opBGet, "bset": opBSet, "blen": opBLen,
+	}
+	immOps := map[string]byte{
+		"loadg": opLoadG, "storg": opStorG, "loadl": opLoadL, "storl": opStorL,
+	}
+	jumpOps := map[string]byte{"jmp": opJmp, "jz": opJz, "jnz": opJnz, "spawn": opSpawn}
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// String constant directive.
+		if strings.HasPrefix(line, ".str ") {
+			rest := strings.TrimSpace(line[5:])
+			name, quoted, ok := strings.Cut(rest, " ")
+			if !ok {
+				return nil, fmt.Errorf("line %d: .str wants name and text", lineNo+1)
+			}
+			text, err := strconv.Unquote(strings.TrimSpace(quoted))
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad string: %v", lineNo+1, err)
+			}
+			strIdx[name] = int32(len(p.Consts))
+			p.Consts = append(p.Consts, text)
+			continue
+		}
+		// Label.
+		if strings.HasSuffix(line, ":") {
+			name := strings.TrimSuffix(line, ":")
+			if _, dup := labels[name]; dup {
+				return nil, fmt.Errorf("line %d: duplicate label %q", lineNo+1, name)
+			}
+			labels[name] = len(p.Code)
+			continue
+		}
+		fields := strings.Fields(line)
+		op := strings.ToLower(fields[0])
+		switch {
+		case op == "push":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("line %d: push wants one operand", lineNo+1)
+			}
+			emit(opPush)
+			if lbl, ok := strings.CutPrefix(fields[1], "@"); ok {
+				patches = append(patches, patch{off: len(p.Code), label: lbl, line: lineNo + 1})
+				emit32(0)
+			} else {
+				v, err := strconv.ParseInt(fields[1], 0, 33)
+				if err != nil {
+					return nil, fmt.Errorf("line %d: bad immediate: %v", lineNo+1, err)
+				}
+				emit32(int32(v))
+			}
+		case op == "pushs":
+			idx, ok := strIdx[fields[1]]
+			if !ok {
+				return nil, fmt.Errorf("line %d: undefined string %q", lineNo+1, fields[1])
+			}
+			emit(opPushS)
+			emit32(idx)
+		case op == "call":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("line %d: call wants label and nargs", lineNo+1)
+			}
+			emit(opCall)
+			patches = append(patches, patch{off: len(p.Code), label: fields[1], line: lineNo + 1})
+			emit32(0)
+			n, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad nargs", lineNo+1)
+			}
+			emit32(int32(n))
+		case op == "native":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("line %d: native wants id and nargs", lineNo+1)
+			}
+			id, err := nativeID(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo+1, err)
+			}
+			n, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad nargs", lineNo+1)
+			}
+			emit(opNative)
+			emit32(id)
+			emit32(int32(n))
+		case jumpOps[op] != 0:
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("line %d: %s wants a label", lineNo+1, op)
+			}
+			emit(jumpOps[op])
+			patches = append(patches, patch{off: len(p.Code), label: fields[1], line: lineNo + 1})
+			emit32(0)
+		case immOps[op] != 0:
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("line %d: %s wants an index", lineNo+1, op)
+			}
+			v, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad index", lineNo+1)
+			}
+			emit(immOps[op])
+			emit32(int32(v))
+		default:
+			b, ok := simple[op]
+			if !ok {
+				return nil, fmt.Errorf("line %d: unknown instruction %q", lineNo+1, op)
+			}
+			if len(fields) != 1 {
+				return nil, fmt.Errorf("line %d: %s takes no operands", lineNo+1, op)
+			}
+			emit(b)
+		}
+	}
+
+	for _, pt := range patches {
+		addr, ok := labels[pt.label]
+		if !ok {
+			return nil, fmt.Errorf("line %d: undefined label %q", pt.line, pt.label)
+		}
+		p.Code[pt.off] = byte(addr)
+		p.Code[pt.off+1] = byte(addr >> 8)
+		p.Code[pt.off+2] = byte(addr >> 16)
+		p.Code[pt.off+3] = byte(addr >> 24)
+	}
+	return p, nil
+}
+
+// nativeID resolves a native name or numeric id.
+func nativeID(s string) (int32, error) {
+	if id, ok := NativeNames[s]; ok {
+		return id, nil
+	}
+	v, err := strconv.ParseInt(s, 0, 32)
+	if err != nil {
+		return 0, fmt.Errorf("unknown native %q", s)
+	}
+	return int32(v), nil
+}

@@ -1,0 +1,108 @@
+package kvm
+
+import (
+	"strings"
+	"testing"
+
+	"oskit/internal/bmfs"
+	"oskit/internal/boot"
+	"oskit/internal/exec"
+	"oskit/internal/hw"
+	"oskit/internal/kern"
+	"oskit/internal/libc"
+)
+
+// TestProgramFromBootModuleViaExec is the §6.2.2 delivery chain end to
+// end: the boot loader carries an FLX executable as a boot module; the
+// kernel mounts the boot-module file system, reads the image through
+// the POSIX layer, loads it with the exec component into an
+// AMM-described address space, and runs its text segment in the VM —
+// "Java/PC loads its Java bytecode from the initial boot module file
+// system", mechanically.
+func TestProgramFromBootModuleViaExec(t *testing.T) {
+	// Assemble the program and wrap it as an FLX image.
+	prog, err := Assemble(`
+	.str msg "bytecode loaded from a boot module\n"
+		pushs msg
+		native print 1
+		pop
+		push 4321
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := &exec.Image{
+		Entry: 0x1000,
+		Segments: []exec.Segment{
+			{VAddr: 0x1000, Data: prog.Code, MemSize: uint32(len(prog.Code)), Flags: exec.SegRead | exec.SegExec},
+		},
+	}
+	flx := exec.Build(img)
+
+	// The boot loader's half.
+	bootImg := boot.BuildImage("kernel", []boot.ModuleSpec{
+		{String: "bin/app.flx run-me", Data: flx},
+	})
+	m := hw.NewMachine(hw.Config{MemBytes: 32 << 20})
+	var console strings.Builder
+
+	code, err := kern.Boot(m, bootImg, func(k *kern.Kernel, args []string, env map[string]string) int {
+		c := libc.New(k.Env)
+		c.Putchar = func(b byte) { console.WriteByte(b) }
+
+		fs := bmfs.New(k.Env.Ticks)
+		if _, err := fs.Populate(k.Info, k.Machine.Mem); err != nil {
+			t.Error(err)
+			return 1
+		}
+		root, _ := fs.GetRoot()
+		c.SetRoot(root)
+		root.Release()
+		if fs.ModuleArgs("/bin/app.flx") != "run-me" {
+			t.Error("module argument string lost")
+		}
+
+		// POSIX read of the module, exec parse+load, then fetch the
+		// text back out of the loaded image by virtual address.
+		raw, err := c.ReadFile("/bin/app.flx")
+		if err != nil {
+			t.Error(err)
+			return 1
+		}
+		parsed, err := exec.Parse(raw)
+		if err != nil {
+			t.Error(err)
+			return 1
+		}
+		loaded, err := exec.Load(k.Env, parsed)
+		if err != nil {
+			t.Error(err)
+			return 1
+		}
+		defer loaded.Unload()
+		text := make([]byte, len(prog.Code))
+		if err := loaded.ReadVirtual(loaded.Entry, text); err != nil {
+			t.Error(err)
+			return 1
+		}
+
+		vm := New(text, prog.Consts)
+		vm.BindLibc(c)
+		v, err := vm.Run()
+		if err != nil {
+			t.Error(err)
+			return 1
+		}
+		return int(v)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 4321 {
+		t.Fatalf("program exit = %d", code)
+	}
+	if !strings.Contains(console.String(), "bytecode loaded from a boot module") {
+		t.Fatalf("console = %q", console.String())
+	}
+}

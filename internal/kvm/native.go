@@ -1,0 +1,176 @@
+package kvm
+
+import (
+	"fmt"
+
+	"oskit/internal/com"
+	"oskit/internal/libc"
+)
+
+// The native-call bridge: like Kaffe, the runtime is "written for a
+// standard POSIX environment, requiring support for file I/O calls such
+// as open and read, as well as BSD's socket API" (§6.1.4).  Everything
+// below lands in the minimal C library's descriptor layer, so the VM is
+// oblivious to which file system or protocol stack the client OS bound.
+
+// Native ids (stable ABI for assembled programs).
+const (
+	NatPrint   = 0  // print(buf) -> bytes written
+	NatPutInt  = 1  // putint(v) -> v
+	NatTicks   = 2  // ticks() -> clock ticks (truncated)
+	NatSocket  = 3  // socket(domain, type, proto) -> fd
+	NatBind    = 4  // bind(fd, port) -> 0
+	NatListen  = 5  // listen(fd, backlog) -> 0
+	NatAccept  = 6  // accept(fd) -> connfd
+	NatConnect = 7  // connect(fd, ipBE, port) -> 0
+	NatSend    = 8  // send(fd, buf, n) -> sent
+	NatRecv    = 9  // recv(fd, buf, max) -> received (0 = EOF)
+	NatClose   = 10 // close(fd) -> 0
+	NatOpen    = 11 // open(pathBuf, flags) -> fd
+	NatRead    = 12 // read(fd, buf, n) -> n
+	NatWrite   = 13 // write(fd, buf, n) -> n
+)
+
+// NativeNames maps assembly mnemonics to ids.
+var NativeNames = map[string]int32{
+	"print": NatPrint, "putint": NatPutInt, "ticks": NatTicks,
+	"socket": NatSocket, "bind": NatBind, "listen": NatListen,
+	"accept": NatAccept, "connect": NatConnect,
+	"send": NatSend, "recv": NatRecv, "close": NatClose,
+	"open": NatOpen, "read": NatRead, "write": NatWrite,
+}
+
+// BindLibc installs the standard native set over a C library instance.
+func (vm *VM) BindLibc(c *libc.C) {
+	buf := func(vm *VM, h int32) ([]byte, error) {
+		b, ok := vm.Buf(h)
+		if !ok {
+			return nil, fmt.Errorf("null or dangling buffer %d", h)
+		}
+		return b, nil
+	}
+	errno := func(err error) (int32, error) {
+		if err == nil {
+			return 0, nil
+		}
+		// POSIX style: errors become -1, the program checks.
+		return -1, nil
+	}
+
+	vm.RegisterNative(NatPrint, func(vm *VM, a []int32) (int32, error) {
+		b, err := buf(vm, a[0])
+		if err != nil {
+			return 0, err
+		}
+		c.Printf("%s", b)
+		return int32(len(b)), nil
+	})
+	vm.RegisterNative(NatPutInt, func(vm *VM, a []int32) (int32, error) {
+		c.Printf("%d", int(a[0]))
+		return a[0], nil
+	})
+	vm.RegisterNative(NatTicks, func(vm *VM, a []int32) (int32, error) {
+		t, _ := c.GetRUsage()
+		return int32(t), nil
+	})
+	vm.RegisterNative(NatSocket, func(vm *VM, a []int32) (int32, error) {
+		fd, err := c.Socket(int(a[0]), int(a[1]), int(a[2]))
+		if err != nil {
+			return -1, nil
+		}
+		return int32(fd), nil
+	})
+	vm.RegisterNative(NatBind, func(vm *VM, a []int32) (int32, error) {
+		return errno(c.Bind(int(a[0]), com.SockAddr{Family: com.AFInet, Port: uint16(a[1])}))
+	})
+	vm.RegisterNative(NatListen, func(vm *VM, a []int32) (int32, error) {
+		return errno(c.Listen(int(a[0]), int(a[1])))
+	})
+	vm.RegisterNative(NatAccept, func(vm *VM, a []int32) (int32, error) {
+		fd, _, err := c.Accept(int(a[0]))
+		if err != nil {
+			return -1, nil
+		}
+		return int32(fd), nil
+	})
+	vm.RegisterNative(NatConnect, func(vm *VM, a []int32) (int32, error) {
+		addr := com.SockAddr{Family: com.AFInet, Port: uint16(a[2])}
+		ip := uint32(a[1])
+		addr.Addr = [4]byte{byte(ip >> 24), byte(ip >> 16), byte(ip >> 8), byte(ip)}
+		return errno(c.Connect(int(a[0]), addr))
+	})
+	vm.RegisterNative(NatSend, func(vm *VM, a []int32) (int32, error) {
+		b, err := buf(vm, a[1])
+		if err != nil {
+			return 0, err
+		}
+		n := int(a[2])
+		if n < 0 || n > len(b) {
+			return 0, fmt.Errorf("send length %d out of range", n)
+		}
+		sent, serr := c.Write(int(a[0]), b[:n])
+		if serr != nil {
+			return -1, nil
+		}
+		return int32(sent), nil
+	})
+	vm.RegisterNative(NatRecv, func(vm *VM, a []int32) (int32, error) {
+		b, err := buf(vm, a[1])
+		if err != nil {
+			return 0, err
+		}
+		max := int(a[2])
+		if max < 0 || max > len(b) {
+			return 0, fmt.Errorf("recv length %d out of range", max)
+		}
+		n, rerr := c.Read(int(a[0]), b[:max])
+		if rerr != nil {
+			return -1, nil
+		}
+		return int32(n), nil
+	})
+	vm.RegisterNative(NatClose, func(vm *VM, a []int32) (int32, error) {
+		return errno(c.Close(int(a[0])))
+	})
+	vm.RegisterNative(NatOpen, func(vm *VM, a []int32) (int32, error) {
+		b, err := buf(vm, a[0])
+		if err != nil {
+			return 0, err
+		}
+		fd, oerr := c.Open(string(b), int(a[1]), 0o644)
+		if oerr != nil {
+			return -1, nil
+		}
+		return int32(fd), nil
+	})
+	vm.RegisterNative(NatRead, func(vm *VM, a []int32) (int32, error) {
+		b, err := buf(vm, a[1])
+		if err != nil {
+			return 0, err
+		}
+		n := int(a[2])
+		if n < 0 || n > len(b) {
+			return 0, fmt.Errorf("read length out of range")
+		}
+		got, rerr := c.Read(int(a[0]), b[:n])
+		if rerr != nil {
+			return -1, nil
+		}
+		return int32(got), nil
+	})
+	vm.RegisterNative(NatWrite, func(vm *VM, a []int32) (int32, error) {
+		b, err := buf(vm, a[1])
+		if err != nil {
+			return 0, err
+		}
+		n := int(a[2])
+		if n < 0 || n > len(b) {
+			return 0, fmt.Errorf("write length out of range")
+		}
+		wrote, werr := c.Write(int(a[0]), b[:n])
+		if werr != nil {
+			return -1, nil
+		}
+		return int32(wrote), nil
+	})
+}

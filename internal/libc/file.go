@@ -1,0 +1,264 @@
+package libc
+
+import (
+	"strings"
+
+	"oskit/internal/com"
+)
+
+// POSIX path calls.  Paths are resolved one component at a time against
+// the mounted root directory — the traversal policy lives here in the C
+// library, because the file system components deliberately accept only
+// single components (§3.8), which is also what lets wrappers like
+// examples/fileserver interpose per-component checks.
+
+// Open flags (Linux-flavoured values, as donor code expects).
+const (
+	ORdOnly = 0x0
+	OWrOnly = 0x1
+	ORdWr   = 0x2
+	OCreat  = 0x40
+	OExcl   = 0x80
+	OTrunc  = 0x200
+	OAppend = 0x400
+)
+
+// Open opens (optionally creating) a file and returns a descriptor.
+func (c *C) Open(path string, flags int, mode uint32) (int, error) {
+	dir, leaf, err := c.resolveParent(path)
+	if err != nil {
+		return -1, err
+	}
+	defer dir.Release()
+
+	if leaf == "" { // opening the root itself
+		if flags&(OWrOnly|ORdWr|OTrunc|OAppend) != 0 {
+			return -1, com.ErrIsDir
+		}
+		dir.AddRef()
+		return c.installFD(&fdesc{kind: fdDir, dir: dir}), nil
+	}
+
+	var f com.File
+	if flags&OCreat != 0 {
+		f, err = dir.Create(leaf, mode, flags&OExcl != 0)
+	} else {
+		f, err = dir.Lookup(leaf)
+	}
+	if err != nil {
+		return -1, err
+	}
+
+	// Directory?
+	if sub, qerr := f.QueryInterface(com.DirIID); qerr == nil {
+		f.Release()
+		if flags&(OWrOnly|ORdWr|OTrunc|OAppend) != 0 {
+			sub.Release()
+			return -1, com.ErrIsDir
+		}
+		return c.installFD(&fdesc{kind: fdDir, dir: sub.(com.Dir)}), nil
+	}
+
+	if flags&OTrunc != 0 {
+		if err := f.SetSize(0); err != nil {
+			f.Release()
+			return -1, err
+		}
+	}
+	return c.installFD(&fdesc{kind: fdFile, file: f, app: flags&OAppend != 0}), nil
+}
+
+// Stat resolves a path and returns its metadata.
+func (c *C) Stat(path string) (com.Stat, error) {
+	f, err := c.resolve(path)
+	if err != nil {
+		return com.Stat{}, err
+	}
+	defer f.Release()
+	return f.GetStat()
+}
+
+// Mkdir creates a directory.
+func (c *C) Mkdir(path string, mode uint32) error {
+	dir, leaf, err := c.resolveParent(path)
+	if err != nil {
+		return err
+	}
+	defer dir.Release()
+	if leaf == "" {
+		return com.ErrExist
+	}
+	return dir.Mkdir(leaf, mode)
+}
+
+// Unlink removes a file.
+func (c *C) Unlink(path string) error {
+	dir, leaf, err := c.resolveParent(path)
+	if err != nil {
+		return err
+	}
+	defer dir.Release()
+	if leaf == "" {
+		return com.ErrIsDir
+	}
+	return dir.Unlink(leaf)
+}
+
+// Rmdir removes an empty directory.
+func (c *C) Rmdir(path string) error {
+	dir, leaf, err := c.resolveParent(path)
+	if err != nil {
+		return err
+	}
+	defer dir.Release()
+	if leaf == "" {
+		return com.ErrBusy
+	}
+	return dir.Rmdir(leaf)
+}
+
+// Rename moves oldPath to newPath (same file system).
+func (c *C) Rename(oldPath, newPath string) error {
+	oldDir, oldLeaf, err := c.resolveParent(oldPath)
+	if err != nil {
+		return err
+	}
+	defer oldDir.Release()
+	newDir, newLeaf, err := c.resolveParent(newPath)
+	if err != nil {
+		return err
+	}
+	defer newDir.Release()
+	if oldLeaf == "" || newLeaf == "" {
+		return com.ErrInval
+	}
+	return oldDir.Rename(oldLeaf, newDir, newLeaf)
+}
+
+// Truncate resizes a file by path.
+func (c *C) Truncate(path string, size uint64) error {
+	f, err := c.resolve(path)
+	if err != nil {
+		return err
+	}
+	defer f.Release()
+	return f.SetSize(size)
+}
+
+// ListDir returns a directory's entries.
+func (c *C) ListDir(path string) ([]com.Dirent, error) {
+	f, err := c.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Release()
+	d, qerr := f.QueryInterface(com.DirIID)
+	if qerr != nil {
+		return nil, com.ErrNotDir
+	}
+	defer d.Release()
+	return d.(com.Dir).ReadDir(0, 0)
+}
+
+// ReadFile is the convenience slurp used by loaders (exec, kvm): the
+// whole file as a byte slice.
+func (c *C) ReadFile(path string) ([]byte, error) {
+	f, err := c.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Release()
+	st, err := f.GetStat()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, st.Size)
+	var off uint64
+	for off < st.Size {
+		n, err := f.ReadAt(out[off:], off)
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			break
+		}
+		off += uint64(n)
+	}
+	return out[:off], nil
+}
+
+// WriteFile creates/replaces path with data.
+func (c *C) WriteFile(path string, data []byte, mode uint32) error {
+	fd, err := c.Open(path, OWrOnly|OCreat|OTrunc, mode)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = c.Close(fd) }()
+	for len(data) > 0 {
+		n, err := c.Write(fd, data)
+		if err != nil {
+			return err
+		}
+		data = data[n:]
+	}
+	return nil
+}
+
+// resolve walks path fully, returning the final File (one reference).
+func (c *C) resolve(path string) (com.File, error) {
+	dir, leaf, err := c.resolveParent(path)
+	if err != nil {
+		return nil, err
+	}
+	if leaf == "" {
+		return dir, nil
+	}
+	defer dir.Release()
+	return dir.Lookup(leaf)
+}
+
+// resolveParent walks all but the last component, returning the parent
+// directory (one reference) and the leaf name ("" for the root).
+func (c *C) resolveParent(path string) (com.Dir, string, error) {
+	c.mu.Lock()
+	root := c.root
+	if root != nil {
+		root.AddRef()
+	}
+	c.mu.Unlock()
+	if root == nil {
+		return nil, "", com.ErrNoEnt
+	}
+	parts := splitPath(path)
+	if len(parts) == 0 {
+		return root, "", nil
+	}
+	cur := root
+	for _, p := range parts[:len(parts)-1] {
+		next, err := cur.Lookup(p)
+		cur.Release()
+		if err != nil {
+			return nil, "", err
+		}
+		sub, qerr := next.QueryInterface(com.DirIID)
+		next.Release()
+		if qerr != nil {
+			return nil, "", com.ErrNotDir
+		}
+		cur = sub.(com.Dir)
+	}
+	return cur, parts[len(parts)-1], nil
+}
+
+// splitPath breaks a slash path into components, dropping empty ones and
+// ".".
+func splitPath(path string) []string {
+	var out []string
+	for _, p := range strings.Split(path, "/") {
+		if p == "" || p == "." {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}

@@ -1,0 +1,295 @@
+package libc
+
+// Formatted output, built per §4.3.1: Printf is implemented in terms of
+// Puts (complete output lines) and Putchar (everything else); it does no
+// buffering and allocates nothing but the formatted string.  The
+// formatter itself is the kit's own — no locales, no floating point —
+// with the verb subset kernel code actually uses.
+
+// Printf formats and writes to the console services.  Supported verbs:
+// %d %i (signed), %u (unsigned), %x %X (hex), %o (octal), %b (binary),
+// %c (byte), %s (string or []byte), %p (pointer-style hex), %v (best
+// effort), %% — with optional '-', '0' flags, width, and '.' precision
+// for %s.  Unknown verbs are printed literally, C-style.
+func (c *C) Printf(format string, args ...any) {
+	s := Sprintf(format, args...)
+	// Emit whole lines through Puts, the remainder through Putchar,
+	// making the documented dependency structure real: overriding Puts
+	// redirects line-oriented output.
+	for {
+		nl := indexByte(s, '\n')
+		if nl < 0 {
+			break
+		}
+		c.Puts(s[:nl])
+		s = s[nl+1:]
+	}
+	for i := 0; i < len(s); i++ {
+		c.Putchar(s[i])
+	}
+}
+
+// Sprintf formats into a string using the kit formatter.
+func Sprintf(format string, args ...any) string {
+	var out []byte
+	argi := 0
+	nextArg := func() (any, bool) {
+		if argi >= len(args) {
+			return nil, false
+		}
+		a := args[argi]
+		argi++
+		return a, true
+	}
+	for i := 0; i < len(format); i++ {
+		ch := format[i]
+		if ch != '%' {
+			out = append(out, ch)
+			continue
+		}
+		i++
+		if i >= len(format) {
+			out = append(out, '%')
+			break
+		}
+		// Flags.
+		leftAlign, zeroPad := false, false
+		for ; i < len(format); i++ {
+			if format[i] == '-' {
+				leftAlign = true
+			} else if format[i] == '0' {
+				zeroPad = true
+			} else {
+				break
+			}
+		}
+		// Width.
+		width := 0
+		for ; i < len(format) && format[i] >= '0' && format[i] <= '9'; i++ {
+			width = width*10 + int(format[i]-'0')
+		}
+		// Precision.
+		prec := -1
+		if i < len(format) && format[i] == '.' {
+			i++
+			prec = 0
+			for ; i < len(format) && format[i] >= '0' && format[i] <= '9'; i++ {
+				prec = prec*10 + int(format[i]-'0')
+			}
+		}
+		if i >= len(format) {
+			break
+		}
+		verb := format[i]
+		var body string
+		switch verb {
+		case '%':
+			body = "%"
+		case 'd', 'i':
+			a, ok := nextArg()
+			if !ok {
+				body = "%!d(MISSING)"
+				break
+			}
+			v, neg := toInt(a)
+			body = formatUint(v, 10, false)
+			if neg {
+				body = "-" + body
+			}
+		case 'u':
+			a, _ := nextArg()
+			v, _ := toInt(a)
+			body = formatUint(v, 10, false)
+		case 'x':
+			a, _ := nextArg()
+			v, _ := toInt(a)
+			body = formatUint(v, 16, false)
+		case 'X':
+			a, _ := nextArg()
+			v, _ := toInt(a)
+			body = formatUint(v, 16, true)
+		case 'o':
+			a, _ := nextArg()
+			v, _ := toInt(a)
+			body = formatUint(v, 8, false)
+		case 'b':
+			a, _ := nextArg()
+			v, _ := toInt(a)
+			body = formatUint(v, 2, false)
+		case 'p':
+			a, _ := nextArg()
+			v, _ := toInt(a)
+			body = "0x" + formatUint(v, 16, false)
+		case 'c':
+			a, _ := nextArg()
+			v, _ := toInt(a)
+			body = string([]byte{byte(v)})
+		case 's', 'v':
+			a, ok := nextArg()
+			if !ok {
+				body = "%!s(MISSING)"
+				break
+			}
+			body = toString(a)
+			if prec >= 0 && prec < len(body) {
+				body = body[:prec]
+			}
+		default:
+			// C libraries print unknown conversions literally.
+			out = append(out, '%', verb)
+			continue
+		}
+		out = appendPadded(out, body, width, leftAlign, zeroPad && !leftAlign)
+	}
+	return string(out)
+}
+
+func appendPadded(out []byte, s string, width int, left, zero bool) []byte {
+	pad := width - len(s)
+	fill := byte(' ')
+	if zero {
+		fill = '0'
+	}
+	if left {
+		out = append(out, s...)
+		for ; pad > 0; pad-- {
+			out = append(out, ' ')
+		}
+		return out
+	}
+	// Zero padding goes after a sign.
+	if zero && len(s) > 0 && s[0] == '-' {
+		out = append(out, '-')
+		s = s[1:]
+		pad = width - 1 - len(s)
+	}
+	for ; pad > 0; pad-- {
+		out = append(out, fill)
+	}
+	return append(out, s...)
+}
+
+// toInt coerces integer-ish arguments to (magnitude, negative).
+func toInt(a any) (uint64, bool) {
+	switch v := a.(type) {
+	case int:
+		return mag(int64(v))
+	case int8:
+		return mag(int64(v))
+	case int16:
+		return mag(int64(v))
+	case int32:
+		return mag(int64(v))
+	case int64:
+		return mag(v)
+	case uint:
+		return uint64(v), false
+	case uint8:
+		return uint64(v), false
+	case uint16:
+		return uint64(v), false
+	case uint32:
+		return uint64(v), false
+	case uint64:
+		return v, false
+	case uintptr:
+		return uint64(v), false
+	case bool:
+		if v {
+			return 1, false
+		}
+		return 0, false
+	}
+	return 0, false
+}
+
+func mag(v int64) (uint64, bool) {
+	if v < 0 {
+		return uint64(-v), true
+	}
+	return uint64(v), false
+}
+
+func toString(a any) string {
+	switch v := a.(type) {
+	case string:
+		return v
+	case []byte:
+		return string(v)
+	case []string:
+		out := "["
+		for i, s := range v {
+			if i > 0 {
+				out += " "
+			}
+			out += s
+		}
+		return out + "]"
+	case error:
+		return v.Error()
+	case nil:
+		return "<nil>"
+	}
+	if u, neg := toInt(a); neg {
+		return "-" + formatUint(u, 10, false)
+	} else if u != 0 || isIntKind(a) {
+		return formatUint(u, 10, false)
+	}
+	return "<?>"
+}
+
+func isIntKind(a any) bool {
+	switch a.(type) {
+	case int, int8, int16, int32, int64, uint, uint8, uint16, uint32, uint64, uintptr, bool:
+		return true
+	}
+	return false
+}
+
+const digits = "0123456789abcdef"
+const digitsUpper = "0123456789ABCDEF"
+
+func formatUint(v uint64, base uint64, upper bool) string {
+	d := digits
+	if upper {
+		d = digitsUpper
+	}
+	if v == 0 {
+		return "0"
+	}
+	var buf [64]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = d[v%base]
+		v /= base
+	}
+	return string(buf[i:])
+}
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}
+
+// Atoi parses a decimal integer with optional sign, stopping at the first
+// non-digit (C semantics: no error, garbage yields 0).
+func Atoi(s string) int {
+	i, neg := 0, false
+	if i < len(s) && (s[i] == '-' || s[i] == '+') {
+		neg = s[i] == '-'
+		i++
+	}
+	n := 0
+	for ; i < len(s) && s[i] >= '0' && s[i] <= '9'; i++ {
+		n = n*10 + int(s[i]-'0')
+	}
+	if neg {
+		return -n
+	}
+	return n
+}

@@ -1,0 +1,114 @@
+package libc
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestSprintfVerbs(t *testing.T) {
+	cases := []struct {
+		format string
+		args   []any
+		want   string
+	}{
+		{"plain", nil, "plain"},
+		{"%d", []any{42}, "42"},
+		{"%d", []any{-42}, "-42"},
+		{"%i", []any{7}, "7"},
+		{"%u", []any{uint32(7)}, "7"},
+		{"%x", []any{255}, "ff"},
+		{"%X", []any{255}, "FF"},
+		{"%o", []any{8}, "10"},
+		{"%b", []any{5}, "101"},
+		{"%c", []any{65}, "A"},
+		{"%s", []any{"str"}, "str"},
+		{"%s", []any{[]byte("bs")}, "bs"},
+		{"%v", []any{-3}, "-3"},
+		{"%p", []any{uint32(0x1000)}, "0x1000"},
+		{"%%", nil, "%"},
+		{"%5d", []any{42}, "   42"},
+		{"%-5d|", []any{42}, "42   |"},
+		{"%05d", []any{42}, "00042"},
+		{"%05d", []any{-42}, "-0042"},
+		{"%08x", []any{0xabc}, "00000abc"},
+		{"%.3s", []any{"abcdef"}, "abc"},
+		{"%10.3s|", []any{"abcdef"}, "       abc|"},
+		{"a=%d b=%s c=%x", []any{1, "two", 3}, "a=1 b=two c=3"},
+		{"%d", nil, "%!d(MISSING)"},
+		{"%s", nil, "%!s(MISSING)"},
+		{"%q", []any{1}, "%q"}, // unknown verb printed literally
+		{"trailing %", nil, "trailing %"},
+		{"%d", []any{int64(1) << 40}, "1099511627776"},
+		{"%s", []any{error(fmt.Errorf("boom"))}, "boom"},
+		{"%s", []any{nil}, "<nil>"},
+	}
+	for _, c := range cases {
+		if got := Sprintf(c.format, c.args...); got != c.want {
+			t.Errorf("Sprintf(%q, %v) = %q, want %q", c.format, c.args, got, c.want)
+		}
+	}
+}
+
+// Property: for the verb/flag subset shared with package fmt, the kit's
+// formatter agrees with the reference implementation.
+func TestSprintfMatchesFmtProperty(t *testing.T) {
+	fInt := func(v int32, w uint8) bool {
+		width := int(w % 12)
+		format := fmt.Sprintf("%%%dd", width)
+		return Sprintf(format, v) == fmt.Sprintf(format, v)
+	}
+	if err := quick.Check(fInt, nil); err != nil {
+		t.Error("width:", err)
+	}
+	fHex := func(v uint32) bool {
+		return Sprintf("%x|%X|%o|%b", v, v, v, v) == fmt.Sprintf("%x|%X|%o|%b", v, v, v, v)
+	}
+	if err := quick.Check(fHex, nil); err != nil {
+		t.Error("bases:", err)
+	}
+	fZero := func(v int32, w uint8) bool {
+		width := int(w%10) + 1
+		format := fmt.Sprintf("%%0%dd", width)
+		return Sprintf(format, v) == fmt.Sprintf(format, v)
+	}
+	if err := quick.Check(fZero, nil); err != nil {
+		t.Error("zero pad:", err)
+	}
+	fStr := func(raw []byte, w uint8) bool {
+		// ASCII only: a C library pads by bytes, fmt pads by runes.
+		b := make([]byte, len(raw))
+		for i, c := range raw {
+			b[i] = c % 0x7f
+		}
+		s := string(b)
+		width := int(w % 12)
+		format := fmt.Sprintf("%%%ds", width)
+		return Sprintf(format, s) == fmt.Sprintf(format, s)
+	}
+	if err := quick.Check(fStr, nil); err != nil {
+		t.Error("string width:", err)
+	}
+}
+
+func TestAtoi(t *testing.T) {
+	cases := map[string]int{
+		"0": 0, "42": 42, "-42": -42, "+7": 7,
+		"123abc": 123, "abc": 0, "": 0, "-": 0,
+	}
+	for in, want := range cases {
+		if got := Atoi(in); got != want {
+			t.Errorf("Atoi(%q) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestSprintfStringSlice(t *testing.T) {
+	got := Sprintf("args=%v", []string{"kernel", "-v"})
+	if got != "args=[kernel -v]" {
+		t.Errorf("Sprintf %%v []string = %q", got)
+	}
+	if Sprintf("%v", []string{}) != "[]" {
+		t.Error("empty slice formatting")
+	}
+}

@@ -1,0 +1,121 @@
+// Package libc is the kit's minimal C library (paper §3.4): a library
+// designed around minimizing dependencies rather than maximizing
+// functionality.
+//
+// Its structure follows §4.3.1's function-library rules.  Every service is
+// a replaceable function with documented dependencies:
+//
+//   - Printf is implemented in terms of Puts and Putchar.
+//   - The default Puts is implemented only in terms of Putchar.
+//   - Putchar defaults to the environment's console service.
+//
+// So a client that supplies nothing but a Putchar gets working formatted
+// console output.  (In a standard C library, overriding one function
+// changing another's behaviour would be a bug; here it is the point.)
+//
+// There is no buffering anywhere: the standard I/O calls rely directly on
+// the underlying read and write operations.  Locales and floating-point
+// formatting are not supported, exactly as in the original.
+//
+// The POSIX layer (fd.go, file.go, socket.go) maps file descriptors to
+// references to COM objects, which is what lets the BSD socket functions
+// work with any protocol stack that provides socket and socket-factory
+// interfaces (§5), and open/read/write work against any file system
+// component.
+package libc
+
+import (
+	"sync"
+
+	"oskit/internal/com"
+	"oskit/internal/core"
+)
+
+// C is one instance of the minimal C library bound to an environment.
+// (A library instance per kernel, not global state: several simulated
+// machines run in one test process.)
+type C struct {
+	env *core.Env
+
+	// Putchar emits one byte.  Default: the environment's console.
+	Putchar func(c byte)
+	// Puts writes a string followed by a newline.  The default is
+	// implemented only in terms of Putchar.
+	Puts func(s string)
+
+	mu      sync.Mutex
+	fds     []*fdesc
+	root    com.Dir
+	creator com.SocketFactory
+}
+
+// New creates a library instance over env.  Descriptors 0, 1, 2 are bound
+// to the console stream if one is supplied via SetStdio; until then I/O
+// on them returns ErrBadF.
+func New(env *core.Env) *C {
+	c := &C{env: env}
+	c.Putchar = func(b byte) { env.Putchar(b) }
+	c.Puts = func(s string) {
+		for i := 0; i < len(s); i++ {
+			c.Putchar(s[i])
+		}
+		c.Putchar('\n')
+	}
+	c.fds = make([]*fdesc, 3)
+	return c
+}
+
+// Env returns the environment the instance is bound to.
+func (c *C) Env() *core.Env { return c.env }
+
+// SetStdio binds descriptors 0, 1, 2 to a stream (normally the kernel
+// console).
+func (c *C) SetStdio(s com.Stream) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for fd := 0; fd <= 2; fd++ {
+		if old := c.fds[fd]; old != nil {
+			old.close()
+		}
+		s.AddRef()
+		c.fds[fd] = &fdesc{kind: fdStream, stream: s}
+	}
+}
+
+// SetRoot installs the root directory the POSIX path calls resolve
+// against (the client mounts a file system by passing its root here —
+// run-time binding, §4.2.2).
+func (c *C) SetRoot(root com.Dir) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.root != nil {
+		c.root.Release()
+	}
+	if root != nil {
+		root.AddRef()
+	}
+	c.root = root
+}
+
+// SetSocketCreator registers the socket factory used by Socket — the
+// posix_set_socketcreator call from the paper's §5 initialization
+// sequence.
+func (c *C) SetSocketCreator(f com.SocketFactory) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.creator != nil {
+		c.creator.Release()
+	}
+	if f != nil {
+		f.AddRef()
+	}
+	c.creator = f
+}
+
+// GetRUsage reports consumed time as the pair (ticks, nanoseconds per
+// tick).  Like the paper's ttcp port, which implemented getrusage from
+// the timers kept by the networking code, this is a thin view of the
+// kit's clock — at the clock's coarse 10 ms granularity.
+func (c *C) GetRUsage() (ticks uint64, tickNanos uint64) {
+	return c.env.Ticks(), c.env.TickNanos
+}

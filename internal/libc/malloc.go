@@ -1,0 +1,128 @@
+package libc
+
+import (
+	"encoding/binary"
+
+	"oskit/internal/core"
+	"oskit/internal/hw"
+)
+
+// Kernel malloc over the environment's memory service (by default the
+// LMM, §3.3).  Unlike C's, the kit's lmm_free wants the block size back,
+// so Malloc keeps an 8-byte header *in the allocated memory itself* —
+// size and a magic — and hands out the address past it.  The header magic
+// doubles as a cheap corruption tripwire; the memdebug component layers
+// full guard-zone checking above this.
+
+const (
+	mallocHdrSize  = 8
+	mallocMagic    = 0x05111997 // SOSP-16's year, as good a magic as any
+	mallocFreeFill = 0xDD
+)
+
+// Malloc allocates size bytes, returning the (simulated) physical address
+// and a slice aliasing the storage.  ok is false on exhaustion, like a
+// NULL return.
+func (c *C) Malloc(size uint32) (addr hw.PhysAddr, buf []byte, ok bool) {
+	return c.mallocFlags(size, 0)
+}
+
+// MallocDMA is Malloc constrained to DMA-able memory — what the default
+// device-driver memory hook hands to donor drivers (§4.2.1).
+func (c *C) MallocDMA(size uint32) (hw.PhysAddr, []byte, bool) {
+	return c.mallocFlags(size, core.MemDMA)
+}
+
+func (c *C) mallocFlags(size uint32, flags core.MemFlags) (hw.PhysAddr, []byte, bool) {
+	total := size + mallocHdrSize
+	if total < size { // overflow
+		return 0, nil, false
+	}
+	base, raw, ok := c.env.MemAlloc(total, flags, 8)
+	if !ok {
+		return 0, nil, false
+	}
+	binary.LittleEndian.PutUint32(raw[0:4], total)
+	binary.LittleEndian.PutUint32(raw[4:8], mallocMagic)
+	return base + mallocHdrSize, raw[mallocHdrSize:], true
+}
+
+// Calloc is Malloc plus zero fill (MemAlloc memory may be recycled).
+func (c *C) Calloc(n, size uint32) (hw.PhysAddr, []byte, bool) {
+	total := n * size
+	if n != 0 && total/n != size {
+		return 0, nil, false
+	}
+	addr, buf, ok := c.Malloc(total)
+	if !ok {
+		return 0, nil, false
+	}
+	for i := range buf {
+		buf[i] = 0
+	}
+	return addr, buf, true
+}
+
+// Free releases a Malloc'd block by address.  A bad or doubled free is
+// detected by the header magic and reported through the environment's
+// Panic service.
+func (c *C) Free(addr hw.PhysAddr) {
+	if addr == 0 {
+		return // free(NULL) is a no-op
+	}
+	base := addr - mallocHdrSize
+	hdr, err := c.env.Machine.Mem.Slice(base, mallocHdrSize)
+	if err != nil {
+		c.env.Panic("libc: Free(%#x): %v", addr, err)
+		return
+	}
+	total := binary.LittleEndian.Uint32(hdr[0:4])
+	magic := binary.LittleEndian.Uint32(hdr[4:8])
+	if magic != mallocMagic {
+		c.env.Panic("libc: Free(%#x): bad or double free (magic %#x)", addr, magic)
+		return
+	}
+	// Poison so a use-after-free is loud and a double free is caught.
+	body, _ := c.env.Machine.Mem.Slice(base, total)
+	for i := range body {
+		body[i] = mallocFreeFill
+	}
+	c.env.MemFree(base, total)
+}
+
+// MallocSize reports the usable size of a live Malloc'd block.
+func (c *C) MallocSize(addr hw.PhysAddr) (uint32, bool) {
+	hdr, err := c.env.Machine.Mem.Slice(addr-mallocHdrSize, mallocHdrSize)
+	if err != nil || binary.LittleEndian.Uint32(hdr[4:8]) != mallocMagic {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint32(hdr[0:4]) - mallocHdrSize, nil == err
+}
+
+// Realloc resizes a block, copying the prefix.
+func (c *C) Realloc(addr hw.PhysAddr, newSize uint32) (hw.PhysAddr, []byte, bool) {
+	if addr == 0 {
+		return c.Malloc(newSize)
+	}
+	oldSize, ok := c.MallocSize(addr)
+	if !ok {
+		return 0, nil, false
+	}
+	newAddr, newBuf, ok := c.Malloc(newSize)
+	if !ok {
+		return 0, nil, false
+	}
+	old, err := c.env.Machine.Mem.Slice(addr, minU32(oldSize, newSize))
+	if err == nil {
+		copy(newBuf, old)
+	}
+	c.Free(addr)
+	return newAddr, newBuf, true
+}
+
+func minU32(a, b uint32) uint32 {
+	if a < b {
+		return a
+	}
+	return b
+}

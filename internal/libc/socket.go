@@ -1,0 +1,145 @@
+package libc
+
+import "oskit/internal/com"
+
+// BSD socket functions (paper §5).  The C library maps these directly to
+// the methods of the Socket COM interface; socket() uses the
+// client-registered socket factory, so this code works with any protocol
+// stack providing the two interfaces — FreeBSD-style, Linux-style, or a
+// test stub.
+
+// Socket creates a socket descriptor.
+func (c *C) Socket(domain, typ, protocol int) (int, error) {
+	c.mu.Lock()
+	creator := c.creator
+	if creator != nil {
+		creator.AddRef()
+	}
+	c.mu.Unlock()
+	if creator == nil {
+		return -1, com.ErrInval // no stack registered
+	}
+	defer creator.Release()
+	s, err := creator.CreateSocket(domain, typ, protocol)
+	if err != nil {
+		return -1, err
+	}
+	return c.installFD(&fdesc{kind: fdSocket, sock: s}), nil
+}
+
+// sockFD fetches the Socket behind a descriptor.
+func (c *C) sockFD(fd int) (com.Socket, error) {
+	d, err := c.getFD(fd)
+	if err != nil {
+		return nil, err
+	}
+	if d.kind != fdSocket {
+		return nil, com.ErrInval // ENOTSOCK territory
+	}
+	return d.sock, nil
+}
+
+// Bind assigns a local address.
+func (c *C) Bind(fd int, addr com.SockAddr) error {
+	s, err := c.sockFD(fd)
+	if err != nil {
+		return err
+	}
+	return s.Bind(addr)
+}
+
+// Connect initiates a connection.
+func (c *C) Connect(fd int, addr com.SockAddr) error {
+	s, err := c.sockFD(fd)
+	if err != nil {
+		return err
+	}
+	return s.Connect(addr)
+}
+
+// Listen marks a socket passive.
+func (c *C) Listen(fd int, backlog int) error {
+	s, err := c.sockFD(fd)
+	if err != nil {
+		return err
+	}
+	return s.Listen(backlog)
+}
+
+// Accept blocks for a connection, returning the new descriptor and peer.
+func (c *C) Accept(fd int) (int, com.SockAddr, error) {
+	s, err := c.sockFD(fd)
+	if err != nil {
+		return -1, com.SockAddr{}, err
+	}
+	ns, peer, err := s.Accept()
+	if err != nil {
+		return -1, com.SockAddr{}, err
+	}
+	return c.installFD(&fdesc{kind: fdSocket, sock: ns}), peer, nil
+}
+
+// SendTo transmits a datagram.
+func (c *C) SendTo(fd int, buf []byte, to com.SockAddr) (int, error) {
+	s, err := c.sockFD(fd)
+	if err != nil {
+		return 0, err
+	}
+	n, err := s.SendTo(buf, to)
+	return int(n), err
+}
+
+// RecvFrom receives a datagram and its source.
+func (c *C) RecvFrom(fd int, buf []byte) (int, com.SockAddr, error) {
+	s, err := c.sockFD(fd)
+	if err != nil {
+		return 0, com.SockAddr{}, err
+	}
+	n, from, err := s.RecvFrom(buf)
+	return int(n), from, err
+}
+
+// Shutdown closes one or both directions.
+func (c *C) Shutdown(fd int, how int) error {
+	s, err := c.sockFD(fd)
+	if err != nil {
+		return err
+	}
+	return s.Shutdown(how)
+}
+
+// GetSockName returns the local address.
+func (c *C) GetSockName(fd int) (com.SockAddr, error) {
+	s, err := c.sockFD(fd)
+	if err != nil {
+		return com.SockAddr{}, err
+	}
+	return s.GetSockName()
+}
+
+// GetPeerName returns the remote address.
+func (c *C) GetPeerName(fd int) (com.SockAddr, error) {
+	s, err := c.sockFD(fd)
+	if err != nil {
+		return com.SockAddr{}, err
+	}
+	return s.GetPeerName()
+}
+
+// SetSockOpt sets a named option.
+func (c *C) SetSockOpt(fd int, name string, value int) error {
+	s, err := c.sockFD(fd)
+	if err != nil {
+		return err
+	}
+	return s.SetSockOpt(name, value)
+}
+
+// GetSockOpt reads a named option.
+func (c *C) GetSockOpt(fd int, name string) (int, error) {
+	s, err := c.sockFD(fd)
+	if err != nil {
+		return 0, err
+	}
+	return s.GetSockOpt(name)
+}

@@ -1,0 +1,401 @@
+// Package linuxdev is the glue that encapsulates the kit's donor Linux
+// driver code (oskit/internal/linux/legacy) and exports it through COM
+// interfaces — the technique of paper §4.7.
+//
+// The glue has two faces.  Downward, it implements the donor-internal
+// environment the drivers were written against: kmalloc honouring GFP
+// flags (§4.7.7), cli/sti mapped to the machine's interrupt exclusion,
+// sleep_on/wake_up emulated over the kit's sleep records (§4.7.6), the
+// current task manufactured on demand at every component entry point and
+// saved across blocking (§4.7.5), and the direct physical-memory map some
+// drivers assume (§4.7.8).  Upward, it exports each probed device as an
+// fdev device node answering for EtherDev or BlkIO, and wraps skbuffs as
+// BufIO objects without copying by planting a pointer in the skbuff's
+// one-word COM slot (§4.7.3).
+package linuxdev
+
+import (
+	"sync"
+
+	"oskit/internal/core"
+	"oskit/internal/hw"
+	"oskit/internal/linux/legacy"
+)
+
+// Glue is the per-machine encapsulation state: one donor "kernel image"
+// plus its binding to the kit environment.
+type Glue struct {
+	env  *core.Env
+	kern *legacy.Kernel
+
+	mu      sync.Mutex
+	nextPID int
+	nextEth int
+	nextHD  int
+	// route maps donor net devices to their COM nodes for the netif_rx
+	// upcall.
+	route map[*legacy.NetDevice]*etherDev
+
+	// nativeKmalloc selects Linux's own bucket allocator (the
+	// monolithic baseline) over the glue's client-memory-service
+	// mapping (the encapsulated configuration).
+	nativeKmalloc bool
+	// kmalloc bucket free lists: [class][dma?]; class i holds blocks of
+	// 32<<i bytes.  Protected by interrupt exclusion, not mu (the donor
+	// contract).
+	buckets [kmBuckets][2][]*legacy.KBuf
+}
+
+const (
+	kmMinShift = 5 // 32-byte minimum block
+	kmBuckets  = 8 // up to 32<<7 = 4096
+)
+
+// bucketAlloc is the Linux-2.0-style power-of-two allocator.  Called
+// with interrupt exclusion held.
+func (g *Glue) bucketAlloc(size uint32, gfp int) *legacy.KBuf {
+	dma := 0
+	var flags core.MemFlags
+	if gfp&legacy.GFPDMA != 0 {
+		dma = 1
+		flags = core.MemDMA
+	}
+	cls, bs := kmClass(size)
+	if cls < 0 {
+		// Large allocation: straight to the client service.
+		addr, buf, ok := g.env.MemAlloc(size, flags, 8)
+		if !ok {
+			return nil
+		}
+		return &legacy.KBuf{Addr: addr, Data: buf}
+	}
+	list := g.buckets[cls][dma]
+	if len(list) == 0 {
+		// Refill: one page carved into blocks.
+		addr, buf, ok := g.env.MemAlloc(4096, flags, 4096)
+		if !ok {
+			return nil
+		}
+		for off := uint32(0); off+bs <= 4096; off += bs {
+			list = append(list, &legacy.KBuf{Addr: addr + off, Data: buf[off : off+bs : off+bs]})
+		}
+	}
+	b := list[len(list)-1]
+	g.buckets[cls][dma] = list[:len(list)-1]
+	return b
+}
+
+// bucketFree returns a block to its free list (large blocks go back to
+// the client).  Called with interrupt exclusion held.
+func (g *Glue) bucketFree(b *legacy.KBuf) {
+	cls, _ := kmClass(uint32(len(b.Data)))
+	if cls < 0 {
+		g.env.MemFree(b.Addr, uint32(len(b.Data)))
+		return
+	}
+	dma := 0
+	if b.Addr < hw.DMALimit {
+		dma = 1
+	}
+	g.buckets[cls][dma] = append(g.buckets[cls][dma], b)
+}
+
+func kmClass(size uint32) (int, uint32) {
+	bs := uint32(1) << kmMinShift
+	for i := 0; i < kmBuckets; i++ {
+		if size <= bs {
+			return i, bs
+		}
+		bs <<= 1
+	}
+	return -1, 0
+}
+
+var (
+	gluesMu sync.Mutex
+	glues   = map[*core.Env]*Glue{}
+)
+
+// GlueFor returns (creating on first use) the machine's Linux glue: the
+// analog of linking the donor code into that machine's kernel image.
+func GlueFor(env *core.Env) *Glue {
+	gluesMu.Lock()
+	defer gluesMu.Unlock()
+	if g, ok := glues[env]; ok {
+		return g
+	}
+	g := &Glue{env: env, route: map[*legacy.NetDevice]*etherDev{}}
+	g.kern = g.buildKernel()
+	glues[env] = g
+	return g
+}
+
+// Kernel exposes the donor environment (tests; donor-level poking).
+func (g *Glue) Kernel() *legacy.Kernel { return g.kern }
+
+// buildKernel wires every donor service to the kit environment.
+func (g *Glue) buildKernel() *legacy.Kernel {
+	env := g.env
+	k := &legacy.Kernel{}
+
+	// §4.7.7 territory: memory allocation.  In the encapsulated
+	// configuration the donor kmalloc maps to the client memory service
+	// — by default the kit's LMM, whose first-fit flexibility is not
+	// built for a per-packet allocation rate; the paper's §6.2.10
+	// profiling names exactly this overhead.  In the *monolithic* Linux
+	// baseline (ProbeNative), kmalloc is Linux's own power-of-two
+	// bucket allocator, which is what the real Linux kernel ran.
+	// Everything is serialized against interrupt handlers with cli, as
+	// the original was.
+	k.Kmalloc = func(size uint32, gfp int) *legacy.KBuf {
+		exclude := !env.InIntr()
+		if exclude {
+			env.IntrDisable()
+		}
+		var b *legacy.KBuf
+		if g.nativeKmalloc {
+			b = g.bucketAlloc(size, gfp)
+		} else {
+			var flags core.MemFlags
+			if gfp&legacy.GFPDMA != 0 {
+				flags |= core.MemDMA
+			}
+			if addr, buf, ok := env.MemAlloc(size, flags, 8); ok {
+				b = &legacy.KBuf{Addr: addr, Data: buf}
+			}
+		}
+		if exclude {
+			env.IntrEnable()
+		}
+		return b
+	}
+	k.Kfree = func(b *legacy.KBuf) {
+		exclude := !env.InIntr()
+		if exclude {
+			env.IntrDisable()
+		}
+		if g.nativeKmalloc {
+			g.bucketFree(b)
+		} else {
+			env.MemFree(b.Addr, uint32(len(b.Data)))
+		}
+		if exclude {
+			env.IntrEnable()
+		}
+	}
+
+	// Interrupt exclusion.  At interrupt level these are no-ops: the
+	// dispatcher already holds the exclusion, exactly like EFLAGS.IF
+	// being clear inside a real handler.
+	k.SaveFlags = func() uint32 {
+		if env.InIntr() {
+			return 1
+		}
+		return 0
+	}
+	k.Cli = func() {
+		if !env.InIntr() {
+			env.IntrDisable()
+		}
+	}
+	k.RestoreFlags = func(f uint32) {
+		if f == 0 {
+			env.IntrEnable()
+		}
+	}
+
+	k.RequestIRQ = func(irq int, handler func(int), name string) error {
+		env.Machine.Intr.SetHandler(irq, handler)
+		env.Machine.Intr.SetMask(irq, false)
+		return nil
+	}
+	k.FreeIRQ = func(irq int) {
+		env.Machine.Intr.SetMask(irq, true)
+		env.Machine.Intr.SetHandler(irq, nil)
+	}
+
+	// §4.7.6: sleep/wakeup over sleep records.  SleepOn follows the
+	// donor contract: entered with interrupts disabled, atomically
+	// registers the sleeper, re-enables while blocked, returns with
+	// interrupts disabled again.  The current task is saved across the
+	// block so other activities entering the component meanwhile don't
+	// see a stale pointer (§4.7.5).
+	k.SleepOn = func(q *legacy.WaitQueue) {
+		rec, _ := q.Glue.(*core.SleepRec)
+		if rec == nil {
+			rec = env.SleepInit()
+			q.Glue = rec
+		}
+		saved := k.Current
+		k.Current = nil
+		// sleep_on enables interrupts *fully* while blocked (sti, not
+		// one restore_flags level): the caller may be nested under
+		// other components' exclusion sections.
+		depth := env.Machine.Intr.DropAll()
+		env.Sleep(rec)
+		env.Machine.Intr.RestoreAll(depth)
+		k.Current = saved
+	}
+	k.WakeUp = func(q *legacy.WaitQueue) {
+		exclude := !env.InIntr()
+		if exclude {
+			env.IntrDisable()
+		}
+		rec, _ := q.Glue.(*core.SleepRec)
+		if exclude {
+			env.IntrEnable()
+		}
+		if rec != nil {
+			env.Wakeup(rec)
+		}
+	}
+
+	k.Jiffies = env.Ticks
+	k.AddTimer = env.AfterTicks
+	k.Printk = func(format string, args ...any) { env.Log("linux: "+trimNL(format), args...) }
+
+	// §4.7.8: the direct physical map the s3c59x-class drivers assume.
+	// On a client OS without such a map these drivers are unusable;
+	// the simulated PC direct-maps everything, so the glue provides it.
+	k.PhysToVirt = func(addr, size uint32) []byte {
+		return env.Machine.Mem.MustSlice(addr, size)
+	}
+
+	// netif_rx: route each received skbuff to its device's registered
+	// receive NetIO, as a zero-copy BufIO.  Runs at interrupt level.
+	k.NetifRx = func(skb *legacy.SKBuff) {
+		g.mu.Lock()
+		node := g.route[skb.Dev]
+		g.mu.Unlock()
+		if node == nil || node.recv == nil {
+			skb.Free()
+			return
+		}
+		bio := g.wrapSKB(skb) // takes over the skb reference
+		if err := node.recv.Push(bio, uint(skb.Len)); err != nil {
+			// The sink refused the packet; Push consumed the ref
+			// regardless (COM rules), nothing more to do.
+			_ = err
+		}
+	}
+
+	return k
+}
+
+// ProbeNative probes the machine's bus with the donor Ethernet drivers
+// and returns the raw legacy net devices, bypassing the COM export.
+// This is how the *monolithic* Linux baseline of Tables 1–2 is
+// configured: the Linux protocol stack attaches to the driver directly,
+// donor representation end to end, no glue in the packet path.
+func ProbeNative(env *core.Env) (*legacy.Kernel, []*legacy.NetDevice) {
+	g := GlueFor(env)
+	g.nativeKmalloc = true // the monolithic kernel keeps Linux's fast kmalloc
+	var devs []*legacy.NetDevice
+	for _, bd := range env.Machine.Bus.Devices() {
+		nic, ok := bd.HW.(*hw.NIC)
+		if !ok {
+			continue
+		}
+		chip := &nicChip{nic: nic, vendor: bd.Vendor, device: bd.Device}
+		g.mu.Lock()
+		name := "eth" + string(rune('0'+g.nextEth))
+		g.mu.Unlock()
+		var ldev *legacy.NetDevice
+		if ldev = legacy.SNE2KProbe(g.kern, chip, bd.IRQ, name); ldev == nil {
+			ldev = legacy.S3C59XProbe(g.kern, chip, bd.IRQ, name)
+		}
+		if ldev == nil {
+			continue
+		}
+		g.mu.Lock()
+		g.nextEth++
+		g.mu.Unlock()
+		devs = append(devs, ldev)
+	}
+	return g.kern, devs
+}
+
+// enter manufactures the current process for one component entry point
+// and returns the matching restore, per §4.7.5: "the glue code creates
+// and initializes a minimal temporary process structure … for the
+// duration of this call".
+func (g *Glue) enter(comm string) func() {
+	g.mu.Lock()
+	g.nextPID++
+	pid := g.nextPID
+	g.mu.Unlock()
+	prev := g.kern.Current
+	g.kern.Current = &legacy.Task{PID: pid, Comm: comm}
+	return func() { g.kern.Current = prev }
+}
+
+func trimNL(s string) string {
+	for len(s) > 0 && s[len(s)-1] == '\n' {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+// ---- chip adapters: the simulated silicon as donor register interfaces.
+
+// nicChip adapts hw.NIC to legacy.EtherChip.
+type nicChip struct {
+	nic            *hw.NIC
+	vendor, device uint16
+}
+
+func (c *nicChip) IDs() (uint16, uint16) { return c.vendor, c.device }
+func (c *nicChip) MacAddr() [6]byte      { return c.nic.Mac }
+func (c *nicChip) TxFrame(frame []byte)  { c.nic.Transmit(frame) }
+
+// RxFrame is the PIO path: the frame is copied off the simulated card.
+func (c *nicChip) RxFrame() []byte { return c.nic.RxPop() }
+
+// RxFrameInto is the busmaster path: the "DMA engine" writes directly
+// into the caller's buffer.  A nil dst discards the frame.
+func (c *nicChip) RxFrameInto(dst []byte) int {
+	f := c.nic.RxPop()
+	if f == nil {
+		return 0
+	}
+	if dst == nil {
+		return len(f)
+	}
+	return copy(dst, f)
+}
+
+// diskChip adapts hw.Disk to legacy.DiskChip.
+type diskChip struct {
+	disk           *hw.Disk
+	vendor, device uint16
+
+	mu   sync.Mutex
+	tags map[*hw.DiskReq]any
+}
+
+func newDiskChip(d *hw.Disk, vendor, device uint16) *diskChip {
+	return &diskChip{disk: d, vendor: vendor, device: device, tags: map[*hw.DiskReq]any{}}
+}
+
+func (c *diskChip) IDs() (uint16, uint16) { return c.vendor, c.device }
+func (c *diskChip) Sectors() uint32       { return c.disk.Sectors() }
+
+func (c *diskChip) Start(write bool, sector, count uint32, buf []byte, tag any) {
+	r := &hw.DiskReq{Write: write, Sector: sector, Count: count, Buf: buf}
+	c.mu.Lock()
+	c.tags[r] = tag
+	c.mu.Unlock()
+	c.disk.Submit(r)
+}
+
+func (c *diskChip) Done() (any, error, bool) {
+	r := c.disk.Reap()
+	if r == nil {
+		return nil, nil, false
+	}
+	c.mu.Lock()
+	tag := c.tags[r]
+	delete(c.tags, r)
+	c.mu.Unlock()
+	return tag, r.Err, true
+}

@@ -1,0 +1,117 @@
+package linuxfs
+
+import (
+	"bytes"
+	"testing"
+
+	"oskit/internal/com"
+	"oskit/internal/core"
+	"oskit/internal/diskpart"
+	bsdglue "oskit/internal/freebsd/glue"
+	"oskit/internal/hw"
+	"oskit/internal/lmm"
+	netbsdfs "oskit/internal/netbsd/fs"
+)
+
+// TestTwoFSFamiliesOneDisk is the separability payoff the paper's §3.8
+// was heading toward: an sext2 and an FFS mounted on two partitions of
+// the same device, driven by identical client code through the same COM
+// interfaces.
+func TestTwoFSFamiliesOneDisk(t *testing.T) {
+	m := hw.NewMachine(hw.Config{MemBytes: 16 << 20})
+	defer m.Halt()
+	arena := lmm.NewArena()
+	if err := arena.AddRegion(0x100000, 8<<20, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	arena.AddFree(0x100000, 8<<20)
+	env := core.NewEnv(m, arena)
+
+	disk := com.NewMemBuf(make([]byte, 8<<20))
+	if err := diskpart.WriteMBR(disk, []diskpart.MBREntry{
+		{Type: diskpart.TypeLinux, StartLBA: 64, Sectors: 8000},
+		{Type: diskpart.TypeBSD, StartLBA: 8256, Sectors: 8000},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	parts, err := diskpart.ReadPartitions(disk)
+	if err != nil || len(parts) != 2 {
+		t.Fatalf("parts = %+v, %v", parts, err)
+	}
+	linuxVol := diskpart.Open(disk, parts[0])
+	defer linuxVol.Release()
+	bsdVol := diskpart.Open(disk, parts[1])
+	defer bsdVol.Release()
+
+	if err := Mkfs(linuxVol, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := netbsdfs.Mkfs(bsdVol, 0); err != nil {
+		t.Fatal(err)
+	}
+	lfs, err := Mount(linuxVol, env.Ticks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bfs, err := netbsdfs.Mount(bsdglue.New(env), bsdVol)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Identical client code against both mounts.
+	exercise := func(name string, fs com.FileSystem) {
+		root, err := fs.GetRoot()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		defer root.Release()
+		if err := root.Mkdir("dir", 0o755); err != nil {
+			t.Fatalf("%s mkdir: %v", name, err)
+		}
+		f, err := root.Create("file", 0o644, true)
+		if err != nil {
+			t.Fatalf("%s create: %v", name, err)
+		}
+		defer f.Release()
+		data := bytes.Repeat([]byte(name), 1000)
+		if _, err := f.WriteAt(data, 0); err != nil {
+			t.Fatalf("%s write: %v", name, err)
+		}
+		got := make([]byte, len(data))
+		var off uint64
+		for off < uint64(len(data)) {
+			n, err := f.ReadAt(got[off:], off)
+			if err != nil || n == 0 {
+				t.Fatalf("%s read: %v", name, err)
+			}
+			off += uint64(n)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("%s: data corrupted", name)
+		}
+	}
+	exercise("sext2", lfs)
+	exercise("nffs!", bfs)
+
+	// Neither mount sees the other's files (the partitions isolate
+	// them); both magic numbers coexist on one platter.
+	lroot, _ := lfs.GetRoot()
+	defer lroot.Release()
+	ents, _ := lroot.ReadDir(0, 0)
+	if len(ents) != 2 {
+		t.Fatalf("sext2 sees %d entries", len(ents))
+	}
+	if err := bfs.Unmount(); err != nil {
+		t.Fatal(err)
+	}
+	if err := lfs.Unmount(); err != nil {
+		t.Fatal(err)
+	}
+	// Remount both: persistence across the shared platter.
+	if _, err := Mount(linuxVol, nil); err != nil {
+		t.Fatalf("sext2 remount: %v", err)
+	}
+	if _, err := netbsdfs.Mount(bsdglue.New(env), bsdVol); err != nil {
+		t.Fatalf("ffs remount: %v", err)
+	}
+}

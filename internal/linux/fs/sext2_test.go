@@ -1,0 +1,347 @@
+package linuxfs
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"oskit/internal/com"
+)
+
+func mountTest(t *testing.T, blocks uint32) *FS {
+	t.Helper()
+	dev := com.NewMemBuf(make([]byte, blocks*BlockSize))
+	if err := Mkfs(dev, 0); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := Mount(dev, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.Release()
+	return fs
+}
+
+func TestMkfsMountRoot(t *testing.T) {
+	fs := mountTest(t, 1024)
+	st, err := fs.StatFS()
+	if err != nil || st.TotalBlocks != 1024 || st.FreeBlocks == 0 {
+		t.Fatalf("StatFS = %+v, %v", st, err)
+	}
+	root, err := fs.GetRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer root.Release()
+	rst, _ := root.GetStat()
+	if rst.Ino != RootIno || rst.Mode&com.ModeIFMT != com.ModeIFDIR {
+		t.Fatalf("root = %+v", rst)
+	}
+	// ext2 identity: magic in block 1, root is inode 2.
+	if RootIno != 2 || Magic != 0xEF53 {
+		t.Fatal("ext2 conventions violated")
+	}
+	// Unformatted device rejected.
+	if _, err := Mount(com.NewMemBuf(make([]byte, 64*BlockSize)), nil); err == nil {
+		t.Fatal("mounted garbage")
+	}
+}
+
+func TestFileRoundTripThroughIndirection(t *testing.T) {
+	fs := mountTest(t, 4096)
+	root, _ := fs.GetRoot()
+	defer root.Release()
+	f, err := root.Create("big", 0o644, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Release()
+	// 12 KiB direct + 256 KiB single indirect; 300 KiB exercises double.
+	payload := make([]byte, 300*1024)
+	for i := range payload {
+		payload[i] = byte(i*13 + i>>8)
+	}
+	if n, err := f.WriteAt(payload, 0); err != nil || n != uint(len(payload)) {
+		t.Fatalf("WriteAt = %d, %v", n, err)
+	}
+	got := make([]byte, len(payload))
+	var off uint64
+	for off < uint64(len(payload)) {
+		n, err := f.ReadAt(got[off:], off)
+		if err != nil || n == 0 {
+			t.Fatalf("ReadAt: %d, %v", n, err)
+		}
+		off += uint64(n)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("round trip corrupted")
+	}
+	// Truncate reclaims; free count returns.
+	st0, _ := fs.StatFS()
+	if err := f.SetSize(0); err != nil {
+		t.Fatal(err)
+	}
+	st1, _ := fs.StatFS()
+	if st1.FreeBlocks <= st0.FreeBlocks {
+		t.Fatalf("truncate reclaimed nothing: %d -> %d", st0.FreeBlocks, st1.FreeBlocks)
+	}
+}
+
+func TestDirentRecLenDiscipline(t *testing.T) {
+	fs := mountTest(t, 512)
+	root, _ := fs.GetRoot()
+	defer root.Release()
+	// Names of varied length force record splits.
+	names := []string{"a", "bb", "a-much-longer-name-ccc", "d", "eeeee", "f"}
+	for _, n := range names {
+		if _, err := root.Create(n, 0o644, true); err != nil {
+			t.Fatalf("create %q: %v", n, err)
+		}
+	}
+	ents, err := root.ReadDir(0, 0)
+	if err != nil || len(ents) != len(names) {
+		t.Fatalf("ReadDir = %d entries, %v", len(ents), err)
+	}
+	// Remove a middle entry: its record folds into the predecessor...
+	if err := root.Unlink("a-much-longer-name-ccc"); err != nil {
+		t.Fatal(err)
+	}
+	// ...and a new entry can reuse the slack.
+	if _, err := root.Create("reuse-the-slack", 0o644, true); err != nil {
+		t.Fatal(err)
+	}
+	// Remove the leading entry: becomes a free record.
+	if err := root.Unlink("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := root.Create("a2", 0o644, true); err != nil {
+		t.Fatal(err)
+	}
+	ents, _ = root.ReadDir(0, 0)
+	if len(ents) != len(names) {
+		t.Fatalf("after churn: %d entries: %+v", len(ents), ents)
+	}
+	// The tiling stays exact: every record decodes, rec_lens cover each
+	// block (dirScan errors on violation).
+	di, _ := fs.iget(RootIno)
+	if err := fs.dirScan(di, func(uint32, int, dirent) bool { return true }); err != nil {
+		t.Fatalf("directory tiling broken: %v", err)
+	}
+}
+
+func TestDirectoryGrowsBlocks(t *testing.T) {
+	fs := mountTest(t, 1024)
+	root, _ := fs.GetRoot()
+	defer root.Release()
+	for i := 0; i < 80; i++ { // > one block of records
+		name := fmt.Sprintf("file-with-a-reasonably-long-name-%02d", i)
+		if _, err := root.Create(name, 0o644, true); err != nil {
+			t.Fatalf("create %d: %v", i, err)
+		}
+	}
+	ents, err := root.ReadDir(0, 0)
+	if err != nil || len(ents) != 80 {
+		t.Fatalf("ReadDir = %d, %v", len(ents), err)
+	}
+	rst, _ := root.GetStat()
+	if rst.Size <= BlockSize {
+		t.Fatalf("directory did not grow: %d", rst.Size)
+	}
+	// Unlink all; directory stays scannable.
+	for i := 0; i < 80; i++ {
+		name := fmt.Sprintf("file-with-a-reasonably-long-name-%02d", i)
+		if err := root.Unlink(name); err != nil {
+			t.Fatalf("unlink %d: %v", i, err)
+		}
+	}
+	ents, _ = root.ReadDir(0, 0)
+	if len(ents) != 0 {
+		t.Fatalf("entries after unlink-all: %+v", ents)
+	}
+}
+
+func TestDirOpsSemantics(t *testing.T) {
+	fs := mountTest(t, 512)
+	root, _ := fs.GetRoot()
+	defer root.Release()
+	if err := root.Mkdir("d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Mkdir("d", 0o755); err != com.ErrExist {
+		t.Fatalf("dup mkdir: %v", err)
+	}
+	dF, _ := root.Lookup("d")
+	dq, err := dF.QueryInterface(com.DirIID)
+	if err != nil {
+		t.Fatal("dir does not answer for Dir")
+	}
+	dF.Release()
+	d := dq.(com.Dir)
+	defer d.Release()
+	if _, err := d.Create("f", 0o644, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Rmdir("d"); err != com.ErrNotEmpty {
+		t.Fatalf("rmdir non-empty: %v", err)
+	}
+	if err := root.Unlink("d"); err != com.ErrIsDir {
+		t.Fatalf("unlink dir: %v", err)
+	}
+	if err := d.Unlink("f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Rmdir("d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := root.Lookup("d"); err != com.ErrNoEnt {
+		t.Fatalf("lookup after rmdir: %v", err)
+	}
+	// Single-component rule.
+	if _, err := root.Lookup("a/b"); err != com.ErrInval {
+		t.Fatalf("multi-component: %v", err)
+	}
+	if _, err := root.Lookup(".."); err != com.ErrInval {
+		t.Fatalf("dotdot: %v", err)
+	}
+}
+
+func TestRename(t *testing.T) {
+	fs := mountTest(t, 512)
+	root, _ := fs.GetRoot()
+	defer root.Release()
+	_ = root.Mkdir("src", 0o755)
+	_ = root.Mkdir("dst", 0o755)
+	srcF, _ := root.Lookup("src")
+	sq, _ := srcF.QueryInterface(com.DirIID)
+	srcF.Release()
+	src := sq.(com.Dir)
+	defer src.Release()
+	dstF, _ := root.Lookup("dst")
+	dq, _ := dstF.QueryInterface(com.DirIID)
+	dstF.Release()
+	dst := dq.(com.Dir)
+	defer dst.Release()
+
+	f, _ := src.Create("file", 0o644, true)
+	_, _ = f.WriteAt([]byte("payload"), 0)
+	f.Release()
+	if err := src.Rename("file", dst, "moved"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Lookup("file"); err != com.ErrNoEnt {
+		t.Fatal("source survived")
+	}
+	got, err := dst.Lookup("moved")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	n, _ := got.ReadAt(buf, 0)
+	if string(buf[:n]) != "payload" {
+		t.Fatalf("moved contents = %q", buf[:n])
+	}
+	got.Release()
+	// Same-dir rename over an existing file.
+	f2, _ := dst.Create("victim", 0o644, true)
+	f2.Release()
+	if err := dst.Rename("moved", dst, "victim"); err != nil {
+		t.Fatal(err)
+	}
+	ents, _ := dst.ReadDir(0, 0)
+	if len(ents) != 1 || ents[0].Name != "victim" {
+		t.Fatalf("dst = %+v", ents)
+	}
+}
+
+// TestModelProperty drives random ops against an in-memory model, the
+// same harness the FFS passes, proving the two components are
+// interchangeable in behaviour, not just in interface.
+func TestModelProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	fs := mountTest(t, 4096)
+	root, _ := fs.GetRoot()
+	defer root.Release()
+	model := map[string][]byte{}
+	names := []string{"n1", "n2", "n3", "n4"}
+	for step := 0; step < 250; step++ {
+		name := names[rng.Intn(len(names))]
+		switch rng.Intn(4) {
+		case 0:
+			f, err := root.Create(name, 0o644, false)
+			if err != nil {
+				t.Fatalf("step %d create: %v", step, err)
+			}
+			data := make([]byte, rng.Intn(3000)+1)
+			rng.Read(data)
+			off := uint64(rng.Intn(20000))
+			if _, err := f.WriteAt(data, off); err != nil {
+				t.Fatalf("step %d write: %v", step, err)
+			}
+			cur := model[name]
+			if need := int(off) + len(data); need > len(cur) {
+				g := make([]byte, need)
+				copy(g, cur)
+				cur = g
+			}
+			copy(cur[off:], data)
+			model[name] = cur
+			f.Release()
+		case 1:
+			if _, ok := model[name]; !ok {
+				continue
+			}
+			f, _ := root.Lookup(name)
+			size := uint64(rng.Intn(10000))
+			if err := f.SetSize(size); err != nil {
+				t.Fatalf("step %d truncate: %v", step, err)
+			}
+			cur := model[name]
+			if int(size) <= len(cur) {
+				model[name] = cur[:size]
+			} else {
+				g := make([]byte, size)
+				copy(g, cur)
+				model[name] = g
+			}
+			f.Release()
+		case 2:
+			if _, ok := model[name]; !ok {
+				continue
+			}
+			if err := root.Unlink(name); err != nil {
+				t.Fatalf("step %d unlink: %v", step, err)
+			}
+			delete(model, name)
+		case 3:
+			want, ok := model[name]
+			f, err := root.Lookup(name)
+			if !ok {
+				if err != com.ErrNoEnt {
+					t.Fatalf("step %d: ghost file", step)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("step %d lookup: %v", step, err)
+			}
+			st, _ := f.GetStat()
+			if st.Size != uint64(len(want)) {
+				t.Fatalf("step %d: size %d want %d", step, st.Size, len(want))
+			}
+			got := make([]byte, len(want))
+			var off uint64
+			for off < uint64(len(want)) {
+				n, err := f.ReadAt(got[off:], off)
+				if err != nil || n == 0 {
+					t.Fatalf("step %d read: %v", step, err)
+				}
+				off += uint64(n)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("step %d: contents diverge", step)
+			}
+			f.Release()
+		}
+	}
+}

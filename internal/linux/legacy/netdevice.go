@@ -1,0 +1,68 @@
+package legacy
+
+// NetDevice is the donor's struct device for network interfaces, with the
+// Linux 2.0 method slots the kit's drivers fill in.
+type NetDevice struct {
+	Kern *Kernel
+	Name string
+	MAC  [6]byte
+	IRQ  int
+	MTU  int
+
+	// Chip is the device's register-level hardware interface (the
+	// driver's inb/outb surface); see chip.go.
+	Chip EtherChip
+
+	// Method slots, Linux style.
+	Open          func(*NetDevice) error
+	Stop          func(*NetDevice) error
+	HardStartXmit func(*SKBuff, *NetDevice) error
+
+	Stats NetStats
+	Priv  any
+
+	opened bool
+}
+
+// NetStats is the donor's interface statistics block.
+type NetStats struct {
+	RxPackets, TxPackets uint64
+	RxBytes, TxBytes     uint64
+	RxDropped, TxErrors  uint64
+}
+
+// EtherChip is the register-level view of an Ethernet controller: what
+// the driver would reach through inb/outb and shared-memory windows on a
+// real ISA/PCI card.  The glue implements it over the simulated NIC.
+type EtherChip interface {
+	// IDs returns the (vendor, device) identification the probe routine
+	// checks.
+	IDs() (vendor, device uint16)
+	// MacAddr reads the station address PROM.
+	MacAddr() [6]byte
+	// TxFrame hands one complete frame to the transmitter.
+	TxFrame(frame []byte)
+	// RxFrame copies the next received frame out of the chip's on-board
+	// ring into freshly returned memory (programmed-I/O style: the copy
+	// is inherent), or nil when the ring is empty.
+	RxFrame() []byte
+	// RxFrameInto has the chip deliver the next frame directly into
+	// host memory (busmaster-DMA style), returning its length, or 0
+	// when the ring is empty.
+	RxFrameInto(dst []byte) int
+}
+
+// DiskChip is the register-level view of an IDE controller, likewise
+// implemented by the glue over the simulated disk.
+type DiskChip interface {
+	// IDs returns the controller identification.
+	IDs() (vendor, device uint16)
+	// Sectors returns the drive capacity.
+	Sectors() uint32
+	// Start begins one asynchronous transfer; completion arrives as an
+	// interrupt, after which Done yields the tag.
+	Start(write bool, sector, count uint32, buf []byte, tag any)
+	// Done reaps one completion: its tag and error; ok false when none
+	// is pending.
+	Done() (tag any, err error, ok bool)
+}

@@ -1,0 +1,143 @@
+package legacy
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// testKernel is a minimal in-package environment: plain Go memory, no
+// interrupt machinery (donor code under test never sleeps here).
+func testKernel() *Kernel {
+	k := &Kernel{}
+	k.Kmalloc = func(size uint32, gfp int) *KBuf {
+		return &KBuf{Addr: 0x1000, Data: make([]byte, size)}
+	}
+	k.Kfree = func(*KBuf) {}
+	k.SaveFlags = func() uint32 { return 0 }
+	k.Cli = func() {}
+	k.RestoreFlags = func(uint32) {}
+	k.Printk = func(string, ...any) {}
+	return k
+}
+
+func TestSKBPutPullPushTrim(t *testing.T) {
+	k := testKernel()
+	skb := k.AllocSKB(100)
+	skb.Reserve(14) // header room, dev_alloc_skb style
+	copy(skb.Put(20), bytes.Repeat([]byte{0xAA}, 20))
+	if skb.Len != 20 || len(skb.Data) != 20 {
+		t.Fatalf("after put: len=%d", skb.Len)
+	}
+	hdr := skb.Push(14)
+	if skb.Len != 34 || &hdr[14] != &skb.Data[14] {
+		t.Fatalf("push broken: len=%d", skb.Len)
+	}
+	copy(hdr[:14], bytes.Repeat([]byte{0xBB}, 14))
+	skb.Pull(14)
+	if skb.Len != 20 || skb.Data[0] != 0xAA {
+		t.Fatalf("after pull: len=%d first=%#x", skb.Len, skb.Data[0])
+	}
+	skb.Trim(5)
+	if skb.Len != 5 || len(skb.Data) != 5 {
+		t.Fatalf("after trim: %d", skb.Len)
+	}
+	skb.Free()
+}
+
+func TestSKBPanicsOnOverrun(t *testing.T) {
+	k := testKernel()
+	for name, f := range map[string]func(){
+		"put":     func() { k.AllocSKB(4).Put(5) },
+		"pull":    func() { s := k.AllocSKB(4); s.Put(2); s.Pull(3) },
+		"push":    func() { k.AllocSKB(4).Push(1) },
+		"trim":    func() { s := k.AllocSKB(4); s.Put(1); s.Trim(2) },
+		"reserve": func() { s := k.AllocSKB(4); s.Put(1); s.Reserve(1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSKBRefcount(t *testing.T) {
+	k := testKernel()
+	freed := 0
+	k.Kfree = func(*KBuf) { freed++ }
+	skb := k.AllocSKB(16)
+	skb.Get()
+	skb.Free()
+	if freed != 0 {
+		t.Fatal("freed with a reference outstanding")
+	}
+	skb.Free()
+	if freed != 1 {
+		t.Fatalf("kfree count = %d", freed)
+	}
+	// Fake skbuffs never kfree.
+	fake := k.FakeSKB(make([]byte, 8))
+	fake.Free()
+	if freed != 1 {
+		t.Fatal("fake skb was kfreed")
+	}
+}
+
+func TestSKBPhysAddr(t *testing.T) {
+	k := testKernel()
+	skb := k.AllocSKB(64)
+	skb.Reserve(10)
+	skb.Put(4)
+	addr, ok := skb.PhysAddr()
+	if !ok || addr != 0x1000+10 {
+		t.Fatalf("PhysAddr = %#x, %v", addr, ok)
+	}
+	if _, ok := k.FakeSKB(nil).PhysAddr(); ok {
+		t.Fatal("fake skb has a physical address")
+	}
+}
+
+// Property: any sequence of reserve/put/pull/trim keeps Data inside Head
+// and Len consistent with len(Data).
+func TestSKBGeometryProperty(t *testing.T) {
+	k := testKernel()
+	f := func(ops []byte) bool {
+		skb := k.AllocSKB(256)
+		skb.Reserve(64)
+		for _, op := range ops {
+			n := int(op % 32)
+			switch op % 4 {
+			case 0:
+				if skb.dataOff+skb.Len+n <= len(skb.Head) {
+					skb.Put(n)
+				}
+			case 1:
+				if n <= skb.Len {
+					skb.Pull(n)
+				}
+			case 2:
+				if n <= skb.dataOff {
+					skb.Push(n)
+				}
+			case 3:
+				if n <= skb.Len {
+					skb.Trim(n)
+				}
+			}
+			if len(skb.Data) != skb.Len {
+				return false
+			}
+			if skb.dataOff < 0 || skb.dataOff+skb.Len > len(skb.Head) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

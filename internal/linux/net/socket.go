@@ -1,0 +1,486 @@
+package linuxnet
+
+import (
+	"encoding/binary"
+
+	"oskit/internal/com"
+	"oskit/internal/linux/legacy"
+)
+
+// Sockets over the baseline stack.  The same COM Socket/SocketFactory
+// interfaces as the FreeBSD stack, so ttcp/rtcp run unchanged; blocking
+// bottoms out in the donor sleep_on/wake_up.
+
+// usock is one UDP endpoint.
+type usock struct {
+	s            *Stack
+	lport, fport uint16
+	faddr        [4]byte
+	rcv          []udpDgram
+	waitQ        legacy.WaitQueue
+	closed       bool
+}
+
+type udpDgram struct {
+	from [4]byte
+	port uint16
+	data []byte
+}
+
+func (s *Stack) udpInput(p []byte, src, dst [4]byte) {
+	if len(p) < udpHdrLen {
+		return
+	}
+	sport := binary.BigEndian.Uint16(p[0:2])
+	dport := binary.BigEndian.Uint16(p[2:4])
+	ulen := int(binary.BigEndian.Uint16(p[4:6]))
+	if ulen < udpHdrLen || ulen > len(p) {
+		return
+	}
+	for _, u := range s.udps {
+		if u.lport == dport && !u.closed {
+			data := append([]byte(nil), p[udpHdrLen:ulen]...)
+			u.rcv = append(u.rcv, udpDgram{from: src, port: sport, data: data})
+			s.k.WakeUp(&u.waitQ)
+			return
+		}
+	}
+}
+
+func (s *Stack) udpOutput(u *usock, data []byte, dst [4]byte, dport uint16) error {
+	skb := s.newSKB(len(data))
+	if skb == nil {
+		return com.ErrNoMem
+	}
+	copy(skb.Put(len(data)), data)
+	h := skb.Push(udpHdrLen)
+	binary.BigEndian.PutUint16(h[0:2], u.lport)
+	binary.BigEndian.PutUint16(h[2:4], dport)
+	binary.BigEndian.PutUint16(h[4:6], uint16(udpHdrLen+len(data)))
+	h[6], h[7] = 0, 0
+	csum := checksum(h[:udpHdrLen+len(data)], pseudo(s.ip, dst, protoUDP, udpHdrLen+len(data)))
+	if csum == 0 {
+		csum = 0xffff
+	}
+	binary.BigEndian.PutUint16(h[6:8], csum)
+	s.ipOutput(skb, dst, protoUDP)
+	return nil
+}
+
+// Factory is the stack's COM socket factory.
+type Factory struct {
+	com.RefCount
+	s *Stack
+}
+
+// SocketFactory returns the factory (one reference).
+func (s *Stack) SocketFactory() *Factory {
+	f := &Factory{s: s}
+	f.Init()
+	return f
+}
+
+// QueryInterface implements com.IUnknown.
+func (f *Factory) QueryInterface(iid com.GUID) (com.IUnknown, error) {
+	switch iid {
+	case com.UnknownIID, com.SocketFactoryIID:
+		f.AddRef()
+		return f, nil
+	}
+	return nil, com.ErrNoInterface
+}
+
+// CreateSocket implements com.SocketFactory.
+func (f *Factory) CreateSocket(domain, typ, protocol int) (com.Socket, error) {
+	if domain != com.AFInet {
+		return nil, com.ErrInval
+	}
+	s := f.s
+	so := &lsock{s: s}
+	so.Init()
+	flags := s.k.SaveFlags()
+	s.k.Cli()
+	defer s.k.RestoreFlags(flags)
+	switch typ {
+	case com.SockStream:
+		so.tcb = s.tcbNew()
+	case com.SockDgram:
+		so.udp = &usock{s: s}
+		s.udps = append(s.udps, so.udp)
+	default:
+		return nil, com.ErrInval
+	}
+	return so, nil
+}
+
+var _ com.SocketFactory = (*Factory)(nil)
+
+// lsock is one COM socket over the baseline stack.
+type lsock struct {
+	com.RefCount
+	s      *Stack
+	tcb    *tcb
+	udp    *usock
+	closed bool
+}
+
+// QueryInterface implements com.IUnknown.
+func (so *lsock) QueryInterface(iid com.GUID) (com.IUnknown, error) {
+	switch iid {
+	case com.UnknownIID, com.SocketIID:
+		so.AddRef()
+		return so, nil
+	}
+	return nil, com.ErrNoInterface
+}
+
+// lock raises the donor interrupt exclusion around socket state.
+func (so *lsock) lock() func() {
+	flags := so.s.k.SaveFlags()
+	so.s.k.Cli()
+	return func() { so.s.k.RestoreFlags(flags) }
+}
+
+// sleep blocks on a wait queue.  Donor contract: called with interrupts
+// disabled, returns with them disabled.
+func (so *lsock) sleep(q *legacy.WaitQueue) { so.s.k.SleepOn(q) }
+
+// nextPort allocates an ephemeral port.
+func (s *Stack) nextPort() uint16 {
+	for p := uint16(40000); p != 0; p++ {
+		taken := false
+		for _, t := range s.tcbs {
+			if t.lport == p {
+				taken = true
+			}
+		}
+		for _, u := range s.udps {
+			if u.lport == p {
+				taken = true
+			}
+		}
+		if !taken {
+			return p
+		}
+	}
+	return 0
+}
+
+// Bind implements com.Socket.
+func (so *lsock) Bind(addr com.SockAddr) error {
+	unlock := so.lock()
+	defer unlock()
+	port := addr.Port
+	if port == 0 {
+		port = so.s.nextPort()
+	}
+	if so.tcb != nil {
+		for _, t := range so.s.tcbs {
+			if t != so.tcb && t.lport == port {
+				return com.ErrAddrInUse
+			}
+		}
+		so.tcb.lport = port
+		return nil
+	}
+	for _, u := range so.s.udps {
+		if u != so.udp && u.lport == port {
+			return com.ErrAddrInUse
+		}
+	}
+	so.udp.lport = port
+	return nil
+}
+
+// Connect implements com.Socket.
+func (so *lsock) Connect(addr com.SockAddr) error {
+	unlock := so.lock()
+	defer unlock()
+	if so.udp != nil {
+		so.udp.faddr = addr.Addr
+		so.udp.fport = addr.Port
+		if so.udp.lport == 0 {
+			so.udp.lport = so.s.nextPort()
+		}
+		return nil
+	}
+	t := so.tcb
+	if t.lport == 0 {
+		t.lport = so.s.nextPort()
+	}
+	t.faddr = addr.Addr
+	t.fport = addr.Port
+	t.iss = so.s.nextSeq()
+	t.sndUna, t.sndNxt = t.iss, t.iss+1
+	t.state = stSynSent
+	t.sendSeg(t.iss, flSYN, nil)
+	t.armRexmt()
+	for t.state != stEstab {
+		if t.state == stClosed {
+			return com.ErrConnRef
+		}
+		so.sleep(&t.connQ)
+	}
+	return nil
+}
+
+// Listen implements com.Socket.
+func (so *lsock) Listen(backlog int) error {
+	unlock := so.lock()
+	defer unlock()
+	if so.tcb == nil || so.tcb.lport == 0 {
+		return com.ErrInval
+	}
+	if backlog < 1 {
+		backlog = 1
+	}
+	so.tcb.listening = true
+	so.tcb.backlog = backlog
+	so.tcb.state = stListen
+	return nil
+}
+
+// Accept implements com.Socket.
+func (so *lsock) Accept() (com.Socket, com.SockAddr, error) {
+	unlock := so.lock()
+	defer unlock()
+	t := so.tcb
+	if t == nil || !t.listening {
+		return nil, com.SockAddr{}, com.ErrInval
+	}
+	for len(t.acceptQ) == 0 {
+		if so.closed || t.state == stClosed {
+			return nil, com.SockAddr{}, com.ErrBadF
+		}
+		so.sleep(&t.connQ)
+	}
+	c := t.acceptQ[0]
+	t.acceptQ = t.acceptQ[1:]
+	ns := &lsock{s: so.s, tcb: c}
+	ns.Init()
+	peer := com.SockAddr{Family: com.AFInet, Port: c.fport, Addr: c.faddr}
+	return ns, peer, nil
+}
+
+// Read implements com.Socket.
+func (so *lsock) Read(buf []byte) (uint, error) {
+	unlock := so.lock()
+	defer unlock()
+	if so.udp != nil {
+		n, _, _, err := so.udpRecvLocked(buf)
+		return n, err
+	}
+	t := so.tcb
+	for {
+		if len(t.rcvQ) > 0 {
+			n := copy(buf, t.rcvQ)
+			t.rcvQ = t.rcvQ[n:]
+			// Window update after a substantial drain.
+			if t.state != stClosed && t.rcvWindow() >= t.lastAdvWnd+2*mss {
+				t.sendSeg(t.sndNxt, flACK, nil)
+			}
+			return uint(n), nil
+		}
+		if t.err != nil {
+			return 0, com.ErrConnReset
+		}
+		switch t.state {
+		case stCloseWait, stLastAck, stClosing, stTimeWait, stClosed:
+			return 0, nil // EOF
+		}
+		if so.closed {
+			return 0, com.ErrBadF
+		}
+		so.sleep(&t.rcvWait)
+	}
+}
+
+// Write implements com.Socket.
+func (so *lsock) Write(buf []byte) (uint, error) {
+	unlock := so.lock()
+	defer unlock()
+	if so.udp != nil {
+		if so.udp.fport == 0 {
+			return 0, com.ErrNotConn
+		}
+		if err := so.s.udpOutput(so.udp, buf, so.udp.faddr, so.udp.fport); err != nil {
+			return 0, err
+		}
+		return uint(len(buf)), nil
+	}
+	t := so.tcb
+	total := uint(0)
+	for len(buf) > 0 {
+		if t.err != nil {
+			return total, com.ErrConnReset
+		}
+		switch t.state {
+		case stEstab, stCloseWait:
+		default:
+			return total, com.ErrPipe
+		}
+		space := tcpWindow - len(t.sndQ)
+		if space <= 0 {
+			so.sleep(&t.sndWait)
+			continue
+		}
+		n := space
+		if n > len(buf) {
+			n = len(buf)
+		}
+		t.sndQ = append(t.sndQ, buf[:n]...)
+		buf = buf[n:]
+		total += uint(n)
+		t.push()
+	}
+	return total, nil
+}
+
+func (so *lsock) udpRecvLocked(buf []byte) (uint, [4]byte, uint16, error) {
+	u := so.udp
+	for len(u.rcv) == 0 {
+		if u.closed || so.closed {
+			return 0, [4]byte{}, 0, com.ErrBadF
+		}
+		so.sleep(&u.waitQ)
+	}
+	d := u.rcv[0]
+	u.rcv = u.rcv[1:]
+	n := copy(buf, d.data)
+	return uint(n), d.from, d.port, nil
+}
+
+// RecvFrom implements com.Socket.
+func (so *lsock) RecvFrom(buf []byte) (uint, com.SockAddr, error) {
+	unlock := so.lock()
+	defer unlock()
+	if so.udp == nil {
+		return 0, com.SockAddr{}, com.ErrInval
+	}
+	n, from, port, err := so.udpRecvLocked(buf)
+	return n, com.SockAddr{Family: com.AFInet, Addr: from, Port: port}, err
+}
+
+// SendTo implements com.Socket.
+func (so *lsock) SendTo(buf []byte, to com.SockAddr) (uint, error) {
+	unlock := so.lock()
+	defer unlock()
+	if so.udp == nil {
+		return 0, com.ErrInval
+	}
+	if so.udp.lport == 0 {
+		so.udp.lport = so.s.nextPort()
+	}
+	if err := so.s.udpOutput(so.udp, buf, to.Addr, to.Port); err != nil {
+		return 0, err
+	}
+	return uint(len(buf)), nil
+}
+
+// Shutdown implements com.Socket.
+func (so *lsock) Shutdown(how int) error {
+	unlock := so.lock()
+	defer unlock()
+	t := so.tcb
+	if t == nil {
+		return nil
+	}
+	if how == com.ShutWrite || how == com.ShutBoth {
+		so.queueFinLocked()
+	}
+	return nil
+}
+
+func (so *lsock) queueFinLocked() {
+	t := so.tcb
+	switch t.state {
+	case stEstab:
+		t.state = stFinWait1
+	case stCloseWait:
+		t.state = stLastAck
+	default:
+		return
+	}
+	t.finQueued = true
+	t.push()
+}
+
+// GetSockName implements com.Socket.
+func (so *lsock) GetSockName() (com.SockAddr, error) {
+	unlock := so.lock()
+	defer unlock()
+	a := com.SockAddr{Family: com.AFInet, Addr: so.s.ip}
+	if so.tcb != nil {
+		a.Port = so.tcb.lport
+	} else {
+		a.Port = so.udp.lport
+	}
+	return a, nil
+}
+
+// GetPeerName implements com.Socket.
+func (so *lsock) GetPeerName() (com.SockAddr, error) {
+	unlock := so.lock()
+	defer unlock()
+	a := com.SockAddr{Family: com.AFInet}
+	switch {
+	case so.tcb != nil && so.tcb.fport != 0:
+		a.Addr, a.Port = so.tcb.faddr, so.tcb.fport
+	case so.udp != nil && so.udp.fport != 0:
+		a.Addr, a.Port = so.udp.faddr, so.udp.fport
+	default:
+		return a, com.ErrNotConn
+	}
+	return a, nil
+}
+
+// SetSockOpt implements com.Socket (the baseline accepts and ignores the
+// buffer-size knobs — its windows are fixed — and knows nodelay).
+func (so *lsock) SetSockOpt(name string, value int) error {
+	switch name {
+	case "rcvbuf", "sndbuf", "nodelay", "reuseaddr":
+		return nil
+	}
+	return com.ErrInval
+}
+
+// GetSockOpt implements com.Socket.
+func (so *lsock) GetSockOpt(name string) (int, error) {
+	switch name {
+	case "rcvbuf", "sndbuf":
+		return tcpWindow, nil
+	case "nodelay", "reuseaddr":
+		return 0, nil
+	}
+	return 0, com.ErrInval
+}
+
+// Close implements com.Socket.
+func (so *lsock) Close() error {
+	unlock := so.lock()
+	defer unlock()
+	if so.closed {
+		return com.ErrBadF
+	}
+	so.closed = true
+	if so.udp != nil {
+		so.udp.closed = true
+		so.s.k.WakeUp(&so.udp.waitQ)
+		for i, u := range so.s.udps {
+			if u == so.udp {
+				so.s.udps = append(so.s.udps[:i], so.s.udps[i+1:]...)
+				break
+			}
+		}
+		return nil
+	}
+	t := so.tcb
+	if t.listening || t.state == stSynSent || t.state == stClosed {
+		so.s.tcbDetach(t)
+		return nil
+	}
+	so.queueFinLocked()
+	return nil
+}
+
+var _ com.Socket = (*lsock)(nil)

@@ -1,0 +1,411 @@
+package linuxnet
+
+import (
+	"encoding/binary"
+
+	"oskit/internal/linux/legacy"
+)
+
+// The baseline's compact TCP: standard wire format, cumulative ACKs,
+// fixed windows, Go-Back-N retransmission on a single timer.  Enough to
+// run the evaluation workloads and to interoperate with the BSD stack.
+
+// TCP states.
+const (
+	stClosed = iota
+	stListen
+	stSynSent
+	stSynRcvd
+	stEstab
+	stFinWait1
+	stFinWait2
+	stCloseWait
+	stLastAck
+	stClosing
+	stTimeWait
+)
+
+const (
+	flFIN = 0x01
+	flSYN = 0x02
+	flRST = 0x04
+	flPSH = 0x08
+	flACK = 0x10
+
+	tcpWindow = 32 * 1024
+	rtoJiffy  = 50  // 500 ms at the 10 ms clock
+	mslJiffy  = 500 // 5 s: short TIME_WAIT keeps tests brisk
+)
+
+type tcb struct {
+	s     *Stack
+	state int
+
+	lport, fport uint16
+	faddr        [4]byte
+
+	iss, sndUna, sndNxt uint32
+	rcvNxt              uint32
+	peerWnd             uint32
+	lastAdvWnd          uint32
+
+	sndQ []byte // bytes from sndUna on; prefix unacked, suffix unsent
+	rcvQ []byte
+
+	finQueued, finSent bool
+	err                error
+
+	listening bool
+	backlog   int
+	acceptQ   []*tcb
+	parent    *tcb
+
+	rexmtCancel func()
+	// Separate wait queues per event class: the glue's sleep records
+	// hold a single waiter each (§4.7.6), so readers, writers, and
+	// connect/accept sleepers must not share one queue.
+	connQ, rcvWait, sndWait legacy.WaitQueue
+}
+
+func (s *Stack) tcbNew() *tcb {
+	t := &tcb{s: s, peerWnd: tcpWindow}
+	s.tcbs = append(s.tcbs, t)
+	return t
+}
+
+func (s *Stack) tcbDetach(t *tcb) {
+	if t.rexmtCancel != nil {
+		t.rexmtCancel()
+		t.rexmtCancel = nil
+	}
+	for i, o := range s.tcbs {
+		if o == t {
+			s.tcbs = append(s.tcbs[:i], s.tcbs[i+1:]...)
+			break
+		}
+	}
+	t.state = stClosed
+	t.wakeAll()
+}
+
+func (t *tcb) wakeAll() {
+	k := t.s.k
+	k.WakeUp(&t.connQ)
+	k.WakeUp(&t.rcvWait)
+	k.WakeUp(&t.sndWait)
+	if t.parent != nil {
+		k.WakeUp(&t.parent.connQ)
+	}
+}
+
+func (s *Stack) tcbLookup(sport, dport uint16, src [4]byte) *tcb {
+	var listener *tcb
+	for _, t := range s.tcbs {
+		if t.lport != dport {
+			continue
+		}
+		if !t.listening && t.fport == sport && t.faddr == src {
+			return t
+		}
+		if t.listening {
+			listener = t
+		}
+	}
+	return listener
+}
+
+// sendSeg emits one segment carrying data (may be empty) and flags.
+func (t *tcb) sendSeg(seq uint32, flags byte, data []byte) {
+	s := t.s
+	skb := s.newSKB(len(data))
+	if skb == nil {
+		return
+	}
+	copy(skb.Put(len(data)), data)
+	h := skb.Push(tcpHdrLen)
+	binary.BigEndian.PutUint16(h[0:2], t.lport)
+	binary.BigEndian.PutUint16(h[2:4], t.fport)
+	binary.BigEndian.PutUint32(h[4:8], seq)
+	ack := t.rcvNxt
+	if flags&flACK == 0 {
+		ack = 0
+	}
+	binary.BigEndian.PutUint32(h[8:12], ack)
+	h[12] = (tcpHdrLen / 4) << 4
+	h[13] = flags
+	wnd := t.rcvWindow()
+	binary.BigEndian.PutUint16(h[14:16], uint16(wnd))
+	h[16], h[17], h[18], h[19] = 0, 0, 0, 0
+	csum := checksum(h[:tcpHdrLen+len(data)], pseudo(s.ip, t.faddr, protoTCP, tcpHdrLen+len(data)))
+	binary.BigEndian.PutUint16(h[16:18], csum)
+	t.lastAdvWnd = wnd
+	s.ipOutput(skb, t.faddr, protoTCP)
+}
+
+func (t *tcb) rcvWindow() uint32 {
+	w := tcpWindow - len(t.rcvQ)
+	if w < 0 {
+		return 0
+	}
+	if w > 65535 {
+		w = 65535
+	}
+	return uint32(w)
+}
+
+// push sends as much queued data as the peer window allows (called with
+// interrupts disabled).
+func (t *tcb) push() {
+	inflight := t.sndNxt - t.sndUna
+	for {
+		avail := len(t.sndQ) - int(inflight)
+		if avail <= 0 || inflight >= t.peerWnd {
+			break
+		}
+		n := avail
+		if n > mss {
+			n = mss
+		}
+		if uint32(n) > t.peerWnd-inflight {
+			n = int(t.peerWnd - inflight)
+		}
+		if n <= 0 {
+			break
+		}
+		off := int(inflight)
+		flags := byte(flACK)
+		if off+n == len(t.sndQ) {
+			flags |= flPSH
+		}
+		t.sendSeg(t.sndNxt, flags, t.sndQ[off:off+n])
+		t.sndNxt += uint32(n)
+		inflight += uint32(n)
+	}
+	// Trailing FIN.
+	if t.finQueued && !t.finSent && int(inflight) == len(t.sndQ) {
+		t.sendSeg(t.sndNxt, flACK|flFIN, nil)
+		t.sndNxt++
+		t.finSent = true
+	}
+	t.armRexmt()
+}
+
+func (t *tcb) armRexmt() {
+	if t.sndUna == t.sndNxt {
+		if t.rexmtCancel != nil {
+			t.rexmtCancel()
+			t.rexmtCancel = nil
+		}
+		return
+	}
+	if t.rexmtCancel != nil {
+		return
+	}
+	t.rexmtCancel = t.s.k.AddTimer(rtoJiffy, func() {
+		// Interrupt level: go back to snd_una and resend everything.
+		t.rexmtCancel = nil
+		if t.state == stClosed {
+			return
+		}
+		t.sndNxt = t.sndUna
+		t.finSent = false
+		switch t.state {
+		case stSynSent:
+			t.sendSeg(t.iss, flSYN, nil)
+			t.sndNxt = t.iss + 1
+			t.armRexmt()
+		case stSynRcvd:
+			t.sendSeg(t.iss, flSYN|flACK, nil)
+			t.sndNxt = t.iss + 1
+			t.armRexmt()
+		default:
+			t.push()
+			t.armRexmt()
+		}
+	})
+}
+
+// tcpInput processes one inbound segment (interrupt level).
+func (s *Stack) tcpInput(p []byte, src, dst [4]byte) {
+	if len(p) < tcpHdrLen {
+		return
+	}
+	if checksum(p, pseudo(src, dst, protoTCP, len(p))) != 0 {
+		return
+	}
+	sport := binary.BigEndian.Uint16(p[0:2])
+	dport := binary.BigEndian.Uint16(p[2:4])
+	seq := binary.BigEndian.Uint32(p[4:8])
+	ack := binary.BigEndian.Uint32(p[8:12])
+	off := int(p[12]>>4) * 4
+	flags := p[13]
+	wnd := uint32(binary.BigEndian.Uint16(p[14:16]))
+	if off < tcpHdrLen || off > len(p) {
+		return
+	}
+	data := p[off:]
+
+	t := s.tcbLookup(sport, dport, src)
+	// TIME_WAIT reincarnation: a fresh SYN supersedes the old
+	// connection so the client may reuse its port immediately.
+	if t != nil && !t.listening && t.state == stTimeWait &&
+		flags&flSYN != 0 && int32(seq-t.rcvNxt) > 0 {
+		s.tcbDetach(t)
+		t = s.tcbLookup(sport, dport, src)
+	}
+	if t == nil {
+		if flags&flRST == 0 {
+			s.respondRST(src, sport, dport, seq, ack, flags, len(data))
+		}
+		return
+	}
+
+	if flags&flRST != 0 {
+		if !t.listening {
+			t.err = errReset
+			s.tcbDetach(t)
+		}
+		return
+	}
+
+	if t.listening {
+		if flags&flSYN == 0 || len(t.acceptQ) >= t.backlog {
+			return
+		}
+		c := s.tcbNew()
+		c.lport, c.fport, c.faddr = dport, sport, src
+		c.parent = t
+		c.rcvNxt = seq + 1
+		c.peerWnd = wnd
+		c.iss = s.nextSeq()
+		c.sndUna, c.sndNxt = c.iss, c.iss+1
+		c.state = stSynRcvd
+		c.sendSeg(c.iss, flSYN|flACK, nil)
+		c.armRexmt()
+		return
+	}
+
+	switch t.state {
+	case stSynSent:
+		if flags&(flSYN|flACK) == flSYN|flACK && ack == t.iss+1 {
+			t.rcvNxt = seq + 1
+			t.sndUna = ack
+			t.peerWnd = wnd
+			t.state = stEstab
+			t.armRexmt()
+			t.sendSeg(t.sndNxt, flACK, nil)
+			s.k.WakeUp(&t.connQ)
+		}
+		return
+	case stSynRcvd:
+		if flags&flACK != 0 && ack == t.iss+1 {
+			t.sndUna = ack
+			t.peerWnd = wnd
+			t.state = stEstab
+			t.armRexmt()
+			if p := t.parent; p != nil {
+				p.acceptQ = append(p.acceptQ, t)
+				s.k.WakeUp(&p.connQ)
+			}
+		}
+		// Fall through so data riding the ACK is processed.
+	}
+
+	// ACK processing (cumulative).
+	if flags&flACK != 0 {
+		t.peerWnd = wnd
+		if int32(ack-t.sndUna) > 0 && int32(ack-t.sndNxt) <= 0 {
+			acked := ack - t.sndUna
+			bufAcked := int(acked)
+			if t.finSent && ack == t.sndNxt {
+				bufAcked-- // the FIN's sequence slot
+			}
+			if bufAcked > len(t.sndQ) {
+				bufAcked = len(t.sndQ)
+			}
+			if bufAcked > 0 {
+				t.sndQ = t.sndQ[bufAcked:]
+			}
+			t.sndUna = ack
+			if t.rexmtCancel != nil {
+				t.rexmtCancel()
+				t.rexmtCancel = nil
+			}
+			t.armRexmt()
+			s.k.WakeUp(&t.sndWait)
+			// FIN acknowledged?
+			if t.finSent && t.sndUna == t.sndNxt {
+				switch t.state {
+				case stFinWait1:
+					t.state = stFinWait2
+				case stClosing:
+					t.enterTimeWait()
+				case stLastAck:
+					s.tcbDetach(t)
+					return
+				}
+			}
+		}
+		t.push()
+	}
+
+	// Data: in-order only (Go-Back-N).
+	if len(data) > 0 {
+		if seq == t.rcvNxt && len(t.rcvQ)+len(data) <= tcpWindow {
+			t.rcvQ = append(t.rcvQ, data...)
+			t.rcvNxt += uint32(len(data))
+			s.k.WakeUp(&t.rcvWait)
+		}
+		// ACK whatever we have (repeats rcvNxt on disorder).
+		t.sendSeg(t.sndNxt, flACK, nil)
+	}
+
+	// FIN.
+	if flags&flFIN != 0 && seq+uint32(len(data)) == t.rcvNxt {
+		t.rcvNxt++
+		switch t.state {
+		case stEstab:
+			t.state = stCloseWait
+		case stFinWait1:
+			t.state = stClosing
+		case stFinWait2:
+			t.enterTimeWait()
+		}
+		t.sendSeg(t.sndNxt, flACK, nil)
+		s.k.WakeUp(&t.rcvWait)
+	}
+}
+
+func (t *tcb) enterTimeWait() {
+	t.state = stTimeWait
+	s := t.s
+	s.k.AddTimer(mslJiffy, func() {
+		if t.state == stTimeWait {
+			s.tcbDetach(t)
+		}
+	})
+}
+
+func (s *Stack) respondRST(src [4]byte, sport, dport uint16, seq, ack uint32, flags byte, dataLen int) {
+	t := &tcb{s: s, lport: dport, fport: sport, faddr: src}
+	if flags&flACK != 0 {
+		t.sendSeg(ack, flRST, nil)
+	} else {
+		t.rcvNxt = seq + uint32(dataLen)
+		if flags&flSYN != 0 {
+			t.rcvNxt++
+		}
+		t.sendSeg(0, flRST|flACK, nil)
+	}
+}
+
+func (s *Stack) nextSeq() uint32 {
+	s.seqNo += 64021
+	return s.seqNo
+}
+
+type netErr string
+
+func (e netErr) Error() string { return string(e) }
+
+var errReset = netErr("linuxnet: connection reset")

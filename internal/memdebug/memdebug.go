@@ -1,0 +1,189 @@
+// Package memdebug is the kit's memory allocation debugging library
+// (paper §3.5): it tracks allocations and detects common errors such as
+// buffer overruns and freeing already-freed memory — the functionality of
+// the popular application-level debugging mallocs, but running in the
+// minimal kernel environment the kit provides.
+//
+// A Tracker wraps the minimal C library's allocator.  Each allocation is
+// bracketed with fence zones filled with a known pattern; Free (and
+// CheckAll, callable any time) verify the fences.  Live allocations carry
+// a client-supplied tag so leak reports say who allocated what.
+package memdebug
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"oskit/internal/hw"
+	"oskit/internal/libc"
+)
+
+// Fence geometry and fill patterns.
+const (
+	FenceSize = 16
+	fenceByte = 0xAB
+)
+
+// Error kinds reported by the tracker.
+type ErrKind int
+
+// Tracker error kinds.
+const (
+	ErrNone       ErrKind = iota
+	ErrUnderrun           // bytes before the block were scribbled on
+	ErrOverrun            // bytes after the block were scribbled on
+	ErrBadFree            // free of an address never allocated
+	ErrDoubleFree         // free of an already-freed address
+)
+
+func (k ErrKind) String() string {
+	switch k {
+	case ErrUnderrun:
+		return "buffer underrun"
+	case ErrOverrun:
+		return "buffer overrun"
+	case ErrBadFree:
+		return "free of unallocated memory"
+	case ErrDoubleFree:
+		return "double free"
+	}
+	return "ok"
+}
+
+// Report is one detected error.
+type Report struct {
+	Kind ErrKind
+	Addr hw.PhysAddr
+	Tag  string
+}
+
+// Error implements the error interface.
+func (r Report) Error() string {
+	return fmt.Sprintf("memdebug: %s at %#x (allocated by %q)", r.Kind, r.Addr, r.Tag)
+}
+
+type allocation struct {
+	base  hw.PhysAddr // address of the leading fence
+	addr  hw.PhysAddr // user address
+	size  uint32
+	tag   string
+	seq   uint64
+	freed bool
+}
+
+// Tracker is a debugging allocator over the minimal C library.
+type Tracker struct {
+	c    *libc.C
+	live map[hw.PhysAddr]*allocation
+	// freed remembers freed user addresses so a double free is told
+	// apart from a wild one.
+	freed map[hw.PhysAddr]*allocation
+	seq   uint64
+}
+
+// New creates a tracker over c.
+func New(c *libc.C) *Tracker {
+	return &Tracker{
+		c:     c,
+		live:  map[hw.PhysAddr]*allocation{},
+		freed: map[hw.PhysAddr]*allocation{},
+	}
+}
+
+// Malloc allocates size bytes tagged with tag (typically the allocating
+// function's name).
+func (t *Tracker) Malloc(size uint32, tag string) (hw.PhysAddr, []byte, bool) {
+	total := size + 2*FenceSize
+	base, raw, ok := t.c.Malloc(total)
+	if !ok {
+		return 0, nil, false
+	}
+	for i := 0; i < FenceSize; i++ {
+		raw[i] = fenceByte
+		raw[FenceSize+int(size)+i] = fenceByte
+	}
+	t.seq++
+	a := &allocation{base: base, addr: base + FenceSize, size: size, tag: tag, seq: t.seq}
+	t.live[a.addr] = a
+	delete(t.freed, a.addr)
+	return a.addr, raw[FenceSize : FenceSize+size : FenceSize+size], true
+}
+
+// Free verifies the fences and releases the block; fence damage or a bad
+// address is returned as a Report error (and the block, if real, is still
+// released so the kernel can limp on).
+func (t *Tracker) Free(addr hw.PhysAddr) error {
+	a, ok := t.live[addr]
+	if !ok {
+		if old, was := t.freed[addr]; was {
+			return Report{Kind: ErrDoubleFree, Addr: addr, Tag: old.tag}
+		}
+		return Report{Kind: ErrBadFree, Addr: addr, Tag: "?"}
+	}
+	err := t.check(a)
+	delete(t.live, addr)
+	a.freed = true
+	t.freed[addr] = a
+	t.c.Free(a.base)
+	return err
+}
+
+// CheckAll verifies every live allocation's fences, returning all damage
+// found.
+func (t *Tracker) CheckAll() []Report {
+	var out []Report
+	for _, a := range t.live {
+		if err := t.check(a); err != nil {
+			out = append(out, err.(Report))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+func (t *Tracker) check(a *allocation) error {
+	mem := t.c.Env().Machine.Mem
+	lead, err := mem.Slice(a.base, FenceSize)
+	if err != nil {
+		return Report{Kind: ErrBadFree, Addr: a.addr, Tag: a.tag}
+	}
+	trail, err := mem.Slice(a.addr+a.size, FenceSize)
+	if err != nil {
+		return Report{Kind: ErrBadFree, Addr: a.addr, Tag: a.tag}
+	}
+	for i := 0; i < FenceSize; i++ {
+		if lead[i] != fenceByte {
+			return Report{Kind: ErrUnderrun, Addr: a.addr, Tag: a.tag}
+		}
+	}
+	for i := 0; i < FenceSize; i++ {
+		if trail[i] != fenceByte {
+			return Report{Kind: ErrOverrun, Addr: a.addr, Tag: a.tag}
+		}
+	}
+	return nil
+}
+
+// LiveBytes reports the number of live allocated bytes (user sizes).
+func (t *Tracker) LiveBytes() uint64 {
+	var n uint64
+	for _, a := range t.live {
+		n += uint64(a.size)
+	}
+	return n
+}
+
+// LeakReport writes all live allocations, oldest first — run it at the
+// point everything should have been freed.
+func (t *Tracker) LeakReport(w io.Writer) int {
+	var list []*allocation
+	for _, a := range t.live {
+		list = append(list, a)
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].seq < list[j].seq })
+	for _, a := range list {
+		fmt.Fprintf(w, "leak: %d bytes at %#x allocated by %q\n", a.size, a.addr, a.tag)
+	}
+	return len(list)
+}

@@ -1,0 +1,135 @@
+package memdebug
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"oskit/internal/core"
+	"oskit/internal/hw"
+	"oskit/internal/libc"
+	"oskit/internal/lmm"
+)
+
+func tracker(t *testing.T) *Tracker {
+	t.Helper()
+	m := hw.NewMachine(hw.Config{MemBytes: 8 << 20})
+	t.Cleanup(m.Halt)
+	arena := lmm.NewArena()
+	if err := arena.AddRegion(0x100000, 4<<20, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	arena.AddFree(0x100000, 4<<20)
+	return New(libc.New(core.NewEnv(m, arena)))
+}
+
+func TestCleanAllocFree(t *testing.T) {
+	tr := tracker(t)
+	addr, buf, ok := tr.Malloc(100, "TestClean")
+	if !ok || len(buf) != 100 {
+		t.Fatal("Malloc failed")
+	}
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	if errs := tr.CheckAll(); len(errs) != 0 {
+		t.Fatalf("clean allocation reported: %v", errs)
+	}
+	if err := tr.Free(addr); err != nil {
+		t.Fatalf("clean free reported: %v", err)
+	}
+	if tr.LiveBytes() != 0 {
+		t.Fatalf("LiveBytes = %d", tr.LiveBytes())
+	}
+}
+
+func TestOverrunDetected(t *testing.T) {
+	tr := tracker(t)
+	addr, _, _ := tr.Malloc(64, "overrunner")
+	// The returned slice is capacity-capped, so a classic off-by-one has
+	// to be simulated the way buggy C address arithmetic would do it:
+	// through the flat physical memory.
+	mem := tr.c.Env().Machine.Mem
+	mem.MustSlice(addr+64, 1)[0] = 0x99
+
+	errs := tr.CheckAll()
+	if len(errs) != 1 || errs[0].Kind != ErrOverrun || errs[0].Tag != "overrunner" {
+		t.Fatalf("CheckAll = %v", errs)
+	}
+	err := tr.Free(addr)
+	r, ok := err.(Report)
+	if !ok || r.Kind != ErrOverrun {
+		t.Fatalf("Free = %v", err)
+	}
+	if !strings.Contains(err.Error(), "overrun") {
+		t.Fatalf("error text: %v", err)
+	}
+}
+
+func TestUnderrunDetected(t *testing.T) {
+	tr := tracker(t)
+	addr, _, _ := tr.Malloc(32, "underrunner")
+	mem := tr.c.Env().Machine.Mem
+	mem.MustSlice(addr-1, 1)[0] = 0x77
+	err := tr.Free(addr)
+	if r, ok := err.(Report); !ok || r.Kind != ErrUnderrun {
+		t.Fatalf("Free = %v", err)
+	}
+}
+
+func TestDoubleAndBadFree(t *testing.T) {
+	tr := tracker(t)
+	addr, _, _ := tr.Malloc(16, "x")
+	if err := tr.Free(addr); err != nil {
+		t.Fatal(err)
+	}
+	err := tr.Free(addr)
+	if r, ok := err.(Report); !ok || r.Kind != ErrDoubleFree || r.Tag != "x" {
+		t.Fatalf("double free = %v", err)
+	}
+	err = tr.Free(0xdead00)
+	if r, ok := err.(Report); !ok || r.Kind != ErrBadFree {
+		t.Fatalf("bad free = %v", err)
+	}
+}
+
+func TestLeakReport(t *testing.T) {
+	tr := tracker(t)
+	a1, _, _ := tr.Malloc(10, "first")
+	_, _, _ = tr.Malloc(20, "second")
+	_, _, _ = tr.Malloc(30, "third")
+	if err := tr.Free(a1); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n := tr.LeakReport(&buf)
+	if n != 2 {
+		t.Fatalf("leaks = %d", n)
+	}
+	out := buf.String()
+	// Oldest first; the freed one absent.
+	if strings.Contains(out, "first") {
+		t.Fatal("freed allocation reported as leak")
+	}
+	si, ti := strings.Index(out, "second"), strings.Index(out, "third")
+	if si < 0 || ti < 0 || si > ti {
+		t.Fatalf("leak order wrong:\n%s", out)
+	}
+	if tr.LiveBytes() != 50 {
+		t.Fatalf("LiveBytes = %d", tr.LiveBytes())
+	}
+}
+
+func TestReuseAfterFreeIsTracked(t *testing.T) {
+	tr := tracker(t)
+	addr, _, _ := tr.Malloc(16, "gen1")
+	_ = tr.Free(addr)
+	// The allocator may hand the same address out again; the tracker
+	// must then treat it as live, not doubly freed.
+	addr2, _, _ := tr.Malloc(16, "gen2")
+	if addr2 == addr {
+		if err := tr.Free(addr2); err != nil {
+			t.Fatalf("free of recycled address: %v", err)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Package netbsdfs is the kit's NetBSD-derived disk file system (paper
+// §3.8).  NetBSD's file system code was chosen by the OSKit because it
+// was the most cleanly separated from its virtual memory system; the
+// kit's version keeps that shape: a buffer cache over any BlkIO, an
+// FFS-style on-disk layout (superblock, bitmaps, inode table with
+// direct/indirect/double-indirect blocks, directory files), and a thin
+// COM glue exporting FileSystem/Dir/File whose names are single pathname
+// components — the granularity that let the Utah secure file server
+// interpose per-component permission checks without touching these
+// internals.
+//
+// The donor execution environment is the BSD glue: blocking in the
+// buffer cache goes through sleep/wakeup (B_BUSY/B_WANTED, §4.7.6), and
+// the code expects to run under the blocking model of §4.7.4 — one
+// process-level thread inside the component, interrupt exclusion via
+// spl.
+package netbsdfs
+
+import (
+	"oskit/internal/com"
+	bsdglue "oskit/internal/freebsd/glue"
+)
+
+// BlockSize is the file system block size.
+const BlockSize = 1024
+
+// Buffer-cache geometry.
+const nbufs = 64
+
+// buf is one cache buffer (struct buf, pruned).
+type buf struct {
+	blkno uint32
+	data  []byte
+	valid bool
+	dirty bool
+	busy  bool
+	want  bool
+
+	lruPrev, lruNext *buf
+	event            uint32
+}
+
+// bcache is the buffer cache for one mounted file system.
+type bcache struct {
+	g    *bsdglue.Glue
+	dev  com.BlkIO
+	bufs [nbufs]*buf
+	// hash by block number; small and simple.
+	hash map[uint32]*buf
+	// LRU list: head = most recent.
+	lruHead, lruTail *buf
+
+	reads, writes, hits uint64
+}
+
+func newBcache(g *bsdglue.Glue, dev com.BlkIO, eventBase uint32) *bcache {
+	c := &bcache{g: g, dev: dev, hash: map[uint32]*buf{}}
+	for i := range c.bufs {
+		b := &buf{data: make([]byte, BlockSize), blkno: ^uint32(0), event: eventBase + uint32(i)*8}
+		c.bufs[i] = b
+		c.lruPush(b)
+	}
+	return c
+}
+
+func (c *bcache) lruPush(b *buf) {
+	b.lruPrev = nil
+	b.lruNext = c.lruHead
+	if c.lruHead != nil {
+		c.lruHead.lruPrev = b
+	}
+	c.lruHead = b
+	if c.lruTail == nil {
+		c.lruTail = b
+	}
+}
+
+func (c *bcache) lruRemove(b *buf) {
+	if b.lruPrev != nil {
+		b.lruPrev.lruNext = b.lruNext
+	} else if c.lruHead == b {
+		c.lruHead = b.lruNext
+	}
+	if b.lruNext != nil {
+		b.lruNext.lruPrev = b.lruPrev
+	} else if c.lruTail == b {
+		c.lruTail = b.lruPrev
+	}
+	b.lruPrev, b.lruNext = nil, nil
+}
+
+// getblk locks the buffer for blkno, evicting the LRU victim if needed.
+// Blocks (tsleep) while the wanted buffer is busy — the donor
+// B_BUSY/B_WANTED protocol.
+func (c *bcache) getblk(blkno uint32) (*buf, error) {
+	for {
+		if b, ok := c.hash[blkno]; ok {
+			if b.busy {
+				b.want = true
+				c.g.Tsleep(b.event, "getblk")
+				continue
+			}
+			b.busy = true
+			c.lruRemove(b)
+			c.hits++
+			return b, nil
+		}
+		// Miss: evict the least recently used idle buffer.
+		victim := c.lruTail
+		for victim != nil && victim.busy {
+			victim = victim.lruPrev
+		}
+		if victim == nil {
+			// Everything busy: wait for any release.
+			c.g.Tsleep(c.bufs[0].event, "bufwait")
+			continue
+		}
+		if victim.dirty {
+			if err := c.writeback(victim); err != nil {
+				return nil, err
+			}
+		}
+		if victim.valid {
+			delete(c.hash, victim.blkno)
+		}
+		victim.blkno = blkno
+		victim.valid = false
+		victim.dirty = false
+		victim.busy = true
+		c.lruRemove(victim)
+		c.hash[blkno] = victim
+		return victim, nil
+	}
+}
+
+// bread returns the locked, filled buffer for blkno.
+func (c *bcache) bread(blkno uint32) (*buf, error) {
+	b, err := c.getblk(blkno)
+	if err != nil {
+		return nil, err
+	}
+	if !b.valid {
+		// The device read blocks inside the driver component; our
+		// caller's spl and curproc are handled by the glue there.
+		n, err := c.dev.Read(b.data, uint64(blkno)*BlockSize)
+		if err != nil || n != BlockSize {
+			b.busy = false
+			c.lruPush(b)
+			return nil, com.ErrIO
+		}
+		b.valid = true
+		c.reads++
+	}
+	return b, nil
+}
+
+// brelse unlocks a buffer, waking waiters.
+func (c *bcache) brelse(b *buf) {
+	b.busy = false
+	c.lruPush(b)
+	if b.want {
+		b.want = false
+		c.g.Wakeup(b.event)
+	}
+}
+
+// bdwrite marks the buffer dirty and releases it (delayed write).
+func (c *bcache) bdwrite(b *buf) {
+	b.dirty = true
+	c.brelse(b)
+}
+
+// writeback flushes one buffer.
+func (c *bcache) writeback(b *buf) error {
+	n, err := c.dev.Write(b.data, uint64(b.blkno)*BlockSize)
+	if err != nil || n != BlockSize {
+		return com.ErrIO
+	}
+	b.dirty = false
+	c.writes++
+	return nil
+}
+
+// sync flushes every dirty buffer.
+func (c *bcache) sync() error {
+	for _, b := range c.bufs {
+		if b.valid && b.dirty && !b.busy {
+			if err := c.writeback(b); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

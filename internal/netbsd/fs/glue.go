@@ -1,0 +1,461 @@
+package netbsdfs
+
+import (
+	"oskit/internal/com"
+)
+
+// The COM export: FileSystem/Dir/File nodes over the donor FFS code.
+// The exported interfaces are of VFS granularity — Lookup takes exactly
+// one pathname component — so wrapping code can interpose on every
+// operation (§3.8).  Every method is a component entry point through
+// FFS.enter (manufactured curproc + splbio, §4.7.5).
+
+// vnode is one COM file/directory node.  Nodes are created per lookup
+// (stateless: the inode number is the identity; metadata is re-read from
+// the cache as needed).
+type vnode struct {
+	com.RefCount
+	fs  *FFS
+	ino uint32
+}
+
+func (fs *FFS) newVnode(ino uint32) *vnode {
+	v := &vnode{fs: fs, ino: ino}
+	v.Init()
+	return v
+}
+
+// QueryInterface implements com.IUnknown: directories answer for Dir,
+// everything answers for File.
+func (v *vnode) QueryInterface(iid com.GUID) (com.IUnknown, error) {
+	switch iid {
+	case com.UnknownIID, com.FileIID:
+		v.AddRef()
+		return v, nil
+	case com.DirIID:
+		done := v.fs.enter("query")
+		di, err := v.fs.iget(v.ino)
+		done()
+		if err == nil && isDir(di) {
+			v.AddRef()
+			return v, nil
+		}
+	}
+	return nil, com.ErrNoInterface
+}
+
+// --- com.FileSystem on *FFS.
+
+// QueryInterface implements com.IUnknown.
+func (fs *FFS) QueryInterface(iid com.GUID) (com.IUnknown, error) {
+	switch iid {
+	case com.UnknownIID, com.FileSystemIID:
+		// The FFS itself is not refcounted (owned by the client);
+		// return it with a vacuous count.
+		return fs, nil
+	}
+	return nil, com.ErrNoInterface
+}
+
+// AddRef implements com.IUnknown; the mount is client-owned.
+func (fs *FFS) AddRef() uint32 { return 1 }
+
+// Release implements com.IUnknown.
+func (fs *FFS) Release() uint32 { return 1 }
+
+// GetRoot implements com.FileSystem.
+func (fs *FFS) GetRoot() (com.Dir, error) {
+	if fs.unmounted {
+		return nil, com.ErrBadF
+	}
+	return fs.newVnode(RootIno), nil
+}
+
+// StatFS implements com.FileSystem.
+func (fs *FFS) StatFS() (com.StatFS, error) {
+	done := fs.enter("statfs")
+	defer done()
+	return com.StatFS{
+		BlockSize:   BlockSize,
+		TotalBlocks: uint64(fs.sb.nblocks),
+		FreeBlocks:  uint64(fs.sb.freeBlocks),
+		TotalFiles:  uint64(fs.sb.ninodes),
+		FreeFiles:   uint64(fs.sb.freeInodes),
+	}, nil
+}
+
+// Sync implements com.FileSystem: flush the buffer cache.
+func (fs *FFS) Sync() error {
+	done := fs.enter("sync")
+	defer done()
+	return fs.cache.sync()
+}
+
+// Unmount implements com.FileSystem.
+func (fs *FFS) Unmount() error {
+	done := fs.enter("unmount")
+	defer done()
+	if fs.unmounted {
+		return com.ErrBadF
+	}
+	if err := fs.cache.sync(); err != nil {
+		return err
+	}
+	fs.unmounted = true
+	fs.dev.Release()
+	return nil
+}
+
+var _ com.FileSystem = (*FFS)(nil)
+
+// --- com.File on vnode.
+
+// ReadAt implements com.File.
+func (v *vnode) ReadAt(buf []byte, offset uint64) (uint, error) {
+	done := v.fs.enter("read")
+	defer done()
+	di, err := v.fs.iget(v.ino)
+	if err != nil {
+		return 0, err
+	}
+	if isDir(di) {
+		return 0, com.ErrIsDir
+	}
+	return v.fs.readi(di, buf, offset)
+}
+
+// WriteAt implements com.File.
+func (v *vnode) WriteAt(buf []byte, offset uint64) (uint, error) {
+	done := v.fs.enter("write")
+	defer done()
+	di, err := v.fs.iget(v.ino)
+	if err != nil {
+		return 0, err
+	}
+	if isDir(di) {
+		return 0, com.ErrIsDir
+	}
+	n, werr := v.fs.writei(di, buf, offset)
+	if err := v.fs.iput(v.ino, di); err != nil {
+		return n, err
+	}
+	return n, werr
+}
+
+// GetStat implements com.File.
+func (v *vnode) GetStat() (com.Stat, error) {
+	done := v.fs.enter("stat")
+	defer done()
+	di, err := v.fs.iget(v.ino)
+	if err != nil {
+		return com.Stat{}, err
+	}
+	return com.Stat{
+		Ino:     v.ino,
+		Mode:    uint32(di.mode),
+		Nlink:   uint32(di.nlink),
+		UID:     uint32(di.uid),
+		GID:     uint32(di.gid),
+		Size:    di.size,
+		Blocks:  (di.size + BlockSize - 1) / BlockSize,
+		Mtime:   di.mtime,
+		BlkSize: BlockSize,
+	}, nil
+}
+
+// SetSize implements com.File.
+func (v *vnode) SetSize(size uint64) error {
+	done := v.fs.enter("truncate")
+	defer done()
+	di, err := v.fs.iget(v.ino)
+	if err != nil {
+		return err
+	}
+	if isDir(di) {
+		return com.ErrIsDir
+	}
+	if err := v.fs.itrunc(di, size); err != nil {
+		return err
+	}
+	return v.fs.iput(v.ino, di)
+}
+
+// Sync implements com.File (whole-cache flush, as small FFSes did).
+func (v *vnode) Sync() error {
+	done := v.fs.enter("fsync")
+	defer done()
+	return v.fs.cache.sync()
+}
+
+// --- com.Dir on vnode.
+
+// Lookup implements com.Dir: one component.
+func (v *vnode) Lookup(name string) (com.File, error) {
+	done := v.fs.enter("lookup")
+	defer done()
+	di, err := v.dirInode()
+	if err != nil {
+		return nil, err
+	}
+	if name == "." {
+		v.AddRef()
+		return v, nil
+	}
+	if err := checkName(name); err != nil {
+		return nil, err
+	}
+	ino, _, err := v.fs.dirLookup(di, name)
+	if err != nil {
+		return nil, err
+	}
+	return v.fs.newVnode(ino), nil
+}
+
+// Create implements com.Dir.
+func (v *vnode) Create(name string, mode uint32, excl bool) (com.File, error) {
+	done := v.fs.enter("create")
+	defer done()
+	di, err := v.dirInode()
+	if err != nil {
+		return nil, err
+	}
+	if err := checkName(name); err != nil {
+		return nil, err
+	}
+	if ino, _, err := v.fs.dirLookup(di, name); err == nil {
+		if excl {
+			return nil, com.ErrExist
+		}
+		edi, err := v.fs.iget(ino)
+		if err != nil {
+			return nil, err
+		}
+		if isDir(edi) {
+			return nil, com.ErrIsDir
+		}
+		return v.fs.newVnode(ino), nil
+	}
+	ino, err := v.fs.ialloc(uint16(com.ModeIFREG | mode&^com.ModeIFMT))
+	if err != nil {
+		return nil, err
+	}
+	if err := v.fs.dirEnter(di, name, ino); err != nil {
+		return nil, err
+	}
+	if err := v.fs.iput(v.ino, di); err != nil {
+		return nil, err
+	}
+	return v.fs.newVnode(ino), nil
+}
+
+// Mkdir implements com.Dir.
+func (v *vnode) Mkdir(name string, mode uint32) error {
+	done := v.fs.enter("mkdir")
+	defer done()
+	di, err := v.dirInode()
+	if err != nil {
+		return err
+	}
+	if err := checkName(name); err != nil {
+		return err
+	}
+	if _, _, err := v.fs.dirLookup(di, name); err == nil {
+		return com.ErrExist
+	}
+	ino, err := v.fs.ialloc(uint16(com.ModeIFDIR | mode&^com.ModeIFMT))
+	if err != nil {
+		return err
+	}
+	// Directories carry nlink 2 (self + parent's entry).
+	ndi, err := v.fs.iget(ino)
+	if err != nil {
+		return err
+	}
+	ndi.nlink = 2
+	if err := v.fs.iput(ino, ndi); err != nil {
+		return err
+	}
+	if err := v.fs.dirEnter(di, name, ino); err != nil {
+		return err
+	}
+	di.nlink++
+	return v.fs.iput(v.ino, di)
+}
+
+// Unlink implements com.Dir.
+func (v *vnode) Unlink(name string) error {
+	done := v.fs.enter("unlink")
+	defer done()
+	di, err := v.dirInode()
+	if err != nil {
+		return err
+	}
+	if err := checkName(name); err != nil {
+		return err
+	}
+	ino, slot, err := v.fs.dirLookup(di, name)
+	if err != nil {
+		return err
+	}
+	tdi, err := v.fs.iget(ino)
+	if err != nil {
+		return err
+	}
+	if isDir(tdi) {
+		return com.ErrIsDir
+	}
+	if err := v.fs.dirRemove(di, slot); err != nil {
+		return err
+	}
+	tdi.nlink--
+	if tdi.nlink == 0 {
+		return v.fs.ifreeData(ino, tdi)
+	}
+	return v.fs.iput(ino, tdi)
+}
+
+// Rmdir implements com.Dir.
+func (v *vnode) Rmdir(name string) error {
+	done := v.fs.enter("rmdir")
+	defer done()
+	di, err := v.dirInode()
+	if err != nil {
+		return err
+	}
+	if err := checkName(name); err != nil {
+		return err
+	}
+	ino, slot, err := v.fs.dirLookup(di, name)
+	if err != nil {
+		return err
+	}
+	tdi, err := v.fs.iget(ino)
+	if err != nil {
+		return err
+	}
+	if !isDir(tdi) {
+		return com.ErrNotDir
+	}
+	empty, err := v.fs.dirEmpty(tdi)
+	if err != nil {
+		return err
+	}
+	if !empty {
+		return com.ErrNotEmpty
+	}
+	if err := v.fs.dirRemove(di, slot); err != nil {
+		return err
+	}
+	if err := v.fs.ifreeData(ino, tdi); err != nil {
+		return err
+	}
+	di.nlink--
+	return v.fs.iput(v.ino, di)
+}
+
+// Rename implements com.Dir (same file system only).
+func (v *vnode) Rename(old string, newDir com.Dir, newName string) error {
+	nd, ok := newDir.(*vnode)
+	if !ok || nd.fs != v.fs {
+		return com.ErrXDev
+	}
+	done := v.fs.enter("rename")
+	defer done()
+	sdi, err := v.dirInode()
+	if err != nil {
+		return err
+	}
+	ddi, err := nd.dirInode()
+	if err != nil {
+		return err
+	}
+	if err := checkName(old); err != nil {
+		return err
+	}
+	if err := checkName(newName); err != nil {
+		return err
+	}
+	ino, slot, err := v.fs.dirLookup(sdi, old)
+	if err != nil {
+		return err
+	}
+	// Replace an existing regular file at the destination.
+	if dstIno, dstSlot, err := v.fs.dirLookup(ddi, newName); err == nil {
+		ddi2, err := v.fs.iget(dstIno)
+		if err != nil {
+			return err
+		}
+		if isDir(ddi2) {
+			return com.ErrIsDir
+		}
+		if err := v.fs.dirRemove(ddi, dstSlot); err != nil {
+			return err
+		}
+		ddi2.nlink--
+		if ddi2.nlink == 0 {
+			if err := v.fs.ifreeData(dstIno, ddi2); err != nil {
+				return err
+			}
+		} else if err := v.fs.iput(dstIno, ddi2); err != nil {
+			return err
+		}
+		// Re-read the directory inode if it is the same as the source.
+		if nd.ino == v.ino {
+			sdi, err = v.dirInode()
+			if err != nil {
+				return err
+			}
+			ddi = sdi
+		}
+		// The source slot may have moved? No: slots are stable.
+	}
+	if err := v.fs.dirRemove(sdi, slot); err != nil {
+		return err
+	}
+	if err := v.fs.iput(v.ino, sdi); err != nil {
+		return err
+	}
+	if nd.ino == v.ino {
+		ddi = sdi
+	}
+	if err := v.fs.dirEnter(ddi, newName, ino); err != nil {
+		return err
+	}
+	return v.fs.iput(nd.ino, ddi)
+}
+
+// ReadDir implements com.Dir.
+func (v *vnode) ReadDir(start, count int) ([]com.Dirent, error) {
+	done := v.fs.enter("readdir")
+	defer done()
+	di, err := v.dirInode()
+	if err != nil {
+		return nil, err
+	}
+	all, err := v.fs.dirList(di)
+	if err != nil {
+		return nil, err
+	}
+	if start < 0 || start > len(all) {
+		return nil, com.ErrInval
+	}
+	all = all[start:]
+	if count > 0 && count < len(all) {
+		all = all[:count]
+	}
+	return all, nil
+}
+
+// dirInode fetches v's inode, requiring a directory.
+func (v *vnode) dirInode() (*dinode, error) {
+	di, err := v.fs.iget(v.ino)
+	if err != nil {
+		return nil, err
+	}
+	if !isDir(di) {
+		return nil, com.ErrNotDir
+	}
+	return di, nil
+}
+
+var _ com.Dir = (*vnode)(nil)

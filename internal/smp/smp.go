@@ -1,0 +1,128 @@
+// Package smp is the kit's minimal multiprocessor support library (Table
+// 3 "smp", 868 filtered lines in the paper; similarly modest here).  On
+// the simulated platform "processors" are goroutines pinned to CPU
+// identities; the library provides what the paper's clients needed:
+// processor enumeration and startup, spin locks that compose with the
+// interrupt-exclusion model, and a rendezvous barrier.
+package smp
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"oskit/internal/core"
+)
+
+// System is one machine's MP state.
+type System struct {
+	env  *core.Env
+	n    int
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// New prepares an n-processor system over env (processor 0 is the boot
+// processor the kernel support library already started).
+func New(env *core.Env, n int) *System {
+	if n < 1 {
+		n = 1
+	}
+	return &System{env: env, n: n}
+}
+
+// NumCPUs returns the processor count.
+func (s *System) NumCPUs() int { return s.n }
+
+// StartAll boots the application processors: fn runs concurrently with
+// cpu identities 1..n-1 (the caller is cpu 0).  It returns immediately;
+// Wait joins.
+func (s *System) StartAll(fn func(cpu int)) {
+	s.once.Do(func() {
+		for cpu := 1; cpu < s.n; cpu++ {
+			cpu := cpu
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				fn(cpu)
+			}()
+		}
+	})
+}
+
+// Wait blocks until every application processor's fn returned.
+func (s *System) Wait() { s.wg.Wait() }
+
+// SpinLock is a test-and-set lock usable from any processor.  Unlike a
+// plain mutex it composes with the execution model: LockIntr also raises
+// interrupt exclusion (spin_lock_irqsave), so the same lock can protect
+// state shared with interrupt handlers.
+type SpinLock struct {
+	held atomic.Bool
+}
+
+// Lock spins until the lock is acquired.
+func (l *SpinLock) Lock() {
+	for !l.held.CompareAndSwap(false, true) {
+		// Spin; the simulated platform has real parallelism underneath,
+		// so pure spinning makes progress.
+	}
+}
+
+// Unlock releases the lock.
+func (l *SpinLock) Unlock() {
+	if !l.held.CompareAndSwap(true, false) {
+		panic("smp: unlock of unheld spin lock")
+	}
+}
+
+// TryLock attempts the lock without spinning.
+func (l *SpinLock) TryLock() bool { return l.held.CompareAndSwap(false, true) }
+
+// LockIntr acquires the lock with interrupts excluded, returning the
+// unlock (spin_lock_irqsave/spin_unlock_irqrestore).
+func (l *SpinLock) LockIntr(env *core.Env) func() {
+	inIntr := env.InIntr()
+	if !inIntr {
+		env.IntrDisable()
+	}
+	l.Lock()
+	return func() {
+		l.Unlock()
+		if !inIntr {
+			env.IntrEnable()
+		}
+	}
+}
+
+// Barrier is a reusable rendezvous for n processors.
+type Barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	gen   int
+}
+
+// NewBarrier creates a barrier for n participants.
+func NewBarrier(n int) *Barrier {
+	b := &Barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Sync blocks until all n participants have arrived.
+func (b *Barrier) Sync() {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+	} else {
+		for gen == b.gen {
+			b.cond.Wait()
+		}
+	}
+	b.mu.Unlock()
+}

@@ -1,0 +1,118 @@
+package smp
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"oskit/internal/core"
+	"oskit/internal/hw"
+)
+
+func TestStartAllAndWait(t *testing.T) {
+	m := hw.NewMachine(hw.Config{MemBytes: 1 << 20})
+	defer m.Halt()
+	env := core.NewEnv(m, nil)
+	s := New(env, 4)
+	if s.NumCPUs() != 4 {
+		t.Fatalf("NumCPUs = %d", s.NumCPUs())
+	}
+	var mask atomic.Uint32
+	s.StartAll(func(cpu int) { mask.Or(1 << cpu) })
+	s.StartAll(func(cpu int) { mask.Or(1 << 31) }) // second call: no-op
+	s.Wait()
+	if mask.Load() != 0b1110 {
+		t.Fatalf("cpu mask = %#b", mask.Load())
+	}
+}
+
+func TestSpinLockMutualExclusion(t *testing.T) {
+	var l SpinLock
+	counter := 0
+	b := NewBarrier(4)
+	s := New(nil2(t), 5)
+	s.StartAll(func(cpu int) {
+		b.Sync()
+		for i := 0; i < 10000; i++ {
+			l.Lock()
+			counter++
+			l.Unlock()
+		}
+	})
+	s.Wait()
+	if counter != 40000 {
+		t.Fatalf("counter = %d (lost updates)", counter)
+	}
+	if !l.TryLock() {
+		t.Fatal("TryLock on free lock failed")
+	}
+	if l.TryLock() {
+		t.Fatal("TryLock on held lock succeeded")
+	}
+	l.Unlock()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double unlock did not panic")
+		}
+	}()
+	l.Unlock()
+}
+
+func TestLockIntrExcludesHandlers(t *testing.T) {
+	m := hw.NewMachine(hw.Config{MemBytes: 1 << 20})
+	defer m.Halt()
+	env := core.NewEnv(m, nil)
+	shared := 0
+	fired := make(chan struct{}, 1)
+	var l SpinLock
+	m.Intr.SetHandler(5, func(int) {
+		// Handler also takes the lock (from interrupt level).
+		unlock := l.LockIntr(env)
+		shared++
+		unlock()
+		fired <- struct{}{}
+	})
+	m.Intr.SetMask(5, false)
+
+	unlock := l.LockIntr(env) // process level: interrupts now excluded
+	m.Intr.Raise(5)
+	shared++
+	unlock()
+	<-fired
+	if shared != 2 {
+		t.Fatalf("shared = %d", shared)
+	}
+}
+
+func TestBarrierReuse(t *testing.T) {
+	const n = 3
+	b := NewBarrier(n)
+	var phase atomic.Int32
+	var wrong atomic.Int32
+	s := New(nil2(t), n+1)
+	s.StartAll(func(cpu int) {
+		for round := int32(1); round <= 5; round++ {
+			b.Sync()
+			if phase.Load() != round-1 && phase.Load() != round {
+				wrong.Add(1)
+			}
+			if cpu == 1 {
+				phase.Store(round)
+			}
+			b.Sync()
+		}
+	})
+	s.Wait()
+	if wrong.Load() != 0 {
+		t.Fatalf("%d barrier-phase violations", wrong.Load())
+	}
+	if phase.Load() != 5 {
+		t.Fatalf("phase = %d", phase.Load())
+	}
+}
+
+func nil2(t *testing.T) *core.Env {
+	t.Helper()
+	m := hw.NewMachine(hw.Config{MemBytes: 1 << 20})
+	t.Cleanup(m.Halt)
+	return core.NewEnv(m, nil)
+}

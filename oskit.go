@@ -1,0 +1,22 @@
+// Package oskit is a Go reproduction of "The Flux OSKit: A Substrate for
+// Kernel and Language Research" (Ford, Back, Benson, Lepreau, Lin,
+// Shivers; SOSP 1997).
+//
+// The kit is not an operating system: it is a set of separable
+// components — bootstrap support, a kernel support library, memory
+// managers, a minimal C library, debugging support, device drivers, a
+// TCP/IP stack, file systems — from which operating systems and
+// language runtimes are assembled, bound together at run time through
+// COM interfaces.  Donor-style "legacy" code (Linux-style drivers,
+// FreeBSD-style networking, NetBSD-style file systems) is encapsulated
+// behind thin glue exactly as the paper describes.
+//
+// Because Go cannot run on bare metal, everything runs on a simulated
+// PC platform (oskit/internal/hw) that preserves the properties the
+// components depend on: flat physical memory with a 16 MB DMA limit,
+// interrupt-driven devices, and the paper's two-level execution model.
+//
+// Start with DESIGN.md for the system inventory, examples/quickstart
+// for a "Hello World" kernel, and bench_test.go for the harness that
+// regenerates every table and figure in the paper's evaluation.
+package oskit
