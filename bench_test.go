@@ -63,6 +63,7 @@ func benchTTCPSend(b *testing.B, cfg evalrig.Config) {
 		rates = append(rates, res.SendMbps())
 	}
 	b.StopTimer()
+	assertTTCPStats(b, p.Sender, cfg, true)
 	b.ReportMetric(median(rates), "send-Mb/s")
 }
 
@@ -87,7 +88,29 @@ func benchTTCPRecv(b *testing.B, cfg evalrig.Config) {
 		rates = append(rates, res.RecvMbps())
 	}
 	b.StopTimer()
+	assertTTCPStats(b, p.Receiver, cfg, false)
 	b.ReportMetric(median(rates), "recv-Mb/s")
+}
+
+// assertTTCPStats verifies the measured node's com.Stats exporter saw
+// the transfer — a bench-level smoke check that the observability layer
+// is wired into whichever stack the configuration runs.
+func assertTTCPStats(b *testing.B, n *evalrig.Node, cfg evalrig.Config, send bool) {
+	b.Helper()
+	set, name := "freebsd_net", "tcp.segs_out"
+	if !send {
+		name = "tcp.segs_in"
+	}
+	if cfg == evalrig.Linux {
+		set = "linux_net"
+		name = "net.tx_packets"
+		if !send {
+			name = "net.rx_packets"
+		}
+	}
+	if v, ok := n.Stat(set, name); !ok || v == 0 {
+		b.Fatalf("%s/%s = %d (found=%v) after the transfer: counters did not move", set, name, v, ok)
+	}
 }
 
 func median(v []float64) float64 {
@@ -153,6 +176,59 @@ func BenchmarkTable1_Send_OSKit(b *testing.B)   { benchTTCPSend(b, evalrig.OSKit
 func BenchmarkTable1_Recv_Linux(b *testing.B)   { benchTTCPRecv(b, evalrig.Linux) }
 func BenchmarkTable1_Recv_FreeBSD(b *testing.B) { benchTTCPRecv(b, evalrig.FreeBSD) }
 func BenchmarkTable1_Recv_OSKit(b *testing.B)   { benchTTCPRecv(b, evalrig.OSKit) }
+
+// ---------------------------------------------------------------------
+// Observability acceptance (issue criterion): after a short OSKit
+// transfer, the com.Stats exporters discovered through the services
+// registry alone must show the traffic — nonzero mbuf allocations, TCP
+// segments both ways, and kernel-malloc activity on every layer the
+// counters thread through.
+
+func TestObservabilityCountersMove(t *testing.T) {
+	p, err := evalrig.NewPair(evalrig.OSKit, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Halt()
+	if _, err := evalrig.TTCP(p, 256, ttcpBlockSize, 5470); err != nil {
+		t.Fatal(err)
+	}
+
+	mustStat := func(n *evalrig.Node, set, name string) int64 {
+		t.Helper()
+		v, ok := n.Stat(set, name)
+		if !ok {
+			t.Fatalf("statistic %s/%s not discoverable via the registry", set, name)
+		}
+		return v
+	}
+	nonzero := map[string]int64{
+		"sender freebsd_net/mbuf.allocs":            mustStat(p.Sender, "freebsd_net", "mbuf.allocs"),
+		"sender freebsd_net/mbuf.cluster_allocs":    mustStat(p.Sender, "freebsd_net", "mbuf.cluster_allocs"),
+		"sender freebsd_net/tcp.segs_out":           mustStat(p.Sender, "freebsd_net", "tcp.segs_out"),
+		"sender freebsd_net/tcp.segs_in":            mustStat(p.Sender, "freebsd_net", "tcp.segs_in"),
+		"receiver freebsd_net/tcp.segs_in":          mustStat(p.Receiver, "freebsd_net", "tcp.segs_in"),
+		"receiver freebsd_net/mbuf.ext_wraps":       mustStat(p.Receiver, "freebsd_net", "mbuf.ext_wraps"),
+		"sender bsd_malloc/malloc.allocs":           mustStat(p.Sender, "bsd_malloc", "malloc.allocs"),
+		"sender bsd_malloc/malloc.bytes_live.hiwat": mustStat(p.Sender, "bsd_malloc", "malloc.bytes_live.hiwat"),
+		"sender kern/lmm.allocs":                    mustStat(p.Sender, "kern", "lmm.allocs"),
+		"sender linux_dev/kmalloc.allocs":           mustStat(p.Sender, "linux_dev", "kmalloc.allocs"),
+	}
+	for what, v := range nonzero {
+		if v <= 0 {
+			t.Errorf("%s = %d, want > 0", what, v)
+		}
+	}
+	// Every mbuf construction charges mbuf.allocs and every release
+	// charges mbuf.frees, so frees can never lead allocs.
+	for _, n := range []*evalrig.Node{p.Sender, p.Receiver} {
+		allocs := mustStat(n, "freebsd_net", "mbuf.allocs")
+		frees := mustStat(n, "freebsd_net", "mbuf.frees")
+		if frees > allocs {
+			t.Errorf("mbuf.frees = %d > mbuf.allocs = %d: a construction path is uncounted", frees, allocs)
+		}
+	}
+}
 
 // ---------------------------------------------------------------------
 // Table 2: TCP 1-byte round-trip latency (rtcp).  Expected shape: OSKit

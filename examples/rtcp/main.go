@@ -24,6 +24,7 @@ import (
 func main() {
 	rounds := flag.Int("rounds", 5000, "round trips to time")
 	config := flag.String("config", "all", "configuration: all, linux, freebsd, oskit")
+	showStats := flag.Bool("stats", false, "print each system's kernel-statistics table after its run")
 	flag.Parse()
 
 	configs := evalrig.Configs
@@ -41,6 +42,11 @@ func main() {
 			os.Exit(1)
 		}
 		usec, err := evalrig.RTCP(p, *rounds, port)
+		if err == nil && *showStats {
+			fmt.Printf("\n--- %s client statistics (nonzero) ---\n", cfg)
+			p.Sender.WriteStats(os.Stdout)
+			fmt.Println()
+		}
 		p.Halt()
 		port++
 		if err != nil {

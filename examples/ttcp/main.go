@@ -25,6 +25,7 @@ func main() {
 	blocks := flag.Int("blocks", 4096, "number of blocks to stream (paper: 131072)")
 	blockSize := flag.Int("blocksize", 4096, "block size in bytes (paper: 4096)")
 	config := flag.String("config", "all", "configuration: all, linux, freebsd, oskit")
+	showStats := flag.Bool("stats", false, "print each system's kernel-statistics table after its run")
 	flag.Parse()
 
 	configs := evalrig.Configs
@@ -38,13 +39,13 @@ func main() {
 
 	port := uint16(5100)
 	for _, cfg := range configs {
-		send, err := measure(cfg, evalrig.FreeBSD, *blocks, *blockSize, port)
+		send, err := measure(cfg, evalrig.FreeBSD, *blocks, *blockSize, port, *showStats)
 		port++
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s as sender: %v\n", cfg, err)
 			os.Exit(1)
 		}
-		recv, err := measureRecv(evalrig.FreeBSD, cfg, *blocks, *blockSize, port)
+		recv, err := measureRecv(evalrig.FreeBSD, cfg, *blocks, *blockSize, port, *showStats)
 		port++
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s as receiver: %v\n", cfg, err)
@@ -58,7 +59,7 @@ func main() {
 	fmt.Println("into contiguous skbuffs.)")
 }
 
-func measure(sender, receiver evalrig.Config, blocks, blockSize int, port uint16) (float64, error) {
+func measure(sender, receiver evalrig.Config, blocks, blockSize int, port uint16, showStats bool) (float64, error) {
 	p, err := evalrig.NewMixedPair(sender, receiver, time.Millisecond)
 	if err != nil {
 		return 0, err
@@ -67,11 +68,16 @@ func measure(sender, receiver evalrig.Config, blocks, blockSize int, port uint16
 	res, err := evalrig.TTCP(p, blocks, blockSize, port)
 	if err != nil {
 		return 0, err
+	}
+	if showStats {
+		fmt.Printf("\n--- %s sender statistics (nonzero) ---\n", sender)
+		p.Sender.WriteStats(os.Stdout)
+		fmt.Println()
 	}
 	return res.SendMbps(), nil
 }
 
-func measureRecv(sender, receiver evalrig.Config, blocks, blockSize int, port uint16) (float64, error) {
+func measureRecv(sender, receiver evalrig.Config, blocks, blockSize int, port uint16, showStats bool) (float64, error) {
 	p, err := evalrig.NewMixedPair(sender, receiver, time.Millisecond)
 	if err != nil {
 		return 0, err
@@ -80,6 +86,11 @@ func measureRecv(sender, receiver evalrig.Config, blocks, blockSize int, port ui
 	res, err := evalrig.TTCP(p, blocks, blockSize, port)
 	if err != nil {
 		return 0, err
+	}
+	if showStats {
+		fmt.Printf("\n--- %s receiver statistics (nonzero) ---\n", receiver)
+		p.Receiver.WriteStats(os.Stdout)
+		fmt.Println()
 	}
 	return res.RecvMbps(), nil
 }

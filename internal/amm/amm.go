@@ -15,6 +15,8 @@ package amm
 import (
 	"fmt"
 	"sort"
+
+	"oskit/internal/stats"
 )
 
 // Flags is an entry's client-defined attribute word.
@@ -41,6 +43,19 @@ func (e Entry) Size() uint64 { return e.End - e.Start }
 type Map struct {
 	lo, hi  uint64
 	entries []Entry // sorted, gap-free cover of [lo, hi), adjacent flags differ
+
+	// Optional com.Stats handles (see AttachStats); nil-safe updates.
+	scAllocs *stats.Counter
+	scFrees  *stats.Counter
+	scFails  *stats.Counter
+}
+
+// AttachStats resolves the map's statistics in set ("amm.*" names).
+// Optional, like the LMM's — an unattached map pays one branch.
+func (m *Map) AttachStats(set *stats.Set) {
+	m.scAllocs = set.Counter("amm.allocates")
+	m.scFrees = set.Counter("amm.deallocates")
+	m.scFails = set.Counter("amm.failures")
 }
 
 // New creates a map covering [lo, hi), initially all Free.
@@ -148,11 +163,14 @@ func (m *Map) FindGen(from, size uint64, mask, want Flags, alignBits uint, align
 func (m *Map) Allocate(size uint64, alignBits uint, flags Flags) (uint64, error) {
 	addr, ok := m.FindGen(m.lo, size, ^Flags(0), Free, alignBits, 0)
 	if !ok {
+		m.scFails.Inc()
 		return 0, fmt.Errorf("amm: no free run of %#x addresses", size)
 	}
 	if err := m.Modify(addr, size, flags); err != nil {
+		m.scFails.Inc()
 		return 0, err
 	}
+	m.scAllocs.Inc()
 	return addr, nil
 }
 
@@ -178,7 +196,11 @@ func (m *Map) AllocateAt(addr, size uint64, flags Flags) error {
 
 // Deallocate returns [addr, addr+size) to Free (amm_deallocate).
 func (m *Map) Deallocate(addr, size uint64) error {
-	return m.Modify(addr, size, Free)
+	if err := m.Modify(addr, size, Free); err != nil {
+		return err
+	}
+	m.scFrees.Inc()
+	return nil
 }
 
 // Protect rewrites the attribute word over a range, preserving the

@@ -24,6 +24,7 @@ import (
 	"oskit/internal/boot"
 	"oskit/internal/com"
 	"oskit/internal/hw"
+	"oskit/internal/stats"
 )
 
 // FS is the boot-module RAM file system.  It implements com.FileSystem.
@@ -34,6 +35,15 @@ type FS struct {
 	nextIno uint32
 	ticks   func() uint64 // time source for stamps; may be nil
 	args    map[string]string
+
+	// com.Stats export.  The file system has no environment handle, so
+	// whoever assembles the configuration registers StatsSet().
+	set       *stats.Set
+	scReads   *stats.Counter
+	scWrites  *stats.Counter
+	scRdBytes *stats.Counter
+	scWrBytes *stats.Counter
+	scLookups *stats.Counter
 }
 
 // node is one file or directory.
@@ -53,10 +63,20 @@ type node struct {
 func New(ticks func() uint64) *FS {
 	fs := &FS{ticks: ticks, args: map[string]string{}, nextIno: 1}
 	fs.Init()
+	fs.set = stats.NewSet("bmfs")
+	fs.scReads = fs.set.Counter("fs.reads")
+	fs.scWrites = fs.set.Counter("fs.writes")
+	fs.scRdBytes = fs.set.Counter("fs.read_bytes")
+	fs.scWrBytes = fs.set.Counter("fs.write_bytes")
+	fs.scLookups = fs.set.Counter("fs.lookups")
 	fs.root = fs.newNode(com.ModeIFDIR | 0o755)
 	fs.root.children = map[string]*node{}
 	return fs
 }
+
+// StatsSet exposes the file system's com.Stats export for registration
+// in a services registry.  The FS keeps its own reference.
+func (f *FS) StatsSet() *stats.Set { return f.set }
 
 // Populate creates files from the boot modules described by info, reading
 // their contents out of physical memory.  It returns the number of files
@@ -213,7 +233,10 @@ func (n *node) ReadAt(buf []byte, offset uint64) (uint, error) {
 	if offset >= uint64(len(n.data)) {
 		return 0, nil
 	}
-	return uint(copy(buf, n.data[offset:])), nil
+	got := uint(copy(buf, n.data[offset:]))
+	n.fs.scReads.Inc()
+	n.fs.scRdBytes.Add(uint64(got))
+	return got, nil
 }
 
 // WriteAt implements com.File, extending with a zero-filled gap when the
@@ -232,6 +255,8 @@ func (n *node) WriteAt(buf []byte, offset uint64) (uint, error) {
 	}
 	copy(n.data[offset:], buf)
 	n.mtime = n.fs.now()
+	n.fs.scWrites.Inc()
+	n.fs.scWrBytes.Add(uint64(len(buf)))
 	return uint(len(buf)), nil
 }
 
@@ -279,6 +304,7 @@ func (n *node) Lookup(name string) (com.File, error) {
 	if err != nil {
 		return nil, err
 	}
+	n.fs.scLookups.Inc()
 	child.AddRef()
 	return child, nil
 }

@@ -1,0 +1,47 @@
+package com
+
+// StatsIID identifies the Stats interface: the kit's uniform
+// observability contract, in the spirit of Solaris/BSD kstat.
+//
+// The paper evaluates the OSKit entirely through measurement (§5's
+// ttcp/rtcp tables, §6's footprint inventories), but gives components
+// no uniform way to report what they are doing; every measurement had
+// to be wired up by hand.  Stats closes that gap the COM way (§4.4):
+// any component may export a named set of monotonic counters, gauges,
+// and fixed-bucket histograms, and any client can discover every
+// exporter at run time by looking StatsIID up in the services registry
+// — no link-time dependency in either direction.
+var StatsIID = NewGUID(0x4aa7dfee, 0x7c74, 0x11cf,
+	0xb5, 0x00, 0x08, 0x00, 0x09, 0x53, 0xad, 0xc2)
+
+// Statistic is one sampled statistic: a name and its value at snapshot time.
+//
+// Names follow the kit's "subsys.counter" convention (e.g.
+// "mbuf.allocs", "tcp.segs_in", "malloc.bytes_live").  Derived entries
+// append a suffix segment: a gauge g also reports "g.hiwat" (its
+// high-water mark), a histogram h reports "h.le_<bound>" per bucket
+// plus "h.count" and "h.sum".
+type Statistic struct {
+	Name  string
+	Value int64
+}
+
+// Stats is the observability interface a component exports: a named,
+// snapshot-on-read view of its internal event counters.
+//
+// Snapshot returns a consistent-enough sample of every statistic in
+// the set (individual values are read atomically; the set as a whole
+// is sampled while the component may still be running, which is the
+// kstat contract too).  Reset zeroes every statistic, letting a
+// measurement harness bracket exactly one run.
+type Stats interface {
+	IUnknown
+	// StatsName names the exporting component ("freebsd_net",
+	// "linux_dev", ...), the prefix under which reports group its rows.
+	StatsName() string
+	// Snapshot samples every statistic in a stable order.
+	Snapshot() []Statistic
+	// Reset zeroes every statistic (counters, gauges and their
+	// high-water marks, histogram buckets).
+	Reset()
+}

@@ -54,29 +54,30 @@ type Component struct {
 // cmd/oskit-sizes joins it with source-line counts to regenerate Table 3.
 var Inventory = []Component{
 	{Name: "boot", Dir: "internal/boot", Kind: KindNative, MachineDep: true, Deps: []string{"lmm"}, Desc: "Bootstrap support (MultiBoot-style images and modules)"},
-	{Name: "kern", Dir: "internal/kern", Kind: KindNative, MachineDep: true, Deps: []string{"core", "lmm", "boot", "hw"}, Desc: "Kernel support library"},
+	{Name: "kern", Dir: "internal/kern", Kind: KindNative, MachineDep: true, Deps: []string{"core", "lmm", "boot", "hw", "stats"}, Desc: "Kernel support library"},
 	{Name: "smp", Dir: "internal/smp", Kind: KindNative, MachineDep: true, Deps: []string{"core"}, Desc: "Multiprocessor support"},
-	{Name: "lmm", Dir: "internal/lmm", Kind: KindNative, MachineDep: false, Deps: nil, Desc: "List memory manager"},
-	{Name: "amm", Dir: "internal/amm", Kind: KindNative, MachineDep: false, Deps: nil, Desc: "Address map manager"},
+	{Name: "lmm", Dir: "internal/lmm", Kind: KindNative, MachineDep: false, Deps: []string{"stats"}, Desc: "List memory manager"},
+	{Name: "amm", Dir: "internal/amm", Kind: KindNative, MachineDep: false, Deps: []string{"stats"}, Desc: "Address map manager"},
 	{Name: "c", Dir: "internal/libc", Kind: KindNative, MachineDep: false, Deps: []string{"core", "com"}, Desc: "Minimal C library"},
 	{Name: "memdebug", Dir: "internal/memdebug", Kind: KindNative, MachineDep: false, Deps: []string{"core"}, Desc: "Malloc debugging"},
 	{Name: "diskpart", Dir: "internal/diskpart", Kind: KindNative, MachineDep: false, Deps: []string{"com"}, Desc: "Disk partitioning"},
 	{Name: "fsread", Dir: "internal/fsread", Kind: KindNative, MachineDep: false, Deps: []string{"com"}, Desc: "File system reading"},
 	{Name: "exec", Dir: "internal/exec", Kind: KindNative, MachineDep: false, Deps: []string{"amm", "com"}, Desc: "Program loading"},
 	{Name: "com", Dir: "internal/com", Kind: KindNative, MachineDep: false, Deps: nil, Desc: "COM interfaces and support"},
+	{Name: "stats", Dir: "internal/stats", Kind: KindNative, MachineDep: false, Deps: []string{"com"}, Desc: "Statistics component (kstat-style counters exported as com.Stats)"},
 	{Name: "core", Dir: "internal/core", Kind: KindNative, MachineDep: false, Deps: []string{"com", "lmm", "hw"}, Desc: "Component framework (osenv, registry, execution models)"},
 	{Name: "hw", Dir: "internal/hw", Kind: KindNative, MachineDep: true, Deps: nil, Desc: "Simulated PC platform (substitution substrate)"},
 	{Name: "fdev", Dir: "internal/dev", Kind: KindNative, MachineDep: false, Deps: []string{"core", "com"}, Desc: "Device driver support"},
 	{Name: "gdb", Dir: "internal/gdb", Kind: KindNative, MachineDep: true, Deps: []string{"hw", "kern"}, Desc: "GDB remote-protocol stub"},
-	{Name: "linux_dev", Dir: "internal/linux/dev", Kind: KindGlue, MachineDep: true, Deps: []string{"core", "com", "fdev", "linux_legacy"}, Desc: "Linux driver glue"},
+	{Name: "linux_dev", Dir: "internal/linux/dev", Kind: KindGlue, MachineDep: true, Deps: []string{"core", "com", "fdev", "linux_legacy", "stats"}, Desc: "Linux driver glue"},
 	{Name: "linux_legacy", Dir: "internal/linux/legacy", Kind: KindEncapsulated, MachineDep: true, Deps: nil, Desc: "Linux-style drivers and skbuffs (donor code)"},
-	{Name: "linux_net", Dir: "internal/linux/net", Kind: KindEncapsulated, MachineDep: false, Deps: []string{"linux_legacy"}, Desc: "Linux-style TCP/IP (baseline stack)"},
-	{Name: "freebsd_glue", Dir: "internal/freebsd/glue", Kind: KindGlue, MachineDep: false, Deps: []string{"core", "com"}, Desc: "FreeBSD environment emulation (curproc, sleep/wakeup, malloc)"},
+	{Name: "linux_net", Dir: "internal/linux/net", Kind: KindEncapsulated, MachineDep: false, Deps: []string{"linux_legacy", "stats"}, Desc: "Linux-style TCP/IP (baseline stack)"},
+	{Name: "freebsd_glue", Dir: "internal/freebsd/glue", Kind: KindGlue, MachineDep: false, Deps: []string{"core", "com", "stats"}, Desc: "FreeBSD environment emulation (curproc, sleep/wakeup, malloc)"},
 	{Name: "freebsd_dev", Dir: "internal/freebsd/dev", Kind: KindGlue, MachineDep: true, Deps: []string{"freebsd_glue", "fdev"}, Desc: "FreeBSD character drivers and support"},
-	{Name: "freebsd_net", Dir: "internal/freebsd/net", Kind: KindEncapsulated, MachineDep: false, Deps: []string{"freebsd_glue", "com"}, Desc: "FreeBSD-style TCP/IP network stack"},
-	{Name: "netbsd_fs", Dir: "internal/netbsd/fs", Kind: KindEncapsulated, MachineDep: false, Deps: []string{"freebsd_glue", "com"}, Desc: "NetBSD-style FFS file system"},
-	{Name: "kvm", Dir: "internal/kvm", Kind: KindNative, MachineDep: false, Deps: []string{"c"}, Desc: "Bytecode VM (language-runtime case study)"},
-	{Name: "bmfs", Dir: "internal/bmfs", Kind: KindNative, MachineDep: false, Deps: []string{"boot", "com"}, Desc: "Boot-module RAM file system"},
+	{Name: "freebsd_net", Dir: "internal/freebsd/net", Kind: KindEncapsulated, MachineDep: false, Deps: []string{"freebsd_glue", "com", "stats"}, Desc: "FreeBSD-style TCP/IP network stack"},
+	{Name: "netbsd_fs", Dir: "internal/netbsd/fs", Kind: KindEncapsulated, MachineDep: false, Deps: []string{"freebsd_glue", "com", "stats"}, Desc: "NetBSD-style FFS file system"},
+	{Name: "kvm", Dir: "internal/kvm", Kind: KindNative, MachineDep: false, Deps: []string{"c", "stats"}, Desc: "Bytecode VM (language-runtime case study)"},
+	{Name: "bmfs", Dir: "internal/bmfs", Kind: KindNative, MachineDep: false, Deps: []string{"boot", "com", "stats"}, Desc: "Boot-module RAM file system"},
 	{Name: "linux_fs", Dir: "internal/linux/fs", Kind: KindEncapsulated, MachineDep: false, Deps: []string{"linux_legacy", "com"}, Desc: "Linux-style ext2-flavoured file system (the paper's in-progress row)"},
 	{Name: "evalrig", Dir: "internal/evalrig", Kind: KindNative, MachineDep: false, Deps: []string{"kern", "c", "fdev", "linux_dev", "linux_net", "freebsd_net"}, Desc: "Evaluation testbed (Tables 1-2 configurations)"},
 }

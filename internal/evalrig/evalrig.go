@@ -17,6 +17,7 @@ package evalrig
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"oskit/internal/com"
@@ -28,6 +29,7 @@ import (
 	"oskit/internal/libc"
 	linuxdev "oskit/internal/linux/dev"
 	linuxnet "oskit/internal/linux/net"
+	"oskit/internal/stats"
 )
 
 // Config names one evaluation configuration.
@@ -131,6 +133,9 @@ func newNode(cfg Config, wire *hw.EtherWire, unit byte, ip [4]byte, tick time.Du
 			return nil, err
 		}
 		n.LX = st
+		// The monolithic stack has no environment handle (it sees only
+		// the legacy kernel), so the configuration registers its stats.
+		k.Env.Registry.Register(com.StatsIID, st.StatsSet())
 		f := st.SocketFactory()
 		n.C.SetSocketCreator(f)
 		f.Release()
@@ -185,4 +190,41 @@ func newNode(cfg Config, wire *hw.EtherWire, unit byte, ip [4]byte, tick time.Du
 // Addr builds a socket address on the rig's subnet.
 func Addr(ip [4]byte, port uint16) com.SockAddr {
 	return com.SockAddr{Family: com.AFInet, Addr: ip, Port: port}
+}
+
+// Stats discovers every com.Stats exporter registered on the node (the
+// network stack, the BSD malloc, the kernel arena, …).  The returned
+// objects each carry one COM reference; release them when done.
+func (n *Node) Stats() []com.Stats {
+	return stats.Discover(n.Kernel.Env.Registry)
+}
+
+// WriteStats renders the node's merged statistics table, omitting
+// zero-valued rows (terse mode: a run touches a fraction of the
+// registered statistics).
+func (n *Node) WriteStats(w io.Writer) {
+	sets := n.Stats()
+	stats.WriteTable(w, sets, true)
+	for _, s := range sets {
+		s.Release()
+	}
+}
+
+// Stat reads one named statistic from the node's exporter named set
+// ("freebsd_net", "bsd_malloc", …); ok is false when either is missing.
+func (n *Node) Stat(set, name string) (int64, bool) {
+	sets := n.Stats()
+	defer func() {
+		for _, s := range sets {
+			s.Release()
+		}
+	}()
+	for _, s := range sets {
+		if s.StatsName() == set {
+			if v, ok := stats.Get(s.Snapshot(), name); ok {
+				return v, true
+			}
+		}
+	}
+	return 0, false
 }

@@ -20,7 +20,9 @@
 package bsdglue
 
 import (
+	"oskit/internal/com"
 	"oskit/internal/core"
+	"oskit/internal/stats"
 )
 
 // Proc is the donor's process structure, pruned to the fields the
@@ -58,10 +60,15 @@ type Glue struct {
 	Malloc *Malloc
 }
 
-// New builds a BSD environment over env.
+// New builds a BSD environment over env.  The allocator's statistics are
+// exported as a "bsd_malloc" com.Stats set in env's services registry.
 func New(env *core.Env) *Glue {
 	g := &Glue{env: env}
 	g.Malloc = newMalloc(g)
+	set := stats.NewSet("bsd_malloc")
+	g.Malloc.initStats(set)
+	env.Registry.Register(com.StatsIID, set)
+	set.Release()
 	return g
 }
 

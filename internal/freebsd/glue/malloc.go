@@ -1,6 +1,9 @@
 package bsdglue
 
-import "oskit/internal/hw"
+import (
+	"oskit/internal/hw"
+	"oskit/internal/stats"
+)
 
 // BSD kernel malloc (paper §4.7.7).  The donor allocator is "particularly
 // clever in a number of respects":
@@ -56,9 +59,27 @@ type Malloc struct {
 	buckets [numBuckets][]uint32
 
 	allocated uint64 // live bytes, for statistics
+
+	// com.Stats export handles (nil-safe; see initStats).
+	scAllocs *stats.Counter
+	scFrees  *stats.Counter
+	scFails  *stats.Counter
+	scLive   *stats.Gauge
+	scTable  *stats.Gauge
 }
 
 func newMalloc(g *Glue) *Malloc { return &Malloc{g: g} }
+
+// initStats resolves the allocator's statistics handles in set.  Updates
+// happen under splhigh on allocation hot paths, so the handles are
+// pre-resolved here and each update is one atomic operation.
+func (m *Malloc) initStats(set *stats.Set) {
+	m.scAllocs = set.Counter("malloc.allocs")
+	m.scFrees = set.Counter("malloc.frees")
+	m.scFails = set.Counter("malloc.failures")
+	m.scLive = set.Gauge("malloc.bytes_live")
+	m.scTable = set.Gauge("malloc.table_bytes")
+}
 
 // bucketFor returns the bucket index whose block size holds size.
 func bucketFor(size uint32) (idx int, blockSize uint32) {
@@ -86,12 +107,15 @@ func (m *Malloc) Alloc(size uint32) (hw.PhysAddr, []byte, bool) {
 	}
 	idx, bs := bucketFor(size)
 	if len(m.buckets[idx]) == 0 && !m.refill(idx, bs) {
+		m.scFails.Inc()
 		return 0, nil, false
 	}
 	list := m.buckets[idx]
 	addr := list[len(list)-1]
 	m.buckets[idx] = list[:len(list)-1]
 	m.allocated += uint64(bs)
+	m.scAllocs.Inc()
+	m.scLive.Set(int64(m.allocated))
 	return addr, m.g.env.Machine.Mem.MustSlice(addr, bs), true
 }
 
@@ -121,7 +145,10 @@ func (m *Malloc) Free(addr hw.PhysAddr) {
 		m.allocated -= uint64(bs)
 	default:
 		m.g.env.Panic("bsdglue: free of untracked address %#x", addr)
+		return
 	}
+	m.scFrees.Inc()
+	m.scLive.Set(int64(m.allocated))
 }
 
 // SizeOf reports the allocated size of a live block — the exposed form
@@ -144,6 +171,7 @@ func (m *Malloc) allocLarge(size uint32) (hw.PhysAddr, []byte, bool) {
 	npages := (size + PageSize - 1) >> PageShift
 	addr, buf, ok := m.g.env.MemAlloc(npages*PageSize, 0, PageSize)
 	if !ok {
+		m.scFails.Inc()
 		return 0, nil, false
 	}
 	page := addr >> PageShift
@@ -154,6 +182,8 @@ func (m *Malloc) allocLarge(size uint32) (hw.PhysAddr, []byte, bool) {
 		m.set(page+i, kuLargeCo)
 	}
 	m.allocated += uint64(npages) * PageSize
+	m.scAllocs.Inc()
+	m.scLive.Set(int64(m.allocated))
 	return addr, buf[:size], true
 }
 
@@ -215,6 +245,7 @@ func (m *Malloc) lookup(page uint32) uint16 {
 func (m *Malloc) set(page uint32, v uint16) {
 	m.ensure(page)
 	m.table[page-m.basePage] = v
+	m.scTable.Set(int64(len(m.table) * 2))
 }
 
 // TableBytes reports the allocation table's current footprint: the cost

@@ -65,11 +65,12 @@ func (s *Stack) mget(leading int) *Mbuf {
 	if !ok {
 		return nil
 	}
+	s.sc.mbufAllocs.Inc()
 	return &Mbuf{stk: s, store: buf, storeAddr: addr, off: leading}
 }
 
-// MClGet attaches a fresh 2 KB cluster to m, replacing its small buffer
-// for bulk data (MCLGET).
+// MClGet attaches a fresh 2 KB cluster to m, replacing its current
+// storage for bulk data (MCLGET).
 func (m *Mbuf) MClGet() bool {
 	addr, buf, ok := m.stk.g.Malloc.Alloc(MCLBYTES)
 	if !ok {
@@ -81,8 +82,18 @@ func (m *Mbuf) MClGet() bool {
 		m.stk.g.Env().Panic("bsdnet: misaligned cluster %#x", addr)
 	}
 	m.stk.clRef(addr, +1)
-	// Release the small buffer; the cluster takes over.
-	if m.storeAddr != 0 && !m.cluster {
+	m.stk.sc.clAllocs.Inc()
+	// Release the prior storage; the new cluster takes over.  A second
+	// MCLGET on a cluster-bearing mbuf must drop the old cluster's
+	// reference (and a foreign-storage mbuf its owner's), or the old
+	// cluster — and anything still sharing it — leaks forever.
+	switch {
+	case m.ext != nil:
+		m.ext.Release()
+		m.ext = nil
+	case m.cluster:
+		m.stk.clRef(m.storeAddr, -1)
+	case m.storeAddr != 0:
 		m.stk.g.Malloc.Free(m.storeAddr)
 	}
 	m.store = buf
@@ -100,12 +111,18 @@ func (m *Mbuf) MClGet() bool {
 // holds one reference on the owner.
 func (s *Stack) MExt(owner com.BufIO, data []byte) *Mbuf {
 	owner.AddRef()
+	// Counts as an mbuf allocation even though the storage is foreign:
+	// Free charges mbuf.frees for every link, so every construction must
+	// charge mbuf.allocs or the pair won't balance over a quiesced run.
+	s.sc.mbufAllocs.Inc()
+	s.sc.extWraps.Inc()
 	return &Mbuf{stk: s, store: data, ext: owner, len: len(data), PktLen: len(data)}
 }
 
 // Free releases one link, dropping cluster/foreign references.
 func (m *Mbuf) Free() *Mbuf {
 	next := m.Next
+	m.stk.sc.mbufFrees.Inc()
 	switch {
 	case m.ext != nil:
 		m.ext.Release()
@@ -151,6 +168,7 @@ func (s *Stack) clRef(addr hw.PhysAddr, delta int) {
 	s.mclRefcnt[i] += int16(delta)
 	if s.mclRefcnt[i] == 0 && delta < 0 {
 		s.g.Malloc.Free(addr)
+		s.sc.clFrees.Inc()
 	}
 	s.g.Splx(spl)
 }
@@ -361,6 +379,8 @@ func (m *Mbuf) CopyM(off, length int) *Mbuf {
 			n := &Mbuf{stk: m.stk, store: cur.store, storeAddr: cur.storeAddr,
 				cluster: true, off: cur.off + off, len: take}
 			m.stk.clRef(cur.storeAddr, +1)
+			m.stk.sc.mbufAllocs.Inc() // every constructed link balances a later mbuf.frees
+			m.stk.sc.clShares.Inc()
 			appendLink(n)
 		case cur.ext != nil:
 			n := m.stk.MExt(cur.ext, cur.Data()[off:off+take])

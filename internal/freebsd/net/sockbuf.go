@@ -32,6 +32,7 @@ func (sb *sockbuf) space() int {
 
 // appendData copies user bytes in (sbappend of a fresh chain).
 func (sb *sockbuf) appendData(data []byte) bool {
+	fresh := false
 	if sb.head == nil {
 		m := sb.s.MGetHdr()
 		if m == nil {
@@ -42,11 +43,21 @@ func (sb *sockbuf) appendData(data []byte) bool {
 			return false
 		}
 		sb.head = m
+		fresh = true
 	}
 	if !sb.head.Append(data) {
+		if fresh {
+			// Append ran out of memory after the header (and possibly
+			// its cluster) was allocated.  Release it: leaving the
+			// empty chain attached would leak it and wedge the buffer
+			// in an empty-but-non-nil state after a transient failure.
+			sb.head.FreeChain()
+			sb.head = nil
+		}
 		return false
 	}
 	sb.cc += len(data)
+	sb.s.sc.sockbufCC.Set(int64(sb.cc))
 	return true
 }
 
@@ -65,6 +76,7 @@ func (sb *sockbuf) appendChain(m *Mbuf) {
 		m.PktLen = 0
 	}
 	sb.cc += n
+	sb.s.sc.sockbufCC.Set(int64(sb.cc))
 }
 
 // drop discards n bytes from the front (sbdrop — TCP ack processing).
@@ -89,6 +101,7 @@ func (sb *sockbuf) drop(n int) {
 	if m != nil {
 		m.PktLen = sb.cc
 	}
+	sb.s.sc.sockbufCC.Set(int64(sb.cc))
 }
 
 // read copies up to len(dst) bytes out and drops them.
@@ -112,4 +125,5 @@ func (sb *sockbuf) flush() {
 		sb.head = nil
 	}
 	sb.cc = 0
+	sb.s.sc.sockbufCC.Set(0)
 }

@@ -4,6 +4,7 @@ import (
 	"oskit/internal/com"
 	bsdglue "oskit/internal/freebsd/glue"
 	"oskit/internal/hw"
+	"oskit/internal/stats"
 )
 
 // Stack is one instance of the FreeBSD networking component.
@@ -48,6 +49,11 @@ type Stack struct {
 	// Statistics (exposed, open implementation §4.6).
 	Stats StackStats
 
+	// statsSet is the stack's com.Stats export; sc holds the
+	// pre-resolved handles the hot paths update (see netstats).
+	statsSet *stats.Set
+	sc       netstats
+
 	// ForceRxCopy disables the receive-side Map fast path (ablation:
 	// every inbound packet is copied instead of wrapped).
 	ForceRxCopy bool
@@ -74,6 +80,23 @@ type StackStats struct {
 	ICMPEchoRepOut uint64
 }
 
+// netstats is the stack's pre-resolved statistics handles, updated
+// lock-free on the packet hot paths (often at interrupt level).  The
+// exported StackStats struct stays for direct inspection; these are the
+// same events published through the discoverable com.Stats interface
+// under the "subsys.counter" naming scheme.
+type netstats struct {
+	mbufAllocs, mbufFrees       *stats.Counter
+	clAllocs, clFrees, clShares *stats.Counter
+	extWraps                    *stats.Counter
+	tcpSegsIn, tcpSegsOut       *stats.Counter
+	tcpRexmt                    *stats.Counter
+	tcpDropBadCsum, tcpDropDup  *stats.Counter
+	tcpDropWnd, tcpOOO          *stats.Counter
+	sockbufCC                   *stats.Gauge
+	tcpRxBytes                  *stats.Histogram
+}
+
 // NewStack creates the networking component over a BSD glue environment
 // (oskit_freebsd_net_init).
 func NewStack(g *bsdglue.Glue) *Stack {
@@ -82,6 +105,7 @@ func NewStack(g *bsdglue.Glue) *Stack {
 		ipReasm: map[reasmKey]*reasmQ{},
 		issSeed: uint32(g.Ticks())*2654435761 + 12345,
 	}
+	s.initStats()
 	s.arp.init(s)
 	// BSD slow timer: every 500 ms (50 ticks of the 10 ms clock), for
 	// TCP retransmit/persist/keep and ARP/reassembly aging.
@@ -95,6 +119,51 @@ func NewStack(g *bsdglue.Glue) *Stack {
 }
 
 const slowTimoTicks = 50 // 500 ms at the 10 ms clock
+
+// initStats builds the stack's com.Stats export, resolves the hot-path
+// handles once, and registers the set in the services registry so any
+// client can discover it under com.StatsIID (§4.2.2).
+func (s *Stack) initStats() {
+	set := stats.NewSet("freebsd_net")
+	s.statsSet = set
+	s.sc = netstats{
+		mbufAllocs:     set.Counter("mbuf.allocs"),
+		mbufFrees:      set.Counter("mbuf.frees"),
+		clAllocs:       set.Counter("mbuf.cluster_allocs"),
+		clFrees:        set.Counter("mbuf.cluster_frees"),
+		clShares:       set.Counter("mbuf.cluster_shares"),
+		extWraps:       set.Counter("mbuf.ext_wraps"),
+		tcpSegsIn:      set.Counter("tcp.segs_in"),
+		tcpSegsOut:     set.Counter("tcp.segs_out"),
+		tcpRexmt:       set.Counter("tcp.rexmt"),
+		tcpDropBadCsum: set.Counter("tcp.drop_bad_csum"),
+		tcpDropDup:     set.Counter("tcp.drop_dup"),
+		tcpDropWnd:     set.Counter("tcp.drop_out_of_window"),
+		tcpOOO:         set.Counter("tcp.ooo_segs"),
+		sockbufCC:      set.Gauge("sockbuf.occupancy"),
+		// Inbound TCP payload sizes: runts, mid-size, MSS-full segments.
+		tcpRxBytes: set.Histogram("tcp.rx_seg_bytes", []uint64{1, 128, 512, 1024, 1460}),
+	}
+	s.g.Env().Registry.Register(com.StatsIID, set)
+	set.Release() // the registry's reference keeps it alive
+}
+
+// StatsSet returns the stack's com.Stats export (open implementation,
+// §4.6); the same object is discoverable via the services registry.
+func (s *Stack) StatsSet() *stats.Set { return s.statsSet }
+
+// countTCPOut records one transmitted TCP segment in both the exposed
+// StackStats block and the com.Stats export.
+func (s *Stack) countTCPOut() {
+	s.Stats.TCPOut++
+	s.sc.tcpSegsOut.Inc()
+}
+
+// countTCPRexmt records one retransmitted segment.
+func (s *Stack) countTCPRexmt() {
+	s.Stats.TCPRexmt++
+	s.sc.tcpRexmt.Inc()
+}
 
 // Glue returns the stack's BSD environment (tests).
 func (s *Stack) Glue() *bsdglue.Glue { return s.g }

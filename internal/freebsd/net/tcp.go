@@ -316,7 +316,7 @@ func (s *Stack) tcpRespond(laddr IPAddr, lport uint16, faddr IPAddr, fport uint1
 	packTCPHeader(h, lport, fport, seq, ack, flags, 0)
 	csum := s.chainChecksum(m, pseudoSum(laddr, faddr, ProtoTCP, m.PktLen))
 	binary.BigEndian.PutUint16(h[16:18], csum)
-	s.Stats.TCPOut++
+	s.countTCPOut()
 	s.ipOutput(m, laddr, faddr, ProtoTCP, 0)
 }
 

@@ -22,6 +22,7 @@ func (s *Stack) tcpInput(m *Mbuf, src, dst IPAddr) {
 	}
 	// Verify the checksum over the whole segment.
 	if s.chainChecksum(m, pseudoSum(src, dst, ProtoTCP, tlen)) != 0 {
+		s.sc.tcpDropBadCsum.Inc()
 		m.FreeChain()
 		return
 	}
@@ -71,6 +72,8 @@ func (s *Stack) tcpInput(m *Mbuf, src, dst IPAddr) {
 	}
 	m.FreeChain()
 	s.Stats.TCPIn++
+	s.sc.tcpSegsIn.Inc()
+	s.sc.tcpRxBytes.Observe(uint64(dataLen))
 
 	tp := s.tcpLookup(dst, dport, src, sport)
 	// TIME_WAIT reincarnation (the 4.4BSD rule): a fresh SYN with a
@@ -204,6 +207,7 @@ func (s *Stack) tcpInputConn(tp *tcpcb, seg tcpSeg, dataLen int) {
 			if dup >= dataLen {
 				// Entirely duplicate: ack it again (the peer may have
 				// lost our ACK), then continue with ACK processing.
+				s.sc.tcpDropDup.Inc()
 				seg.data = nil
 				seg.flags &^= thFIN
 				if dup > dataLen {
@@ -224,6 +228,7 @@ func (s *Stack) tcpInputConn(tp *tcpcb, seg tcpSeg, dataLen int) {
 			over := int(seg.seq + uint32(dataLen) - (tp.rcvNxt + wnd))
 			if over >= dataLen {
 				// Entirely outside: ack and drop.
+				s.sc.tcpDropWnd.Inc()
 				s.tcpRespondACK(tp)
 				return
 			}
@@ -317,7 +322,7 @@ func (s *Stack) tcpProcessACK(tp *tcpcb, seg tcpSeg) {
 				tp.rtt = 0
 				tp.sndNxt = tp.sndUna
 				tp.cwnd = tp.maxSeg
-				s.Stats.TCPRexmt++
+				s.countTCPRexmt()
 				s.tcpOutput(tp)
 				tp.cwnd = tp.ssthresh + 3*tp.maxSeg
 				if seqGT(onxt, tp.sndNxt) {
@@ -453,6 +458,7 @@ func (s *Stack) tcpReceiveData(tp *tcpcb, seg tcpSeg) {
 		tp.reass = append(tp.reass, tcpSeg{})
 		copy(tp.reass[i+1:], tp.reass[i:])
 		tp.reass[i] = tcpSeg{seq: seg.seq, data: append([]byte(nil), seg.data...)}
+		s.sc.tcpOOO.Inc()
 		// Duplicate ACK tells the sender what we still need.
 		s.tcpRespondACK(tp)
 	}
@@ -474,7 +480,7 @@ func (s *Stack) tcpRespondACK(tp *tcpcb) {
 	csum := s.chainChecksum(m, pseudoSum(tp.laddr, tp.faddr, ProtoTCP, m.PktLen))
 	binary.BigEndian.PutUint16(h[16:18], csum)
 	tp.rcvAdv = tp.rcvNxt + wnd
-	s.Stats.TCPOut++
+	s.countTCPOut()
 	s.ipOutput(m, tp.laddr, tp.faddr, ProtoTCP, 0)
 }
 

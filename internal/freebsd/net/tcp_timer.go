@@ -32,7 +32,7 @@ func (s *Stack) tcpTimerFire(tp *tcpcb, which int) {
 			tp.drop(com.ErrTimedOut)
 			return
 		}
-		s.Stats.TCPRexmt++
+		s.countTCPRexmt()
 		// Collapse the congestion window and retransmit from snd_una.
 		flight := tp.sndMax - tp.sndUna
 		half := flight / 2
@@ -95,7 +95,7 @@ func (s *Stack) tcpProbe(tp *tcpcb) {
 	packTCPHeader(h, tp.lport, tp.fport, tp.sndNxt, tp.rcvNxt, thACK|thPSH, tp.rcvWindow())
 	csum := s.chainChecksum(m, pseudoSum(tp.laddr, tp.faddr, ProtoTCP, m.PktLen))
 	putU16(h[16:18], csum)
-	s.Stats.TCPOut++
+	s.countTCPOut()
 	s.ipOutput(m, tp.laddr, tp.faddr, ProtoTCP, 0)
 }
 

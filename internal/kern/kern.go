@@ -24,9 +24,11 @@ import (
 	"fmt"
 
 	"oskit/internal/boot"
+	"oskit/internal/com"
 	"oskit/internal/core"
 	"oskit/internal/hw"
 	"oskit/internal/lmm"
+	"oskit/internal/stats"
 )
 
 // ReservedBase is the physical memory below which the kit never
@@ -90,6 +92,14 @@ func Setup(m *hw.Machine, image []byte) (*Kernel, error) {
 		return nil, err
 	}
 	env := core.NewEnv(m, arena)
+
+	// Export the physical-memory arena's statistics as a com.Stats set
+	// so evalrig and oskit-stats can discover the machine's allocator
+	// behaviour next to the network counters.
+	set := stats.NewSet("kern")
+	arena.AttachStats(set)
+	env.Registry.Register(com.StatsIID, set)
+	set.Release()
 
 	k := &Kernel{Machine: m, Env: env, Info: info}
 	k.Console = newConsole(m.Com1)

@@ -22,6 +22,8 @@ package kvm
 import (
 	"fmt"
 	"sync/atomic"
+
+	"oskit/internal/stats"
 )
 
 // Opcodes.
@@ -142,6 +144,13 @@ type VM struct {
 	Trap func(*TrapError) error
 
 	steps uint64
+
+	// com.Stats export: green-thread scheduler counters.  The VM has no
+	// environment handle, so the embedding kernel registers StatsSet().
+	set        *stats.Set
+	scSwitches *stats.Counter
+	scPreempts *stats.Counter
+	scSpawns   *stats.Counter
 }
 
 // New creates a VM for a program.
@@ -155,9 +164,17 @@ func New(code []byte, consts []string) *VM {
 		nextH:   1,
 		Quantum: 1000,
 	}
+	vm.set = stats.NewSet("kvm")
+	vm.scSwitches = vm.set.Counter("sched.switches")
+	vm.scPreempts = vm.set.Counter("sched.preemptions")
+	vm.scSpawns = vm.set.Counter("sched.spawns")
 	vm.spawn(0)
 	return vm
 }
+
+// StatsSet exposes the VM's com.Stats export for registration in a
+// services registry.  The VM keeps its own reference.
+func (vm *VM) StatsSet() *stats.Set { return vm.set }
 
 // RegisterNative installs a host function under an id.
 func (vm *VM) RegisterNative(id int32, fn NativeFunc) { vm.natives[id] = fn }
@@ -213,6 +230,7 @@ func (vm *VM) spawn(pc int) *Thread {
 	t.frames = []frame{{retPC: -1}}
 	vm.nextID++
 	vm.threads = append(vm.threads, t)
+	vm.scSpawns.Inc()
 	return t
 }
 
@@ -243,6 +261,9 @@ func (vm *VM) pick() *Thread {
 	for i := 1; i <= n; i++ {
 		t := vm.threads[(vm.cur+i)%n]
 		if !t.done {
+			if (vm.cur+i)%n != vm.cur {
+				vm.scSwitches.Inc()
+			}
 			vm.cur = (vm.cur + i) % n
 			return t
 		}
@@ -257,6 +278,7 @@ func (vm *VM) runThread(t *Thread) (int32, bool, error) {
 	for budget > 0 {
 		budget--
 		if vm.preempt.Swap(false) {
+			vm.scPreempts.Inc()
 			return 0, false, nil // preempted: switch threads
 		}
 		if vm.BreakHook != nil && vm.BreakHook(t.pc) {

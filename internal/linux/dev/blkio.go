@@ -105,6 +105,8 @@ func (d *ideDev) Read(buf []byte, offset uint64) (uint, error) {
 	if err := d.disk.ReadSectors(sector, count, buf); err != nil {
 		return 0, com.ErrIO
 	}
+	d.g.scBlkReads.Inc()
+	d.g.scBlkRdBytes.Add(uint64(count) * legacy.IDESectorSize)
 	return uint(count) * legacy.IDESectorSize, nil
 }
 
@@ -122,6 +124,8 @@ func (d *ideDev) Write(buf []byte, offset uint64) (uint, error) {
 	if err := d.disk.WriteSectors(sector, count, buf); err != nil {
 		return 0, com.ErrIO
 	}
+	d.g.scBlkWrites.Inc()
+	d.g.scBlkWrBytes.Add(uint64(count) * legacy.IDESectorSize)
 	return uint(count) * legacy.IDESectorSize, nil
 }
 

@@ -17,9 +17,11 @@ package linuxdev
 import (
 	"sync"
 
+	"oskit/internal/com"
 	"oskit/internal/core"
 	"oskit/internal/hw"
 	"oskit/internal/linux/legacy"
+	"oskit/internal/stats"
 )
 
 // Glue is the per-machine encapsulation state: one donor "kernel image"
@@ -40,6 +42,15 @@ type Glue struct {
 	// monolithic baseline) over the glue's client-memory-service
 	// mapping (the encapsulated configuration).
 	nativeKmalloc bool
+
+	// com.Stats export: driver-glue hot-path counters, registered as
+	// "linux_dev" in the environment's services registry.
+	scKmallocs   *stats.Counter
+	scKfrees     *stats.Counter
+	scBlkReads   *stats.Counter
+	scBlkWrites  *stats.Counter
+	scBlkRdBytes *stats.Counter
+	scBlkWrBytes *stats.Counter
 	// kmalloc bucket free lists: [class][dma?]; class i holds blocks of
 	// 32<<i bytes.  Protected by interrupt exclusion, not mu (the donor
 	// contract).
@@ -125,6 +136,15 @@ func GlueFor(env *core.Env) *Glue {
 		return g
 	}
 	g := &Glue{env: env, route: map[*legacy.NetDevice]*etherDev{}}
+	set := stats.NewSet("linux_dev")
+	g.scKmallocs = set.Counter("kmalloc.allocs")
+	g.scKfrees = set.Counter("kmalloc.frees")
+	g.scBlkReads = set.Counter("blkio.reads")
+	g.scBlkWrites = set.Counter("blkio.writes")
+	g.scBlkRdBytes = set.Counter("blkio.read_bytes")
+	g.scBlkWrBytes = set.Counter("blkio.write_bytes")
+	env.Registry.Register(com.StatsIID, set)
+	set.Release()
 	g.kern = g.buildKernel()
 	glues[env] = g
 	return g
@@ -167,6 +187,9 @@ func (g *Glue) buildKernel() *legacy.Kernel {
 		if exclude {
 			env.IntrEnable()
 		}
+		if b != nil {
+			g.scKmallocs.Inc()
+		}
 		return b
 	}
 	k.Kfree = func(b *legacy.KBuf) {
@@ -182,6 +205,7 @@ func (g *Glue) buildKernel() *legacy.Kernel {
 		if exclude {
 			env.IntrEnable()
 		}
+		g.scKfrees.Inc()
 	}
 
 	// Interrupt exclusion.  At interrupt level these are no-ops: the

@@ -25,6 +25,7 @@ import (
 	"encoding/binary"
 
 	"oskit/internal/linux/legacy"
+	"oskit/internal/stats"
 )
 
 // Protocol constants.
@@ -58,8 +59,14 @@ type Stack struct {
 	ipID  uint16
 	seqNo uint32
 
-	// Stats for the benchmark harness.
-	TxPackets, RxPackets uint64
+	// Packet counters for the benchmark harness, kept in a com.Stats
+	// set.  The stack sees only the legacy.Kernel environment (no
+	// services registry), so whoever assembles the configuration
+	// registers StatsSet() if it wants discovery.
+	set     *stats.Set
+	scTx    *stats.Counter
+	scRx    *stats.Counter
+	scNoSKB *stats.Counter
 }
 
 type arpState struct {
@@ -72,20 +79,27 @@ type arpState struct {
 // the kernel's netif_rx and opens the device.
 func NewStack(k *legacy.Kernel, dev *legacy.NetDevice, ip, mask [4]byte) (*Stack, error) {
 	s := &Stack{k: k, dev: dev, ip: ip, mask: mask, arp: map[[4]byte]arpState{}, seqNo: 99000}
+	s.set = stats.NewSet("linux_net")
+	s.scTx = s.set.Counter("net.tx_packets")
+	s.scRx = s.set.Counter("net.rx_packets")
+	s.scNoSKB = s.set.Counter("net.skb_alloc_failures")
 	k.NetifRx = s.netifRx
 	if err := dev.Open(dev); err != nil {
+		s.set.Release()
 		return nil, err
 	}
 	return s, nil
 }
 
-// Counters reads the packet counters under the donor interrupt
-// exclusion (they are updated at interrupt level).
+// StatsSet exposes the stack's com.Stats export so the configuration
+// assembler can register it in a services registry.  The stack keeps its
+// own reference; the caller must AddRef (Register does) to hold one.
+func (s *Stack) StatsSet() *stats.Set { return s.set }
+
+// Counters reads the packet counters.  They are atomic (updated at
+// interrupt level), so no donor cli/sti exclusion is needed to read.
 func (s *Stack) Counters() (tx, rx uint64) {
-	flags := s.k.SaveFlags()
-	s.k.Cli()
-	defer s.k.RestoreFlags(flags)
-	return s.TxPackets, s.RxPackets
+	return s.scTx.Load(), s.scRx.Load()
 }
 
 // netifRx is the interrupt-level input: a raw skbuff straight from the
@@ -96,7 +110,7 @@ func (s *Stack) netifRx(skb *legacy.SKBuff) {
 	if len(d) < etherHdrLen {
 		return
 	}
-	s.RxPackets++
+	s.scRx.Inc()
 	etype := binary.BigEndian.Uint16(d[12:14])
 	payload := d[etherHdrLen:]
 	switch etype {
@@ -117,7 +131,7 @@ func (s *Stack) xmit(skb *legacy.SKBuff, dst [6]byte, etype uint16) {
 	for skb.Len < 60 { // pad runts
 		skb.Put(1)[0] = 0
 	}
-	s.TxPackets++
+	s.scTx.Inc()
 	_ = s.dev.HardStartXmit(skb, s.dev)
 }
 
@@ -126,6 +140,7 @@ func (s *Stack) xmit(skb *legacy.SKBuff, dst [6]byte, etype uint16) {
 func (s *Stack) newSKB(payload int) *legacy.SKBuff {
 	skb := s.k.AllocSKB(payload + etherHdrLen + ipHdrLen + tcpHdrLen + 64)
 	if skb == nil {
+		s.scNoSKB.Inc()
 		return nil
 	}
 	skb.Reserve(etherHdrLen + ipHdrLen + tcpHdrLen)

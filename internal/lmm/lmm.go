@@ -23,6 +23,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"oskit/internal/stats"
 )
 
 // Flags is a set of client-defined memory-type bits attached to regions.
@@ -63,10 +65,27 @@ func (r *Region) Avail() uint32 { return r.freeBytes }
 // glue does for donor kmalloc calls with interrupts disabled).
 type Arena struct {
 	regions []*Region // sorted by priority descending, then address
+
+	// Optional com.Stats handles (see AttachStats).  All updates are
+	// nil-safe, so an unattached arena pays one branch per operation.
+	scAllocs *stats.Counter
+	scFrees  *stats.Counter
+	scFails  *stats.Counter
+	scLive   *stats.Gauge
 }
 
 // NewArena creates an empty pool.
 func NewArena() *Arena { return &Arena{} }
+
+// AttachStats resolves the arena's statistics in set ("lmm.*" names).
+// Attaching is optional — the kernel support library attaches its
+// physical-memory arena; private pools typically don't bother.
+func (a *Arena) AttachStats(set *stats.Set) {
+	a.scAllocs = set.Counter("lmm.allocs")
+	a.scFrees = set.Counter("lmm.frees")
+	a.scFails = set.Counter("lmm.failures")
+	a.scLive = set.Gauge("lmm.bytes_live")
+}
 
 // AddRegion introduces the address range [addr, addr+size) with the given
 // type flags and priority.  The range starts fully *allocated*; memory
@@ -129,6 +148,8 @@ func (a *Arena) Free(addr, size uint32) {
 		panic(fmt.Sprintf("lmm: Free(%#x, %#x) outside any region", addr, size))
 	}
 	r.insertFree(addr, size)
+	a.scFrees.Inc()
+	a.scLive.Add(-int64(size))
 }
 
 // Alloc allocates size bytes from the highest-priority region carrying
@@ -176,9 +197,12 @@ func (a *Arena) AllocGen(size uint32, flags Flags, alignBits uint, alignOfs uint
 				continue
 			}
 			r.carve(i, b, start, size)
+			a.scAllocs.Inc()
+			a.scLive.Add(int64(size))
 			return start, true
 		}
 	}
+	a.scFails.Inc()
 	return 0, false
 }
 

@@ -19,6 +19,7 @@ package netbsdfs
 import (
 	"oskit/internal/com"
 	bsdglue "oskit/internal/freebsd/glue"
+	"oskit/internal/stats"
 )
 
 // BlockSize is the file system block size.
@@ -50,11 +51,24 @@ type bcache struct {
 	// LRU list: head = most recent.
 	lruHead, lruTail *buf
 
-	reads, writes, hits uint64
+	// com.Stats export: the buffer-cache behaviour counters, registered
+	// as "netbsd_fs" so ttcp-style rigs and oskit-stats see hit rates
+	// next to the disk traffic.
+	scReads  *stats.Counter
+	scWrites *stats.Counter
+	scHits   *stats.Counter
+	scMisses *stats.Counter
 }
 
 func newBcache(g *bsdglue.Glue, dev com.BlkIO, eventBase uint32) *bcache {
 	c := &bcache{g: g, dev: dev, hash: map[uint32]*buf{}}
+	set := stats.NewSet("netbsd_fs")
+	c.scReads = set.Counter("bcache.disk_reads")
+	c.scWrites = set.Counter("bcache.disk_writes")
+	c.scHits = set.Counter("bcache.hits")
+	c.scMisses = set.Counter("bcache.misses")
+	g.Env().Registry.Register(com.StatsIID, set)
+	set.Release()
 	for i := range c.bufs {
 		b := &buf{data: make([]byte, BlockSize), blkno: ^uint32(0), event: eventBase + uint32(i)*8}
 		c.bufs[i] = b
@@ -102,7 +116,7 @@ func (c *bcache) getblk(blkno uint32) (*buf, error) {
 			}
 			b.busy = true
 			c.lruRemove(b)
-			c.hits++
+			c.scHits.Inc()
 			return b, nil
 		}
 		// Miss: evict the least recently used idle buffer.
@@ -129,6 +143,7 @@ func (c *bcache) getblk(blkno uint32) (*buf, error) {
 		victim.busy = true
 		c.lruRemove(victim)
 		c.hash[blkno] = victim
+		c.scMisses.Inc()
 		return victim, nil
 	}
 }
@@ -149,7 +164,7 @@ func (c *bcache) bread(blkno uint32) (*buf, error) {
 			return nil, com.ErrIO
 		}
 		b.valid = true
-		c.reads++
+		c.scReads.Inc()
 	}
 	return b, nil
 }
@@ -177,7 +192,7 @@ func (c *bcache) writeback(b *buf) error {
 		return com.ErrIO
 	}
 	b.dirty = false
-	c.writes++
+	c.scWrites.Inc()
 	return nil
 }
 

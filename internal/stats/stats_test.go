@@ -1,0 +1,160 @@
+package stats_test
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"oskit/internal/com"
+	"oskit/internal/core"
+	"oskit/internal/stats"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	s := stats.NewSet("test")
+	c := s.Counter("sub.events")
+	c.Inc()
+	c.Add(4)
+	if c.Load() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Load())
+	}
+
+	g := s.Gauge("sub.level")
+	g.Set(10)
+	g.Add(-3)
+	g.Set(4)
+	if g.Load() != 4 || g.High() != 10 {
+		t.Fatalf("gauge = %d hi %d, want 4 hi 10", g.Load(), g.High())
+	}
+
+	h := s.Histogram("sub.lat", []uint64{10, 100, 1000})
+	for _, v := range []uint64{1, 9, 10, 11, 99, 5000} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 || h.Sum() != 1+9+10+11+99+5000 {
+		t.Fatalf("histogram count %d sum %d", h.Count(), h.Sum())
+	}
+	snap := s.Snapshot()
+	for name, want := range map[string]int64{
+		"sub.events":      5,
+		"sub.level":       4,
+		"sub.level.hiwat": 10,
+		"sub.lat.le_10":   3,
+		"sub.lat.le_100":  2,
+		"sub.lat.le_1000": 0,
+		"sub.lat.over":    1,
+		"sub.lat.count":   6,
+	} {
+		if got, ok := stats.Get(snap, name); !ok || got != want {
+			t.Errorf("snapshot %s = %d (present %v), want %d", name, got, ok, want)
+		}
+	}
+
+	s.Reset()
+	if c.Load() != 0 || g.Load() != 0 || g.High() != 0 || h.Count() != 0 {
+		t.Fatal("Reset left residue")
+	}
+}
+
+// TestNilSafety: the optional-instrumentation contract — every update
+// method is a no-op on nil, so libraries with no set attached pay one
+// branch.
+func TestNilSafety(t *testing.T) {
+	var c *stats.Counter
+	var g *stats.Gauge
+	var h *stats.Histogram
+	c.Inc()
+	c.Add(7)
+	g.Set(3)
+	g.Add(-1)
+	h.Observe(9)
+	if c.Load() != 0 || g.Load() != 0 || g.High() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil metrics must read as zero")
+	}
+}
+
+// TestIdempotentRegistration: call sites sharing a name share the
+// metric.
+func TestIdempotentRegistration(t *testing.T) {
+	s := stats.NewSet("test")
+	a := s.Counter("x.n")
+	b := s.Counter("x.n")
+	if a != b {
+		t.Fatal("same name must return the same counter")
+	}
+	a.Inc()
+	if b.Load() != 1 {
+		t.Fatal("shared counter not shared")
+	}
+}
+
+// TestCOMDiscovery: a Set registers under StatsIID and is found by
+// Discover through the services registry — the dynamic-binding path
+// every report uses.
+func TestCOMDiscovery(t *testing.T) {
+	reg := core.NewRegistry()
+	s := stats.NewSet("mycomp")
+	s.Counter("a.b").Add(42)
+	reg.Register(com.StatsIID, s)
+
+	// QueryInterface honours the COM contract.
+	obj, err := s.QueryInterface(com.StatsIID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := obj.(com.Stats); !ok {
+		t.Fatal("QueryInterface(StatsIID) did not return a com.Stats")
+	}
+	obj.Release()
+	if _, err := s.QueryInterface(com.BlkIOIID); err == nil {
+		t.Fatal("unexpected interface")
+	}
+
+	found := stats.Discover(reg)
+	if len(found) != 1 || found[0].StatsName() != "mycomp" {
+		t.Fatalf("Discover found %d sets", len(found))
+	}
+	if v, ok := stats.Get(found[0].Snapshot(), "a.b"); !ok || v != 42 {
+		t.Fatalf("discovered snapshot a.b = %d", v)
+	}
+	var buf bytes.Buffer
+	stats.WriteTable(&buf, []com.Stats{found[0]}, true)
+	if !strings.Contains(buf.String(), "mycomp") || !strings.Contains(buf.String(), "a.b") {
+		t.Fatalf("table missing rows:\n%s", buf.String())
+	}
+	for _, f := range found {
+		f.Release()
+	}
+}
+
+// TestConcurrentUpdates: the allocation-free hot path under the race
+// detector — the tier-1 recipe runs this package with -race.
+func TestConcurrentUpdates(t *testing.T) {
+	s := stats.NewSet("race")
+	c := s.Counter("c.n")
+	g := s.Gauge("g.n")
+	h := s.Histogram("h.n", []uint64{4, 16, 64})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(uint64(j % 100))
+				if j%100 == 0 {
+					_ = s.Snapshot()
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if c.Load() != 8000 || g.Load() != 8000 || h.Count() != 8000 {
+		t.Fatalf("lost updates: c=%d g=%d h=%d", c.Load(), g.Load(), h.Count())
+	}
+	if g.High() != 8000 {
+		t.Fatalf("gauge hiwat %d, want 8000 (monotone adds)", g.High())
+	}
+}
