@@ -1,0 +1,25 @@
+# Convenience targets; scripts/check.sh is the source of truth for the
+# verification sequence.
+
+.PHONY: build test race check check-quick bench
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./internal/freebsd/net/... ./internal/stats/... \
+		./internal/hw/... ./internal/faults/...
+
+# Full gauntlet: tier-1 + shuffled re-run + short fuzz smoke.
+check:
+	scripts/check.sh
+
+# Same, minus the fuzz smoke.
+check-quick:
+	scripts/check.sh 0
+
+bench:
+	go test -bench=. -benchtime=1x .

@@ -19,6 +19,7 @@ import (
 	"oskit/internal/core"
 	"oskit/internal/dev"
 	"oskit/internal/evalrig"
+	"oskit/internal/faults/soak"
 	bsdglue "oskit/internal/freebsd/glue"
 	bsdnet "oskit/internal/freebsd/net"
 	"oskit/internal/hw"
@@ -219,13 +220,13 @@ func TestObservabilityCountersMove(t *testing.T) {
 			t.Errorf("%s = %d, want > 0", what, v)
 		}
 	}
-	// Every mbuf construction charges mbuf.allocs and every release
-	// charges mbuf.frees, so frees can never lead allocs.
+	// Every construction charges an .allocs counter and every release a
+	// .frees counter, so frees can never lead allocs — for mbufs,
+	// clusters, BSD malloc, the kernel arena and kmalloc alike.  The
+	// same invariant helper guards every chaos/soak run.
 	for _, n := range []*evalrig.Node{p.Sender, p.Receiver} {
-		allocs := mustStat(n, "freebsd_net", "mbuf.allocs")
-		frees := mustStat(n, "freebsd_net", "mbuf.frees")
-		if frees > allocs {
-			t.Errorf("mbuf.frees = %d > mbuf.allocs = %d: a construction path is uncounted", frees, allocs)
+		for _, bad := range soak.Imbalances(n) {
+			t.Errorf("%s: %s", n.Machine.Name, bad)
 		}
 	}
 }

@@ -19,13 +19,26 @@ import (
 	"time"
 
 	"oskit/internal/evalrig"
+	"oskit/internal/faults"
 )
 
 func main() {
 	rounds := flag.Int("rounds", 5000, "round trips to time")
 	config := flag.String("config", "all", "configuration: all, linux, freebsd, oskit")
 	showStats := flag.Bool("stats", false, "print each system's kernel-statistics table after its run")
+	faultSpec := flag.String("faults", "", `fault plan, e.g. "seed=3 wire.corrupt=0.05 timer.jitter=0.1" (see internal/faults)`)
 	flag.Parse()
+
+	var faultPlan *faults.Plan
+	if *faultSpec != "" {
+		plan, err := faults.ParsePlan(*faultSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rtcp: -faults: %v\n", err)
+			os.Exit(2)
+		}
+		faultPlan = &plan
+		fmt.Printf("fault plan: %s\n", plan.String())
+	}
 
 	configs := evalrig.Configs
 	if *config != "all" {
@@ -41,7 +54,13 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		if faultPlan != nil {
+			p.EnableFaults(*faultPlan)
+		}
 		usec, err := evalrig.RTCP(p, *rounds, port)
+		if err == nil && p.Faults != nil {
+			fmt.Printf("  (faults injected: %d)\n", p.Faults.FaultsInjected())
+		}
 		if err == nil && *showStats {
 			fmt.Printf("\n--- %s client statistics (nonzero) ---\n", cfg)
 			p.Sender.WriteStats(os.Stdout)

@@ -10,6 +10,11 @@
 // fixed FreeBSD peer, and its receive path likewise.
 //
 // Run:  go run ./examples/ttcp [-blocks N] [-blocksize N] [-config all|linux|freebsd|oskit]
+//
+// With -faults the run repeats under a deterministic fault plan (for
+// example -faults "seed=2 wire.drop=0.2 wire.burst=4"): TCP still
+// delivers the full stream, just slower, and the injected-fault count
+// is printed after each run.
 package main
 
 import (
@@ -19,14 +24,28 @@ import (
 	"time"
 
 	"oskit/internal/evalrig"
+	"oskit/internal/faults"
 )
+
+var faultPlan *faults.Plan
 
 func main() {
 	blocks := flag.Int("blocks", 4096, "number of blocks to stream (paper: 131072)")
 	blockSize := flag.Int("blocksize", 4096, "block size in bytes (paper: 4096)")
 	config := flag.String("config", "all", "configuration: all, linux, freebsd, oskit")
 	showStats := flag.Bool("stats", false, "print each system's kernel-statistics table after its run")
+	faultSpec := flag.String("faults", "", `fault plan, e.g. "seed=2 wire.drop=0.2 wire.burst=4" (see internal/faults)`)
 	flag.Parse()
+
+	if *faultSpec != "" {
+		plan, err := faults.ParsePlan(*faultSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ttcp: -faults: %v\n", err)
+			os.Exit(2)
+		}
+		faultPlan = &plan
+		fmt.Printf("fault plan: %s\n", plan.String())
+	}
 
 	configs := evalrig.Configs
 	if *config != "all" {
@@ -65,10 +84,12 @@ func measure(sender, receiver evalrig.Config, blocks, blockSize int, port uint16
 		return 0, err
 	}
 	defer p.Halt()
+	enableFaults(p)
 	res, err := evalrig.TTCP(p, blocks, blockSize, port)
 	if err != nil {
 		return 0, err
 	}
+	reportFaults(p)
 	if showStats {
 		fmt.Printf("\n--- %s sender statistics (nonzero) ---\n", sender)
 		p.Sender.WriteStats(os.Stdout)
@@ -77,16 +98,32 @@ func measure(sender, receiver evalrig.Config, blocks, blockSize int, port uint16
 	return res.SendMbps(), nil
 }
 
+// enableFaults arms the pair with the -faults plan, if one was given.
+func enableFaults(p *evalrig.Pair) {
+	if faultPlan != nil {
+		p.EnableFaults(*faultPlan)
+	}
+}
+
+// reportFaults prints what the injector actually did to the run.
+func reportFaults(p *evalrig.Pair) {
+	if p.Faults != nil {
+		fmt.Printf("  (faults injected: %d)\n", p.Faults.FaultsInjected())
+	}
+}
+
 func measureRecv(sender, receiver evalrig.Config, blocks, blockSize int, port uint16, showStats bool) (float64, error) {
 	p, err := evalrig.NewMixedPair(sender, receiver, time.Millisecond)
 	if err != nil {
 		return 0, err
 	}
 	defer p.Halt()
+	enableFaults(p)
 	res, err := evalrig.TTCP(p, blocks, blockSize, port)
 	if err != nil {
 		return 0, err
 	}
+	reportFaults(p)
 	if showStats {
 		fmt.Printf("\n--- %s receiver statistics (nonzero) ---\n", receiver)
 		p.Receiver.WriteStats(os.Stdout)

@@ -1,0 +1,33 @@
+package com
+
+// FaultIID identifies the FaultInjector interface: the kit's uniform
+// fault-injection contract.
+//
+// The paper validates re-hosted donor code only along the happy path
+// (§5's ttcp/rtcp runs); components get no uniform way to be driven
+// through hostile device behaviour.  FaultInjector closes that gap the
+// COM way (§4.4): the configuration that owns the simulated hardware
+// registers one injector in the services registry, and any client —
+// the evalrig, the examples, a measurement harness — can discover it,
+// read back the plan it is executing, and report how many faults fired,
+// with no link-time dependency in either direction.
+var FaultIID = NewGUID(0x4aa7dfef, 0x7c74, 0x11cf,
+	0xb5, 0x00, 0x08, 0x00, 0x09, 0x53, 0xad, 0xc2)
+
+// FaultInjector is the read side of a fault-injection plane.  The
+// concrete wiring (which devices, which allocators) belongs to whoever
+// assembles the configuration; through this interface clients observe
+// what hostile behaviour a run was subjected to and whether any of it
+// actually fired — the assertion every chaos test needs.
+type FaultInjector interface {
+	IUnknown
+	// FaultPlan renders the active plan in its textual "key=value ..."
+	// form; feeding the same string back into a new run reproduces the
+	// identical fault sequence (the plan embeds its seed).
+	FaultPlan() string
+	// FaultSeed returns the seed every injection decision derives from.
+	FaultSeed() int64
+	// FaultsInjected reports the total number of faults fired so far,
+	// across every injection point.
+	FaultsInjected() uint64
+}

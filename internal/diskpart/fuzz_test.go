@@ -1,0 +1,61 @@
+package diskpart
+
+import (
+	"testing"
+
+	"oskit/internal/com"
+)
+
+// FuzzReadPartitions feeds arbitrary on-disk bytes to the partition
+// scanner: hand-rolled MBRs, truncated disks, disklabels whose counts
+// and offsets lie.  The scanner's contract under hostile media is to
+// return an error or a partial table — never panic, never index past
+// the device.
+func FuzzReadPartitions(f *testing.F) {
+	// A blank disk, a valid MBR+disklabel image, and a bare MBR.
+	f.Add(make([]byte, 4*SectorSize))
+
+	img := make([]byte, 4096*SectorSize)
+	dev := com.NewMemBuf(img)
+	if err := WriteMBR(dev, []MBREntry{
+		{Type: TypeBSD, StartLBA: 64, Sectors: 3000},
+		{Type: TypeLinux, StartLBA: 3100, Sectors: 500},
+	}); err != nil {
+		f.Fatal(err)
+	}
+	if err := WriteDisklabel(dev, 64*SectorSize, []LabelEntry{
+		{Offset: 16, Sectors: 2000, FSType: 7},
+	}); err != nil {
+		f.Fatal(err)
+	}
+	dev.Release()
+	f.Add(append([]byte(nil), img[:8*SectorSize]...))
+
+	mbrOnly := make([]byte, 8*SectorSize)
+	dev = com.NewMemBuf(mbrOnly)
+	if err := WriteMBR(dev, []MBREntry{{Type: TypeLinux, StartLBA: 2, Sectors: 4}}); err != nil {
+		f.Fatal(err)
+	}
+	dev.Release()
+	f.Add(append([]byte(nil), mbrOnly...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			return
+		}
+		dev := com.NewMemBuf(append([]byte(nil), data...))
+		defer dev.Release()
+		parts, err := ReadPartitions(dev)
+		if err != nil {
+			return
+		}
+		// Whatever parsed must at least stay on the device.
+		size := uint64(len(data))
+		for _, p := range parts {
+			if p.Start+p.Size > size {
+				t.Errorf("partition %q [%d,%d) exceeds device size %d",
+					p.Name, p.Start, p.Start+p.Size, size)
+			}
+		}
+	})
+}

@@ -22,6 +22,7 @@ import (
 
 	"oskit/internal/com"
 	"oskit/internal/dev"
+	"oskit/internal/faults"
 	bsdglue "oskit/internal/freebsd/glue"
 	bsdnet "oskit/internal/freebsd/net"
 	"oskit/internal/hw"
@@ -66,6 +67,9 @@ type Pair struct {
 	SendCfg, RecvCfg Config
 	Wire             *hw.EtherWire
 	Sender, Receiver *Node
+
+	// Faults is the pair's fault injector, nil until EnableFaults.
+	Faults *faults.Injector
 }
 
 var (
@@ -99,6 +103,10 @@ func NewMixedPair(sendCfg, recvCfg Config, tickInterval time.Duration) (*Pair, e
 
 // Halt powers both machines off.
 func (p *Pair) Halt() {
+	if p.Faults != nil {
+		p.Faults.Release()
+		p.Faults = nil
+	}
 	if p.Sender.BSD != nil {
 		p.Sender.BSD.Close()
 	}

@@ -1,0 +1,45 @@
+package evalrig
+
+import (
+	"oskit/internal/com"
+	"oskit/internal/faults"
+)
+
+// EnableFaults weaves a fault-injection plan through the whole testbed:
+// the shared wire (loss, corruption, duplication, reordering), each
+// NIC's receive ring (forced overruns), each machine's clock (jitter),
+// and each node's memory service (allocation failure, via the §4.2.1
+// overridable-functions seam that the LMM default allocator, the BSD
+// malloc page refill and the Linux kmalloc buckets all draw from).
+//
+// The injector and its statistics are registered in both nodes'
+// services registries — under com.FaultIID and com.StatsIID — so any
+// client of either node can discover what regime the run was subjected
+// to, exactly the way it discovers other statistics (§4.2.2).
+//
+// Call once, after NewPair/NewMixedPair and before traffic: the wiring
+// deliberately happens after boot so that setup itself cannot be
+// failed.  The pair owns the injector; Halt releases it.  Point names
+// are fixed ("wire.drop", "nic.rx.send", "disk.<node>.err", …) so a
+// soak failure's trace reads the same across runs.
+func (p *Pair) EnableFaults(plan faults.Plan) *faults.Injector {
+	in := faults.NewInjector(plan)
+	p.Faults = in
+
+	p.Wire.SetFaultHook(in.WireHook())
+	p.Sender.EnableFaults(in, "send")
+	p.Receiver.EnableFaults(in, "recv")
+	return in
+}
+
+// EnableFaults wires one node's local fault points (receive ring,
+// clock, memory service) to the injector and registers the injector in
+// the node's services registry.  name distinguishes the node's decision
+// streams ("send", "recv", or a rig-chosen label for single machines).
+func (n *Node) EnableFaults(in *faults.Injector, name string) {
+	n.nic.SetRxFaultHook(in.NICRxHook("nic.rx." + name))
+	n.Machine.Timer.SetFaultHook(in.TimerHook("timer." + name))
+	in.WrapAlloc(n.Kernel.Env, "alloc."+name)
+	n.Kernel.Env.Registry.Register(com.FaultIID, in)
+	n.Kernel.Env.Registry.Register(com.StatsIID, in.StatsSet())
+}

@@ -2,6 +2,8 @@ package evalrig
 
 import (
 	"fmt"
+	"hash/crc32"
+	"math/rand"
 	"time"
 )
 
@@ -128,6 +130,104 @@ func TTCP(p *Pair, blocks, blockSize int, port uint16) (TTCPResult, error) {
 	}
 	res.RecvSeconds = out.secs
 	return res, nil
+}
+
+// TTCPVerified is ttcp with end-to-end integrity: the sender streams
+// blocks×blockSize bytes of a seed-determined pseudo-random pattern and
+// both ends CRC-32 what they saw.  Equal sums prove the byte stream
+// survived whatever the wire did to it — the assertion chaos tests make
+// after running the Table-1 transfer under a hostile fault regime,
+// where TCP's own checksums and retransmission are what is on trial.
+func TTCPVerified(p *Pair, blocks, blockSize int, port uint16, seed int64) (sentSum, recvSum uint32, err error) {
+	type recvOut struct {
+		sum uint32
+		err error
+	}
+	recvDone := make(chan recvOut, 1)
+	ready := make(chan error, 1)
+	go func() {
+		c := p.Receiver.C
+		lfd, err := c.Socket(2, 1, 0)
+		if err != nil {
+			ready <- err
+			return
+		}
+		defer func() { _ = c.Close(lfd) }()
+		if err := c.Bind(lfd, Addr(p.Receiver.IP, port)); err != nil {
+			ready <- err
+			return
+		}
+		if err := c.Listen(lfd, 1); err != nil {
+			ready <- err
+			return
+		}
+		ready <- nil
+		fd, _, err := c.Accept(lfd)
+		if err != nil {
+			recvDone <- recvOut{err: err}
+			return
+		}
+		defer func() { _ = c.Close(fd) }()
+		_ = c.SetSockOpt(fd, "rcvbuf", 32*1024)
+		buf := make([]byte, blockSize)
+		sum := crc32.NewIEEE()
+		total := 0
+		for {
+			n, err := c.Read(fd, buf)
+			if err != nil {
+				recvDone <- recvOut{err: err}
+				return
+			}
+			if n == 0 {
+				break
+			}
+			_, _ = sum.Write(buf[:n])
+			total += n
+		}
+		if total != blocks*blockSize {
+			recvDone <- recvOut{err: fmt.Errorf("ttcp: received %d of %d bytes", total, blocks*blockSize)}
+			return
+		}
+		recvDone <- recvOut{sum: sum.Sum32()}
+	}()
+	if err := <-ready; err != nil {
+		return 0, 0, err
+	}
+
+	c := p.Sender.C
+	fd, err := c.Socket(2, 1, 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer func() { _ = c.Close(fd) }()
+	_ = c.SetSockOpt(fd, "sndbuf", 32*1024)
+	if err := c.Connect(fd, Addr(p.Receiver.IP, port)); err != nil {
+		return 0, 0, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	block := make([]byte, blockSize)
+	sum := crc32.NewIEEE()
+	for i := 0; i < blocks; i++ {
+		rng.Read(block)
+		_, _ = sum.Write(block)
+		sent := 0
+		for sent < blockSize {
+			n, err := c.Write(fd, block[sent:])
+			if err != nil {
+				return 0, 0, err
+			}
+			sent += n
+		}
+	}
+	sentSum = sum.Sum32()
+	if err := c.Shutdown(fd, 1); err != nil {
+		return sentSum, 0, err
+	}
+	out := <-recvDone
+	if out.err != nil {
+		return sentSum, 0, out.err
+	}
+	return sentSum, out.sum, nil
 }
 
 // RTCP measures 1-byte round trips (the paper's latency benchmark,

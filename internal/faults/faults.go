@@ -1,0 +1,239 @@
+// Package faults is the kit's deterministic fault-injection plane.
+//
+// The paper's claim is that unmodified donor code keeps working when
+// re-hosted on thin glue, but its evaluation (§5) only ever drives the
+// happy path of the hardware.  This package supplies the hostile half:
+// disk I/O errors and torn writes, frame corruption, duplication,
+// reordering and burst loss on the Ethernet segment, NIC ring overruns,
+// clock jitter, and allocation failure in the kit's memory services —
+// every fault described by one Plan and reproducible from one seed.
+//
+// Determinism is the design center.  An injection decision is a pure
+// function of (seed, injection point, event index): the hash of the
+// point's seeded stream at the index of the event being decided.  No
+// shared RNG is consumed, so concurrent injection points cannot steal
+// each other's randomness, and a workload that presents the same event
+// sequence to a point sees the identical fault sequence on every run —
+// which is what lets a soak test log nothing but its seed and still be
+// replayed exactly.
+//
+// Every injected fault is counted in a com.Stats set ("faults", rows
+// "<point>.events" / "<point>.injected"), and the injector itself is a
+// COM object answering for com.FaultIID, so rigs and examples discover
+// the active plan through the services registry (§4.2.2) exactly the
+// way they discover statistics.
+package faults
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"oskit/internal/com"
+	"oskit/internal/stats"
+)
+
+// ErrInjected is the error carried by injected I/O failures, so tests
+// and retry loops can tell deliberate hostility from real bugs.
+var ErrInjected = errors.New("faults: injected I/O error")
+
+// traceCap bounds each point's fired-index trace; soak runs inject far
+// fewer faults than this, and the cap keeps a pathological plan from
+// turning the trace into a leak.
+const traceCap = 8192
+
+// Injector executes one Plan.  It hands out injection points (named,
+// independently seeded decision streams) and implements
+// com.FaultInjector for registry discovery.
+type Injector struct {
+	com.RefCount
+	plan Plan
+
+	set     *stats.Set
+	scTotal *stats.Counter
+	total   atomic.Uint64
+
+	mu     sync.Mutex
+	points map[string]*Point
+}
+
+// NewInjector builds an injector for plan.  The caller owns one
+// reference (COM rules).
+func NewInjector(plan Plan) *Injector {
+	in := &Injector{
+		plan:   plan,
+		set:    stats.NewSet("faults"),
+		points: map[string]*Point{},
+	}
+	in.scTotal = in.set.Counter("injected.total")
+	in.Init()
+	return in
+}
+
+// Plan returns the plan the injector executes.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// StatsSet returns the injector's com.Stats export; register it under
+// com.StatsIID next to the injector's own com.FaultIID registration.
+func (in *Injector) StatsSet() *stats.Set { return in.set }
+
+// QueryInterface implements com.IUnknown.
+func (in *Injector) QueryInterface(iid com.GUID) (com.IUnknown, error) {
+	switch iid {
+	case com.UnknownIID, com.FaultIID:
+		in.AddRef()
+		return in, nil
+	}
+	return nil, com.ErrNoInterface
+}
+
+// FaultPlan implements com.FaultInjector.
+func (in *Injector) FaultPlan() string { return in.plan.String() }
+
+// FaultSeed implements com.FaultInjector.
+func (in *Injector) FaultSeed() int64 { return in.plan.Seed }
+
+// FaultsInjected implements com.FaultInjector.
+func (in *Injector) FaultsInjected() uint64 { return in.total.Load() }
+
+// Point returns the named injection point, creating it on first use.
+// Idempotent: call sites sharing a name share one decision stream.
+func (in *Injector) Point(name string) *Point {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if p, ok := in.points[name]; ok {
+		return p
+	}
+	p := &Point{
+		name:       name,
+		seed:       pointSeed(in.plan.Seed, name),
+		in:         in,
+		scEvents:   in.set.Counter(name + ".events"),
+		scInjected: in.set.Counter(name + ".injected"),
+	}
+	in.points[name] = p
+	return p
+}
+
+// Trace returns, per point, the event indices at which faults fired so
+// far (capped at traceCap each) — the replayable fault sequence a soak
+// test compares across two runs of the same seed.
+func (in *Injector) Trace() map[string][]uint64 {
+	in.mu.Lock()
+	names := make([]*Point, 0, len(in.points))
+	for _, p := range in.points {
+		names = append(names, p)
+	}
+	in.mu.Unlock()
+	out := make(map[string][]uint64, len(names))
+	for _, p := range names {
+		out[p.name] = p.Fired()
+	}
+	return out
+}
+
+// Point is one named injection point: an event counter plus a seeded,
+// index-addressed decision stream.  Updates are one atomic plus (on
+// fire) one short mutex section, so points sit on interrupt-level hot
+// paths the way stats counters do.
+type Point struct {
+	name string
+	seed uint64
+	in   *Injector
+
+	events     atomic.Uint64
+	injected   atomic.Uint64
+	scEvents   *stats.Counter
+	scInjected *stats.Counter
+
+	mu    sync.Mutex
+	fired []uint64
+}
+
+// Name returns the point's name.
+func (p *Point) Name() string { return p.name }
+
+// Events reports how many events the point has decided.
+func (p *Point) Events() uint64 { return p.events.Load() }
+
+// Injected reports how many of them it faulted.
+func (p *Point) Injected() uint64 { return p.injected.Load() }
+
+// Fired returns a copy of the fired-index trace.
+func (p *Point) Fired() []uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]uint64(nil), p.fired...)
+}
+
+// Roll decides one event against rate, returning whether the fault
+// fires plus the event's hash (for deriving secondary parameters such
+// as a corruption offset — same seed, same index, same parameters).
+func (p *Point) Roll(rate float64) (fired bool, h uint64) {
+	idx := p.next()
+	h = mix(p.seed, idx)
+	if rate > 0 && hashBelow(h, rate) {
+		p.fire(idx)
+		return true, h
+	}
+	return false, h
+}
+
+// FireNext unconditionally faults the next event — burst-loss
+// continuations and schedule hits.
+func (p *Point) FireNext() {
+	p.fire(p.next())
+}
+
+// next consumes one event index.
+func (p *Point) next() uint64 {
+	p.scEvents.Inc()
+	return p.events.Add(1) - 1
+}
+
+// fire records an injected fault at idx.
+func (p *Point) fire(idx uint64) {
+	p.injected.Add(1)
+	p.scInjected.Inc()
+	p.in.total.Add(1)
+	p.in.scTotal.Inc()
+	p.mu.Lock()
+	if len(p.fired) < traceCap {
+		p.fired = append(p.fired, idx)
+	}
+	p.mu.Unlock()
+}
+
+// --- the decision function.
+
+// mix is a splitmix64-style finalizer over (seed, index): the entire
+// source of randomness, consumed positionally so streams never
+// interfere.
+func mix(seed, idx uint64) uint64 {
+	x := seed ^ (idx+1)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// hashBelow maps h onto [0,1) with 53-bit resolution and compares.
+func hashBelow(h uint64, rate float64) bool {
+	return float64(h>>11)*(1.0/(1<<53)) < rate
+}
+
+// pointSeed derives a point's stream seed from the plan seed and the
+// point's name (FNV-1a), so renaming or adding points never perturbs
+// the streams of the others.
+func pointSeed(seed int64, name string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return mix(uint64(seed), h)
+}
+
+var _ com.FaultInjector = (*Injector)(nil)

@@ -1,0 +1,162 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Plan describes one fault regime: which hostile behaviours are active
+// and at what intensity, plus the seed every injection decision derives
+// from.  The zero value (with any seed) injects nothing.
+//
+// Plans have a textual form — space-separated "key=value" pairs, e.g.
+//
+//	seed=42 wire.drop=0.2 wire.burst=4 disk.err=0.01
+//
+// that String renders and ParsePlan reads back, so a soak failure is
+// reproduced by pasting one logged line into a flag.  Rates are
+// probabilities in [0,1] decided per event; alloc.nth is a schedule
+// (fail exactly the Nth allocation); alloc.pressure is a threshold
+// (fail every allocation once live bytes exceed it).
+type Plan struct {
+	// Seed drives every injection decision.  Two runs of the same
+	// workload under the same plan see the same fault sequence.
+	Seed int64
+
+	// WireDrop is the per-frame drop probability; when a drop fires,
+	// WireBurst-1 following frames are dropped too (burst loss).
+	WireDrop  float64
+	WireBurst int
+
+	// WireCorrupt flips one payload byte per faulted frame; WireDup
+	// delivers the frame twice; WireReorder swaps it with the next
+	// frame on the wire.
+	WireCorrupt float64
+	WireDup     float64
+	WireReorder float64
+
+	// NICOverflow drops an inbound frame at the receive ring as an
+	// overrun would, per-frame.
+	NICOverflow float64
+
+	// DiskErr fails a request with ErrInjected; DiskTorn fails a write
+	// after a prefix of its sectors reached the media (torn write).
+	DiskErr  float64
+	DiskTorn float64
+
+	// TimerJitter suppresses a clock tick (lost timer interrupt).
+	TimerJitter float64
+
+	// AllocRate fails an allocation per-event; AllocFailNth fails
+	// exactly the Nth (1-based) allocation a point sees; AllocPressure
+	// fails every allocation while live bytes exceed the threshold.
+	AllocRate     float64
+	AllocFailNth  uint64
+	AllocPressure uint64
+}
+
+// Active reports whether the plan injects anything at all.
+func (p Plan) Active() bool {
+	return p.WireDrop > 0 || p.WireCorrupt > 0 || p.WireDup > 0 ||
+		p.WireReorder > 0 || p.NICOverflow > 0 || p.DiskErr > 0 ||
+		p.DiskTorn > 0 || p.TimerJitter > 0 || p.AllocRate > 0 ||
+		p.AllocFailNth > 0 || p.AllocPressure > 0
+}
+
+// String renders the plan in its textual form: the seed first, then
+// every active knob, in a fixed order.  ParsePlan(p.String()) == p.
+func (p Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d", p.Seed)
+	rate := func(key string, v float64) {
+		if v != 0 {
+			b.WriteByte(' ')
+			b.WriteString(key)
+			b.WriteByte('=')
+			b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+		}
+	}
+	uint_ := func(key string, v uint64) {
+		if v != 0 {
+			fmt.Fprintf(&b, " %s=%d", key, v)
+		}
+	}
+	rate("wire.drop", p.WireDrop)
+	uint_("wire.burst", uint64(p.WireBurst))
+	rate("wire.corrupt", p.WireCorrupt)
+	rate("wire.dup", p.WireDup)
+	rate("wire.reorder", p.WireReorder)
+	rate("nic.overflow", p.NICOverflow)
+	rate("disk.err", p.DiskErr)
+	rate("disk.torn", p.DiskTorn)
+	rate("timer.jitter", p.TimerJitter)
+	rate("alloc.rate", p.AllocRate)
+	uint_("alloc.nth", p.AllocFailNth)
+	uint_("alloc.pressure", p.AllocPressure)
+	return b.String()
+}
+
+// ParsePlan reads the textual plan form.  Pairs may be separated by
+// spaces or commas; unknown keys and malformed values are errors, so a
+// typo in a flag fails loudly instead of running the wrong regime.
+func ParsePlan(s string) (Plan, error) {
+	var p Plan
+	fields := strings.FieldsFunc(s, func(r rune) bool {
+		return r == ' ' || r == '\t' || r == ','
+	})
+	for _, f := range fields {
+		key, val, ok := strings.Cut(f, "=")
+		if !ok {
+			return Plan{}, fmt.Errorf("faults: plan field %q is not key=value", f)
+		}
+		var err error
+		switch key {
+		case "seed":
+			p.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "wire.drop":
+			p.WireDrop, err = parseRate(val)
+		case "wire.burst":
+			var n uint64
+			n, err = strconv.ParseUint(val, 10, 31)
+			p.WireBurst = int(n)
+		case "wire.corrupt":
+			p.WireCorrupt, err = parseRate(val)
+		case "wire.dup":
+			p.WireDup, err = parseRate(val)
+		case "wire.reorder":
+			p.WireReorder, err = parseRate(val)
+		case "nic.overflow":
+			p.NICOverflow, err = parseRate(val)
+		case "disk.err":
+			p.DiskErr, err = parseRate(val)
+		case "disk.torn":
+			p.DiskTorn, err = parseRate(val)
+		case "timer.jitter":
+			p.TimerJitter, err = parseRate(val)
+		case "alloc.rate":
+			p.AllocRate, err = parseRate(val)
+		case "alloc.nth":
+			p.AllocFailNth, err = strconv.ParseUint(val, 10, 64)
+		case "alloc.pressure":
+			p.AllocPressure, err = strconv.ParseUint(val, 10, 64)
+		default:
+			return Plan{}, fmt.Errorf("faults: unknown plan key %q", key)
+		}
+		if err != nil {
+			return Plan{}, fmt.Errorf("faults: plan value %s=%q: %v", key, val, err)
+		}
+	}
+	return p, nil
+}
+
+func parseRate(val string) (float64, error) {
+	v, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return 0, err
+	}
+	if v < 0 || v > 1 {
+		return 0, fmt.Errorf("rate outside [0,1]")
+	}
+	return v, nil
+}

@@ -1,0 +1,123 @@
+// Package soak is the chaos/soak harness over the fault-injection
+// plane: it runs the paper's evaluation workloads — the Table-1 ttcp
+// transfer and an FFS-over-IDE read-write job — to completion under
+// hostile fault regimes, and supplies the invariants every such run is
+// checked against (end-to-end data integrity, balanced allocation
+// counters, reproducibility of the fault sequence from its seed).
+//
+// The harness is deliberately thin: regimes are just named Plans, the
+// workloads are the evalrig's own, and the assertions read the same
+// com.Stats counters any client of the kit reads.  A failing soak logs
+// only its plan string; re-running with that string replays the
+// identical fault sequence (see internal/faults).
+package soak
+
+import (
+	"fmt"
+	"time"
+
+	"oskit/internal/evalrig"
+	"oskit/internal/faults"
+)
+
+// Regime is one named fault plan.
+type Regime struct {
+	Name string
+	Plan faults.Plan
+}
+
+// TTCPRegimes are the fault regimes the ttcp soak runs under.  Each
+// must let the transfer complete with the byte stream intact: TCP's
+// checksums and retransmission are what is on trial.
+//
+//   - clean: no faults; the control run.
+//   - loss-burst-diskerr: 20% burst frame loss plus a disk-error/torn-
+//     write rate (the acceptance regime; the disk knobs drive the disk
+//     soak and are inert on a diskless rig).
+//   - hostile-wire: corruption, duplication, reordering, receive-ring
+//     overruns and clock jitter together.
+func TTCPRegimes() []Regime {
+	return []Regime{
+		{Name: "clean", Plan: faults.Plan{Seed: 1}},
+		{Name: "loss-burst-diskerr", Plan: faults.Plan{
+			Seed: 2, WireDrop: 0.20, WireBurst: 4, DiskErr: 0.05, DiskTorn: 0.02}},
+		{Name: "hostile-wire", Plan: faults.Plan{
+			Seed: 3, WireCorrupt: 0.05, WireDup: 0.05, WireReorder: 0.05,
+			NICOverflow: 0.05, TimerJitter: 0.10}},
+	}
+}
+
+// RunTTCP drives the checksummed Table-1 transfer under whatever faults
+// are already enabled on the pair, with a watchdog: a transfer that a
+// fault regime wedges (rather than merely slows) fails loudly instead
+// of hanging the suite.  On success the two CRC-32 sums are equal by
+// construction of the return, so callers assert err == nil.
+func RunTTCP(p *evalrig.Pair, blocks, blockSize int, port uint16, seed int64, timeout time.Duration) error {
+	type out struct {
+		sent, recvd uint32
+		err         error
+	}
+	done := make(chan out, 1)
+	go func() {
+		s, r, err := evalrig.TTCPVerified(p, blocks, blockSize, port, seed)
+		done <- out{s, r, err}
+	}()
+	select {
+	case o := <-done:
+		if o.err != nil {
+			return o.err
+		}
+		if o.sent != o.recvd {
+			return fmt.Errorf("soak: checksum mismatch: sent %08x, received %08x", o.sent, o.recvd)
+		}
+		return nil
+	case <-time.After(timeout):
+		return fmt.Errorf("soak: ttcp did not complete within %v", timeout)
+	}
+}
+
+// AllocPair names one alloc/free counter pair in one stats set.
+type AllocPair struct {
+	Set, Alloc, Free string
+}
+
+// AllocPairs are the kit's allocation counter pairs: mbufs and mbuf
+// clusters (freebsd_net), BSD kernel malloc (bsd_malloc), the kernel
+// arena (kern), and the Linux driver glue's kmalloc (linux_dev).
+func AllocPairs() []AllocPair {
+	return []AllocPair{
+		{"freebsd_net", "mbuf.allocs", "mbuf.frees"},
+		{"freebsd_net", "mbuf.cluster_allocs", "mbuf.cluster_frees"},
+		{"bsd_malloc", "malloc.allocs", "malloc.frees"},
+		{"kern", "lmm.allocs", "lmm.frees"},
+		{"linux_dev", "kmalloc.allocs", "kmalloc.frees"},
+	}
+}
+
+// Imbalances checks every allocation counter pair present on the node
+// and reports violations of the balance invariant: every release path
+// is counted, so frees can never lead allocs — not even after a fault
+// regime has failed allocations and error paths have torn down
+// half-built chains.  Pairs whose stats set the configuration does not
+// register are skipped; a node that exposes none of them is reported,
+// since that means the check looked at nothing.
+func Imbalances(n *evalrig.Node) []string {
+	var bad []string
+	checked := 0
+	for _, p := range AllocPairs() {
+		allocs, ok1 := n.Stat(p.Set, p.Alloc)
+		frees, ok2 := n.Stat(p.Set, p.Free)
+		if !ok1 || !ok2 {
+			continue
+		}
+		checked++
+		if frees > allocs {
+			bad = append(bad, fmt.Sprintf("%s: %s = %d > %s = %d",
+				p.Set, p.Free, frees, p.Alloc, allocs))
+		}
+	}
+	if checked == 0 {
+		bad = append(bad, "no allocation counter pairs discoverable on the node")
+	}
+	return bad
+}

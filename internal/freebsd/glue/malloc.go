@@ -60,6 +60,10 @@ type Malloc struct {
 
 	allocated uint64 // live bytes, for statistics
 
+	// hook, when set, may veto an allocation before the buckets are
+	// consulted (fault injection; see SetFaultHook).
+	hook func(size uint32) bool
+
 	// com.Stats export handles (nil-safe; see initStats).
 	scAllocs *stats.Counter
 	scFrees  *stats.Counter
@@ -79,6 +83,17 @@ func (m *Malloc) initStats(set *stats.Set) {
 	m.scFails = set.Counter("malloc.failures")
 	m.scLive = set.Gauge("malloc.bytes_live")
 	m.scTable = set.Gauge("malloc.table_bytes")
+}
+
+// SetFaultHook installs (or, with nil, removes) an allocation-failure
+// hook: when it returns true the allocation fails exactly as memory
+// exhaustion would (counted in malloc.failures).  The write is made
+// under the allocator's own exclusion so the hook may be toggled while
+// donor code allocates.
+func (m *Malloc) SetFaultHook(h func(size uint32) bool) {
+	s := m.g.Splhigh()
+	m.hook = h
+	m.g.Splx(s)
 }
 
 // bucketFor returns the bucket index whose block size holds size.
@@ -102,6 +117,10 @@ func (m *Malloc) Alloc(size uint32) (hw.PhysAddr, []byte, bool) {
 	s := m.g.Splhigh()
 	defer m.g.Splx(s)
 
+	if m.hook != nil && m.hook(size) {
+		m.scFails.Inc()
+		return 0, nil, false
+	}
 	if size > PageSize {
 		return m.allocLarge(size)
 	}

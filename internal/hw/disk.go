@@ -1,6 +1,7 @@
 package hw
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -8,6 +9,28 @@ import (
 
 // SectorSize is the simulated disk's sector size.
 const SectorSize = 512
+
+// ErrDiskStopped is the completion error of a request the disk failed
+// because the machine powered off before (or while) servicing it.  A
+// request submitted to a live disk is guaranteed to complete — with its
+// transfer done, a media error, or this — never to vanish.
+var ErrDiskStopped = errors.New("hw: disk stopped")
+
+// DiskFault is one injected disk fault, produced by a DiskFaultHook.
+// A zero value means "no fault".
+type DiskFault struct {
+	// Err, when non-nil, fails the request with this error.
+	Err error
+	// TornSectors, for a faulted write, is how many leading sectors
+	// actually reach the platter before the failure — a torn write.
+	// Zero leaves the media untouched.
+	TornSectors uint32
+}
+
+// DiskFaultHook decides the fate of one request just before the media
+// transfer.  It runs on the disk's service goroutine, one request at a
+// time, so decisions are made in service order.
+type DiskFaultHook func(write bool, sector, count uint32) DiskFault
 
 // DiskReq is one disk transfer.  The driver fills in the geometry and, for
 // writes, the data; the disk completes asynchronously and raises its IRQ.
@@ -35,10 +58,12 @@ type Disk struct {
 	queue   []*DiskReq
 	done    []*DiskReq
 	latency time.Duration
+	hook    DiskFaultHook
 	wake    chan struct{}
 	quit    chan struct{}
 	wg      sync.WaitGroup
 	started bool
+	stopped bool
 }
 
 // NewDisk creates a zero-filled disk of the given number of sectors.
@@ -69,6 +94,14 @@ func (d *Disk) SetLatency(l time.Duration) {
 	d.mu.Unlock()
 }
 
+// SetFaultHook installs (or, with nil, removes) the fault-injection hook
+// consulted before each media transfer.
+func (d *Disk) SetFaultHook(h DiskFaultHook) {
+	d.mu.Lock()
+	d.hook = h
+	d.mu.Unlock()
+}
+
 // Image returns a copy of the raw disk contents (for test inspection).
 func (d *Disk) Image() []byte {
 	d.mu.Lock()
@@ -84,6 +117,9 @@ func (d *Disk) connect(ic *IntrController, line int) {
 	if d.started {
 		panic("hw: disk attached twice")
 	}
+	if d.stopped {
+		panic("hw: disk attached after power-off")
+	}
 	d.ic = ic
 	d.line = line
 	d.started = true
@@ -95,9 +131,21 @@ func (d *Disk) connect(ic *IntrController, line int) {
 func (d *Disk) IRQ() int { return d.line }
 
 // Submit queues one request.  Completion is signalled by the disk IRQ;
-// the driver then collects finished requests with Reap.
+// the driver then collects finished requests with Reap.  A request
+// submitted after power-off completes immediately with ErrDiskStopped.
 func (d *Disk) Submit(r *DiskReq) {
 	d.mu.Lock()
+	if d.stopped {
+		r.Err = ErrDiskStopped
+		r.Done = true
+		d.done = append(d.done, r)
+		ic, line := d.ic, d.line
+		d.mu.Unlock()
+		if ic != nil {
+			ic.Raise(line)
+		}
+		return
+	}
 	d.queue = append(d.queue, r)
 	d.mu.Unlock()
 	select {
@@ -128,6 +176,7 @@ func (d *Disk) serve() {
 			d.queue = d.queue[1:]
 		}
 		latency := d.latency
+		hook := d.hook
 		d.mu.Unlock()
 
 		if r == nil {
@@ -143,28 +192,57 @@ func (d *Disk) serve() {
 			select {
 			case <-time.After(latency):
 			case <-d.quit:
+				// Power-off caught this request in flight: fail it
+				// rather than drop it, so the driver's wait terminates.
+				d.complete(r, ErrDiskStopped)
 				return
 			}
 		}
 
-		r.Err = d.transfer(r)
-		r.Done = true
-		d.mu.Lock()
-		d.done = append(d.done, r)
-		d.mu.Unlock()
-		if d.ic != nil {
-			d.ic.Raise(d.line)
+		var fault DiskFault
+		if hook != nil {
+			fault = hook(r.Write, r.Sector, r.Count)
 		}
+		if fault.Err != nil {
+			if r.Write && fault.TornSectors > 0 {
+				torn := fault.TornSectors
+				if torn > r.Count {
+					torn = r.Count
+				}
+				_ = d.transferRange(r, torn)
+			}
+			d.complete(r, fault.Err)
+			continue
+		}
+		d.complete(r, d.transfer(r))
+	}
+}
+
+// complete finishes one request and raises the completion interrupt.
+func (d *Disk) complete(r *DiskReq, err error) {
+	r.Err = err
+	r.Done = true
+	d.mu.Lock()
+	d.done = append(d.done, r)
+	d.mu.Unlock()
+	if d.ic != nil {
+		d.ic.Raise(d.line)
 	}
 }
 
 func (d *Disk) transfer(r *DiskReq) error {
-	n := uint64(r.Count) * SectorSize
+	return d.transferRange(r, r.Count)
+}
+
+// transferRange moves the first count sectors of the request (a torn
+// write moves fewer sectors than the request asked for).
+func (d *Disk) transferRange(r *DiskReq, count uint32) error {
+	n := uint64(count) * SectorSize
 	off := uint64(r.Sector) * SectorSize
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if off+n > uint64(len(d.data)) {
-		return fmt.Errorf("hw: disk access beyond end (sector %d + %d)", r.Sector, r.Count)
+		return fmt.Errorf("hw: disk access beyond end (sector %d + %d)", r.Sector, count)
 	}
 	if uint64(len(r.Buf)) < n {
 		return fmt.Errorf("hw: disk buffer too small: %d < %d", len(r.Buf), n)
@@ -177,14 +255,32 @@ func (d *Disk) transfer(r *DiskReq) error {
 	return nil
 }
 
-// stop halts the service goroutine (machine power-off).
+// stop halts the service goroutine (machine power-off) and then fails
+// every request still queued, so no submission is ever silently dropped:
+// after stop returns, each submitted request is Done with either its
+// transfer result or ErrDiskStopped.
 func (d *Disk) stop() {
 	d.mu.Lock()
 	started := d.started
 	d.started = false
+	alreadyStopped := d.stopped
+	d.stopped = true
 	d.mu.Unlock()
-	if started {
+	if started && !alreadyStopped {
 		close(d.quit)
 		d.wg.Wait()
+	}
+	d.mu.Lock()
+	failed := d.queue
+	d.queue = nil
+	for _, r := range failed {
+		r.Err = ErrDiskStopped
+		r.Done = true
+		d.done = append(d.done, r)
+	}
+	ic, line := d.ic, d.line
+	d.mu.Unlock()
+	if len(failed) > 0 && ic != nil {
+		ic.Raise(line)
 	}
 }

@@ -17,19 +17,53 @@ const (
 // BroadcastMAC is the all-ones station address.
 var BroadcastMAC = [6]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
 
+// WireFault is the verdict a WireFaultHook passes on one frame.  The
+// zero value delivers the frame untouched.
+type WireFault struct {
+	// Drop discards the frame (burst loss, collisions).
+	Drop bool
+	// Corrupt flips one payload byte at CorruptOff (modulo the frame
+	// length) in every delivered copy — the FCS failure a real NIC
+	// would catch, left for the protocol checksums to find here.
+	Corrupt    bool
+	CorruptOff int
+	// Duplicate delivers the frame twice (switch flooding, link retry).
+	Duplicate bool
+	// Reorder holds the frame back and delivers it after the next
+	// frame on the wire (adjacent-pair swap).  A held frame that no
+	// later traffic flushes is lost, like a drop.
+	Reorder bool
+}
+
+// WireFaultHook decides the fate of one frame.  It is called with the
+// wire serialized (one frame at a time, in transmit order), so decisions
+// see a deterministic event sequence for deterministic traffic.
+type WireFaultHook func(frameLen int) WireFault
+
+// heldFrame is a frame stashed by a Reorder verdict, remembering its
+// sender so the late delivery still skips the right NIC.
+type heldFrame struct {
+	src   *NIC
+	frame []byte
+}
+
 // EtherWire is a shared Ethernet segment.  Transmission is synchronous:
 // delivery happens on the sender's thread of control, ending in the
 // receiving NIC's ring and an interrupt on the receiving machine.  The
 // wire is therefore never the bottleneck, which is what makes the paper's
 // software-overhead comparisons (Tables 1 and 2) observable.
 //
-// A loss rate may be configured to exercise protocol retransmission paths;
-// drops are deterministic for a given seed.
+// A loss rate may be configured to exercise protocol retransmission
+// paths; drops are deterministic for a given seed.  Richer hostile
+// behaviour — corruption, duplication, reordering, burst loss — comes
+// from a WireFaultHook (see internal/faults).
 type EtherWire struct {
 	mu   sync.Mutex
 	nics []*NIC
 	rng  *rand.Rand
 	loss float64 // probability a frame is dropped
+	hook WireFaultHook
+	held *heldFrame // frame held back by a Reorder verdict
 
 	txFrames uint64
 	drops    uint64
@@ -41,6 +75,7 @@ func NewEtherWire() *EtherWire {
 }
 
 // SetLoss configures the frame-drop probability with a deterministic seed.
+// Safe to toggle while traffic is flowing.
 func (w *EtherWire) SetLoss(p float64, seed int64) {
 	w.mu.Lock()
 	w.loss = p
@@ -48,12 +83,25 @@ func (w *EtherWire) SetLoss(p float64, seed int64) {
 	w.mu.Unlock()
 }
 
+// SetFaultHook installs (or, with nil, removes) the frame fault hook.
+// Safe to toggle while traffic is flowing.
+func (w *EtherWire) SetFaultHook(h WireFaultHook) {
+	w.mu.Lock()
+	w.hook = h
+	w.held = nil
+	w.mu.Unlock()
+}
+
 // Attach joins a NIC to the segment.
 func (w *EtherWire) Attach(n *NIC) {
 	w.mu.Lock()
 	w.nics = append(w.nics, n)
-	n.wire = w
 	w.mu.Unlock()
+	// The NIC's wire binding is published under the NIC's own lock so a
+	// mid-traffic Attach on the segment races cleanly with transmits.
+	n.mu.Lock()
+	n.wire = w
+	n.mu.Unlock()
 }
 
 // Stats reports frames transmitted and frames dropped by loss injection.
@@ -83,14 +131,59 @@ func (w *EtherWire) transmitGather(src *NIC, parts [][]byte) {
 	}
 	w.mu.Lock()
 	w.txFrames++
-	if w.loss > 0 && w.rng.Float64() < w.loss {
+	dropped := w.loss > 0 && w.rng.Float64() < w.loss
+	var fault WireFault
+	if !dropped && w.hook != nil {
+		fault = w.hook(total)
+		dropped = fault.Drop
+	}
+	if dropped {
 		w.drops++
+		w.mu.Unlock()
+		return
+	}
+	frame := parts
+	if fault.Corrupt {
+		flat := flatten(parts, total)
+		// Corrupt the payload, not the station addresses: a flipped MAC
+		// byte is just a filtered (dropped) frame, which Drop already
+		// models.
+		off := fault.CorruptOff
+		if off < 0 {
+			off = -off
+		}
+		if total > EtherHdrLen {
+			off = EtherHdrLen + off%(total-EtherHdrLen)
+		} else {
+			off %= total
+		}
+		flat[off] ^= 0xff
+		frame = [][]byte{flat}
+	}
+	held := w.held
+	w.held = nil
+	if fault.Reorder && held == nil {
+		// Hold this frame back; the next transmission flushes it after
+		// itself, swapping the pair on the wire.
+		w.held = &heldFrame{src: src, frame: flatten(frame, total)}
 		w.mu.Unlock()
 		return
 	}
 	nics := append([]*NIC(nil), w.nics...)
 	w.mu.Unlock()
 
+	w.deliverFrame(src, nics, frame, total)
+	if fault.Duplicate {
+		w.deliverFrame(src, nics, frame, total)
+	}
+	if held != nil {
+		w.deliverFrame(held.src, nics, [][]byte{held.frame}, len(held.frame))
+	}
+}
+
+// deliverFrame carries one (possibly faulted) frame to every other NIC
+// whose address filter accepts it.
+func (w *EtherWire) deliverFrame(src *NIC, nics []*NIC, parts [][]byte, total int) {
 	var dst [6]byte
 	copy(dst[:], parts[0][0:6])
 	for _, n := range nics {
@@ -101,6 +194,15 @@ func (w *EtherWire) transmitGather(src *NIC, parts [][]byte) {
 			n.receiveGather(parts, total)
 		}
 	}
+}
+
+// flatten gathers scattered runs into one contiguous copy.
+func flatten(parts [][]byte, total int) []byte {
+	flat := make([]byte, 0, total)
+	for _, p := range parts {
+		flat = append(flat, p...)
+	}
+	return flat
 }
 
 // NIC is a simulated Ethernet controller: a transmit path onto the wire
@@ -114,6 +216,7 @@ type NIC struct {
 	mu      sync.Mutex
 	ring    [][]byte
 	promisc bool
+	rxHook  func() bool // true: drop the inbound frame (forced overrun)
 
 	rxDrops uint64
 	rxOK    uint64
@@ -135,16 +238,28 @@ func (n *NIC) SetPromiscuous(on bool) {
 	n.mu.Unlock()
 }
 
+// SetRxFaultHook installs (or, with nil, removes) a receive fault hook:
+// when it returns true the inbound frame is dropped exactly as a ring
+// overrun would drop it, charging rxDrops.  Safe to toggle mid-traffic.
+func (n *NIC) SetRxFaultHook(h func() bool) {
+	n.mu.Lock()
+	n.rxHook = h
+	n.mu.Unlock()
+}
+
 // Transmit sends one complete Ethernet frame.  Called by the driver from
 // any level; returns once the frame is on the wire.
 func (n *NIC) Transmit(frame []byte) {
-	if n.wire == nil {
+	n.mu.Lock()
+	w := n.wire
+	if w != nil {
+		n.txOK++
+	}
+	n.mu.Unlock()
+	if w == nil {
 		return
 	}
-	n.mu.Lock()
-	n.txOK++
-	n.mu.Unlock()
-	n.wire.transmit(n, frame)
+	w.transmit(n, frame)
 }
 
 // TransmitGather sends one frame scattered across several memory runs —
@@ -153,13 +268,16 @@ func (n *NIC) Transmit(frame []byte) {
 // in software.  The single gather into the receiving ring models the DMA
 // transfer itself (the same one copy a contiguous Transmit incurs).
 func (n *NIC) TransmitGather(parts [][]byte) {
-	if n.wire == nil {
+	n.mu.Lock()
+	w := n.wire
+	if w != nil {
+		n.txOK++
+	}
+	n.mu.Unlock()
+	if w == nil {
 		return
 	}
-	n.mu.Lock()
-	n.txOK++
-	n.mu.Unlock()
-	n.wire.transmitGather(n, parts)
+	w.transmitGather(n, parts)
 }
 
 // RxPop removes and returns the oldest frame in the receive ring, or nil
@@ -203,8 +321,8 @@ func (n *NIC) receive(frame []byte) {
 
 func (n *NIC) deliver(f []byte) {
 	n.mu.Lock()
-	if len(n.ring) >= EtherRingLen {
-		n.rxDrops++ // ring overrun, as on real silicon
+	if len(n.ring) >= EtherRingLen || (n.rxHook != nil && n.rxHook()) {
+		n.rxDrops++ // ring overrun, real or injected
 		n.mu.Unlock()
 		return
 	}
@@ -217,4 +335,8 @@ func (n *NIC) deliver(f []byte) {
 }
 
 // WireOfForTest exposes the segment a NIC is attached to (test hook).
-func WireOfForTest(n *NIC) *EtherWire { return n.wire }
+func WireOfForTest(n *NIC) *EtherWire {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.wire
+}

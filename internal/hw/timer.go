@@ -16,7 +16,14 @@ type Timer struct {
 	ticker *time.Ticker
 	quit   chan struct{}
 	wg     sync.WaitGroup
+	hook   TickFaultHook
+	ticks  uint64
 }
+
+// TickFaultHook injects clock jitter: called with the tick's sequence
+// number before its interrupt is raised; returning true suppresses the
+// tick (a lost clock interrupt, the classic PC timer-jitter failure).
+type TickFaultHook func(tick uint64) bool
 
 // NewTimer wires a timer to an interrupt line; it is stopped initially.
 func NewTimer(ic *IntrController, line int) *Timer {
@@ -39,6 +46,13 @@ func (t *Timer) Start(interval time.Duration) {
 		for {
 			select {
 			case <-ticker.C:
+				t.mu.Lock()
+				t.ticks++
+				n, hook := t.ticks, t.hook
+				t.mu.Unlock()
+				if hook != nil && hook(n) {
+					continue // injected jitter: this tick is lost
+				}
 				t.ic.Raise(t.line)
 			case <-quit:
 				return
@@ -47,18 +61,30 @@ func (t *Timer) Start(interval time.Duration) {
 	}(t.ticker, t.quit)
 }
 
+// SetFaultHook installs (or, with nil, removes) the tick fault hook.
+// Safe to toggle while the timer runs.
+func (t *Timer) SetFaultHook(h TickFaultHook) {
+	t.mu.Lock()
+	t.hook = h
+	t.mu.Unlock()
+}
+
 // Tick raises one timer interrupt by hand.
 func (t *Timer) Tick() { t.ic.Raise(t.line) }
 
 // Stop halts a free-running timer; a stopped timer may be restarted.
 func (t *Timer) Stop() {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if t.ticker == nil {
+		t.mu.Unlock()
 		return
 	}
-	t.ticker.Stop()
-	close(t.quit)
-	t.wg.Wait()
+	ticker, quit := t.ticker, t.quit
 	t.ticker = nil
+	// Release the lock before waiting: the tick goroutine takes it to
+	// read the fault hook, so holding it across Wait would deadlock.
+	t.mu.Unlock()
+	ticker.Stop()
+	close(quit)
+	t.wg.Wait()
 }

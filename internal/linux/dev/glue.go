@@ -43,10 +43,16 @@ type Glue struct {
 	// mapping (the encapsulated configuration).
 	nativeKmalloc bool
 
+	// kmHook, when set, may veto a kmalloc before any allocator runs
+	// (fault injection; see SetKmallocFaultHook).  Read with interrupt
+	// exclusion held, like the buckets.
+	kmHook func(size uint32) bool
+
 	// com.Stats export: driver-glue hot-path counters, registered as
 	// "linux_dev" in the environment's services registry.
 	scKmallocs   *stats.Counter
 	scKfrees     *stats.Counter
+	scKmFails    *stats.Counter
 	scBlkReads   *stats.Counter
 	scBlkWrites  *stats.Counter
 	scBlkRdBytes *stats.Counter
@@ -139,6 +145,7 @@ func GlueFor(env *core.Env) *Glue {
 	set := stats.NewSet("linux_dev")
 	g.scKmallocs = set.Counter("kmalloc.allocs")
 	g.scKfrees = set.Counter("kmalloc.frees")
+	g.scKmFails = set.Counter("kmalloc.failures")
 	g.scBlkReads = set.Counter("blkio.reads")
 	g.scBlkWrites = set.Counter("blkio.writes")
 	g.scBlkRdBytes = set.Counter("blkio.read_bytes")
@@ -152,6 +159,22 @@ func GlueFor(env *core.Env) *Glue {
 
 // Kernel exposes the donor environment (tests; donor-level poking).
 func (g *Glue) Kernel() *legacy.Kernel { return g.kern }
+
+// SetKmallocFaultHook installs (or, with nil, removes) a kmalloc
+// fault-injection hook: when it returns true the allocation fails as
+// GFP exhaustion would (counted in kmalloc.failures).  The write is
+// made under the donor's interrupt exclusion so the hook may be
+// toggled while drivers allocate.
+func (g *Glue) SetKmallocFaultHook(h func(size uint32) bool) {
+	exclude := !g.env.InIntr()
+	if exclude {
+		g.env.IntrDisable()
+	}
+	g.kmHook = h
+	if exclude {
+		g.env.IntrEnable()
+	}
+}
 
 // buildKernel wires every donor service to the kit environment.
 func (g *Glue) buildKernel() *legacy.Kernel {
@@ -173,7 +196,9 @@ func (g *Glue) buildKernel() *legacy.Kernel {
 			env.IntrDisable()
 		}
 		var b *legacy.KBuf
-		if g.nativeKmalloc {
+		if g.kmHook != nil && g.kmHook(size) {
+			// Injected exhaustion: fail before either allocator runs.
+		} else if g.nativeKmalloc {
 			b = g.bucketAlloc(size, gfp)
 		} else {
 			var flags core.MemFlags
@@ -189,6 +214,8 @@ func (g *Glue) buildKernel() *legacy.Kernel {
 		}
 		if b != nil {
 			g.scKmallocs.Inc()
+		} else {
+			g.scKmFails.Inc()
 		}
 		return b
 	}

@@ -366,3 +366,23 @@ func TestCurrentManufacturedOnDemand(t *testing.T) {
 	}
 	_ = core.DefaultTickNanos
 }
+
+// An injected kmalloc failure must look exactly like GFP exhaustion —
+// nil return, counted in kmalloc.failures — and clear when removed.
+func TestKmallocFaultHook(t *testing.T) {
+	m := hw.NewMachine(hw.Config{Name: "kmfault", MemBytes: 8 << 20})
+	t.Cleanup(m.Halt)
+	k, _ := kern.Setup(m, nil)
+	g := GlueFor(k.Env)
+
+	g.SetKmallocFaultHook(func(size uint32) bool { return true })
+	if b := g.Kernel().Kmalloc(128, 0); b != nil {
+		t.Fatal("hooked kmalloc succeeded")
+	}
+	g.SetKmallocFaultHook(nil)
+	b := g.Kernel().Kmalloc(128, 0)
+	if b == nil {
+		t.Fatal("kmalloc failed after hook removal")
+	}
+	g.Kernel().Kfree(b)
+}

@@ -287,3 +287,34 @@ func TestAlignmentContractProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// A fault hook must fail allocations exactly as exhaustion would —
+// counted as a failure, free lists untouched — and removal must restore
+// normal service.
+func TestArenaFaultHook(t *testing.T) {
+	a := NewArena()
+	if err := a.AddRegion(0x1000, 0x1000, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	a.AddFree(0x1000, 0x1000)
+	avail := a.Avail(0)
+
+	deny := true
+	a.SetFaultHook(func(size uint32) bool { return deny })
+	if _, ok := a.Alloc(64, 0); ok {
+		t.Fatal("hooked allocation succeeded")
+	}
+	if a.Avail(0) != avail {
+		t.Fatal("failed allocation consumed free memory")
+	}
+	deny = false
+	addr, ok := a.Alloc(64, 0)
+	if !ok {
+		t.Fatal("allocation failed with hook returning false")
+	}
+	a.Free(addr, 64)
+	a.SetFaultHook(nil)
+	if _, ok := a.Alloc(64, 0); !ok {
+		t.Fatal("allocation failed after hook removal")
+	}
+}

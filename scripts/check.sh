@@ -1,0 +1,35 @@
+#!/bin/sh
+# check.sh — the full verification gauntlet: tier-1, shuffled re-run,
+# and a short fuzz smoke over the hostile-input parsers.
+#
+# Usage: scripts/check.sh [fuzztime]
+#   fuzztime  per-target fuzzing budget (default 10s; "0" skips fuzzing)
+set -eu
+
+cd "$(dirname "$0")/.."
+FUZZTIME="${1:-10s}"
+
+echo "== tier-1: build"
+go build ./...
+
+echo "== tier-1: vet"
+go vet ./...
+
+echo "== tier-1: test"
+go test ./...
+
+echo "== tier-1: race (net, stats, hw, faults)"
+go test -race ./internal/freebsd/net/... ./internal/stats/... \
+	./internal/hw/... ./internal/faults/...
+
+echo "== shuffled re-run (order-dependence check)"
+go test -shuffle=on -count=1 ./...
+
+if [ "$FUZZTIME" != "0" ]; then
+	echo "== fuzz smoke ($FUZZTIME per target)"
+	go test ./internal/freebsd/net/ -run '^$' -fuzz '^FuzzIPInput$' -fuzztime "$FUZZTIME"
+	go test ./internal/freebsd/net/ -run '^$' -fuzz '^FuzzTCPSegInput$' -fuzztime "$FUZZTIME"
+	go test ./internal/diskpart/ -run '^$' -fuzz '^FuzzReadPartitions$' -fuzztime "$FUZZTIME"
+fi
+
+echo "== all checks passed"
