@@ -14,10 +14,19 @@
 // IDE driver, and runs the wrapper: a per-component permission check
 // that hides anything named "secret*" from unprivileged clients.
 //
-// Run:  go run ./examples/fileserver
+// Run:  go run ./examples/fileserver [-stats] [-faults PLAN] [-fastpath]
+//
+// With -faults the disk and the memory services run under a
+// deterministic fault plan (for example -faults "seed=7 disk.err=0.05
+// disk.torn=0.02") once setup is done: the server's operations retry
+// injected errors the way the soak harness does, and the injected-fault
+// count is printed at the end.  With -fastpath the driver glue's
+// allocations come from a QuickPool allocator service, the same opt-in
+// configuration the network examples boot (E11).
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"strings"
@@ -25,11 +34,14 @@ import (
 	"oskit/internal/com"
 	"oskit/internal/dev"
 	"oskit/internal/diskpart"
+	"oskit/internal/faults"
 	bsdglue "oskit/internal/freebsd/glue"
 	"oskit/internal/hw"
 	"oskit/internal/kern"
+	"oskit/internal/libc"
 	linuxdev "oskit/internal/linux/dev"
 	netbsdfs "oskit/internal/netbsd/fs"
+	"oskit/internal/stats"
 )
 
 // secureFS is the file server: full-pathname API outside, per-component
@@ -121,12 +133,37 @@ func (s *secureFS) List(path string) ([]string, error) {
 }
 
 func main() {
+	showStats := flag.Bool("stats", false, "print the machine's kernel-statistics table before shutdown")
+	faultSpec := flag.String("faults", "", `fault plan, e.g. "seed=7 disk.err=0.05 disk.torn=0.02" (see internal/faults)`)
+	fastPath := flag.Bool("fastpath", false, "serve the driver glue's allocations from a QuickPool allocator service (E11 configuration)")
+	flag.Parse()
+
 	// A machine with a 16 MB disk.
 	m := hw.NewMachine(hw.Config{Name: "fileserver", MemBytes: 32 << 20})
 	defer m.Halt()
-	m.AttachDisk(hw.NewDisk(32768))
+	disk := hw.NewDisk(32768)
+	m.AttachDisk(disk)
 	k, err := kern.Setup(m, nil)
 	check(err)
+
+	var faultPlan *faults.Plan
+	if *faultSpec != "" {
+		plan, err := faults.ParsePlan(*faultSpec)
+		if err != nil {
+			fatal("-faults: " + err.Error())
+		}
+		faultPlan = &plan
+		fmt.Printf("fault plan: %s\n", plan.String())
+	}
+
+	if *fastPath {
+		// The opt-in allocator half of the fast-path configuration:
+		// the IDE glue's kmalloc draws from a discoverable QuickPool
+		// service (there is no packet path on this machine to gather).
+		pool := libc.NewQuickPoolService(libc.New(k.Env))
+		linuxdev.GlueFor(k.Env).EnableFastPath(pool)
+		pool.Release()
+	}
 
 	// Probe the donor IDE driver; everything below reaches the disk
 	// only through its BlkIO.
@@ -166,18 +203,45 @@ func main() {
 	fs, err := netbsdfs.Mount(g, vol)
 	check(err)
 
-	// Populate.
+	// Arm the fault plan now that setup is done — the same discipline
+	// as the rig and the soak harness: the media turns hostile once the
+	// file system is up, and setup itself cannot be failed.  The
+	// injector is registered in the services registry like any other
+	// component (§4.2.2), so -stats shows the regime beside everything
+	// else.
+	var injector *faults.Injector
+	if faultPlan != nil {
+		injector = faults.NewInjector(*faultPlan)
+		defer injector.Release()
+		disk.SetFaultHook(injector.DiskHook("disk.fileserver"))
+		injector.WrapAlloc(k.Env, "alloc.fileserver")
+		k.Env.Registry.Register(com.FaultIID, injector)
+		k.Env.Registry.Register(com.StatsIID, injector.StatsSet())
+	}
+
+	// Populate, with the op-level retry that makes injected disk errors
+	// recoverable (the client contract internal/faults/soak proves).
 	root, err := fs.GetRoot()
 	check(err)
 	defer root.Release()
-	check(root.Mkdir("pub", 0o755))
-	check(root.Mkdir("secrets", 0o700))
+	check(retry("mkdir pub", func() error { return root.Mkdir("pub", 0o755) }))
+	check(retry("mkdir secrets", func() error { return root.Mkdir("secrets", 0o700) }))
 	writeFile(root, "pub", "readme", "public documentation\n")
 	writeFile(root, "secrets", "plans", "the secret plans\n")
+	// Push the dirty cache through the (possibly hostile) disk now, so
+	// an injected-fault run actually exercises the retry contract.
+	check(retry("sync", fs.Sync))
 
 	// Two clients of the file server: root and an ordinary user.
 	rootView := &secureFS{root: root, uid: 0}
 	userView := &secureFS{root: root, uid: 1000}
+
+	// Verify phase: the media calms down again (as in the soak harness)
+	// so the security demonstration below and the final consistency
+	// check read what the retried writes durably left behind.
+	if injector != nil {
+		disk.SetFaultHook(nil)
+	}
 
 	show := func(who string, s *secureFS) {
 		names, err := s.List("/")
@@ -195,6 +259,18 @@ func main() {
 	}
 	check(fs.Unmount())
 	fmt.Println("file system clean; unmounted.")
+
+	if injector != nil {
+		fmt.Printf("(faults injected: %d)\n", injector.FaultsInjected())
+	}
+	if *showStats {
+		fmt.Println("\n--- fileserver statistics (nonzero) ---")
+		sets := stats.Discover(k.Env.Registry)
+		stats.WriteTable(os.Stdout, sets, true)
+		for _, s := range sets {
+			s.Release()
+		}
+	}
 }
 
 func writeFile(root com.Dir, dir, name, contents string) {
@@ -206,11 +282,39 @@ func writeFile(root com.Dir, dir, name, contents string) {
 		fatal("not a dir")
 	}
 	defer d.Release()
-	file, err := d.(com.Dir).Create(name, 0o644, true)
-	check(err)
+	var file com.File
+	// Non-exclusive create keeps the retry idempotent (see the soak
+	// harness): an attempt that failed after entering the directory
+	// succeeds as an open on the next try.
+	check(retry("create "+name, func() error {
+		var err error
+		file, err = d.(com.Dir).Create(name, 0o644, false)
+		return err
+	}))
 	defer file.Release()
-	_, err = file.WriteAt([]byte(contents), 0)
-	check(err)
+	check(retry("write "+name, func() error {
+		_, err := file.WriteAt([]byte(contents), 0)
+		return err
+	}))
+}
+
+// retry re-attempts op while it fails with the transient com.ErrIO an
+// injected disk fault surfaces — the op-level retry contract that makes
+// those faults recoverable.  com.ErrExist means an earlier attempt took
+// effect before its error was reported, which is success for the
+// idempotent setup operations used here.
+func retry(what string, op func() error) error {
+	var err error
+	for i := 0; i < 64; i++ {
+		err = op()
+		if err == nil || err == com.ErrExist {
+			return nil
+		}
+		if err != com.ErrIO {
+			break
+		}
+	}
+	return fmt.Errorf("%s: %w", what, err)
 }
 
 func check(err error) {

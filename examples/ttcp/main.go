@@ -28,6 +28,7 @@ import (
 )
 
 var faultPlan *faults.Plan
+var rigOpts evalrig.Options
 
 func main() {
 	blocks := flag.Int("blocks", 4096, "number of blocks to stream (paper: 131072)")
@@ -35,7 +36,9 @@ func main() {
 	config := flag.String("config", "all", "configuration: all, linux, freebsd, oskit")
 	showStats := flag.Bool("stats", false, "print each system's kernel-statistics table after its run")
 	faultSpec := flag.String("faults", "", `fault plan, e.g. "seed=2 wire.drop=0.2 wire.burst=4" (see internal/faults)`)
+	fastPath := flag.Bool("fastpath", false, "boot OSKit nodes with the opt-in fast-path send configuration (E11: scatter-gather xmit + QuickPool)")
 	flag.Parse()
+	rigOpts.FastPath = *fastPath
 
 	if *faultSpec != "" {
 		plan, err := faults.ParsePlan(*faultSpec)
@@ -79,7 +82,7 @@ func main() {
 }
 
 func measure(sender, receiver evalrig.Config, blocks, blockSize int, port uint16, showStats bool) (float64, error) {
-	p, err := evalrig.NewMixedPair(sender, receiver, time.Millisecond)
+	p, err := evalrig.NewMixedPairOpts(sender, receiver, time.Millisecond, rigOpts)
 	if err != nil {
 		return 0, err
 	}
@@ -113,7 +116,7 @@ func reportFaults(p *evalrig.Pair) {
 }
 
 func measureRecv(sender, receiver evalrig.Config, blocks, blockSize int, port uint16, showStats bool) (float64, error) {
-	p, err := evalrig.NewMixedPair(sender, receiver, time.Millisecond)
+	p, err := evalrig.NewMixedPairOpts(sender, receiver, time.Millisecond, rigOpts)
 	if err != nil {
 		return 0, err
 	}

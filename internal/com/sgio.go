@@ -1,0 +1,50 @@
+package com
+
+// SGBufIOIID identifies the scatter-gather BufIO extension interface.
+var SGBufIOIID = NewGUID(0x4aa7dff0, 0x7c74, 0x11cf,
+	0xb5, 0x00, 0x08, 0x00, 0x09, 0x53, 0xad, 0xc2)
+
+// SGBufIO extends BufIO for objects whose storage is local memory but not
+// necessarily one contiguous extent: it exposes the storage as an ordered
+// fragment list.  This is the §4.4.2 interface-extension idiom applied to
+// the §4.7.3 buffer-representation problem: the base BufIO Map contract
+// *requires* declining ranges that span storage runs (an mbuf chain), which
+// forces the consumer onto the Read copy — the measured send-side cost of
+// Table 1.  A producer that additionally answers for SGBufIO lets a
+// gather-capable consumer walk the runs in place; one that does not simply
+// fails QueryInterface and the consumer falls back exactly as before, so
+// the extension is invisible to existing bindings.
+type SGBufIO interface {
+	BufIO
+
+	// MapSG returns the byte range [offset, offset+amount) as an ordered
+	// list of storage runs, zero-copy.  The runs remain valid until
+	// UnmapSG (or the final Release).  Fails with ErrInval when the range
+	// exceeds the object.
+	MapSG(offset, amount uint) ([][]byte, error)
+
+	// UnmapSG releases a fragment list obtained from MapSG.
+	UnmapSG(parts [][]byte) error
+}
+
+// AllocatorIID identifies the fast-allocator service interface.
+var AllocatorIID = NewGUID(0x4aa7dff1, 0x7c74, 0x11cf,
+	0xb5, 0x00, 0x08, 0x00, 0x09, 0x53, 0xad, 0xc2)
+
+// Allocator is a discoverable memory-allocation service: the §6.2.10
+// remedy (a conventional fast allocator for small fixed-size structures
+// layered on the LMM) exported the way every other kit service is, so a
+// client OS can look it up by GUID in the registry and bind its packet
+// paths to it at run time (§4.2.2).
+type Allocator interface {
+	IUnknown
+
+	// AllocMem returns a block of at least size bytes: its (simulated)
+	// physical address and a slice aliasing the storage.  ok is false on
+	// exhaustion.
+	AllocMem(size uint32) (addr uint32, mem []byte, ok bool)
+
+	// FreeMem returns a block obtained from AllocMem; size must be the
+	// requested size (fast pools keep no per-block headers).
+	FreeMem(addr uint32, size uint32)
+}

@@ -56,7 +56,23 @@ type Node struct {
 	BSD *bsdnet.Stack   // nil for the Linux configuration
 	LX  *linuxnet.Stack // nil otherwise
 
+	// QP is the node's QuickPool allocator service, non-nil only when
+	// the node was booted with Options.FastPath (OSKit configuration).
+	QP *libc.QuickPool
+
 	nic *hw.NIC
+}
+
+// Options selects optional rig configuration beyond the Config row.
+type Options struct {
+	// FastPath boots OSKit nodes in the opt-in fast-path send
+	// configuration of E11: scatter-gather transmit through the
+	// encapsulated driver (no mbuf-chain flatten copy) and per-packet
+	// allocations (skbuff data areas, small mbufs) from a QuickPool
+	// registered as a discoverable allocator service.  Ignored by the
+	// Linux and FreeBSD configurations, which have no representation
+	// boundary to shortcut.
+	FastPath bool
 }
 
 // Pair is a two-machine testbed.  Sender and receiver may run different
@@ -81,19 +97,30 @@ var (
 // NewPair boots a same-configuration sender/receiver pair with
 // free-running clocks (tick = tickInterval of host time).
 func NewPair(cfg Config, tickInterval time.Duration) (*Pair, error) {
-	return NewMixedPair(cfg, cfg, tickInterval)
+	return NewMixedPairOpts(cfg, cfg, tickInterval, Options{})
+}
+
+// NewPairOpts is NewPair with rig options.
+func NewPairOpts(cfg Config, tickInterval time.Duration, opts Options) (*Pair, error) {
+	return NewMixedPairOpts(cfg, cfg, tickInterval, opts)
 }
 
 // NewMixedPair boots a sender in one configuration and a receiver in
 // another (the stacks speak wire-standard TCP, so every combination
 // interoperates).
 func NewMixedPair(sendCfg, recvCfg Config, tickInterval time.Duration) (*Pair, error) {
+	return NewMixedPairOpts(sendCfg, recvCfg, tickInterval, Options{})
+}
+
+// NewMixedPairOpts is NewMixedPair with rig options, applied to both
+// nodes.
+func NewMixedPairOpts(sendCfg, recvCfg Config, tickInterval time.Duration, opts Options) (*Pair, error) {
 	wire := hw.NewEtherWire()
-	s, err := newNode(sendCfg, wire, 1, ipSender, tickInterval)
+	s, err := newNode(sendCfg, wire, 1, ipSender, tickInterval, opts)
 	if err != nil {
 		return nil, err
 	}
-	r, err := newNode(recvCfg, wire, 2, ipReceiver, tickInterval)
+	r, err := newNode(recvCfg, wire, 2, ipReceiver, tickInterval, opts)
 	if err != nil {
 		s.Machine.Halt()
 		return nil, err
@@ -117,7 +144,7 @@ func (p *Pair) Halt() {
 	p.Receiver.Machine.Halt()
 }
 
-func newNode(cfg Config, wire *hw.EtherWire, unit byte, ip [4]byte, tick time.Duration) (*Node, error) {
+func newNode(cfg Config, wire *hw.EtherWire, unit byte, ip [4]byte, tick time.Duration, opts Options) (*Node, error) {
 	m := hw.NewMachine(hw.Config{Name: fmt.Sprintf("%s-%d", cfg, unit), MemBytes: 64 << 20})
 	nic := m.AttachNIC(wire, [6]byte{2, 0, 0, 2, 0, unit}, hw.Model3C59X)
 	k, err := kern.Setup(m, nil)
@@ -183,6 +210,16 @@ func newNode(cfg Config, wire *hw.EtherWire, unit byte, ip [4]byte, tick time.Du
 		devs[0].Release()
 		st.Ifconfig(bsdnet.IPAddr(ip), bsdnet.IPAddr(netmask))
 		n.BSD = st
+		if opts.FastPath {
+			// The opt-in fast-path configuration: one QuickPool per
+			// node, published as the allocator service, feeding both
+			// the glue's kmalloc and the stack's small mbufs, with the
+			// glue's scatter-gather transmit switched on.
+			pool := libc.NewQuickPoolService(n.C)
+			linuxdev.GlueFor(k.Env).EnableFastPath(pool)
+			st.SetPacketPool(pool)
+			n.QP = pool
+		}
 
 	default:
 		m.Halt()
@@ -194,6 +231,10 @@ func newNode(cfg Config, wire *hw.EtherWire, unit byte, ip [4]byte, tick time.Du
 	}
 	return n, nil
 }
+
+// NIC exposes the node's simulated Ethernet controller (tests and
+// benches inspect its gather/drop counters).
+func (n *Node) NIC() *hw.NIC { return n.nic }
 
 // Addr builds a socket address on the rig's subnet.
 func Addr(ip [4]byte, port uint16) com.SockAddr {

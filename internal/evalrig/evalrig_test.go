@@ -76,6 +76,91 @@ func TestOSKitPathShape(t *testing.T) {
 	}
 }
 
+// TestPathShapeMatrix locks down the §4.7.3 decision tree for both OSKit
+// configurations, table-driven: the default (stock) configuration must
+// keep paying the Table-1 flatten copy for its chained sends, and the
+// opt-in fast path must eliminate it — every chained send leaving via
+// the scatter-gather branch instead, with the QuickPool service visibly
+// feeding the packet path.  Either row regressing silently would
+// invalidate the E9/E11 story.
+func TestPathShapeMatrix(t *testing.T) {
+	cases := []struct {
+		name string
+		opts Options
+		port uint16
+	}{
+		{"default", Options{}, 5005},
+		{"fastpath", Options{FastPath: true}, 5006},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := NewPairOpts(OSKit, time.Millisecond, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer p.Halt()
+			if _, err := TTCP(p, 256, 4096, tc.port); err != nil {
+				t.Fatal(err)
+			}
+
+			// Invariants shared by both rows: the stack still chains
+			// its data segments and the receive side stays zero-copy —
+			// the fast path changes how chains *leave*, not whether
+			// they exist.
+			ss := p.Sender.BSD.StatsSnapshot()
+			rs := p.Receiver.BSD.StatsSnapshot()
+			if ss.TxChained == 0 || ss.TxChained < ss.TxContiguous {
+				t.Errorf("data segments not predominantly chained (%d chained, %d contiguous)",
+					ss.TxChained, ss.TxContiguous)
+			}
+			if rs.RxZeroCopy == 0 || rs.RxCopied != 0 {
+				t.Errorf("receive path not zero-copy: %+v", rs)
+			}
+
+			stat := func(set, name string) int64 {
+				v, _ := p.Sender.Stat(set, name)
+				return v
+			}
+			sg := stat("linux_dev", "xmit.sg")
+			flattened := stat("linux_dev", "xmit.flattened")
+			if tc.opts.FastPath {
+				if sg == 0 {
+					t.Error("fastpath: no scatter-gather sends recorded")
+				}
+				if flattened != 0 {
+					t.Errorf("fastpath: %d sends still flatten-copied", flattened)
+				}
+				if g := p.Sender.NIC().TxGathers(); g == 0 {
+					t.Error("fastpath: NIC gather engine never saw a scattered frame")
+				}
+				if a := stat("quickpool", "qp.allocs"); a == 0 {
+					t.Error("fastpath: QuickPool served no packet allocations")
+				}
+				if h := stat("quickpool", "qp.hits"); h == 0 {
+					t.Error("fastpath: QuickPool free lists never hit (pool not cycling)")
+				}
+				if f, a := stat("quickpool", "qp.frees"), stat("quickpool", "qp.allocs"); f > a {
+					t.Errorf("quickpool imbalance: %d frees > %d allocs", f, a)
+				}
+			} else {
+				if flattened == 0 {
+					t.Error("default: chained sends recorded no flatten copies")
+				}
+				if sg != 0 {
+					t.Errorf("default: %d scatter-gather sends on the stock configuration", sg)
+				}
+				if g := p.Sender.NIC().TxGathers(); g != 0 {
+					t.Errorf("default: NIC saw %d scattered frames", g)
+				}
+				if _, ok := p.Sender.Stat("quickpool", "qp.allocs"); ok {
+					t.Error("default: quickpool stats set registered without the option")
+				}
+			}
+		})
+	}
+}
+
 // TestFreeBSDNativePathShape: the all-BSD configuration never crosses a
 // buffer-representation boundary.
 func TestFreeBSDNativePathShape(t *testing.T) {

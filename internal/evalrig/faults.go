@@ -40,6 +40,12 @@ func (n *Node) EnableFaults(in *faults.Injector, name string) {
 	n.nic.SetRxFaultHook(in.NICRxHook("nic.rx." + name))
 	n.Machine.Timer.SetFaultHook(in.TimerHook("timer." + name))
 	in.WrapAlloc(n.Kernel.Env, "alloc."+name)
+	if n.QP != nil {
+		// Fast-path nodes also fail allocations at the QuickPool seam,
+		// so the chaos harness covers the allocator the packet paths
+		// actually draw from.
+		n.QP.SetAllocFaultHook(in.AllocFailFunc("qp." + name))
+	}
 	n.Kernel.Env.Registry.Register(com.FaultIID, in)
 	n.Kernel.Env.Registry.Register(com.StatsIID, in.StatsSet())
 }

@@ -83,7 +83,10 @@ type AllocPair struct {
 
 // AllocPairs are the kit's allocation counter pairs: mbufs and mbuf
 // clusters (freebsd_net), BSD kernel malloc (bsd_malloc), the kernel
-// arena (kern), and the Linux driver glue's kmalloc (linux_dev).
+// arena (kern), the Linux driver glue's kmalloc (linux_dev), and the
+// QuickPool allocator service of the fast-path configuration
+// (quickpool; its stats set exists only on fast-path nodes, so the
+// pair is skipped everywhere else).
 func AllocPairs() []AllocPair {
 	return []AllocPair{
 		{"freebsd_net", "mbuf.allocs", "mbuf.frees"},
@@ -91,6 +94,7 @@ func AllocPairs() []AllocPair {
 		{"bsd_malloc", "malloc.allocs", "malloc.frees"},
 		{"kern", "lmm.allocs", "lmm.frees"},
 		{"linux_dev", "kmalloc.allocs", "kmalloc.frees"},
+		{"quickpool", "qp.allocs", "qp.frees"},
 	}
 }
 

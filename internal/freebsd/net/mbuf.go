@@ -34,6 +34,7 @@ type Mbuf struct {
 	store     []byte
 	storeAddr hw.PhysAddr // 0 for external (foreign BufIO) storage
 	cluster   bool
+	pooled    bool      // small-mbuf storage from the stack's packet pool
 	ext       com.BufIO // foreign storage owner, if any
 
 	off int // data start within store
@@ -61,6 +62,17 @@ func (s *Stack) MGet() *Mbuf {
 }
 
 func (s *Stack) mget(leading int) *Mbuf {
+	if pool := s.pktPool; pool != nil {
+		// Fast path: small mbufs come from the bound allocator service.
+		// A pool failure is exhaustion, not a cue to fall back — the
+		// fault-injection plane relies on failures being visible.
+		addr, buf, ok := pool.AllocMem(MSIZE)
+		if !ok {
+			return nil
+		}
+		s.sc.mbufAllocs.Inc()
+		return &Mbuf{stk: s, store: buf, storeAddr: hw.PhysAddr(addr), pooled: true, off: leading}
+	}
 	addr, buf, ok := s.g.Malloc.Alloc(MSIZE)
 	if !ok {
 		return nil
@@ -93,12 +105,15 @@ func (m *Mbuf) MClGet() bool {
 		m.ext = nil
 	case m.cluster:
 		m.stk.clRef(m.storeAddr, -1)
+	case m.pooled:
+		m.stk.pktPool.FreeMem(uint32(m.storeAddr), MSIZE)
 	case m.storeAddr != 0:
 		m.stk.g.Malloc.Free(m.storeAddr)
 	}
 	m.store = buf
 	m.storeAddr = addr
 	m.cluster = true
+	m.pooled = false
 	m.off = 0
 	m.len = 0
 	return true
@@ -129,6 +144,8 @@ func (m *Mbuf) Free() *Mbuf {
 		m.ext = nil
 	case m.cluster:
 		m.stk.clRef(m.storeAddr, -1)
+	case m.pooled:
+		m.stk.pktPool.FreeMem(uint32(m.storeAddr), MSIZE)
 	case m.storeAddr != 0:
 		m.stk.g.Malloc.Free(m.storeAddr)
 	}

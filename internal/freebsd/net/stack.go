@@ -34,6 +34,14 @@ type Stack struct {
 	mclBase   uint32
 	mclRefcnt []int16
 
+	// pktPool, when bound (SetPacketPool), supplies small-mbuf storage
+	// from a fast allocator service instead of the BSD malloc — half of
+	// the E11 fast-path configuration.  Clusters stay on the BSD malloc
+	// regardless: the refcount table above indexes by address arithmetic
+	// and needs its natural-alignment guarantee (§4.7.7, property 1),
+	// which header-keeping pools cannot give.
+	pktPool com.Allocator
+
 	// Protocol state.
 	udpPCBs []*udpPCB
 	tcpPCBs []*tcpcb
@@ -201,6 +209,24 @@ func (s *Stack) OpenEtherIf(dev com.EtherDev) error {
 	return nil
 }
 
+// SetPacketPool binds (or, with nil, unbinds) the stack's small-mbuf
+// storage to a discoverable fast allocator service — the §6.2.10 remedy
+// applied to the packet path.  The stack takes one COM reference.  Call
+// before traffic; the default configuration never does, so the stock
+// allocation story of Tables 1/2 is untouched.
+func (s *Stack) SetPacketPool(pool com.Allocator) {
+	if pool != nil {
+		pool.AddRef()
+	}
+	spl := s.g.Splnet()
+	old := s.pktPool
+	s.pktPool = pool
+	s.g.Splx(spl)
+	if old != nil {
+		old.Release()
+	}
+}
+
 // Ifconfig assigns the interface address (oskit_freebsd_net_ifconfig).
 func (s *Stack) Ifconfig(ip, mask IPAddr) {
 	spl := s.g.Splnet()
@@ -336,10 +362,12 @@ func (s *Stack) wrapMbuf(m *Mbuf) *mbufIO {
 	return b
 }
 
-// QueryInterface implements com.IUnknown.
+// QueryInterface implements com.IUnknown.  The object also answers for
+// the SGBufIO extension: an mbuf chain *is* a fragment list, so exporting
+// it costs nothing, and only gather-capable consumers ever ask (§4.4.2).
 func (b *mbufIO) QueryInterface(iid com.GUID) (com.IUnknown, error) {
 	switch iid {
-	case com.UnknownIID, com.BlkIOIID, com.BufIOIID:
+	case com.UnknownIID, com.BlkIOIID, com.BufIOIID, com.SGBufIOIID:
 		b.AddRef()
 		return b, nil
 	}
@@ -413,6 +441,39 @@ func (b *mbufIO) Map(offset, amount uint) ([]byte, error) {
 // Unmap implements com.BufIO.
 func (b *mbufIO) Unmap(buf []byte) error { return nil }
 
+// MapSG implements com.SGBufIO: the requested range as the chain's
+// storage runs, in order, zero-copy.  This is what Map cannot promise for
+// a chained packet — and the reason the base-interface consumer must
+// copy.
+func (b *mbufIO) MapSG(offset, amount uint) ([][]byte, error) {
+	if uint64(offset)+uint64(amount) > uint64(b.m.PktLen) {
+		return nil, com.ErrInval
+	}
+	var parts [][]byte
+	off := int(offset)
+	remain := int(amount)
+	for cur := b.m; cur != nil && remain > 0; cur = cur.Next {
+		if off >= cur.len {
+			off -= cur.len
+			continue
+		}
+		take := cur.len - off
+		if take > remain {
+			take = remain
+		}
+		parts = append(parts, cur.Data()[off:off+take])
+		remain -= take
+		off = 0
+	}
+	if remain > 0 {
+		return nil, com.ErrInval
+	}
+	return parts, nil
+}
+
+// UnmapSG implements com.SGBufIO.
+func (b *mbufIO) UnmapSG(parts [][]byte) error { return nil }
+
 // Wire implements com.BufIO; chains have no single address.
 func (b *mbufIO) Wire() (uint32, error) {
 	run := b.m.firstRun()
@@ -425,7 +486,7 @@ func (b *mbufIO) Wire() (uint32, error) {
 // Unwire implements com.BufIO.
 func (b *mbufIO) Unwire() error { return nil }
 
-var _ com.BufIO = (*mbufIO)(nil)
+var _ com.SGBufIO = (*mbufIO)(nil)
 var _ hw.PhysAddr = 0
 
 // WrapMbufForTest exports a chain as the transmit path does; a hook for

@@ -218,9 +218,10 @@ type NIC struct {
 	promisc bool
 	rxHook  func() bool // true: drop the inbound frame (forced overrun)
 
-	rxDrops uint64
-	rxOK    uint64
-	txOK    uint64
+	rxDrops  uint64
+	rxOK     uint64
+	txOK     uint64
+	txGather uint64
 }
 
 // NewNIC creates a NIC raising the given IRQ line on receive.
@@ -272,6 +273,9 @@ func (n *NIC) TransmitGather(parts [][]byte) {
 	w := n.wire
 	if w != nil {
 		n.txOK++
+		if len(parts) > 1 {
+			n.txGather++
+		}
 	}
 	n.mu.Unlock()
 	if w == nil {
@@ -299,6 +303,15 @@ func (n *NIC) Stats() (rx, tx, drops uint64) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.rxOK, n.txOK, n.rxDrops
+}
+
+// TxGathers reports how many transmitted frames were fetched from a
+// multi-run fragment list (the gather-DMA engine at work); a frame handed
+// over as one run does not count even when sent via TransmitGather.
+func (n *NIC) TxGathers() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.txGather
 }
 
 func (n *NIC) accepts(dst [6]byte) bool {

@@ -167,7 +167,11 @@ func (s *etherSend) QueryInterface(iid com.GUID) (com.IUnknown, error) {
 // §4.7.3 decision tree: a native skbuff is used as is; a foreign BufIO
 // that can be mapped contiguously becomes a "fake" skbuff pointing at
 // its data with no copy; anything else is read (copied) into a fresh
-// skbuff.
+// skbuff.  In the opt-in fast-path configuration one more branch sits
+// between those two: if the device can gather (FeatSG) and the producer
+// exports its fragment list (com.SGBufIO), a scattered packet becomes a
+// gather skbuff — no flatten copy, which is the Table-1 send cost E11
+// measures the recovery of.
 func (s *etherSend) Push(pkt com.BufIO, size uint) error {
 	restore := s.g.enter("ether-xmit")
 	defer restore()
@@ -175,15 +179,32 @@ func (s *etherSend) Push(pkt com.BufIO, size uint) error {
 
 	ldev := s.node.ldev
 	if skb, ok := s.g.nativeSKB(pkt); ok {
+		s.g.scTxNative.Inc()
 		skb.Trim(int(size))
 		return mapXmitErr(ldev.HardStartXmit(skb, ldev))
 	}
 	if data, err := pkt.Map(0, size); err == nil {
+		s.g.scTxMapped.Inc()
 		skb := s.g.kern.FakeSKB(data)
 		err := ldev.HardStartXmit(skb, ldev)
 		_ = pkt.Unmap(data)
 		return mapXmitErr(err)
 	}
+	if s.g.fastpath.Load() && ldev.Features&legacy.FeatSG != 0 {
+		if obj, err := pkt.QueryInterface(com.SGBufIOIID); err == nil {
+			sg := obj.(com.SGBufIO)
+			if parts, err := sg.MapSG(0, size); err == nil {
+				s.g.scTxSG.Inc()
+				skb := s.g.kern.FakeSKBGather(parts)
+				xerr := ldev.HardStartXmit(skb, ldev)
+				_ = sg.UnmapSG(parts)
+				sg.Release()
+				return mapXmitErr(xerr)
+			}
+			sg.Release()
+		}
+	}
+	s.g.scTxFlattened.Inc()
 	skb := s.g.kern.AllocSKB(int(size))
 	if skb == nil {
 		return com.ErrNoMem

@@ -16,6 +16,7 @@ package linuxdev
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"oskit/internal/com"
 	"oskit/internal/core"
@@ -48,6 +49,19 @@ type Glue struct {
 	// exclusion held, like the buckets.
 	kmHook func(size uint32) bool
 
+	// fastpath is the opt-in send configuration of E11 (EnableFastPath):
+	// the transmit path may hand FeatSG devices gather skbuffs built
+	// from a producer's com.SGBufIO fragment list instead of flattening,
+	// and kmalloc routes small blocks through the bound allocator
+	// service.  The flag is atomic so the hot paths read it without the
+	// exclusion; pool is written before the flag flips and only read
+	// after it tests true.
+	fastpath atomic.Bool
+	// pool is the discoverable fast allocator (normally a
+	// libc.QuickPool) kmalloc draws packet-sized blocks from on the
+	// fast path.  The glue holds one COM reference.
+	pool com.Allocator
+
 	// com.Stats export: driver-glue hot-path counters, registered as
 	// "linux_dev" in the environment's services registry.
 	scKmallocs   *stats.Counter
@@ -57,6 +71,13 @@ type Glue struct {
 	scBlkWrites  *stats.Counter
 	scBlkRdBytes *stats.Counter
 	scBlkWrBytes *stats.Counter
+	// Transmit path-shape counters (§4.7.3 decision tree): which branch
+	// each Push took.  xmit.flattened is the Table-1 send copy;
+	// xmit.sg is the fast path that replaces it.
+	scTxNative    *stats.Counter
+	scTxMapped    *stats.Counter
+	scTxSG        *stats.Counter
+	scTxFlattened *stats.Counter
 	// kmalloc bucket free lists: [class][dma?]; class i holds blocks of
 	// 32<<i bytes.  Protected by interrupt exclusion, not mu (the donor
 	// contract).
@@ -150,6 +171,10 @@ func GlueFor(env *core.Env) *Glue {
 	g.scBlkWrites = set.Counter("blkio.writes")
 	g.scBlkRdBytes = set.Counter("blkio.read_bytes")
 	g.scBlkWrBytes = set.Counter("blkio.write_bytes")
+	g.scTxNative = set.Counter("xmit.native")
+	g.scTxMapped = set.Counter("xmit.mapped")
+	g.scTxSG = set.Counter("xmit.sg")
+	g.scTxFlattened = set.Counter("xmit.flattened")
 	env.Registry.Register(com.StatsIID, set)
 	set.Release()
 	g.kern = g.buildKernel()
@@ -176,6 +201,44 @@ func (g *Glue) SetKmallocFaultHook(h func(size uint32) bool) {
 	}
 }
 
+// EnableFastPath switches the glue into the opt-in fast-path send
+// configuration: gather skbuffs flow to FeatSG drivers without the
+// §4.7.3 flatten copy, and kmalloc draws packet-sized blocks from pool
+// (a com.Allocator service, normally a QuickPool) instead of the client
+// memory service.  pool may be nil to enable scatter-gather alone.  The
+// glue takes one COM reference on pool.  Call before traffic; the
+// default configuration never calls it, which is what keeps Table 1/2
+// and the E9 asymmetry reproducible.
+func (g *Glue) EnableFastPath(pool com.Allocator) {
+	if pool != nil {
+		pool.AddRef()
+	}
+	exclude := !g.env.InIntr()
+	if exclude {
+		g.env.IntrDisable()
+	}
+	if g.pool != nil {
+		g.pool.Release()
+	}
+	g.pool = pool
+	if exclude {
+		g.env.IntrEnable()
+	}
+	g.fastpath.Store(true)
+}
+
+// FastPath reports whether EnableFastPath has been called.
+func (g *Glue) FastPath() bool { return g.fastpath.Load() }
+
+// XmitCounters snapshots the transmit path-shape counters: how many
+// Push calls took the native-skbuff, mapped (FakeSKB), scatter-gather,
+// and flatten-copy branches.  The same values are discoverable as
+// "xmit.*" in the "linux_dev" stats set.
+func (g *Glue) XmitCounters() (native, mapped, sg, flattened uint64) {
+	return g.scTxNative.Load(), g.scTxMapped.Load(),
+		g.scTxSG.Load(), g.scTxFlattened.Load()
+}
+
 // buildKernel wires every donor service to the kit environment.
 func (g *Glue) buildKernel() *legacy.Kernel {
 	env := g.env
@@ -200,6 +263,15 @@ func (g *Glue) buildKernel() *legacy.Kernel {
 			// Injected exhaustion: fail before either allocator runs.
 		} else if g.nativeKmalloc {
 			b = g.bucketAlloc(size, gfp)
+		} else if g.fastpath.Load() && g.pool != nil && size <= 4096 {
+			// Fast path: packet-sized blocks (skbuff data areas, driver
+			// staging) come from the bound allocator service.  The GFP
+			// DMA constraint is waived: the simulated busmaster engine
+			// addresses all memory, like PCI-era hardware without the
+			// ISA 16 MB limit.
+			if addr, buf, ok := g.pool.AllocMem(size); ok {
+				b = &legacy.KBuf{Addr: addr, Data: buf, Pooled: true}
+			}
 		} else {
 			var flags core.MemFlags
 			if gfp&legacy.GFPDMA != 0 {
@@ -224,9 +296,12 @@ func (g *Glue) buildKernel() *legacy.Kernel {
 		if exclude {
 			env.IntrDisable()
 		}
-		if g.nativeKmalloc {
+		switch {
+		case b.Pooled:
+			g.pool.FreeMem(b.Addr, uint32(len(b.Data)))
+		case g.nativeKmalloc:
 			g.bucketFree(b)
-		} else {
+		default:
 			env.MemFree(b.Addr, uint32(len(b.Data)))
 		}
 		if exclude {
@@ -398,6 +473,11 @@ type nicChip struct {
 func (c *nicChip) IDs() (uint16, uint16) { return c.vendor, c.device }
 func (c *nicChip) MacAddr() [6]byte      { return c.nic.Mac }
 func (c *nicChip) TxFrame(frame []byte)  { c.nic.Transmit(frame) }
+
+// TxFrameGather implements legacy.GatherChip: the simulated NIC's
+// gather-DMA engine fetches the frame from the fragment list in one pass
+// (the same single copy a contiguous transmit costs).
+func (c *nicChip) TxFrameGather(parts [][]byte) { c.nic.TransmitGather(parts) }
 
 // RxFrame is the PIO path: the frame is copied off the simulated card.
 func (c *nicChip) RxFrame() []byte { return c.nic.RxPop() }

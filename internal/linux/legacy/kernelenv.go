@@ -26,6 +26,11 @@ const (
 type KBuf struct {
 	Addr uint32
 	Data []byte
+
+	// Pooled marks a block drawn from the glue's fast allocator service
+	// rather than kmalloc's usual backing; Kfree must return it there.
+	// Donor code never touches it (glue-reserved, like SKBuff.COMSlot).
+	Pooled bool
 }
 
 // Task is the donor's process structure, pruned to what driver code

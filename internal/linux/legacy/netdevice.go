@@ -13,6 +13,12 @@ type NetDevice struct {
 	// driver's inb/outb surface); see chip.go.
 	Chip EtherChip
 
+	// Features advertises driver capabilities to the encapsulating glue
+	// (the NETIF_F_* idea, decades early): a driver sets FeatSG when its
+	// hardware can transmit a scattered packet, which tells the glue it
+	// may hand HardStartXmit gather skbuffs (FakeSKBGather).
+	Features uint32
+
 	// Method slots, Linux style.
 	Open          func(*NetDevice) error
 	Stop          func(*NetDevice) error
@@ -23,6 +29,11 @@ type NetDevice struct {
 
 	opened bool
 }
+
+// FeatSG marks a device whose transmitter accepts scattered packets
+// (gather DMA): its HardStartXmit handles gather skbuffs without a
+// software flatten.
+const FeatSG uint32 = 1 << 0
 
 // NetStats is the donor's interface statistics block.
 type NetStats struct {
@@ -50,6 +61,16 @@ type EtherChip interface {
 	// host memory (busmaster-DMA style), returning its length, or 0
 	// when the ring is empty.
 	RxFrameInto(dst []byte) int
+}
+
+// GatherChip is the optional gather-DMA capability of an Ethernet
+// controller: the transmitter fetches the frame from several memory runs
+// in one pass (busmaster scatter-gather).  A driver whose chip implements
+// it advertises FeatSG; PIO-era chips (sne2k) do not.
+type GatherChip interface {
+	// TxFrameGather hands one frame, scattered across parts in order,
+	// to the transmitter.
+	TxFrameGather(parts [][]byte)
 }
 
 // DiskChip is the register-level view of an IDE controller, likewise

@@ -42,6 +42,11 @@ func S3C59XProbe(k *Kernel, chip EtherChip, irq int, name string) *NetDevice {
 	dev.Open = s3c59xOpen
 	dev.Stop = s3c59xStop
 	dev.HardStartXmit = s3c59xXmit
+	if _, ok := chip.(GatherChip); ok {
+		// The 3Com download engine fetches a frame from a fragment
+		// list; advertise it so the glue may skip the flatten copy.
+		dev.Features |= FeatSG
+	}
 	k.RegisterNetdev(dev)
 	k.Printk("s3c59x: %s at irq %d\n", name, irq)
 	return dev
@@ -134,7 +139,17 @@ func s3c59xXmit(skb *SKBuff, dev *NetDevice) error {
 	}
 	flags := dev.Kern.SaveFlags()
 	dev.Kern.Cli()
-	dev.Chip.TxFrame(skb.Data)
+	if skb.NrFrags() > 0 {
+		if gc, ok := dev.Chip.(GatherChip); ok {
+			gc.TxFrameGather(skb.Runs())
+		} else {
+			// A gather skbuff reached a chip without the engine (the
+			// glue should never let this happen): flatten defensively.
+			dev.Chip.TxFrame(skb.Flatten())
+		}
+	} else {
+		dev.Chip.TxFrame(skb.Data)
+	}
 	dev.Stats.TxPackets++
 	dev.Stats.TxBytes += uint64(skb.Len)
 	dev.Kern.RestoreFlags(flags)

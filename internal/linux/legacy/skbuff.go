@@ -30,6 +30,14 @@ type SKBuff struct {
 	// memory (§4.7.3): its Head is not a kmalloc block and must not be
 	// kfreed.
 	fake bool
+
+	// frags, when non-nil, is the packet's full ordered run list: a
+	// gather skbuff (FakeSKBGather) whose storage is scattered across
+	// several memory extents.  Data aliases the first run (so header
+	// peeking keeps working) and Len is the whole-packet total.  Gather
+	// skbuffs exist only on the transmit path and only drivers that
+	// declare FeatSG ever see one; everything else must Flatten first.
+	frags [][]byte
 }
 
 // AllocSKB allocates a buffer with room for size bytes of packet data
@@ -53,6 +61,51 @@ func (k *Kernel) FakeSKB(data []byte) *SKBuff {
 	skb := &SKBuff{Kern: k, Head: data, Data: data, Len: len(data), fake: true}
 	skb.users.Store(1)
 	return skb
+}
+
+// FakeSKBGather wraps a list of foreign memory runs as one skbuff without
+// copying: the scatter-gather analog of FakeSKB, manufactured by the glue
+// around a producer's fragment list (com.SGBufIO).  The result must not
+// outlive parts and may only be handed to a FeatSG device.
+func (k *Kernel) FakeSKBGather(parts [][]byte) *SKBuff {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	skb := &SKBuff{Kern: k, Len: total, frags: parts, fake: true}
+	if len(parts) > 0 {
+		skb.Head = parts[0]
+		skb.Data = parts[0]
+	}
+	skb.users.Store(1)
+	return skb
+}
+
+// NrFrags reports the number of storage runs of a gather skbuff, zero for
+// an ordinary contiguous one.
+func (skb *SKBuff) NrFrags() int { return len(skb.frags) }
+
+// Runs returns the packet's storage runs in order: the fragment list of a
+// gather skbuff, or the single contiguous run of an ordinary one.
+func (skb *SKBuff) Runs() [][]byte {
+	if skb.frags != nil {
+		return skb.frags
+	}
+	return [][]byte{skb.Data}
+}
+
+// Flatten returns the packet as one contiguous byte run, copying only
+// when the skbuff is actually scattered — the defensive path a non-gather
+// driver takes if a gather skbuff ever reaches it.
+func (skb *SKBuff) Flatten() []byte {
+	if skb.frags == nil {
+		return skb.Data
+	}
+	flat := make([]byte, 0, skb.Len)
+	for _, p := range skb.frags {
+		flat = append(flat, p...)
+	}
+	return flat
 }
 
 // PhysAddr returns the physical address of the live data (for busmaster

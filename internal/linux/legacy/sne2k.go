@@ -105,7 +105,16 @@ func sne2kXmit(skb *SKBuff, dev *NetDevice) error {
 	}
 	flags := dev.Kern.SaveFlags()
 	dev.Kern.Cli()
-	n := copy(priv.txStage.Data, skb.Data)
+	// The PIO copy onto card SRAM gathers for free: a scattered packet
+	// (which only a FeatSG-blind caller would hand this driver) costs
+	// the same staging pass as a contiguous one.
+	n := 0
+	for _, run := range skb.Runs() {
+		if n >= len(priv.txStage.Data) {
+			break
+		}
+		n += copy(priv.txStage.Data[n:], run)
+	}
 	dev.Chip.TxFrame(priv.txStage.Data[:n])
 	dev.Stats.TxPackets++
 	dev.Stats.TxBytes += uint64(n)

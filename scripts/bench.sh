@@ -1,0 +1,38 @@
+#!/bin/sh
+# bench.sh — run the repository's matrix benchmarks and record per-row
+# medians as JSON, one file per experiment, for EXPERIMENTS.md and for
+# regression eyeballing across commits.
+#
+# Usage: scripts/bench.sh [benchtime]
+#   benchtime  passed to -benchtime (default 1x: each matrix bench
+#              already runs enough interleaved rounds internally for a
+#              median, so one invocation is one measurement)
+#
+# Currently wired: E11 (the opt-in fast-path send matrix) -> BENCH_e11.json.
+set -eu
+
+cd "$(dirname "$0")/.."
+BENCHTIME="${1:-1x}"
+
+run_matrix() {
+	# $1 = bench regexp, $2 = output file
+	out="$(go test -run '^$' -bench "$1" -benchtime "$BENCHTIME" .)"
+	echo "$out"
+	echo "$out" | awk -v file="$2" '
+		/^Benchmark/ {
+			# Fields: name, iterations, then repeated "value unit" pairs
+			# (ns/op plus every b.ReportMetric row).
+			printf "{\n  \"bench\": \"%s\",\n  \"metrics\": {", $1 > file
+			sep = ""
+			for (i = 3; i + 1 <= NF; i += 2) {
+				printf "%s\n    \"%s\": %s", sep, $(i+1), $i > file
+				sep = ","
+			}
+			print "\n  }\n}" > file
+		}
+	'
+	[ -s "$2" ] || { echo "bench.sh: no benchmark output parsed for $1" >&2; exit 1; }
+	echo "wrote $2"
+}
+
+run_matrix 'E11_FastPath_Matrix' BENCH_e11.json

@@ -18,12 +18,22 @@ go vet ./...
 echo "== tier-1: test"
 go test ./...
 
-echo "== tier-1: race (net, stats, hw, faults)"
+echo "== tier-1: race (net, stats, hw, faults, libc, linux drivers)"
 go test -race ./internal/freebsd/net/... ./internal/stats/... \
-	./internal/hw/... ./internal/faults/...
+	./internal/hw/... ./internal/faults/... \
+	./internal/libc/... ./internal/linux/dev/...
 
 echo "== shuffled re-run (order-dependence check)"
 go test -shuffle=on -count=1 ./...
+
+echo "== bench smoke (E11 matrix, 1x)"
+scripts/bench.sh 1x >/dev/null
+
+echo "== example smoke (flag parity: -stats/-faults/-fastpath)"
+go run ./examples/ttcp -config oskit -blocks 64 -fastpath -stats >/dev/null
+go run ./examples/rtcp -config oskit -rounds 50 -fastpath >/dev/null
+go run ./examples/fileserver -stats -fastpath \
+	-faults "seed=7 disk.err=0.05 disk.torn=0.02" >/dev/null
 
 if [ "$FUZZTIME" != "0" ]; then
 	echo "== fuzz smoke ($FUZZTIME per target)"
