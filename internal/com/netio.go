@@ -58,6 +58,30 @@ func (f NetIOFunc) Push(pkt BufIO, size uint) error { return f(pkt, size) }
 // AllocBufIO implements NetIO; function adapters have no native buffers.
 func (f NetIOFunc) AllocBufIO(size uint) (BufIO, error) { return nil, ErrNotImplemented }
 
+// NetIOBatchIID identifies the batched packet-sink extension.  A
+// producer that drains its hardware in batches (a polled receive loop)
+// queries its peer's NetIO for this interface (§4.4.2: extension by
+// GUID negotiation, never by changing NetIO itself); a sink that
+// answers can ingest a whole batch in one softint pass and amortize
+// its per-packet completion work — a sink that does not answer still
+// receives every packet through per-frame Push.
+var NetIOBatchIID = NewGUID(0x4aa7dff2, 0x7c74, 0x11cf,
+	0xb5, 0x00, 0x08, 0x00, 0x09, 0x53, 0xad, 0xc2)
+
+// NetIOBatch is a packet sink that accepts batched delivery.
+type NetIOBatch interface {
+	NetIO
+
+	// PushBatch hands pkts[i] (sizes[i] valid bytes each) to the sink in
+	// order, with the same per-packet contract as Push: one reference
+	// per packet is consumed, the sink never blocks, interrupt level is
+	// fine.  The sink processes the whole batch before doing deferred
+	// completion work (ACKs, wakeups), which is the point.  The first
+	// per-packet error is returned after the rest of the batch has still
+	// been consumed.
+	PushBatch(pkts []BufIO, sizes []uint) error
+}
+
 // EtherDevIID identifies the EtherDev interface implemented by Ethernet
 // device nodes in the fdev framework.
 var EtherDevIID = NewGUID(0x4aa7dfe4, 0x7c74, 0x11cf,

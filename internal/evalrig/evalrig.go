@@ -65,13 +65,15 @@ type Node struct {
 
 // Options selects optional rig configuration beyond the Config row.
 type Options struct {
-	// FastPath boots OSKit nodes in the opt-in fast-path send
-	// configuration of E11: scatter-gather transmit through the
-	// encapsulated driver (no mbuf-chain flatten copy) and per-packet
-	// allocations (skbuff data areas, small mbufs) from a QuickPool
-	// registered as a discoverable allocator service.  Ignored by the
-	// Linux and FreeBSD configurations, which have no representation
-	// boundary to shortcut.
+	// FastPath boots OSKit nodes in the opt-in fast-path configuration:
+	// the E11 send side (scatter-gather transmit through the
+	// encapsulated driver, no mbuf-chain flatten copy, per-packet
+	// allocations from a QuickPool registered as a discoverable
+	// allocator service) plus the E12 receive side (NIC interrupt
+	// mitigation, a budgeted poll loop replacing the donor ISR, and
+	// batched delivery into the stack through com.NetIOBatch).  Ignored
+	// by the Linux and FreeBSD configurations, which have no
+	// representation boundary to shortcut.
 	FastPath bool
 }
 

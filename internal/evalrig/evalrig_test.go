@@ -122,6 +122,10 @@ func TestPathShapeMatrix(t *testing.T) {
 				v, _ := p.Sender.Stat(set, name)
 				return v
 			}
+			rstat := func(set, name string) int64 {
+				v, _ := p.Receiver.Stat(set, name)
+				return v
+			}
 			sg := stat("linux_dev", "xmit.sg")
 			flattened := stat("linux_dev", "xmit.flattened")
 			if tc.opts.FastPath {
@@ -143,6 +147,18 @@ func TestPathShapeMatrix(t *testing.T) {
 				if f, a := stat("quickpool", "qp.frees"), stat("quickpool", "qp.allocs"); f > a {
 					t.Errorf("quickpool imbalance: %d frees > %d allocs", f, a)
 				}
+				// E12 receive side: the receiver's inbound frames left its
+				// ring through the budgeted poll loop with interrupts
+				// mitigated, and the stack ingested them in batches.
+				if v := rstat("linux_dev", "rx.batched-frames"); v == 0 {
+					t.Error("fastpath: no frames drained through the receive poll loop")
+				}
+				if v := rstat("linux_dev", "rx.intr-suppressed"); v == 0 {
+					t.Error("fastpath: interrupt mitigation never suppressed an edge")
+				}
+				if v := rstat("freebsd_net", "ether.rx_batches"); v == 0 {
+					t.Error("fastpath: the stack saw no batched deliveries")
+				}
 			} else {
 				if flattened == 0 {
 					t.Error("default: chained sends recorded no flatten copies")
@@ -155,6 +171,26 @@ func TestPathShapeMatrix(t *testing.T) {
 				}
 				if _, ok := p.Sender.Stat("quickpool", "qp.allocs"); ok {
 					t.Error("default: quickpool stats set registered without the option")
+				}
+				// E12 receive side, pinned off: stock nodes keep the
+				// per-frame donor ISR — no batched drains, no suppressed
+				// interrupts, no batched stack deliveries, on either node.
+				for _, n := range []*Node{p.Sender, p.Receiver} {
+					if v := n.NIC().RxBatched(); v != 0 {
+						t.Errorf("default: %s NIC drained %d frames via RxPopBatch", n.Machine.Name, v)
+					}
+					if _, suppr, _ := n.NIC().RxIntrCounters(); suppr != 0 {
+						t.Errorf("default: %s NIC suppressed %d receive interrupts", n.Machine.Name, suppr)
+					}
+				}
+				if v := rstat("linux_dev", "rx.batched-frames"); v != 0 {
+					t.Errorf("default: %d frames counted through the poll loop", v)
+				}
+				if v := rstat("linux_dev", "rx.intr-suppressed"); v != 0 {
+					t.Errorf("default: %d suppressed interrupts on the stock configuration", v)
+				}
+				if v := rstat("freebsd_net", "ether.rx_batches"); v != 0 {
+					t.Errorf("default: %d batched deliveries on the stock configuration", v)
 				}
 			}
 		})

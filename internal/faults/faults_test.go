@@ -2,6 +2,7 @@ package faults
 
 import (
 	"errors"
+	"reflect"
 	"testing"
 
 	"oskit/internal/com"
@@ -301,5 +302,52 @@ func TestWireHookOnEtherWire(t *testing.T) {
 	}
 	if in.FaultsInjected() == 0 {
 		t.Fatal("injector counted no faults")
+	}
+}
+
+// The NIC receive hook draws one decision per offered frame even when
+// the ring is full: ring occupancy must not desynchronize the seeded
+// decision stream from the frame sequence, or a replay from the logged
+// plan would fire at different frames than the run it reproduces.
+func TestNICRxHookDecisionStreamIgnoresRingOccupancy(t *testing.T) {
+	plan := Plan{Seed: 31, NICOverflow: 0.1}
+	in := NewInjector(plan)
+	defer in.Release()
+
+	w := hw.NewEtherWire()
+	a := hw.NewNIC(nil, 0, [6]byte{2, 0, 0, 0, 0, 1})
+	b := hw.NewNIC(nil, 0, [6]byte{2, 0, 0, 0, 0, 2}) // never drained
+	w.Attach(a)
+	w.Attach(b)
+	b.SetRxFaultHook(in.NICRxHook("nic.rx.test"))
+
+	// Offer far more frames than the ring holds: the tail arrives with
+	// the ring at capacity and must still consume decisions.
+	const offered = hw.EtherRingLen + 200
+	f := make([]byte, 64)
+	copy(f[0:6], b.Mac[:])
+	copy(f[6:12], a.Mac[:])
+	for i := 0; i < offered; i++ {
+		a.Transmit(f)
+	}
+
+	p := in.Point("nic.rx.test")
+	if p.Events() != offered {
+		t.Fatalf("point decided %d events for %d offered frames", p.Events(), offered)
+	}
+	if p.Injected() == 0 {
+		t.Fatal("10%% overflow over the run fired nothing")
+	}
+
+	// Replay the decision stream from a fresh injector on the same plan:
+	// the fired-index trace must be bit-identical, ring or no ring.
+	replay := NewInjector(plan)
+	defer replay.Release()
+	hook := replay.NICRxHook("nic.rx.test")
+	for i := 0; i < offered; i++ {
+		hook()
+	}
+	if got, want := replay.Point("nic.rx.test").Fired(), p.Fired(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("decision stream not reproducible:\n  run    %v\n  replay %v", want, got)
 	}
 }

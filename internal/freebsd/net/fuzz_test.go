@@ -182,3 +182,73 @@ func FuzzTCPSegInput(f *testing.F) {
 		inject(t, s, data, func(m *Mbuf) { s.tcpInput(m, fuzzPeer, fuzzIP) })
 	})
 }
+
+// etherFrame wraps a payload in an Ethernet header of the given type
+// for the batched-delivery fuzzer (the demux has no address filter —
+// the driver's NIC did that — so only the type field steers).
+func etherFrame(etype uint16, payload []byte) []byte {
+	b := make([]byte, 14+len(payload))
+	copy(b[0:6], []byte{2, 0, 0, 0, 0, 1})
+	copy(b[6:12], []byte{2, 0, 0, 0, 0, 2})
+	binary.BigEndian.PutUint16(b[12:14], etype)
+	copy(b[14:], payload)
+	return b
+}
+
+// FuzzEtherBatchInput throws malformed frame batches at the batched
+// delivery path (com.NetIOBatch) — the E12 entry point that a polled
+// driver uses instead of per-frame Push.  The harness carves the fuzz
+// bytes into nframes frames and pushes them as one batch, so mutations
+// exercise the whole softint pass: ether demux per frame, the deferred
+// wakeup/ACK flush, and the consume-on-error contract (a lying size
+// mid-batch must not stop the rest of the batch or leak a reference).
+func FuzzEtherBatchInput(f *testing.F) {
+	s := fuzzStack(f)
+	recv := &stackRecv{s: s}
+	recv.Init()
+	f.Cleanup(func() { recv.Release() })
+
+	f.Add([]byte{}, uint8(0), false)
+	f.Add(etherFrame(EtherTypeIP, ipDatagram(ProtoICMP, []byte{8, 0, 0, 0, 0, 1, 0, 1, 'h', 'i'})), uint8(1), false)
+	f.Add(etherFrame(EtherTypeIP, ipDatagram(ProtoTCP, tcpSegment(2000, fuzzPort, 1, 0, thSYN, nil))), uint8(1), false)
+	f.Add(etherFrame(EtherTypeARP, []byte{0, 1, 8, 0, 6, 4, 0, 1}), uint8(2), false)
+	f.Add(etherFrame(0x86dd, []byte("unknown ethertype")), uint8(3), false)
+	// Two well-formed TCP frames fuzzed as one buffer: split points land
+	// mid-header, producing truncated frames in every position.
+	two := append(etherFrame(EtherTypeIP, ipDatagram(ProtoTCP, tcpSegment(2000, fuzzPort, 1, 0, thSYN, nil))),
+		etherFrame(EtherTypeIP, ipDatagram(ProtoTCP, tcpSegment(2001, fuzzPort, 9, 0, thSYN, nil)))...)
+	f.Add(two, uint8(2), false)
+	f.Add(two, uint8(5), true)
+
+	f.Fuzz(func(t *testing.T, data []byte, nframes uint8, lieSize bool) {
+		if len(data) > 8192 {
+			return
+		}
+		n := int(nframes%16) + 1
+		// Carve data into n frames (possibly empty at the tail).
+		pkts := make([]com.BufIO, 0, n)
+		sizes := make([]uint, 0, n)
+		per := len(data)/n + 1
+		for i := 0; i < n; i++ {
+			lo := i * per
+			if lo > len(data) {
+				lo = len(data)
+			}
+			hi := lo + per
+			if hi > len(data) {
+				hi = len(data)
+			}
+			chunk := append([]byte(nil), data[lo:hi]...)
+			size := uint(len(chunk))
+			if lieSize && i == n/2 {
+				size += 7 // lies past the buffer: must error, not wedge the batch
+			}
+			pkts = append(pkts, com.NewMemBuf(chunk))
+			sizes = append(sizes, size)
+		}
+		_ = recv.PushBatch(pkts, sizes)
+		// Mismatched length arrays: every packet must still be consumed.
+		_ = recv.PushBatch([]com.BufIO{com.NewMemBuf(append([]byte(nil), data...))}, nil)
+		s.slowTimo()
+	})
+}

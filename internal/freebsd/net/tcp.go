@@ -124,6 +124,14 @@ type tcpcb struct {
 	connEvent   uint32
 	acceptEvent uint32
 
+	// Batched-receive deferral (see Stack.rxFlush): while a PushBatch is
+	// ingesting, in-order data sets these instead of waking the reader
+	// and ACKing per segment.  rxAckOwed is cleared by any ACK sent on
+	// the connection's behalf meanwhile (tcpRespondACK), so the flush
+	// never duplicates one.
+	rxPendWake bool
+	rxAckOwed  bool
+
 	nodelay bool
 	sentFin bool
 	err     com.Error // sticky socket error

@@ -441,6 +441,21 @@ func (s *Stack) tcpReceiveData(tp *tcpcb, seg tcpSeg) {
 			}
 			tp.reass = tp.reass[1:]
 		}
+		if s.rxBatching {
+			// Batched delivery: defer the wakeup and the ACK to the
+			// end-of-batch flush, one of each per connection — the
+			// delayed-ACK coalescing the batch exists for.  Only the
+			// in-order path defers; duplicate ACKs (below) must stay
+			// immediate for fast retransmit.
+			if !tp.rxPendWake {
+				tp.rxPendWake = true
+				s.rxPend = append(s.rxPend, tp)
+			} else {
+				s.sc.rxAcksCoalesced.Inc()
+			}
+			tp.rxAckOwed = true
+			return
+		}
 		s.g.Wakeup(tp.rcvBuf.event)
 		// Immediate ACK (the kit's stack doesn't delay ACKs; see
 		// package comment).
@@ -466,6 +481,10 @@ func (s *Stack) tcpReceiveData(tp *tcpcb, seg tcpSeg) {
 
 // tcpRespondACK sends a bare ACK reflecting the current receive state.
 func (s *Stack) tcpRespondACK(tp *tcpcb) {
+	// Any ACK reflects the latest rcvNxt, so a deferred batch ACK it
+	// would duplicate is no longer owed (FIN processing mid-batch, a
+	// dup-ACK for a stale segment).  The deferred *wakeup* stays owed.
+	tp.rxAckOwed = false
 	wnd := tp.rcvWindow()
 	m := s.MGetHdr()
 	if m == nil {

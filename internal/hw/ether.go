@@ -218,10 +218,18 @@ type NIC struct {
 	promisc bool
 	rxHook  func() bool // true: drop the inbound frame (forced overrun)
 
-	rxDrops  uint64
-	rxOK     uint64
-	txOK     uint64
-	txGather uint64
+	// rxMitigate, when set, suppresses the receive interrupt unless the
+	// ring just went empty→non-empty: the polled (NAPI-style) drain mode.
+	rxMitigate bool
+
+	rxDrops   uint64
+	rxOK      uint64
+	txOK      uint64
+	txGather  uint64
+	rxRaised  uint64 // receive interrupts raised
+	rxSuppr   uint64 // receive interrupts suppressed by mitigation
+	rxRearms  uint64 // poller/timer re-arms that re-raised the line
+	rxBatched uint64 // frames drained through RxPopBatch
 }
 
 // NewNIC creates a NIC raising the given IRQ line on receive.
@@ -334,17 +342,110 @@ func (n *NIC) receive(frame []byte) {
 
 func (n *NIC) deliver(f []byte) {
 	n.mu.Lock()
-	if len(n.ring) >= EtherRingLen || (n.rxHook != nil && n.rxHook()) {
+	hook := n.rxHook
+	n.mu.Unlock()
+	// The hook runs outside n.mu (it may call back into NIC.Stats) and is
+	// consulted for every offered frame, even when the ring is already
+	// full — one frame, one decision, so a seeded fault plan's decision
+	// stream stays aligned with the frame sequence regardless of ring
+	// occupancy.
+	injected := hook != nil && hook()
+	n.mu.Lock()
+	if injected || len(n.ring) >= EtherRingLen {
 		n.rxDrops++ // ring overrun, real or injected
 		n.mu.Unlock()
 		return
 	}
+	wasEmpty := len(n.ring) == 0
 	n.ring = append(n.ring, f)
 	n.rxOK++
+	raise := n.ic != nil
+	if raise && n.rxMitigate && !wasEmpty {
+		// The ring was already non-empty: the poller owes us a drain
+		// pass anyway, so the edge is redundant.
+		raise = false
+		n.rxSuppr++
+	} else if raise {
+		n.rxRaised++
+	}
 	n.mu.Unlock()
-	if n.ic != nil {
+	if raise {
 		n.ic.Raise(n.line)
 	}
+}
+
+// SetRxIntrMitigation switches the receive-interrupt policy.  Off (the
+// default), every accepted frame raises the line — the stock per-frame
+// interrupt model.  On, only the ring's empty→non-empty transition
+// raises it; a polling driver drains batches and re-arms via RxRearm.
+// Turning mitigation off re-raises the line if frames are pending, so
+// no frame is stranded across the switch.
+func (n *NIC) SetRxIntrMitigation(on bool) {
+	n.mu.Lock()
+	n.rxMitigate = on
+	pending := !on && len(n.ring) > 0 && n.ic != nil
+	if pending {
+		n.rxRaised++
+	}
+	n.mu.Unlock()
+	if pending {
+		n.ic.Raise(n.line)
+	}
+}
+
+// RxPopBatch removes up to max frames (bounded by len(dst)) from the
+// receive ring into dst and returns the count — the polled drain a
+// budgeted receive loop uses instead of per-frame RxPop.
+func (n *NIC) RxPopBatch(dst [][]byte, max int) int {
+	if max > len(dst) {
+		max = len(dst)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	c := len(n.ring)
+	if c > max {
+		c = max
+	}
+	if c <= 0 {
+		return 0
+	}
+	copy(dst, n.ring[:c])
+	n.ring = n.ring[c:]
+	n.rxBatched += uint64(c)
+	return c
+}
+
+// RxRearm re-raises the receive interrupt if frames are still pending —
+// the poller's "budget exhausted, reschedule me" edge, and the timer
+// backstop's recovery path for a stalled poller.  Returns whether the
+// line was raised.
+func (n *NIC) RxRearm() bool {
+	n.mu.Lock()
+	fire := len(n.ring) > 0 && n.ic != nil
+	if fire {
+		n.rxRearms++
+		n.rxRaised++
+	}
+	n.mu.Unlock()
+	if fire {
+		n.ic.Raise(n.line)
+	}
+	return fire
+}
+
+// RxIntrCounters reports the receive-interrupt ledger: interrupts
+// raised, interrupts suppressed by mitigation, and re-arms.
+func (n *NIC) RxIntrCounters() (raised, suppressed, rearms uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.rxRaised, n.rxSuppr, n.rxRearms
+}
+
+// RxBatched reports how many frames left the ring through RxPopBatch.
+func (n *NIC) RxBatched() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.rxBatched
 }
 
 // WireOfForTest exposes the segment a NIC is attached to (test hook).

@@ -87,6 +87,9 @@ type etherDev struct {
 	ldev *legacy.NetDevice
 	info com.DeviceInfo
 	recv com.NetIO
+	// poller, when non-nil, is the fast-path polled receive loop that
+	// has replaced the donor ISR on this device (rxpoll.go).
+	poller *rxPoller
 }
 
 // QueryInterface implements com.IUnknown: the node answers for Device and
@@ -122,6 +125,9 @@ func (e *etherDev) Open(recv com.NetIO) (com.NetIO, error) {
 		recv.Release()
 		return nil, com.ErrNoDev
 	}
+	// On a fast-path node the open device switches to the polled
+	// receive loop; EnableFastPath catches devices opened earlier.
+	e.g.engageRxPoll(e)
 	s := &etherSend{g: e.g, node: e}
 	s.Init()
 	return s, nil
@@ -133,6 +139,10 @@ func (e *etherDev) Close() error {
 	defer restore()
 	if e.recv == nil {
 		return com.ErrInval
+	}
+	if e.poller != nil {
+		e.poller.stop()
+		e.poller = nil
 	}
 	_ = e.ldev.Stop(e.ldev)
 	e.recv.Release()

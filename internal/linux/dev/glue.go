@@ -61,6 +61,9 @@ type Glue struct {
 	// libc.QuickPool) kmalloc draws packet-sized blocks from on the
 	// fast path.  The glue holds one COM reference.
 	pool com.Allocator
+	// rxBudget is the per-interrupt frame budget of the polled receive
+	// loop (rxpoll.go); 0 means DefaultRxBudget.  Guarded by mu.
+	rxBudget int
 
 	// com.Stats export: driver-glue hot-path counters, registered as
 	// "linux_dev" in the environment's services registry.
@@ -78,6 +81,14 @@ type Glue struct {
 	scTxMapped    *stats.Counter
 	scTxSG        *stats.Counter
 	scTxFlattened *stats.Counter
+	// Polled-receive path-shape counters (rxpoll.go): drain passes,
+	// frames that arrived batched, and the NIC's interrupt ledger
+	// mirrored per poll.  All stay zero in the default configuration —
+	// the pin TestPathShapeMatrix checks.
+	scRxPolls          *stats.Counter
+	scRxBatchFrames    *stats.Counter
+	scRxIntrRaised     *stats.Counter
+	scRxIntrSuppressed *stats.Counter
 	// kmalloc bucket free lists: [class][dma?]; class i holds blocks of
 	// 32<<i bytes.  Protected by interrupt exclusion, not mu (the donor
 	// contract).
@@ -175,6 +186,10 @@ func GlueFor(env *core.Env) *Glue {
 	g.scTxMapped = set.Counter("xmit.mapped")
 	g.scTxSG = set.Counter("xmit.sg")
 	g.scTxFlattened = set.Counter("xmit.flattened")
+	g.scRxPolls = set.Counter("rx.polls")
+	g.scRxBatchFrames = set.Counter("rx.batched-frames")
+	g.scRxIntrRaised = set.Counter("rx.intr-raised")
+	g.scRxIntrSuppressed = set.Counter("rx.intr-suppressed")
 	env.Registry.Register(com.StatsIID, set)
 	set.Release()
 	g.kern = g.buildKernel()
@@ -225,10 +240,31 @@ func (g *Glue) EnableFastPath(pool com.Allocator) {
 		g.env.IntrEnable()
 	}
 	g.fastpath.Store(true)
+	// The receive side engages per open device: devices opened before
+	// the switch pick up the polled path here, devices opened after pick
+	// it up in Open.
+	g.mu.Lock()
+	nodes := make([]*etherDev, 0, len(g.route))
+	for _, e := range g.route {
+		nodes = append(nodes, e)
+	}
+	g.mu.Unlock()
+	for _, e := range nodes {
+		g.engageRxPoll(e)
+	}
 }
 
 // FastPath reports whether EnableFastPath has been called.
 func (g *Glue) FastPath() bool { return g.fastpath.Load() }
+
+// RxCounters snapshots the polled-receive path-shape counters: drain
+// passes, frames delivered in batches, and the mirrored NIC interrupt
+// ledger.  The same values are discoverable as "rx.*" in the
+// "linux_dev" stats set.
+func (g *Glue) RxCounters() (polls, batched, raised, suppressed uint64) {
+	return g.scRxPolls.Load(), g.scRxBatchFrames.Load(),
+		g.scRxIntrRaised.Load(), g.scRxIntrSuppressed.Load()
+}
 
 // XmitCounters snapshots the transmit path-shape counters: how many
 // Push calls took the native-skbuff, mapped (FakeSKB), scatter-gather,

@@ -1,0 +1,223 @@
+package linuxdev
+
+import (
+	"sync"
+
+	"oskit/internal/com"
+	"oskit/internal/hw"
+)
+
+// Polled receive (E12): the fast-path counterpart of the scatter-gather
+// transmit branch.  In the stock configuration every accepted frame
+// raises the NIC's interrupt and the donor ISR allocates, copies and
+// pushes one skbuff per frame — the per-packet interrupt and allocation
+// overhead the paper's §6.2.10 profiling names.  When the glue is in
+// the opt-in fast-path configuration, the ether node replaces the donor
+// ISR with a budgeted poll loop: the NIC mitigates interrupts (only the
+// ring's empty→non-empty edge fires), each interrupt drains up to
+// RxBudget frames in one pass, the skbuffs draw their data areas from
+// the discoverable QuickPool service via the fast-path kmalloc route,
+// and the whole batch is handed to the protocol stack through the
+// GUID-negotiated com.NetIOBatch extension so its per-packet completion
+// work amortizes too.  The donor driver itself is untouched — the poll
+// loop is glue, installed through the same RequestIRQ seam the donor
+// used (§4.7: specialization by configuration, never by forking).
+
+// DefaultRxBudget is the per-interrupt frame budget of the polled
+// receive loop (SetRxBudget overrides it before the path engages).
+const DefaultRxBudget = 16
+
+// rxRearmTicks is the period of the timer-driven re-arm backstop: a
+// stalled poller (a lost edge, a budget miscount) strands frames in the
+// ring for at most this many clock ticks.
+const rxRearmTicks = 1
+
+// rxPoller is the budgeted poll loop bound to one open ether node.
+type rxPoller struct {
+	g    *Glue
+	node *etherDev
+	nic  *hw.NIC
+
+	// batch is the sink's negotiated NetIOBatch extension; nil when the
+	// sink only speaks per-frame Push (the path still works, frame by
+	// frame).
+	batch com.NetIOBatch
+
+	// Reused per-poll scratch (interrupt-level code allocates as little
+	// as it can).
+	scratch [][]byte
+	bios    []com.BufIO
+	sizes   []uint
+
+	// Interrupt-ledger mirror state: NIC counter values already folded
+	// into the glue's stats rows.  Touched only at interrupt level (the
+	// machine's one dispatcher), so unsynchronized.
+	lastRaised, lastSuppr uint64
+
+	mu          sync.Mutex
+	stopped     bool
+	rearmCancel func()
+}
+
+// SetRxBudget overrides the per-interrupt frame budget for pollers
+// engaged after the call (default DefaultRxBudget).  Values < 1 reset
+// to the default.
+func (g *Glue) SetRxBudget(n int) {
+	g.mu.Lock()
+	g.rxBudget = n
+	g.mu.Unlock()
+}
+
+// engageRxPoll switches one open ether node to the polled receive path.
+// Idempotent; a no-op unless the glue is in the fast-path configuration,
+// the node is open, and its chip is the simulated NIC.
+func (g *Glue) engageRxPoll(e *etherDev) {
+	if !g.FastPath() || e.recv == nil || e.poller != nil {
+		return
+	}
+	chip, ok := e.ldev.Chip.(*nicChip)
+	if !ok {
+		return
+	}
+	g.mu.Lock()
+	budget := g.rxBudget
+	g.mu.Unlock()
+	if budget < 1 {
+		budget = DefaultRxBudget
+	}
+	p := &rxPoller{
+		g:       g,
+		node:    e,
+		nic:     chip.nic,
+		scratch: make([][]byte, budget),
+		bios:    make([]com.BufIO, 0, budget),
+		sizes:   make([]uint, 0, budget),
+	}
+	// §4.4.2 negotiation: does the sink ingest batches?
+	if obj, err := e.recv.QueryInterface(com.NetIOBatchIID); err == nil {
+		p.batch = obj.(com.NetIOBatch)
+	}
+	// Mirror deltas start at the NIC's current ledger, so the stats rows
+	// count only the mitigated era.
+	p.lastRaised, p.lastSuppr, _ = p.nic.RxIntrCounters()
+	e.poller = p
+	// Replace the donor ISR on the same line it requested; the donor
+	// driver keeps believing its handler is installed, which is fine —
+	// both drain the same ring, and Close's dev->stop frees the IRQ
+	// either way.
+	g.env.Machine.Intr.SetHandler(e.ldev.IRQ, func(int) { p.poll() })
+	p.nic.SetRxIntrMitigation(true)
+	p.startRearmTimer()
+}
+
+// stop disengages the poller: the timer backstop dies, mitigation is
+// switched off (re-raising the line if frames are pending, so nothing
+// strands across the switch), and the negotiated batch sink is
+// released.
+func (p *rxPoller) stop() {
+	p.mu.Lock()
+	p.stopped = true
+	cancel := p.rearmCancel
+	p.rearmCancel = nil
+	p.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	p.nic.SetRxIntrMitigation(false)
+	if p.batch != nil {
+		p.batch.Release()
+		p.batch = nil
+	}
+}
+
+// poll is the interrupt handler: one budgeted drain pass.
+func (p *rxPoller) poll() {
+	p.mirrorIntrStats()
+	n := p.nic.RxPopBatch(p.scratch, len(p.scratch))
+	if n == 0 {
+		return
+	}
+	g := p.g
+	g.scRxPolls.Inc()
+	ldev := p.node.ldev
+	recv := p.node.recv
+	bios := p.bios[:0]
+	sizes := p.sizes[:0]
+	for i := 0; i < n; i++ {
+		f := p.scratch[i]
+		p.scratch[i] = nil
+		// The data area comes from kmalloc, which on a fast-path node
+		// routes packet-sized blocks through the bound QuickPool service
+		// (§6.2.10 on the receive side; fault point qp.recv fires here).
+		// The copy is the busmaster DMA into it.
+		skb := g.kern.AllocSKB(len(f))
+		if skb == nil {
+			ldev.Stats.RxDropped++
+			continue
+		}
+		copy(skb.Put(len(f)), f)
+		skb.Dev = ldev
+		ldev.Stats.RxPackets++
+		ldev.Stats.RxBytes += uint64(len(f))
+		if recv == nil {
+			skb.Free()
+			continue
+		}
+		bios = append(bios, g.wrapSKB(skb)) // takes over the skb reference
+		sizes = append(sizes, uint(skb.Len))
+	}
+	if len(bios) > 0 {
+		g.scRxBatchFrames.Add(uint64(len(bios)))
+		if p.batch != nil {
+			_ = p.batch.PushBatch(bios, sizes)
+		} else {
+			for i, bio := range bios {
+				_ = recv.Push(bio, sizes[i])
+			}
+		}
+	}
+	for i := range bios {
+		bios[i] = nil
+	}
+	p.bios, p.sizes = bios[:0], sizes[:0]
+	if n == len(p.scratch) {
+		// Budget exhausted with frames possibly still ringed: re-raise
+		// the line so the dispatcher schedules another pass (the NAPI
+		// "not done" reschedule).
+		p.nic.RxRearm()
+	}
+}
+
+// mirrorIntrStats folds the NIC's interrupt ledger into the glue's
+// discoverable stats rows (rx.intr-raised / rx.intr-suppressed).  The
+// NIC counts under its own lock; the rows lag by at most one poll.
+func (p *rxPoller) mirrorIntrStats() {
+	raised, suppr, _ := p.nic.RxIntrCounters()
+	p.g.scRxIntrRaised.Add(raised - p.lastRaised)
+	p.g.scRxIntrSuppressed.Add(suppr - p.lastSuppr)
+	p.lastRaised, p.lastSuppr = raised, suppr
+}
+
+// startRearmTimer schedules the periodic backstop on the machine's
+// existing callout clock: if the poller ever stalls with frames ringed,
+// the next tick re-raises the line.
+func (p *rxPoller) startRearmTimer() {
+	var tick func()
+	tick = func() {
+		p.mu.Lock()
+		if p.stopped {
+			p.mu.Unlock()
+			return
+		}
+		p.mu.Unlock()
+		p.nic.RxRearm()
+		p.mu.Lock()
+		if !p.stopped {
+			p.rearmCancel = p.g.env.AfterTicks(rxRearmTicks, tick)
+		}
+		p.mu.Unlock()
+	}
+	p.mu.Lock()
+	p.rearmCancel = p.g.env.AfterTicks(rxRearmTicks, tick)
+	p.mu.Unlock()
+}

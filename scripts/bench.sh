@@ -8,7 +8,9 @@
 #              already runs enough interleaved rounds internally for a
 #              median, so one invocation is one measurement)
 #
-# Currently wired: E11 (the opt-in fast-path send matrix) -> BENCH_e11.json.
+# Currently wired:
+#   E11 (the opt-in fast-path send matrix)    -> BENCH_e11.json
+#   E12 (the opt-in fast-path receive matrix) -> BENCH_e12.json
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -36,3 +38,4 @@ run_matrix() {
 }
 
 run_matrix 'E11_FastPath_Matrix' BENCH_e11.json
+run_matrix 'E12_RxBatch_Matrix' BENCH_e12.json

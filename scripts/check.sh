@@ -26,7 +26,7 @@ go test -race ./internal/freebsd/net/... ./internal/stats/... \
 echo "== shuffled re-run (order-dependence check)"
 go test -shuffle=on -count=1 ./...
 
-echo "== bench smoke (E11 matrix, 1x)"
+echo "== bench smoke (E11 + E12 matrices, 1x)"
 scripts/bench.sh 1x >/dev/null
 
 echo "== example smoke (flag parity: -stats/-faults/-fastpath)"
@@ -39,6 +39,7 @@ if [ "$FUZZTIME" != "0" ]; then
 	echo "== fuzz smoke ($FUZZTIME per target)"
 	go test ./internal/freebsd/net/ -run '^$' -fuzz '^FuzzIPInput$' -fuzztime "$FUZZTIME"
 	go test ./internal/freebsd/net/ -run '^$' -fuzz '^FuzzTCPSegInput$' -fuzztime "$FUZZTIME"
+	go test ./internal/freebsd/net/ -run '^$' -fuzz '^FuzzEtherBatchInput$' -fuzztime "$FUZZTIME"
 	go test ./internal/diskpart/ -run '^$' -fuzz '^FuzzReadPartitions$' -fuzztime "$FUZZTIME"
 fi
 
