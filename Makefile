@@ -1,7 +1,7 @@
 # Convenience targets; scripts/check.sh is the source of truth for the
 # verification sequence.
 
-.PHONY: build test race check check-quick bench
+.PHONY: build test race lint lint-fix-fixtures check check-quick bench
 
 build:
 	go build ./...
@@ -11,7 +11,21 @@ test:
 
 race:
 	go test -race ./internal/freebsd/net/... ./internal/stats/... \
-		./internal/hw/... ./internal/faults/...
+		./internal/hw/... ./internal/faults/... \
+		./internal/kvm/... ./internal/smp/... \
+		./internal/evalrig/... ./internal/com/...
+
+# oskitcheck: the kit's own analyzers (COM refcounts, hooks under locks,
+# GUID registry, determinism contract).  Fails on any unsuppressed
+# diagnostic; //oskit:allow waivers are listed on stderr.
+lint:
+	go run ./cmd/oskitcheck ./...
+
+# The analyzer golden fixtures live under testdata/ where go fmt cannot
+# see them; format them and re-run the analyzer test suites.
+lint-fix-fixtures:
+	gofmt -l -w internal/analysis/*/testdata
+	go test ./internal/analysis/...
 
 # Full gauntlet: tier-1 + shuffled re-run + short fuzz smoke.
 check:

@@ -1,0 +1,228 @@
+// Package analysis is a self-contained miniature of the
+// golang.org/x/tools/go/analysis framework, built only on the standard
+// library so the kit stays dependency-free (the same "no required support
+// code" discipline §4.4.3 demands of components applies to the toolchain
+// that checks them).
+//
+// An Analyzer is a named invariant checker over one type-checked package
+// (Run) or over the whole program at once (RunProgram, for invariants such
+// as GUID uniqueness that only exist across packages).  The runner applies
+// a suite of analyzers to a loaded Program and post-filters diagnostics
+// through //oskit:allow suppression comments, keeping every waiver visible
+// and countable instead of silently swallowed.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a position, a message, and the analyzer that
+// produced it.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Package is one type-checked package: syntax, types, and provenance.
+type Package struct {
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+	Dir        string
+	ImportPath string
+}
+
+// Program is the unit the runner operates on: every package selected for
+// analysis, sharing one FileSet.
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package
+}
+
+// Pass carries one analyzer's view of one package plus the reporting
+// channel.  It mirrors x/tools' analysis.Pass closely enough that the
+// analyzers would port with little friction.
+type Pass struct {
+	Analyzer *Analyzer
+	*Package
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}
+
+// Analyzer is one invariant checker.  Exactly one of Run and RunProgram
+// must be set: Run sees one package at a time; RunProgram sees the whole
+// program (for cross-package invariants such as GUID uniqueness).
+type Analyzer struct {
+	Name string
+	Doc  string
+
+	Run        func(*Pass) error
+	RunProgram func(*Program, func(Diagnostic)) error
+}
+
+// Validate reports whether the analyzer set is well-formed: names unique
+// and non-empty, exactly one run hook each.  The structure test asserts
+// this so a conflicting registration fails tier-1 immediately.
+func Validate(analyzers []*Analyzer) error {
+	seen := map[string]bool{}
+	for _, a := range analyzers {
+		if a.Name == "" {
+			return fmt.Errorf("analyzer with empty name")
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if (a.Run == nil) == (a.RunProgram == nil) {
+			return fmt.Errorf("analyzer %q must set exactly one of Run and RunProgram", a.Name)
+		}
+	}
+	return nil
+}
+
+// Result is the outcome of running a suite: diagnostics that stand, and
+// diagnostics waived by //oskit:allow comments (kept so drivers can report
+// how many waivers are in force).
+type Result struct {
+	Diagnostics []Diagnostic
+	Suppressed  []Diagnostic
+}
+
+// AllowPrefix is the comment directive that waives one diagnostic:
+//
+//	//oskit:allow <analyzer>[,<analyzer>...] [-- reason]
+//
+// placed on the flagged line or on the line directly above it.  The
+// driver counts applied waivers so suppressions stay visible in output.
+const AllowPrefix = "//oskit:allow"
+
+// allowSet maps filename → line → analyzer names allowed there.
+type allowSet map[string]map[int]map[string]bool
+
+func collectAllows(prog *Program) allowSet {
+	out := allowSet{}
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					names, ok := parseAllow(c.Text)
+					if !ok {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					byLine := out[pos.Filename]
+					if byLine == nil {
+						byLine = map[int]map[string]bool{}
+						out[pos.Filename] = byLine
+					}
+					// The directive covers its own line (trailing
+					// comment) and the next line (comment above).
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						set := byLine[line]
+						if set == nil {
+							set = map[string]bool{}
+							byLine[line] = set
+						}
+						for _, n := range names {
+							set[n] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// parseAllow extracts the analyzer names from an //oskit:allow comment.
+func parseAllow(text string) ([]string, bool) {
+	if !strings.HasPrefix(text, AllowPrefix) {
+		return nil, false
+	}
+	rest := strings.TrimPrefix(text, AllowPrefix)
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return nil, false // e.g. //oskit:allowance
+	}
+	if i := strings.Index(rest, "--"); i >= 0 {
+		rest = rest[:i] // trailing justification
+	}
+	var names []string
+	for _, f := range strings.FieldsFunc(rest, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+		names = append(names, f)
+	}
+	return names, len(names) > 0
+}
+
+func (a allowSet) allows(fset *token.FileSet, d Diagnostic) bool {
+	pos := fset.Position(d.Pos)
+	byLine := a[pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	set := byLine[pos.Line]
+	return set != nil && (set[d.Analyzer] || set["all"])
+}
+
+// Run applies the analyzers to every package of the program and splits
+// the findings into standing and suppressed diagnostics, each sorted by
+// position.
+func Run(prog *Program, analyzers []*Analyzer) (*Result, error) {
+	if err := Validate(analyzers); err != nil {
+		return nil, err
+	}
+	var all []Diagnostic
+	report := func(d Diagnostic) { all = append(all, d) }
+	for _, a := range analyzers {
+		if a.RunProgram != nil {
+			name := a.Name
+			if err := a.RunProgram(prog, func(d Diagnostic) {
+				d.Analyzer = name
+				report(d)
+			}); err != nil {
+				return nil, fmt.Errorf("%s: %w", a.Name, err)
+			}
+			continue
+		}
+		for _, pkg := range prog.Packages {
+			pass := &Pass{Analyzer: a, Package: pkg, report: report}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	allows := collectAllows(prog)
+	res := &Result{}
+	for _, d := range all {
+		if allows.allows(prog.Fset, d) {
+			res.Suppressed = append(res.Suppressed, d)
+		} else {
+			res.Diagnostics = append(res.Diagnostics, d)
+		}
+	}
+	byPos := func(ds []Diagnostic) func(i, j int) bool {
+		return func(i, j int) bool {
+			pi, pj := prog.Fset.Position(ds[i].Pos), prog.Fset.Position(ds[j].Pos)
+			if pi.Filename != pj.Filename {
+				return pi.Filename < pj.Filename
+			}
+			if pi.Line != pj.Line {
+				return pi.Line < pj.Line
+			}
+			return ds[i].Message < ds[j].Message
+		}
+	}
+	sort.Slice(res.Diagnostics, byPos(res.Diagnostics))
+	sort.Slice(res.Suppressed, byPos(res.Suppressed))
+	return res, nil
+}

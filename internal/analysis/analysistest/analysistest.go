@@ -1,0 +1,129 @@
+// Package analysistest runs an analyzer over golden fixtures, in the
+// style of golang.org/x/tools/go/analysis/analysistest: fixture packages
+// live under testdata/src/<name>/ and mark the lines where a diagnostic
+// is expected with
+//
+//	code // want "regexp"
+//
+// (several `"re"` literals on one line expect several diagnostics).
+// Fixtures may import real kit packages — oskit/internal/com and friends
+// resolve through compiled export data — so positive fixtures can
+// reproduce historical bug shapes against the real interfaces and
+// negative fixtures can mirror the fixed code.  //oskit:allow directives
+// are honored, so suppression behavior is golden-tested too.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"oskit/internal/analysis"
+)
+
+// expectation is one `// want` entry.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`(?:"((?:[^"\\]|\\.)*)"|` + "`([^`]*)`" + `)`)
+
+// Run applies the analyzers to each named fixture package under
+// dir/testdata/src and compares diagnostics against the fixtures' want
+// comments.
+func Run(t *testing.T, analyzers []*analysis.Analyzer, fixtures ...string) {
+	t.Helper()
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fixture := range fixtures {
+		fixture := fixture
+		t.Run(fixture, func(t *testing.T) {
+			t.Helper()
+			fixtureDir := filepath.Join(cwd, "testdata", "src", fixture)
+			prog, err := analysis.LoadFixtureDir(cwd, fixtureDir)
+			if err != nil {
+				t.Fatalf("loading fixture: %v", err)
+			}
+			res, err := analysis.Run(prog, analyzers)
+			if err != nil {
+				t.Fatalf("running analyzers: %v", err)
+			}
+			wants, err := collectWants(fixtureDir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range res.Diagnostics {
+				pos := prog.Fset.Position(d.Pos)
+				if !match(wants, pos, d.Message) {
+					t.Errorf("%s:%d: unexpected diagnostic: [%s] %s", filepath.Base(pos.Filename), pos.Line, d.Analyzer, d.Message)
+				}
+			}
+			for _, w := range wants {
+				if !w.matched {
+					t.Errorf("%s:%d: expected diagnostic matching %q, got none", filepath.Base(w.file), w.line, w.raw)
+				}
+			}
+		})
+	}
+}
+
+// collectWants scans the fixture files for `// want` comments.
+func collectWants(dir string) ([]*expectation, error) {
+	files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	var out []*expectation
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			idx := strings.Index(line, "// want ")
+			if idx < 0 {
+				continue
+			}
+			spec := line[idx+len("// want "):]
+			ms := wantRE.FindAllStringSubmatch(spec, -1)
+			if len(ms) == 0 {
+				return nil, fmt.Errorf("%s:%d: malformed want comment %q", file, i+1, spec)
+			}
+			for _, m := range ms {
+				raw := m[1]
+				if raw == "" {
+					raw = m[2]
+				}
+				re, err := regexp.Compile(raw)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want regexp: %v", file, i+1, err)
+				}
+				out = append(out, &expectation{file: file, line: i + 1, re: re, raw: raw})
+			}
+		}
+	}
+	return out, nil
+}
+
+func match(wants []*expectation, pos token.Position, msg string) bool {
+	for _, w := range wants {
+		if w.matched || w.line != pos.Line || filepath.Base(w.file) != filepath.Base(pos.Filename) {
+			continue
+		}
+		if w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

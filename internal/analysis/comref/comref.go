@@ -1,0 +1,308 @@
+// Package comref enforces the COM reference rule of paper §4.4.2: a
+// successful QueryInterface — or any Get*/Lookup*/First accessor that
+// transfers a reference, such as core.Registry.First or
+// dev.Framework.LookupByIID — hands the caller one reference that "must
+// eventually be Released".
+//
+// The check is intra-procedural and flow-insensitive: a reference is
+// considered satisfied if, anywhere in the acquiring function, it is
+// Released (directly or via defer) or it escapes the function — returned,
+// passed to another call, stored into a field, map, slice, global, or
+// composite literal, or sent on a channel.  What it flags is the shape
+// behind the PR 1 storage leaks: an acquired reference that is only ever
+// read locally (or discarded outright) and therefore can never be
+// Released by anyone.
+package comref
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"oskit/internal/analysis"
+)
+
+// Analyzer is the comref pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "comref",
+	Doc:  "a COM reference obtained from QueryInterface or a Get*/Lookup*/First accessor must be Released or escape",
+	Run:  run,
+}
+
+// acquisition is one call that transfers a COM reference into the
+// function.
+type acquisition struct {
+	pos  token.Pos
+	desc string
+	obj  types.Object // local var holding the reference (nil: discarded)
+	// aliases are additional objects holding the same reference (the
+	// value vars of ranges over an acquired slice).
+	aliases []types.Object
+	slice   bool
+}
+
+func run(pass *analysis.Pass) error {
+	iu := analysis.FindIUnknown(pass.Pkg)
+	if iu == nil {
+		return nil // package has no COM dependency; nothing to check
+	}
+	c := &checker{pass: pass, iu: iu}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					c.checkBody(fn.Body)
+				}
+				return false // checkBody descends into nested FuncLits itself
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+	iu   *types.Interface
+}
+
+// acquisitionOf classifies a call: does it transfer a COM reference to
+// the caller?  Returns a description ("QueryInterface(com.DirIID)") and
+// whether the transferred value is a slice of references.
+func (c *checker) acquisitionOf(call *ast.CallExpr) (desc string, slice, ok bool) {
+	fn := analysis.CalleeFunc(c.pass.Info, call)
+	if fn == nil {
+		return "", false, false
+	}
+	name := fn.Name()
+	transfer := name == "QueryInterface" ||
+		strings.HasPrefix(name, "Get") ||
+		strings.HasPrefix(name, "Lookup") ||
+		name == "First"
+	if !transfer {
+		return "", false, false
+	}
+	sig, ok2 := fn.Type().(*types.Signature)
+	if !ok2 || sig.Results().Len() == 0 {
+		return "", false, false
+	}
+	res := sig.Results().At(0).Type()
+	if analysis.ImplementsIUnknown(res, c.iu) {
+		return callDesc(name, call), false, true
+	}
+	if sl, isSlice := res.Underlying().(*types.Slice); isSlice && analysis.ImplementsIUnknown(sl.Elem(), c.iu) {
+		return callDesc(name, call), true, true
+	}
+	return "", false, false
+}
+
+func callDesc(name string, call *ast.CallExpr) string {
+	if len(call.Args) == 1 {
+		if arg := analysis.ExprPath(call.Args[0]); arg != "?" {
+			return name + "(" + arg + ")"
+		}
+	}
+	return name
+}
+
+// checkBody analyzes one function body: collect acquisitions, then test
+// each for a discharge anywhere in the same body.  Nested function
+// literals are checked as their own scopes (a reference acquired in a
+// closure must be discharged in that closure or escape it).
+func (c *checker) checkBody(body *ast.BlockStmt) {
+	var acqs []*acquisition
+	objOf := func(e ast.Expr) types.Object {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return nil
+		}
+		if def := c.pass.Info.Defs[id]; def != nil {
+			return def
+		}
+		return c.pass.Info.Uses[id]
+	}
+
+	// Pass 1: acquisitions.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			c.checkBody(n.Body) // separate scope
+			return false
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				if desc, _, ok := c.acquisitionOf(call); ok {
+					c.pass.Reportf(call.Pos(), "result of %s carries a COM reference but is discarded (never Released)", desc)
+				}
+				return false // don't re-visit as a plain CallExpr
+			}
+		case *ast.AssignStmt:
+			if len(n.Rhs) != 1 {
+				return true
+			}
+			call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			desc, slice, ok := c.acquisitionOf(call)
+			if !ok {
+				return true
+			}
+			obj := objOf(n.Lhs[0])
+			if obj == nil {
+				c.pass.Reportf(call.Pos(), "result of %s carries a COM reference but is assigned to _ (never Released)", desc)
+				return true
+			}
+			acqs = append(acqs, &acquisition{pos: call.Pos(), desc: desc, obj: obj, slice: slice})
+		case *ast.RangeStmt:
+			call, ok := ast.Unparen(n.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			desc, slice, ok := c.acquisitionOf(call)
+			if !ok || !slice {
+				return true
+			}
+			if n.Value == nil {
+				c.pass.Reportf(call.Pos(), "ranging over %s drops COM references (elements never Released)", desc)
+				return true
+			}
+			if obj := objOf(n.Value); obj != nil {
+				acqs = append(acqs, &acquisition{pos: call.Pos(), desc: desc, obj: obj})
+			}
+		}
+		return true
+	})
+	if len(acqs) == 0 {
+		return
+	}
+
+	// Acquired slices that are ranged over transfer the obligation to
+	// the range value var: record it as an alias.
+	for _, a := range acqs {
+		if !a.slice {
+			continue
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if id, ok := ast.Unparen(rng.X).(*ast.Ident); ok && c.pass.Info.Uses[id] == a.obj && rng.Value != nil {
+				if v := objOf(rng.Value); v != nil {
+					a.aliases = append(a.aliases, v)
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: discharges.
+	for _, a := range acqs {
+		if !c.discharged(body, a) {
+			c.pass.Reportf(a.pos, "COM reference from %s is never Released and does not escape this function", a.desc)
+		}
+	}
+}
+
+// carries reports whether expression e evaluates to the tracked
+// reference itself (possibly through parens, a type assertion, an
+// address-of, or as an element of a composite literal).  Crucially, a
+// call *on* the reference (d.ReadDir(...)) and a comparison (d != nil)
+// do not carry it — reading through a reference is not an escape.
+func (c *checker) carries(e ast.Expr, objs []types.Object) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		use := c.pass.Info.Uses[e]
+		for _, o := range objs {
+			if use != nil && use == o {
+				return true
+			}
+		}
+	case *ast.TypeAssertExpr:
+		return c.carries(e.X, objs)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return c.carries(e.X, objs)
+		}
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if c.carries(el, objs) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// discharged reports whether the obligation is met anywhere in body:
+// the reference is Released (directly, deferred, or inside a closure
+// that captured it) or escapes as a value.
+func (c *checker) discharged(body *ast.BlockStmt, a *acquisition) bool {
+	objs := append([]types.Object{a.obj}, a.aliases...)
+	done := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if done {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// v.Release() — possibly through a type assertion,
+			// v.(com.Dir).Release().
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if (sel.Sel.Name == "Release" || sel.Sel.Name == "ReleaseAll") && c.carries(sel.X, objs) {
+					done = true
+					return false
+				}
+			}
+			// v passed to any call: ownership may transfer.
+			for _, arg := range n.Args {
+				if c.carries(arg, objs) {
+					done = true
+					return false
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if c.carries(r, objs) {
+					done = true
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			// v on the right of any assignment other than the
+			// no-op `_ = v`: stored somewhere (field, map entry,
+			// global, other local, composite literal, ...).
+			allBlank := true
+			for _, l := range n.Lhs {
+				if id, ok := l.(*ast.Ident); !ok || id.Name != "_" {
+					allBlank = false
+				}
+			}
+			if allBlank {
+				return true
+			}
+			for _, r := range n.Rhs {
+				// Skip the acquiring assignment itself.
+				if r.Pos() <= a.pos && a.pos < r.End() {
+					continue
+				}
+				if c.carries(r, objs) {
+					done = true
+					return false
+				}
+			}
+		case *ast.SendStmt:
+			if c.carries(n.Value, objs) {
+				done = true
+				return false
+			}
+		}
+		return true
+	})
+	return done
+}

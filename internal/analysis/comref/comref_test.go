@@ -1,0 +1,13 @@
+package comref_test
+
+import (
+	"testing"
+
+	"oskit/internal/analysis"
+	"oskit/internal/analysis/analysistest"
+	"oskit/internal/analysis/comref"
+)
+
+func TestComref(t *testing.T) {
+	analysistest.Run(t, []*analysis.Analyzer{comref.Analyzer}, "comreftest")
+}

@@ -1,0 +1,62 @@
+// Positive fixtures for comref: COM references acquired and then lost —
+// the storage-leak shapes fixed by hand in PR 1, here against the real
+// kit interfaces.
+package comreftest
+
+import (
+	"oskit/internal/com"
+	"oskit/internal/core"
+)
+
+// leakReadOnly acquires an interface, reads through it, and never
+// Releases it: the reference can no longer be dropped by anyone.
+func leakReadOnly(f com.File) uint64 {
+	d, err := f.QueryInterface(com.DirIID) // want `COM reference from QueryInterface\(com\.DirIID\) is never Released`
+	if err != nil {
+		return 0
+	}
+	ents, _ := d.(com.Dir).ReadDir(0, 0)
+	return uint64(len(ents))
+}
+
+// leakDiscarded drops the result on the floor outright.
+func leakDiscarded(f com.File) {
+	f.QueryInterface(com.DirIID) // want `carries a COM reference but is discarded`
+}
+
+// leakBlank assigns the reference to the blank identifier: the probe
+// still transfers a reference on success.
+func leakBlank(f com.File) bool {
+	_, err := f.QueryInterface(com.DirIID) // want `assigned to _`
+	return err == nil
+}
+
+// leakRegistryFirst loses a registry reference (First hands out one new
+// reference per call).
+func leakRegistryFirst(reg *core.Registry) bool {
+	obj := reg.First(com.StatsIID) // want `COM reference from First\(com\.StatsIID\) is never Released`
+	return obj != nil
+}
+
+// leakRangeLookup ranges over a Lookup result without releasing the
+// elements.
+func leakRangeLookup(reg *core.Registry) int {
+	n := 0
+	for _, obj := range reg.Lookup(com.StatsIID) { // want `COM reference from Lookup\(com\.StatsIID\) is never Released`
+		if obj != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// leakInClosure: each scope is checked on its own, so a closure that
+// acquires must discharge inside the closure or escape it.
+func leakInClosure(f com.File) func() {
+	return func() {
+		d, err := f.QueryInterface(com.DirIID) // want `never Released`
+		if err == nil && d != nil {
+			_ = d.(com.Dir)
+		}
+	}
+}

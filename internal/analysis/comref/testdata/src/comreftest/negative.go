@@ -1,0 +1,102 @@
+// Negative fixtures for comref: every acquisition is Released on some
+// path or escapes — the shapes of the code as fixed (libc resolve, the
+// rxpoll batch negotiation, fileserver open).
+package comreftest
+
+import (
+	"oskit/internal/com"
+	"oskit/internal/core"
+)
+
+type holder struct {
+	batch com.NetIOBatch
+}
+
+// okDeferRelease is the conventional acquire/defer pattern.
+func okDeferRelease(f com.File) ([]com.Dirent, error) {
+	d, err := f.QueryInterface(com.DirIID)
+	if err != nil {
+		return nil, com.ErrNotDir
+	}
+	defer d.Release()
+	return d.(com.Dir).ReadDir(0, 0)
+}
+
+// okReleaseThroughAssertion releases via a type assertion on the
+// acquired value.
+func okReleaseThroughAssertion(f com.File) {
+	d, err := f.QueryInterface(com.DirIID)
+	if err != nil {
+		return
+	}
+	d.(com.Dir).Release()
+}
+
+// okEscapeStore stores the reference into a field: ownership moved (the
+// rxpoll §4.4.2 negotiation shape).
+func (h *holder) okEscapeStore(recv com.NetIO) {
+	if obj, err := recv.QueryInterface(com.NetIOBatchIID); err == nil {
+		h.batch = obj.(com.NetIOBatch)
+	}
+}
+
+// okEscapeReturn returns the reference to the caller.
+func okEscapeReturn(f com.File) (com.Dir, error) {
+	d, err := f.QueryInterface(com.DirIID)
+	if err != nil {
+		return nil, err
+	}
+	return d.(com.Dir), nil
+}
+
+// okEscapeArg hands the reference to another function, which may take
+// ownership.
+func okEscapeArg(f com.File, sink func(com.IUnknown)) {
+	d, err := f.QueryInterface(com.DirIID)
+	if err != nil {
+		return
+	}
+	sink(d)
+}
+
+// okWalkRelease is the libc resolve shape: release the old reference as
+// the walk advances, release on every error path.
+func okWalkRelease(root com.Dir, parts []string) (com.Dir, error) {
+	cur := root
+	for _, p := range parts {
+		next, err := cur.Lookup(p)
+		cur.Release()
+		if err != nil {
+			return nil, err
+		}
+		sub, qerr := next.QueryInterface(com.DirIID)
+		next.Release()
+		if qerr != nil {
+			return nil, com.ErrNotDir
+		}
+		cur = sub.(com.Dir)
+	}
+	return cur, nil
+}
+
+// okRangeRelease releases each element of a Lookup result.
+func okRangeRelease(reg *core.Registry) int {
+	n := 0
+	for _, obj := range reg.Lookup(com.StatsIID) {
+		n++
+		obj.Release()
+	}
+	return n
+}
+
+// okSliceEscapes returns the acquired slice whole.
+func okSliceEscapes(reg *core.Registry) []com.IUnknown {
+	return reg.Lookup(com.StatsIID)
+}
+
+// okSuppressed documents a deliberate process-lifetime reference.
+func okSuppressed(reg *core.Registry) bool {
+	//oskit:allow comref -- held for process life by design
+	obj := reg.First(com.StatsIID)
+	return obj != nil
+}

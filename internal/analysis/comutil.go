@@ -1,0 +1,119 @@
+// Helpers shared by the analyzers for reasoning about the kit's COM layer.
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ComPathSuffix identifies the kit's COM package by import-path suffix, so
+// the analyzers work both on the real tree ("oskit/internal/com") and on
+// any future relocation of the module.
+const ComPathSuffix = "internal/com"
+
+// IsComPackage reports whether pkg is the kit's COM package.
+func IsComPackage(pkg *types.Package) bool {
+	return pkg != nil && (pkg.Path() == ComPathSuffix || strings.HasSuffix(pkg.Path(), "/"+ComPathSuffix))
+}
+
+// FindIUnknown locates the com.IUnknown interface type reachable from
+// pkg's import graph, or nil if the package has no (transitive) dependency
+// on the COM layer.
+func FindIUnknown(pkg *types.Package) *types.Interface {
+	seen := map[*types.Package]bool{}
+	var walk func(p *types.Package) *types.Interface
+	walk = func(p *types.Package) *types.Interface {
+		if p == nil || seen[p] {
+			return nil
+		}
+		seen[p] = true
+		if IsComPackage(p) {
+			if obj, ok := p.Scope().Lookup("IUnknown").(*types.TypeName); ok {
+				if iface, ok := obj.Type().Underlying().(*types.Interface); ok {
+					return iface
+				}
+			}
+			return nil
+		}
+		for _, imp := range p.Imports() {
+			if iface := walk(imp); iface != nil {
+				return iface
+			}
+		}
+		return nil
+	}
+	return walk(pkg)
+}
+
+// ImplementsIUnknown reports whether t (or *t) satisfies com.IUnknown.
+func ImplementsIUnknown(t types.Type, iu *types.Interface) bool {
+	if t == nil || iu == nil {
+		return false
+	}
+	if types.Implements(t, iu) {
+		return true
+	}
+	if _, isPtr := t.Underlying().(*types.Pointer); !isPtr {
+		return types.Implements(types.NewPointer(t), iu)
+	}
+	return false
+}
+
+// CalleeFunc resolves a call expression to the *types.Func it invokes
+// (methods included), or nil for calls of function-typed values,
+// built-ins, and conversions.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		// Package-qualified call (fmt.Println): no Selection entry.
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// ContainsIdentOf reports whether the expression tree rooted at n contains
+// an identifier resolving to obj.
+func ContainsIdentOf(info *types.Info, n ast.Node, obj types.Object) bool {
+	if n == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := x.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// ExprPath renders a selector chain such as "n.mu" for diagnostics and
+// for keying held-mutex sets; non-ident/selector shapes render as "?".
+func ExprPath(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return ExprPath(e.X) + "." + e.Sel.Name
+	case *ast.StarExpr:
+		return ExprPath(e.X)
+	}
+	return "?"
+}

@@ -1,0 +1,28 @@
+package detsource_test
+
+import (
+	"testing"
+
+	"oskit/internal/analysis"
+	"oskit/internal/analysis/analysistest"
+	"oskit/internal/analysis/detsource"
+)
+
+func TestDetsource(t *testing.T) {
+	analysistest.Run(t, []*analysis.Analyzer{detsource.Analyzer}, "internal/hw", "ungated")
+}
+
+func TestGated(t *testing.T) {
+	for path, want := range map[string]bool{
+		"oskit/internal/hw":          true,
+		"oskit/internal/faults/soak": true,
+		"oskit/internal/linux/dev":   true,
+		"internal/hw":                true,
+		"oskit/internal/stats":       false,
+		"oskit/cmd/oskitcheck":       false,
+	} {
+		if got := detsource.Gated(path); got != want {
+			t.Errorf("Gated(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -1,0 +1,13 @@
+// Fixture for detsource outside the gated subtrees: identical entropy
+// uses draw no diagnostics, because the determinism contract only
+// covers internal/faults, internal/hw, and the donor glue.
+package ungated
+
+import (
+	"math/rand"
+	"time"
+)
+
+func entropyIsFineHere() (time.Time, int) {
+	return time.Now(), rand.Intn(8)
+}

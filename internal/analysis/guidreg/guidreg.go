@@ -1,0 +1,140 @@
+// Package guidreg audits the GUID namespace that §4.4.2's interface
+// negotiation depends on.  QueryInterface dispatches purely on GUID
+// value, so two interfaces sharing an IID silently alias each other: the
+// query succeeds and hands back the wrong contract.  The analyzer sees
+// the whole program at once and enforces:
+//
+//   - every com.NewGUID call is built from compile-time constants (a GUID
+//     computed at run time cannot be audited or compared across builds);
+//   - every GUID is registered exactly once: each literal lives in a
+//     single package-level var (the registration), and no two
+//     registrations share a value;
+//   - registrations are non-zero and follow the *IID naming convention
+//     that makes them discoverable.
+package guidreg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"oskit/internal/analysis"
+)
+
+// Analyzer is the guidreg pass.
+var Analyzer = &analysis.Analyzer{
+	Name:       "guidreg",
+	Doc:        "every COM GUID literal must be constant, registered once as a package-level var, and unique program-wide",
+	RunProgram: runProgram,
+}
+
+// registration is one com.NewGUID call found in the program.
+type registration struct {
+	pos     token.Pos
+	posStr  string
+	varName string // enclosing package-level var, or ""
+	pkg     string
+	key     string // canonical value, "" if non-constant
+}
+
+func runProgram(prog *analysis.Program, report func(analysis.Diagnostic)) error {
+	reportf := func(pos token.Pos, format string, args ...any) {
+		report(analysis.Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+	}
+	byKey := map[string]*registration{}
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			collectFile(prog, pkg, file, func(r *registration, call *ast.CallExpr) {
+				if r.key == "" {
+					reportf(r.pos, "GUID components must be compile-time constants (a run-time GUID cannot be audited for uniqueness)")
+					return
+				}
+				if r.varName == "" {
+					reportf(r.pos, "GUID literal must be registered as a package-level var, not built ad hoc")
+				} else if !strings.Contains(r.varName, "IID") && !strings.Contains(r.varName, "GUID") {
+					reportf(r.pos, "GUID registration %s should follow the *IID naming convention", r.varName)
+				}
+				if isZeroKey(r.key) {
+					reportf(r.pos, "GUID is all-zero; the null GUID matches nothing in §4.4.2 negotiation")
+				}
+				if prev, dup := byKey[r.key]; dup {
+					reportf(r.pos, "GUID collision: value already registered as %s.%s at %s (QueryInterface dispatch would alias the two interfaces)",
+						prev.pkg, prev.varName, prev.posStr)
+				} else {
+					byKey[r.key] = r
+				}
+			})
+		}
+	}
+	return nil
+}
+
+// collectFile finds com.NewGUID calls and hands each to fn with its
+// registration context.
+func collectFile(prog *analysis.Program, pkg *analysis.Package, file *ast.File, fn func(*registration, *ast.CallExpr)) {
+	// Package-level var specs, so a call can be attributed to its
+	// registration var.
+	varOf := map[ast.Expr]string{}
+	for _, d := range file.Decls {
+		gd, ok := d.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, v := range vs.Values {
+				if i < len(vs.Names) {
+					varOf[v] = vs.Names[i].Name
+				}
+			}
+		}
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := analysis.CalleeFunc(pkg.Info, call)
+		if callee == nil || callee.Name() != "NewGUID" || !analysis.IsComPackage(callee.Pkg()) {
+			return true
+		}
+		r := &registration{
+			pos:     call.Pos(),
+			posStr:  prog.Fset.Position(call.Pos()).String(),
+			varName: varOf[ast.Expr(call)],
+			pkg:     pkg.Pkg.Name(),
+			key:     constKey(pkg.Info, call),
+		}
+		fn(r, call)
+		return false
+	})
+}
+
+// constKey renders the call's arguments as a canonical value string, or
+// "" if any argument is not a compile-time constant.
+func constKey(info *types.Info, call *ast.CallExpr) string {
+	var parts []string
+	for _, arg := range call.Args {
+		tv, ok := info.Types[arg]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+			return ""
+		}
+		parts = append(parts, tv.Value.ExactString())
+	}
+	return strings.Join(parts, ",")
+}
+
+func isZeroKey(key string) bool {
+	for _, p := range strings.Split(key, ",") {
+		if p != "0" {
+			return false
+		}
+	}
+	return true
+}

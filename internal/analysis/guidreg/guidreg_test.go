@@ -1,0 +1,13 @@
+package guidreg_test
+
+import (
+	"testing"
+
+	"oskit/internal/analysis"
+	"oskit/internal/analysis/analysistest"
+	"oskit/internal/analysis/guidreg"
+)
+
+func TestGuidreg(t *testing.T) {
+	analysistest.Run(t, []*analysis.Analyzer{guidreg.Analyzer}, "guidregtest")
+}

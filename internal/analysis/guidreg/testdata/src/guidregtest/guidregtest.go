@@ -1,0 +1,32 @@
+// Fixtures for guidreg: the GUID namespace rules of §4.4.2 negotiation.
+package guidregtest
+
+import "oskit/internal/com"
+
+// GoodIID is a well-formed registration: constant components, unique
+// value, package-level var, *IID name.
+var GoodIID = com.NewGUID(0x1000_0001, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+
+// AnotherGUID uses the alternative accepted naming suffix.
+var AnotherGUID = com.NewGUID(0x1000_0002, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+
+// CollidingIID reuses GoodIID's value: QueryInterface would alias the
+// two contracts.
+var CollidingIID = com.NewGUID(0x1000_0001, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10) // want `GUID collision: value already registered as guidregtest\.GoodIID`
+
+// badName does not advertise itself as an IID.
+var badName = com.NewGUID(0x1000_0003, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10) // want `should follow the \*IID naming convention`
+
+// NullIID is the null GUID, which matches nothing.
+var NullIID = com.NewGUID(0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0) // want `GUID is all-zero`
+
+// makeRuntime builds a GUID from a run-time value, so its uniqueness
+// cannot be audited.
+func makeRuntime(d1 uint32) com.GUID {
+	return com.NewGUID(d1, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10) // want `GUID components must be compile-time constants`
+}
+
+// makeAdHoc registers nothing: the literal lives inside a function.
+func makeAdHoc() com.GUID {
+	return com.NewGUID(0x1000_0004, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10) // want `must be registered as a package-level var`
+}

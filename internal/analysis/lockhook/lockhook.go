@@ -1,0 +1,400 @@
+// Package lockhook flags calls that can run arbitrary interposed code —
+// a registered fault or stats hook, an env.MemAlloc-style allocator
+// interposer, any function-typed struct field — while a sync.Mutex or
+// sync.RWMutex is held.  Hooks are installed by other components
+// (internal/faults, stats readers, tests) and may call back into the
+// object that invoked them; doing so under that object's own lock is the
+// self-deadlock fixed by hand in NIC.deliver (PR 4), and under any lock
+// it inverts lock order against the hook's own synchronization.
+//
+// Detection is intra-package: a call is "hook-like" if it invokes a
+// function-typed struct field (directly, or via a local variable the
+// field was copied into), and the property propagates through the
+// package-local call graph, so a helper that fires a hook taints its
+// callers too.  Mutex state is tracked linearly per block: x.mu.Lock()
+// opens a held region closed by x.mu.Unlock(); defer x.mu.Unlock() holds
+// to the end of the function.  Function literals are not scanned as part
+// of the enclosing region (a callback built under a lock runs later, not
+// under it) unless invoked on the spot.
+package lockhook
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"oskit/internal/analysis"
+)
+
+// Analyzer is the lockhook pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockhook",
+	Doc:  "no fault/stats hook or interposable function field may be called while a sync.Mutex/RWMutex is held",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{pass: pass, mayHook: map[*types.Func]bool{}}
+	// Round 1: functions that call a hook field directly.
+	type fnDecl struct {
+		fn   *types.Func
+		decl *ast.FuncDecl
+	}
+	var decls []fnDecl
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pass.Info.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			decls = append(decls, fnDecl{obj, fd})
+			if c.callsHookDirectly(fd.Body) {
+				c.mayHook[obj] = true
+			}
+		}
+	}
+	// Fixpoint: propagate may-call-hook through package-local calls.
+	for changed := true; changed; {
+		changed = false
+		for _, d := range decls {
+			if c.mayHook[d.fn] {
+				continue
+			}
+			tainted := false
+			ast.Inspect(d.decl.Body, func(n ast.Node) bool {
+				if tainted {
+					return false
+				}
+				if _, isLit := n.(*ast.FuncLit); isLit {
+					return false // runs later, not at this call site
+				}
+				if call, ok := n.(*ast.CallExpr); ok {
+					if callee := analysis.CalleeFunc(pass.Info, call); callee != nil && c.mayHook[callee] {
+						tainted = true
+					}
+				}
+				return true
+			})
+			if tainted {
+				c.mayHook[d.fn] = true
+				changed = true
+			}
+		}
+	}
+	// Round 2: scan each function's lock regions.
+	for _, d := range decls {
+		c.hookLocals = map[types.Object]string{}
+		c.collectHookLocals(d.decl.Body)
+		c.scanBlock(d.decl.Body, map[string]bool{})
+	}
+	return nil
+}
+
+type checker struct {
+	pass    *analysis.Pass
+	mayHook map[*types.Func]bool
+	// hookLocals are local vars holding a copy of a hook field
+	// (hook := n.rxHook), mapped to a description of their origin.
+	hookLocals map[types.Object]string
+}
+
+// hookField returns a description if expr selects a function-typed
+// struct field — the interposition points this analyzer protects.
+func (c *checker) hookField(e ast.Expr) (string, bool) {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	s, ok := c.pass.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return "", false
+	}
+	if _, isFunc := s.Obj().Type().Underlying().(*types.Signature); !isFunc {
+		return "", false
+	}
+	return analysis.ExprPath(sel), true
+}
+
+// callsHookDirectly reports whether the body invokes a hook field or a
+// local copy of one (ignoring nested function literals).
+func (c *checker) callsHookDirectly(body *ast.BlockStmt) bool {
+	locals := map[types.Object]bool{}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			for i, r := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				if _, ok := c.hookField(r); ok {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok {
+						if obj := c.pass.Info.Defs[id]; obj != nil {
+							locals[obj] = true
+						} else if obj := c.pass.Info.Uses[id]; obj != nil {
+							locals[obj] = true
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if _, ok := c.hookField(n.Fun); ok {
+				found = true
+				return false
+			}
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if obj := c.pass.Info.Uses[id]; obj != nil && locals[obj] {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// collectHookLocals records local variables assigned from hook fields so
+// calls through them are recognized inside lock regions.
+func (c *checker) collectHookLocals(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for i, r := range as.Rhs {
+				if i >= len(as.Lhs) {
+					break
+				}
+				desc, ok := c.hookField(r)
+				if !ok {
+					continue
+				}
+				if id, ok := as.Lhs[i].(*ast.Ident); ok {
+					if obj := c.pass.Info.Defs[id]; obj != nil {
+						c.hookLocals[obj] = desc
+					} else if obj := c.pass.Info.Uses[id]; obj != nil {
+						c.hookLocals[obj] = desc
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// mutexRecv returns the normalized path of m in a call m.Lock() if m's
+// type is sync.Mutex or sync.RWMutex (possibly via pointer/embedding).
+func (c *checker) mutexRecv(sel *ast.SelectorExpr) (string, bool) {
+	t := c.pass.Info.TypeOf(sel.X)
+	if t == nil {
+		return "", false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	if named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return "", false
+	}
+	if name := named.Obj().Name(); name != "Mutex" && name != "RWMutex" {
+		return "", false
+	}
+	return analysis.ExprPath(sel.X), true
+}
+
+// lockOp classifies a statement as a Lock/Unlock on a mutex path.
+func (c *checker) lockOp(call *ast.CallExpr) (path, op string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return "", "", false
+	}
+	path, isMu := c.mutexRecv(sel)
+	if !isMu {
+		return "", "", false
+	}
+	return path, sel.Sel.Name, true
+}
+
+// scanBlock walks statements in order, tracking the held-mutex set, and
+// reports hook-like calls made while anything is held.  Nested blocks
+// get a copy of the current set: acquisitions inside a branch do not leak
+// into the code after it (a deliberate under-approximation).
+func (c *checker) scanBlock(block *ast.BlockStmt, heldIn map[string]bool) {
+	held := map[string]bool{}
+	for k := range heldIn {
+		held[k] = true
+	}
+	for _, stmt := range block.List {
+		c.scanStmt(stmt, held)
+	}
+}
+
+func (c *checker) scanStmt(stmt ast.Stmt, held map[string]bool) {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if path, op, ok := c.lockOp(call); ok {
+				switch op {
+				case "Lock", "RLock":
+					held[path] = true
+				case "Unlock", "RUnlock":
+					delete(held, path)
+				}
+				return
+			}
+		}
+		c.checkExpr(s.X, held)
+	case *ast.DeferStmt:
+		if _, op, ok := c.lockOp(s.Call); ok && (op == "Unlock" || op == "RUnlock") {
+			// Held to the end of the function; the set stays as-is.
+			return
+		}
+		// Arguments are evaluated now; the deferred body runs at exit,
+		// possibly after an unlock — only scan the arguments.
+		for _, a := range s.Call.Args {
+			c.checkExpr(a, held)
+		}
+	case *ast.GoStmt:
+		for _, a := range s.Call.Args {
+			c.checkExpr(a, held)
+		}
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			c.checkExpr(r, held)
+		}
+		for _, l := range s.Lhs {
+			c.checkExpr(l, held)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			c.checkExpr(r, held)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.scanStmt(s.Init, held)
+		}
+		c.checkExpr(s.Cond, held)
+		c.scanBlock(s.Body, held)
+		if s.Else != nil {
+			c.scanStmt(s.Else, held)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.scanStmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			c.checkExpr(s.Cond, held)
+		}
+		c.scanBlock(s.Body, held)
+	case *ast.RangeStmt:
+		c.checkExpr(s.X, held)
+		c.scanBlock(s.Body, held)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.scanStmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			c.checkExpr(s.Tag, held)
+		}
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				for _, st := range cl.Body {
+					c.scanStmt(st, held)
+				}
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				for _, st := range cl.Body {
+					c.scanStmt(st, held)
+				}
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CommClause); ok {
+				for _, st := range cl.Body {
+					c.scanStmt(st, held)
+				}
+			}
+		}
+	case *ast.BlockStmt:
+		c.scanBlock(s, held)
+	case *ast.SendStmt:
+		c.checkExpr(s.Chan, held)
+		c.checkExpr(s.Value, held)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.checkExpr(v, held)
+					}
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		c.scanStmt(s.Stmt, held)
+	}
+}
+
+// checkExpr reports hook-like calls inside e made while a mutex is held.
+// Nested function literals are skipped: they execute later.
+func (c *checker) checkExpr(e ast.Expr, held map[string]bool) {
+	if len(held) == 0 || e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			c.checkCall(n, held)
+		}
+		return true
+	})
+}
+
+func heldList(held map[string]bool) string {
+	keys := make([]string, 0, len(held))
+	for k := range held {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ", ")
+}
+
+func (c *checker) checkCall(call *ast.CallExpr, held map[string]bool) {
+	if desc, ok := c.hookField(call.Fun); ok {
+		c.pass.Reportf(call.Pos(), "call to hook/interposer field %s while mutex %s is held (hooks may call back or take their own locks)", desc, heldList(held))
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if obj := c.pass.Info.Uses[id]; obj != nil {
+			if desc, ok := c.hookLocals[obj]; ok {
+				c.pass.Reportf(call.Pos(), "call to hook/interposer %s (via %s) while mutex %s is held", desc, id.Name, heldList(held))
+				return
+			}
+		}
+	}
+	if callee := analysis.CalleeFunc(c.pass.Info, call); callee != nil && c.mayHook[callee] {
+		c.pass.Reportf(call.Pos(), "call to %s, which may invoke a hook/interposer, while mutex %s is held", callee.Name(), heldList(held))
+	}
+}

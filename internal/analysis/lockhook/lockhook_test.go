@@ -1,0 +1,13 @@
+package lockhook_test
+
+import (
+	"testing"
+
+	"oskit/internal/analysis"
+	"oskit/internal/analysis/analysistest"
+	"oskit/internal/analysis/lockhook"
+)
+
+func TestLockhook(t *testing.T) {
+	analysistest.Run(t, []*analysis.Analyzer{lockhook.Analyzer}, "lockhooktest")
+}

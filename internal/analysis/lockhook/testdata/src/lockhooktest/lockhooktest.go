@@ -1,0 +1,93 @@
+// Fixtures for lockhook: the NIC.deliver self-deadlock shape from PR 4
+// (an interposable hook field fired while the object's own mutex is
+// held) in its direct, via-local, and via-helper forms, plus the fixed
+// snapshot-then-call shapes that must stay silent.
+package lockhooktest
+
+import "sync"
+
+type nic struct {
+	mu     sync.Mutex
+	rxHook func([]byte)
+	frames uint64
+}
+
+// deliverDeadlock is the PR 4 bug verbatim: the hook runs under n.mu,
+// so a hook that calls back into the nic (or blocks on its own lock
+// taken elsewhere under n.mu) deadlocks.
+func (n *nic) deliverDeadlock(frame []byte) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.frames++
+	if n.rxHook != nil {
+		n.rxHook(frame) // want `call to hook/interposer field n\.rxHook while mutex n\.mu is held`
+	}
+}
+
+// deliverViaLocal hides the field call behind a local copy; the hook
+// still runs under the lock.
+func (n *nic) deliverViaLocal(frame []byte) {
+	hook := n.rxHook
+	n.mu.Lock()
+	n.frames++
+	if hook != nil {
+		hook(frame) // want `call to hook/interposer n\.rxHook \(via hook\) while mutex n\.mu is held`
+	}
+	n.mu.Unlock()
+}
+
+// fireLocked is a helper that invokes the hook; any caller holding a
+// mutex is tainted through the package-local call graph.
+func (n *nic) fireLocked(frame []byte) {
+	if n.rxHook != nil {
+		n.rxHook(frame)
+	}
+}
+
+// deliverViaHelper reaches the hook indirectly.
+func (n *nic) deliverViaHelper(frame []byte) {
+	n.mu.Lock()
+	n.fireLocked(frame) // want `call to fireLocked, which may invoke a hook/interposer, while mutex n\.mu is held`
+	n.mu.Unlock()
+}
+
+// deliverFixed is the PR 4 fix: counters under the lock, hook snapshot
+// taken under the lock, invocation after the unlock.
+func (n *nic) deliverFixed(frame []byte) {
+	n.mu.Lock()
+	n.frames++
+	hook := n.rxHook
+	n.mu.Unlock()
+	if hook != nil {
+		hook(frame)
+	}
+}
+
+// deliverUnlocked never holds a mutex around the hook at all.
+func (n *nic) deliverUnlocked(frame []byte) {
+	if n.rxHook != nil {
+		n.rxHook(frame)
+	}
+}
+
+// closureBuiltUnderLock constructs a callback while locked but does not
+// run it there; function literal bodies are outside the lock region.
+func (n *nic) closureBuiltUnderLock() func([]byte) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return func(frame []byte) {
+		if n.rxHook != nil {
+			n.rxHook(frame)
+		}
+	}
+}
+
+// deliverWaived documents a reviewed exception, the ether hookMu shape:
+// a dedicated mutex that exists only to serialize the hook and is taken
+// nowhere else cannot participate in a cycle.
+func (n *nic) deliverWaived(frame []byte) {
+	n.mu.Lock()
+	//oskit:allow lockhook -- n.mu is dedicated to serializing this hook in this fixture
+	n.rxHook(frame)
+	n.mu.Unlock()
+}

@@ -69,7 +69,7 @@ func New(ticks func() uint64) *FS {
 	fs.scRdBytes = fs.set.Counter("fs.read_bytes")
 	fs.scWrBytes = fs.set.Counter("fs.write_bytes")
 	fs.scLookups = fs.set.Counter("fs.lookups")
-	fs.root = fs.newNode(com.ModeIFDIR | 0o755)
+	fs.root = fs.newNode(com.ModeIFDIR|0o755, fs.now())
 	fs.root.children = map[string]*node{}
 	return fs
 }
@@ -115,6 +115,7 @@ func (f *FS) ModuleArgs(path string) string {
 // writeFile creates path (slash-separated, relative to root) with data,
 // making intermediate directories.
 func (f *FS) writeFile(path string, data []byte) error {
+	ts := f.now()
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	parts := strings.Split(path, "/")
@@ -122,7 +123,7 @@ func (f *FS) writeFile(path string, data []byte) error {
 	for _, p := range parts[:len(parts)-1] {
 		child, ok := dir.children[p]
 		if !ok {
-			child = f.newNode(com.ModeIFDIR | 0o755)
+			child = f.newNode(com.ModeIFDIR|0o755, ts)
 			child.children = map[string]*node{}
 			dir.children[p] = child
 			dir.nlink++
@@ -135,19 +136,22 @@ func (f *FS) writeFile(path string, data []byte) error {
 	leaf := parts[len(parts)-1]
 	file, ok := dir.children[leaf]
 	if !ok {
-		file = f.newNode(com.ModeIFREG | 0o644)
+		file = f.newNode(com.ModeIFREG|0o644, ts)
 		dir.children[leaf] = file
 	}
 	if file.mode&com.ModeIFMT != com.ModeIFREG {
 		return com.ErrIsDir
 	}
 	file.data = data
-	file.mtime = f.now()
+	file.mtime = ts
 	return nil
 }
 
-func (f *FS) newNode(mode uint32) *node {
-	n := &node{fs: f, ino: f.nextIno, mode: mode, nlink: 1, mtime: f.now()}
+// newNode allocates a node stamped with ts.  Callers pass a timestamp
+// read *before* taking f.mu: the ticks source is an interposable
+// function field and must not run under the lock (lockhook).
+func (f *FS) newNode(mode uint32, ts uint64) *node {
+	n := &node{fs: f, ino: f.nextIno, mode: mode, nlink: 1, mtime: ts}
 	f.nextIno++
 	n.Init()
 	return n
@@ -242,6 +246,7 @@ func (n *node) ReadAt(buf []byte, offset uint64) (uint, error) {
 // WriteAt implements com.File, extending with a zero-filled gap when the
 // offset is past EOF.
 func (n *node) WriteAt(buf []byte, offset uint64) (uint, error) {
+	ts := n.fs.now()
 	n.fs.mu.Lock()
 	defer n.fs.mu.Unlock()
 	if n.isDir() {
@@ -254,7 +259,7 @@ func (n *node) WriteAt(buf []byte, offset uint64) (uint, error) {
 		n.data = grown
 	}
 	copy(n.data[offset:], buf)
-	n.mtime = n.fs.now()
+	n.mtime = ts
 	n.fs.scWrites.Inc()
 	n.fs.scWrBytes.Add(uint64(len(buf)))
 	return uint(len(buf)), nil
@@ -277,6 +282,7 @@ func (n *node) GetStat() (com.Stat, error) {
 
 // SetSize implements com.File.
 func (n *node) SetSize(size uint64) error {
+	ts := n.fs.now()
 	n.fs.mu.Lock()
 	defer n.fs.mu.Unlock()
 	if n.isDir() {
@@ -289,7 +295,7 @@ func (n *node) SetSize(size uint64) error {
 		copy(grown, n.data)
 		n.data = grown
 	}
-	n.mtime = n.fs.now()
+	n.mtime = ts
 	return nil
 }
 
@@ -328,6 +334,7 @@ func (n *node) lookupLocked(name string) (*node, error) {
 
 // Create implements com.Dir.
 func (n *node) Create(name string, mode uint32, excl bool) (com.File, error) {
+	ts := n.fs.now()
 	n.fs.mu.Lock()
 	defer n.fs.mu.Unlock()
 	if !n.isDir() {
@@ -346,15 +353,16 @@ func (n *node) Create(name string, mode uint32, excl bool) (com.File, error) {
 		existing.AddRef()
 		return existing, nil
 	}
-	file := n.fs.newNode(com.ModeIFREG | mode&^com.ModeIFMT)
+	file := n.fs.newNode(com.ModeIFREG|mode&^com.ModeIFMT, ts)
 	n.children[name] = file
-	n.mtime = n.fs.now()
+	n.mtime = ts
 	file.AddRef()
 	return file, nil
 }
 
 // Mkdir implements com.Dir.
 func (n *node) Mkdir(name string, mode uint32) error {
+	ts := n.fs.now()
 	n.fs.mu.Lock()
 	defer n.fs.mu.Unlock()
 	if !n.isDir() {
@@ -366,16 +374,17 @@ func (n *node) Mkdir(name string, mode uint32) error {
 	if _, ok := n.children[name]; ok {
 		return com.ErrExist
 	}
-	d := n.fs.newNode(com.ModeIFDIR | mode&^com.ModeIFMT)
+	d := n.fs.newNode(com.ModeIFDIR|mode&^com.ModeIFMT, ts)
 	d.children = map[string]*node{}
 	n.children[name] = d
 	n.nlink++
-	n.mtime = n.fs.now()
+	n.mtime = ts
 	return nil
 }
 
 // Unlink implements com.Dir.
 func (n *node) Unlink(name string) error {
+	ts := n.fs.now()
 	n.fs.mu.Lock()
 	defer n.fs.mu.Unlock()
 	child, err := n.lookupLocked(name)
@@ -386,13 +395,14 @@ func (n *node) Unlink(name string) error {
 		return com.ErrIsDir
 	}
 	delete(n.children, name)
-	n.mtime = n.fs.now()
+	n.mtime = ts
 	child.Release()
 	return nil
 }
 
 // Rmdir implements com.Dir.
 func (n *node) Rmdir(name string) error {
+	ts := n.fs.now()
 	n.fs.mu.Lock()
 	defer n.fs.mu.Unlock()
 	child, err := n.lookupLocked(name)
@@ -407,7 +417,7 @@ func (n *node) Rmdir(name string) error {
 	}
 	delete(n.children, name)
 	n.nlink--
-	n.mtime = n.fs.now()
+	n.mtime = ts
 	child.Release()
 	return nil
 }
@@ -418,6 +428,7 @@ func (n *node) Rename(old string, newDir com.Dir, newName string) error {
 	if !ok || dst.fs != n.fs {
 		return com.ErrXDev
 	}
+	ts := n.fs.now()
 	n.fs.mu.Lock()
 	defer n.fs.mu.Unlock()
 	child, err := n.lookupLocked(old)
@@ -438,8 +449,8 @@ func (n *node) Rename(old string, newDir com.Dir, newName string) error {
 	}
 	delete(n.children, old)
 	dst.children[newName] = child
-	n.mtime = n.fs.now()
-	dst.mtime = n.fs.now()
+	n.mtime = ts
+	dst.mtime = ts
 	return nil
 }
 

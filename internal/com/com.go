@@ -85,14 +85,30 @@ type RefCount struct {
 
 // Init sets the reference count to 1, the conventional state of a freshly
 // constructed object owned by its creator.
-func (r *RefCount) Init() { r.count.Store(1) }
+func (r *RefCount) Init() {
+	r.count.Store(1)
+	refdebugInit(r)
+}
 
 // AddRef implements IUnknown.
-func (r *RefCount) AddRef() uint32 { return r.count.Add(1) }
+func (r *RefCount) AddRef() uint32 {
+	n := r.count.Add(1)
+	refdebugAddRef(r, n)
+	return n
+}
 
 // Release implements IUnknown.
+//
+// An over-release (a call with the count already zero) wraps the counter
+// to ^uint32(0); a later AddRef/Release pair then re-crosses zero and
+// runs OnLastRelease a second time — a double free of whatever the
+// destructor guards (an skbuff, an mbuf chain, the partition view's
+// device reference).  Builds with the oskitrefdebug tag detect both the
+// over-release and the resurrection at the moment they happen; see
+// refdebug_on.go.
 func (r *RefCount) Release() uint32 {
 	n := r.count.Add(^uint32(0)) // decrement
+	refdebugRelease(r, n)
 	if n == 0 && r.OnLastRelease != nil {
 		r.OnLastRelease()
 	}

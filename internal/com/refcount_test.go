@@ -1,0 +1,51 @@
+package com
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestOnLastReleaseExactlyOnce hammers one object from many goroutines
+// and pins the destructor contract the OnLastRelease users (skbIO,
+// mbufIO, the diskpart view) depend on: however the releases interleave,
+// OnLastRelease runs exactly once, and only after every reference is
+// gone.  Run it under -race: the interesting failure is two goroutines
+// both deciding they dropped the last reference.
+func TestOnLastReleaseExactlyOnce(t *testing.T) {
+	const rounds = 200
+	const holders = 8
+	for round := 0; round < rounds; round++ {
+		var destroyed atomic.Uint32
+		r := &RefCount{}
+		r.Init()
+		r.OnLastRelease = func() { destroyed.Add(1) }
+		for i := 0; i < holders; i++ {
+			r.AddRef()
+		}
+		var wg sync.WaitGroup
+		for i := 0; i < holders+1; i++ { // holders' refs plus the creator's
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				r.Release()
+			}()
+		}
+		wg.Wait()
+		if got := destroyed.Load(); got != 1 {
+			t.Fatalf("round %d: OnLastRelease ran %d times, want exactly 1", round, got)
+		}
+		if n := r.Refs(); n != 0 {
+			t.Fatalf("round %d: %d references left after final Release", round, n)
+		}
+	}
+}
+
+// TestReleaseWithoutDestructor checks the destructor hook stays optional.
+func TestReleaseWithoutDestructor(t *testing.T) {
+	r := &RefCount{}
+	r.Init()
+	if n := r.Release(); n != 0 {
+		t.Fatalf("Release = %d, want 0", n)
+	}
+}

@@ -1,0 +1,10 @@
+//go:build !oskitrefdebug
+
+package com
+
+// Reference-count lifecycle checking compiles away in normal builds;
+// builds tagged oskitrefdebug get the checking versions in
+// refdebug_on.go.
+func refdebugInit(r *RefCount)              {}
+func refdebugAddRef(r *RefCount, n uint32)  {}
+func refdebugRelease(r *RefCount, n uint32) {}

@@ -1,0 +1,56 @@
+//go:build oskitrefdebug
+
+package com
+
+import (
+	"fmt"
+	"sync"
+)
+
+// The oskitrefdebug build enforces the two RefCount lifecycle rules an
+// atomic counter cannot enforce by itself:
+//
+//   - Release is never called on an already-destroyed object.  The
+//     plain build wraps the counter to ^uint32(0) and keeps going; a
+//     later AddRef/Release pair then re-crosses zero and fires
+//     OnLastRelease a second time, double-freeing whatever the
+//     destructor guards.
+//   - AddRef never resurrects a destroyed object (handing out a
+//     reference to a corpse is a use-after-free in waiting).
+//
+// Destroyed objects are remembered by pointer in a process-global
+// ledger, in the spirit of memdebug's freed-address map (§3.5); entries
+// persist until the same RefCount is re-Initialized (object pooling),
+// so a debug build trades memory for certainty.  Violations panic: in a
+// debugging build the right moment to stop is the first broken
+// invariant, not the crash it eventually causes.
+
+var refdebug = struct {
+	sync.Mutex
+	dead map[*RefCount]bool
+}{dead: map[*RefCount]bool{}}
+
+func refdebugInit(r *RefCount) {
+	refdebug.Lock()
+	delete(refdebug.dead, r)
+	refdebug.Unlock()
+}
+
+func refdebugAddRef(r *RefCount, n uint32) {
+	refdebug.Lock()
+	defer refdebug.Unlock()
+	if refdebug.dead[r] {
+		panic(fmt.Sprintf("com: AddRef on destroyed object %p (count now %d): resurrection after final Release", r, n))
+	}
+}
+
+func refdebugRelease(r *RefCount, n uint32) {
+	refdebug.Lock()
+	defer refdebug.Unlock()
+	if n == ^uint32(0) {
+		panic(fmt.Sprintf("com: Release on object %p with count already zero: over-release (OnLastRelease could run twice)", r))
+	}
+	if n == 0 {
+		refdebug.dead[r] = true
+	}
+}

@@ -1,0 +1,47 @@
+//go:build oskitrefdebug
+
+package com
+
+import "testing"
+
+func mustPanic(t *testing.T, want string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("no panic; want one mentioning %q", want)
+		}
+	}()
+	f()
+}
+
+// TestRefdebugOverRelease: releasing a dead object must stop the program
+// at the over-release, not at the eventual second OnLastRelease.
+func TestRefdebugOverRelease(t *testing.T) {
+	r := &RefCount{}
+	r.Init()
+	r.Release()
+	mustPanic(t, "over-release", func() { r.Release() })
+}
+
+// TestRefdebugResurrection: AddRef on a destroyed object is a
+// use-after-free in waiting.
+func TestRefdebugResurrection(t *testing.T) {
+	r := &RefCount{}
+	r.Init()
+	r.Release()
+	mustPanic(t, "resurrection", func() { r.AddRef() })
+}
+
+// TestRefdebugReinit: object pools may re-Init a destroyed RefCount; the
+// ledger entry must clear.
+func TestRefdebugReinit(t *testing.T) {
+	r := &RefCount{}
+	r.Init()
+	r.Release()
+	r.Init()
+	if n := r.AddRef(); n != 2 {
+		t.Fatalf("AddRef after re-Init = %d, want 2", n)
+	}
+	r.Release()
+	r.Release()
+}

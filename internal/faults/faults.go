@@ -26,6 +26,7 @@ package faults
 
 import (
 	"errors"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -125,6 +126,9 @@ func (in *Injector) Trace() map[string][]uint64 {
 		names = append(names, p)
 	}
 	in.mu.Unlock()
+	// Point order must not depend on map iteration: the trace is
+	// compared across runs of the same seed (detsource).
+	sort.Slice(names, func(i, j int) bool { return names[i].name < names[j].name })
 	out := make(map[string][]uint64, len(names))
 	for _, p := range names {
 		out[p.name] = p.Fired()

@@ -71,6 +71,7 @@ func RunTTCP(p *evalrig.Pair, blocks, blockSize int, port uint16, seed int64, ti
 			return fmt.Errorf("soak: checksum mismatch: sent %08x, received %08x", o.sent, o.recvd)
 		}
 		return nil
+	//oskit:allow detsource -- hang watchdog only; fires after the workload is already wedged, never on a decision path
 	case <-time.After(timeout):
 		return fmt.Errorf("soak: ttcp did not complete within %v", timeout)
 	}

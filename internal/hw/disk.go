@@ -190,6 +190,7 @@ func (d *Disk) serve() {
 
 		if latency > 0 {
 			select {
+			//oskit:allow detsource -- fixed configured pacing of a serial queue; request order and fault decisions are unaffected
 			case <-time.After(latency):
 			case <-d.quit:
 				// Power-off caught this request in flight: fail it

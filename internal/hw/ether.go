@@ -63,7 +63,12 @@ type EtherWire struct {
 	rng  *rand.Rand
 	loss float64 // probability a frame is dropped
 	hook WireFaultHook
-	held *heldFrame // frame held back by a Reorder verdict
+	// hookMu serializes fault-hook invocations (the injector's burst
+	// state relies on one-frame-at-a-time calls) without holding w.mu,
+	// so a hook that reads wire or stats state cannot deadlock against
+	// concurrent Stats/SetLoss callers — the NIC.deliver hazard class.
+	hookMu sync.Mutex
+	held   *heldFrame // frame held back by a Reorder verdict
 
 	txFrames uint64
 	drops    uint64
@@ -132,11 +137,22 @@ func (w *EtherWire) transmitGather(src *NIC, parts [][]byte) {
 	w.mu.Lock()
 	w.txFrames++
 	dropped := w.loss > 0 && w.rng.Float64() < w.loss
+	hook := w.hook
+	w.mu.Unlock()
+
+	// The hook runs outside w.mu (it may take its own locks or read the
+	// wire's stats) but under hookMu, which keeps the injector's
+	// one-frame-at-a-time contract.
 	var fault WireFault
-	if !dropped && w.hook != nil {
-		fault = w.hook(total)
+	if !dropped && hook != nil {
+		w.hookMu.Lock()
+		//oskit:allow lockhook -- hookMu exists only to serialize this call; nothing else takes it, so no callback can deadlock on it
+		fault = hook(total)
+		w.hookMu.Unlock()
 		dropped = fault.Drop
 	}
+
+	w.mu.Lock()
 	if dropped {
 		w.drops++
 		w.mu.Unlock()

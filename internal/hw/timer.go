@@ -38,6 +38,7 @@ func (t *Timer) Start(interval time.Duration) {
 	if t.ticker != nil {
 		return
 	}
+	//oskit:allow detsource -- the timer IS the designated wall-clock boundary; deterministic runs drive ticks manually
 	t.ticker = time.NewTicker(interval)
 	t.quit = make(chan struct{})
 	t.wg.Add(1)

@@ -15,6 +15,7 @@
 package linuxdev
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -249,6 +250,10 @@ func (g *Glue) EnableFastPath(pool com.Allocator) {
 		nodes = append(nodes, e)
 	}
 	g.mu.Unlock()
+	// Engage in stable device order, not map order: the mitigation
+	// counters and rearm timers start in a replayable sequence
+	// (detsource).
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ldev.Name < nodes[j].ldev.Name })
 	for _, e := range nodes {
 		g.engageRxPoll(e)
 	}

@@ -15,13 +15,21 @@ go build ./...
 echo "== tier-1: vet"
 go vet ./...
 
+echo "== tier-1: oskitcheck (comref, lockhook, guidreg, detsource)"
+go run ./cmd/oskitcheck ./...
+
 echo "== tier-1: test"
 go test ./...
 
-echo "== tier-1: race (net, stats, hw, faults, libc, linux drivers)"
+echo "== tier-1: race (net, stats, hw, faults, libc, linux drivers, kvm, smp, evalrig, com)"
 go test -race ./internal/freebsd/net/... ./internal/stats/... \
 	./internal/hw/... ./internal/faults/... \
-	./internal/libc/... ./internal/linux/dev/...
+	./internal/libc/... ./internal/linux/dev/... \
+	./internal/kvm/... ./internal/smp/... \
+	./internal/evalrig/... ./internal/com/...
+
+echo "== refcount lifecycle checks (oskitrefdebug build)"
+go test -race -tags oskitrefdebug ./internal/com/
 
 echo "== shuffled re-run (order-dependence check)"
 go test -shuffle=on -count=1 ./...

@@ -6,10 +6,13 @@ package oskit_test
 import (
 	"bytes"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"oskit/internal/analysis"
+	"oskit/internal/analysis/suite"
 	"oskit/internal/core"
 )
 
@@ -71,6 +74,27 @@ func TestFigure1Structure(t *testing.T) {
 		if !strings.Contains(after, comp) {
 			t.Errorf("%s not in the encapsulated layer", comp)
 		}
+	}
+}
+
+// TestAnalyzerSuite: the oskitcheck analyzers register without name
+// conflicts and each declares exactly one run hook, and the driver
+// speaks the `go vet -vettool` handshake (-V=full / -flags) so the
+// suite can ride vet's build cache.
+func TestAnalyzerSuite(t *testing.T) {
+	if err := analysis.Validate(suite.All()); err != nil {
+		t.Fatal(err)
+	}
+	if len(suite.All()) != 4 {
+		t.Fatalf("suite has %d analyzers, want 4 (comref, lockhook, guidreg, detsource)", len(suite.All()))
+	}
+	out, err := exec.Command("go", "run", "./cmd/oskitcheck", "-V=full").CombinedOutput()
+	if err != nil {
+		t.Fatalf("oskitcheck -V=full: %v\n%s", err, out)
+	}
+	fields := strings.Fields(string(out))
+	if len(fields) < 3 || fields[1] != "version" {
+		t.Fatalf("oskitcheck -V=full = %q, want \"name version ...\" (the vet -vettool handshake)", out)
 	}
 }
 
