@@ -21,6 +21,7 @@ import (
 	"oskit/internal/core"
 	"oskit/internal/dev"
 	"oskit/internal/evalrig"
+	"oskit/internal/faults"
 	"oskit/internal/faults/soak"
 	bsdglue "oskit/internal/freebsd/glue"
 	bsdnet "oskit/internal/freebsd/net"
@@ -997,6 +998,138 @@ func BenchmarkE12_RxBatch_Matrix(b *testing.B) {
 	b.ReportMetric(stock, "stock-ns/pkt")
 	b.ReportMetric(fast, "fastpath-ns/pkt")
 	b.ReportMetric(stock/fast, "speedup-x")
+}
+
+// ---------------------------------------------------------------------
+// E13: connection churn on the switched cluster.  Four load generators
+// on switch ports drive short connect/request/close cycles at one
+// server node — the regime that stresses connection *lifecycle* (listen
+// queues, ephemeral ports, TIME_WAIT recycling, pcb demux) instead of
+// the bulk byte-moving the Table benches measure.  Reported per row:
+// completed connections per second and the p50/p99 connect-to-response
+// latency, clean and under the hostile-wire regime, plus the
+// concurrent-connection ceiling the rig can hold open.
+
+// BenchmarkE13_Churn_Matrix interleaves clean and hostile-wire churn
+// rounds within one window (drift control, as the Table benches do) and
+// reports per-row medians.  Every cycle must complete with its echo
+// verified on both rows: under the hostile wire, loss and corruption
+// are TCP's to absorb, never to surface as failed connections.
+func BenchmarkE13_Churn_Matrix(b *testing.B) {
+	const nodes = 5 // one server, four generators
+	rounds := 3
+	if b.N > rounds {
+		rounds = b.N
+	}
+	metrics := map[string][]float64{}
+	b.ResetTimer()
+	for r := 0; r < rounds; r++ {
+		for _, row := range []struct {
+			name string
+			plan faults.Plan
+		}{
+			{"clean", faults.Plan{Seed: 1}},
+			{"hostile", faults.Plan{
+				Seed: 3, WireCorrupt: 0.05, WireDup: 0.05, WireReorder: 0.05,
+				NICOverflow: 0.05, TimerJitter: 0.10}},
+		} {
+			c, err := evalrig.NewCluster(evalrig.OSKit, nodes, 250*time.Microsecond, evalrig.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var in *faults.Injector
+			if row.plan.Active() {
+				in = c.EnableFaults(row.plan)
+			}
+			res, err := soak.RunClusterChurn(c, evalrig.ChurnOptions{
+				Conns: 512, Workers: 4, ReqBytes: 512, Port: 9100, Seed: 7,
+			}, 300*time.Second)
+			if err != nil {
+				c.Halt()
+				b.Fatal(err)
+			}
+			if res.Failed != 0 {
+				c.Halt()
+				b.Fatalf("%s row: %d of %d cycles failed", row.name, res.Failed, res.Failed+res.Conns)
+			}
+			if in != nil && in.FaultsInjected() == 0 {
+				c.Halt()
+				b.Fatal("hostile row injected nothing")
+			}
+			metrics[row.name+"-conns/s"] = append(metrics[row.name+"-conns/s"], res.ConnsPerSec)
+			metrics[row.name+"-p50-us"] = append(metrics[row.name+"-p50-us"], res.P50Usec)
+			metrics[row.name+"-p99-us"] = append(metrics[row.name+"-p99-us"], res.P99Usec)
+			if !row.plan.Active() {
+				// The ceiling measurement rides the clean cluster: how
+				// many connections the rig holds open simultaneously.
+				held, err := evalrig.ConcurrentCeiling(c, 1024, 9101)
+				if err != nil {
+					c.Halt()
+					b.Fatal(err)
+				}
+				if held < 1024 {
+					c.Halt()
+					b.Fatalf("ceiling: only %d of 1024 connections held", held)
+				}
+				metrics["ceiling-conns"] = append(metrics["ceiling-conns"], float64(held))
+			}
+			c.Halt()
+		}
+	}
+	b.StopTimer()
+	for key, v := range metrics {
+		b.ReportMetric(median(v), key)
+	}
+}
+
+// BenchmarkE13_Demux_Matrix isolates the pcb demux under the churn's
+// population: 1000 established connections plus the listener, hashed
+// 4-tuple lookup against the donor's linear walk (kept in-tree as the
+// oracle), interleaved rounds, medians, and the acceptance ratio — the
+// hash must be at least 2× the walk at this population, or the churn
+// scaling story collapses.
+func BenchmarkE13_Demux_Matrix(b *testing.B) {
+	s := benchStack(b)
+	const pcbs = 1000
+	laddr := bsdnet.IPAddr{10, 0, 0, 1}
+	for i := 0; i < pcbs; i++ {
+		faddr := bsdnet.IPAddr{10, 4, byte(i >> 8), byte(i)}
+		bsdnet.AddConnForBench(s, laddr, 80, faddr, uint16(1024+i))
+	}
+	keys := make([]bsdnet.BenchKey, pcbs)
+	for i := range keys {
+		keys[i] = bsdnet.BenchKey{
+			Dst: laddr, Dport: 80,
+			Src: bsdnet.IPAddr{10, 4, byte(i >> 8), byte(i)}, Sport: uint16(1024 + i),
+		}
+	}
+	sweeps := b.N
+	if sweeps < 20 {
+		sweeps = 20 // 20k lookups per measurement
+	}
+	timeOne := func(linear bool) float64 {
+		start := time.Now()
+		for i := 0; i < sweeps; i++ {
+			if hits := bsdnet.LookupBatchForBench(s, keys, linear); hits != pcbs {
+				b.Fatalf("%d of %d lookups missed a registered pcb", pcbs-hits, pcbs)
+			}
+		}
+		return float64(time.Since(start).Nanoseconds()) / float64(sweeps*pcbs)
+	}
+	var hashed, linear []float64
+	b.ResetTimer()
+	for r := 0; r < 5; r++ {
+		hashed = append(hashed, timeOne(false))
+		linear = append(linear, timeOne(true))
+	}
+	b.StopTimer()
+	h, l := median(hashed), median(linear)
+	b.ReportMetric(h, "hashed-ns/lookup")
+	b.ReportMetric(l, "linear-ns/lookup")
+	b.ReportMetric(l/h, "speedup-x")
+	if l < 2*h {
+		b.Fatalf("hashed demux only %.2fx the linear walk at %d pcbs, want >= 2x", l/h, pcbs)
+	}
 }
 
 // ---------------------------------------------------------------------

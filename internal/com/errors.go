@@ -44,6 +44,7 @@ const (
 	ErrNameLong  Error = 0x1024 // file name too long
 	ErrNotEmpty  Error = 0x1027 // directory not empty
 	ErrAddrInUse Error = 0x1030 // address already in use
+	ErrNoPorts   Error = 0x1031 // can't assign requested address (EADDRNOTAVAIL: ephemeral range exhausted)
 	ErrConnReset Error = 0x1036 // connection reset by peer
 	ErrNotConn   Error = 0x1039 // socket is not connected
 	ErrTimedOut  Error = 0x103c // operation timed out
@@ -79,6 +80,7 @@ var errText = map[Error]string{
 	ErrNameLong:       "file name too long",
 	ErrNotEmpty:       "directory not empty",
 	ErrAddrInUse:      "address already in use",
+	ErrNoPorts:        "can't assign requested address",
 	ErrConnReset:      "connection reset by peer",
 	ErrNotConn:        "socket is not connected",
 	ErrTimedOut:       "operation timed out",

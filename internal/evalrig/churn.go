@@ -1,0 +1,337 @@
+package evalrig
+
+import (
+	"fmt"
+	"hash/crc32"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The connection-churn workload (E13): a pool of load generators drives
+// many short-lived TCP connect/request/response/close cycles at one
+// server node, the regime that stresses connection lifecycle — listen
+// queues, ephemeral ports, TIME_WAIT — rather than bulk data movement.
+
+// ChurnOptions parameterizes ChurnTCP.
+type ChurnOptions struct {
+	Conns    int    // total connect/request/close cycles across all generators
+	Workers  int    // concurrent workers per generator node
+	ReqBytes int    // request size; the response echoes it back
+	Port     uint16 // server port
+	Backlog  int    // server listen backlog
+	Seed     int64  // seeds every per-connection payload (reproducibility)
+}
+
+func (o *ChurnOptions) defaults() {
+	if o.Conns <= 0 {
+		o.Conns = 100
+	}
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.ReqBytes <= 0 {
+		o.ReqBytes = 64
+	}
+	if o.Port == 0 {
+		o.Port = 9000
+	}
+	if o.Backlog <= 0 {
+		o.Backlog = 128
+	}
+}
+
+// ChurnResult is one churn measurement.
+type ChurnResult struct {
+	Conns       int     // cycles completed with a verified echo
+	Failed      int     // cycles that errored (connect, I/O, or bad echo)
+	Seconds     float64 // wall time over the whole run
+	ConnsPerSec float64
+	P50Usec     float64 // median connect→response latency
+	P99Usec     float64 // tail connect→response latency
+
+	// CheckSum is the XOR of every completed connection's payload
+	// CRC-32.  XOR is order-independent, so two runs with the same seed
+	// and connection count produce the same sum no matter how the
+	// scheduler interleaved the workers — the reproducibility assertion
+	// the chaos tests make.
+	CheckSum uint32
+
+	// Errors samples the first few cycle failures (diagnosis, not
+	// accounting — Failed is the count).
+	Errors []string
+}
+
+// churnPayload builds connection i's request deterministically from the
+// run seed; both ends of the verification derive from it alone.
+func churnPayload(seed int64, i, n int) []byte {
+	rng := rand.New(rand.NewSource(seed ^ int64(i)*0x9e3779b9))
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+// ChurnTCP runs the churn workload against Nodes[0] and reports
+// throughput, tail latency, and the verification checksum.  Cycles that
+// fail are counted, not retried.
+func ChurnTCP(c *Cluster, o ChurnOptions) (ChurnResult, error) {
+	o.defaults()
+	res := ChurnResult{}
+	srv := c.Server()
+	gens := c.Generators()
+	if len(gens) == 0 {
+		return res, fmt.Errorf("evalrig: churn needs at least one generator node")
+	}
+
+	// Server: listener plus one echo handler per accepted connection.
+	// The server closes first, so TIME_WAIT accumulates server-side —
+	// deliberately, that is the lifecycle stress under test.
+	var lfd int
+	var err error
+	srv.Do(func() {
+		lfd, err = srv.C.Socket(2, 1, 0)
+		if err != nil {
+			return
+		}
+		if err = srv.C.Bind(lfd, Addr(srv.IP, o.Port)); err != nil {
+			return
+		}
+		err = srv.C.Listen(lfd, o.Backlog)
+	})
+	if err != nil {
+		return res, fmt.Errorf("evalrig: churn server setup: %w", err)
+	}
+
+	var handlers sync.WaitGroup
+	acceptDone := make(chan struct{})
+	go func() {
+		defer close(acceptDone)
+		for {
+			var fd int
+			var aerr error
+			srv.Do(func() { fd, _, aerr = srv.C.Accept(lfd) })
+			if aerr != nil {
+				return // listener closed: run over
+			}
+			handlers.Add(1)
+			go func(fd int) {
+				defer handlers.Done()
+				buf := make([]byte, o.ReqBytes)
+				total := 0
+				for total < o.ReqBytes {
+					var n int
+					var rerr error
+					srv.Do(func() { n, rerr = srv.C.Read(fd, buf[total:]) })
+					if rerr != nil || n == 0 {
+						srv.Do(func() { _ = srv.C.Close(fd) })
+						return
+					}
+					total += n
+				}
+				sent := 0
+				for sent < o.ReqBytes {
+					var n int
+					var werr error
+					srv.Do(func() { n, werr = srv.C.Write(fd, buf[sent:]) })
+					if werr != nil {
+						break
+					}
+					sent += n
+				}
+				srv.Do(func() { _ = srv.C.Close(fd) })
+			}(fd)
+		}
+	}()
+
+	// Generators: a shared ticket counter hands out connection indices;
+	// every worker churns until the tickets run out.
+	var next atomic.Int64
+	var mu sync.Mutex
+	var latencies []float64
+	var workers sync.WaitGroup
+	start := time.Now()
+	for _, g := range gens {
+		for w := 0; w < o.Workers; w++ {
+			workers.Add(1)
+			go func(g *Node) {
+				defer workers.Done()
+				buf := make([]byte, o.ReqBytes)
+				for {
+					i := int(next.Add(1) - 1)
+					if i >= o.Conns {
+						return
+					}
+					payload := churnPayload(o.Seed, i, o.ReqBytes)
+					t0 := time.Now()
+					sum, cerr := churnOne(g, srv.IP, o.Port, payload, buf)
+					usec := float64(time.Since(t0).Microseconds())
+					mu.Lock()
+					if cerr != nil {
+						res.Failed++
+						if len(res.Errors) < 8 {
+							res.Errors = append(res.Errors, fmt.Sprintf("conn %d: %v", i, cerr))
+						}
+					} else {
+						res.Conns++
+						res.CheckSum ^= sum
+						latencies = append(latencies, usec)
+					}
+					mu.Unlock()
+				}
+			}(g)
+		}
+	}
+	workers.Wait()
+	res.Seconds = time.Since(start).Seconds()
+
+	// Tear the server down: closing the listener ends the accept loop
+	// (and aborts anything still queued on it).
+	srv.Do(func() { _ = srv.C.Close(lfd) })
+	<-acceptDone
+	handlers.Wait()
+
+	if res.Seconds > 0 {
+		res.ConnsPerSec = float64(res.Conns) / res.Seconds
+	}
+	res.P50Usec, res.P99Usec = percentiles(latencies)
+	return res, nil
+}
+
+// churnOne runs one connect/request/response/close cycle and returns
+// the verified payload CRC.
+func churnOne(g *Node, serverIP [4]byte, port uint16, payload, buf []byte) (uint32, error) {
+	var fd int
+	var err error
+	g.Do(func() { fd, err = g.C.Socket(2, 1, 0) })
+	if err != nil {
+		return 0, err
+	}
+	defer g.Do(func() { _ = g.C.Close(fd) })
+	g.Do(func() { err = g.C.Connect(fd, Addr(serverIP, port)) })
+	if err != nil {
+		return 0, fmt.Errorf("connect: %w", err)
+	}
+	sent := 0
+	for sent < len(payload) {
+		var n int
+		g.Do(func() { n, err = g.C.Write(fd, payload[sent:]) })
+		if err != nil {
+			return 0, fmt.Errorf("write at %d: %w", sent, err)
+		}
+		sent += n
+	}
+	total := 0
+	for total < len(payload) {
+		var n int
+		g.Do(func() { n, err = g.C.Read(fd, buf[total:]) })
+		if err != nil {
+			return 0, fmt.Errorf("read at %d: %w", total, err)
+		}
+		if n == 0 {
+			return 0, fmt.Errorf("evalrig: churn echo truncated at %d of %d bytes", total, len(payload))
+		}
+		total += n
+	}
+	want := crc32.ChecksumIEEE(payload)
+	if got := crc32.ChecksumIEEE(buf[:total]); got != want {
+		return 0, fmt.Errorf("evalrig: churn echo corrupted (crc %08x != %08x)", got, want)
+	}
+	return want, nil
+}
+
+// percentiles returns the p50 and p99 of a latency sample.
+func percentiles(v []float64) (p50, p99 float64) {
+	if len(v) == 0 {
+		return 0, 0
+	}
+	sort.Float64s(v)
+	at := func(q float64) float64 {
+		i := int(q * float64(len(v)-1))
+		return v[i]
+	}
+	return at(0.50), at(0.99)
+}
+
+// ConcurrentCeiling opens connections to Nodes[0] and holds every one
+// of them until target connections are live or an open fails, reporting
+// how many were reached — the concurrent-connection ceiling.  All held
+// connections are torn down before returning.
+func ConcurrentCeiling(c *Cluster, target int, port uint16) (int, error) {
+	srv := c.Server()
+	gens := c.Generators()
+	if len(gens) == 0 {
+		return 0, fmt.Errorf("evalrig: ceiling needs at least one generator node")
+	}
+	var lfd int
+	var err error
+	srv.Do(func() {
+		lfd, err = srv.C.Socket(2, 1, 0)
+		if err != nil {
+			return
+		}
+		if err = srv.C.Bind(lfd, Addr(srv.IP, port)); err != nil {
+			return
+		}
+		err = srv.C.Listen(lfd, 512)
+	})
+	if err != nil {
+		return 0, fmt.Errorf("evalrig: ceiling server setup: %w", err)
+	}
+
+	// The server parks every accepted connection; the handler side holds
+	// the socket without reading (the connections are idle by design).
+	var held []int
+	var heldMu sync.Mutex
+	acceptDone := make(chan struct{})
+	go func() {
+		defer close(acceptDone)
+		for {
+			var fd int
+			var aerr error
+			srv.Do(func() { fd, _, aerr = srv.C.Accept(lfd) })
+			if aerr != nil {
+				return
+			}
+			heldMu.Lock()
+			held = append(held, fd)
+			heldMu.Unlock()
+		}
+	}()
+
+	open := make([]int, 0, target)
+	openNode := make([]*Node, 0, target)
+	reached := 0
+	for reached < target {
+		g := gens[reached%len(gens)]
+		var fd int
+		var oerr error
+		g.Do(func() { fd, oerr = g.C.Socket(2, 1, 0) })
+		if oerr == nil {
+			g.Do(func() { oerr = g.C.Connect(fd, Addr(srv.IP, port)) })
+			if oerr != nil {
+				g.Do(func() { _ = g.C.Close(fd) })
+			}
+		}
+		if oerr != nil {
+			break
+		}
+		open = append(open, fd)
+		openNode = append(openNode, g)
+		reached++
+	}
+
+	for i, fd := range open {
+		g := openNode[i]
+		g.Do(func() { _ = g.C.Close(fd) })
+	}
+	srv.Do(func() { _ = srv.C.Close(lfd) })
+	<-acceptDone
+	heldMu.Lock()
+	for _, fd := range held {
+		srv.Do(func() { _ = srv.C.Close(fd) })
+	}
+	heldMu.Unlock()
+	return reached, nil
+}

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"oskit/internal/com"
+	"oskit/internal/core"
 	"oskit/internal/dev"
 	"oskit/internal/faults"
 	bsdglue "oskit/internal/freebsd/glue"
@@ -61,6 +62,40 @@ type Node struct {
 	QP *libc.QuickPool
 
 	nic *hw.NIC
+
+	// lk is the node's §4.7.4 component lock, armed by Serialize for
+	// rigs that drive one node from several process-level goroutines
+	// (the cluster's churn workloads).  Pair workloads run one thread
+	// per node and never arm it.
+	lk         core.ComponentLock
+	serialized bool
+}
+
+// Serialize applies the §4.7.4 ComponentLock recipe to the node: every
+// subsequent component entry must go through Do, and the node's Sleep
+// service releases the lock across blocking calls so other
+// process-level threads can enter meanwhile.  Call once, after boot,
+// before spawning concurrent callers.
+func (n *Node) Serialize() {
+	if n.serialized {
+		return
+	}
+	n.serialized = true
+	env := n.Kernel.Env
+	env.Sleep = n.lk.WrapSleep(env.Sleep)
+}
+
+// Do runs one component call (socket operation, stats read) under the
+// serialized node's lock.  On a node that was never Serialized it runs
+// fn directly.
+func (n *Node) Do(fn func()) {
+	if !n.serialized {
+		fn()
+		return
+	}
+	n.lk.Enter()
+	defer n.lk.Leave()
+	fn()
 }
 
 // Options selects optional rig configuration beyond the Config row.
@@ -146,9 +181,9 @@ func (p *Pair) Halt() {
 	p.Receiver.Machine.Halt()
 }
 
-func newNode(cfg Config, wire *hw.EtherWire, unit byte, ip [4]byte, tick time.Duration, opts Options) (*Node, error) {
+func newNode(cfg Config, seg hw.Segment, unit byte, ip [4]byte, tick time.Duration, opts Options) (*Node, error) {
 	m := hw.NewMachine(hw.Config{Name: fmt.Sprintf("%s-%d", cfg, unit), MemBytes: 64 << 20})
-	nic := m.AttachNIC(wire, [6]byte{2, 0, 0, 2, 0, unit}, hw.Model3C59X)
+	nic := m.AttachNIC(seg, [6]byte{2, 0, 0, 2, 0, unit}, hw.Model3C59X)
 	k, err := kern.Setup(m, nil)
 	if err != nil {
 		m.Halt()

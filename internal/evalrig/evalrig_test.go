@@ -3,6 +3,8 @@ package evalrig
 import (
 	"testing"
 	"time"
+
+	"oskit/internal/hw"
 )
 
 // TestAllConfigsCarryTTCP proves every Table 1/2 configuration moves
@@ -100,6 +102,15 @@ func TestPathShapeMatrix(t *testing.T) {
 				t.Fatal(err)
 			}
 			defer p.Halt()
+			// The cluster work generalized the NIC's segment attachment;
+			// the two-node rig must still ride the plain shared wire —
+			// no switch, no queueing stage — so the Table-1 path stays
+			// byte-identical to what it was before clusters existed.
+			for _, n := range []*Node{p.Sender, p.Receiver} {
+				if hw.WireOfForTest(n.NIC()) != p.Wire {
+					t.Fatalf("%s not attached directly to the pair's wire", n.Machine.Name)
+				}
+			}
 			if _, err := TTCP(p, 256, 4096, tc.port); err != nil {
 				t.Fatal(err)
 			}

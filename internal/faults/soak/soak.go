@@ -77,6 +77,43 @@ func RunTTCP(p *evalrig.Pair, blocks, blockSize int, port uint16, seed int64, ti
 	}
 }
 
+// ChurnRegimes are the fault regimes the cluster connection-churn soak
+// runs under.  Churn multiplies the *handshake and teardown* count
+// rather than the byte count, so a hostile wire here stresses SYN
+// retransmission, FIN recovery, and TIME_WAIT recycling instead of the
+// bulk-transfer window.
+func ChurnRegimes() []Regime {
+	return []Regime{
+		{Name: "clean", Plan: faults.Plan{Seed: 1}},
+		{Name: "hostile-wire", Plan: faults.Plan{
+			Seed: 3, WireCorrupt: 0.05, WireDup: 0.05, WireReorder: 0.05,
+			NICOverflow: 0.05, TimerJitter: 0.10}},
+	}
+}
+
+// RunClusterChurn drives the E13 connection churn on a switched cluster
+// under whatever faults are already enabled, with the same hang
+// watchdog as the ttcp soak: a regime that wedges the churn fails
+// loudly instead of hanging the suite.
+func RunClusterChurn(c *evalrig.Cluster, opts evalrig.ChurnOptions, timeout time.Duration) (evalrig.ChurnResult, error) {
+	type out struct {
+		res evalrig.ChurnResult
+		err error
+	}
+	done := make(chan out, 1)
+	go func() {
+		r, err := evalrig.ChurnTCP(c, opts)
+		done <- out{r, err}
+	}()
+	select {
+	case o := <-done:
+		return o.res, o.err
+	//oskit:allow detsource -- hang watchdog only; fires after the workload is already wedged, never on a decision path
+	case <-time.After(timeout):
+		return evalrig.ChurnResult{}, fmt.Errorf("soak: churn did not complete within %v", timeout)
+	}
+}
+
 // AllocPair names one alloc/free counter pair in one stats set.
 type AllocPair struct {
 	Set, Alloc, Free string

@@ -1,0 +1,75 @@
+package soak
+
+// Cluster churn under chaos: the E13 workload — many short connections
+// from a generator pool at one server — must complete every cycle with
+// its echo verified even while the switch fabric corrupts, duplicates
+// and reorders frames, receive rings overflow, and clocks jitter.  TCP's
+// handshake retransmission and teardown recovery are what is on trial;
+// connection-count accounting and the allocation ledgers are the
+// witnesses.
+
+import (
+	"testing"
+	"time"
+
+	"oskit/internal/evalrig"
+)
+
+func TestClusterChurnSoakRegimes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak churns are slow")
+	}
+	var cleanSum uint32
+	for i, reg := range ChurnRegimes() {
+		reg := reg
+		port := uint16(5700 + i)
+		t.Run(reg.Name, func(t *testing.T) {
+			c, err := evalrig.NewCluster(evalrig.OSKit, 4, soakTick, evalrig.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Halt()
+			in := c.EnableFaults(reg.Plan)
+			t.Logf("plan: %s", in.FaultPlan())
+
+			// One payload seed across every regime: with all cycles
+			// completing, the checksum must match between regimes too.
+			opts := evalrig.ChurnOptions{
+				Conns: 32, Workers: 2, ReqBytes: 128, Port: port, Seed: 99,
+			}
+			res, err := RunClusterChurn(c, opts, 120*time.Second)
+			if err != nil {
+				t.Fatalf("churn under %q (reproduce with plan %q): %v",
+					reg.Name, in.FaultPlan(), err)
+			}
+			// Every cycle must complete: loss and corruption are for TCP
+			// to absorb, not to surface as failed connections.
+			if res.Failed != 0 || res.Conns != opts.Conns {
+				t.Fatalf("churn under %q: %d ok, %d failed (plan %q): %v",
+					reg.Name, res.Conns, res.Failed, in.FaultPlan(), res.Errors)
+			}
+			// With all cycles completed, the verification checksum is a
+			// pure function of the payload seeding — the hostile run must
+			// reproduce the clean run's sum bit for bit.
+			if reg.Plan.Active() {
+				if in.FaultsInjected() == 0 {
+					t.Errorf("regime %q injected nothing", reg.Name)
+				}
+				if res.CheckSum != cleanSum {
+					t.Errorf("hostile checksum %08x differs from clean %08x",
+						res.CheckSum, cleanSum)
+				}
+			} else {
+				if in.FaultsInjected() != 0 {
+					t.Errorf("clean regime injected %d faults", in.FaultsInjected())
+				}
+				cleanSum = res.CheckSum
+			}
+			for i, n := range c.Nodes {
+				for _, bad := range Imbalances(n) {
+					t.Errorf("node %d (%s): %s", i, n.Machine.Name, bad)
+				}
+			}
+		})
+	}
+}

@@ -73,8 +73,9 @@ func (t *arpTable) request(dst IPAddr) {
 	s.etherOutput(m, [6]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}, EtherTypeARP)
 }
 
-// arpInput handles one ARP frame (interrupt level).
-func (s *Stack) arpInput(m *Mbuf) {
+// arpInput handles one ARP frame (interrupt level).  etherSrc is the
+// frame's link-header source station.
+func (s *Stack) arpInput(m *Mbuf, etherSrc [6]byte) {
 	m = m.Pullup(arpHdrLen)
 	if m == nil {
 		return
@@ -93,6 +94,19 @@ func (s *Stack) arpInput(m *Mbuf) {
 	copy(srcIP[:], p[14:18])
 	copy(dstIP[:], p[24:28])
 	s.Stats.ARPIn++
+
+	// The sender-hardware field must agree with the station that put the
+	// frame on the wire.  ARP carries no checksum, so a payload bit flip
+	// the link layer let through (or a spoofed frame) would otherwise
+	// poison the cache with a MAC nobody answers to — a black hole that
+	// lasts until the entry ages out.  The Ethernet header is the part of
+	// the frame the fabric itself addresses by, so it is the trustworthy
+	// copy of the sender's station.
+	if srcMAC != etherSrc {
+		s.Stats.ARPBadSender++
+		s.sc.arpBadSender.Inc()
+		return
+	}
 
 	// Learn the sender (merge step of the RFC 826 algorithm).
 	e := s.arp.entries[srcIP]

@@ -15,12 +15,14 @@ func (s *Stack) etherInput(m *Mbuf) {
 	}
 	hdr := m.Data()[:etherHdrLen]
 	etype := binary.BigEndian.Uint16(hdr[12:14])
+	var src [6]byte
+	copy(src[:], hdr[6:12])
 	m.Adj(etherHdrLen)
 	switch etype {
 	case EtherTypeIP:
 		s.ipInput(m)
 	case EtherTypeARP:
-		s.arpInput(m)
+		s.arpInput(m, src)
 	default:
 		m.FreeChain()
 	}

@@ -1,0 +1,241 @@
+package bsdnet
+
+// Tests for the hashed inpcb demux and the rotating ephemeral port
+// allocator (regressions for the quadratic rescan-from-49152 allocator,
+// which also returned failure permanently once the range had filled
+// once), plus the TIME_WAIT cap that keeps churned ports recyclable.
+
+import (
+	"testing"
+	"time"
+
+	"oskit/internal/com"
+)
+
+// withStack runs fn as a component entry (current process + splnet),
+// the way every real caller reaches the pcb internals.
+func withStack(s *Stack, fn func()) {
+	restore := s.g.Enter("test")
+	defer restore()
+	spl := s.g.Splnet()
+	defer s.g.Splx(spl)
+	fn()
+}
+
+// TestHashedLookupMatchesLinear populates listeners and connected pcbs
+// and checks the hashed demux against the donor's linear walk (kept as
+// the oracle) across hits, listener fallbacks, and misses.
+func TestHashedLookupMatchesLinear(t *testing.T) {
+	s := bareStack(t)
+	withStack(s, func() {
+		lp := s.tcpNew()
+		if err := s.tcpBind(lp, 80, false); err != nil {
+			t.Fatal(err)
+		}
+		if err := lp.usrListen(8); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 64; i++ {
+			tp := s.tcpNew()
+			tp.laddr, tp.lport = s.ifIP, 80
+			tp.faddr = IPAddr{10, 0, byte(i / 8), byte(i%8 + 1)}
+			tp.fport = uint16(40000 + i)
+			tp.state = tcpsEstablished
+			s.tcpPorts[tp.lport]++
+			if err := s.tcpRegisterConn(tp); err != nil {
+				t.Fatal(err)
+			}
+		}
+		cases := []struct {
+			name         string
+			src          IPAddr
+			sport, dport uint16
+		}{
+			{"exact hit", IPAddr{10, 0, 2, 3}, 40018, 80},
+			{"listener fallback", IPAddr{10, 9, 9, 9}, 1234, 80},
+			{"port miss", IPAddr{10, 0, 2, 3}, 40018, 81},
+			{"tuple miss wrong sport", IPAddr{10, 0, 2, 3}, 40019, 80},
+		}
+		for _, c := range cases {
+			hashed := s.tcpLookup(s.ifIP, c.dport, c.src, c.sport)
+			linear := s.tcpLookupLinear(s.ifIP, c.dport, c.src, c.sport)
+			if hashed != linear {
+				t.Errorf("%s: hashed %p != linear %p", c.name, hashed, linear)
+			}
+		}
+		// "tuple miss wrong sport" must fall back to the listener, and
+		// the plain miss to nil — pin the oracle itself too.
+		if got := s.tcpLookup(s.ifIP, 81, IPAddr{10, 0, 2, 3}, 40018); got != nil {
+			t.Errorf("miss returned %p", got)
+		}
+		if got := s.tcpLookup(s.ifIP, 80, IPAddr{10, 0, 2, 3}, 40019); got != lp {
+			t.Errorf("near-miss did not fall back to the listener")
+		}
+	})
+}
+
+// TestEphemeralRotates pins the allocator's rotating hint: consecutive
+// allocations hand out consecutive ports instead of rescanning from the
+// range base (the pre-fix quadratic behaviour under churn).
+func TestEphemeralRotates(t *testing.T) {
+	s := bareStack(t)
+	withStack(s, func() {
+		free := func(uint16) bool { return true }
+		for i, want := range []uint16{49152, 49153, 49154} {
+			p, err := s.ephemeral(free)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p != want {
+				t.Fatalf("allocation %d = %d, want %d", i, p, want)
+			}
+		}
+	})
+}
+
+// TestEphemeralWraparoundAndExhaustion drives the hint to the top of
+// the range (allocation must wrap to the base, not walk off the end of
+// the uint16 space) and then exhausts the range: exhaustion surfaces as
+// ErrNoPorts, and — the regression — the allocator recovers as soon as
+// a port frees up instead of failing forever.
+func TestEphemeralWraparoundAndExhaustion(t *testing.T) {
+	s := bareStack(t)
+	withStack(s, func() {
+		s.nextEphemeral = ephemeralCount - 1
+		p, err := s.ephemeral(func(uint16) bool { return true })
+		if err != nil || p != 65535 {
+			t.Fatalf("top of range = %d, %v", p, err)
+		}
+		p, err = s.ephemeral(func(uint16) bool { return true })
+		if err != nil || p != 49152 {
+			t.Fatalf("wraparound = %d, %v (want 49152)", p, err)
+		}
+
+		if _, err := s.ephemeral(func(uint16) bool { return false }); err != com.ErrNoPorts {
+			t.Fatalf("exhaustion error = %v, want ErrNoPorts", err)
+		}
+		// Pre-fix the allocator returned failure permanently once the
+		// range had been swept; a freed port must be allocatable again.
+		p, err = s.ephemeral(func(q uint16) bool { return q == 51000 })
+		if err != nil || p != 51000 {
+			t.Fatalf("post-exhaustion allocation = %d, %v", p, err)
+		}
+	})
+}
+
+// TestUDPBindConflictAndConnectRekey covers the occupancy-map bind
+// conflict check and the demux re-key on connect.
+func TestUDPBindConflictAndConnectRekey(t *testing.T) {
+	s := bareStack(t)
+	withStack(s, func() {
+		p1 := s.udpNew()
+		if err := s.udpBind(p1, 5000); err != nil {
+			t.Fatal(err)
+		}
+		p2 := s.udpNew()
+		if err := s.udpBind(p2, 5000); err != com.ErrAddrInUse {
+			t.Fatalf("conflicting bind = %v, want ErrAddrInUse", err)
+		}
+		peer := IPAddr{10, 0, 0, 9}
+		if err := s.udpConnect(p1, peer, 7); err != nil {
+			t.Fatal(err)
+		}
+		if got := s.udpLookup(s.ifIP, 5000, peer, 7); got != p1 {
+			t.Fatal("connected pcb not found by exact 4-tuple")
+		}
+		if got := s.udpLookupLinear(s.ifIP, 5000, peer, 7); got != p1 {
+			t.Fatal("linear oracle disagrees with hashed UDP demux")
+		}
+		s.udpDetach(p1)
+		if got := s.udpLookup(s.ifIP, 5000, peer, 7); got != nil {
+			t.Fatal("detached pcb still demuxed")
+		}
+		if s.udpPorts[5000] != 0 {
+			t.Fatalf("port occupancy = %d after detach, want 0", s.udpPorts[5000])
+		}
+	})
+}
+
+// TestTimeWaitRecycling shrinks the TIME_WAIT cap and churns
+// connections with the server closing first (every finished connection
+// parks a server-side TIME_WAIT pcb): the cap must recycle the oldest
+// lingering pcbs — counted in tcp.timewait_recycled — so the pcb
+// population stays bounded instead of growing with total connections.
+func TestTimeWaitRecycling(t *testing.T) {
+	a, b := connectedStacks(t)
+	// The server stack is entered by two process-level threads (the
+	// accept loop and the test's pollers), so it gets the §4.7.4
+	// component-lock treatment.
+	lb := lockStack(b)
+	lb.do(func() { b.SetMaxTimeWait(2) })
+	fb := b.SocketFactory()
+	defer fb.Release()
+	var ls com.Socket
+	var err error
+	lb.do(func() { ls, err = fb.CreateSocket(com.AFInet, com.SockStream, 0) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb.do(func() { err = ls.Bind(addrOf(ipB, 8092)) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb.do(func() { err = ls.Listen(4) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lb.do(func() { _ = ls.Close() })
+	go func() {
+		for {
+			var cs com.Socket
+			var err error
+			lb.do(func() { cs, _, err = ls.Accept() })
+			if err != nil {
+				return
+			}
+			buf := make([]byte, 64)
+			var n uint
+			lb.do(func() { n, _ = cs.Read(buf) })
+			lb.do(func() { _, _ = cs.Write(buf[:n]) })
+			lb.do(func() { _ = cs.Close() }) // server closes first: TIME_WAIT lands here
+		}
+	}()
+
+	fa := a.SocketFactory()
+	defer fa.Release()
+	const churn = 8
+	for i := 0; i < churn; i++ {
+		cs, err := fa.CreateSocket(com.AFInet, com.SockStream, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cs.Connect(addrOf(ipB, 8092)); err != nil {
+			t.Fatalf("connection %d: %v", i, err)
+		}
+		if _, err := cs.Write([]byte("hi")); err != nil {
+			t.Fatalf("connection %d write: %v", i, err)
+		}
+		buf := make([]byte, 8)
+		if _, err := cs.Read(buf); err != nil {
+			t.Fatalf("connection %d read: %v", i, err)
+		}
+		if err := cs.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for stat(t, b, "tcp.timewait_recycled") < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("TIME_WAIT cap never recycled a pcb")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Bounded population: listener + at most the cap's worth of
+	// TIME_WAIT pcbs (plus any connection still mid-teardown).
+	var n int
+	lb.do(func() { n = TCPPCBCountForTest(b) })
+	if n > 1+2+2 {
+		t.Fatalf("server pcb population = %d, want bounded by the cap", n)
+	}
+}

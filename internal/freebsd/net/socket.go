@@ -111,12 +111,9 @@ func (so *socket) Connect(addr com.SockAddr) error {
 		return com.ErrBadF
 	}
 	if so.udp != nil {
-		copy(so.udp.faddr[:], addr.Addr[:])
-		so.udp.fport = addr.Port
-		if so.udp.lport == 0 {
-			return so.s.udpBind(so.udp, 0)
-		}
-		return nil
+		var dst IPAddr
+		copy(dst[:], addr.Addr[:])
+		return so.s.udpConnect(so.udp, dst, addr.Port)
 	}
 	tp := so.tcp
 	var dst IPAddr

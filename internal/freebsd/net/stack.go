@@ -1,6 +1,8 @@
 package bsdnet
 
 import (
+	"sync"
+
 	"oskit/internal/com"
 	bsdglue "oskit/internal/freebsd/glue"
 	"oskit/internal/hw"
@@ -42,7 +44,8 @@ type Stack struct {
 	// which header-keeping pools cannot give.
 	pktPool com.Allocator
 
-	// Protocol state.
+	// Protocol state.  The pcb slices feed the timer sweeps; the maps
+	// are the hashed demux and port-occupancy indexes (see inpcb.go).
 	udpPCBs []*udpPCB
 	tcpPCBs []*tcpcb
 	ipReasm map[reasmKey]*reasmQ
@@ -50,9 +53,31 @@ type Stack struct {
 	ipID    uint16
 	issSeed uint32
 
+	tcpHash   map[tcpKey]*tcpcb  // connected TCP pcbs by exact 4-tuple
+	tcpListen map[uint16]*tcpcb  // listeners by local port
+	tcpPorts  map[uint16]int     // TCP local-port occupancy
+	udpHash   map[udpKey]*udpPCB // connected UDP pcbs by exact 4-tuple
+	udpWild   map[uint16]*udpPCB // unconnected UDP pcbs by local port
+	udpPorts  map[uint16]int     // UDP local-port occupancy
+
+	nextEphemeral uint16 // rotating hint into the dynamic port range
+
+	// TIME_WAIT recycling: lingering pcbs in FIFO order, the count of
+	// live ones, and the cap beyond which the oldest are reclaimed so
+	// churn cannot pin ports and pcbs for a full 2MSL each.
+	twQueue     []*tcpcb
+	twLive      int
+	maxTimeWait int
+
 	nextEvent uint32 // tsleep event id allocator
 
+	// The slow-timer registration: the tick re-arms it at interrupt
+	// level while Close detaches it from an arbitrary goroutine, so the
+	// pair lives under its own mutex rather than the interrupt
+	// exclusion (Close must work without entering the component).
+	slowMu   sync.Mutex
 	stopSlow func()
+	closed   bool
 
 	// Batched-receive softint state (PushBatch).  rxBatching is true
 	// while one batch is being ingested: the in-order TCP data path then
@@ -84,8 +109,18 @@ type StackStats struct {
 	IPReasmOK      uint64
 	TCPIn, TCPOut  uint64
 	TCPRexmt       uint64
+	// AcceptOverflows counts SYNs dropped at a listener whose accept or
+	// syn queue was full (FreeBSD behaviour: silent drop, no RST).
+	AcceptOverflows uint64
+	// TimeWaitRecycled counts TIME_WAIT pcbs reclaimed early because
+	// the stack's lingering-pcb cap was exceeded.
+	TimeWaitRecycled uint64
 	UDPIn, UDPOut  uint64
 	ARPIn, ARPOut  uint64
+	// ARPBadSender counts ARP frames dropped because the sender-hardware
+	// field disagreed with the Ethernet source station (corruption or
+	// spoofing; accepting it would poison the resolution cache).
+	ARPBadSender uint64
 	RxZeroCopy     uint64 // inbound packets wrapped via Map
 	RxCopied       uint64 // inbound packets copied via Read
 	TxContiguous   uint64 // outbound packets exported as one run
@@ -110,6 +145,10 @@ type netstats struct {
 	tcpRexmt                    *stats.Counter
 	tcpDropBadCsum, tcpDropDup  *stats.Counter
 	tcpDropWnd, tcpOOO          *stats.Counter
+	tcpAcceptOvfl               *stats.Counter
+	tcpTWRecycled               *stats.Counter
+	arpBadSender                *stats.Counter
+	tcpPCBCount                 *stats.Gauge
 	sockbufCC                   *stats.Gauge
 	tcpRxBytes                  *stats.Histogram
 	rxBatches, rxBatchFrames    *stats.Counter
@@ -120,9 +159,16 @@ type netstats struct {
 // (oskit_freebsd_net_init).
 func NewStack(g *bsdglue.Glue) *Stack {
 	s := &Stack{
-		g:       g,
-		ipReasm: map[reasmKey]*reasmQ{},
-		issSeed: uint32(g.Ticks())*2654435761 + 12345,
+		g:           g,
+		ipReasm:     map[reasmKey]*reasmQ{},
+		issSeed:     uint32(g.Ticks())*2654435761 + 12345,
+		tcpHash:     map[tcpKey]*tcpcb{},
+		tcpListen:   map[uint16]*tcpcb{},
+		tcpPorts:    map[uint16]int{},
+		udpHash:     map[udpKey]*udpPCB{},
+		udpWild:     map[uint16]*udpPCB{},
+		udpPorts:    map[uint16]int{},
+		maxTimeWait: tcpDefaultMaxTimeWait,
 	}
 	s.initStats()
 	s.arp.init(s)
@@ -130,8 +176,23 @@ func NewStack(g *bsdglue.Glue) *Stack {
 	// TCP retransmit/persist/keep and ARP/reassembly aging.
 	var tick func()
 	tick = func() {
+		s.slowMu.Lock()
+		closed := s.closed
+		s.slowMu.Unlock()
+		if closed {
+			return
+		}
 		s.slowTimo()
-		s.stopSlow = s.g.Env().AfterTicks(slowTimoTicks, tick)
+		stop := s.g.Env().AfterTicks(slowTimoTicks, tick)
+		s.slowMu.Lock()
+		if s.closed {
+			s.stopSlow = nil
+			s.slowMu.Unlock()
+			stop()
+			return
+		}
+		s.stopSlow = stop
+		s.slowMu.Unlock()
 	}
 	s.stopSlow = s.g.Env().AfterTicks(slowTimoTicks, tick)
 	return s
@@ -159,6 +220,15 @@ func (s *Stack) initStats() {
 		tcpDropDup:     set.Counter("tcp.drop_dup"),
 		tcpDropWnd:     set.Counter("tcp.drop_out_of_window"),
 		tcpOOO:         set.Counter("tcp.ooo_segs"),
+		// Connection-churn observability: SYNs dropped at a full listen
+		// queue (the backlog ceiling made visible), TIME_WAIT pcbs
+		// reclaimed by the lingering-pcb cap, and the live pcb count.
+		tcpAcceptOvfl: set.Counter("tcp.accept_overflows"),
+		tcpTWRecycled: set.Counter("tcp.timewait_recycled"),
+		// ARP frames refused because the sender-hardware field disagreed
+		// with the Ethernet source station (corruption or spoofing).
+		arpBadSender: set.Counter("arp.bad_sender"),
+		tcpPCBCount:   set.Gauge("tcp.pcbs"),
 		sockbufCC:      set.Gauge("sockbuf.occupancy"),
 		// Inbound TCP payload sizes: runts, mid-size, MSS-full segments.
 		tcpRxBytes: set.Histogram("tcp.rx_seg_bytes", []uint64{1, 128, 512, 1024, 1460}),
@@ -188,6 +258,30 @@ func (s *Stack) countTCPOut() {
 func (s *Stack) countTCPRexmt() {
 	s.Stats.TCPRexmt++
 	s.sc.tcpRexmt.Inc()
+}
+
+// countAcceptOverflow records one SYN dropped at a full listen queue.
+func (s *Stack) countAcceptOverflow() {
+	s.Stats.AcceptOverflows++
+	s.sc.tcpAcceptOvfl.Inc()
+}
+
+// countTWRecycle records one TIME_WAIT pcb reclaimed by the cap.
+func (s *Stack) countTWRecycle() {
+	s.Stats.TimeWaitRecycled++
+	s.sc.tcpTWRecycled.Inc()
+}
+
+// SetMaxTimeWait bounds how many TIME_WAIT pcbs may linger before the
+// oldest are reclaimed (their ports freed immediately).  The default is
+// tcpDefaultMaxTimeWait; tests shrink it to force recycling.
+func (s *Stack) SetMaxTimeWait(n int) {
+	if n < 1 {
+		n = 1
+	}
+	spl := s.g.Splnet()
+	s.maxTimeWait = n
+	s.g.Splx(spl)
 }
 
 // Glue returns the stack's BSD environment (tests).
@@ -260,10 +354,17 @@ func (s *Stack) SetGateway(gw IPAddr) {
 }
 
 // Close unbinds timers (the interface itself is closed by the client,
-// which owns the device).
+// which owns the device).  The closed flag keeps a concurrently-firing
+// tick from re-arming after the cancel; a slow sweep already in flight
+// finishes on its own (Close does not free any stack state).
 func (s *Stack) Close() {
-	if s.stopSlow != nil {
-		s.stopSlow()
+	s.slowMu.Lock()
+	s.closed = true
+	stop := s.stopSlow
+	s.stopSlow = nil
+	s.slowMu.Unlock()
+	if stop != nil {
+		stop()
 	}
 }
 

@@ -61,6 +61,15 @@ const (
 	tcpMaxRxtShift = 12
 )
 
+// tcpDefaultMaxTimeWait bounds lingering TIME_WAIT pcbs.  Under the
+// cluster rig's connection churn the server side closes first, so every
+// finished connection parks a pcb (and its port tuple) for 2*MSL; with
+// no bound the churn rate is capped by MSL, not by the stack.  When the
+// cap is exceeded the oldest TIME_WAIT pcb is recycled (counted in
+// tcp.timewait_recycled) — the 4.4BSD compromise of trading perfect
+// old-duplicate protection for sustained accept rates.
+const tcpDefaultMaxTimeWait = 512
+
 // Sequence-space comparisons (RFC 793 modular arithmetic).
 func seqLT(a, b uint32) bool  { return int32(a-b) < 0 }
 func seqLEQ(a, b uint32) bool { return int32(a-b) <= 0 }
@@ -114,11 +123,21 @@ type tcpcb struct {
 	// Out-of-order segments, sorted by seq.
 	reass []tcpSeg
 
-	// Listener state.
+	// Listener state.  synQ holds embryonic connections (SynRcvd, not
+	// yet completed); acceptQ holds completed connections awaiting
+	// Accept.  A child points at its listener through parent until
+	// accepted or dropped.
 	listening bool
 	backlog   int
+	synQ      []*tcpcb
 	acceptQ   []*tcpcb
 	parent    *tcpcb
+
+	// pcbIdx is this pcb's slot in Stack.tcpPCBs (swap-remove on
+	// detach); -1 once detached, which makes tcpDetach idempotent — a
+	// pcb can be dropped by a timer and again by the closing user path
+	// without corrupting the list.
+	pcbIdx int
 
 	// User synchronization.
 	connEvent   uint32
@@ -148,70 +167,96 @@ func (s *Stack) tcpNew() *tcpcb {
 		ssthresh: 65535,
 		srtt:     0,
 		rttvar:   3 * 4, // BSD initial: srtt unset, rttvar 3 ticks
+		pcbIdx:   len(s.tcpPCBs),
 	}
 	tp.sndBuf.init(s)
 	tp.rcvBuf.init(s)
 	tp.connEvent = s.newEvent()
 	tp.acceptEvent = s.newEvent()
 	s.tcpPCBs = append(s.tcpPCBs, tp)
+	s.sc.tcpPCBCount.Set(int64(len(s.tcpPCBs)))
 	return tp
 }
 
-// tcpDetach removes a pcb from the stack.
+// tcpDetach removes a pcb from the stack: swap-remove from the pcb
+// list, drop its demux and port-occupancy entries, unlink it from any
+// listener queue, and free the socket buffers.  Idempotent: a second
+// call (timer vs. user close racing) is a no-op.
 func (s *Stack) tcpDetach(tp *tcpcb) {
-	for i, p := range s.tcpPCBs {
-		if p == tp {
-			s.tcpPCBs = append(s.tcpPCBs[:i], s.tcpPCBs[i+1:]...)
-			break
+	if tp.pcbIdx < 0 {
+		return
+	}
+	last := len(s.tcpPCBs) - 1
+	moved := s.tcpPCBs[last]
+	s.tcpPCBs[tp.pcbIdx] = moved
+	moved.pcbIdx = tp.pcbIdx
+	s.tcpPCBs[last] = nil
+	s.tcpPCBs = s.tcpPCBs[:last]
+	tp.pcbIdx = -1
+	s.sc.tcpPCBCount.Set(int64(len(s.tcpPCBs)))
+
+	if tp.listening {
+		if s.tcpListen[tp.lport] == tp {
+			delete(s.tcpListen, tp.lport)
 		}
+	} else if tp.fport != 0 {
+		k := tcpKey{tp.laddr, tp.lport, tp.faddr, tp.fport}
+		if s.tcpHash[k] == tp {
+			delete(s.tcpHash, k)
+		}
+	}
+	if tp.lport != 0 {
+		if n := s.tcpPorts[tp.lport]; n <= 1 {
+			delete(s.tcpPorts, tp.lport)
+		} else {
+			s.tcpPorts[tp.lport] = n - 1
+		}
+	}
+	if tp.state == tcpsTimeWait {
+		s.twLive--
+	}
+	if p := tp.parent; p != nil {
+		removePCB(&p.synQ, tp)
+		removePCB(&p.acceptQ, tp)
 	}
 	tp.sndBuf.flush()
 	tp.rcvBuf.flush()
+	tp.reass = nil
 	tp.state = tcpsClosed
 }
 
-// tcpLookup demuxes an inbound segment.
-func (s *Stack) tcpLookup(dst IPAddr, dport uint16, src IPAddr, sport uint16) *tcpcb {
-	var listener *tcpcb
-	for _, tp := range s.tcpPCBs {
-		if tp.lport != dport {
-			continue
-		}
-		if !tp.listening && tp.fport == sport && tp.faddr == src {
-			return tp
-		}
-		if tp.listening {
-			listener = tp
+// removePCB deletes tp from a listener queue if present.
+func removePCB(q *[]*tcpcb, tp *tcpcb) {
+	for i, p := range *q {
+		if p == tp {
+			*q = append((*q)[:i], (*q)[i+1:]...)
+			return
 		}
 	}
-	return listener
 }
 
-// tcpBind assigns the local port.
+// tcpBind assigns the local port.  The per-port occupancy map makes
+// both the ephemeral probe and the conflict check O(1); a port is
+// refused only while some pcb actually holds it (TIME_WAIT pcbs count
+// until detached or recycled).
 func (s *Stack) tcpBind(tp *tcpcb, port uint16, reuse bool) error {
+	if tp.lport != 0 {
+		return com.ErrInval
+	}
 	if port == 0 {
-		port = s.ephemeral(func(p uint16) bool {
-			for _, o := range s.tcpPCBs {
-				if o != tp && o.lport == p {
-					return false
-				}
-			}
-			return true
-		})
-		if port == 0 {
-			return com.ErrAddrInUse
+		p, err := s.ephemeral(func(p uint16) bool { return s.tcpPorts[p] == 0 })
+		if err != nil {
+			return err
 		}
-	} else {
-		for _, o := range s.tcpPCBs {
-			if o != tp && o.lport == port && (o.listening || !reuse) {
-				if !reuse || o.listening {
-					return com.ErrAddrInUse
-				}
-			}
+		port = p
+	} else if s.tcpPorts[port] > 0 {
+		if s.tcpListen[port] != nil || !reuse {
+			return com.ErrAddrInUse
 		}
 	}
 	tp.laddr = s.ifIP
 	tp.lport = port
+	s.tcpPorts[port]++
 	return nil
 }
 
@@ -231,6 +276,11 @@ func (tp *tcpcb) usrConnect(dst IPAddr, dport uint16) error {
 	}
 	tp.faddr = dst
 	tp.fport = dport
+	if err := tp.s.tcpRegisterConn(tp); err != nil {
+		// 4-tuple collision (usually a lingering TIME_WAIT twin).
+		tp.faddr, tp.fport = IPAddr{}, 0
+		return err
+	}
 	tp.iss = tp.s.newISS()
 	tp.sndUna, tp.sndNxt, tp.sndMax = tp.iss, tp.iss, tp.iss
 	tp.state = tcpsSynSent
@@ -247,9 +297,13 @@ func (tp *tcpcb) usrListen(backlog int) error {
 	if backlog < 1 {
 		backlog = 1
 	}
+	if lp := tp.s.tcpListen[tp.lport]; lp != nil && lp != tp {
+		return com.ErrAddrInUse
+	}
 	tp.listening = true
 	tp.backlog = backlog
 	tp.state = tcpsListen
+	tp.s.tcpListen[tp.lport] = tp
 	return nil
 }
 
@@ -257,6 +311,15 @@ func (tp *tcpcb) usrListen(backlog int) error {
 func (tp *tcpcb) usrClose() {
 	switch tp.state {
 	case tcpsClosed, tcpsListen, tcpsSynSent:
+		if tp.listening {
+			// Closing a listener must abort everything still parked on
+			// it: embryonic connections in synQ and completed-but-never-
+			// accepted ones in acceptQ.  Leaving them attached orphans
+			// live pcbs — peers that completed the handshake hang with a
+			// connection nobody will ever read, and their sockbuf mbuf
+			// chains leak for the stack's lifetime.
+			tp.s.tcpAbortListenQueues(tp)
+		}
 		tp.s.tcpDetach(tp)
 	case tcpsSynRcvd, tcpsEstablished:
 		tp.state = tcpsFinWait1
@@ -267,6 +330,53 @@ func (tp *tcpcb) usrClose() {
 	}
 	// Wake anyone blocked; they will see the state change.
 	tp.wakeAll()
+}
+
+// tcpAbortListenQueues resets every connection still queued at a
+// closing listener.  usrAbort sends RST for handshake-complete states,
+// then drop detaches the pcb and frees its buffers; the peer sees a
+// reset instead of a silent black hole.
+func (s *Stack) tcpAbortListenQueues(lp *tcpcb) {
+	pend := append(append([]*tcpcb(nil), lp.synQ...), lp.acceptQ...)
+	lp.synQ, lp.acceptQ = nil, nil
+	for _, c := range pend {
+		c.parent = nil // already unlinked; don't wake the dying listener
+		c.usrAbort()
+	}
+}
+
+// tcpEnterTimeWait parks a pcb in TIME_WAIT for 2*MSL.  The reassembly
+// queue is freed (nothing more can complete) but the receive buffer is
+// kept — the application may still drain data that arrived before the
+// FIN.  If the stack's TIME_WAIT cap is exceeded, the oldest lingering
+// pcb is recycled immediately, releasing its port.
+func (s *Stack) tcpEnterTimeWait(tp *tcpcb) {
+	tp.state = tcpsTimeWait
+	tp.timers[tRexmt] = 0
+	tp.timers[tPersist] = 0
+	tp.timers[t2MSL] = 2 * tcpMSLTicks
+	tp.reass = nil
+	// Lazily prune entries whose pcb already left TIME_WAIT (2MSL timer
+	// expiry or SYN reincarnation) so the queue stays bounded.
+	for len(s.twQueue) > 0 {
+		h := s.twQueue[0]
+		if h.state == tcpsTimeWait && h.pcbIdx >= 0 {
+			break
+		}
+		s.twQueue = s.twQueue[1:]
+	}
+	s.twQueue = append(s.twQueue, tp)
+	s.twLive++
+	for s.twLive > s.maxTimeWait && len(s.twQueue) > 0 {
+		old := s.twQueue[0]
+		s.twQueue = s.twQueue[1:]
+		if old.state != tcpsTimeWait || old.pcbIdx < 0 {
+			continue // left TIME_WAIT already (reincarnated or expired)
+		}
+		s.countTWRecycle()
+		s.tcpDetach(old)
+		old.wakeAll()
+	}
 }
 
 // usrAbort sends RST and drops the connection.

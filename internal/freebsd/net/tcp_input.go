@@ -126,14 +126,26 @@ func (s *Stack) tcpInputListen(lp *tcpcb, seg tcpSeg, src IPAddr, sport uint16, 
 	if seg.flags&thSYN == 0 {
 		return
 	}
-	if len(lp.acceptQ) >= lp.backlog {
-		return // drop: listen queue full
+	if len(lp.acceptQ) >= lp.backlog || len(lp.synQ) > lp.backlog+lp.backlog/2 {
+		// Listen queue full: drop the SYN silently (no RST — FreeBSD
+		// behaviour: the client retransmits and may find room later) but
+		// account for it, so a saturated backlog shows up in the stats
+		// instead of masquerading as wire loss.
+		s.countAcceptOverflow()
+		return
 	}
 	// Passive open: manufacture the connection pcb.
 	tp := s.tcpNew()
 	tp.laddr, tp.lport = dst, dport
 	tp.faddr, tp.fport = src, sport
+	if err := s.tcpRegisterConn(tp); err != nil {
+		// 4-tuple already taken (stale twin not yet reaped): drop.
+		s.tcpDetach(tp)
+		return
+	}
+	s.tcpPorts[dport]++
 	tp.parent = lp
+	lp.synQ = append(lp.synQ, tp)
 	tp.refcnt = 1 // owned by the listener until accepted
 	tp.irs = seg.seq
 	tp.rcvNxt = seg.seq + 1
@@ -274,8 +286,7 @@ func (s *Stack) tcpInputConn(tp *tcpcb, seg tcpSeg, dataLen int) {
 		case tcpsFinWait1:
 			tp.state = tcpsClosing
 		case tcpsFinWait2:
-			tp.state = tcpsTimeWait
-			tp.timers[t2MSL] = 2 * tcpMSLTicks
+			s.tcpEnterTimeWait(tp)
 		}
 		s.tcpRespondACK(tp)
 	}
@@ -299,6 +310,15 @@ func (s *Stack) tcpProcessACK(tp *tcpcb, seg tcpSeg) {
 		tp.sndWL1 = seg.seq
 		tp.sndWL2 = seg.ack
 		if p := tp.parent; p != nil {
+			removePCB(&p.synQ, tp)
+			if len(p.acceptQ) >= p.backlog {
+				// The accept queue filled while the handshake was in
+				// flight; this completion has nowhere to go.  Reset the
+				// peer and account it as an overflow.
+				s.countAcceptOverflow()
+				tp.usrAbort()
+				return
+			}
 			p.acceptQ = append(p.acceptQ, tp)
 			s.g.Wakeup(p.acceptEvent)
 		}
@@ -413,8 +433,7 @@ func (s *Stack) tcpProcessACK(tp *tcpcb, seg tcpSeg) {
 		}
 	case tcpsClosing:
 		if tp.sentFin && allAcked {
-			tp.state = tcpsTimeWait
-			tp.timers[t2MSL] = 2 * tcpMSLTicks
+			s.tcpEnterTimeWait(tp)
 		}
 	case tcpsLastAck:
 		if tp.sentFin && allAcked {

@@ -35,6 +35,7 @@ func (s *Stack) udpNew() *udpPCB {
 }
 
 func (s *Stack) udpDetach(pcb *udpPCB) {
+	s.udpUnregister(pcb)
 	for i, p := range s.udpPCBs {
 		if p == pcb {
 			s.udpPCBs = append(s.udpPCBs[:i], s.udpPCBs[i+1:]...)
@@ -43,50 +44,25 @@ func (s *Stack) udpDetach(pcb *udpPCB) {
 	}
 }
 
-// udpBind assigns the local port (0 picks an ephemeral one).
+// udpBind assigns the local port (0 picks an ephemeral one) and enters
+// the pcb in the demux maps.  The occupancy map makes both the
+// ephemeral probe and the conflict check O(1); demux itself lives in
+// inpcb.go.
 func (s *Stack) udpBind(pcb *udpPCB, port uint16) error {
 	if port == 0 {
-		port = s.ephemeral(func(p uint16) bool { return s.udpLookup(s.ifIP, p, IPAddr{}, 0) == nil })
-		if port == 0 {
-			return com.ErrAddrInUse
+		p, err := s.ephemeral(func(p uint16) bool { return s.udpPorts[p] == 0 })
+		if err != nil {
+			return err
 		}
-	} else {
-		for _, other := range s.udpPCBs {
-			if other != pcb && other.lport == port {
-				return com.ErrAddrInUse
-			}
-		}
+		port = p
+	} else if s.udpPorts[port] > 0 && pcb.lport != port {
+		return com.ErrAddrInUse
 	}
+	s.udpUnregister(pcb)
 	pcb.laddr = s.ifIP
 	pcb.lport = port
+	s.udpRegister(pcb)
 	return nil
-}
-
-// ephemeral scans the dynamic port range.
-func (s *Stack) ephemeral(free func(uint16) bool) uint16 {
-	for p := uint16(49152); p != 0; p++ {
-		if free(p) {
-			return p
-		}
-	}
-	return 0
-}
-
-// udpLookup finds the best-matching PCB (exact 4-tuple beats wildcard).
-func (s *Stack) udpLookup(dst IPAddr, dport uint16, src IPAddr, sport uint16) *udpPCB {
-	var wild *udpPCB
-	for _, pcb := range s.udpPCBs {
-		if pcb.lport != dport {
-			continue
-		}
-		if pcb.fport == sport && pcb.faddr == src {
-			return pcb
-		}
-		if pcb.fport == 0 {
-			wild = pcb
-		}
-	}
-	return wild
 }
 
 // udpInput handles one datagram (interrupt level, splnet implied).

@@ -47,6 +47,18 @@ type heldFrame struct {
 	frame []byte
 }
 
+// Segment is the link a NIC transmits onto: a shared EtherWire (the
+// two-PC testbeds of Tables 1 and 2) or one port of an EtherSwitch (the
+// N-node cluster rig).  The transmit method is unexported so every
+// segment implementation lives in this package, next to the NIC whose
+// delivery contract (deliver/receiveGather) it depends on.
+type Segment interface {
+	// Attach joins a NIC to the segment and publishes the binding under
+	// the NIC's own lock.
+	Attach(n *NIC)
+	transmitGather(src *NIC, parts [][]byte)
+}
+
 // EtherWire is a shared Ethernet segment.  Transmission is synchronous:
 // delivery happens on the sender's thread of control, ending in the
 // receiving NIC's ring and an interrupt on the receiving machine.  The
@@ -114,13 +126,6 @@ func (w *EtherWire) Stats() (tx, drops uint64) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.txFrames, w.drops
-}
-
-// transmit carries one frame from src to every other NIC whose address
-// filter accepts it.  The wire copies the frame, so the sender may reuse
-// its buffer immediately (like a NIC that has DMA'd the frame out).
-func (w *EtherWire) transmit(src *NIC, frame []byte) {
-	w.transmitGather(src, [][]byte{frame})
 }
 
 // transmitGather is transmit for scattered frames: the per-receiver copy
@@ -225,7 +230,7 @@ func flatten(parts [][]byte, total int) []byte {
 // and a fixed-size receive ring drained at interrupt level by its driver.
 type NIC struct {
 	Mac  [6]byte
-	wire *EtherWire
+	wire Segment
 	ic   *IntrController
 	line int
 
@@ -284,7 +289,7 @@ func (n *NIC) Transmit(frame []byte) {
 	if w == nil {
 		return
 	}
-	w.transmit(n, frame)
+	w.transmitGather(n, [][]byte{frame})
 }
 
 // TransmitGather sends one frame scattered across several memory runs —
@@ -464,8 +469,15 @@ func (n *NIC) RxBatched() uint64 {
 	return n.rxBatched
 }
 
-// WireOfForTest exposes the segment a NIC is attached to (test hook).
+// WireOfForTest exposes the shared wire a NIC is attached to, or nil
+// when the NIC sits on some other segment kind (test hook).
 func WireOfForTest(n *NIC) *EtherWire {
+	w, _ := SegmentOfForTest(n).(*EtherWire)
+	return w
+}
+
+// SegmentOfForTest exposes the segment a NIC is attached to (test hook).
+func SegmentOfForTest(n *NIC) Segment {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.wire

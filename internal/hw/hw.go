@@ -75,9 +75,10 @@ func NewMachine(cfg Config) *Machine {
 	return m
 }
 
-// AttachNIC creates a NIC on the given wire and registers it on the bus.
-// model selects the (vendor, device) ID pair drivers probe for.
-func (m *Machine) AttachNIC(wire *EtherWire, mac [6]byte, model NICModel) *NIC {
+// AttachNIC creates a NIC on the given segment — a shared EtherWire or
+// one EtherSwitch port — and registers it on the bus.  model selects the
+// (vendor, device) ID pair drivers probe for.
+func (m *Machine) AttachNIC(wire Segment, mac [6]byte, model NICModel) *NIC {
 	irq := IRQNIC0 + m.nextNIC
 	if m.nextNIC >= 2 {
 		panic("hw: too many NICs")

@@ -112,10 +112,12 @@ func (s *Stack) netifRx(skb *legacy.SKBuff) {
 	}
 	s.scRx.Inc()
 	etype := binary.BigEndian.Uint16(d[12:14])
+	var src [6]byte
+	copy(src[:], d[6:12])
 	payload := d[etherHdrLen:]
 	switch etype {
 	case etherTypeARP:
-		s.arpInput(payload)
+		s.arpInput(payload, src)
 	case etherTypeIP:
 		s.ipInput(payload)
 	}
@@ -149,7 +151,7 @@ func (s *Stack) newSKB(payload int) *legacy.SKBuff {
 
 // --- ARP.
 
-func (s *Stack) arpInput(p []byte) {
+func (s *Stack) arpInput(p []byte, etherSrc [6]byte) {
 	if len(p) < 28 || binary.BigEndian.Uint16(p[6:8]) > 2 {
 		return
 	}
@@ -159,6 +161,12 @@ func (s *Stack) arpInput(p []byte) {
 	copy(srcMAC[:], p[8:14])
 	copy(srcIP[:], p[14:18])
 	copy(dstIP[:], p[24:28])
+	if srcMAC != etherSrc {
+		// Sender-hardware field disagrees with the frame's source
+		// station: corrupted or spoofed ARP (it has no checksum).
+		// Learning it would poison the cache; drop.
+		return
+	}
 	st := s.arp[srcIP]
 	st.mac = srcMAC
 	st.valid = true

@@ -11,6 +11,7 @@
 # Currently wired:
 #   E11 (the opt-in fast-path send matrix)    -> BENCH_e11.json
 #   E12 (the opt-in fast-path receive matrix) -> BENCH_e12.json
+#   E13 (cluster connection churn + demux)    -> BENCH_e13.json
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -24,13 +25,24 @@ run_matrix() {
 		/^Benchmark/ {
 			# Fields: name, iterations, then repeated "value unit" pairs
 			# (ns/op plus every b.ReportMetric row).
-			printf "{\n  \"bench\": \"%s\",\n  \"metrics\": {", $1 > file
+			s = sprintf("{\n  \"bench\": \"%s\",\n  \"metrics\": {", $1)
 			sep = ""
 			for (i = 3; i + 1 <= NF; i += 2) {
-				printf "%s\n    \"%s\": %s", sep, $(i+1), $i > file
+				s = s sprintf("%s\n    \"%s\": %s", sep, $(i+1), $i)
 				sep = ","
 			}
-			print "\n  }\n}" > file
+			objs[n++] = s "\n  }\n}"
+		}
+		END {
+			# One matched bench writes a single object (the historical
+			# format); several write a JSON array.
+			if (n == 1) print objs[0] > file
+			else if (n > 1) {
+				print "[" > file
+				for (i = 0; i < n; i++)
+					print objs[i] (i < n - 1 ? "," : "") > file
+				print "]" > file
+			}
 		}
 	'
 	[ -s "$2" ] || { echo "bench.sh: no benchmark output parsed for $1" >&2; exit 1; }
@@ -39,3 +51,4 @@ run_matrix() {
 
 run_matrix 'E11_FastPath_Matrix' BENCH_e11.json
 run_matrix 'E12_RxBatch_Matrix' BENCH_e12.json
+run_matrix 'E13_(Churn|Demux)_Matrix' BENCH_e13.json

@@ -28,6 +28,10 @@ go test -race ./internal/freebsd/net/... ./internal/stats/... \
 	./internal/kvm/... ./internal/smp/... \
 	./internal/evalrig/... ./internal/com/...
 
+echo "== cluster smoke (switched N-node rig, churn reproducibility, under -race)"
+go test -race -count=1 ./internal/evalrig/ \
+	-run 'TestCluster|TestConcurrentCeiling'
+
 echo "== refcount lifecycle checks (oskitrefdebug build)"
 go test -race -tags oskitrefdebug ./internal/com/
 
