@@ -1367,3 +1367,101 @@ func benchFFS(b *testing.B, env *core.Env) *netbsdfs.FFS {
 	}
 	return fs
 }
+
+// ---------------------------------------------------------------------
+// E14: true SMP (multi-CPU machines, RSS multi-queue receive, and the
+// per-connection-locked stack).  One matrix sweeps the CPU count over
+// the same three workloads the paper's tables use — multi-stream ttcp
+// bandwidth, rtcp round-trip latency, and cluster connection churn —
+// on the FreeBSD-native configuration (AttachNativeMQ grows one
+// RSS-hashed receive ring per CPU).  The uniprocessor row is the
+// unchanged giant-exclusion rig (nodes Serialized, §4.7.4); the SMP
+// rows run on the per-connection locks alone.  Expected shape: all
+// three improve with CPUs — ttcp and churn because the uniprocessor
+// rig's interrupt-exclusion stalls pipeline away, and rtcp because the
+// same stalls sit on the round-trip path (a ping waiting out another
+// thread's component entry is pure added latency).
+
+var e14CPURows = []int{1, 2, 4, 8}
+
+const e14Streams = 4 // concurrent ttcp streams, fixed across rows
+
+func BenchmarkE14_SMP_Matrix(b *testing.B) {
+	rounds := 3
+	if b.N > rounds {
+		rounds = b.N
+	}
+	metrics := map[string][]float64{}
+	b.ResetTimer()
+	for r := 0; r < rounds; r++ {
+		for _, cpus := range e14CPURows {
+			opts := evalrig.Options{CPUs: cpus}
+
+			// Aggregate multi-stream bandwidth.
+			p, err := evalrig.NewPairOpts(evalrig.FreeBSD, time.Millisecond, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if cpus <= 1 {
+				p.Sender.Serialize()
+				p.Receiver.Serialize()
+			}
+			tres, err := evalrig.TTCPMulti(p, e14Streams, 512, ttcpBlockSize, 5400)
+			p.Halt()
+			if err != nil {
+				b.Fatalf("ttcp-multi at %d CPUs: %v", cpus, err)
+			}
+			metrics[fmt.Sprintf("ttcp-%dcpu-mbps", cpus)] =
+				append(metrics[fmt.Sprintf("ttcp-%dcpu-mbps", cpus)], tres.SendMbps())
+
+			// Round-trip latency (single flow; expected flat).
+			p, err = evalrig.NewPairOpts(evalrig.FreeBSD, time.Millisecond, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			usec, err := evalrig.RTCP(p, 600, 5401)
+			p.Halt()
+			if err != nil {
+				b.Fatalf("rtcp at %d CPUs: %v", cpus, err)
+			}
+			metrics[fmt.Sprintf("rtcp-%dcpu-us", cpus)] =
+				append(metrics[fmt.Sprintf("rtcp-%dcpu-us", cpus)], usec)
+
+			// Connection churn (4-node cluster: 1 server, 3 generators).
+			c, err := evalrig.NewCluster(evalrig.FreeBSD, 4, 250*time.Microsecond, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cres, err := evalrig.ChurnTCP(c, evalrig.ChurnOptions{
+				Conns: 1024, Workers: 4, ReqBytes: 256, Port: 5402, Seed: 14,
+			})
+			c.Halt()
+			if err != nil {
+				b.Fatalf("churn at %d CPUs: %v", cpus, err)
+			}
+			if cres.Failed != 0 {
+				b.Fatalf("churn at %d CPUs: %d of %d cycles failed: %v",
+					cpus, cres.Failed, cres.Failed+cres.Conns, cres.Errors)
+			}
+			metrics[fmt.Sprintf("churn-%dcpu-conns/s", cpus)] =
+				append(metrics[fmt.Sprintf("churn-%dcpu-conns/s", cpus)], cres.ConnsPerSec)
+		}
+	}
+	b.StopTimer()
+	for key, v := range metrics {
+		b.ReportMetric(median(v), key)
+	}
+	// The acceptance ratio: 1→4 CPUs must buy at least 1.5× on both
+	// throughput workloads, or the per-connection locking isn't paying
+	// for itself.
+	ttcpScale := median(metrics["ttcp-4cpu-mbps"]) / median(metrics["ttcp-1cpu-mbps"])
+	churnScale := median(metrics["churn-4cpu-conns/s"]) / median(metrics["churn-1cpu-conns/s"])
+	b.ReportMetric(ttcpScale, "ttcp-scale-1to4-x")
+	b.ReportMetric(churnScale, "churn-scale-1to4-x")
+	if ttcpScale < 1.5 {
+		b.Fatalf("ttcp scaled only %.2fx from 1 to 4 CPUs, want >= 1.5x", ttcpScale)
+	}
+	if churnScale < 1.5 {
+		b.Fatalf("churn scaled only %.2fx from 1 to 4 CPUs, want >= 1.5x", churnScale)
+	}
+}

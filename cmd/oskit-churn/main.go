@@ -32,9 +32,10 @@ func main() {
 	config := flag.String("config", "oskit", "configuration: linux, freebsd, oskit")
 	faultSpec := flag.String("faults", "", `fault plan, e.g. "seed=3 wire.corrupt=0.05" (see internal/faults)`)
 	showStats := flag.Bool("stats", false, "print the server node's kernel-statistics table after the run")
+	cpus := flag.Int("cpus", 1, "logical CPUs per machine; >1 switches BSD-stack nodes to the SMP per-connection-locking configuration (E14)")
 	flag.Parse()
 
-	c, err := evalrig.NewCluster(evalrig.Config(*config), *nodes, 250*time.Microsecond, evalrig.Options{})
+	c, err := evalrig.NewCluster(evalrig.Config(*config), *nodes, 250*time.Microsecond, evalrig.Options{CPUs: *cpus})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "oskit-churn: %v\n", err)
 		os.Exit(1)

@@ -28,6 +28,7 @@ func main() {
 	showStats := flag.Bool("stats", false, "print each system's kernel-statistics table after its run")
 	faultSpec := flag.String("faults", "", `fault plan, e.g. "seed=3 wire.corrupt=0.05 timer.jitter=0.1" (see internal/faults)`)
 	fastPath := flag.Bool("fastpath", false, "boot OSKit nodes with the opt-in fast-path send configuration (E11: scatter-gather xmit + QuickPool)")
+	cpus := flag.Int("cpus", 1, "logical CPUs per machine; >1 switches BSD-stack nodes to the SMP per-connection-locking configuration (E14)")
 	flag.Parse()
 
 	var faultPlan *faults.Plan
@@ -50,7 +51,7 @@ func main() {
 	fmt.Printf("%-10s %18s\n", "system", "round trip (usec)")
 	port := uint16(5300)
 	for _, cfg := range configs {
-		p, err := evalrig.NewPairOpts(cfg, time.Millisecond, evalrig.Options{FastPath: *fastPath})
+		p, err := evalrig.NewPairOpts(cfg, time.Millisecond, evalrig.Options{FastPath: *fastPath, CPUs: *cpus})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

@@ -37,8 +37,10 @@ func main() {
 	showStats := flag.Bool("stats", false, "print each system's kernel-statistics table after its run")
 	faultSpec := flag.String("faults", "", `fault plan, e.g. "seed=2 wire.drop=0.2 wire.burst=4" (see internal/faults)`)
 	fastPath := flag.Bool("fastpath", false, "boot OSKit nodes with the opt-in fast-path send configuration (E11: scatter-gather xmit + QuickPool)")
+	cpus := flag.Int("cpus", 1, "logical CPUs per machine; >1 switches BSD-stack nodes to the SMP per-connection-locking configuration (E14)")
 	flag.Parse()
 	rigOpts.FastPath = *fastPath
+	rigOpts.CPUs = *cpus
 
 	if *faultSpec != "" {
 		plan, err := faults.ParsePlan(*faultSpec)

@@ -16,12 +16,37 @@
 // to the end of the function.  Function literals are not scanned as part
 // of the enclosing region (a callback built under a lock runs later, not
 // under it) unless invoked on the spot.
+//
+// The pass also enforces the documented lock hierarchy (E14).  A named
+// struct type that embeds sync.Mutex or sync.RWMutex and carries an
+//
+//	//oskit:lockrank N
+//
+// directive in its doc comment is a ranked lock.  Ranks order
+// acquisition: while any ranked lock is held, only locks of strictly
+// higher rank may be acquired.  Acquiring an equal or lower rank is
+// reported — the deadlock-prone shape — and deliberate same-rank
+// nestings (the TIME_WAIT pcb recycle) carry //oskit:allow waivers at
+// the site, keeping every exception visible.  Like the hook rule the
+// rank rule is intra-package and linear per function: it catches
+// inversions written in one function body, not orders threaded through
+// call chains or across packages.
+//
+// The two rules partition the locks: the hook rule applies to plain
+// (unranked) mutexes, whose job is to guard hook registries and small
+// object state, while ranked locks are a component's declared internal
+// exclusion — the data path under them invokes its own interposition
+// points (the interface output binding, allocator services) on purpose,
+// and what may nest under a ranked lock is governed by the hierarchy
+// declaration instead.
 package lockhook
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"sort"
+	"strconv"
 	"strings"
 
 	"oskit/internal/analysis"
@@ -30,12 +55,16 @@ import (
 // Analyzer is the lockhook pass.
 var Analyzer = &analysis.Analyzer{
 	Name: "lockhook",
-	Doc:  "no fault/stats hook or interposable function field may be called while a sync.Mutex/RWMutex is held",
+	Doc:  "no fault/stats hook or interposable function field may be called while a sync.Mutex/RWMutex is held; //oskit:lockrank locks must be acquired in increasing rank order",
 	Run:  run,
 }
 
+// rankDirective is the doc-comment marker declaring a ranked lock type.
+const rankDirective = "//oskit:lockrank"
+
 func run(pass *analysis.Pass) error {
-	c := &checker{pass: pass, mayHook: map[*types.Func]bool{}}
+	c := &checker{pass: pass, mayHook: map[*types.Func]bool{}, ranks: map[*types.TypeName]int{}}
+	c.collectRanks()
 	// Round 1: functions that call a hook field directly.
 	type fnDecl struct {
 		fn   *types.Func
@@ -90,7 +119,7 @@ func run(pass *analysis.Pass) error {
 	for _, d := range decls {
 		c.hookLocals = map[types.Object]string{}
 		c.collectHookLocals(d.decl.Body)
-		c.scanBlock(d.decl.Body, map[string]bool{})
+		c.scanBlock(d.decl.Body, map[string]int{})
 	}
 	return nil
 }
@@ -101,6 +130,55 @@ type checker struct {
 	// hookLocals are local vars holding a copy of a hook field
 	// (hook := n.rxHook), mapped to a description of their origin.
 	hookLocals map[types.Object]string
+	// ranks maps package-local lock wrapper types to their declared
+	// //oskit:lockrank, collected before scanning.
+	ranks map[*types.TypeName]int
+}
+
+// collectRanks finds ranked lock declarations: named struct types whose
+// doc comment carries an //oskit:lockrank directive.
+func (c *checker) collectRanks() {
+	for _, file := range c.pass.Files {
+		for _, d := range file.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				rank, ok := rankOf(gd.Doc, ts.Doc)
+				if !ok {
+					continue
+				}
+				if tn, ok := c.pass.Info.Defs[ts.Name].(*types.TypeName); ok {
+					c.ranks[tn] = rank
+				}
+			}
+		}
+	}
+}
+
+// rankOf parses the first //oskit:lockrank directive in the doc groups.
+func rankOf(groups ...*ast.CommentGroup) (int, bool) {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, line := range g.List {
+			rest, ok := strings.CutPrefix(line.Text, rankDirective)
+			if !ok {
+				continue
+			}
+			n, err := strconv.Atoi(strings.TrimSpace(rest))
+			if err == nil && n > 0 {
+				return n, true
+			}
+		}
+	}
+	return 0, false
 }
 
 // hookField returns a description if expr selects a function-typed
@@ -190,69 +268,74 @@ func (c *checker) collectHookLocals(body *ast.BlockStmt) {
 	})
 }
 
-// mutexRecv returns the normalized path of m in a call m.Lock() if m's
-// type is sync.Mutex or sync.RWMutex (possibly via pointer/embedding).
-func (c *checker) mutexRecv(sel *ast.SelectorExpr) (string, bool) {
+// mutexRecv returns the normalized path of m in a call m.Lock() and its
+// declared rank (0 if unranked) if m's type is sync.Mutex, sync.RWMutex,
+// or a package-local ranked wrapper around one.
+func (c *checker) mutexRecv(sel *ast.SelectorExpr) (string, int, bool) {
 	t := c.pass.Info.TypeOf(sel.X)
 	if t == nil {
-		return "", false
+		return "", 0, false
 	}
 	if p, ok := t.Underlying().(*types.Pointer); ok {
 		t = p.Elem()
 	}
 	named, ok := t.(*types.Named)
 	if !ok {
-		return "", false
+		return "", 0, false
+	}
+	if rank, ok := c.ranks[named.Obj()]; ok {
+		return analysis.ExprPath(sel.X), rank, true
 	}
 	if named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
-		return "", false
+		return "", 0, false
 	}
 	if name := named.Obj().Name(); name != "Mutex" && name != "RWMutex" {
-		return "", false
+		return "", 0, false
 	}
-	return analysis.ExprPath(sel.X), true
+	return analysis.ExprPath(sel.X), 0, true
 }
 
 // lockOp classifies a statement as a Lock/Unlock on a mutex path.
-func (c *checker) lockOp(call *ast.CallExpr) (path, op string, ok bool) {
+func (c *checker) lockOp(call *ast.CallExpr) (path, op string, rank int, ok bool) {
 	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !isSel {
-		return "", "", false
+		return "", "", 0, false
 	}
 	switch sel.Sel.Name {
 	case "Lock", "RLock", "Unlock", "RUnlock", "TryLock", "TryRLock":
 	default:
-		return "", "", false
+		return "", "", 0, false
 	}
-	path, isMu := c.mutexRecv(sel)
+	path, rank, isMu := c.mutexRecv(sel)
 	if !isMu {
-		return "", "", false
+		return "", "", 0, false
 	}
-	return path, sel.Sel.Name, true
+	return path, sel.Sel.Name, rank, true
 }
 
 // scanBlock walks statements in order, tracking the held-mutex set, and
 // reports hook-like calls made while anything is held.  Nested blocks
 // get a copy of the current set: acquisitions inside a branch do not leak
 // into the code after it (a deliberate under-approximation).
-func (c *checker) scanBlock(block *ast.BlockStmt, heldIn map[string]bool) {
-	held := map[string]bool{}
-	for k := range heldIn {
-		held[k] = true
+func (c *checker) scanBlock(block *ast.BlockStmt, heldIn map[string]int) {
+	held := map[string]int{}
+	for k, v := range heldIn {
+		held[k] = v
 	}
 	for _, stmt := range block.List {
 		c.scanStmt(stmt, held)
 	}
 }
 
-func (c *checker) scanStmt(stmt ast.Stmt, held map[string]bool) {
+func (c *checker) scanStmt(stmt ast.Stmt, held map[string]int) {
 	switch s := stmt.(type) {
 	case *ast.ExprStmt:
 		if call, ok := s.X.(*ast.CallExpr); ok {
-			if path, op, ok := c.lockOp(call); ok {
+			if path, op, rank, ok := c.lockOp(call); ok {
 				switch op {
 				case "Lock", "RLock":
-					held[path] = true
+					c.checkRank(call, path, rank, held)
+					held[path] = rank
 				case "Unlock", "RUnlock":
 					delete(held, path)
 				}
@@ -261,7 +344,7 @@ func (c *checker) scanStmt(stmt ast.Stmt, held map[string]bool) {
 		}
 		c.checkExpr(s.X, held)
 	case *ast.DeferStmt:
-		if _, op, ok := c.lockOp(s.Call); ok && (op == "Unlock" || op == "RUnlock") {
+		if _, op, _, ok := c.lockOp(s.Call); ok && (op == "Unlock" || op == "RUnlock") {
 			// Held to the end of the function; the set stays as-is.
 			return
 		}
@@ -355,10 +438,12 @@ func (c *checker) scanStmt(stmt ast.Stmt, held map[string]bool) {
 	}
 }
 
-// checkExpr reports hook-like calls inside e made while a mutex is held.
-// Nested function literals are skipped: they execute later.
-func (c *checker) checkExpr(e ast.Expr, held map[string]bool) {
-	if len(held) == 0 || e == nil {
+// checkExpr reports hook-like calls inside e made while an unranked
+// mutex is held.  Nested function literals are skipped: they execute
+// later.  Ranked locks are exempt from the hook rule — their contents
+// are the component's own data path, policed by the rank rule.
+func (c *checker) checkExpr(e ast.Expr, held map[string]int) {
+	if e == nil || !hasUnranked(held) {
 		return
 	}
 	ast.Inspect(e, func(n ast.Node) bool {
@@ -372,16 +457,44 @@ func (c *checker) checkExpr(e ast.Expr, held map[string]bool) {
 	})
 }
 
-func heldList(held map[string]bool) string {
+// checkRank reports an acquisition that violates the declared lock
+// hierarchy: while a ranked lock is held, only strictly higher ranks
+// may be taken.  Unranked sync mutexes (rank 0) stay outside the rule.
+func (c *checker) checkRank(call *ast.CallExpr, path string, rank int, held map[string]int) {
+	if rank == 0 {
+		return
+	}
+	for heldPath, heldRank := range held {
+		if heldRank == 0 || heldRank < rank {
+			continue
+		}
+		c.pass.Reportf(call.Pos(), "acquiring %s (lockrank %d) while holding %s (lockrank %d) violates the lock hierarchy (acquire in increasing rank order)", path, rank, heldPath, heldRank)
+	}
+}
+
+// hasUnranked reports whether any plain (rank 0) mutex is held.
+func hasUnranked(held map[string]int) bool {
+	for _, rank := range held {
+		if rank == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// heldList names the held unranked mutexes for a hook diagnostic.
+func heldList(held map[string]int) string {
 	keys := make([]string, 0, len(held))
-	for k := range held {
-		keys = append(keys, k)
+	for k, rank := range held {
+		if rank == 0 {
+			keys = append(keys, k)
+		}
 	}
 	sort.Strings(keys)
 	return strings.Join(keys, ", ")
 }
 
-func (c *checker) checkCall(call *ast.CallExpr, held map[string]bool) {
+func (c *checker) checkCall(call *ast.CallExpr, held map[string]int) {
 	if desc, ok := c.hookField(call.Fun); ok {
 		c.pass.Reportf(call.Pos(), "call to hook/interposer field %s while mutex %s is held (hooks may call back or take their own locks)", desc, heldList(held))
 		return

@@ -41,7 +41,13 @@ func NewCluster(cfg Config, n int, tickInterval time.Duration, opts Options) (*C
 			c.Halt()
 			return nil, fmt.Errorf("evalrig: cluster node %d: %w", i, err)
 		}
-		node.Serialize()
+		// A BSD-stack node on a multi-CPU machine carries its own
+		// per-connection locking (E14) — serializing it would collapse
+		// the concurrency under measurement.  The Linux baseline and
+		// every uniprocessor node keep the §4.7.4 component lock.
+		if opts.CPUs <= 1 || cfg == Linux {
+			node.Serialize()
+		}
 		c.Nodes = append(c.Nodes, node)
 	}
 	return c, nil

@@ -110,6 +110,21 @@ type Options struct {
 	// by the Linux and FreeBSD configurations, which have no
 	// representation boundary to shortcut.
 	FastPath bool
+
+	// CPUs powers each machine on with N logical CPUs (interrupt
+	// dispatch contexts) and, for N > 1, switches the BSD-stack
+	// configurations to the SMP discipline: the FreeBSD glue's spl
+	// becomes vestigial and the per-connection locks of
+	// internal/freebsd/net are the component's exclusion (E14).  A
+	// FreeBSD-native node attaches its NIC with N receive rings
+	// (AttachNativeMQ); an OSKit node with FastPath grows N RSS-hashed
+	// rings drained by N polled receive loops on N CPUs.  0 or 1 means
+	// the unchanged uniprocessor rig — every default path is
+	// byte-identical to CPUs-absent (TestPathShapeMatrix pins this).
+	// The Linux configuration ignores the SMP discipline (the
+	// monolithic baseline stays serialized) but still boots with N
+	// CPUs.
+	CPUs int
 }
 
 // Pair is a two-machine testbed.  Sender and receiver may run different
@@ -182,7 +197,12 @@ func (p *Pair) Halt() {
 }
 
 func newNode(cfg Config, seg hw.Segment, unit byte, ip [4]byte, tick time.Duration, opts Options) (*Node, error) {
-	m := hw.NewMachine(hw.Config{Name: fmt.Sprintf("%s-%d", cfg, unit), MemBytes: 64 << 20})
+	cpus := opts.CPUs
+	if cpus < 1 {
+		cpus = 1
+	}
+	smp := cpus > 1
+	m := hw.NewMachine(hw.Config{Name: fmt.Sprintf("%s-%d", cfg, unit), MemBytes: 64 << 20, CPUs: cpus})
 	nic := m.AttachNIC(seg, [6]byte{2, 0, 0, 2, 0, unit}, hw.Model3C59X)
 	k, err := kern.Setup(m, nil)
 	if err != nil {
@@ -213,8 +233,18 @@ func newNode(cfg Config, seg hw.Segment, unit byte, ip [4]byte, tick time.Durati
 		f.Release()
 
 	case FreeBSD:
-		st := bsdnet.NewStack(bsdglue.New(k.Env))
-		st.AttachNative(nic)
+		g := bsdglue.New(k.Env)
+		if smp {
+			g.SetSMP(true)
+		}
+		st := bsdnet.NewStack(g)
+		if smp {
+			// N RSS-hashed receive rings, one per CPU, each ring's
+			// interrupt line affinity-routed so drains run concurrently.
+			st.AttachNativeMQ(nic, cpus)
+		} else {
+			st.AttachNative(nic)
+		}
 		st.Ifconfig(bsdnet.IPAddr(ip), bsdnet.IPAddr(netmask))
 		n.BSD = st
 		f := st.SocketFactory()
@@ -228,10 +258,23 @@ func newNode(cfg Config, seg hw.Segment, unit byte, ip [4]byte, tick time.Durati
 		//   fdev_device_lookup(&fdev_ethernet_iid, &dev);
 		//   oskit_freebsd_net_open_ether_if(dev[0], &eif);
 		//   oskit_freebsd_net_ifconfig(eif, IPADDR, NETMASK);
+		if smp && opts.FastPath {
+			// Grow the controller to one RSS-hashed receive ring per
+			// CPU before the encapsulated driver opens it; the polled
+			// receive path then engages one drain loop per ring
+			// (linuxdev/rxpoll.go), and the donor allocator switches to
+			// its SMP lock.
+			nic.ConfigureRxQueues(cpus)
+			linuxdev.GlueFor(k.Env).SetSMP(true)
+		}
 		fw := dev.NewFramework(k.Env)
 		linuxdev.InitEthernet(fw)
 		fw.Probe()
-		st := bsdnet.NewStack(bsdglue.New(k.Env))
+		bg := bsdglue.New(k.Env)
+		if smp {
+			bg.SetSMP(true)
+		}
+		st := bsdnet.NewStack(bg)
 		f := st.SocketFactory()
 		n.C.SetSocketCreator(f)
 		f.Release()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"math/rand"
+	"sync"
 	"time"
 )
 
@@ -228,6 +229,172 @@ func TTCPVerified(p *Pair, blocks, blockSize int, port uint16, seed int64) (sent
 		return sentSum, 0, out.err
 	}
 	return sentSum, out.sum, nil
+}
+
+// TTCPMulti is ttcp across several concurrent TCP streams — the E14
+// workload.  One stream exercises one connection, one RSS ring, one
+// CPU's worth of the stack; N streams on an SMP pair spread across the
+// receive rings (4-tuple hash) and the per-connection locks, which is
+// where multi-CPU bandwidth comes from.  Both nodes are driven from
+// several goroutines, so every socket call goes through Node.Do: on an
+// SMP pair Do is the identity and the stack's own locks carry the
+// concurrency; on a uniprocessor pair the caller must Serialize the
+// nodes first and Do applies the §4.7.4 component lock.
+//
+// The result aggregates all streams: Bytes is the total across streams
+// and the timings span first start to last finish, so SendMbps/RecvMbps
+// report the pair's aggregate bandwidth.
+func TTCPMulti(p *Pair, streams, blocks, blockSize int, port uint16) (TTCPResult, error) {
+	if streams < 1 {
+		streams = 1
+	}
+	res := TTCPResult{Bytes: streams * blocks * blockSize}
+
+	rc := p.Receiver
+	var lfd int
+	var err error
+	rc.Do(func() {
+		lfd, err = rc.C.Socket(2, 1, 0)
+		if err != nil {
+			return
+		}
+		if err = rc.C.Bind(lfd, Addr(rc.IP, port)); err != nil {
+			return
+		}
+		err = rc.C.Listen(lfd, streams)
+	})
+	if err != nil {
+		return res, err
+	}
+	defer rc.Do(func() { _ = rc.C.Close(lfd) })
+
+	type out struct {
+		n   int
+		err error
+	}
+	recvDone := make(chan out, streams)
+	var recvStart, recvEnd struct {
+		sync.Mutex
+		first time.Time
+		last  time.Time
+	}
+	for i := 0; i < streams; i++ {
+		go func() {
+			var fd int
+			var err error
+			rc.Do(func() { fd, _, err = rc.C.Accept(lfd) })
+			if err != nil {
+				recvDone <- out{err: err}
+				return
+			}
+			defer rc.Do(func() { _ = rc.C.Close(fd) })
+			rc.Do(func() { _ = rc.C.SetSockOpt(fd, "rcvbuf", 32*1024) })
+			buf := make([]byte, blockSize)
+			started := false
+			total := 0
+			for {
+				var n int
+				rc.Do(func() { n, err = rc.C.Read(fd, buf) })
+				if err != nil {
+					recvDone <- out{err: err}
+					return
+				}
+				if !started {
+					started = true
+					recvStart.Lock()
+					if recvStart.first.IsZero() {
+						recvStart.first = time.Now()
+					}
+					recvStart.Unlock()
+				}
+				if n == 0 {
+					break
+				}
+				total += n
+			}
+			recvEnd.Lock()
+			recvEnd.last = time.Now()
+			recvEnd.Unlock()
+			recvDone <- out{n: total}
+		}()
+	}
+
+	sc := p.Sender
+	sendDone := make(chan out, streams)
+	start := time.Now()
+	for i := 0; i < streams; i++ {
+		go func() {
+			var fd int
+			var err error
+			sc.Do(func() { fd, err = sc.C.Socket(2, 1, 0) })
+			if err != nil {
+				sendDone <- out{err: err}
+				return
+			}
+			defer sc.Do(func() { _ = sc.C.Close(fd) })
+			sc.Do(func() { _ = sc.C.SetSockOpt(fd, "sndbuf", 32*1024) })
+			sc.Do(func() { err = sc.C.Connect(fd, Addr(rc.IP, port)) })
+			if err != nil {
+				sendDone <- out{err: fmt.Errorf("connect: %w", err)}
+				return
+			}
+			block := make([]byte, blockSize)
+			for b := range block {
+				block[b] = byte(b)
+			}
+			total := 0
+			for b := 0; b < blocks; b++ {
+				sent := 0
+				for sent < blockSize {
+					var n int
+					sc.Do(func() { n, err = sc.C.Write(fd, block[sent:]) })
+					if err != nil {
+						sendDone <- out{err: err}
+						return
+					}
+					sent += n
+				}
+				total += blockSize
+			}
+			sc.Do(func() { err = sc.C.Shutdown(fd, 1) })
+			if err != nil {
+				sendDone <- out{err: err}
+				return
+			}
+			sendDone <- out{n: total}
+		}()
+	}
+
+	sendTotal := 0
+	for i := 0; i < streams; i++ {
+		o := <-sendDone
+		if o.err != nil {
+			return res, fmt.Errorf("ttcp-multi send stream: %w", o.err)
+		}
+		sendTotal += o.n
+	}
+	res.SendSeconds = time.Since(start).Seconds()
+	recvTotal := 0
+	for i := 0; i < streams; i++ {
+		o := <-recvDone
+		if o.err != nil {
+			return res, fmt.Errorf("ttcp-multi recv stream: %w", o.err)
+		}
+		recvTotal += o.n
+	}
+	if sendTotal != res.Bytes || recvTotal != res.Bytes {
+		return res, fmt.Errorf("ttcp-multi: moved %d sent / %d received of %d bytes", sendTotal, recvTotal, res.Bytes)
+	}
+	recvStart.Lock()
+	first := recvStart.first
+	recvStart.Unlock()
+	recvEnd.Lock()
+	last := recvEnd.last
+	recvEnd.Unlock()
+	if !first.IsZero() && last.After(first) {
+		res.RecvSeconds = last.Sub(first).Seconds()
+	}
+	return res, nil
 }
 
 // RTCP measures 1-byte round trips (the paper's latency benchmark,

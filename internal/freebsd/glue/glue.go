@@ -20,8 +20,11 @@
 package bsdglue
 
 import (
+	"sync"
+
 	"oskit/internal/com"
 	"oskit/internal/core"
+	"oskit/internal/hw"
 	"oskit/internal/stats"
 )
 
@@ -40,6 +43,21 @@ type Proc struct {
 // slpqueSize is BSD's sleep-queue hash size (a power of two).
 const slpqueSize = 128
 
+// sleepLock guards the sleep-queue hash table and the per-proc sleep
+// linkage (WChan/WMesg/qnext).  Cross-package leaf of the documented SMP
+// lock hierarchy (DESIGN.md §13): any stack lock may be held when a wait
+// is prepared or a wakeup posted, so nothing may be acquired under it.
+//
+//oskit:lockrank 80
+type sleepLock struct{ sync.Mutex }
+
+// mallocLock guards one Malloc instance's buckets and page table.  Leaf
+// like sleepLock; the two are never held together (the allocator never
+// sleeps, wakeup never allocates).
+//
+//oskit:lockrank 81
+type mallocLock struct{ sync.Mutex }
+
 // Glue is one component instance's BSD environment.  Distinct components
 // (the network stack, the file system) each get their own Glue, which is
 // what makes the sleep hash table per-component rather than system-wide,
@@ -50,10 +68,24 @@ type Glue struct {
 	// Curproc is the current process pointer donor code dereferences
 	// freely.  One process-level thread of control runs inside a
 	// component at a time (the documented execution model), so a plain
-	// field reproduces the donor global exactly.
+	// field reproduces the donor global exactly.  On an SMP stack (see
+	// SetSMP) several threads run inside the component concurrently and
+	// the current process becomes per-thread state in curprocs instead;
+	// the field stays nil there.
 	Curproc *Proc
 
+	// smp is set once at boot, before the component sees traffic.  It
+	// switches the glue from the §4.7.4 giant-exclusion discipline (spl
+	// calls disable interrupts, one process inside the component) to the
+	// SMP discipline: spl calls become no-ops — the component carries its
+	// own fine-grained locks — and curproc is tracked per thread.
+	smp bool
+
+	curMu    sync.Mutex
+	curprocs map[uint64]*Proc // goroutine id -> current process (SMP)
+
 	nextPid int
+	slpMu   sleepLock
 	slpque  [slpqueSize]*Proc
 
 	// Malloc is the component's BSD kernel allocator.
@@ -75,14 +107,71 @@ func New(env *core.Env) *Glue {
 // Env returns the kit environment underneath.
 func (g *Glue) Env() *core.Env { return g.env }
 
+// SetSMP switches the glue's concurrency discipline (see the smp field).
+// Call once at boot, before the component sees traffic; never switch
+// back mid-flight.
+func (g *Glue) SetSMP(on bool) {
+	g.smp = on
+	if on && g.curprocs == nil {
+		g.curprocs = map[uint64]*Proc{}
+	}
+}
+
+// SMP reports which discipline the glue runs under.
+func (g *Glue) SMP() bool { return g.smp }
+
 // Enter manufactures the current process for one component entry point
 // (§4.7.5), returning the restore to run when the call leaves the
 // component.
 func (g *Glue) Enter(comm string) func() {
+	if g.smp {
+		id := hw.GoID()
+		g.curMu.Lock()
+		g.nextPid++
+		prev := g.curprocs[id]
+		g.curprocs[id] = &Proc{Pid: g.nextPid, Comm: comm}
+		g.curMu.Unlock()
+		return func() {
+			g.curMu.Lock()
+			if prev == nil {
+				delete(g.curprocs, id)
+			} else {
+				g.curprocs[id] = prev
+			}
+			g.curMu.Unlock()
+		}
+	}
 	g.nextPid++
 	prev := g.Curproc
 	g.Curproc = &Proc{Pid: g.nextPid, Comm: comm}
 	return func() { g.Curproc = prev }
+}
+
+// curproc returns the calling thread's current process.
+func (g *Glue) curproc() *Proc {
+	if !g.smp {
+		return g.Curproc
+	}
+	g.curMu.Lock()
+	defer g.curMu.Unlock()
+	return g.curprocs[hw.GoID()]
+}
+
+// setCurproc clears or restores the calling thread's current process
+// around a block (§4.7.5).
+func (g *Glue) setCurproc(p *Proc) {
+	if !g.smp {
+		g.Curproc = p
+		return
+	}
+	id := hw.GoID()
+	g.curMu.Lock()
+	if p == nil {
+		delete(g.curprocs, id)
+	} else {
+		g.curprocs[id] = p
+	}
+	g.curMu.Unlock()
 }
 
 // --- spl emulation.
@@ -109,6 +198,13 @@ func (g *Glue) Splx(s int) {
 }
 
 func (g *Glue) splraise() int {
+	if g.smp {
+		// SMP discipline: interrupt exclusion is per-CPU and the
+		// component carries its own locks, so spl is vestigial — exactly
+		// the donor source's fate on SMP BSDs.  The calls stay in the
+		// component because on a uniprocessor they *are* the exclusion.
+		return 0
+	}
 	if g.env.InIntr() {
 		return 0
 	}
@@ -131,62 +227,103 @@ func slpHash(event uint32) int { return int((event >> 3) % slpqueSize) }
 // with interrupts disabled again.  The current process is saved across
 // the block (§4.7.5).
 func (g *Glue) Tsleep(event uint32, wmesg string) {
-	p := g.Curproc
+	g.SleepCommit(g.SleepPrepare(event, wmesg))
+}
+
+// SleepPrepare is the first half of a two-phase sleep: it enqueues the
+// current process on event's sleep queue and returns it, without
+// blocking.  The caller may still hold its condition locks here; a
+// Wakeup that lands between the phases is remembered by the sleep
+// record, so the sequence
+//
+//	p := g.SleepPrepare(ev, "msg")   // condition locks held
+//	unlock(...)                      // open the race window…
+//	g.SleepCommit(p)                 // …which the record closes
+//	relock(...); recheck condition   // spurious returns allowed
+//
+// has no lost-wakeup window — the SMP replacement for "enqueue at
+// raised spl, then drop to spl0" (§4.7.6).
+func (g *Glue) SleepPrepare(event uint32, wmesg string) *Proc {
+	p := g.curproc()
 	if p == nil {
 		// Donor code always has a process; a missing one is a glue
 		// bug, and BSD would have oopsed on curproc->p_wchan too.
 		g.env.Panic("bsdglue: tsleep(%#x) with no current process", event)
-		return
+		return nil
 	}
 	if p.rec == nil {
 		p.rec = g.env.SleepInit()
 	}
+	g.slpMu.Lock()
 	p.WChan = event
 	p.WMesg = wmesg
 	h := slpHash(event)
 	p.qnext = g.slpque[h]
 	g.slpque[h] = p
+	g.slpMu.Unlock()
+	return p
+}
 
-	g.Curproc = nil
-	// tsleep drops to spl0 *completely* while blocked — the caller may
-	// be nested several spl levels deep across components (the file
-	// system sleeping inside the disk driver) — and restores the full
-	// depth afterwards.
-	depth := g.env.Machine.Intr.DropAll()
-	g.env.Sleep(p.rec)
-	g.env.Machine.Intr.RestoreAll(depth)
-	g.Curproc = p
+// SleepCommit is the second half: it blocks until the wakeup.  The
+// caller must have dropped every lock ranked under the sleep queue
+// (i.e. all of them) first.
+func (g *Glue) SleepCommit(p *Proc) {
+	g.setCurproc(nil)
+	if g.smp {
+		g.env.Sleep(p.rec)
+	} else {
+		// tsleep drops to spl0 *completely* while blocked — the caller may
+		// be nested several spl levels deep across components (the file
+		// system sleeping inside the disk driver) — and restores the full
+		// depth afterwards.
+		depth := g.env.Machine.Intr.DropAll()
+		g.env.Sleep(p.rec)
+		g.env.Machine.Intr.RestoreAll(depth)
+	}
+	g.setCurproc(p)
+	g.slpMu.Lock()
 	p.WChan = 0
 	p.WMesg = ""
+	g.slpMu.Unlock()
 }
 
 // Wakeup wakes every process sleeping on event.  Donor contract: called
-// with interrupts disabled (interrupt handlers are; process-level
-// callers hold an spl).
+// with interrupts disabled on a uniprocessor (interrupt handlers are;
+// process-level callers hold an spl); callable from anywhere on SMP.
 func (g *Glue) Wakeup(event uint32) {
+	// Unlink under the queue lock; post the wakeups after dropping it
+	// (env.Wakeup is an interposable service — never call out under a
+	// lock).
+	var recs []*core.SleepRec
+	g.slpMu.Lock()
 	h := slpHash(event)
 	var prev *Proc
 	p := g.slpque[h]
 	for p != nil {
 		next := p.qnext
 		if p.WChan == event {
-			// Unlink and wake.
 			if prev == nil {
 				g.slpque[h] = next
 			} else {
 				prev.qnext = next
 			}
 			p.qnext = nil
-			g.env.Wakeup(p.rec)
+			recs = append(recs, p.rec)
 		} else {
 			prev = p
 		}
 		p = next
 	}
+	g.slpMu.Unlock()
+	for _, r := range recs {
+		g.env.Wakeup(r)
+	}
 }
 
 // SleepersOn counts processes sleeping on event (tests).
 func (g *Glue) SleepersOn(event uint32) int {
+	g.slpMu.Lock()
+	defer g.slpMu.Unlock()
 	n := 0
 	for p := g.slpque[slpHash(event)]; p != nil; p = p.qnext {
 		if p.WChan == event {

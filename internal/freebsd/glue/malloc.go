@@ -50,6 +50,12 @@ const (
 type Malloc struct {
 	g *Glue
 
+	// mu guards the buckets, the page table, and the live-byte ledger.
+	// On a uniprocessor the Splhigh exclusion below already serializes
+	// callers and the lock is uncontended; on SMP (where spl is a no-op)
+	// it is the allocator's real exclusion.
+	mu mallocLock
+
 	// kmemusage: one entry per page from basePage, grown on demand.
 	basePage uint32
 	table    []uint16
@@ -92,7 +98,9 @@ func (m *Malloc) initStats(set *stats.Set) {
 // donor code allocates.
 func (m *Malloc) SetFaultHook(h func(size uint32) bool) {
 	s := m.g.Splhigh()
+	m.mu.Lock()
 	m.hook = h
+	m.mu.Unlock()
 	m.g.Splx(s)
 }
 
@@ -117,10 +125,17 @@ func (m *Malloc) Alloc(size uint32) (hw.PhysAddr, []byte, bool) {
 	s := m.g.Splhigh()
 	defer m.g.Splx(s)
 
-	if m.hook != nil && m.hook(size) {
+	// The fault hook is an interposed callback; read it under the lock,
+	// run it outside (the lockhook hazard class).
+	m.mu.Lock()
+	hook := m.hook
+	m.mu.Unlock()
+	if hook != nil && hook(size) {
 		m.scFails.Inc()
 		return 0, nil, false
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if size > PageSize {
 		return m.allocLarge(size)
 	}
@@ -142,6 +157,8 @@ func (m *Malloc) Alloc(size uint32) (hw.PhysAddr, []byte, bool) {
 func (m *Malloc) Free(addr hw.PhysAddr) {
 	s := m.g.Splhigh()
 	defer m.g.Splx(s)
+	m.mu.Lock()
+	defer m.mu.Unlock()
 
 	page := addr >> PageShift
 	entry := m.lookup(page)
@@ -175,6 +192,8 @@ func (m *Malloc) Free(addr hw.PhysAddr) {
 func (m *Malloc) SizeOf(addr hw.PhysAddr) (uint32, bool) {
 	s := m.g.Splhigh()
 	defer m.g.Splx(s)
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	entry := m.lookup(addr >> PageShift)
 	switch {
 	case entry&kuLarge != 0:
@@ -269,15 +288,31 @@ func (m *Malloc) set(page uint32, v uint16) {
 
 // TableBytes reports the allocation table's current footprint: the cost
 // of the address-watching heuristic.
-func (m *Malloc) TableBytes() int { return len(m.table) * 2 }
+func (m *Malloc) TableBytes() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.table) * 2
+}
 
 // Growths reports how many times the table has been re-grown.
-func (m *Malloc) Growths() int { return m.growths }
+func (m *Malloc) Growths() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.growths
+}
 
 // LiveBytes reports currently allocated bytes.
-func (m *Malloc) LiveBytes() uint64 { return m.allocated }
+func (m *Malloc) LiveBytes() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.allocated
+}
 
 // EnsureForTest grows the allocation table to cover addr, the way a
 // large allocation landing there would; a hook for the repository's
 // dispersion ablation bench.
-func EnsureForTest(m *Malloc, addr hw.PhysAddr) { m.ensure(addr >> PageShift) }
+func EnsureForTest(m *Malloc, addr hw.PhysAddr) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ensure(addr >> PageShift)
+}

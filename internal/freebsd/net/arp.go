@@ -4,6 +4,11 @@ import "encoding/binary"
 
 // ARP: the address-resolution table with one held packet per unresolved
 // entry, request/reply processing, and slow-timer aging.
+//
+// The table lives under Stack.arpMu (rank 50), taken by these functions
+// themselves: the resolution step sits below the TCP/UDP locks on the
+// output path and above only the TX hand-off, which may be taken while
+// a held packet is released.
 
 const (
 	arpHdrLen     = 28
@@ -32,11 +37,13 @@ func (t *arpTable) init(s *Stack) {
 }
 
 // resolve returns dst's MAC, or queues m and emits a request.  Called at
-// splnet.
+// splnet; takes the ARP lock itself.
 func (t *arpTable) resolve(dst IPAddr, m *Mbuf, etype uint16) (mac [6]byte, ok bool) {
 	if dst.IsBroadcast() {
 		return [6]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}, true
 	}
+	t.s.arpMu.Lock()
+	defer t.s.arpMu.Unlock()
 	e := t.entries[dst]
 	if e != nil && e.valid {
 		return e.mac, true
@@ -56,7 +63,8 @@ func (t *arpTable) resolve(dst IPAddr, m *Mbuf, etype uint16) (mac [6]byte, ok b
 	return [6]byte{}, false
 }
 
-// request broadcasts "who-has dst".
+// request broadcasts "who-has dst".  Called with the ARP lock held (the
+// TX hand-off below ranks above it).
 func (t *arpTable) request(dst IPAddr) {
 	s := t.s
 	m := s.MGetHdr()
@@ -69,7 +77,7 @@ func (t *arpTable) request(dst IPAddr) {
 		m.FreeChain()
 		return
 	}
-	s.Stats.ARPOut++
+	bump(&s.Stats.ARPOut)
 	s.etherOutput(m, [6]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}, EtherTypeARP)
 }
 
@@ -93,7 +101,7 @@ func (s *Stack) arpInput(m *Mbuf, etherSrc [6]byte) {
 	var srcIP, dstIP IPAddr
 	copy(srcIP[:], p[14:18])
 	copy(dstIP[:], p[24:28])
-	s.Stats.ARPIn++
+	bump(&s.Stats.ARPIn)
 
 	// The sender-hardware field must agree with the station that put the
 	// frame on the wire.  ARP carries no checksum, so a payload bit flip
@@ -103,12 +111,13 @@ func (s *Stack) arpInput(m *Mbuf, etherSrc [6]byte) {
 	// the frame the fabric itself addresses by, so it is the trustworthy
 	// copy of the sender's station.
 	if srcMAC != etherSrc {
-		s.Stats.ARPBadSender++
+		bump(&s.Stats.ARPBadSender)
 		s.sc.arpBadSender.Inc()
 		return
 	}
 
 	// Learn the sender (merge step of the RFC 826 algorithm).
+	s.arpMu.Lock()
 	e := s.arp.entries[srcIP]
 	if e == nil {
 		e = &arpEntry{}
@@ -117,9 +126,11 @@ func (s *Stack) arpInput(m *Mbuf, etherSrc [6]byte) {
 	e.mac = srcMAC
 	e.valid = true
 	e.age = 0
-	if held := e.held; held != nil {
-		e.held = nil
-		s.etherOutput(held, srcMAC, e.heldEty)
+	held, heldEty := e.held, e.heldEty
+	e.held = nil
+	s.arpMu.Unlock()
+	if held != nil {
+		s.etherOutput(held, srcMAC, heldEty)
 	}
 
 	if op == arpOpRequest && dstIP == s.ifIP {
@@ -133,13 +144,17 @@ func (s *Stack) arpInput(m *Mbuf, etherSrc [6]byte) {
 			r.FreeChain()
 			return
 		}
-		s.Stats.ARPOut++
+		bump(&s.Stats.ARPOut)
 		s.etherOutput(r, srcMAC, EtherTypeARP)
 	}
 }
 
 // age expires entries and re-requests unresolved ones (slow timer).
+// Takes the ARP lock itself; the slow timer calls it outside the stack
+// lock.
 func (t *arpTable) age() {
+	t.s.arpMu.Lock()
+	defer t.s.arpMu.Unlock()
 	for ip, e := range t.entries {
 		e.age++
 		switch {
@@ -152,7 +167,7 @@ func (t *arpTable) age() {
 				e.held.FreeChain()
 				e.held = nil
 				delete(t.entries, ip)
-				t.s.Stats.DroppedUnreach++
+				bump(&t.s.Stats.DroppedUnreach)
 				continue
 			}
 			t.request(ip)

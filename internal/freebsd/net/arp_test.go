@@ -38,7 +38,7 @@ func TestARPRejectsMismatchedSender(t *testing.T) {
 	if !m.Append(frame) {
 		t.Fatal("append failed")
 	}
-	a.etherInput(m)
+	a.etherInput(m, nil)
 
 	if got := a.Stats.ARPBadSender; got != 1 {
 		t.Errorf("ARPBadSender = %d, want 1", got)

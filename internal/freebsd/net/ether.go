@@ -7,8 +7,9 @@ import "encoding/binary"
 const etherHdrLen = 14
 
 // etherInput demuxes one inbound frame; runs at interrupt level under
-// the dispatcher's exclusion.
-func (s *Stack) etherInput(m *Mbuf) {
+// the dispatcher's per-CPU exclusion.  ctx, when non-nil, is the
+// ingesting batch's deferral state (threaded down to TCP).
+func (s *Stack) etherInput(m *Mbuf, ctx *rxCtx) {
 	m = m.Pullup(etherHdrLen)
 	if m == nil {
 		return
@@ -20,7 +21,7 @@ func (s *Stack) etherInput(m *Mbuf) {
 	m.Adj(etherHdrLen)
 	switch etype {
 	case EtherTypeIP:
-		s.ipInput(m)
+		s.ipInput(m, ctx)
 	case EtherTypeARP:
 		s.arpInput(m, src)
 	default:
@@ -49,14 +50,18 @@ func (s *Stack) etherOutput(m *Mbuf, dst [6]byte, etype uint16) {
 	}
 
 	if m.Contiguous() {
-		s.Stats.TxContiguous++
+		bump(&s.Stats.TxContiguous)
 	} else {
-		s.Stats.TxChained++
+		bump(&s.Stats.TxChained)
 	}
-	out := s.output
+	out := s.output // config-before-traffic; read unguarded
 	if out == nil {
 		m.FreeChain()
 		return
 	}
+	// The interface hand-off is the TX serialization point (rank 60):
+	// several CPUs' output paths converge on one device queue here.
+	s.txMu.Lock()
 	out(m) // consumes the chain
+	s.txMu.Unlock()
 }

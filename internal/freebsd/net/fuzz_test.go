@@ -148,7 +148,7 @@ func FuzzIPInput(f *testing.F) {
 				binary.BigEndian.PutUint16(data[10:12], c)
 			}
 		}
-		inject(t, s, data, s.ipInput)
+		inject(t, s, data, func(m *Mbuf) { s.ipInput(m, nil) })
 	})
 }
 
@@ -179,7 +179,7 @@ func FuzzTCPSegInput(f *testing.F) {
 			c := Checksum(data, pseudoSum(fuzzPeer, fuzzIP, ProtoTCP, len(data)))
 			binary.BigEndian.PutUint16(data[16:18], c)
 		}
-		inject(t, s, data, func(m *Mbuf) { s.tcpInput(m, fuzzPeer, fuzzIP) })
+		inject(t, s, data, func(m *Mbuf) { s.tcpInput(m, fuzzPeer, fuzzIP, nil) })
 	})
 }
 

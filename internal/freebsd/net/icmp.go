@@ -19,7 +19,9 @@ type pingWaiter struct {
 	sent  uint64
 }
 
-// icmpInput handles one ICMP message (interrupt level).
+// icmpInput handles one ICMP message (interrupt level).  Entered
+// lock-free from ipInput; the echo-reply branch takes the stack lock
+// for the ping-waiter map.
 func (s *Stack) icmpInput(m *Mbuf, src, dst IPAddr) {
 	m = m.Pullup(icmpHdrLen)
 	if m == nil {
@@ -34,7 +36,7 @@ func (s *Stack) icmpInput(m *Mbuf, src, dst IPAddr) {
 	}
 	switch buf[0] {
 	case icmpEchoRequest:
-		s.Stats.ICMPEchoReqIn++
+		bump(&s.Stats.ICMPEchoReqIn)
 		buf[0] = icmpEchoReply
 		buf[2], buf[3] = 0, 0
 		csum := Checksum(buf, 0)
@@ -47,17 +49,19 @@ func (s *Stack) icmpInput(m *Mbuf, src, dst IPAddr) {
 			r.FreeChain()
 			return
 		}
-		s.Stats.ICMPEchoRepOut++
+		bump(&s.Stats.ICMPEchoRepOut)
 		s.ipOutput(r, s.ifIP, src, ProtoICMP, 0)
 	case icmpEchoReply:
-		s.Stats.ICMPEchoRepIn++
+		bump(&s.Stats.ICMPEchoRepIn)
 		seq := binary.BigEndian.Uint16(buf[6:8])
+		s.mu.Lock()
 		if w := s.pings[seq]; w != nil {
 			w.done = true
 			w.rtt = s.g.Ticks() - w.sent
 			delete(s.pings, seq)
 			s.g.Wakeup(w.event)
 		}
+		s.mu.Unlock()
 	}
 }
 
@@ -70,11 +74,13 @@ func (s *Stack) Ping(dst IPAddr, seq uint16, payload []byte, timeoutTicks uint64
 	spl := s.g.Splnet()
 	defer s.g.Splx(spl)
 
+	s.mu.Lock()
 	if s.pings == nil {
 		s.pings = map[uint16]*pingWaiter{}
 	}
 	w := &pingWaiter{event: s.newEvent(), sent: s.g.Ticks()}
 	s.pings[seq] = w
+	s.mu.Unlock()
 
 	buf := make([]byte, icmpHdrLen+len(payload))
 	buf[0] = icmpEchoRequest
@@ -96,17 +102,26 @@ func (s *Stack) Ping(dst IPAddr, seq uint16, payload []byte, timeoutTicks uint64
 
 	cancel := s.g.Env().AfterTicks(timeoutTicks, func() {
 		// Interrupt level: wake the sleeper; it notices !done.
+		s.mu.Lock()
 		if ww := s.pings[seq]; ww == w {
 			delete(s.pings, seq)
 			s.g.Wakeup(w.event)
 		}
+		s.mu.Unlock()
 	})
 	defer cancel()
+	s.mu.Lock()
 	for !w.done {
 		if ww := s.pings[seq]; ww != w {
+			s.mu.Unlock()
 			return 0, false // timed out (or superseded)
 		}
-		s.g.Tsleep(w.event, "ping")
+		p := s.g.SleepPrepare(w.event, "ping")
+		s.mu.Unlock()
+		s.g.SleepCommit(p)
+		s.mu.Lock()
 	}
-	return w.rtt, true
+	rtt := w.rtt
+	s.mu.Unlock()
+	return rtt, true
 }

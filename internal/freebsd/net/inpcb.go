@@ -60,18 +60,24 @@ func (s *Stack) ephemeral(free func(uint16) bool) (uint16, error) {
 
 // tcpRegisterConn enters a fully-specified pcb in the exact-match map.
 // Fails when the 4-tuple is already taken (a connect colliding with a
-// live connection or a lingering TIME_WAIT pcb).
+// live connection or a lingering TIME_WAIT pcb).  Called with the stack
+// lock held; the write additionally takes the demux write lock so the
+// receive fast path never sees a half-published entry.
 func (s *Stack) tcpRegisterConn(tp *tcpcb) error {
 	k := tcpKey{tp.laddr, tp.lport, tp.faddr, tp.fport}
 	if _, taken := s.tcpHash[k]; taken {
 		return com.ErrAddrInUse
 	}
+	s.demuxMu.Lock()
 	s.tcpHash[k] = tp
+	s.demuxMu.Unlock()
 	return nil
 }
 
 // tcpLookup demuxes an inbound segment: exact 4-tuple match first, then
-// the listener on the destination port.
+// the listener on the destination port.  Called with the stack lock
+// held (writers to both maps hold it, so no demux lock is needed here;
+// the fast path reads tcpHash under the demux read lock instead).
 func (s *Stack) tcpLookup(dst IPAddr, dport uint16, src IPAddr, sport uint16) *tcpcb {
 	if tp, ok := s.tcpHash[tcpKey{dst, dport, src, sport}]; ok {
 		return tp
@@ -190,12 +196,16 @@ func AddConnForBench(s *Stack, laddr IPAddr, lport uint16, faddr IPAddr, fport u
 	defer restore()
 	spl := s.g.Splnet()
 	defer s.g.Splx(spl)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	tp := s.tcpNew()
+	tp.mu.Lock()
 	tp.laddr, tp.lport = laddr, lport
 	tp.faddr, tp.fport = faddr, fport
 	tp.state = tcpsEstablished
 	s.tcpPorts[lport]++
 	_ = s.tcpRegisterConn(tp)
+	tp.mu.Unlock()
 }
 
 // BenchKey is one demux probe for the batched lookup hooks.
@@ -212,6 +222,8 @@ func LookupForBench(s *Stack, dst IPAddr, dport uint16, src IPAddr, sport uint16
 	defer restore()
 	spl := s.g.Splnet()
 	defer s.g.Splx(spl)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.tcpLookup(dst, dport, src, sport) != nil
 }
 
@@ -221,6 +233,8 @@ func LookupLinearForBench(s *Stack, dst IPAddr, dport uint16, src IPAddr, sport 
 	defer restore()
 	spl := s.g.Splnet()
 	defer s.g.Splx(spl)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.tcpLookupLinear(dst, dport, src, sport) != nil
 }
 
@@ -233,6 +247,8 @@ func LookupBatchForBench(s *Stack, keys []BenchKey, linear bool) int {
 	defer restore()
 	spl := s.g.Splnet()
 	defer s.g.Splx(spl)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	hits := 0
 	for _, k := range keys {
 		var tp *tcpcb
@@ -254,5 +270,7 @@ func TCPPCBCountForTest(s *Stack) int {
 	defer restore()
 	spl := s.g.Splnet()
 	defer s.g.Splx(spl)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return len(s.tcpPCBs)
 }

@@ -15,7 +15,10 @@ const (
 )
 
 // ipInput validates and demuxes one IP datagram (interrupt level).
-func (s *Stack) ipInput(m *Mbuf) {
+// Lock-free except reassembly (stack lock): validation touches only the
+// private chain, interface config is read-only after boot, and the
+// protocol inputs take their own locks.
+func (s *Stack) ipInput(m *Mbuf, ctx *rxCtx) {
 	m = m.Pullup(ipHdrLen)
 	if m == nil {
 		return
@@ -35,7 +38,7 @@ func (s *Stack) ipInput(m *Mbuf) {
 	}
 	h = m.Data()[:hlen]
 	if Checksum(h, 0) != 0 {
-		s.Stats.IPBadCsum++
+		bump(&s.Stats.IPBadCsum)
 		m.FreeChain()
 		return
 	}
@@ -56,16 +59,18 @@ func (s *Stack) ipInput(m *Mbuf) {
 		m.FreeChain() // not ours; the kit does no forwarding
 		return
 	}
-	s.Stats.IPIn++
+	bump(&s.Stats.IPIn)
 
 	fragField := binary.BigEndian.Uint16(h[6:8])
 	if fragField&(ipFlagMF|ipOffMask) != 0 {
-		s.Stats.IPFragsIn++
+		bump(&s.Stats.IPFragsIn)
+		s.mu.Lock()
 		m = s.reasmInput(m, h, src, dst, fragField)
+		s.mu.Unlock()
 		if m == nil {
 			return // still incomplete
 		}
-		s.Stats.IPReasmOK++
+		bump(&s.Stats.IPReasmOK)
 		h = m.Data()[:hlen]
 	}
 
@@ -77,7 +82,7 @@ func (s *Stack) ipInput(m *Mbuf) {
 	case ProtoUDP:
 		s.udpInput(m, src, dst)
 	case ProtoTCP:
-		s.tcpInput(m, src, dst)
+		s.tcpInput(m, src, dst, ctx)
 	default:
 		m.FreeChain()
 	}
@@ -89,8 +94,7 @@ func (s *Stack) ipOutput(m *Mbuf, src, dst IPAddr, proto int, ttl int) {
 	if ttl == 0 {
 		ttl = ipDefTTL
 	}
-	s.ipID++
-	id := s.ipID
+	id := uint16(s.ipID.Add(1))
 	payload := m.PktLen
 	mtu := 1500
 
@@ -141,11 +145,11 @@ func (s *Stack) ipSendOne(m *Mbuf, src, dst IPAddr, proto, ttl int, id uint16, f
 
 	nextHop, ok := s.route(dst)
 	if !ok {
-		s.Stats.DroppedNoRoute++
+		bump(&s.Stats.DroppedNoRoute)
 		m.FreeChain()
 		return
 	}
-	s.Stats.IPOut++
+	bump(&s.Stats.IPOut)
 	mac, resolved := s.arp.resolve(nextHop, m, EtherTypeIP)
 	if !resolved {
 		return // held by ARP; sent on reply
@@ -174,7 +178,8 @@ type reasmQ struct {
 }
 
 // reasmInput accumulates one fragment; when complete it returns a fresh
-// chain holding header+payload, else nil.  m is consumed.
+// chain holding header+payload, else nil.  m is consumed.  Called with
+// the stack lock held (the reassembly map is stack-lock state).
 func (s *Stack) reasmInput(m *Mbuf, h []byte, src, dst IPAddr, fragField uint16) *Mbuf {
 	hlen := int(h[0]&0xf) * 4
 	key := reasmKey{src: src, dst: dst, id: binary.BigEndian.Uint16(h[4:6]), proto: h[9]}
@@ -236,7 +241,7 @@ func (s *Stack) reasmInput(m *Mbuf, h []byte, src, dst IPAddr, fragField uint16)
 	return out
 }
 
-// reasmAge drops stale partial datagrams (slow timer).
+// reasmAge drops stale partial datagrams (slow timer; stack lock held).
 func (s *Stack) reasmAge() {
 	for k, q := range s.ipReasm {
 		q.age++

@@ -1,0 +1,78 @@
+package bsdnet
+
+import "sync"
+
+// The SMP lock hierarchy of the FreeBSD networking component.
+//
+// On a uniprocessor the stack keeps the §4.7.4 giant-exclusion
+// discipline: every entry point raises spl (disabling interrupts) and at
+// most one thread of control is inside the component, so every mutex
+// below is acquired uncontended and costs one atomic operation.  On an
+// SMP machine (glue.SetSMP) the spl calls become no-ops and these locks
+// are the component's real exclusion — the per-connection-locking
+// rewrite of the donor's spl discipline.
+//
+// Ranks order acquisition: a thread may only acquire a lock of *higher*
+// rank than any it holds.  The hierarchy (documented in DESIGN.md §13):
+//
+//	rank 10  stackLock  Stack.mu      pcb lists, demux registration,
+//	                                  listener queues, ports, TIME_WAIT,
+//	                                  reassembly, pings, UDP, events
+//	rank 20  pcbLock    tcpcb.mu      per-connection TCP state incl.
+//	                                  both socket buffers
+//	rank 30  demuxLock  Stack.demuxMu the established-connection hash
+//	                                  (readers; writers also hold mu)
+//	rank 50  arpLock    Stack.arpMu   resolution cache + held packets
+//	rank 60  txLock     Stack.txMu    the interface output hand-off
+//	rank 70  mclLock    Stack.mclMu   cluster refcount table
+//	rank 75  klLock     linuxdev klMu donor kmalloc in SMP mode
+//	                                  (cross-package)
+//	rank 80  sleepLock  glue.slpMu    sleep-queue hash (cross-package)
+//	rank 81  mallocLock glue mallocs  BSD kernel allocator (leaf)
+//	rank 82  poolLock   libc pools    fast-allocator service (leaf)
+//
+// The fast receive path deliberately does NOT couple ranks 30 and 20:
+// it reads the demux hash under demuxMu.RLock, drops it, then locks the
+// pcb and revalidates (identity, state, attachment).  Coupling them the
+// intuitive way — bucket held while locking the pcb — would invert the
+// pcb-before-demux order the registration paths need (detach holds the
+// pcb lock while unhooking its hash entry) and deadlock.
+//
+// Two same-rank pcbLock nestings exist, both deadlock-free because the
+// inner pcb is only ever reachable under Stack.mu (which the outer
+// holder also holds), and are waived where they occur:
+//
+//	current pcb  -> recycled TIME_WAIT pcb   (tcpEnterTimeWait)
+//
+// Field-ownership rules:
+//
+//   - tcpcb sequence space, timers, reassembly, state, err, socket
+//     buffers, batching deferral flags: tcpcb.mu.
+//   - tcpcb identity (laddr/lport/faddr/fport), state, err, listener
+//     linkage: written only with BOTH Stack.mu and tcpcb.mu held, so a
+//     reader may hold either.
+//   - tcpcb.pcbIdx: atomic (the swap-remove in detach writes the moved
+//     pcb's index while holding only Stack.mu).
+//   - Stack.tcpHash: written with Stack.mu AND demuxMu held; read under
+//     either (the fast path holds demuxMu.RLock, slow paths Stack.mu).
+//   - StackStats fields: atomic adds/loads, no lock.
+//   - Interface configuration (addresses, output binding, packet pool):
+//     written before traffic, read unguarded.
+
+//oskit:lockrank 10
+type stackLock struct{ sync.Mutex }
+
+//oskit:lockrank 20
+type pcbLock struct{ sync.Mutex }
+
+//oskit:lockrank 30
+type demuxLock struct{ sync.RWMutex }
+
+//oskit:lockrank 50
+type arpLock struct{ sync.Mutex }
+
+//oskit:lockrank 60
+type txLock struct{ sync.Mutex }
+
+//oskit:lockrank 70
+type mclLock struct{ sync.Mutex }

@@ -165,7 +165,9 @@ func (m *Mbuf) FreeChain() {
 // is indexed by address — the alignment-dependent scheme described above.
 func (s *Stack) clRef(addr hw.PhysAddr, delta int) {
 	idx := addr >> MCLSHIFT
-	spl := s.g.Splhigh()
+	spl := s.g.Splhigh() // UP interrupt exclusion; a no-op under SMP
+	s.mclMu.Lock()
+	defer s.mclMu.Unlock()
 	if s.mclRefcnt == nil {
 		s.mclBase = idx
 		s.mclRefcnt = make([]int16, 1)
@@ -207,8 +209,10 @@ func (m *Mbuf) writable() bool {
 
 // clRefCount reads a cluster's reference count.
 func (s *Stack) clRefCount(addr hw.PhysAddr) int16 {
-	spl := s.g.Splhigh()
+	spl := s.g.Splhigh() // UP interrupt exclusion; a no-op under SMP
 	defer s.g.Splx(spl)
+	s.mclMu.Lock()
+	defer s.mclMu.Unlock()
 	idx := addr >> MCLSHIFT
 	if s.mclRefcnt == nil || idx < s.mclBase {
 		return 0

@@ -15,6 +15,30 @@ import "oskit/internal/hw"
 
 // AttachNative binds the stack directly to a NIC with the donor driver.
 func (s *Stack) AttachNative(nic *hw.NIC) {
+	s.attachNativeTx(nic)
+	ic := s.g.Env().Machine.Intr
+	ic.SetHandler(nic.IRQ(), func(int) { s.nativeRxDrain(nic, 0) })
+	ic.SetMask(nic.IRQ(), false)
+}
+
+// AttachNativeMQ is AttachNative with the NIC grown to queues receive
+// rings (RSS).  Each ring gets its own interrupt line, so on a
+// multi-CPU machine with affinity-routed lines the per-ring drains run
+// concurrently — the configuration BenchmarkE14_SMP_Matrix measures.
+// The rings' handlers share no driver state: each drains only its own
+// ring, and the protocol input path above is per-connection locked.
+func (s *Stack) AttachNativeMQ(nic *hw.NIC, queues int) {
+	s.attachNativeTx(nic)
+	lines := nic.ConfigureRxQueues(queues)
+	ic := s.g.Env().Machine.Intr
+	for q, line := range lines {
+		q := q
+		ic.SetHandler(line, func(int) { s.nativeRxDrain(nic, q) })
+		ic.SetMask(line, false)
+	}
+}
+
+func (s *Stack) attachNativeTx(nic *hw.NIC) {
 	s.ifMAC = nic.Mac
 	s.output = func(m *Mbuf) {
 		// Gather the chain for the DMA engine.
@@ -27,31 +51,32 @@ func (s *Stack) AttachNative(nic *hw.NIC) {
 		nic.TransmitGather(parts)
 		m.FreeChain()
 	}
-	ic := s.g.Env().Machine.Intr
-	ic.SetHandler(nic.IRQ(), func(int) {
-		for {
-			f := nic.RxPop()
-			if f == nil {
-				return
-			}
-			m := s.MGetHdr()
-			if m == nil {
-				return
-			}
-			if len(f) > MHLEN && !m.MClGet() {
-				m.Free()
-				return
-			}
-			// The copy here is the receive DMA into the cluster.
-			if len(f) > len(m.store)-m.off {
-				m.Free()
-				continue // larger than a cluster: drop
-			}
-			copy(m.store[m.off:], f)
-			m.len = len(f)
-			m.PktLen = len(f)
-			s.etherInput(m)
+}
+
+// nativeRxDrain empties one receive ring into the stack (interrupt
+// level, on whichever CPU the ring's line is routed to).
+func (s *Stack) nativeRxDrain(nic *hw.NIC, q int) {
+	for {
+		f := nic.RxPopOn(q)
+		if f == nil {
+			return
 		}
-	})
-	ic.SetMask(nic.IRQ(), false)
+		m := s.MGetHdr()
+		if m == nil {
+			return
+		}
+		if len(f) > MHLEN && !m.MClGet() {
+			m.Free()
+			return
+		}
+		// The copy here is the receive DMA into the cluster.
+		if len(f) > len(m.store)-m.off {
+			m.Free()
+			continue // larger than a cluster: drop
+		}
+		copy(m.store[m.off:], f)
+		m.len = len(f)
+		m.PktLen = len(f)
+		s.etherInput(m, nil)
+	}
 }

@@ -254,13 +254,16 @@ func TestIPFragmentationRoundTrip(t *testing.T) {
 		defer restoreB()
 		spl := b.g.Splnet()
 		defer b.g.Splx(spl)
+		b.mu.Lock()
 		pcb := b.udpNew()
 		if err := b.udpBind(pcb, 9000); err != nil {
+			b.mu.Unlock()
 			done <- nil
 			return
 		}
 		buf := make([]byte, 8192)
 		n, _, _, err := b.udpRecv(pcb, buf)
+		b.mu.Unlock()
 		if err != nil {
 			done <- nil
 			return
@@ -271,8 +274,11 @@ func TestIPFragmentationRoundTrip(t *testing.T) {
 
 	restoreA := a.g.Enter("snd")
 	spl := a.g.Splnet()
+	a.mu.Lock()
 	pcbA := a.udpNew()
-	if err := a.udpOutput(pcbA, payload, b.ifIP, 9000); err != nil {
+	err := a.udpOutput(pcbA, payload, b.ifIP, 9000)
+	a.mu.Unlock()
+	if err != nil {
 		t.Fatal(err)
 	}
 	a.g.Splx(spl)

@@ -16,9 +16,11 @@ func TestDefaultGatewayRouting(t *testing.T) {
 
 	// No route: off-subnet traffic drops.
 	spl := a.g.Splnet()
+	a.mu.Lock()
 	pcb := a.udpNew()
 	err := a.udpOutput(pcb, []byte("lost"), IPAddr{8, 8, 8, 8}, 53)
-	drops := a.Stats.DroppedNoRoute
+	a.mu.Unlock()
+	drops := a.StatsSnapshot().DroppedNoRoute
 	a.g.Splx(spl)
 	if err != nil {
 		t.Fatal(err)
@@ -42,7 +44,9 @@ func TestDefaultGatewayRouting(t *testing.T) {
 	wireOf(t, a).Attach(sniffer)
 
 	spl = a.g.Splnet()
+	a.mu.Lock()
 	err = a.udpOutput(pcb, []byte("routed"), IPAddr{8, 8, 8, 8}, 53)
+	a.mu.Unlock()
 	a.g.Splx(spl)
 	if err != nil {
 		t.Fatal(err)
@@ -95,13 +99,16 @@ func TestUDPBroadcast(t *testing.T) {
 		defer restore()
 		spl := b.g.Splnet()
 		defer b.g.Splx(spl)
+		b.mu.Lock()
 		pcb := b.udpNew()
 		if err := b.udpBind(pcb, 6767); err != nil {
+			b.mu.Unlock()
 			got <- "bind-fail"
 			return
 		}
 		buf := make([]byte, 64)
 		n, from, _, err := b.udpRecv(pcb, buf)
+		b.mu.Unlock()
 		if err != nil {
 			got <- "recv-fail"
 			return
@@ -116,8 +123,10 @@ func TestUDPBroadcast(t *testing.T) {
 
 	restore := a.g.Enter("bcast-snd")
 	spl := a.g.Splnet()
+	a.mu.Lock()
 	pcb := a.udpNew()
 	err := a.udpOutput(pcb, []byte("hear ye"), IPAddr{255, 255, 255, 255}, 6767)
+	a.mu.Unlock()
 	a.g.Splx(spl)
 	restore()
 	if err != nil {

@@ -1,0 +1,197 @@
+package bsdnet
+
+// Race-regression suite for the per-connection locking rewrite: real
+// parallelism, no harness serialization, meant to run under -race
+// (scripts/check.sh tier-1 list).  Under the old giant-exclusion
+// discipline these tests were vacuous — one thread at a time was inside
+// the component; with per-pcb locks they exercise the actual concurrent
+// paths: demux fast path vs. detach, accept vs. listener close, and
+// full-lifecycle churn across goroutines.
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"oskit/internal/com"
+)
+
+// TestRaceConnectChurn runs the whole connection lifecycle from several
+// goroutines at once against one echo-less server: concurrent connects
+// share the stack lock and port allocator, established connections take
+// their own pcb locks, and closes race the server's reads.
+func TestRaceConnectChurn(t *testing.T) {
+	a, b := connectedStacksSMP(t)
+	fb := b.SocketFactory()
+	defer fb.Release()
+	ls, err := fb.CreateSocket(com.AFInet, com.SockStream, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ls.Bind(addrOf(ipB, 9200)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ls.Listen(16); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			cs, _, err := ls.Accept()
+			if err != nil {
+				return
+			}
+			go func(cs com.Socket) {
+				buf := make([]byte, 64)
+				for {
+					if _, err := cs.Read(buf); err != nil {
+						break
+					}
+				}
+				_ = cs.Close()
+			}(cs)
+		}
+	}()
+
+	fa := a.SocketFactory()
+	defer fa.Release()
+	const workers = 4
+	const iters = 6
+	var wg sync.WaitGroup
+	errc := make(chan error, workers*iters)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				cs, err := fa.CreateSocket(com.AFInet, com.SockStream, 0)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if err := cs.Connect(addrOf(ipB, 9200)); err != nil {
+					errc <- err
+					_ = cs.Close()
+					return
+				}
+				if _, err := cs.Write([]byte("churn payload")); err != nil {
+					errc <- err
+				}
+				if err := cs.Close(); err != nil {
+					errc <- err
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatalf("churn worker: %v", err)
+	}
+	_ = ls.Close()
+}
+
+// TestRaceAcceptVsListenerClose parks several goroutines in Accept and
+// closes the listener out from under them: every Accept must return
+// (socket or error), never hang on a lost wakeup.
+func TestRaceAcceptVsListenerClose(t *testing.T) {
+	_, b := connectedStacksSMP(t)
+	fb := b.SocketFactory()
+	defer fb.Release()
+	ls, err := fb.CreateSocket(com.AFInet, com.SockStream, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ls.Bind(addrOf(ipB, 9201)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ls.Listen(4); err != nil {
+		t.Fatal(err)
+	}
+	const waiters = 3
+	done := make(chan error, waiters)
+	for i := 0; i < waiters; i++ {
+		go func() {
+			cs, _, err := ls.Accept()
+			if cs != nil {
+				_ = cs.Close()
+			}
+			done <- err
+		}()
+	}
+	time.Sleep(20 * time.Millisecond) // let the waiters block
+	if err := ls.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < waiters; i++ {
+		select {
+		case <-done:
+			// Error value is unchecked on purpose: socket-or-error both
+			// count; only a hang is a bug.
+		case <-time.After(5 * time.Second):
+			t.Fatalf("accept waiter %d hung across listener close", i)
+		}
+	}
+}
+
+// TestRaceDemuxVsClose pits the receive fast path (demux read lock,
+// then pcb lock with revalidation) against a concurrent close of the
+// very connection being demuxed: a writer spams segments at a peer that
+// tears the pcb down mid-stream.  The revalidation step (locks.go: the
+// no-coupling rule) is what keeps this from touching a detached pcb.
+func TestRaceDemuxVsClose(t *testing.T) {
+	a, b := connectedStacksSMP(t)
+	fb := b.SocketFactory()
+	defer fb.Release()
+	ls, err := fb.CreateSocket(com.AFInet, com.SockStream, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ls.Bind(addrOf(ipB, 9202)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ls.Listen(4); err != nil {
+		t.Fatal(err)
+	}
+
+	fa := a.SocketFactory()
+	defer fa.Release()
+	cs, err := fa.CreateSocket(com.AFInet, com.SockStream, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Connect(addrOf(ipB, 9202)); err != nil {
+		t.Fatal(err)
+	}
+	srv, _, err := ls.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Writer floods while the server side closes mid-stream: inbound
+	// ACK processing (demux fast path: read lock, pcb lock, revalidate)
+	// overlaps the server pcb's detach.  The never-reading closed peer
+	// legitimately zero-windows the writer — TCP flow control — so
+	// after the overlap window the client closes too, and the blocked
+	// writer must wake and fail (ErrPipe), never wedge on a lost
+	// wakeup.
+	wrote := make(chan struct{})
+	go func() {
+		defer close(wrote)
+		buf := make([]byte, 512)
+		for i := 0; i < 200; i++ {
+			if _, err := cs.Write(buf); err != nil {
+				return
+			}
+		}
+	}()
+	time.Sleep(5 * time.Millisecond)
+	_ = srv.Close()
+	time.Sleep(10 * time.Millisecond) // keep the demux/detach overlap open
+	_ = cs.Close()
+	select {
+	case <-wrote:
+	case <-time.After(10 * time.Second):
+		t.Fatal("writer wedged across close: lost wakeup")
+	}
+	_ = ls.Close()
+}

@@ -5,7 +5,15 @@ import "oskit/internal/com"
 // The socket layer: the COM Socket/SocketFactory exported by the stack
 // (§5).  Every method is a component entry point: it manufactures a
 // current process (§4.7.5), raises splnet, and blocks — if it must —
-// with tsleep on the pcb's events.
+// with a two-phase sleep on the pcb's events.
+//
+// SMP entry discipline (locks.go): Read and Write on an established TCP
+// socket take only the pcb lock — they are the scaling-critical paths
+// and share nothing with the stack's global state.  Every other entry
+// point takes the stack lock (and the pcb lock around pcb mutations).
+// Blocking always uses SleepPrepare under the condition locks, drops
+// them, then SleepCommit — the lost-wakeup-free replacement for
+// "enqueue at raised spl, drop to spl0".
 
 // Factory is the stack's socket factory (what oskit_freebsd_net_init
 // hands back for posix_set_socketcreator).
@@ -43,6 +51,8 @@ func (f *Factory) CreateSocket(domain, typ, protocol int) (com.Socket, error) {
 	defer s.g.Splx(spl)
 	sock := &socket{s: s}
 	sock.Init()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	switch typ {
 	case com.SockStream:
 		sock.tcp = s.tcpNew()
@@ -64,6 +74,10 @@ type socket struct {
 	tcp *tcpcb
 	udp *udpPCB
 
+	// reuse is stack-lock state (only bind/setsockopt touch it).
+	// closed is written under the stack lock AND (for TCP) the pcb lock,
+	// so either's holder may read it — the pcb-lock-only Read/Write
+	// loops included.
 	reuse  bool
 	closed bool
 }
@@ -93,10 +107,14 @@ func (so *socket) enter(what string) func() {
 func (so *socket) Bind(addr com.SockAddr) error {
 	done := so.enter("bind")
 	defer done()
+	so.s.mu.Lock()
+	defer so.s.mu.Unlock()
 	if so.closed {
 		return com.ErrBadF
 	}
 	if so.tcp != nil {
+		so.tcp.mu.Lock()
+		defer so.tcp.mu.Unlock()
 		return so.s.tcpBind(so.tcp, addr.Port, so.reuse)
 	}
 	return so.s.udpBind(so.udp, addr.Port)
@@ -107,34 +125,53 @@ func (so *socket) Bind(addr com.SockAddr) error {
 func (so *socket) Connect(addr com.SockAddr) error {
 	done := so.enter("connect")
 	defer done()
+	s := so.s
+	s.mu.Lock()
 	if so.closed {
+		s.mu.Unlock()
 		return com.ErrBadF
 	}
 	if so.udp != nil {
 		var dst IPAddr
 		copy(dst[:], addr.Addr[:])
-		return so.s.udpConnect(so.udp, dst, addr.Port)
+		err := s.udpConnect(so.udp, dst, addr.Port)
+		s.mu.Unlock()
+		return err
 	}
 	tp := so.tcp
 	var dst IPAddr
 	copy(dst[:], addr.Addr[:])
-	if err := tp.usrConnect(dst, addr.Port); err != nil {
+	tp.mu.Lock()
+	err := tp.usrConnect(dst, addr.Port)
+	tp.mu.Unlock()
+	if err != nil {
+		s.mu.Unlock()
 		return err
 	}
+	// Wait under the stack lock (state/err are readable there; writers
+	// hold both locks), sleeping two-phase across the unlock.
 	for tp.state != tcpsEstablished {
 		if tp.err != 0 {
+			tp.mu.Lock()
 			err := tp.err
 			tp.err = 0
+			tp.mu.Unlock()
+			s.mu.Unlock()
 			if err == com.ErrConnReset {
 				return com.ErrConnRef // RST during handshake = refused
 			}
 			return err
 		}
 		if tp.state == tcpsClosed {
+			s.mu.Unlock()
 			return com.ErrConnRef
 		}
-		so.s.g.Tsleep(tp.connEvent, "connec")
+		p := s.g.SleepPrepare(tp.connEvent, "connec")
+		s.mu.Unlock()
+		s.g.SleepCommit(p)
+		s.mu.Lock()
 	}
+	s.mu.Unlock()
 	return nil
 }
 
@@ -145,6 +182,10 @@ func (so *socket) Listen(backlog int) error {
 	if so.tcp == nil {
 		return com.ErrInval
 	}
+	so.s.mu.Lock()
+	defer so.s.mu.Unlock()
+	so.tcp.mu.Lock()
+	defer so.tcp.mu.Unlock()
 	return so.tcp.usrListen(backlog)
 }
 
@@ -153,6 +194,9 @@ func (so *socket) Accept() (com.Socket, com.SockAddr, error) {
 	done := so.enter("accept")
 	defer done()
 	tp := so.tcp
+	s := so.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if tp == nil || !tp.listening {
 		return nil, com.SockAddr{}, com.ErrInval
 	}
@@ -160,7 +204,10 @@ func (so *socket) Accept() (com.Socket, com.SockAddr, error) {
 		if so.closed || tp.state == tcpsClosed {
 			return nil, com.SockAddr{}, com.ErrBadF
 		}
-		so.s.g.Tsleep(tp.acceptEvent, "accept")
+		p := s.g.SleepPrepare(tp.acceptEvent, "accept")
+		s.mu.Unlock()
+		s.g.SleepCommit(p)
+		s.mu.Lock()
 	}
 	child := tp.acceptQ[0]
 	tp.acceptQ = tp.acceptQ[1:]
@@ -171,15 +218,21 @@ func (so *socket) Accept() (com.Socket, com.SockAddr, error) {
 	return ns, peer, nil
 }
 
-// Read implements com.Socket.
+// Read implements com.Socket.  The TCP path takes only the pcb lock —
+// the scaling-critical entry, sharing nothing with the stack's global
+// state.
 func (so *socket) Read(buf []byte) (uint, error) {
 	done := so.enter("soread")
 	defer done()
 	if so.udp != nil {
+		so.s.mu.Lock()
 		n, _, _, err := so.s.udpRecv(so.udp, buf)
+		so.s.mu.Unlock()
 		return uint(n), err
 	}
 	tp := so.tcp
+	tp.mu.Lock()
+	defer tp.mu.Unlock()
 	for {
 		if tp.rcvBuf.cc > 0 {
 			n := tp.rcvBuf.read(buf)
@@ -202,15 +255,21 @@ func (so *socket) Read(buf []byte) (uint, error) {
 		if so.closed {
 			return 0, com.ErrBadF
 		}
-		so.s.g.Tsleep(tp.rcvBuf.event, "soread")
+		p := so.s.g.SleepPrepare(tp.rcvBuf.event, "soread")
+		tp.mu.Unlock()
+		so.s.g.SleepCommit(p)
+		tp.mu.Lock()
 	}
 }
 
-// Write implements com.Socket, blocking for send-buffer space.
+// Write implements com.Socket, blocking for send-buffer space.  The TCP
+// path takes only the pcb lock, like Read.
 func (so *socket) Write(buf []byte) (uint, error) {
 	done := so.enter("sowrite")
 	defer done()
 	if so.udp != nil {
+		so.s.mu.Lock()
+		defer so.s.mu.Unlock()
 		if so.udp.fport == 0 {
 			return 0, com.ErrNotConn
 		}
@@ -220,6 +279,8 @@ func (so *socket) Write(buf []byte) (uint, error) {
 		return uint(len(buf)), nil
 	}
 	tp := so.tcp
+	tp.mu.Lock()
+	defer tp.mu.Unlock()
 	total := uint(0)
 	for len(buf) > 0 {
 		if tp.err != 0 {
@@ -233,7 +294,10 @@ func (so *socket) Write(buf []byte) (uint, error) {
 		space := tp.sndBuf.space()
 		if space == 0 {
 			tp.armPersistIfNeeded()
-			so.s.g.Tsleep(tp.sndBuf.event, "sowrite")
+			p := so.s.g.SleepPrepare(tp.sndBuf.event, "sowrite")
+			tp.mu.Unlock()
+			so.s.g.SleepCommit(p)
+			tp.mu.Lock()
 			continue
 		}
 		n := minInt(space, len(buf))
@@ -252,19 +316,26 @@ func (so *socket) RecvFrom(buf []byte) (uint, com.SockAddr, error) {
 	done := so.enter("recvfrom")
 	defer done()
 	if so.udp == nil {
-		n, err := so.readLockedTCP(buf)
+		n, err := so.readTCP(buf)
+		so.tcp.mu.Lock()
 		a, _ := so.peerLocked()
+		so.tcp.mu.Unlock()
 		return n, a, err
 	}
+	so.s.mu.Lock()
 	n, from, port, err := so.s.udpRecv(so.udp, buf)
+	so.s.mu.Unlock()
 	addr := com.SockAddr{Family: com.AFInet, Port: port}
 	copy(addr.Addr[:], from[:])
 	return uint(n), addr, err
 }
 
-// readLockedTCP is Read's body for the RecvFrom alias (lock held).
-func (so *socket) readLockedTCP(buf []byte) (uint, error) {
+// readTCP is Read's body for the RecvFrom alias; takes the pcb lock
+// itself.
+func (so *socket) readTCP(buf []byte) (uint, error) {
 	tp := so.tcp
+	tp.mu.Lock()
+	defer tp.mu.Unlock()
 	for {
 		if tp.rcvBuf.cc > 0 {
 			return uint(tp.rcvBuf.read(buf)), nil
@@ -276,7 +347,10 @@ func (so *socket) readLockedTCP(buf []byte) (uint, error) {
 		case tcpsCloseWait, tcpsClosing, tcpsLastAck, tcpsTimeWait, tcpsClosed:
 			return 0, nil
 		}
-		so.s.g.Tsleep(tp.rcvBuf.event, "soread")
+		p := so.s.g.SleepPrepare(tp.rcvBuf.event, "soread")
+		tp.mu.Unlock()
+		so.s.g.SleepCommit(p)
+		tp.mu.Lock()
 	}
 }
 
@@ -289,6 +363,8 @@ func (so *socket) SendTo(buf []byte, to com.SockAddr) (uint, error) {
 	}
 	var dst IPAddr
 	copy(dst[:], to.Addr[:])
+	so.s.mu.Lock()
+	defer so.s.mu.Unlock()
 	if err := so.s.udpOutput(so.udp, buf, dst, to.Port); err != nil {
 		return 0, err
 	}
@@ -303,6 +379,10 @@ func (so *socket) Shutdown(how int) error {
 	if tp == nil {
 		return nil
 	}
+	so.s.mu.Lock()
+	defer so.s.mu.Unlock()
+	tp.mu.Lock()
+	defer tp.mu.Unlock()
 	if how == com.ShutWrite || how == com.ShutBoth {
 		switch tp.state {
 		case tcpsEstablished:
@@ -324,6 +404,8 @@ func (so *socket) Shutdown(how int) error {
 func (so *socket) GetSockName() (com.SockAddr, error) {
 	done := so.enter("getsockname")
 	defer done()
+	so.s.mu.Lock()
+	defer so.s.mu.Unlock()
 	a := com.SockAddr{Family: com.AFInet}
 	if so.tcp != nil {
 		copy(a.Addr[:], so.tcp.laddr[:])
@@ -339,9 +421,13 @@ func (so *socket) GetSockName() (com.SockAddr, error) {
 func (so *socket) GetPeerName() (com.SockAddr, error) {
 	done := so.enter("getpeername")
 	defer done()
+	so.s.mu.Lock()
+	defer so.s.mu.Unlock()
 	return so.peerLocked()
 }
 
+// peerLocked reads the foreign endpoint; the caller holds the stack
+// lock or the pcb lock (identity is readable under either).
 func (so *socket) peerLocked() (com.SockAddr, error) {
 	a := com.SockAddr{Family: com.AFInet}
 	switch {
@@ -361,6 +447,12 @@ func (so *socket) peerLocked() (com.SockAddr, error) {
 func (so *socket) SetSockOpt(name string, value int) error {
 	done := so.enter("setsockopt")
 	defer done()
+	so.s.mu.Lock()
+	defer so.s.mu.Unlock()
+	if so.tcp != nil {
+		so.tcp.mu.Lock()
+		defer so.tcp.mu.Unlock()
+	}
 	switch name {
 	case "rcvbuf":
 		if value <= 0 {
@@ -395,6 +487,12 @@ func (so *socket) SetSockOpt(name string, value int) error {
 func (so *socket) GetSockOpt(name string) (int, error) {
 	done := so.enter("getsockopt")
 	defer done()
+	so.s.mu.Lock()
+	defer so.s.mu.Unlock()
+	if so.tcp != nil {
+		so.tcp.mu.Lock()
+		defer so.tcp.mu.Unlock()
+	}
 	switch name {
 	case "rcvbuf":
 		if so.tcp != nil {
@@ -424,16 +522,23 @@ func (so *socket) GetSockOpt(name string) (int, error) {
 func (so *socket) Close() error {
 	done := so.enter("soclose")
 	defer done()
+	so.s.mu.Lock()
+	defer so.s.mu.Unlock()
 	if so.closed {
 		return com.ErrBadF
 	}
-	so.closed = true
 	if so.udp != nil {
+		so.closed = true
 		so.udp.closed = true
 		so.s.g.Wakeup(so.udp.rcvEvent)
 		so.s.udpDetach(so.udp)
 		return nil
 	}
+	// closed is read by the pcb-lock-only Read/Write loops, so the write
+	// holds both locks.
+	so.tcp.mu.Lock()
+	so.closed = true
+	so.tcp.mu.Unlock()
 	so.tcp.usrClose()
 	return nil
 }

@@ -2,6 +2,7 @@ package bsdnet
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"oskit/internal/com"
 	bsdglue "oskit/internal/freebsd/glue"
@@ -18,6 +19,22 @@ import (
 // (oskit_freebsd_net_ifconfig).
 type Stack struct {
 	g *bsdglue.Glue
+
+	// mu is the stack lock (rank 10, see locks.go): pcb lists, demux
+	// registration, listener queues, port occupancy, TIME_WAIT queue,
+	// reassembly, ping state, all of UDP, and the event allocator.  On a
+	// uniprocessor it is uncontended (the spl discipline already
+	// serializes); on SMP it is the slow-path exclusion, while the
+	// established-connection data path runs under per-pcb locks only.
+	mu stackLock
+
+	// demuxMu guards tcpHash for the lockless-of-mu receive fast path:
+	// readers take it shared; writers hold mu as well (see locks.go).
+	demuxMu demuxLock
+
+	arpMu arpLock // rank 50: the ARP cache (arp.go)
+	txMu  txLock  // rank 60: serializes the interface output hand-off
+	mclMu mclLock // rank 70: the cluster refcount table (mbuf.go)
 
 	// Interface state (one Ethernet interface per stack instance, like
 	// the examples in §5; nothing below prevents generalizing).
@@ -50,7 +67,7 @@ type Stack struct {
 	tcpPCBs []*tcpcb
 	ipReasm map[reasmKey]*reasmQ
 	pings   map[uint16]*pingWaiter
-	ipID    uint16
+	ipID    atomic.Uint32 // low 16 bits emitted; atomic so TX needs no lock
 	issSeed uint32
 
 	tcpHash   map[tcpKey]*tcpcb  // connected TCP pcbs by exact 4-tuple
@@ -79,16 +96,9 @@ type Stack struct {
 	stopSlow func()
 	closed   bool
 
-	// Batched-receive softint state (PushBatch).  rxBatching is true
-	// while one batch is being ingested: the in-order TCP data path then
-	// defers its per-segment wakeup + ACK onto rxPend, and rxFlush runs
-	// them once per (connection, batch) — delayed-ACK coalescing across
-	// the batch.  All of it is touched only under the interrupt-level
-	// serialization every input path already runs at.
-	rxBatching bool
-	rxPend     []*tcpcb
-
-	// Statistics (exposed, open implementation §4.6).
+	// Statistics (exposed, open implementation §4.6).  Fields are
+	// updated with atomic adds so the SMP data paths need no lock; read
+	// them through StatsSnapshot.
 	Stats StackStats
 
 	// statsSet is the stack's com.Stats export; sc holds the
@@ -101,7 +111,20 @@ type Stack struct {
 	ForceRxCopy bool
 }
 
-// StackStats counts stack-level events.
+// rxCtx is one receive pass's batching state, threaded down the input
+// path by the goroutine ingesting the batch (so concurrent receive
+// contexts on an SMP machine never share it).  While batching, the
+// in-order TCP data path defers its per-segment wakeup + ACK onto pend,
+// and rxFlush runs them once per (connection, batch) — delayed-ACK
+// coalescing across the batch.
+type rxCtx struct {
+	batching bool
+	pend     []*tcpcb
+}
+
+// StackStats counts stack-level events.  Fields are plain uint64 for
+// ABI stability but every hot-path update is an atomic add (several CPUs
+// ingest concurrently on an SMP machine); use StatsSnapshot to read.
 type StackStats struct {
 	IPIn, IPOut    uint64
 	IPBadCsum      uint64
@@ -247,28 +270,32 @@ func (s *Stack) initStats() {
 // §4.6); the same object is discoverable via the services registry.
 func (s *Stack) StatsSet() *stats.Set { return s.statsSet }
 
+// bump atomically increments one StackStats field (SMP data paths hold
+// no lock that covers the stats block).
+func bump(f *uint64) { atomic.AddUint64(f, 1) }
+
 // countTCPOut records one transmitted TCP segment in both the exposed
 // StackStats block and the com.Stats export.
 func (s *Stack) countTCPOut() {
-	s.Stats.TCPOut++
+	bump(&s.Stats.TCPOut)
 	s.sc.tcpSegsOut.Inc()
 }
 
 // countTCPRexmt records one retransmitted segment.
 func (s *Stack) countTCPRexmt() {
-	s.Stats.TCPRexmt++
+	bump(&s.Stats.TCPRexmt)
 	s.sc.tcpRexmt.Inc()
 }
 
 // countAcceptOverflow records one SYN dropped at a full listen queue.
 func (s *Stack) countAcceptOverflow() {
-	s.Stats.AcceptOverflows++
+	bump(&s.Stats.AcceptOverflows)
 	s.sc.tcpAcceptOvfl.Inc()
 }
 
 // countTWRecycle records one TIME_WAIT pcb reclaimed by the cap.
 func (s *Stack) countTWRecycle() {
-	s.Stats.TimeWaitRecycled++
+	bump(&s.Stats.TimeWaitRecycled)
 	s.sc.tcpTWRecycled.Inc()
 }
 
@@ -280,22 +307,44 @@ func (s *Stack) SetMaxTimeWait(n int) {
 		n = 1
 	}
 	spl := s.g.Splnet()
+	s.mu.Lock()
 	s.maxTimeWait = n
+	s.mu.Unlock()
 	s.g.Splx(spl)
 }
 
 // Glue returns the stack's BSD environment (tests).
 func (s *Stack) Glue() *bsdglue.Glue { return s.g }
 
-// StatsSnapshot reads the counters under interrupt exclusion (they are
-// updated at interrupt level).
+// StatsSnapshot reads the counters with atomic loads (they are updated
+// concurrently from several CPUs on an SMP machine).
 func (s *Stack) StatsSnapshot() StackStats {
-	spl := s.g.Splnet()
-	defer s.g.Splx(spl)
-	return s.Stats
+	var out StackStats
+	src := &s.Stats
+	for _, p := range [][2]*uint64{
+		{&out.IPIn, &src.IPIn}, {&out.IPOut, &src.IPOut},
+		{&out.IPBadCsum, &src.IPBadCsum}, {&out.IPFragsIn, &src.IPFragsIn},
+		{&out.IPReasmOK, &src.IPReasmOK}, {&out.TCPIn, &src.TCPIn},
+		{&out.TCPOut, &src.TCPOut}, {&out.TCPRexmt, &src.TCPRexmt},
+		{&out.AcceptOverflows, &src.AcceptOverflows},
+		{&out.TimeWaitRecycled, &src.TimeWaitRecycled},
+		{&out.UDPIn, &src.UDPIn}, {&out.UDPOut, &src.UDPOut},
+		{&out.ARPIn, &src.ARPIn}, {&out.ARPOut, &src.ARPOut},
+		{&out.ARPBadSender, &src.ARPBadSender},
+		{&out.RxZeroCopy, &src.RxZeroCopy}, {&out.RxCopied, &src.RxCopied},
+		{&out.TxContiguous, &src.TxContiguous}, {&out.TxChained, &src.TxChained},
+		{&out.DroppedNoRoute, &src.DroppedNoRoute},
+		{&out.DroppedUnreach, &src.DroppedUnreach},
+		{&out.ICMPEchoReqIn, &src.ICMPEchoReqIn},
+		{&out.ICMPEchoRepIn, &src.ICMPEchoRepIn},
+		{&out.ICMPEchoRepOut, &src.ICMPEchoRepOut},
+	} {
+		*p[0] = atomic.LoadUint64(p[1])
+	}
+	return out
 }
 
-// newEvent mints a tsleep event handle.
+// newEvent mints a tsleep event handle.  Called with mu held.
 func (s *Stack) newEvent() uint32 {
 	s.nextEvent += 8
 	return 0x40000000 + s.nextEvent
@@ -330,8 +379,10 @@ func (s *Stack) SetPacketPool(pool com.Allocator) {
 		pool.AddRef()
 	}
 	spl := s.g.Splnet()
+	s.mu.Lock()
 	old := s.pktPool
 	s.pktPool = pool
+	s.mu.Unlock()
 	s.g.Splx(spl)
 	if old != nil {
 		old.Release()
@@ -339,17 +390,24 @@ func (s *Stack) SetPacketPool(pool com.Allocator) {
 }
 
 // Ifconfig assigns the interface address (oskit_freebsd_net_ifconfig).
+// Configuration happens before traffic (the data paths read it
+// unguarded; see locks.go).
 func (s *Stack) Ifconfig(ip, mask IPAddr) {
 	spl := s.g.Splnet()
+	s.mu.Lock()
 	s.ifIP = ip
 	s.ifMask = mask
+	s.mu.Unlock()
 	s.g.Splx(spl)
 }
 
-// SetGateway sets the default route.
+// SetGateway sets the default route (configuration-before-traffic, like
+// Ifconfig).
 func (s *Stack) SetGateway(gw IPAddr) {
 	spl := s.g.Splnet()
+	s.mu.Lock()
 	s.gw = gw
+	s.mu.Unlock()
 	s.g.Splx(spl)
 }
 
@@ -389,11 +447,16 @@ func (s *Stack) route(dst IPAddr) (IPAddr, bool) {
 	return IPAddr{}, false
 }
 
-// slowTimo runs at interrupt level every 500 ms.
+// slowTimo runs at interrupt level every 500 ms.  It acquires the stack
+// lock itself: timer sweeps are slow-path work.  The ARP age runs after
+// dropping mu — it takes the ARP lock internally, and a held-packet
+// retransmit under it must not also hold the stack lock it doesn't need.
 func (s *Stack) slowTimo() {
+	s.mu.Lock()
 	s.tcpSlowTimo()
-	s.arp.age()
 	s.reasmAge()
+	s.mu.Unlock()
+	s.arp.age()
 }
 
 // --- receive path.
@@ -420,7 +483,7 @@ func (r *stackRecv) QueryInterface(iid com.GUID) (com.IUnknown, error) {
 
 // Push implements com.NetIO: one inbound frame.
 func (r *stackRecv) Push(pkt com.BufIO, size uint) error {
-	return r.s.rxOne(pkt, size)
+	return r.s.rxOne(pkt, size, nil)
 }
 
 // PushBatch implements com.NetIOBatch: one softint pass ingests the
@@ -428,7 +491,8 @@ func (r *stackRecv) Push(pkt com.BufIO, size uint) error {
 // ACK once each — so a 16-frame batch into one connection costs one
 // reader wakeup and one ACK instead of sixteen, while each frame is
 // still individually wrapped zero-copy (the RxZeroCopy property is
-// per-packet and unchanged).
+// per-packet and unchanged).  The batching state lives in an rxCtx owned
+// by this call, so concurrent batches on distinct CPUs don't interfere.
 func (r *stackRecv) PushBatch(pkts []com.BufIO, sizes []uint) error {
 	s := r.s
 	if len(pkts) != len(sizes) {
@@ -437,15 +501,14 @@ func (r *stackRecv) PushBatch(pkts []com.BufIO, sizes []uint) error {
 		}
 		return com.ErrInval
 	}
-	s.rxBatching = true
+	ctx := &rxCtx{batching: true}
 	var firstErr error
 	for i, pkt := range pkts {
-		if err := s.rxOne(pkt, sizes[i]); err != nil && firstErr == nil {
+		if err := s.rxOne(pkt, sizes[i], ctx); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
-	s.rxBatching = false
-	s.rxFlush()
+	s.rxFlush(ctx)
 	s.sc.rxBatches.Inc()
 	s.sc.rxBatchFrames.Add(uint64(len(pkts)))
 	return firstErr
@@ -455,12 +518,12 @@ func (r *stackRecv) PushBatch(pkts []com.BufIO, sizes []uint) error {
 // accepted in-order data during the batch gets its single deferred
 // reader wakeup and (unless something already ACKed on its behalf, or
 // the connection died mid-batch) its single ACK.
-func (s *Stack) rxFlush() {
-	pend := s.rxPend
-	s.rxPend = s.rxPend[:0]
-	for i, tp := range pend {
-		pend[i] = nil
+func (s *Stack) rxFlush(ctx *rxCtx) {
+	for i, tp := range ctx.pend {
+		ctx.pend[i] = nil
+		tp.mu.Lock()
 		if !tp.rxPendWake {
+			tp.mu.Unlock()
 			continue
 		}
 		tp.rxPendWake = false
@@ -469,18 +532,20 @@ func (s *Stack) rxFlush() {
 			s.tcpRespondACK(tp)
 		}
 		tp.rxAckOwed = false
+		tp.mu.Unlock()
 	}
+	ctx.pend = ctx.pend[:0]
 }
 
 // rxOne ingests one inbound frame.  If the producer's buffer can be
 // mapped (skbuffs always can), the frame is wrapped as an external mbuf
 // with zero copies; otherwise it is read into a fresh chain.
-func (s *Stack) rxOne(pkt com.BufIO, size uint) error {
+func (s *Stack) rxOne(pkt com.BufIO, size uint, ctx *rxCtx) error {
 	var m *Mbuf
 	if !s.ForceRxCopy {
 		if data, err := pkt.Map(0, size); err == nil {
 			m = s.MExt(pkt, data) // holds its own reference
-			s.Stats.RxZeroCopy++
+			bump(&s.Stats.RxZeroCopy)
 		}
 	}
 	if m == nil {
@@ -510,9 +575,9 @@ func (s *Stack) rxOne(pkt com.BufIO, size uint) error {
 		}
 		m.len = int(size)
 		m.PktLen = int(size)
-		s.Stats.RxCopied++
+		bump(&s.Stats.RxCopied)
 	}
-	s.etherInput(m)
+	s.etherInput(m, ctx)
 	pkt.Release()
 	return nil
 }

@@ -2,6 +2,7 @@ package bsdnet
 
 import (
 	"encoding/binary"
+	"sync/atomic"
 
 	"oskit/internal/com"
 )
@@ -87,8 +88,16 @@ type tcpSeg struct {
 }
 
 // tcpcb is the connection control block.
+//
+// mu (rank 20, locks.go) guards the per-connection state: sequence
+// spaces, timers, reassembly, both socket buffers, and the batching
+// deferral flags.  Identity (laddr/lport/faddr/fport), state, err, and
+// the listener linkage are written only with BOTH Stack.mu and mu held,
+// so a reader may hold either — which is what lets the receive fast
+// path run under mu alone while the slow paths run under Stack.mu.
 type tcpcb struct {
 	s     *Stack
+	mu    pcbLock
 	state int
 
 	laddr, faddr IPAddr
@@ -136,8 +145,11 @@ type tcpcb struct {
 	// pcbIdx is this pcb's slot in Stack.tcpPCBs (swap-remove on
 	// detach); -1 once detached, which makes tcpDetach idempotent — a
 	// pcb can be dropped by a timer and again by the closing user path
-	// without corrupting the list.
-	pcbIdx int
+	// without corrupting the list.  Atomic, not mu-guarded: the
+	// swap-remove writes the *moved* pcb's index while holding only the
+	// stack lock, and the receive fast path reads it under mu alone to
+	// revalidate attachment.
+	pcbIdx atomic.Int32
 
 	// User synchronization.
 	connEvent   uint32
@@ -157,7 +169,7 @@ type tcpcb struct {
 	refcnt  int       // socket references; pcb freed at 0 and closed
 }
 
-// tcpNew creates an attached pcb.
+// tcpNew creates an attached pcb.  Called with the stack lock held.
 func (s *Stack) tcpNew() *tcpcb {
 	tp := &tcpcb{
 		s:        s,
@@ -167,8 +179,8 @@ func (s *Stack) tcpNew() *tcpcb {
 		ssthresh: 65535,
 		srtt:     0,
 		rttvar:   3 * 4, // BSD initial: srtt unset, rttvar 3 ticks
-		pcbIdx:   len(s.tcpPCBs),
 	}
+	tp.pcbIdx.Store(int32(len(s.tcpPCBs)))
 	tp.sndBuf.init(s)
 	tp.rcvBuf.init(s)
 	tp.connEvent = s.newEvent()
@@ -182,17 +194,24 @@ func (s *Stack) tcpNew() *tcpcb {
 // list, drop its demux and port-occupancy entries, unlink it from any
 // listener queue, and free the socket buffers.  Idempotent: a second
 // call (timer vs. user close racing) is a no-op.
+//
+// Called with the stack lock AND tp.mu held.  The moved pcb's index is
+// the one pcb field written without its own lock — hence its atomic
+// type.  The demux delete additionally takes the demux write lock so
+// the receive fast path (which holds neither of the others) never sees
+// a stale entry.
 func (s *Stack) tcpDetach(tp *tcpcb) {
-	if tp.pcbIdx < 0 {
+	idx := int(tp.pcbIdx.Load())
+	if idx < 0 {
 		return
 	}
 	last := len(s.tcpPCBs) - 1
 	moved := s.tcpPCBs[last]
-	s.tcpPCBs[tp.pcbIdx] = moved
-	moved.pcbIdx = tp.pcbIdx
+	s.tcpPCBs[idx] = moved
+	moved.pcbIdx.Store(int32(idx))
 	s.tcpPCBs[last] = nil
 	s.tcpPCBs = s.tcpPCBs[:last]
-	tp.pcbIdx = -1
+	tp.pcbIdx.Store(-1)
 	s.sc.tcpPCBCount.Set(int64(len(s.tcpPCBs)))
 
 	if tp.listening {
@@ -202,7 +221,9 @@ func (s *Stack) tcpDetach(tp *tcpcb) {
 	} else if tp.fport != 0 {
 		k := tcpKey{tp.laddr, tp.lport, tp.faddr, tp.fport}
 		if s.tcpHash[k] == tp {
+			s.demuxMu.Lock()
 			delete(s.tcpHash, k)
+			s.demuxMu.Unlock()
 		}
 	}
 	if tp.lport != 0 {
@@ -238,7 +259,8 @@ func removePCB(q *[]*tcpcb, tp *tcpcb) {
 // tcpBind assigns the local port.  The per-port occupancy map makes
 // both the ephemeral probe and the conflict check O(1); a port is
 // refused only while some pcb actually holds it (TIME_WAIT pcbs count
-// until detached or recycled).
+// until detached or recycled).  Called with the stack lock and tp.mu
+// held (port maps; identity write).
 func (s *Stack) tcpBind(tp *tcpcb, port uint16, reuse bool) error {
 	if tp.lport != 0 {
 		return com.ErrInval
@@ -260,14 +282,16 @@ func (s *Stack) tcpBind(tp *tcpcb, port uint16, reuse bool) error {
 	return nil
 }
 
-// newISS picks an initial send sequence.
+// newISS picks an initial send sequence.  Called with the stack lock
+// held.
 func (s *Stack) newISS() uint32 {
 	s.issSeed += 64000
 	return s.issSeed
 }
 
-// tcpUsrConnect starts the three-way handshake (caller blocks in the
-// socket layer on connEvent).
+// usrConnect starts the three-way handshake (caller blocks in the
+// socket layer on connEvent).  Called with the stack lock and tp.mu
+// held.
 func (tp *tcpcb) usrConnect(dst IPAddr, dport uint16) error {
 	if tp.lport == 0 {
 		if err := tp.s.tcpBind(tp, 0, false); err != nil {
@@ -289,7 +313,8 @@ func (tp *tcpcb) usrConnect(dst IPAddr, dport uint16) error {
 	return nil
 }
 
-// usrListen makes the pcb passive.
+// usrListen makes the pcb passive.  Called with the stack lock and
+// tp.mu held.
 func (tp *tcpcb) usrListen(backlog int) error {
 	if tp.lport == 0 {
 		return com.ErrInval
@@ -307,8 +332,11 @@ func (tp *tcpcb) usrListen(backlog int) error {
 	return nil
 }
 
-// usrClose begins an orderly close from the user side.
+// usrClose begins an orderly close from the user side.  Called with the
+// stack lock held; takes tp.mu itself, and for a listener drops it again
+// around the queue abort so at most one pcb lock is ever held.
 func (tp *tcpcb) usrClose() {
+	tp.mu.Lock()
 	switch tp.state {
 	case tcpsClosed, tcpsListen, tcpsSynSent:
 		if tp.listening {
@@ -318,7 +346,9 @@ func (tp *tcpcb) usrClose() {
 			// live pcbs — peers that completed the handshake hang with a
 			// connection nobody will ever read, and their sockbuf mbuf
 			// chains leak for the stack's lifetime.
+			tp.mu.Unlock()
 			tp.s.tcpAbortListenQueues(tp)
+			tp.mu.Lock()
 		}
 		tp.s.tcpDetach(tp)
 	case tcpsSynRcvd, tcpsEstablished:
@@ -328,6 +358,7 @@ func (tp *tcpcb) usrClose() {
 		tp.state = tcpsLastAck
 		tp.s.tcpOutput(tp)
 	}
+	tp.mu.Unlock()
 	// Wake anyone blocked; they will see the state change.
 	tp.wakeAll()
 }
@@ -335,13 +366,17 @@ func (tp *tcpcb) usrClose() {
 // tcpAbortListenQueues resets every connection still queued at a
 // closing listener.  usrAbort sends RST for handshake-complete states,
 // then drop detaches the pcb and frees its buffers; the peer sees a
-// reset instead of a silent black hole.
+// reset instead of a silent black hole.  Called with the stack lock
+// held and NO pcb lock: the children are aborted sequentially, each
+// under its own lock (pcb locks never nest, locks.go).
 func (s *Stack) tcpAbortListenQueues(lp *tcpcb) {
 	pend := append(append([]*tcpcb(nil), lp.synQ...), lp.acceptQ...)
 	lp.synQ, lp.acceptQ = nil, nil
 	for _, c := range pend {
+		c.mu.Lock()
 		c.parent = nil // already unlinked; don't wake the dying listener
 		c.usrAbort()
+		c.mu.Unlock()
 	}
 }
 
@@ -350,6 +385,12 @@ func (s *Stack) tcpAbortListenQueues(lp *tcpcb) {
 // kept — the application may still drain data that arrived before the
 // FIN.  If the stack's TIME_WAIT cap is exceeded, the oldest lingering
 // pcb is recycled immediately, releasing its port.
+//
+// Called with the stack lock and tp.mu held.  Recycling locks the
+// victim pcb while tp.mu is held — the hierarchy's one same-rank
+// nesting, deadlock-free because the victim is only reachable under the
+// stack lock (which we hold) and no pcb-lock holder ever waits for a
+// second one elsewhere.
 func (s *Stack) tcpEnterTimeWait(tp *tcpcb) {
 	tp.state = tcpsTimeWait
 	tp.timers[tRexmt] = 0
@@ -357,10 +398,11 @@ func (s *Stack) tcpEnterTimeWait(tp *tcpcb) {
 	tp.timers[t2MSL] = 2 * tcpMSLTicks
 	tp.reass = nil
 	// Lazily prune entries whose pcb already left TIME_WAIT (2MSL timer
-	// expiry or SYN reincarnation) so the queue stays bounded.
+	// expiry or SYN reincarnation) so the queue stays bounded.  state is
+	// readable under the stack lock alone; pcbIdx is atomic.
 	for len(s.twQueue) > 0 {
 		h := s.twQueue[0]
-		if h.state == tcpsTimeWait && h.pcbIdx >= 0 {
+		if h.state == tcpsTimeWait && h.pcbIdx.Load() >= 0 {
 			break
 		}
 		s.twQueue = s.twQueue[1:]
@@ -370,16 +412,22 @@ func (s *Stack) tcpEnterTimeWait(tp *tcpcb) {
 	for s.twLive > s.maxTimeWait && len(s.twQueue) > 0 {
 		old := s.twQueue[0]
 		s.twQueue = s.twQueue[1:]
-		if old.state != tcpsTimeWait || old.pcbIdx < 0 {
+		if old == tp {
+			continue // defensive: never self-lock (FIFO order makes this unreachable)
+		}
+		if old.state != tcpsTimeWait || old.pcbIdx.Load() < 0 {
 			continue // left TIME_WAIT already (reincarnated or expired)
 		}
+		old.mu.Lock() //oskit:allow lockhook -- same-rank pcb nesting; victim only reachable under the stack lock, which is held
 		s.countTWRecycle()
 		s.tcpDetach(old)
+		old.mu.Unlock()
 		old.wakeAll()
 	}
 }
 
-// usrAbort sends RST and drops the connection.
+// usrAbort sends RST and drops the connection.  Called with the stack
+// lock and tp.mu held.
 func (tp *tcpcb) usrAbort() {
 	if tp.state == tcpsEstablished || tp.state == tcpsSynRcvd ||
 		tp.state == tcpsFinWait1 || tp.state == tcpsFinWait2 || tp.state == tcpsCloseWait {
@@ -389,12 +437,16 @@ func (tp *tcpcb) usrAbort() {
 }
 
 // drop kills the connection with a sticky error and wakes everyone.
+// Called with the stack lock and tp.mu held.
 func (tp *tcpcb) drop(err com.Error) {
 	tp.err = err
 	tp.s.tcpDetach(tp)
 	tp.wakeAll()
 }
 
+// wakeAll wakes every waiter parked on the pcb.  Called with the stack
+// lock held (it reads the listener linkage); holding tp.mu too is fine —
+// the wakeup path only takes the leaf sleep-queue lock.
 func (tp *tcpcb) wakeAll() {
 	g := tp.s.g
 	g.Wakeup(tp.rcvBuf.event)

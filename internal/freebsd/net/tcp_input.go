@@ -8,9 +8,17 @@ import (
 
 // tcp_input: segment arrival processing.  Runs under splnet, usually at
 // interrupt level straight from the driver's Push.
+//
+// SMP structure (locks.go): parsing, checksum, and the data copy touch
+// only the private segment, lock-free.  A plain data/ACK segment for an
+// established connection then runs the fast path — demux under the
+// read lock, processing under the pcb lock alone — so several CPUs
+// drain distinct connections' RX rings concurrently.  Everything with
+// connection-list or listener side effects (SYN/FIN/RST, TIME_WAIT
+// reincarnation, orphans) takes the slow path under the stack lock.
 
 // tcpInput parses, validates, and processes one inbound segment.
-func (s *Stack) tcpInput(m *Mbuf, src, dst IPAddr) {
+func (s *Stack) tcpInput(m *Mbuf, src, dst IPAddr, ctx *rxCtx) {
 	tlen := m.PktLen
 	m = m.Pullup(minInt(tlen, tcpHdrLen))
 	if m == nil {
@@ -71,10 +79,38 @@ func (s *Stack) tcpInput(m *Mbuf, src, dst IPAddr) {
 		m.CopyData(off, dataLen, seg.data)
 	}
 	m.FreeChain()
-	s.Stats.TCPIn++
+	bump(&s.Stats.TCPIn)
 	s.sc.tcpSegsIn.Inc()
 	s.sc.tcpRxBytes.Observe(uint64(dataLen))
 
+	// Fast path: no SYN/FIN/RST means established-connection processing
+	// cannot leave the pcb (no state machine exit, no detach, no listener
+	// work), so it runs under the pcb lock alone.  The demux read and the
+	// pcb lock are deliberately not coupled: look up, drop the read lock,
+	// lock the pcb, then revalidate identity/state/attachment — the entry
+	// may have changed between the two (see locks.go).
+	if seg.flags&(thSYN|thFIN|thRST) == 0 {
+		s.demuxMu.RLock()
+		tp := s.tcpHash[tcpKey{dst, dport, src, sport}]
+		s.demuxMu.RUnlock()
+		if tp != nil {
+			tp.mu.Lock()
+			if tp.pcbIdx.Load() >= 0 && !tp.listening &&
+				tp.state == tcpsEstablished &&
+				tp.laddr == dst && tp.lport == dport &&
+				tp.faddr == src && tp.fport == sport {
+				s.tcpInputConn(tp, seg, dataLen, ctx)
+				tp.mu.Unlock()
+				return
+			}
+			tp.mu.Unlock()
+			// Revalidation failed (mid-handshake, closing, recycled):
+			// fall through to the slow path.
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	tp := s.tcpLookup(dst, dport, src, sport)
 	// TIME_WAIT reincarnation (the 4.4BSD rule): a fresh SYN with a
 	// sequence beyond the old connection's window kills the lingering
@@ -82,7 +118,9 @@ func (s *Stack) tcpInput(m *Mbuf, src, dst IPAddr) {
 	// again immediately.
 	if tp != nil && !tp.listening && tp.state == tcpsTimeWait &&
 		seg.flags&thSYN != 0 && seqGT(seg.seq, tp.rcvNxt) {
+		tp.mu.Lock()
 		s.tcpDetach(tp)
+		tp.mu.Unlock()
 		tp = s.tcpLookup(dst, dport, src, sport)
 	}
 	if tp == nil {
@@ -96,7 +134,9 @@ func (s *Stack) tcpInput(m *Mbuf, src, dst IPAddr) {
 		s.tcpInputListen(tp, seg, src, sport, dst, dport)
 		return
 	}
-	s.tcpInputConn(tp, seg, dataLen)
+	tp.mu.Lock()
+	s.tcpInputConn(tp, seg, dataLen, ctx)
+	tp.mu.Unlock()
 }
 
 func (s *Stack) respondToOrphan(src IPAddr, sport uint16, dst IPAddr, dport uint16, seg tcpSeg, dataLen int) {
@@ -115,6 +155,8 @@ func (s *Stack) respondToOrphan(src IPAddr, sport uint16, dst IPAddr, dport uint
 }
 
 // tcpInputListen handles segments addressed to a listening socket.
+// Called with the stack lock held (the listener's queues are stack-lock
+// state; no listener pcb lock is taken).
 func (s *Stack) tcpInputListen(lp *tcpcb, seg tcpSeg, src IPAddr, sport uint16, dst IPAddr, dport uint16) {
 	if seg.flags&thRST != 0 {
 		return
@@ -134,13 +176,19 @@ func (s *Stack) tcpInputListen(lp *tcpcb, seg tcpSeg, src IPAddr, sport uint16, 
 		s.countAcceptOverflow()
 		return
 	}
-	// Passive open: manufacture the connection pcb.
+	// Passive open: manufacture the connection pcb.  The child's lock is
+	// held across initialization AND publication (tcpRegisterConn makes
+	// it demux-visible), so the fast path can never observe half-built
+	// identity: its revalidation under the child's lock happens-after
+	// everything written here.
 	tp := s.tcpNew()
+	tp.mu.Lock()
 	tp.laddr, tp.lport = dst, dport
 	tp.faddr, tp.fport = src, sport
 	if err := s.tcpRegisterConn(tp); err != nil {
 		// 4-tuple already taken (stale twin not yet reaped): drop.
 		s.tcpDetach(tp)
+		tp.mu.Unlock()
 		return
 	}
 	s.tcpPorts[dport]++
@@ -160,11 +208,15 @@ func (s *Stack) tcpInputListen(lp *tcpcb, seg tcpSeg, src IPAddr, sport uint16, 
 	tp.state = tcpsSynRcvd
 	tp.timers[tKeep] = 150 // 75 s handshake timeout, BSD style
 	s.tcpOutput(tp)        // sends SYN|ACK
+	tp.mu.Unlock()
 }
 
 // tcpInputConn is the established-path processing (simplified RFC 793 +
-// the BSD congestion machinery).
-func (s *Stack) tcpInputConn(tp *tcpcb, seg tcpSeg, dataLen int) {
+// the BSD congestion machinery).  Called with tp.mu held; the slow path
+// additionally holds the stack lock, which every branch that can leave
+// the established state (SYN/FIN/RST handling, TIME_WAIT entry, detach)
+// requires — the fast path excludes those by flag and state check.
+func (s *Stack) tcpInputConn(tp *tcpcb, seg tcpSeg, dataLen int, ctx *rxCtx) {
 	// RST processing.
 	if seg.flags&thRST != 0 {
 		if seqGEQ(seg.seq, tp.rcvNxt-1) && seqLT(seg.seq, tp.rcvNxt+tp.rcvWindow()+1) {
@@ -272,7 +324,7 @@ func (s *Stack) tcpInputConn(tp *tcpcb, seg tcpSeg, dataLen int) {
 
 	// Data processing.
 	if dataLen > 0 {
-		s.tcpReceiveData(tp, seg)
+		s.tcpReceiveData(tp, seg, ctx)
 	}
 
 	// FIN processing.
@@ -293,7 +345,11 @@ func (s *Stack) tcpInputConn(tp *tcpcb, seg tcpSeg, dataLen int) {
 }
 
 // tcpProcessACK handles the acknowledgment field: RTT measurement,
-// dupacks/fast retransmit, send-buffer release, state advance.
+// dupacks/fast retransmit, send-buffer release, state advance.  Called
+// with tp.mu held; the SynRcvd-completion and FIN-acked branches also
+// need the stack lock, which their callers (the slow input path, the
+// timer sweep) hold — the fast path never reaches them (Established +
+// no FIN outstanding).
 func (s *Stack) tcpProcessACK(tp *tcpcb, seg tcpSeg) {
 	if tp.state == tcpsSynRcvd {
 		if seqLT(seg.ack, tp.iss+1) || seqGT(seg.ack, tp.sndMax) {
@@ -445,8 +501,10 @@ func (s *Stack) tcpProcessACK(tp *tcpcb, seg tcpSeg) {
 }
 
 // tcpReceiveData appends in-order data (and any newly contiguous
-// reassembly segments) to the receive buffer.
-func (s *Stack) tcpReceiveData(tp *tcpcb, seg tcpSeg) {
+// reassembly segments) to the receive buffer.  Called with tp.mu held;
+// the deferral flags and ctx.pend are written under it (the flushing
+// goroutine re-takes tp.mu per connection).
+func (s *Stack) tcpReceiveData(tp *tcpcb, seg tcpSeg, ctx *rxCtx) {
 	if seg.seq == tp.rcvNxt &&
 		(tp.state == tcpsEstablished || tp.state == tcpsFinWait1 || tp.state == tcpsFinWait2) {
 		tp.rcvBuf.appendData(seg.data)
@@ -460,7 +518,7 @@ func (s *Stack) tcpReceiveData(tp *tcpcb, seg tcpSeg) {
 			}
 			tp.reass = tp.reass[1:]
 		}
-		if s.rxBatching {
+		if ctx != nil && ctx.batching {
 			// Batched delivery: defer the wakeup and the ACK to the
 			// end-of-batch flush, one of each per connection — the
 			// delayed-ACK coalescing the batch exists for.  Only the
@@ -468,7 +526,7 @@ func (s *Stack) tcpReceiveData(tp *tcpcb, seg tcpSeg) {
 			// immediate for fast retransmit.
 			if !tp.rxPendWake {
 				tp.rxPendWake = true
-				s.rxPend = append(s.rxPend, tp)
+				ctx.pend = append(ctx.pend, tp)
 			} else {
 				s.sc.rxAcksCoalesced.Inc()
 			}
@@ -499,6 +557,8 @@ func (s *Stack) tcpReceiveData(tp *tcpcb, seg tcpSeg) {
 }
 
 // tcpRespondACK sends a bare ACK reflecting the current receive state.
+// Called with tp.mu held (it reads the receive sequence space and
+// writes rcvAdv/rxAckOwed).
 func (s *Stack) tcpRespondACK(tp *tcpcb) {
 	// Any ACK reflects the latest rcvNxt, so a deferred batch ACK it
 	// would duplicate is no longer owed (FIN processing mid-batch, a

@@ -10,7 +10,9 @@ import "encoding/binary"
 // outbound data segment is practically always a chain — whose BufIO Map
 // fails — which is exactly where Table 1's send-path copy comes from.
 
-// tcpOutput runs the sender once.  Called at splnet.
+// tcpOutput runs the sender once.  Called at splnet with tp.mu held
+// (the send machinery is pure per-connection state; the transmit
+// hand-off below it takes the TX lock).
 func (s *Stack) tcpOutput(tp *tcpcb) {
 	for {
 		if !s.tcpOutputOnce(tp) {

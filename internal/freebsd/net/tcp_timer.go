@@ -5,11 +5,14 @@ import "oskit/internal/com"
 // TCP timers, BSD structure: per-pcb countdown slots decremented by the
 // stack's slow timer (500 ms) at interrupt level.
 
-// tcpSlowTimo ages every connection.
+// tcpSlowTimo ages every connection.  Called with the stack lock held;
+// each pcb is swept under its own lock so timer actions (retransmit,
+// drop, 2MSL detach) hold both, as they require.
 func (s *Stack) tcpSlowTimo() {
 	// Copy the list: timer actions may detach pcbs.
 	pcbs := append([]*tcpcb(nil), s.tcpPCBs...)
 	for _, tp := range pcbs {
+		tp.mu.Lock()
 		if tp.rtt > 0 {
 			tp.rtt++ // active RTT measurement, in slow ticks
 		}
@@ -21,9 +24,12 @@ func (s *Stack) tcpSlowTimo() {
 				}
 			}
 		}
+		tp.mu.Unlock()
 	}
 }
 
+// tcpTimerFire runs one expired timer.  Called with the stack lock and
+// tp.mu held.
 func (s *Stack) tcpTimerFire(tp *tcpcb, which int) {
 	switch which {
 	case tRexmt:
@@ -102,7 +108,7 @@ func (s *Stack) tcpProbe(tp *tcpcb) {
 func putU16(b []byte, v uint16) { b[0], b[1] = byte(v>>8), byte(v) }
 
 // armPersistIfNeeded starts the persist timer when the window closed
-// with data pending (called from the socket write path).
+// with data pending (called from the socket write path, tp.mu held).
 func (tp *tcpcb) armPersistIfNeeded() {
 	if tp.sndWnd == 0 && tp.sndBuf.cc > 0 && tp.timers[tPersist] == 0 && tp.timers[tRexmt] == 0 {
 		tp.timers[tPersist] = tp.rexmtTimeout()

@@ -7,6 +7,11 @@ import (
 )
 
 // UDP: protocol control blocks, input demux, output.
+//
+// Locking: UDP is simple enough that all of it lives under the stack
+// lock.  The socket layer enters every process-level function with
+// Stack.mu held; udpInput (interrupt level, called lock-free from IP)
+// takes it itself.
 
 const udpHdrLen = 8
 
@@ -28,12 +33,14 @@ type udpPCB struct {
 	closed   bool
 }
 
+// udpNew allocates a pcb.  Called with the stack lock held.
 func (s *Stack) udpNew() *udpPCB {
 	pcb := &udpPCB{s: s, rcvLimit: defaultSockbufBytes, rcvEvent: s.newEvent()}
 	s.udpPCBs = append(s.udpPCBs, pcb)
 	return pcb
 }
 
+// udpDetach unlinks a pcb.  Called with the stack lock held.
 func (s *Stack) udpDetach(pcb *udpPCB) {
 	s.udpUnregister(pcb)
 	for i, p := range s.udpPCBs {
@@ -47,7 +54,7 @@ func (s *Stack) udpDetach(pcb *udpPCB) {
 // udpBind assigns the local port (0 picks an ephemeral one) and enters
 // the pcb in the demux maps.  The occupancy map makes both the
 // ephemeral probe and the conflict check O(1); demux itself lives in
-// inpcb.go.
+// inpcb.go.  Called with the stack lock held.
 func (s *Stack) udpBind(pcb *udpPCB, port uint16) error {
 	if port == 0 {
 		p, err := s.ephemeral(func(p uint16) bool { return s.udpPorts[p] == 0 })
@@ -66,6 +73,8 @@ func (s *Stack) udpBind(pcb *udpPCB, port uint16) error {
 }
 
 // udpInput handles one datagram (interrupt level, splnet implied).
+// Entered lock-free from ipInput; takes the stack lock around demux and
+// queue delivery itself.
 func (s *Stack) udpInput(m *Mbuf, src, dst IPAddr) {
 	m = m.Pullup(udpHdrLen)
 	if m == nil {
@@ -88,15 +97,17 @@ func (s *Stack) udpInput(m *Mbuf, src, dst IPAddr) {
 			return
 		}
 	}
-	pcb := s.udpLookup(dst, dport, src, sport)
-	if pcb == nil || pcb.closed {
-		m.FreeChain()
-		return
-	}
-	s.Stats.UDPIn++
 	payload := make([]byte, ulen-udpHdrLen)
 	m.CopyData(udpHdrLen, len(payload), payload)
 	m.FreeChain()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pcb := s.udpLookup(dst, dport, src, sport)
+	if pcb == nil || pcb.closed {
+		return
+	}
+	bump(&s.Stats.UDPIn)
 	if pcb.rcvBytes+len(payload) > pcb.rcvLimit {
 		return // buffer full: drop, as UDP does
 	}
@@ -105,7 +116,8 @@ func (s *Stack) udpInput(m *Mbuf, src, dst IPAddr) {
 	s.g.Wakeup(pcb.rcvEvent)
 }
 
-// udpOutput sends one datagram.  Called at splnet.
+// udpOutput sends one datagram.  Called at splnet with the stack lock
+// held (for the ephemeral bind and the pcb fields).
 func (s *Stack) udpOutput(pcb *udpPCB, data []byte, dst IPAddr, dport uint16) error {
 	if pcb.lport == 0 {
 		if err := s.udpBind(pcb, 0); err != nil {
@@ -134,18 +146,23 @@ func (s *Stack) udpOutput(pcb *udpPCB, data []byte, dst IPAddr, dport uint16) er
 		csum = 0xffff
 	}
 	binary.BigEndian.PutUint16(h[6:8], csum)
-	s.Stats.UDPOut++
+	bump(&s.Stats.UDPOut)
 	s.ipOutput(m, s.ifIP, dst, ProtoUDP, 0)
 	return nil
 }
 
-// udpRecv blocks for one datagram (process level; enters at splnet).
+// udpRecv blocks for one datagram (process level; enters at splnet with
+// the stack lock held).  The wait drops and retakes the stack lock in
+// the two-phase sleep so the receive interrupt can deliver.
 func (s *Stack) udpRecv(pcb *udpPCB, buf []byte) (int, IPAddr, uint16, error) {
 	for len(pcb.rcv) == 0 {
 		if pcb.closed {
 			return 0, IPAddr{}, 0, com.ErrBadF
 		}
-		s.g.Tsleep(pcb.rcvEvent, "udprcv")
+		p := s.g.SleepPrepare(pcb.rcvEvent, "udprcv")
+		s.mu.Unlock()
+		s.g.SleepCommit(p)
+		s.mu.Lock()
 	}
 	d := pcb.rcv[0]
 	pcb.rcv = pcb.rcv[1:]

@@ -226,40 +226,108 @@ func flatten(parts [][]byte, total int) []byte {
 	return flat
 }
 
-// NIC is a simulated Ethernet controller: a transmit path onto the wire
-// and a fixed-size receive ring drained at interrupt level by its driver.
-type NIC struct {
-	Mac  [6]byte
-	wire Segment
-	ic   *IntrController
+// nicRing is one receive queue: a descriptor ring, the interrupt line it
+// raises, and its share of the receive ledger.  Every NIC has ring 0 on
+// its legacy line; ConfigureRxQueues adds more for RSS spreading.  Each
+// ring has its own lock so drain paths on different CPUs never contend.
+type nicRing struct {
 	line int
 
-	mu      sync.Mutex
-	ring    [][]byte
-	promisc bool
-	rxHook  func() bool // true: drop the inbound frame (forced overrun)
-
-	// rxMitigate, when set, suppresses the receive interrupt unless the
-	// ring just went empty→non-empty: the polled (NAPI-style) drain mode.
-	rxMitigate bool
+	mu   sync.Mutex
+	ring [][]byte
 
 	rxDrops   uint64
 	rxOK      uint64
-	txOK      uint64
-	txGather  uint64
 	rxRaised  uint64 // receive interrupts raised
 	rxSuppr   uint64 // receive interrupts suppressed by mitigation
 	rxRearms  uint64 // poller/timer re-arms that re-raised the line
 	rxBatched uint64 // frames drained through RxPopBatch
 }
 
-// NewNIC creates a NIC raising the given IRQ line on receive.
-func NewNIC(ic *IntrController, line int, mac [6]byte) *NIC {
-	return &NIC{Mac: mac, ic: ic, line: line}
+// NIC is a simulated Ethernet controller: a transmit path onto the wire
+// and one or more fixed-size receive rings drained at interrupt level by
+// its driver.  A single-queue NIC (the default) behaves exactly as the
+// PCI-era controllers the donor drivers were written for; a multi-queue
+// NIC spreads inbound flows across rings by RSS hash, each ring raising
+// its own interrupt line with its own CPU affinity.
+type NIC struct {
+	Mac  [6]byte
+	wire Segment
+	ic   *IntrController
+	line int // ring 0's line (the legacy single-queue IRQ)
+
+	mu      sync.Mutex
+	rings   []*nicRing
+	promisc bool
+	rxHook  func() bool // true: drop the inbound frame (forced overrun)
+
+	// rxMitigate, when set, suppresses the receive interrupt unless the
+	// ring just went empty→non-empty: the polled (NAPI-style) drain mode.
+	// The policy covers every ring.
+	rxMitigate bool
+
+	txOK     uint64
+	txGather uint64
 }
 
-// IRQ returns the NIC's interrupt line.
+// NewNIC creates a NIC raising the given IRQ line on receive.
+func NewNIC(ic *IntrController, line int, mac [6]byte) *NIC {
+	return &NIC{Mac: mac, ic: ic, line: line, rings: []*nicRing{{line: line}}}
+}
+
+// IRQ returns the NIC's interrupt line (ring 0's line).
 func (n *NIC) IRQ() int { return n.line }
+
+// ConfigureRxQueues grows the NIC to q receive rings (RSS).  Ring 0 keeps
+// the legacy line; each extra ring gets a message-signaled vector from the
+// controller, affinitized round-robin across the machine's CPUs so rings
+// drain concurrently.  Call at boot, before the device receives traffic;
+// q below 2, or a NIC already configured, is a no-op.  Returns the
+// interrupt line of every ring, in ring order.
+func (n *NIC) ConfigureRxQueues(q int) []int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for len(n.rings) < q {
+		line := n.ic.AllocLine()
+		if line < 0 {
+			break // vector space exhausted: run with what we have
+		}
+		n.ic.SetAffinity(line, len(n.rings)%n.ic.NumCPUs())
+		n.rings = append(n.rings, &nicRing{line: line})
+	}
+	lines := make([]int, len(n.rings))
+	for i, r := range n.rings {
+		lines[i] = r.line
+	}
+	return lines
+}
+
+// RxQueues reports the number of receive rings.
+func (n *NIC) RxQueues() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.rings)
+}
+
+// RxIRQ returns ring q's interrupt line (-1 if no such ring).
+func (n *NIC) RxIRQ(q int) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if q < 0 || q >= len(n.rings) {
+		return -1
+	}
+	return n.rings[q].line
+}
+
+// ringOf returns ring q, or nil when out of range.
+func (n *NIC) ringOf(q int) *nicRing {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if q < 0 || q >= len(n.rings) {
+		return nil
+	}
+	return n.rings[q]
+}
 
 // SetPromiscuous controls whether the address filter accepts all frames.
 func (n *NIC) SetPromiscuous(on bool) {
@@ -313,25 +381,41 @@ func (n *NIC) TransmitGather(parts [][]byte) {
 	w.transmitGather(n, parts)
 }
 
-// RxPop removes and returns the oldest frame in the receive ring, or nil
-// when the ring is empty.  Drivers call it repeatedly from their interrupt
-// handler until it returns nil (the controller coalesces interrupts).
-func (n *NIC) RxPop() []byte {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if len(n.ring) == 0 {
+// RxPop removes and returns the oldest frame in ring 0, or nil when the
+// ring is empty.  Drivers call it repeatedly from their interrupt handler
+// until it returns nil (the controller coalesces interrupts).
+func (n *NIC) RxPop() []byte { return n.RxPopOn(0) }
+
+// RxPopOn is RxPop against one receive ring.
+func (n *NIC) RxPopOn(q int) []byte {
+	r := n.ringOf(q)
+	if r == nil {
 		return nil
 	}
-	f := n.ring[0]
-	n.ring = n.ring[1:]
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.ring) == 0 {
+		return nil
+	}
+	f := r.ring[0]
+	r.ring = r.ring[1:]
 	return f
 }
 
-// Stats reports receive/transmit counters and ring-overflow drops.
+// Stats reports receive/transmit counters and ring-overflow drops,
+// aggregated over every receive ring.
 func (n *NIC) Stats() (rx, tx, drops uint64) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.rxOK, n.txOK, n.rxDrops
+	rings := n.rings
+	tx = n.txOK
+	n.mu.Unlock()
+	for _, r := range rings {
+		r.mu.Lock()
+		rx += r.rxOK
+		drops += r.rxDrops
+		r.mu.Unlock()
+	}
+	return rx, tx, drops
 }
 
 // TxGathers reports how many transmitted frames were fetched from a
@@ -364,34 +448,40 @@ func (n *NIC) receive(frame []byte) {
 func (n *NIC) deliver(f []byte) {
 	n.mu.Lock()
 	hook := n.rxHook
+	rings := n.rings
+	mitigate := n.rxMitigate
 	n.mu.Unlock()
 	// The hook runs outside n.mu (it may call back into NIC.Stats) and is
 	// consulted for every offered frame, even when the ring is already
 	// full — one frame, one decision, so a seeded fault plan's decision
 	// stream stays aligned with the frame sequence regardless of ring
-	// occupancy.
+	// occupancy or ring choice.
 	injected := hook != nil && hook()
-	n.mu.Lock()
-	if injected || len(n.ring) >= EtherRingLen {
-		n.rxDrops++ // ring overrun, real or injected
-		n.mu.Unlock()
+	r := rings[0]
+	if len(rings) > 1 {
+		r = rings[RSSRing(f, len(rings))]
+	}
+	r.mu.Lock()
+	if injected || len(r.ring) >= EtherRingLen {
+		r.rxDrops++ // ring overrun, real or injected
+		r.mu.Unlock()
 		return
 	}
-	wasEmpty := len(n.ring) == 0
-	n.ring = append(n.ring, f)
-	n.rxOK++
+	wasEmpty := len(r.ring) == 0
+	r.ring = append(r.ring, f)
+	r.rxOK++
 	raise := n.ic != nil
-	if raise && n.rxMitigate && !wasEmpty {
+	if raise && mitigate && !wasEmpty {
 		// The ring was already non-empty: the poller owes us a drain
 		// pass anyway, so the edge is redundant.
 		raise = false
-		n.rxSuppr++
+		r.rxSuppr++
 	} else if raise {
-		n.rxRaised++
+		r.rxRaised++
 	}
-	n.mu.Unlock()
+	r.mu.Unlock()
 	if raise {
-		n.ic.Raise(n.line)
+		n.ic.Raise(r.line)
 	}
 }
 
@@ -404,69 +494,107 @@ func (n *NIC) deliver(f []byte) {
 func (n *NIC) SetRxIntrMitigation(on bool) {
 	n.mu.Lock()
 	n.rxMitigate = on
-	pending := !on && len(n.ring) > 0 && n.ic != nil
-	if pending {
-		n.rxRaised++
-	}
+	rings := n.rings
 	n.mu.Unlock()
-	if pending {
-		n.ic.Raise(n.line)
+	if on || n.ic == nil {
+		return
+	}
+	for _, r := range rings {
+		r.mu.Lock()
+		pending := len(r.ring) > 0
+		if pending {
+			r.rxRaised++
+		}
+		r.mu.Unlock()
+		if pending {
+			n.ic.Raise(r.line)
+		}
 	}
 }
 
-// RxPopBatch removes up to max frames (bounded by len(dst)) from the
-// receive ring into dst and returns the count — the polled drain a
-// budgeted receive loop uses instead of per-frame RxPop.
-func (n *NIC) RxPopBatch(dst [][]byte, max int) int {
+// RxPopBatch removes up to max frames (bounded by len(dst)) from ring 0
+// into dst and returns the count — the polled drain a budgeted receive
+// loop uses instead of per-frame RxPop.
+func (n *NIC) RxPopBatch(dst [][]byte, max int) int { return n.RxPopBatchOn(0, dst, max) }
+
+// RxPopBatchOn is RxPopBatch against one receive ring.
+func (n *NIC) RxPopBatchOn(q int, dst [][]byte, max int) int {
+	r := n.ringOf(q)
+	if r == nil {
+		return 0
+	}
 	if max > len(dst) {
 		max = len(dst)
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	c := len(n.ring)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := len(r.ring)
 	if c > max {
 		c = max
 	}
 	if c <= 0 {
 		return 0
 	}
-	copy(dst, n.ring[:c])
-	n.ring = n.ring[c:]
-	n.rxBatched += uint64(c)
+	copy(dst, r.ring[:c])
+	r.ring = r.ring[c:]
+	r.rxBatched += uint64(c)
 	return c
 }
 
-// RxRearm re-raises the receive interrupt if frames are still pending —
-// the poller's "budget exhausted, reschedule me" edge, and the timer
-// backstop's recovery path for a stalled poller.  Returns whether the
-// line was raised.
-func (n *NIC) RxRearm() bool {
-	n.mu.Lock()
-	fire := len(n.ring) > 0 && n.ic != nil
-	if fire {
-		n.rxRearms++
-		n.rxRaised++
+// RxRearm re-raises ring 0's receive interrupt if frames are still
+// pending — the poller's "budget exhausted, reschedule me" edge, and the
+// timer backstop's recovery path for a stalled poller.  Returns whether
+// the line was raised.
+func (n *NIC) RxRearm() bool { return n.RxRearmOn(0) }
+
+// RxRearmOn is RxRearm against one receive ring.
+func (n *NIC) RxRearmOn(q int) bool {
+	r := n.ringOf(q)
+	if r == nil || n.ic == nil {
+		return false
 	}
-	n.mu.Unlock()
+	r.mu.Lock()
+	fire := len(r.ring) > 0
 	if fire {
-		n.ic.Raise(n.line)
+		r.rxRearms++
+		r.rxRaised++
+	}
+	r.mu.Unlock()
+	if fire {
+		n.ic.Raise(r.line)
 	}
 	return fire
 }
 
-// RxIntrCounters reports the receive-interrupt ledger: interrupts
-// raised, interrupts suppressed by mitigation, and re-arms.
+// RxIntrCounters reports the receive-interrupt ledger — interrupts
+// raised, interrupts suppressed by mitigation, and re-arms — aggregated
+// over every receive ring.
 func (n *NIC) RxIntrCounters() (raised, suppressed, rearms uint64) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.rxRaised, n.rxSuppr, n.rxRearms
+	rings := n.rings
+	n.mu.Unlock()
+	for _, r := range rings {
+		r.mu.Lock()
+		raised += r.rxRaised
+		suppressed += r.rxSuppr
+		rearms += r.rxRearms
+		r.mu.Unlock()
+	}
+	return raised, suppressed, rearms
 }
 
-// RxBatched reports how many frames left the ring through RxPopBatch.
+// RxBatched reports how many frames left the rings through RxPopBatch.
 func (n *NIC) RxBatched() uint64 {
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.rxBatched
+	rings := n.rings
+	n.mu.Unlock()
+	var c uint64
+	for _, r := range rings {
+		r.mu.Lock()
+		c += r.rxBatched
+		r.mu.Unlock()
+	}
+	return c
 }
 
 // WireOfForTest exposes the shared wire a NIC is attached to, or nil

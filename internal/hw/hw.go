@@ -25,6 +25,9 @@ type Config struct {
 	Name string
 	// MemBytes is the physical memory size; 0 means 32 MB.
 	MemBytes uint32
+	// CPUs is the number of logical CPUs (interrupt dispatch contexts);
+	// 0 or 1 means the classic uniprocessor machine.
+	CPUs int
 }
 
 // Machine is one simulated PC: memory, an interrupt controller, a device
@@ -42,6 +45,9 @@ type Machine struct {
 	nextNIC  int
 	nextDisk int
 }
+
+// CPUs reports the number of logical CPUs the machine was powered on with.
+func (m *Machine) CPUs() int { return m.Intr.NumCPUs() }
 
 // Standard IRQ line assignments (PC-style).
 const (
@@ -61,10 +67,13 @@ func NewMachine(cfg Config) *Machine {
 	if cfg.MemBytes == 0 {
 		cfg.MemBytes = 32 << 20
 	}
+	if cfg.CPUs < 1 {
+		cfg.CPUs = 1
+	}
 	m := &Machine{
 		Name: cfg.Name,
 		Mem:  NewPhysMem(cfg.MemBytes),
-		Intr: NewIntrController(),
+		Intr: NewIntrControllerCPUs(cfg.CPUs),
 		Bus:  &Bus{},
 	}
 	m.Timer = NewTimer(m.Intr, IRQTimer)

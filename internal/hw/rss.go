@@ -1,0 +1,81 @@
+package hw
+
+import "encoding/binary"
+
+// Receive-side scaling: a deterministic flow hash over the IPv4 4-tuple
+// so every segment of one connection lands in the same receive ring (and
+// therefore drains on the same CPU, in order).  Real controllers use a
+// keyed Toeplitz hash; this simulator wants determinism across runs, so
+// it uses an unkeyed splitmix-style mixer with the same distribution
+// properties the stack cares about.
+//
+// Classification rules (matching what multi-queue silicon does):
+//
+//   - Non-IPv4 frames (ARP, runts, unknown ethertypes) hash to ring 0.
+//   - TCP and UDP hash source/destination address and port plus protocol.
+//   - IP fragments hash addresses only — a non-first fragment carries no
+//     ports, so including them would split one datagram's fragments
+//     across rings and reorder the flow.
+//   - Other IP protocols (ICMP) hash addresses and protocol.
+//
+// Frames too short for the headers they advertise fall back to ring 0
+// rather than reading out of bounds.
+
+const (
+	rssEtherTypeIPv4 = 0x0800
+	rssProtoTCP      = 6
+	rssProtoUDP      = 17
+)
+
+// RSSHash computes the flow hash of one Ethernet frame.  Deterministic:
+// the same frame bytes always produce the same hash, on every run.
+func RSSHash(f []byte) uint32 {
+	if len(f) < EtherHdrLen+20 {
+		return 0
+	}
+	if binary.BigEndian.Uint16(f[12:14]) != rssEtherTypeIPv4 {
+		return 0
+	}
+	ip := f[EtherHdrLen:]
+	if ip[0]>>4 != 4 {
+		return 0
+	}
+	ihl := int(ip[0]&0x0f) * 4
+	if ihl < 20 || len(ip) < ihl {
+		return 0
+	}
+	proto := ip[9]
+	src := binary.BigEndian.Uint32(ip[12:16])
+	dst := binary.BigEndian.Uint32(ip[16:20])
+	// Fragment? (more-fragments set or a non-zero offset): 2-tuple only.
+	fragField := binary.BigEndian.Uint16(ip[6:8])
+	fragment := fragField&0x3fff != 0
+	var ports uint32
+	if !fragment && (proto == rssProtoTCP || proto == rssProtoUDP) {
+		if len(ip) < ihl+4 {
+			return 0
+		}
+		ports = uint32(binary.BigEndian.Uint16(ip[ihl:ihl+2]))<<16 |
+			uint32(binary.BigEndian.Uint16(ip[ihl+2:ihl+4]))
+	}
+	return rssMix(uint64(src)<<32|uint64(dst), uint64(ports)<<8|uint64(proto))
+}
+
+// RSSRing maps a frame to one of nrings receive rings.
+func RSSRing(f []byte, nrings int) int {
+	if nrings <= 1 {
+		return 0
+	}
+	return int(RSSHash(f) % uint32(nrings))
+}
+
+// rssMix is a splitmix64-style finalizer over the packed tuple words.
+func rssMix(a, b uint64) uint32 {
+	x := a ^ (b * 0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return uint32(x) ^ uint32(x>>32)
+}

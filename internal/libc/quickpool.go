@@ -1,6 +1,8 @@
 package libc
 
 import (
+	"sync"
+
 	"oskit/internal/com"
 	"oskit/internal/hw"
 	"oskit/internal/stats"
@@ -19,10 +21,16 @@ import (
 // underlying Malloc, with freed blocks pushed onto a per-class LIFO.
 // Larger requests fall through to Malloc directly.
 //
-// The free lists are protected by the environment's interrupt exclusion
-// (the same discipline every other kit allocator follows), so the pool
-// may be called from interrupt handlers and from concurrent process-level
-// threads alike.  A pool created with NewQuickPoolService is additionally
+// The free lists are protected by a ranked leaf mutex rather than the
+// environment's interrupt exclusion: on a multi-CPU machine interrupt
+// exclusion is per-CPU, so two rings' handlers (or a handler and a
+// process-level thread on another CPU) would race on the lists — and a
+// thread that disables interrupts while holding a protocol lock can
+// deadlock against a dispatcher whose handler wants that same lock.
+// The pool may still be called from interrupt handlers and from
+// concurrent process-level threads alike; the lock is taken below every
+// protocol and glue lock (rank 82) and only the LMM's own internal
+// mutex sits beneath it.  A pool created with NewQuickPoolService is additionally
 // a COM object answering for com.Allocator — the packet paths of the
 // fast-path configuration discover and bind it through the registry
 // (§4.2.2) — and exports "quickpool" statistics plus an allocation-failure
@@ -40,14 +48,17 @@ import (
 type QuickPool struct {
 	com.RefCount
 	c *C
+
+	// mu guards the free lists, the slab counts and the fault hook.
+	mu poolLock
 	// classes[i] holds free blocks of size 16<<i.
 	classes [maxClass][]poolBlock
 	// slabs tracks slab base addresses per class for accounting.
 	slabCount [maxClass]int
 
 	// hook, when set, may veto an allocation before any free list or
-	// refill runs (fault injection).  Read and written under the
-	// interrupt exclusion, like the free lists.
+	// refill runs (fault injection).  Read and written under mu, like
+	// the free lists.
 	hook func(size uint32) bool
 
 	// com.Stats export (nil-safe: a plain NewQuickPool pool counts
@@ -64,6 +75,13 @@ type poolBlock struct {
 	addr hw.PhysAddr
 	buf  []byte
 }
+
+// poolLock is the fast allocator's free-list lock: a leaf below every
+// protocol, glue and stack lock (only the LMM's internal mutex is
+// deeper, and that one is invisible to the ranked set).
+//
+//oskit:lockrank 82
+type poolLock struct{ sync.Mutex }
 
 const (
 	minClassShift = 4 // 16 bytes
@@ -112,14 +130,9 @@ func (p *QuickPool) QueryInterface(iid com.GUID) (com.IUnknown, error) {
 // fault-injection hook: when it returns true the allocation fails as
 // exhaustion would (counted in qp.fails).  Safe to toggle mid-traffic.
 func (p *QuickPool) SetAllocFaultHook(h func(size uint32) bool) {
-	exclude := !p.c.env.InIntr()
-	if exclude {
-		p.c.env.IntrDisable()
-	}
+	p.mu.Lock()
 	p.hook = h
-	if exclude {
-		p.c.env.IntrEnable()
-	}
+	p.mu.Unlock()
 }
 
 // StatsSet returns the pool's com.Stats export (nil for a plain pool).
@@ -140,14 +153,9 @@ func classFor(size uint32) int {
 // Alloc returns a block of at least size bytes.  Safe from interrupt
 // handlers and concurrent process-level threads.
 func (p *QuickPool) Alloc(size uint32) (hw.PhysAddr, []byte, bool) {
-	exclude := !p.c.env.InIntr()
-	if exclude {
-		p.c.env.IntrDisable()
-	}
+	p.mu.Lock()
 	addr, buf, ok, hit := p.allocLocked(size)
-	if exclude {
-		p.c.env.IntrEnable()
-	}
+	p.mu.Unlock()
 	if !ok {
 		p.scFails.Inc()
 		return 0, nil, false
@@ -182,14 +190,9 @@ func (p *QuickPool) allocLocked(size uint32) (hw.PhysAddr, []byte, bool, bool) {
 // size (the fast path keeps no headers — that is where the speed comes
 // from).  Safe from the same contexts as Alloc.
 func (p *QuickPool) Free(addr hw.PhysAddr, size uint32) {
-	exclude := !p.c.env.InIntr()
-	if exclude {
-		p.c.env.IntrDisable()
-	}
+	p.mu.Lock()
 	p.freeLocked(addr, size)
-	if exclude {
-		p.c.env.IntrEnable()
-	}
+	p.mu.Unlock()
 	p.scFrees.Inc()
 }
 
@@ -220,7 +223,7 @@ func (p *QuickPool) FreeMem(addr uint32, size uint32) {
 }
 
 // refill carves one slab from the underlying malloc into class blocks.
-// Called with the exclusion held.
+// Called with mu held.
 func (p *QuickPool) refill(cls int) bool {
 	blockSize := uint32(1) << (minClassShift + cls)
 	addr, buf, ok := p.c.Malloc(blockSize * slabBlocks)
@@ -241,16 +244,11 @@ func (p *QuickPool) refill(cls int) bool {
 
 // Stats reports slabs allocated per class (for tests).
 func (p *QuickPool) Stats() (slabs int, cached int) {
-	exclude := !p.c.env.InIntr()
-	if exclude {
-		p.c.env.IntrDisable()
-	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	for i := 0; i < maxClass; i++ {
 		slabs += p.slabCount[i]
 		cached += len(p.classes[i])
-	}
-	if exclude {
-		p.c.env.IntrEnable()
 	}
 	return
 }

@@ -87,9 +87,10 @@ type etherDev struct {
 	ldev *legacy.NetDevice
 	info com.DeviceInfo
 	recv com.NetIO
-	// poller, when non-nil, is the fast-path polled receive loop that
-	// has replaced the donor ISR on this device (rxpoll.go).
-	poller *rxPoller
+	// pollers, when non-empty, are the fast-path polled receive loops
+	// (one per receive ring) that have replaced the donor ISR on this
+	// device (rxpoll.go).
+	pollers []*rxPoller
 }
 
 // QueryInterface implements com.IUnknown: the node answers for Device and
@@ -140,10 +141,10 @@ func (e *etherDev) Close() error {
 	if e.recv == nil {
 		return com.ErrInval
 	}
-	if e.poller != nil {
-		e.poller.stop()
-		e.poller = nil
+	for _, p := range e.pollers {
+		p.stop()
 	}
+	e.pollers = nil
 	_ = e.ldev.Stop(e.ldev)
 	e.recv.Release()
 	e.recv = nil

@@ -46,9 +46,24 @@ type Glue struct {
 	nativeKmalloc bool
 
 	// kmHook, when set, may veto a kmalloc before any allocator runs
-	// (fault injection; see SetKmallocFaultHook).  Read with interrupt
-	// exclusion held, like the buckets.
+	// (fault injection; see SetKmallocFaultHook).  Read with the donor
+	// allocator exclusion held, like the buckets.
 	kmHook func(size uint32) bool
+
+	// smp switches the donor exclusion discipline: off (the default),
+	// kmalloc/kfree serialize against interrupt handlers with cli, the
+	// donor contract on a uniprocessor.  On, cli is per-CPU and gives no
+	// cross-CPU exclusion — worse, a process-level thread that disables
+	// interrupts while holding a protocol lock deadlocks against a
+	// dispatcher whose pending handler wants that lock — so the shared
+	// donor allocator state moves under klMu and the cli seam becomes a
+	// no-op (donor driver entry is externally serialized: transmit under
+	// the stack's TX lock, receive by the per-ring pollers that never
+	// run donor ISR code).  Set before traffic, like EnableFastPath.
+	smp atomic.Bool
+	// klMu guards the kmalloc buckets, the fault hook and the pool
+	// binding in SMP mode.
+	klMu klLock
 
 	// fastpath is the opt-in send configuration of E11 (EnableFastPath):
 	// the transmit path may hand FeatSG devices gather skbuffs built
@@ -100,6 +115,34 @@ const (
 	kmMinShift = 5 // 32-byte minimum block
 	kmBuckets  = 8 // up to 32<<7 = 4096
 )
+
+// klLock is the SMP-mode donor allocator lock: taken on the packet
+// paths while the stack's TX hand-off lock is held, and above the
+// QuickPool leaf the fast-path kmalloc route draws from.
+//
+//oskit:lockrank 75
+type klLock struct{ sync.Mutex }
+
+// SetSMP switches the glue's exclusion discipline (see the smp field).
+// Call before traffic; the single-CPU default is unchanged.
+func (g *Glue) SetSMP(on bool) { g.smp.Store(on) }
+
+// SMP reports whether SetSMP(true) has been called.
+func (g *Glue) SMP() bool { return g.smp.Load() }
+
+// kmLock enters the donor allocator exclusion — klMu in SMP mode,
+// interrupt exclusion otherwise — returning the matching leave.
+func (g *Glue) kmLock() func() {
+	if g.smp.Load() {
+		g.klMu.Lock()
+		return g.klMu.Unlock
+	}
+	if g.env.InIntr() {
+		return func() {}
+	}
+	g.env.IntrDisable()
+	return g.env.IntrEnable
+}
 
 // bucketAlloc is the Linux-2.0-style power-of-two allocator.  Called
 // with interrupt exclusion held.
@@ -207,14 +250,9 @@ func (g *Glue) Kernel() *legacy.Kernel { return g.kern }
 // made under the donor's interrupt exclusion so the hook may be
 // toggled while drivers allocate.
 func (g *Glue) SetKmallocFaultHook(h func(size uint32) bool) {
-	exclude := !g.env.InIntr()
-	if exclude {
-		g.env.IntrDisable()
-	}
+	unlock := g.kmLock()
 	g.kmHook = h
-	if exclude {
-		g.env.IntrEnable()
-	}
+	unlock()
 }
 
 // EnableFastPath switches the glue into the opt-in fast-path send
@@ -229,17 +267,12 @@ func (g *Glue) EnableFastPath(pool com.Allocator) {
 	if pool != nil {
 		pool.AddRef()
 	}
-	exclude := !g.env.InIntr()
-	if exclude {
-		g.env.IntrDisable()
-	}
+	unlock := g.kmLock()
 	if g.pool != nil {
 		g.pool.Release()
 	}
 	g.pool = pool
-	if exclude {
-		g.env.IntrEnable()
-	}
+	unlock()
 	g.fastpath.Store(true)
 	// The receive side engages per open device: devices opened before
 	// the switch pick up the polled path here, devices opened after pick
@@ -295,10 +328,7 @@ func (g *Glue) buildKernel() *legacy.Kernel {
 	// Everything is serialized against interrupt handlers with cli, as
 	// the original was.
 	k.Kmalloc = func(size uint32, gfp int) *legacy.KBuf {
-		exclude := !env.InIntr()
-		if exclude {
-			env.IntrDisable()
-		}
+		unlock := g.kmLock()
 		var b *legacy.KBuf
 		if g.kmHook != nil && g.kmHook(size) {
 			// Injected exhaustion: fail before either allocator runs.
@@ -322,9 +352,7 @@ func (g *Glue) buildKernel() *legacy.Kernel {
 				b = &legacy.KBuf{Addr: addr, Data: buf}
 			}
 		}
-		if exclude {
-			env.IntrEnable()
-		}
+		unlock()
 		if b != nil {
 			g.scKmallocs.Inc()
 		} else {
@@ -333,10 +361,7 @@ func (g *Glue) buildKernel() *legacy.Kernel {
 		return b
 	}
 	k.Kfree = func(b *legacy.KBuf) {
-		exclude := !env.InIntr()
-		if exclude {
-			env.IntrDisable()
-		}
+		unlock := g.kmLock()
 		switch {
 		case b.Pooled:
 			g.pool.FreeMem(b.Addr, uint32(len(b.Data)))
@@ -345,22 +370,26 @@ func (g *Glue) buildKernel() *legacy.Kernel {
 		default:
 			env.MemFree(b.Addr, uint32(len(b.Data)))
 		}
-		if exclude {
-			env.IntrEnable()
-		}
+		unlock()
 		g.scKfrees.Inc()
 	}
 
 	// Interrupt exclusion.  At interrupt level these are no-ops: the
 	// dispatcher already holds the exclusion, exactly like EFLAGS.IF
-	// being clear inside a real handler.
+	// being clear inside a real handler.  In SMP mode the whole seam is
+	// a no-op: per-CPU cli excludes nothing across CPUs, and donor
+	// entry points are serialized by the locks of the code above (the
+	// allocator, the one donor state the packet paths share, has klMu).
 	k.SaveFlags = func() uint32 {
-		if env.InIntr() {
+		if g.smp.Load() || env.InIntr() {
 			return 1
 		}
 		return 0
 	}
 	k.Cli = func() {
+		if g.smp.Load() {
+			return
+		}
 		if !env.InIntr() {
 			env.IntrDisable()
 		}
@@ -404,13 +433,18 @@ func (g *Glue) buildKernel() *legacy.Kernel {
 		k.Current = saved
 	}
 	k.WakeUp = func(q *legacy.WaitQueue) {
-		exclude := !env.InIntr()
-		if exclude {
-			env.IntrDisable()
-		}
-		rec, _ := q.Glue.(*core.SleepRec)
-		if exclude {
-			env.IntrEnable()
+		var rec *core.SleepRec
+		if g.smp.Load() {
+			rec, _ = q.Glue.(*core.SleepRec)
+		} else {
+			exclude := !env.InIntr()
+			if exclude {
+				env.IntrDisable()
+			}
+			rec, _ = q.Glue.(*core.SleepRec)
+			if exclude {
+				env.IntrEnable()
+			}
 		}
 		if rec != nil {
 			env.Wakeup(rec)

@@ -2,6 +2,7 @@ package linuxdev
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"oskit/internal/com"
 	"oskit/internal/hw"
@@ -32,11 +33,21 @@ const DefaultRxBudget = 16
 // ring for at most this many clock ticks.
 const rxRearmTicks = 1
 
-// rxPoller is the budgeted poll loop bound to one open ether node.
+// rxPoller is the budgeted poll loop bound to one receive ring of one
+// open ether node.  A single-queue NIC gets one poller on ring 0; a NIC
+// grown with ConfigureRxQueues gets one per ring, each on its own
+// interrupt line — on a multi-CPU machine with affinity-routed lines
+// the drains run concurrently, which is why the delivery path below
+// uses only atomics and per-poller scratch.
 type rxPoller struct {
 	g    *Glue
 	node *etherDev
 	nic  *hw.NIC
+	ring int
+	// mirror: only ring 0's poller folds the NIC's (whole-device)
+	// interrupt ledger into the stats rows, so deltas aren't counted
+	// once per ring.
+	mirror bool
 
 	// batch is the sink's negotiated NetIOBatch extension; nil when the
 	// sink only speaks per-frame Push (the path still works, frame by
@@ -50,8 +61,8 @@ type rxPoller struct {
 	sizes   []uint
 
 	// Interrupt-ledger mirror state: NIC counter values already folded
-	// into the glue's stats rows.  Touched only at interrupt level (the
-	// machine's one dispatcher), so unsynchronized.
+	// into the glue's stats rows.  Touched only by this ring's handler
+	// (one dispatch context), so unsynchronized.
 	lastRaised, lastSuppr uint64
 
 	mu          sync.Mutex
@@ -68,11 +79,12 @@ func (g *Glue) SetRxBudget(n int) {
 	g.mu.Unlock()
 }
 
-// engageRxPoll switches one open ether node to the polled receive path.
-// Idempotent; a no-op unless the glue is in the fast-path configuration,
-// the node is open, and its chip is the simulated NIC.
+// engageRxPoll switches one open ether node to the polled receive path —
+// one poller per receive ring (a stock NIC has one; ConfigureRxQueues
+// grows more).  Idempotent; a no-op unless the glue is in the fast-path
+// configuration, the node is open, and its chip is the simulated NIC.
 func (g *Glue) engageRxPoll(e *etherDev) {
-	if !g.FastPath() || e.recv == nil || e.poller != nil {
+	if !g.FastPath() || e.recv == nil || len(e.pollers) > 0 {
 		return
 	}
 	chip, ok := e.ldev.Chip.(*nicChip)
@@ -85,29 +97,39 @@ func (g *Glue) engageRxPoll(e *etherDev) {
 	if budget < 1 {
 		budget = DefaultRxBudget
 	}
-	p := &rxPoller{
-		g:       g,
-		node:    e,
-		nic:     chip.nic,
-		scratch: make([][]byte, budget),
-		bios:    make([]com.BufIO, 0, budget),
-		sizes:   make([]uint, 0, budget),
+	nic := chip.nic
+	// §4.4.2 negotiation: does the sink ingest batches?  One negotiated
+	// reference per ring, so each poller releases its own.
+	for q := 0; q < nic.RxQueues(); q++ {
+		p := &rxPoller{
+			g:       g,
+			node:    e,
+			nic:     nic,
+			ring:    q,
+			mirror:  q == 0,
+			scratch: make([][]byte, budget),
+			bios:    make([]com.BufIO, 0, budget),
+			sizes:   make([]uint, 0, budget),
+		}
+		if obj, err := e.recv.QueryInterface(com.NetIOBatchIID); err == nil {
+			p.batch = obj.(com.NetIOBatch)
+		}
+		// Mirror deltas start at the NIC's current ledger, so the stats
+		// rows count only the mitigated era.
+		p.lastRaised, p.lastSuppr, _ = nic.RxIntrCounters()
+		e.pollers = append(e.pollers, p)
+		// Replace the donor ISR on the same line it requested (ring 0 is
+		// that line; extra rings have their own); the donor driver keeps
+		// believing its handler is installed, which is fine — both drain
+		// the same ring, and Close's dev->stop frees the IRQ either way.
+		line := nic.RxIRQ(q)
+		g.env.Machine.Intr.SetHandler(line, func(int) { p.poll() })
+		g.env.Machine.Intr.SetMask(line, false)
 	}
-	// §4.4.2 negotiation: does the sink ingest batches?
-	if obj, err := e.recv.QueryInterface(com.NetIOBatchIID); err == nil {
-		p.batch = obj.(com.NetIOBatch)
+	nic.SetRxIntrMitigation(true)
+	for _, p := range e.pollers {
+		p.startRearmTimer()
 	}
-	// Mirror deltas start at the NIC's current ledger, so the stats rows
-	// count only the mitigated era.
-	p.lastRaised, p.lastSuppr, _ = p.nic.RxIntrCounters()
-	e.poller = p
-	// Replace the donor ISR on the same line it requested; the donor
-	// driver keeps believing its handler is installed, which is fine —
-	// both drain the same ring, and Close's dev->stop frees the IRQ
-	// either way.
-	g.env.Machine.Intr.SetHandler(e.ldev.IRQ, func(int) { p.poll() })
-	p.nic.SetRxIntrMitigation(true)
-	p.startRearmTimer()
 }
 
 // stop disengages the poller: the timer backstop dies, mitigation is
@@ -130,10 +152,14 @@ func (p *rxPoller) stop() {
 	}
 }
 
-// poll is the interrupt handler: one budgeted drain pass.
+// poll is the interrupt handler: one budgeted drain pass over this
+// poller's ring.  Device statistics are updated with atomics — sibling
+// rings' handlers may run concurrently on other CPUs.
 func (p *rxPoller) poll() {
-	p.mirrorIntrStats()
-	n := p.nic.RxPopBatch(p.scratch, len(p.scratch))
+	if p.mirror {
+		p.mirrorIntrStats()
+	}
+	n := p.nic.RxPopBatchOn(p.ring, p.scratch, len(p.scratch))
 	if n == 0 {
 		return
 	}
@@ -152,13 +178,13 @@ func (p *rxPoller) poll() {
 		// The copy is the busmaster DMA into it.
 		skb := g.kern.AllocSKB(len(f))
 		if skb == nil {
-			ldev.Stats.RxDropped++
+			atomic.AddUint64(&ldev.Stats.RxDropped, 1)
 			continue
 		}
 		copy(skb.Put(len(f)), f)
 		skb.Dev = ldev
-		ldev.Stats.RxPackets++
-		ldev.Stats.RxBytes += uint64(len(f))
+		atomic.AddUint64(&ldev.Stats.RxPackets, 1)
+		atomic.AddUint64(&ldev.Stats.RxBytes, uint64(len(f)))
 		if recv == nil {
 			skb.Free()
 			continue
@@ -184,7 +210,7 @@ func (p *rxPoller) poll() {
 		// Budget exhausted with frames possibly still ringed: re-raise
 		// the line so the dispatcher schedules another pass (the NAPI
 		// "not done" reschedule).
-		p.nic.RxRearm()
+		p.nic.RxRearmOn(p.ring)
 	}
 }
 
@@ -210,7 +236,7 @@ func (p *rxPoller) startRearmTimer() {
 			return
 		}
 		p.mu.Unlock()
-		p.nic.RxRearm()
+		p.nic.RxRearmOn(p.ring)
 		p.mu.Lock()
 		if !p.stopped {
 			p.rearmCancel = p.g.env.AfterTicks(rxRearmTicks, tick)

@@ -206,7 +206,7 @@ func TestRxPollPlainSinkFallback(t *testing.T) {
 	defer edB.Release()
 	defer txB.Release()
 
-	if p := edB.(*etherDev).poller; p == nil || p.batch != nil {
+	if p := firstPoller(edB.(*etherDev)); p == nil || p.batch != nil {
 		t.Fatalf("poller=%v batch negotiated=%v, want engaged with nil batch", p != nil, p != nil && p.batch != nil)
 	}
 	const burst = 6
@@ -232,7 +232,7 @@ func TestRxPollDefaultOff(t *testing.T) {
 	edB, _, rxB := openEther(t, b)
 	defer edB.Release()
 
-	if edB.(*etherDev).poller != nil {
+	if firstPoller(edB.(*etherDev)) != nil {
 		t.Fatal("poller engaged without the fast-path option")
 	}
 	const burst = 5
@@ -273,14 +273,14 @@ func TestRxPollCloseRestoresStock(t *testing.T) {
 	rxB.Release()
 
 	node := edB.(*etherDev)
-	if node.poller == nil {
+	if firstPoller(node) == nil {
 		t.Fatal("poller not engaged at open")
 	}
 	txB.Release()
 	if err := edB.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if node.poller != nil {
+	if firstPoller(node) != nil {
 		t.Fatal("poller survived Close")
 	}
 
@@ -292,7 +292,7 @@ func TestRxPollCloseRestoresStock(t *testing.T) {
 	rx2.Release()
 	defer tx2.Release()
 	defer edB.Release()
-	if node.poller == nil {
+	if firstPoller(node) == nil {
 		t.Fatal("reopen did not re-engage the poller")
 	}
 	f := ethFrame([6]byte{2, 0, 0, 0, 0, 2}, edA.GetAddr(), make([]byte, 64))
@@ -300,4 +300,12 @@ func TestRxPollCloseRestoresStock(t *testing.T) {
 		t.Fatal(err)
 	}
 	rx2.wait(t, 1)
+}
+
+// firstPoller returns ring 0's poller, or nil when none is engaged.
+func firstPoller(e *etherDev) *rxPoller {
+	if len(e.pollers) == 0 {
+		return nil
+	}
+	return e.pollers[0]
 }

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"oskit/internal/stats"
 )
@@ -59,11 +60,15 @@ func (r *Region) Range() (min, max uint32) { return r.min, r.max }
 // Avail returns the free byte count in the region.
 func (r *Region) Avail() uint32 { return r.freeBytes }
 
-// Arena is one memory pool.  It is not internally locked: the kit's
-// execution model (§4.5) makes memory allocation a process-level service,
-// and clients needing interrupt-level allocation wrap it (as the Linux
-// glue does for donor kmalloc calls with interrupts disabled).
+// Arena is one memory pool.  The free lists are guarded by an internal
+// mutex: on a uniprocessor the kit's execution model (§4.5) already
+// serializes allocation, but one arena backs several components (BSD
+// malloc, Linux kmalloc, the QuickPool refill path), and on an SMP
+// machine those run concurrently.  Clients needing interrupt-level
+// *exclusion* still wrap it (as the Linux glue does for donor kmalloc
+// calls with interrupts disabled); the mutex only protects the lists.
 type Arena struct {
+	mu      sync.Mutex
 	regions []*Region // sorted by priority descending, then address
 
 	// hook, when set, may veto an allocation before the free lists are
@@ -95,7 +100,11 @@ func (a *Arena) AttachStats(set *stats.Set) {
 // hook: when it returns true the allocation fails as if no region could
 // satisfy it (counted in lmm.failures).  Like every other arena
 // operation it relies on the client's serialization (§4.5).
-func (a *Arena) SetFaultHook(h func(size uint32) bool) { a.hook = h }
+func (a *Arena) SetFaultHook(h func(size uint32) bool) {
+	a.mu.Lock()
+	a.hook = h
+	a.mu.Unlock()
+}
 
 // AddRegion introduces the address range [addr, addr+size) with the given
 // type flags and priority.  The range starts fully *allocated*; memory
@@ -107,6 +116,8 @@ func (a *Arena) AddRegion(addr, size uint32, flags Flags, pri int) error {
 	if size == 0 {
 		return fmt.Errorf("lmm: empty region")
 	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	max := addr + size
 	if max < addr {
 		return fmt.Errorf("lmm: region wraps address space")
@@ -131,6 +142,8 @@ func (a *Arena) AddRegion(addr, size uint32, flags Flags, pri int) error {
 // contain it; parts outside any region are ignored (lmm_add_free
 // semantics, convenient when freeing a memory map around reserved holes).
 func (a *Arena) AddFree(addr, size uint32) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	for _, r := range a.regions {
 		lo, hi := addr, addr+size
 		if lo < r.min {
@@ -153,6 +166,8 @@ func (a *Arena) Free(addr, size uint32) {
 	if size == 0 {
 		return
 	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	r := a.regionOf(addr)
 	if r == nil || addr+size > r.max {
 		panic(fmt.Sprintf("lmm: Free(%#x, %#x) outside any region", addr, size))
@@ -186,11 +201,19 @@ func (a *Arena) AllocGen(size uint32, flags Flags, alignBits uint, alignOfs uint
 	if size == 0 || alignBits >= 32 {
 		return 0, false
 	}
-	if a.hook != nil && a.hook(size) {
+	// The fault hook runs outside a.mu: it is an interposed callback (it
+	// may read arena stats or take its own locks), the hazard class the
+	// lockhook analyzer exists for.
+	a.mu.Lock()
+	hook := a.hook
+	a.mu.Unlock()
+	if hook != nil && hook(size) {
 		a.scFails.Inc()
 		return 0, false
 	}
 	align := uint32(1) << alignBits
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	for _, r := range a.regions {
 		if r.flags&flags != flags {
 			continue
@@ -223,6 +246,8 @@ func (a *Arena) AllocGen(size uint32, flags Flags, alignBits uint, alignOfs uint
 // Avail reports the total free bytes in regions carrying all the given
 // flags (lmm_avail).
 func (a *Arena) Avail(flags Flags) uint32 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	var total uint32
 	for _, r := range a.regions {
 		if r.flags&flags == flags {
@@ -236,6 +261,8 @@ func (a *Arena) Avail(flags Flags) uint32 {
 // extent and its region's flags (lmm_find_free): the open-implementation
 // hook for clients that walk the free list (§4.6).
 func (a *Arena) FindFree(addr uint32) (blockAddr, blockSize uint32, flags Flags, ok bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	found := false
 	var best block
 	var bestFlags Flags
@@ -267,6 +294,8 @@ func (a *Arena) FindFree(addr uint32) (blockAddr, blockSize uint32, flags Flags,
 // modules (§3.2).  Free parts inside the range disappear; allocated parts
 // are untouched.
 func (a *Arena) RemoveFree(addr, size uint32) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	lo, hi := addr, addr+size
 	for _, r := range a.regions {
 		var out []block
@@ -291,10 +320,16 @@ func (a *Arena) RemoveFree(addr, size uint32) {
 }
 
 // Regions returns the managed regions in search (priority) order.
-func (a *Arena) Regions() []*Region { return append([]*Region(nil), a.regions...) }
+func (a *Arena) Regions() []*Region {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]*Region(nil), a.regions...)
+}
 
 // Dump writes a human-readable free-list listing (lmm_dump).
 func (a *Arena) Dump(w io.Writer) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	for _, r := range a.regions {
 		fmt.Fprintf(w, "region [%#010x,%#010x) flags %#x pri %d free %d\n",
 			r.min, r.max, uint32(r.flags), r.pri, r.freeBytes)

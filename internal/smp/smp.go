@@ -7,6 +7,7 @@
 package smp
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 
@@ -94,13 +95,19 @@ func (l *SpinLock) LockIntr(env *core.Env) func() {
 	}
 }
 
+// ErrBarrierClosed is returned by Sync when the barrier has been
+// poisoned with Close: the rendezvous can never complete because a
+// participant is gone.
+var ErrBarrierClosed = errors.New("smp: barrier closed")
+
 // Barrier is a reusable rendezvous for n processors.
 type Barrier struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	n     int
-	count int
-	gen   int
+	mu     sync.Mutex
+	cond   *sync.Cond
+	n      int
+	count  int
+	gen    int
+	closed bool
 }
 
 // NewBarrier creates a barrier for n participants.
@@ -110,19 +117,42 @@ func NewBarrier(n int) *Barrier {
 	return b
 }
 
-// Sync blocks until all n participants have arrived.
-func (b *Barrier) Sync() {
+// Sync blocks until all n participants have arrived, or until the
+// barrier is closed — a processor that panicked or was shut down never
+// arrives, and without the poison path every surviving participant
+// would block forever.  Returns ErrBarrierClosed once Close has run.
+func (b *Barrier) Sync() error {
 	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ErrBarrierClosed
+	}
 	gen := b.gen
 	b.count++
 	if b.count == b.n {
 		b.count = 0
 		b.gen++
 		b.cond.Broadcast()
-	} else {
-		for gen == b.gen {
-			b.cond.Wait()
-		}
+		return nil
+	}
+	for gen == b.gen && !b.closed {
+		b.cond.Wait()
+	}
+	if b.closed && gen == b.gen {
+		return ErrBarrierClosed
+	}
+	return nil
+}
+
+// Close poisons the barrier: every blocked Sync wakes with
+// ErrBarrierClosed, and every later Sync fails immediately.  Idempotent.
+// Call it when a participant exits abnormally so its siblings don't
+// deadlock waiting for an arrival that will never come.
+func (b *Barrier) Close() {
+	b.mu.Lock()
+	if !b.closed {
+		b.closed = true
+		b.cond.Broadcast()
 	}
 	b.mu.Unlock()
 }

@@ -31,7 +31,9 @@ func TestSpinLockMutualExclusion(t *testing.T) {
 	b := NewBarrier(4)
 	s := New(nil2(t), 5)
 	s.StartAll(func(cpu int) {
-		b.Sync()
+		if err := b.Sync(); err != nil {
+			t.Errorf("Sync: %v", err)
+		}
 		for i := 0; i < 10000; i++ {
 			l.Lock()
 			counter++
@@ -108,6 +110,29 @@ func TestBarrierReuse(t *testing.T) {
 	if phase.Load() != 5 {
 		t.Fatalf("phase = %d", phase.Load())
 	}
+}
+
+// TestBarrierClose is the poison-path regression: before Close existed,
+// a participant that exits abnormally (panic, shutdown) left its
+// siblings blocked in Sync forever — this test deadlocked.  Close wakes
+// every waiter with ErrBarrierClosed and fails all later arrivals.
+func TestBarrierClose(t *testing.T) {
+	b := NewBarrier(3)
+	errs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() { errs <- b.Sync() }() // only 2 of 3 arrive: blocked
+	}
+	// The third participant dies instead of arriving.
+	b.Close()
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != ErrBarrierClosed {
+			t.Fatalf("waiter %d: err = %v, want ErrBarrierClosed", i, err)
+		}
+	}
+	if err := b.Sync(); err != ErrBarrierClosed {
+		t.Fatalf("post-close Sync: err = %v, want ErrBarrierClosed", err)
+	}
+	b.Close() // idempotent
 }
 
 func nil2(t *testing.T) *core.Env {

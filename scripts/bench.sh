@@ -12,6 +12,7 @@
 #   E11 (the opt-in fast-path send matrix)    -> BENCH_e11.json
 #   E12 (the opt-in fast-path receive matrix) -> BENCH_e12.json
 #   E13 (cluster connection churn + demux)    -> BENCH_e13.json
+#   E14 (SMP scaling: ttcp/rtcp/churn by CPUs) -> BENCH_e14.json
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -52,3 +53,4 @@ run_matrix() {
 run_matrix 'E11_FastPath_Matrix' BENCH_e11.json
 run_matrix 'E12_RxBatch_Matrix' BENCH_e12.json
 run_matrix 'E13_(Churn|Demux)_Matrix' BENCH_e13.json
+run_matrix 'E14_SMP_Matrix' BENCH_e14.json

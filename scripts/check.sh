@@ -32,18 +32,30 @@ echo "== cluster smoke (switched N-node rig, churn reproducibility, under -race)
 go test -race -count=1 ./internal/evalrig/ \
 	-run 'TestCluster|TestConcurrentCeiling'
 
+echo "== SMP smoke (4-CPU cluster churn on the per-connection locks, under -race)"
+go test -race -count=1 ./internal/evalrig/ \
+	-run 'TestSMP'
+go test -race -count=1 ./internal/freebsd/net/ \
+	-run 'TestRace|TestPerConnLockingInterleavings|TestScheduledConnectCloseRace'
+
 echo "== refcount lifecycle checks (oskitrefdebug build)"
 go test -race -tags oskitrefdebug ./internal/com/
 
 echo "== shuffled re-run (order-dependence check)"
 go test -shuffle=on -count=1 ./...
 
-echo "== bench smoke (E11 + E12 matrices, 1x)"
+echo "== shuffled multi-CPU re-run (SMP rigs under a different interleaving)"
+go test -shuffle=on -count=1 ./internal/evalrig/ ./internal/freebsd/net/ ./internal/smp/
+
+echo "== bench smoke (E11-E14 matrices, 1x)"
 scripts/bench.sh 1x >/dev/null
 
 echo "== example smoke (flag parity: -stats/-faults/-fastpath)"
 go run ./examples/ttcp -config oskit -blocks 64 -fastpath -stats >/dev/null
 go run ./examples/rtcp -config oskit -rounds 50 -fastpath >/dev/null
+go run ./examples/ttcp -config freebsd -blocks 64 -cpus 4 >/dev/null
+go run ./examples/rtcp -config freebsd -rounds 50 -cpus 4 >/dev/null
+go run ./cmd/oskit-churn -config freebsd -nodes 4 -conns 128 -cpus 4 >/dev/null
 go run ./examples/fileserver -stats -fastpath \
 	-faults "seed=7 disk.err=0.05 disk.torn=0.02" >/dev/null
 
