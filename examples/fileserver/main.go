@@ -1,150 +1,57 @@
-// fileserver: the secure file server of paper §3.8.
+// fileserver: the secure file server of paper §3.8, surfaced as an
+// HTTP/1.1 static server (E15).
 //
 // The kit's file system exports COM interfaces of VFS granularity whose
 // Lookup accepts only *single pathname components* — fine enough that a
 // security wrapper can check permissions on every step without touching
-// the file system internals.  The file server itself then exports an
-// interface accepting *full pathnames*, "providing efficiency where it
-// matters, between processes."  Avoiding any modification of the main
-// file system code is what kept the original's maintenance burden low
-// enough to track NetBSD releases.
+// the file system internals.  The server then exports an interface
+// accepting *full pathnames*, "providing efficiency where it matters,
+// between processes."  Here that interface is the wire protocol itself:
+// an HTTP/1.1 request's path walks the wrapper component by component
+// (anything named "secret*" answers 403 to the unprivileged service),
+// and the response body travels libc.Sendfile — on the fast-path
+// configuration, buffer-cache pages pinned straight into the NIC's
+// gather engine with the TCP checksum riding the hardware, zero payload
+// copies end to end.
 //
-// This program boots a machine with an IDE disk, partitions it
-// (MBR + BSD disklabel), formats and mounts the FFS through the donor
-// IDE driver, and runs the wrapper: a per-component permission check
-// that hides anything named "secret*" from unprivileged clients.
+// The rig is a switched cluster: the server machine carries an IDE disk
+// with an FFS, the generator machines GET seed-derived files over
+// keep-alive connections and CRC-verify every body.
 //
-// Run:  go run ./examples/fileserver [-stats] [-faults PLAN] [-fastpath]
+// Run:  go run ./examples/fileserver [-config oskit|linux|freebsd]
 //
-// With -faults the disk and the memory services run under a
-// deterministic fault plan (for example -faults "seed=7 disk.err=0.05
-// disk.torn=0.02") once setup is done: the server's operations retry
-// injected errors the way the soak harness does, and the injected-fault
-// count is printed at the end.  With -fastpath the driver glue's
-// allocations come from a QuickPool allocator service, the same opt-in
-// configuration the network examples boot (E11).
+//	[-requests N] [-filebytes N] [-stats] [-faults PLAN]
+//	[-fastpath] [-cpus N]
+//
+// With -faults the wire, rings, clock, memory services, and the disk
+// run under a deterministic fault plan (for example -faults "seed=7
+// wire.drop=0.05 disk.err=0.02") once setup is done: bodies still
+// verify, just slower, and the injected-fault count is printed.  With
+// -fastpath the OSKit configuration boots the full E11/E12/E15 opt-in
+// path; with -cpus N > 1 the BSD-stack nodes run the E14 SMP
+// discipline.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
+	"time"
 
-	"oskit/internal/com"
-	"oskit/internal/dev"
-	"oskit/internal/diskpart"
+	"oskit/internal/evalrig"
 	"oskit/internal/faults"
-	bsdglue "oskit/internal/freebsd/glue"
-	"oskit/internal/hw"
-	"oskit/internal/kern"
-	"oskit/internal/libc"
-	linuxdev "oskit/internal/linux/dev"
-	netbsdfs "oskit/internal/netbsd/fs"
-	"oskit/internal/stats"
 )
 
-// secureFS is the file server: full-pathname API outside, per-component
-// checks inside, the untouched FS component underneath.
-type secureFS struct {
-	root com.Dir
-	// uid 0 may see everything; everyone else is denied "secret*"
-	// components.
-	uid uint32
-}
-
-// lookup walks the path one component at a time, checking each step.
-func (s *secureFS) lookup(path string) (com.File, error) {
-	var cur com.File = s.root
-	s.root.AddRef()
-	for _, comp := range strings.Split(path, "/") {
-		if comp == "" || comp == "." {
-			continue
-		}
-		// The security check, applied at every component boundary —
-		// possible only because the FS interface takes one component
-		// at a time (§3.8).
-		if s.uid != 0 && strings.HasPrefix(comp, "secret") {
-			cur.Release()
-			return nil, com.ErrAccess
-		}
-		d, ok := cur.(com.Dir)
-		if !ok {
-			cur.Release()
-			return nil, com.ErrNotDir
-		}
-		next, err := d.Lookup(comp)
-		cur.Release()
-		if err != nil {
-			return nil, err
-		}
-		cur = next
-	}
-	return cur, nil
-}
-
-// ReadFile is the full-pathname service the server exports.
-func (s *secureFS) ReadFile(path string) ([]byte, error) {
-	f, err := s.lookup(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Release()
-	st, err := f.GetStat()
-	if err != nil {
-		return nil, err
-	}
-	out := make([]byte, st.Size)
-	var off uint64
-	for off < st.Size {
-		n, err := f.ReadAt(out[off:], off)
-		if err != nil || n == 0 {
-			return nil, com.ErrIO
-		}
-		off += uint64(n)
-	}
-	return out, nil
-}
-
-// List is the full-pathname directory service.
-func (s *secureFS) List(path string) ([]string, error) {
-	f, err := s.lookup(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Release()
-	d, qerr := f.QueryInterface(com.DirIID)
-	if qerr != nil {
-		return nil, com.ErrNotDir
-	}
-	defer d.Release()
-	ents, err := d.(com.Dir).ReadDir(0, 0)
-	if err != nil {
-		return nil, err
-	}
-	var names []string
-	for _, e := range ents {
-		if s.uid != 0 && strings.HasPrefix(e.Name, "secret") {
-			continue // hidden from the listing too
-		}
-		names = append(names, e.Name)
-	}
-	return names, nil
-}
-
 func main() {
-	showStats := flag.Bool("stats", false, "print the machine's kernel-statistics table before shutdown")
-	faultSpec := flag.String("faults", "", `fault plan, e.g. "seed=7 disk.err=0.05 disk.torn=0.02" (see internal/faults)`)
-	fastPath := flag.Bool("fastpath", false, "serve the driver glue's allocations from a QuickPool allocator service (E11 configuration)")
+	config := flag.String("config", "oskit", "configuration: oskit, linux, freebsd")
+	requests := flag.Int("requests", 64, "total GET requests across the generators")
+	fileBytes := flag.Int("filebytes", 32768, "size of each served file")
+	files := flag.Int("files", 4, "number of distinct files served round-robin")
+	showStats := flag.Bool("stats", false, "print the server machine's kernel-statistics table before shutdown")
+	faultSpec := flag.String("faults", "", `fault plan, e.g. "seed=7 wire.drop=0.05 disk.err=0.02" (see internal/faults)`)
+	fastPath := flag.Bool("fastpath", false, "boot OSKit nodes with the opt-in fast path (E11/E12 + E15 zero-copy sendfile with checksum offload)")
+	cpus := flag.Int("cpus", 1, "logical CPUs per machine; >1 switches BSD-stack nodes to the SMP configuration (E14)")
 	flag.Parse()
-
-	// A machine with a 16 MB disk.
-	m := hw.NewMachine(hw.Config{Name: "fileserver", MemBytes: 32 << 20})
-	defer m.Halt()
-	disk := hw.NewDisk(32768)
-	m.AttachDisk(disk)
-	k, err := kern.Setup(m, nil)
-	check(err)
 
 	var faultPlan *faults.Plan
 	if *faultSpec != "" {
@@ -156,165 +63,77 @@ func main() {
 		fmt.Printf("fault plan: %s\n", plan.String())
 	}
 
-	if *fastPath {
-		// The opt-in allocator half of the fast-path configuration:
-		// the IDE glue's kmalloc draws from a discoverable QuickPool
-		// service (there is no packet path on this machine to gather).
-		pool := libc.NewQuickPoolService(libc.New(k.Env))
-		linuxdev.GlueFor(k.Env).EnableFastPath(pool)
-		pool.Release()
-	}
-
-	// Probe the donor IDE driver; everything below reaches the disk
-	// only through its BlkIO.
-	fw := dev.NewFramework(k.Env)
-	linuxdev.InitIDE(fw)
-	fw.Probe()
-	disks := fw.LookupByIID(com.BlkIOIID)
-	if len(disks) != 1 {
-		fatal("no disk found")
-	}
-	raw := disks[0].(com.BlkIO)
-	defer raw.Release()
-
-	// Partition: one BSD slice holding one FFS partition.
-	check(diskpart.WriteMBR(raw, []diskpart.MBREntry{
-		{Type: diskpart.TypeBSD, StartLBA: 64, Sectors: 32000},
-	}))
-	check(diskpart.WriteDisklabel(raw, 64*512, []diskpart.LabelEntry{
-		{Offset: 16, Sectors: 31000, FSType: 7},
-	}))
-	parts, err := diskpart.ReadPartitions(raw)
+	c, err := evalrig.NewCluster(evalrig.Config(*config), 3, time.Millisecond, evalrig.Options{
+		FastPath:    *fastPath,
+		CPUs:        *cpus,
+		DiskSectors: 16384,
+	})
 	check(err)
-	var ffsPart diskpart.Partition
-	for _, p := range parts {
-		if p.Name == "s1a" {
-			ffsPart = p
-		}
+	defer c.Halt()
+
+	opt := evalrig.HTTPOptions{
+		Requests:  *requests,
+		Workers:   4,
+		Files:     *files,
+		FileBytes: *fileBytes,
+		Seed:      42,
+		Probes:    true,
 	}
-	fmt.Printf("partitions: %+v\n", parts)
-	vol := diskpart.Open(raw, ffsPart)
-	defer vol.Release()
 
-	// Format and mount the NetBSD-derived FS on the partition view —
-	// run-time binding of any FS to any BlkIO (§4.2.2).
-	check(netbsdfs.Mkfs(vol, 0))
-	g := bsdglue.New(k.Env)
-	fs, err := netbsdfs.Mount(g, vol)
-	check(err)
-
-	// Arm the fault plan now that setup is done — the same discipline
-	// as the rig and the soak harness: the media turns hostile once the
-	// file system is up, and setup itself cannot be failed.  The
-	// injector is registered in the services registry like any other
-	// component (§4.2.2), so -stats shows the regime beside everything
-	// else.
+	// Lay the file tree down before the media turns hostile — the same
+	// discipline as the rig and the soak harness: setup itself cannot be
+	// failed, the serving path is what runs under the plan.
+	check(evalrig.PopulateHTTP(c.Server(), opt))
 	var injector *faults.Injector
 	if faultPlan != nil {
-		injector = faults.NewInjector(*faultPlan)
-		defer injector.Release()
-		disk.SetFaultHook(injector.DiskHook("disk.fileserver"))
-		injector.WrapAlloc(k.Env, "alloc.fileserver")
-		k.Env.Registry.Register(com.FaultIID, injector)
-		k.Env.Registry.Register(com.StatsIID, injector.StatsSet())
+		injector = c.EnableFaults(*faultPlan)
 	}
 
-	// Populate, with the op-level retry that makes injected disk errors
-	// recoverable (the client contract internal/faults/soak proves).
-	root, err := fs.GetRoot()
+	res, err := evalrig.HTTPGet(c, opt)
 	check(err)
-	defer root.Release()
-	check(retry("mkdir pub", func() error { return root.Mkdir("pub", 0o755) }))
-	check(retry("mkdir secrets", func() error { return root.Mkdir("secrets", 0o700) }))
-	writeFile(root, "pub", "readme", "public documentation\n")
-	writeFile(root, "secrets", "plans", "the secret plans\n")
-	// Push the dirty cache through the (possibly hostile) disk now, so
-	// an injected-fault run actually exercises the retry contract.
-	check(retry("sync", fs.Sync))
 
-	// Two clients of the file server: root and an ordinary user.
-	rootView := &secureFS{root: root, uid: 0}
-	userView := &secureFS{root: root, uid: 1000}
+	fmt.Printf("fileserver (%s%s): %d requests, %d files x %d bytes\n",
+		*config, suffix(*fastPath, *cpus), *requests, *files, *fileBytes)
+	fmt.Printf("  answered    %d (probes included: 403 on /secrets, 404 on misses)\n", res.Requests)
+	fmt.Printf("  failed      %d\n", res.Failed)
+	fmt.Printf("  body bytes  %d (every 200 body CRC-verified)\n", res.BytesBody)
+	fmt.Printf("  rate        %.0f req/s, p50 %.0f us, p99 %.0f us\n", res.ReqsPerSec, res.P50Usec, res.P99Usec)
+	fmt.Printf("  checksum    %08x (seed-deterministic)\n", res.CheckSum)
 
-	// Verify phase: the media calms down again (as in the soak harness)
-	// so the security demonstration below and the final consistency
-	// check read what the retried writes durably left behind.
-	if injector != nil {
-		disk.SetFaultHook(nil)
+	stat := func(set, name string) int64 {
+		v, _ := c.Server().Stat(set, name)
+		return v
 	}
-
-	show := func(who string, s *secureFS) {
-		names, err := s.List("/")
-		fmt.Printf("%s: ls / -> %v (%v)\n", who, names, err)
-		data, err := s.ReadFile("/pub/readme")
-		fmt.Printf("%s: read /pub/readme -> %q (%v)\n", who, data, err)
-		data, err = s.ReadFile("/secrets/plans")
-		fmt.Printf("%s: read /secrets/plans -> %q (%v)\n", who, data, err)
-	}
-	show("root", rootView)
-	show("user", userView)
-
-	if errs := fs.Fsck(); len(errs) != 0 {
-		fatal(fmt.Sprint("fsck found problems: ", errs))
-	}
-	check(fs.Unmount())
-	fmt.Println("file system clean; unmounted.")
+	fmt.Printf("  sendfile    %d bytes zero-copy (%d pages pinned), %d bytes copied, %d checksums offloaded\n",
+		stat("freebsd_net", "sendfile.zc_bytes"),
+		stat("freebsd_net", "sendfile.pages_mapped"),
+		stat("freebsd_net", "sendfile.bytes_copied"),
+		stat("linux_dev", "xmit.csum_offloaded"))
 
 	if injector != nil {
-		fmt.Printf("(faults injected: %d)\n", injector.FaultsInjected())
+		fmt.Printf("  (faults injected: %d)\n", injector.FaultsInjected())
 	}
 	if *showStats {
-		fmt.Println("\n--- fileserver statistics (nonzero) ---")
-		sets := stats.Discover(k.Env.Registry)
-		stats.WriteTable(os.Stdout, sets, true)
-		for _, s := range sets {
-			s.Release()
+		fmt.Println("\n--- server statistics (nonzero) ---")
+		c.Server().WriteStats(os.Stdout)
+	}
+	if res.Failed != 0 {
+		for _, e := range res.Errors {
+			fmt.Fprintln(os.Stderr, "fileserver:", e)
 		}
+		fatal(fmt.Sprintf("%d requests failed", res.Failed))
 	}
 }
 
-func writeFile(root com.Dir, dir, name, contents string) {
-	f, err := root.Lookup(dir)
-	check(err)
-	d, qerr := f.QueryInterface(com.DirIID)
-	f.Release()
-	if qerr != nil {
-		fatal("not a dir")
+func suffix(fastPath bool, cpus int) string {
+	s := ""
+	if fastPath {
+		s += ", fastpath"
 	}
-	defer d.Release()
-	var file com.File
-	// Non-exclusive create keeps the retry idempotent (see the soak
-	// harness): an attempt that failed after entering the directory
-	// succeeds as an open on the next try.
-	check(retry("create "+name, func() error {
-		var err error
-		file, err = d.(com.Dir).Create(name, 0o644, false)
-		return err
-	}))
-	defer file.Release()
-	check(retry("write "+name, func() error {
-		_, err := file.WriteAt([]byte(contents), 0)
-		return err
-	}))
-}
-
-// retry re-attempts op while it fails with the transient com.ErrIO an
-// injected disk fault surfaces — the op-level retry contract that makes
-// those faults recoverable.  com.ErrExist means an earlier attempt took
-// effect before its error was reported, which is success for the
-// idempotent setup operations used here.
-func retry(what string, op func() error) error {
-	var err error
-	for i := 0; i < 64; i++ {
-		err = op()
-		if err == nil || err == com.ErrExist {
-			return nil
-		}
-		if err != com.ErrIO {
-			break
-		}
+	if cpus > 1 {
+		s += fmt.Sprintf(", %d cpus", cpus)
 	}
-	return fmt.Errorf("%s: %w", what, err)
+	return s
 }
 
 func check(err error) {

@@ -1,0 +1,70 @@
+package com
+
+// SendfileIID identifies the file-side zero-copy export interface.
+var SendfileIID = NewGUID(0x4aa7dff5, 0x7c74, 0x11cf,
+	0xb5, 0x00, 0x08, 0x00, 0x09, 0x53, 0xad, 0xc2)
+
+// Sendfile is the file-side half of the zero-copy serving path (E15):
+// a file object that can export a byte range of its backing store —
+// buffer-cache pages, for the NetBSD file system — as an SGBufIO whose
+// reference count *pins* those pages for exactly as long as anything
+// still holds a fragment.  It is negotiated per §4.4.2: a socket layer
+// that wants zero-copy asks the file for SendfileIID; a file that
+// cannot export in place (or a range it cannot, e.g. one spanning a
+// hole) fails, and the caller falls back to the ReadAt copy path
+// unchanged.  The extension is therefore invisible to every existing
+// File binding, exactly like SGBufIO was to BufIO.
+type Sendfile interface {
+	IUnknown
+
+	// MapFileSG exports the byte range [offset, offset+amount) of the
+	// file as a pinned scatter-gather object.  The returned SGBufIO owns
+	// one reference per underlying page; MapSG on it yields the runs
+	// in file order, and the final Release unpins every page.  Fails
+	// with ErrInval when the range exceeds the file and with ErrIO when
+	// the range cannot be exported in place.
+	MapFileSG(offset, amount uint64) (SGBufIO, error)
+}
+
+// SockSendfileIID identifies the socket-side sendfile entry interface.
+var SockSendfileIID = NewGUID(0x4aa7dff3, 0x7c74, 0x11cf,
+	0xb5, 0x00, 0x08, 0x00, 0x09, 0x53, 0xad, 0xc2)
+
+// SockSendfile is the socket-side half: a stream socket that can send
+// a file's bytes directly.  The implementation negotiates SendfileIID
+// with the file; when that succeeds the payload travels as external
+// mbufs referencing the file's pinned pages (never copied), and when
+// it fails the socket falls back to an internal read-and-write loop
+// with identical on-the-wire behaviour.  Like Socket.Write, the call
+// blocks for send-buffer space and may send fewer bytes than asked
+// only on error.
+type SockSendfile interface {
+	IUnknown
+
+	// SendFile sends length bytes of f starting at offset.  Returns the
+	// number of bytes queued (== length on success).
+	SendFile(f File, offset, length uint64) (uint64, error)
+}
+
+// TxCsumIID identifies the transmit checksum-offload descriptor
+// interface.
+var TxCsumIID = NewGUID(0x4aa7dff4, 0x7c74, 0x11cf,
+	0xb5, 0x00, 0x08, 0x00, 0x09, 0x53, 0xad, 0xc2)
+
+// TxCsum lets a packet object tell the transmit path that its
+// transport checksum has not been computed: the protocol seeded the
+// checksum field with the folded pseudo-header sum and left the rest
+// to the wire side.  A FeatCsum device folds the ones-complement sum
+// over [start, end) into the 16-bit field at start+off during the
+// gather pass; a transmit path without the engine finishes the sum in
+// software before the frame leaves, so the wire image is identical
+// either way.  Packets in a default configuration never answer for
+// this interface at all.
+type TxCsum interface {
+	IUnknown
+
+	// CsumSpec reports whether the packet needs hardware checksumming,
+	// and if so the byte offset where summing starts (start) and the
+	// offset of the 16-bit checksum field relative to start (off).
+	CsumSpec() (needs bool, start, off int)
+}

@@ -36,7 +36,13 @@ func NewCluster(cfg Config, n int, tickInterval time.Duration, opts Options) (*C
 	c := &Cluster{Cfg: cfg, Switch: hw.NewEtherSwitch()}
 	for i := 0; i < n; i++ {
 		port := c.Switch.NewPort()
-		node, err := newNode(cfg, port, byte(i+1), [4]byte{10, 2, 0, byte(i + 1)}, tickInterval, opts)
+		nodeOpts := opts
+		if i != 0 {
+			// Only the conventional server node carries a disk; load
+			// generators are pure network machines.
+			nodeOpts.DiskSectors = 0
+		}
+		node, err := newNode(cfg, port, byte(i+1), [4]byte{10, 2, 0, byte(i + 1)}, tickInterval, nodeOpts)
 		if err != nil {
 			c.Halt()
 			return nil, fmt.Errorf("evalrig: cluster node %d: %w", i, err)
@@ -69,6 +75,7 @@ func (c *Cluster) Halt() {
 		if n.BSD != nil {
 			n.Do(n.BSD.Close)
 		}
+		n.UnmountFS()
 		n.Machine.Halt()
 	}
 	c.Nodes = nil

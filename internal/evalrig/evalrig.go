@@ -31,6 +31,7 @@ import (
 	"oskit/internal/libc"
 	linuxdev "oskit/internal/linux/dev"
 	linuxnet "oskit/internal/linux/net"
+	netbsdfs "oskit/internal/netbsd/fs"
 	"oskit/internal/stats"
 )
 
@@ -61,7 +62,17 @@ type Node struct {
 	// the node was booted with Options.FastPath (OSKit configuration).
 	QP *libc.QuickPool
 
+	// Disk is the node's IDE disk, non-nil only when booted with
+	// Options.DiskSectors; FS and FSRoot are set by MountFS.
+	Disk   *hw.Disk
+	FS     *netbsdfs.FFS
+	FSRoot com.Dir
+
 	nic *hw.NIC
+
+	// httpPopKey remembers the (seed, files, bytes) shape PopulateHTTP
+	// last laid down, making repopulation a no-op across workload runs.
+	httpPopKey string
 
 	// lk is the node's §4.7.4 component lock, armed by Serialize for
 	// rigs that drive one node from several process-level goroutines
@@ -125,6 +136,23 @@ type Options struct {
 	// monolithic baseline stays serialized) but still boots with N
 	// CPUs.
 	CPUs int
+
+	// DiskSectors, when nonzero, attaches an IDE disk of that many
+	// 512-byte sectors to the machine before boot — the HTTP
+	// file-serving workload (E15) mounts an FFS on it via
+	// Node.MountFS.  In a Cluster only the server node (Nodes[0])
+	// receives the disk; generators have no use for one.
+	DiskSectors uint32
+
+	// SendfileCopy and SoftCsum each peel one E15 leg off the
+	// fast-path configuration, for the sendfile ablation benchmark:
+	// SendfileCopy keeps SendFile on its read-and-copy loop (the page
+	// seam stays un-negotiated), SoftCsum keeps outbound transport
+	// checksums in software (the gather engine still transmits, but
+	// never finishes a deferred sum).  Both are ignored without
+	// FastPath — the stock configuration has neither seam to peel.
+	SendfileCopy bool
+	SoftCsum     bool
 }
 
 // Pair is a two-machine testbed.  Sender and receiver may run different
@@ -204,12 +232,17 @@ func newNode(cfg Config, seg hw.Segment, unit byte, ip [4]byte, tick time.Durati
 	smp := cpus > 1
 	m := hw.NewMachine(hw.Config{Name: fmt.Sprintf("%s-%d", cfg, unit), MemBytes: 64 << 20, CPUs: cpus})
 	nic := m.AttachNIC(seg, [6]byte{2, 0, 0, 2, 0, unit}, hw.Model3C59X)
+	var disk *hw.Disk
+	if opts.DiskSectors > 0 {
+		disk = hw.NewDisk(opts.DiskSectors)
+		m.AttachDisk(disk)
+	}
 	k, err := kern.Setup(m, nil)
 	if err != nil {
 		m.Halt()
 		return nil, err
 	}
-	n := &Node{Machine: m, Kernel: k, IP: ip, nic: nic}
+	n := &Node{Machine: m, Kernel: k, IP: ip, nic: nic, Disk: disk}
 	n.C = libc.New(k.Env)
 
 	switch cfg {
@@ -299,6 +332,18 @@ func newNode(cfg Config, seg hw.Segment, unit byte, ip [4]byte, tick time.Durati
 			linuxdev.GlueFor(k.Env).EnableFastPath(pool)
 			st.SetPacketPool(pool)
 			n.QP = pool
+			// The E15 additions to the same opt-in configuration: file
+			// serving exports buffer-cache pages as external mbufs
+			// (zero payload copies file→NIC), and the transport
+			// checksum rides the gather engine — the attached 3C59X
+			// model advertises FeatCsum through its CsumChip adapter.
+			// The ablation knobs peel one leg at a time.
+			if !opts.SendfileCopy {
+				st.EnableSendfileZeroCopy()
+			}
+			if !opts.SoftCsum {
+				st.EnableCsumOffload()
+			}
 		}
 
 	default:

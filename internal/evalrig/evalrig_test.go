@@ -204,6 +204,58 @@ func TestPathShapeMatrix(t *testing.T) {
 					t.Errorf("default: %d batched deliveries on the stock configuration", v)
 				}
 			}
+
+			// E15 file-serving shape, same decision tree: boot a
+			// disk-carrying cluster in the row's configuration and push
+			// the HTTP workload through libc.Sendfile.  The fast path
+			// must move every body byte as pinned buffer-cache pages
+			// with the transport checksum riding the gather engine; the
+			// default path must never negotiate either seam.
+			c, err := NewCluster(OSKit, 2, time.Millisecond, Options{
+				FastPath: tc.opts.FastPath, DiskSectors: 16384,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Halt()
+			res, err := HTTPGet(c, HTTPOptions{
+				Requests: 24, Workers: 2, Files: 3, FileBytes: 20000,
+				Seed: 7, Port: tc.port + 100, Probes: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Failed != 0 {
+				t.Fatalf("HTTP workload failed %d of %d requests: %v", res.Failed, res.Failed+res.Requests, res.Errors)
+			}
+			cstat := func(set, name string) int64 {
+				v, _ := c.Server().Stat(set, name)
+				return v
+			}
+			if tc.opts.FastPath {
+				if v := cstat("freebsd_net", "sendfile.pages_mapped"); v == 0 {
+					t.Error("fastpath: sendfile mapped no buffer-cache pages")
+				}
+				if v := cstat("freebsd_net", "sendfile.bytes_copied"); v != 0 {
+					t.Errorf("fastpath: sendfile copied %d payload bytes", v)
+				}
+				if v := cstat("linux_dev", "xmit.csum_offloaded"); v == 0 {
+					t.Error("fastpath: no transport checksum rode the gather engine")
+				}
+				if v := cstat("netbsd_fs", "bcache.pinned"); v != 0 {
+					t.Errorf("fastpath: %d buffer-cache pages still pinned after the run", v)
+				}
+			} else {
+				if v := cstat("freebsd_net", "sendfile.pages_mapped"); v != 0 {
+					t.Errorf("default: %d pages mapped on the stock configuration", v)
+				}
+				if v := cstat("freebsd_net", "sendfile.bytes_copied"); v == 0 {
+					t.Error("default: sendfile copy path moved no bytes (did the seam engage silently?)")
+				}
+				if v := cstat("linux_dev", "xmit.csum_offloaded"); v != 0 {
+					t.Errorf("default: %d checksums deferred on the stock configuration", v)
+				}
+			}
 		})
 	}
 }

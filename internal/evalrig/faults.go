@@ -46,6 +46,11 @@ func (n *Node) EnableFaults(in *faults.Injector, name string) {
 		// actually draw from.
 		n.QP.SetAllocFaultHook(in.AllocFailFunc("qp." + name))
 	}
+	if n.Disk != nil {
+		// A node serving files gets hostile media too: the HTTP soak
+		// proves the serving path's op-level ErrIO retry contract.
+		n.Disk.SetFaultHook(in.DiskHook("disk." + name))
+	}
 	n.Kernel.Env.Registry.Register(com.FaultIID, in)
 	n.Kernel.Env.Registry.Register(com.StatsIID, in.StatsSet())
 }

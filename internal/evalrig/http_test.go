@@ -1,0 +1,143 @@
+package evalrig
+
+import (
+	"testing"
+	"time"
+)
+
+// TestHTTPGetAllConfigs proves the HTTP file-serving workload (E15)
+// moves verified bodies on every Table 1/2 configuration — the same
+// application code atop the POSIX layer, only the configuration
+// differing — including the zero-copy fast path.
+func TestHTTPGetAllConfigs(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		opts Options
+	}{
+		{"linux", Linux, Options{}},
+		{"freebsd", FreeBSD, Options{}},
+		{"oskit", OSKit, Options{}},
+		{"oskit-fastpath", OSKit, Options{FastPath: true}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			tc.opts.DiskSectors = 16384
+			c, err := NewCluster(tc.cfg, 3, time.Millisecond, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Halt()
+			res, err := HTTPGet(c, HTTPOptions{
+				Requests: 32, Workers: 2, Files: 3, FileBytes: 20000,
+				Seed: 11, Probes: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Failed != 0 {
+				t.Fatalf("%d of %d requests failed: %v", res.Failed, res.Failed+res.Requests, res.Errors)
+			}
+			if res.Requests != 32 {
+				t.Fatalf("answered %d of 32 requests", res.Requests)
+			}
+			// 32 tickets, probes at i%8==3 and i%8==7: 8 probes, 24 GETs.
+			if want := uint64(24 * 20000); res.BytesBody != want {
+				t.Fatalf("moved %d body bytes, want %d", res.BytesBody, want)
+			}
+			if res.CheckSum == 0 {
+				t.Fatal("verification checksum is zero — no bodies verified?")
+			}
+			// Generators never carry a disk; only the server does.
+			if c.Server().Disk == nil {
+				t.Fatal("server node has no disk")
+			}
+			for _, g := range c.Generators() {
+				if g.Disk != nil {
+					t.Fatal("generator node carries a disk")
+				}
+			}
+		})
+	}
+}
+
+// TestHTTPGetReproducible pins the workload's determinism contract: two
+// equal-seed runs — even against different cluster instances — produce
+// the same verification checksum, the property the hostile-wire soak
+// leans on when it compares a faulted run with a clean one.
+func TestHTTPGetReproducible(t *testing.T) {
+	opt := HTTPOptions{
+		Requests: 24, Workers: 3, Files: 4, FileBytes: 12000,
+		Seed: 1234, Probes: true,
+	}
+	var sums [2]uint32
+	for i := range sums {
+		c, err := NewCluster(OSKit, 2, time.Millisecond, Options{FastPath: true, DiskSectors: 16384})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := HTTPGet(c, opt)
+		if err != nil {
+			c.Halt()
+			t.Fatal(err)
+		}
+		if res.Failed != 0 {
+			c.Halt()
+			t.Fatalf("run %d: %d failed: %v", i, res.Failed, res.Errors)
+		}
+		sums[i] = res.CheckSum
+		c.Halt()
+	}
+	if sums[0] != sums[1] {
+		t.Fatalf("equal-seed runs disagree: %08x != %08x", sums[0], sums[1])
+	}
+}
+
+// TestHTTPGetRepopulateNoop: a second workload run against the same
+// cluster reuses the populated tree (the population key matches), and
+// changing the seed lays a fresh one down.
+func TestHTTPGetRepopulateNoop(t *testing.T) {
+	c, err := NewCluster(OSKit, 2, time.Millisecond, Options{DiskSectors: 16384})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Halt()
+	for _, seed := range []int64{5, 5, 6} {
+		res, err := HTTPGet(c, HTTPOptions{
+			Requests: 8, Workers: 1, Files: 2, FileBytes: 4096, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Failed != 0 {
+			t.Fatalf("seed %d: %d failed: %v", seed, res.Failed, res.Errors)
+		}
+	}
+}
+
+// TestMountFSLifecycle pins MountFS/UnmountFS: mounting is idempotent,
+// a diskless node refuses, and Halt leaves no dangling mount.
+func TestMountFSLifecycle(t *testing.T) {
+	c, err := NewCluster(OSKit, 2, time.Millisecond, Options{DiskSectors: 16384})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Halt()
+	srv := c.Server()
+	if err := srv.MountFS(); err != nil {
+		t.Fatal(err)
+	}
+	fs := srv.FS
+	if err := srv.MountFS(); err != nil || srv.FS != fs {
+		t.Fatalf("second MountFS not a no-op (%v)", err)
+	}
+	if err := c.Generators()[0].MountFS(); err == nil {
+		t.Fatal("diskless generator mounted a file system")
+	}
+	srv.UnmountFS()
+	if srv.FS != nil || srv.FSRoot != nil {
+		t.Fatal("UnmountFS left state behind")
+	}
+	srv.UnmountFS() // second unmount is a no-op
+}

@@ -114,6 +114,53 @@ func RunClusterChurn(c *evalrig.Cluster, opts evalrig.ChurnOptions, timeout time
 	}
 }
 
+// HTTPRegimes are the fault regimes the HTTP file-serving soak (E15)
+// runs under.  File serving stacks a second fault surface on top of the
+// wire: the disk under the buffer cache, whose injected errors the
+// serving path must absorb through its op-level retry contract while
+// the zero-copy machinery keeps pages pinned across retransmissions.
+//
+//   - clean: no faults; the control run.
+//   - hostile-wire: corruption, duplication, reordering, ring overruns
+//     and clock jitter — every retransmission stretches the life of the
+//     pinned pages riding the lost segments.
+//   - loss-burst-diskerr: burst frame loss on the wire plus disk
+//     errors and torn writes under the file system (the acceptance
+//     regime for the serving path's two-sided retry story).
+func HTTPRegimes() []Regime {
+	return []Regime{
+		{Name: "clean", Plan: faults.Plan{Seed: 1}},
+		{Name: "hostile-wire", Plan: faults.Plan{
+			Seed: 3, WireCorrupt: 0.05, WireDup: 0.05, WireReorder: 0.05,
+			NICOverflow: 0.05, TimerJitter: 0.10}},
+		{Name: "loss-burst-diskerr", Plan: faults.Plan{
+			Seed: 2, WireDrop: 0.10, WireBurst: 3, DiskErr: 0.05, DiskTorn: 0.02}},
+	}
+}
+
+// RunHTTP drives the E15 HTTP file-serving workload on a cluster under
+// whatever faults are already enabled, with the same hang watchdog as
+// the other soaks: a regime that wedges the workload fails loudly
+// instead of hanging the suite.
+func RunHTTP(c *evalrig.Cluster, opts evalrig.HTTPOptions, timeout time.Duration) (evalrig.HTTPResult, error) {
+	type out struct {
+		res evalrig.HTTPResult
+		err error
+	}
+	done := make(chan out, 1)
+	go func() {
+		r, err := evalrig.HTTPGet(c, opts)
+		done <- out{r, err}
+	}()
+	select {
+	case o := <-done:
+		return o.res, o.err
+	//oskit:allow detsource -- hang watchdog only; fires after the workload is already wedged, never on a decision path
+	case <-time.After(timeout):
+		return evalrig.HTTPResult{}, fmt.Errorf("soak: http workload did not complete within %v", timeout)
+	}
+}
+
 // AllocPair names one alloc/free counter pair in one stats set.
 type AllocPair struct {
 	Set, Alloc, Free string
@@ -124,7 +171,11 @@ type AllocPair struct {
 // arena (kern), the Linux driver glue's kmalloc (linux_dev), and the
 // QuickPool allocator service of the fast-path configuration
 // (quickpool; its stats set exists only on fast-path nodes, so the
-// pair is skipped everywhere else).
+// pair is skipped everywhere else), and the buffer-cache page pins of
+// the zero-copy sendfile path (netbsd_fs; only on nodes that mounted a
+// file system).  For pins the invariant reads: every unpin matches a
+// pin, so a transmit completion can never release a page the sendfile
+// export didn't pin.
 func AllocPairs() []AllocPair {
 	return []AllocPair{
 		{"freebsd_net", "mbuf.allocs", "mbuf.frees"},
@@ -133,6 +184,7 @@ func AllocPairs() []AllocPair {
 		{"kern", "lmm.allocs", "lmm.frees"},
 		{"linux_dev", "kmalloc.allocs", "kmalloc.frees"},
 		{"quickpool", "qp.allocs", "qp.frees"},
+		{"netbsd_fs", "bcache.pins", "bcache.unpins"},
 	}
 }
 

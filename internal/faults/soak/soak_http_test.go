@@ -1,0 +1,116 @@
+package soak
+
+// HTTP file serving under chaos (E15): the zero-copy sendfile workload
+// — verified GETs through the security wrapper, bodies travelling as
+// pinned buffer-cache pages — must answer every request with its body
+// CRC intact while the switch fabric corrupts, duplicates and reorders
+// frames and the disk under the file system throws errors and tears
+// writes.  TCP's recovery and the serving path's op-level ErrIO retry
+// are what is on trial; the page-pin ledger and the allocation
+// counters are the witnesses.
+
+import (
+	"testing"
+	"time"
+
+	"oskit/internal/evalrig"
+)
+
+func TestHTTPSoakRegimes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak serving runs are slow")
+	}
+	var cleanSum uint32
+	for i, reg := range HTTPRegimes() {
+		reg := reg
+		port := uint16(5800 + i)
+		t.Run(reg.Name, func(t *testing.T) {
+			c, err := evalrig.NewCluster(evalrig.OSKit, 3, soakTick, evalrig.Options{
+				FastPath: true, DiskSectors: 16384,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Halt()
+
+			// One payload seed across every regime: with all bodies
+			// verified, the checksum must match between regimes too.
+			opts := evalrig.HTTPOptions{
+				Requests: 32, Workers: 2, Files: 3, FileBytes: 20000,
+				Seed: 99, Port: port, Probes: true,
+			}
+			// Format, mount and populate before the regime arms: mkfs
+			// has no retry contract (a torn superblock is not a serving
+			// failure), and the soak is about the serving path.
+			if err := evalrig.PopulateHTTP(c.Server(), opts); err != nil {
+				t.Fatal(err)
+			}
+			in := c.EnableFaults(reg.Plan)
+			t.Logf("plan: %s", in.FaultPlan())
+			res, err := RunHTTP(c, opts, 120*time.Second)
+			if err != nil {
+				t.Fatalf("http under %q (reproduce with plan %q): %v",
+					reg.Name, in.FaultPlan(), err)
+			}
+			// Every request must be answered: loss, corruption and disk
+			// errors are for TCP and the retry contract to absorb, not
+			// to surface as failed requests.
+			if res.Failed != 0 || res.Requests != opts.Requests {
+				t.Fatalf("http under %q: %d ok, %d failed (plan %q): %v",
+					reg.Name, res.Requests, res.Failed, in.FaultPlan(), res.Errors)
+			}
+			// With every body verified, the checksum is a pure function
+			// of the payload seeding — the hostile runs must reproduce
+			// the clean run's sum bit for bit.
+			if reg.Plan.Active() {
+				if in.FaultsInjected() == 0 {
+					t.Errorf("regime %q injected nothing", reg.Name)
+				}
+				if res.CheckSum != cleanSum {
+					t.Errorf("hostile checksum %08x differs from clean %08x",
+						res.CheckSum, cleanSum)
+				}
+			} else {
+				if in.FaultsInjected() != 0 {
+					t.Errorf("clean regime injected %d faults", in.FaultsInjected())
+				}
+				cleanSum = res.CheckSum
+			}
+			// No page pin survives the run: retransmissions stretch pin
+			// lifetimes, but every transmit completion lands eventually.
+			waitPinsDrained(t, c.Server())
+			for i, n := range c.Nodes {
+				for _, bad := range Imbalances(n) {
+					t.Errorf("node %d (%s): %s", i, n.Machine.Name, bad)
+				}
+			}
+		})
+	}
+}
+
+// waitPinsDrained asserts the server's pinned-page gauge reaches zero:
+// the last unpin rides the final transmit completion (or socket
+// teardown), which may trail the client's last verified byte by a few
+// scheduler beats.
+func waitPinsDrained(t *testing.T, srv *evalrig.Node) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		pinned, ok := srv.Stat("netbsd_fs", "bcache.pinned")
+		if !ok {
+			t.Error("bcache stats not discoverable on the server node")
+			return
+		}
+		if pinned == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			pins, _ := srv.Stat("netbsd_fs", "bcache.pins")
+			unpins, _ := srv.Stat("netbsd_fs", "bcache.unpins")
+			t.Errorf("%d buffer-cache pages still pinned after the run (pins=%d unpins=%d)",
+				pinned, pins, unpins)
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -79,6 +79,18 @@ func Checksum(data []byte, initial uint32) uint16 {
 	return ^uint16(sum)
 }
 
+// foldSum reduces a partial ones-complement sum to 16 bits WITHOUT the
+// final complement — the seed a checksum-offload path stores in the
+// checksum field for the transmit engine to finish.  By ones-complement
+// commutativity, summing the packet with this seed in place and
+// complementing yields exactly the software checksum.
+func foldSum(sum uint32) uint16 {
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return uint16(sum)
+}
+
 // pseudoSum folds the TCP/UDP pseudo-header into a partial sum.
 func pseudoSum(src, dst IPAddr, proto int, length int) uint32 {
 	var sum uint32

@@ -42,6 +42,16 @@ type Mbuf struct {
 
 	// PktLen is the whole-packet length, valid in the first mbuf.
 	PktLen int
+
+	// Checksum-offload descriptor (pkthdr state, valid in the first
+	// link).  When NeedsCsum is set, the 16-bit transport checksum at
+	// packet offset CsumStart+CsumOff holds only the folded
+	// pseudo-header seed; a FeatCsum-capable transmit path must fold
+	// the ones-complement sum over [CsumStart, PktLen) into it.
+	// Prepend keeps CsumStart packet-relative as headers are added.
+	NeedsCsum bool
+	CsumStart int
+	CsumOff   int
 }
 
 // Data returns the live bytes of this link.
@@ -265,6 +275,9 @@ func (m *Mbuf) Prepend(n int) *Mbuf {
 		m.off -= n
 		m.len += n
 		m.PktLen += n
+		if m.NeedsCsum {
+			m.CsumStart += n
+		}
 		return m
 	}
 	h := m.stk.MGetHdr()
@@ -281,6 +294,14 @@ func (m *Mbuf) Prepend(n int) *Mbuf {
 	h.len = n
 	h.Next = m
 	h.PktLen = m.PktLen + n
+	// The pkthdr moves to the new head; the offload descriptor moves
+	// (shifted) with it.
+	if m.NeedsCsum {
+		h.NeedsCsum = true
+		h.CsumStart = m.CsumStart + n
+		h.CsumOff = m.CsumOff
+		m.NeedsCsum = false
+	}
 	return h
 }
 

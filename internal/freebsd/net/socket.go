@@ -82,12 +82,19 @@ type socket struct {
 	closed bool
 }
 
-// QueryInterface implements com.IUnknown.
+// QueryInterface implements com.IUnknown.  Stream sockets additionally
+// answer for the sendfile entry (§4.4.2): clients that never ask keep
+// the plain Socket contract.
 func (so *socket) QueryInterface(iid com.GUID) (com.IUnknown, error) {
 	switch iid {
 	case com.UnknownIID, com.SocketIID:
 		so.AddRef()
 		return so, nil
+	case com.SockSendfileIID:
+		if so.tcp != nil {
+			so.AddRef()
+			return so, nil
+		}
 	}
 	return nil, com.ErrNoInterface
 }

@@ -109,6 +109,20 @@ type Stack struct {
 	// ForceRxCopy disables the receive-side Map fast path (ablation:
 	// every inbound packet is copied instead of wrapped).
 	ForceRxCopy bool
+
+	// sendfileZC enables the zero-copy SendFile path: payload travels
+	// as external mbufs referencing the file's pinned pages.  Off (the
+	// default), SendFile uses its internal read-and-copy loop and the
+	// wire behaviour is byte-identical to a Write of the same bytes.
+	// Config-before-traffic, like the interface address.
+	sendfileZC bool
+
+	// csumOffload makes tcp_output seed outbound segments' checksum
+	// fields with the folded pseudo-header sum and mark them NeedsCsum
+	// for a FeatCsum transmit path to finish, instead of summing the
+	// whole chain in software.  Config-before-traffic; enable only over
+	// a driver path that completes deferred checksums.
+	csumOffload bool
 }
 
 // rxCtx is one receive pass's batching state, threaded down the input
@@ -126,24 +140,24 @@ type rxCtx struct {
 // ABI stability but every hot-path update is an atomic add (several CPUs
 // ingest concurrently on an SMP machine); use StatsSnapshot to read.
 type StackStats struct {
-	IPIn, IPOut    uint64
-	IPBadCsum      uint64
-	IPFragsIn      uint64
-	IPReasmOK      uint64
-	TCPIn, TCPOut  uint64
-	TCPRexmt       uint64
+	IPIn, IPOut   uint64
+	IPBadCsum     uint64
+	IPFragsIn     uint64
+	IPReasmOK     uint64
+	TCPIn, TCPOut uint64
+	TCPRexmt      uint64
 	// AcceptOverflows counts SYNs dropped at a listener whose accept or
 	// syn queue was full (FreeBSD behaviour: silent drop, no RST).
 	AcceptOverflows uint64
 	// TimeWaitRecycled counts TIME_WAIT pcbs reclaimed early because
 	// the stack's lingering-pcb cap was exceeded.
 	TimeWaitRecycled uint64
-	UDPIn, UDPOut  uint64
-	ARPIn, ARPOut  uint64
+	UDPIn, UDPOut    uint64
+	ARPIn, ARPOut    uint64
 	// ARPBadSender counts ARP frames dropped because the sender-hardware
 	// field disagreed with the Ethernet source station (corruption or
 	// spoofing; accepting it would poison the resolution cache).
-	ARPBadSender uint64
+	ARPBadSender   uint64
 	RxZeroCopy     uint64 // inbound packets wrapped via Map
 	RxCopied       uint64 // inbound packets copied via Read
 	TxContiguous   uint64 // outbound packets exported as one run
@@ -176,6 +190,9 @@ type netstats struct {
 	tcpRxBytes                  *stats.Histogram
 	rxBatches, rxBatchFrames    *stats.Counter
 	rxAcksCoalesced             *stats.Counter
+	sfPagesMapped               *stats.Counter
+	sfBytesCopied               *stats.Counter
+	sfZCBytes                   *stats.Counter
 }
 
 // NewStack creates the networking component over a BSD glue environment
@@ -251,8 +268,8 @@ func (s *Stack) initStats() {
 		// ARP frames refused because the sender-hardware field disagreed
 		// with the Ethernet source station (corruption or spoofing).
 		arpBadSender: set.Counter("arp.bad_sender"),
-		tcpPCBCount:   set.Gauge("tcp.pcbs"),
-		sockbufCC:      set.Gauge("sockbuf.occupancy"),
+		tcpPCBCount:  set.Gauge("tcp.pcbs"),
+		sockbufCC:    set.Gauge("sockbuf.occupancy"),
 		// Inbound TCP payload sizes: runts, mid-size, MSS-full segments.
 		tcpRxBytes: set.Histogram("tcp.rx_seg_bytes", []uint64{1, 128, 512, 1024, 1460}),
 		// Batched receive (NetIOBatch): batches ingested, frames they
@@ -261,6 +278,13 @@ func (s *Stack) initStats() {
 		rxBatches:       set.Counter("ether.rx_batches"),
 		rxBatchFrames:   set.Counter("ether.rx_batch_frames"),
 		rxAcksCoalesced: set.Counter("tcp.rx_acks_coalesced"),
+		// The sendfile ledger (E15): file pages exported as pinned
+		// ext-mbufs, payload bytes the copy fallback moved (zero on a
+		// pure zero-copy run — the benchmark pin), and payload bytes
+		// that travelled without copying.
+		sfPagesMapped: set.Counter("sendfile.pages_mapped"),
+		sfBytesCopied: set.Counter("sendfile.bytes_copied"),
+		sfZCBytes:     set.Counter("sendfile.zc_bytes"),
 	}
 	s.g.Env().Registry.Register(com.StatsIID, set)
 	set.Release() // the registry's reference keeps it alive
@@ -387,6 +411,35 @@ func (s *Stack) SetPacketPool(pool com.Allocator) {
 	if old != nil {
 		old.Release()
 	}
+}
+
+// EnableSendfileZeroCopy switches SendFile onto the zero-copy page
+// seam: payload bytes travel as external mbufs referencing the served
+// file's pinned cache pages.  Call before traffic (fast-path
+// configuration, like SetPacketPool); the default configuration never
+// does, so the stock path-shape pins are untouched.
+func (s *Stack) EnableSendfileZeroCopy() {
+	spl := s.g.Splnet()
+	s.mu.Lock()
+	s.sendfileZC = true
+	s.mu.Unlock()
+	s.g.Splx(spl)
+}
+
+// EnableCsumOffload defers outbound TCP checksums to the transmit path
+// (FeatCsum): tcp_output seeds the field with the folded pseudo-header
+// sum and marks the packet, and the driver either hands it to a
+// checksum-inserting gather engine or finishes it in software.  Call
+// before traffic, and only over a driver that honours the TxCsum
+// negotiation — the stack cannot verify that from here (§4.4.2: the
+// capability is discovered per packet, on the other side of the
+// boundary).
+func (s *Stack) EnableCsumOffload() {
+	spl := s.g.Splnet()
+	s.mu.Lock()
+	s.csumOffload = true
+	s.mu.Unlock()
+	s.g.Splx(spl)
 }
 
 // Ifconfig assigns the interface address (oskit_freebsd_net_ifconfig).
@@ -610,13 +663,27 @@ func (s *Stack) wrapMbuf(m *Mbuf) *mbufIO {
 // QueryInterface implements com.IUnknown.  The object also answers for
 // the SGBufIO extension: an mbuf chain *is* a fragment list, so exporting
 // it costs nothing, and only gather-capable consumers ever ask (§4.4.2).
+// TxCsum is answered only for packets actually carrying a deferred
+// checksum, so consumers can gate on the query alone.
 func (b *mbufIO) QueryInterface(iid com.GUID) (com.IUnknown, error) {
 	switch iid {
 	case com.UnknownIID, com.BlkIOIID, com.BufIOIID, com.SGBufIOIID:
 		b.AddRef()
 		return b, nil
+	case com.TxCsumIID:
+		if b.m.NeedsCsum {
+			b.AddRef()
+			return b, nil
+		}
 	}
 	return nil, com.ErrNoInterface
+}
+
+// CsumSpec implements com.TxCsum: the packet's deferred-checksum
+// descriptor (offsets are packet-relative, i.e. relative to the frame
+// the consumer maps).
+func (b *mbufIO) CsumSpec() (bool, int, int) {
+	return b.m.NeedsCsum, b.m.CsumStart, b.m.CsumOff
 }
 
 // BlockSize implements com.BlkIO.
@@ -732,6 +799,7 @@ func (b *mbufIO) Wire() (uint32, error) {
 func (b *mbufIO) Unwire() error { return nil }
 
 var _ com.SGBufIO = (*mbufIO)(nil)
+var _ com.TxCsum = (*mbufIO)(nil)
 var _ com.NetIOBatch = (*stackRecv)(nil)
 var _ hw.PhysAddr = 0
 

@@ -125,8 +125,20 @@ func (s *Stack) tcpOutputOnce(tp *tcpcb) bool {
 		h[20], h[21] = 2, 4
 		binary.BigEndian.PutUint16(h[22:24], uint16(tp.maxSeg))
 	}
-	csum := s.chainChecksum(m, pseudoSum(tp.laddr, tp.faddr, ProtoTCP, m.PktLen))
-	binary.BigEndian.PutUint16(h[16:18], csum)
+	if s.csumOffload {
+		// Checksum offload (FeatCsum): seed the field with the folded
+		// pseudo-header sum and leave the chain walk to the transmit
+		// engine — the software cost this branch avoids is exactly the
+		// per-byte sum over the (possibly page-sized) payload runs.
+		binary.BigEndian.PutUint16(h[16:18],
+			foldSum(pseudoSum(tp.laddr, tp.faddr, ProtoTCP, m.PktLen)))
+		m.NeedsCsum = true
+		m.CsumStart = 0
+		m.CsumOff = 16
+	} else {
+		csum := s.chainChecksum(m, pseudoSum(tp.laddr, tp.faddr, ProtoTCP, m.PktLen))
+		binary.BigEndian.PutUint16(h[16:18], csum)
+	}
 
 	// Advance send state.
 	adv := uint32(length)

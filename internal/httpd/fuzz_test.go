@@ -1,0 +1,88 @@
+package httpd
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzHTTPRequest is the wall in front of the wire-facing parser: for
+// ANY byte sequence, ParseRequest must return either a structurally
+// valid request or ErrMalformed — never panic, never hand back a
+// request that violates its own documented invariants.  The seed
+// corpus covers the attack shapes the static server meets: malformed
+// request lines, header folding, oversized URIs, smuggling-flavored
+// framing tricks, and pipelined garbage.
+func FuzzHTTPRequest(f *testing.F) {
+	seeds := []string{
+		// Well-formed.
+		"GET / HTTP/1.1\r\nHost: a\r\n\r\n",
+		"GET /pub/f1?x=1 HTTP/1.0\r\nConnection: keep-alive\r\n\r\n",
+		"HEAD /a/b/c HTTP/1.1\r\nAccept: */*\r\n\r\n",
+		// Malformed request lines.
+		"GET\r\n\r\n",
+		"GET / HTTP/9.9\r\n\r\n",
+		" GET / HTTP/1.1\r\n\r\n",
+		"GET /a\tb HTTP/1.1\r\n\r\n",
+		"\r\nGET / HTTP/1.1\r\n\r\n",
+		// Header folding.
+		"GET / HTTP/1.1\r\nX: a\r\n b\r\n\tc\r\n\r\n",
+		"GET / HTTP/1.1\r\n folded-first\r\n\r\n",
+		// Oversized URI.
+		"GET /" + strings.Repeat("a", MaxTarget+10) + " HTTP/1.1\r\n\r\n",
+		// Framing tricks.
+		"GET / HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 6\r\n\r\n",
+		"GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+		"GET / HTTP/1.1\r\nContent-Length : 5\r\n\r\n",
+		"GET / HTTP/1.1\r\nX: \x00\r\n\r\n",
+		// Pipelined garbage after the head.
+		"GET / HTTP/1.1\r\n\r\nGET /next HTTP/1.1\r\n\r\n\x00\xff\xfe",
+		// Bare-LF line endings.
+		"GET / HTTP/1.1\nHost: a\n\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, head []byte) {
+		req, err := ParseRequest(head)
+		if err != nil {
+			if req != nil {
+				t.Fatal("error with non-nil request")
+			}
+			return // fail closed is always acceptable
+		}
+		// Accepted requests must satisfy the parser's own contract.
+		if req.Method == "" || !isToken(req.Method) || len(req.Method) > 16 {
+			t.Fatalf("bad method %q accepted", req.Method)
+		}
+		if req.Proto != "HTTP/1.0" && req.Proto != "HTTP/1.1" {
+			t.Fatalf("bad proto %q accepted", req.Proto)
+		}
+		if req.Target == "" || req.Target[0] != '/' || len(req.Target) > MaxTarget {
+			t.Fatalf("bad target %q accepted", req.Target)
+		}
+		for i := 0; i < len(req.Target); i++ {
+			if c := req.Target[i]; c <= ' ' || c >= 0x7f {
+				t.Fatalf("target %q carries byte %#x", req.Target, c)
+			}
+		}
+		if !strings.HasPrefix(req.Target, req.Path) {
+			t.Fatalf("path %q not a prefix of target %q", req.Path, req.Target)
+		}
+		if len(req.Headers) > MaxHeaders {
+			t.Fatalf("%d headers accepted", len(req.Headers))
+		}
+		for _, h := range req.Headers {
+			if !isToken(h.Name) {
+				t.Fatalf("bad header name %q accepted", h.Name)
+			}
+			for i := 0; i < len(h.Value); i++ {
+				if c := h.Value[i]; (c < ' ' && c != '\t') || c == 0x7f {
+					t.Fatalf("header %q carries byte %#x", h.Name, c)
+				}
+			}
+		}
+		if _, ok := req.Header("Transfer-Encoding"); ok {
+			t.Fatal("Transfer-Encoding accepted")
+		}
+	})
+}

@@ -1,0 +1,139 @@
+package httpd
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseRequestBasics(t *testing.T) {
+	req, err := ParseRequest([]byte("GET /pub/f1 HTTP/1.1\r\nHost: a\r\nConnection: keep-alive\r\n\r\n"))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if req.Method != "GET" || req.Path != "/pub/f1" || req.Proto != "HTTP/1.1" {
+		t.Fatalf("parsed %+v", req)
+	}
+	if !req.KeepAlive {
+		t.Fatal("HTTP/1.1 keep-alive expected")
+	}
+	if v, ok := req.Header("host"); !ok || v != "a" {
+		t.Fatalf("Host = %q, %v", v, ok)
+	}
+}
+
+func TestParseRequestQueryStrip(t *testing.T) {
+	req, err := ParseRequest([]byte("GET /f?x=1&y=2 HTTP/1.1\r\n\r\n"))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if req.Path != "/f" || req.Target != "/f?x=1&y=2" {
+		t.Fatalf("path %q target %q", req.Path, req.Target)
+	}
+}
+
+func TestParseRequestConnectionSemantics(t *testing.T) {
+	cases := []struct {
+		head string
+		keep bool
+	}{
+		{"GET / HTTP/1.1\r\n\r\n", true},
+		{"GET / HTTP/1.1\r\nConnection: close\r\n\r\n", false},
+		{"GET / HTTP/1.0\r\n\r\n", false},
+		{"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n", true},
+		{"GET / HTTP/1.1\r\nConnection: foo, Close\r\n\r\n", false},
+	}
+	for _, c := range cases {
+		req, err := ParseRequest([]byte(c.head))
+		if err != nil {
+			t.Fatalf("%q: %v", c.head, err)
+		}
+		if req.KeepAlive != c.keep {
+			t.Errorf("%q: keep = %v, want %v", c.head, req.KeepAlive, c.keep)
+		}
+	}
+}
+
+func TestParseRequestFolding(t *testing.T) {
+	req, err := ParseRequest([]byte("GET / HTTP/1.1\r\nX-Long: part one\r\n  part two\r\n\r\n"))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if v, _ := req.Header("X-Long"); v != "part one part two" {
+		t.Fatalf("folded value %q", v)
+	}
+	// A fold with no header to extend is malformed.
+	if _, err := ParseRequest([]byte("GET / HTTP/1.1\r\n  folded\r\n\r\n")); err == nil {
+		t.Fatal("fold after request line accepted")
+	}
+}
+
+func TestParseRequestContentLength(t *testing.T) {
+	req, err := ParseRequest([]byte("POST /x HTTP/1.1\r\nContent-Length: 12\r\n\r\n"))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if req.ContentLength != 12 {
+		t.Fatalf("CL = %d", req.ContentLength)
+	}
+	// Duplicate consistent lengths are fine; conflicting ones are not.
+	if _, err := ParseRequest([]byte("POST /x HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\n")); err != nil {
+		t.Fatalf("consistent duplicate CL rejected: %v", err)
+	}
+	if _, err := ParseRequest([]byte("POST /x HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 6\r\n\r\n")); err == nil {
+		t.Fatal("conflicting CL accepted")
+	}
+}
+
+func TestParseRequestRejections(t *testing.T) {
+	bad := []string{
+		"",                                      // empty
+		"\r\n\r\n",                              // blank head
+		"GET /\r\n\r\n",                         // no version
+		"GET / HTTP/2.0\r\n\r\n",                // unknown version
+		"GE(T / HTTP/1.1\r\n\r\n",               // method not a token
+		"GET  HTTP/1.1\r\n\r\n",                 // missing target
+		"GET x HTTP/1.1\r\n\r\n",                // target not origin-form
+		"GET /a b HTTP/1.1\r\n\r\n",             // space in target
+		"GET /\x01 HTTP/1.1\r\n\r\n",            // control byte in target
+		"GET / HTTP/1.1\r\nNoColon\r\n\r\n",     // header without colon
+		"GET / HTTP/1.1\r\n: empty\r\n\r\n",     // empty header name
+		"GET / HTTP/1.1\r\nBad Name: v\r\n\r\n", // space in name
+		"GET / HTTP/1.1\r\nX: a\x00b\r\n\r\n",   // NUL in value
+		"GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",           // TE fails closed
+		"GET / HTTP/1.1\r\nContent-Length: 1x\r\n\r\n",                   // bad CL
+		"GET / HTTP/1.1\r\nContent-Length: 99999999999999999999\r\n\r\n", // CL overflow
+		"GET /" + strings.Repeat("a", MaxTarget) + " HTTP/1.1\r\n\r\n",   // target too long
+	}
+	for _, h := range bad {
+		if _, err := ParseRequest([]byte(h)); err == nil {
+			t.Errorf("accepted %q", h)
+		}
+	}
+	// Oversized header block.
+	var sb strings.Builder
+	sb.WriteString("GET / HTTP/1.1\r\n")
+	for i := 0; i < MaxHeaders+2; i++ {
+		sb.WriteString("X-H: v\r\n")
+	}
+	sb.WriteString("\r\n")
+	if _, err := ParseRequest([]byte(sb.String())); err == nil {
+		t.Error("accepted over-long header list")
+	}
+}
+
+func TestFindHeadEnd(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int
+	}{
+		{"GET / HTTP/1.1\r\n\r\nrest", 18},
+		{"GET / HTTP/1.1\n\nrest", 16},
+		{"GET / HTTP/1.1\r\n", -1},
+		{"", -1},
+	}
+	for _, c := range cases {
+		if got := findHeadEnd([]byte(c.in)); got != c.want {
+			t.Errorf("findHeadEnd(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package httpd
+
+import (
+	"strings"
+
+	"oskit/internal/com"
+)
+
+// SecureRoot is the paper's §3.8 security wrapper bound to an HTTP
+// path: full pathnames outside, a per-component permission check at
+// every step inside, the untouched file system component underneath.
+// The check is possible only because the kit's Dir.Lookup takes single
+// pathname components — the wrapper interposes without modifying any
+// file system code.
+type SecureRoot struct {
+	root com.Dir
+	uid  uint32
+}
+
+// NewSecureRoot wraps root (one reference is taken) with the given
+// client credential: uid 0 sees everything, everyone else is denied
+// any component named "secret*".
+func NewSecureRoot(root com.Dir, uid uint32) *SecureRoot {
+	root.AddRef()
+	return &SecureRoot{root: root, uid: uid}
+}
+
+// Release drops the wrapper's root reference.
+func (s *SecureRoot) Release() { s.root.Release() }
+
+// Open resolves an HTTP path to a plain file, checking every
+// component.  The error is the HTTP answer's whole input:
+//
+//	com.ErrAccess — a denied or dangerous component (403)
+//	com.ErrNoEnt  — no such entry along the walk (404)
+//	com.ErrIsDir  — the path names a directory, not a file (403)
+//
+// Anything else is the file system speaking (e.g. a transient
+// com.ErrIO under disk faults) and is the caller's to retry.
+// Traversal is fail-closed: "..", empty or over-long components, and
+// any byte outside the printable-ASCII set are refused outright —
+// never handed to the file system to interpret.
+func (s *SecureRoot) Open(path string) (com.File, error) {
+	var cur com.File = s.root
+	s.root.AddRef()
+	for _, comp := range strings.Split(path, "/") {
+		if comp == "" || comp == "." {
+			continue
+		}
+		if !safeComponent(comp) {
+			cur.Release()
+			return nil, com.ErrAccess
+		}
+		// The per-component security check of §3.8.
+		if s.uid != 0 && strings.HasPrefix(comp, "secret") {
+			cur.Release()
+			return nil, com.ErrAccess
+		}
+		d, qerr := cur.QueryInterface(com.DirIID)
+		cur.Release()
+		if qerr == com.ErrNoInterface {
+			return nil, com.ErrNoEnt // a file mid-path: nothing below it
+		}
+		if qerr != nil {
+			return nil, qerr // transient (disk fault) — caller retries
+		}
+		next, err := d.(com.Dir).Lookup(comp)
+		d.Release()
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	// The target must be a plain file.
+	d, qerr := cur.QueryInterface(com.DirIID)
+	if qerr == nil {
+		d.Release()
+		cur.Release()
+		return nil, com.ErrIsDir
+	}
+	if qerr != com.ErrNoInterface {
+		cur.Release()
+		return nil, qerr // transient (disk fault) — caller retries
+	}
+	return cur, nil
+}
+
+// safeComponent fails closed on anything outside a conservative
+// pathname alphabet: ".." and its relatives, percent-escapes, spaces,
+// and every non-printable byte are rejected here, before the file
+// system ever sees them.
+func safeComponent(comp string) bool {
+	if comp == ".." || len(comp) > 255 {
+		return false
+	}
+	for i := 0; i < len(comp); i++ {
+		c := comp[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '.' || c == '_' || c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}

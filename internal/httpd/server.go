@@ -1,0 +1,221 @@
+package httpd
+
+import (
+	"fmt"
+
+	"oskit/internal/com"
+	"oskit/internal/libc"
+)
+
+// Server serves a file tree over HTTP/1.1 through the kit's POSIX
+// layer.  One Server may serve many connections concurrently (one
+// goroutine per accepted descriptor); every component entry goes
+// through Do, the node's §4.7.4 serialization hook (nil runs direct,
+// for SMP nodes whose components carry their own locks).
+type Server struct {
+	C    *libc.C
+	Root *SecureRoot
+	// Do wraps each component call (Node.Do on a serialized node).
+	Do func(func())
+}
+
+// do applies the serialization hook.
+func (s *Server) do(fn func()) {
+	if s.Do != nil {
+		s.Do(fn)
+	} else {
+		fn()
+	}
+}
+
+// ioRetries is the op-level retry budget for the transient com.ErrIO
+// an injected disk fault surfaces — the same client contract the soak
+// harness and examples/fileserver prove.
+const ioRetries = 64
+
+// Serve handles one accepted connection until it closes: a keep-alive
+// request loop with pipelined bytes carried between requests.  The
+// descriptor is closed on return.
+func (s *Server) Serve(fd int) {
+	defer s.do(func() { _ = s.C.Close(fd) })
+	var pending []byte
+	buf := make([]byte, 2048)
+	for {
+		end := findHeadEnd(pending)
+		for end < 0 {
+			if len(pending) > MaxHeaderBytes {
+				s.respond(fd, "400 Bad Request", "bad request\n", false)
+				return
+			}
+			var n int
+			var err error
+			s.do(func() { n, err = s.C.Read(fd, buf) })
+			if err != nil || n == 0 {
+				if len(pending) > 0 {
+					// The peer quit mid-head: fail closed.
+					s.respond(fd, "400 Bad Request", "bad request\n", false)
+				}
+				return
+			}
+			pending = append(pending, buf[:n]...)
+			end = findHeadEnd(pending)
+		}
+		head := pending[:end]
+		pending = append([]byte(nil), pending[end:]...)
+
+		req, err := ParseRequest(head)
+		if err != nil {
+			// Fail closed: a 400 answer, then the connection dies —
+			// pipelined garbage after a malformed head is never
+			// reinterpreted as a fresh request.
+			s.respond(fd, "400 Bad Request", "bad request\n", false)
+			return
+		}
+		if !s.handle(fd, req) {
+			return
+		}
+	}
+}
+
+// handle answers one parsed request, reporting whether the connection
+// stays open.
+func (s *Server) handle(fd int, req *Request) bool {
+	// This server never accepts a request body; a declared one would
+	// desynchronize the keep-alive framing, so refuse and close.
+	if req.ContentLength > 0 {
+		return s.respond(fd, "400 Bad Request", "no request bodies\n", false)
+	}
+	if req.Method != "GET" && req.Method != "HEAD" {
+		return s.respond(fd, "405 Method Not Allowed", "method not allowed\n", false)
+	}
+
+	// Resolve through the §3.8 wrapper, retrying injected disk errors.
+	var f com.File
+	err := s.retryIO(func() error {
+		var e error
+		s.do(func() { f, e = s.Root.Open(req.Path) })
+		return e
+	})
+	if err != nil {
+		status, body := errStatus(err)
+		return s.respond(fd, status, body, req.KeepAlive)
+	}
+	ffd := s.C.InstallFile(f)
+	f.Release()
+	defer s.do(func() { _ = s.C.Close(ffd) })
+
+	var st com.Stat
+	err = s.retryIO(func() error {
+		var e error
+		s.do(func() { st, e = s.C.Fstat(ffd) })
+		return e
+	})
+	if err != nil {
+		return s.respond(fd, "500 Internal Server Error", "stat failed\n", false)
+	}
+
+	conn := "close"
+	if req.KeepAlive {
+		conn = "keep-alive"
+	}
+	head := fmt.Sprintf("HTTP/1.1 200 OK\r\nContent-Length: %d\r\n"+
+		"Content-Type: application/octet-stream\r\nConnection: %s\r\n\r\n",
+		st.Size, conn)
+	if s.writeAll(fd, []byte(head)) != nil {
+		return false
+	}
+	if req.Method == "HEAD" {
+		return req.KeepAlive
+	}
+
+	// The body: libc.Sendfile — the E15 path.  A zero-copy stack moves
+	// buffer-cache pages straight to the gather engine; any other
+	// configuration produces the identical bytes through its copy
+	// path.  Transient ErrIO resumes from the delivered offset (bytes
+	// already queued on the socket are never resent).
+	var off uint64
+	tries := 0
+	for off < st.Size {
+		var n uint64
+		var e error
+		s.do(func() { n, e = s.C.Sendfile(fd, ffd, off, st.Size-off) })
+		off += n
+		if e == nil {
+			continue
+		}
+		if e == com.ErrIO && tries < ioRetries {
+			tries++
+			continue
+		}
+		return false // mid-body failure: the framing is broken, drop
+	}
+	return req.KeepAlive
+}
+
+// retryIO re-attempts op while it fails with transient com.ErrIO.
+func (s *Server) retryIO(op func() error) error {
+	var err error
+	for i := 0; i < ioRetries; i++ {
+		err = op()
+		if err != com.ErrIO {
+			return err
+		}
+	}
+	return err
+}
+
+// errStatus maps a wrapper error to its HTTP answer.
+func errStatus(err error) (status, body string) {
+	switch err {
+	case com.ErrAccess, com.ErrIsDir:
+		return "403 Forbidden", "forbidden\n"
+	case com.ErrNoEnt, com.ErrNotDir:
+		return "404 Not Found", "not found\n"
+	}
+	return "500 Internal Server Error", "error\n"
+}
+
+// respond writes a small complete response, reporting whether the
+// connection stays open.
+func (s *Server) respond(fd int, status, body string, keep bool) bool {
+	conn := "close"
+	if keep {
+		conn = "keep-alive"
+	}
+	msg := fmt.Sprintf("HTTP/1.1 %s\r\nContent-Length: %d\r\n"+
+		"Content-Type: text/plain\r\nConnection: %s\r\n\r\n%s",
+		status, len(body), conn, body)
+	return s.writeAll(fd, []byte(msg)) == nil && keep
+}
+
+// writeAll pushes the whole buffer through the socket.
+func (s *Server) writeAll(fd int, b []byte) error {
+	for len(b) > 0 {
+		var n int
+		var err error
+		s.do(func() { n, err = s.C.Write(fd, b) })
+		if err != nil {
+			return err
+		}
+		b = b[n:]
+	}
+	return nil
+}
+
+// findHeadEnd locates the blank line ending a request head, returning
+// the index just past it, or -1 while incomplete.
+func findHeadEnd(b []byte) int {
+	for i := 0; i < len(b); i++ {
+		if b[i] != '\n' {
+			continue
+		}
+		j := i + 1
+		if j < len(b) && b[j] == '\r' {
+			j++
+		}
+		if j < len(b) && b[j] == '\n' {
+			return j + 1
+		}
+	}
+	return -1
+}

@@ -268,6 +268,7 @@ type NIC struct {
 
 	txOK     uint64
 	txGather uint64
+	txCsum   uint64
 }
 
 // NewNIC creates a NIC raising the given IRQ line on receive.
@@ -379,6 +380,70 @@ func (n *NIC) TransmitGather(parts [][]byte) {
 		return
 	}
 	w.transmitGather(n, parts)
+}
+
+// TransmitGatherCsum is TransmitGather with transmit checksum insertion
+// (the FeatCsum half of the offload engines on busmaster controllers):
+// before the frame leaves the device, the controller folds the RFC 1071
+// ones-complement sum over every byte from offset start to the end of
+// the frame into the big-endian 16-bit field at start+off.  The
+// protocol seeded that field with the folded pseudo-header sum, so by
+// ones-complement commutativity the inserted value equals the software
+// checksum; Ethernet runt padding is zeros and checksum-neutral.  The
+// insertion happens before the frame reaches the wire, so wire-level
+// corruption faults are still caught by the receiver's software verify.
+func (n *NIC) TransmitGatherCsum(parts [][]byte, start, off int) {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if start < 0 || off < 0 || start+off+2 > total {
+		// Malformed descriptor: transmit as-is (the frame then carries
+		// only its seed and the receiver drops it — visible, not silent).
+		n.TransmitGather(parts)
+		return
+	}
+	var sum uint32
+	pos := 0
+	for _, p := range parts {
+		for _, b := range p {
+			if pos >= start {
+				if (pos-start)%2 == 0 {
+					sum += uint32(b) << 8
+				} else {
+					sum += uint32(b)
+				}
+			}
+			pos++
+		}
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	csum := ^uint16(sum)
+	putByte := func(at int, v byte) {
+		for _, p := range parts {
+			if at < len(p) {
+				p[at] = v
+				return
+			}
+			at -= len(p)
+		}
+	}
+	putByte(start+off, byte(csum>>8))
+	putByte(start+off+1, byte(csum))
+	n.mu.Lock()
+	n.txCsum++
+	n.mu.Unlock()
+	n.TransmitGather(parts)
+}
+
+// TxCsums reports how many transmitted frames had their transport
+// checksum inserted by the controller (FeatCsum offload).
+func (n *NIC) TxCsums() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.txCsum
 }
 
 // RxPop removes and returns the oldest frame in ring 0, or nil when the

@@ -208,6 +208,16 @@ func (c *C) Fstat(fd int) (com.Stat, error) {
 	return com.Stat{}, com.ErrInval
 }
 
+// InstallFile installs an already-open com.File as a descriptor (one
+// new reference is taken) — the reverse of FdObject, for clients that
+// obtained the object through a native interface (e.g. a §3.8 security
+// wrapper's per-component walk) and want to continue through the POSIX
+// layer.
+func (c *C) InstallFile(f com.File) int {
+	f.AddRef()
+	return c.installFD(&fdesc{kind: fdFile, file: f})
+}
+
 // FdObject exposes the COM object behind a descriptor (one new
 // reference), letting clients escape to the native interfaces — the open
 // implementation idea applied to the POSIX layer.

@@ -1,0 +1,64 @@
+package libc
+
+import "oskit/internal/com"
+
+// Sendfile transmits count bytes of the file behind inFd, starting at
+// offset, down the stream socket behind outFd — the classic
+// sendfile(2) shape, explicit-offset form (the descriptor's seek
+// offset is neither consulted nor advanced).
+//
+// When the socket answers for com.SockSendfileIID the transfer takes
+// the stack's sendfile path: zero-copy when the stack's configuration
+// and the file agree, an in-stack read-and-append loop otherwise.  A
+// socket without the interface gets a read/write loop through a user
+// buffer here, with identical wire behaviour — the negotiation ladder
+// of §4.4.2, applied to the POSIX layer.
+func (c *C) Sendfile(outFd, inFd int, offset, count uint64) (uint64, error) {
+	s, err := c.sockFD(outFd)
+	if err != nil {
+		return 0, err
+	}
+	d, err := c.getFD(inFd)
+	if err != nil {
+		return 0, err
+	}
+	if d.kind != fdFile {
+		return 0, com.ErrInval
+	}
+	f := d.file
+
+	if obj, qerr := s.QueryInterface(com.SockSendfileIID); qerr == nil {
+		sf := obj.(com.SockSendfile)
+		n, err := sf.SendFile(f, offset, count)
+		sf.Release()
+		return n, err
+	}
+
+	// Fallback: the socket has no sendfile entry; stage through a
+	// user-space buffer.
+	var total uint64
+	buf := make([]byte, 8192)
+	for total < count {
+		want := count - total
+		if want > uint64(len(buf)) {
+			want = uint64(len(buf))
+		}
+		n, err := f.ReadAt(buf[:want], offset+total)
+		if err != nil {
+			return total, err
+		}
+		if n == 0 {
+			return total, com.ErrInval // past EOF: caller over-asked
+		}
+		data := buf[:n]
+		for len(data) > 0 {
+			w, werr := s.Write(data)
+			if werr != nil {
+				return total, werr
+			}
+			total += uint64(w)
+			data = data[w:]
+		}
+	}
+	return total, nil
+}

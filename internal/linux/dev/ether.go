@@ -188,15 +188,30 @@ func (s *etherSend) Push(pkt com.BufIO, size uint) error {
 	defer restore()
 	defer pkt.Release() // Push consumes the caller's reference
 
+	// A checksum-offload packet (E15) declares itself through
+	// com.TxCsumIID: its transport checksum field holds only the seeded
+	// pseudo-header sum.  Whichever branch transmits it must either hand
+	// the descriptor to a FeatCsum engine or finish the sum in software
+	// — default-configuration packets never answer, so needsCsum stays
+	// false and every branch below is byte-for-byte unchanged.
+	needsCsum, csStart, csOff := false, 0, 0
+	if obj, err := pkt.QueryInterface(com.TxCsumIID); err == nil {
+		tc := obj.(com.TxCsum)
+		needsCsum, csStart, csOff = tc.CsumSpec()
+		tc.Release()
+	}
+
 	ldev := s.node.ldev
 	if skb, ok := s.g.nativeSKB(pkt); ok {
 		s.g.scTxNative.Inc()
 		skb.Trim(int(size))
+		s.applyCsum(skb, needsCsum, csStart, csOff)
 		return mapXmitErr(ldev.HardStartXmit(skb, ldev))
 	}
 	if data, err := pkt.Map(0, size); err == nil {
 		s.g.scTxMapped.Inc()
 		skb := s.g.kern.FakeSKB(data)
+		s.applyCsum(skb, needsCsum, csStart, csOff)
 		err := ldev.HardStartXmit(skb, ldev)
 		_ = pkt.Unmap(data)
 		return mapXmitErr(err)
@@ -207,6 +222,7 @@ func (s *etherSend) Push(pkt com.BufIO, size uint) error {
 			if parts, err := sg.MapSG(0, size); err == nil {
 				s.g.scTxSG.Inc()
 				skb := s.g.kern.FakeSKBGather(parts)
+				s.applyCsum(skb, needsCsum, csStart, csOff)
 				xerr := ldev.HardStartXmit(skb, ldev)
 				_ = sg.UnmapSG(parts)
 				sg.Release()
@@ -225,7 +241,25 @@ func (s *etherSend) Push(pkt com.BufIO, size uint) error {
 		skb.Free()
 		return com.ErrIO
 	}
+	s.applyCsum(skb, needsCsum, csStart, csOff)
 	return mapXmitErr(ldev.HardStartXmit(skb, ldev))
+}
+
+// applyCsum attaches a deferred-checksum descriptor to the outgoing
+// skbuff.  A FeatCsum device gets the descriptor and folds the sum in
+// its gather engine (counted as xmit.csum_offloaded); for any other
+// device the sum is finished in software right here, so the driver
+// always sees a fully-checksummed frame.
+func (s *etherSend) applyCsum(skb *legacy.SKBuff, needs bool, start, off int) {
+	if !needs {
+		return
+	}
+	skb.NeedsCsum, skb.CsumStart, skb.CsumOff = true, start, off
+	if s.node.ldev.Features&legacy.FeatCsum != 0 {
+		s.g.scTxCsum.Inc()
+	} else {
+		skb.FinishCsum()
+	}
 }
 
 // AllocBufIO implements com.NetIO: hand the producer a native skbuff so

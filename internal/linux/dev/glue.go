@@ -97,6 +97,10 @@ type Glue struct {
 	scTxMapped    *stats.Counter
 	scTxSG        *stats.Counter
 	scTxFlattened *stats.Counter
+	// xmit.csum_offloaded counts packets whose transport checksum was
+	// left to a FeatCsum device's gather engine (E15); zero in every
+	// default configuration.
+	scTxCsum *stats.Counter
 	// Polled-receive path-shape counters (rxpoll.go): drain passes,
 	// frames that arrived batched, and the NIC's interrupt ledger
 	// mirrored per poll.  All stay zero in the default configuration —
@@ -230,6 +234,7 @@ func GlueFor(env *core.Env) *Glue {
 	g.scTxMapped = set.Counter("xmit.mapped")
 	g.scTxSG = set.Counter("xmit.sg")
 	g.scTxFlattened = set.Counter("xmit.flattened")
+	g.scTxCsum = set.Counter("xmit.csum_offloaded")
 	g.scRxPolls = set.Counter("rx.polls")
 	g.scRxBatchFrames = set.Counter("rx.batched-frames")
 	g.scRxIntrRaised = set.Counter("rx.intr-raised")
@@ -416,26 +421,52 @@ func (g *Glue) buildKernel() *legacy.Kernel {
 	// interrupts disabled again.  The current task is saved across the
 	// block so other activities entering the component meanwhile don't
 	// see a stale pointer (§4.7.5).
-	k.SleepOn = func(q *legacy.WaitQueue) {
+	//
+	// wqRec materializes a queue's sleep record under a lock: in SMP
+	// mode the completion handler races the sleeper's registration with
+	// no cli to exclude it, so both sides must agree on ONE record — a
+	// wakeup landing before the sleep is then remembered by the record
+	// (the binary-semaphore contract) instead of being lost.
+	var wqMu sync.Mutex
+	wqRec := func(q *legacy.WaitQueue) *core.SleepRec {
+		wqMu.Lock()
+		defer wqMu.Unlock()
 		rec, _ := q.Glue.(*core.SleepRec)
 		if rec == nil {
 			rec = env.SleepInit()
 			q.Glue = rec
 		}
+		return rec
+	}
+	k.SleepOn = func(q *legacy.WaitQueue) {
+		rec := wqRec(q)
 		saved := k.Current
 		k.Current = nil
-		// sleep_on enables interrupts *fully* while blocked (sti, not
-		// one restore_flags level): the caller may be nested under
-		// other components' exclusion sections.
-		depth := env.Machine.Intr.DropAll()
-		env.Sleep(rec)
-		env.Machine.Intr.RestoreAll(depth)
+		if g.smp.Load() {
+			// SMP: this kernel's own cli seam is a no-op, but an outer
+			// component (the file system's splbio bracketing a disk
+			// read) may still hold the boot CPU's exclusion — sleep_on
+			// drops whatever this thread holds, exactly as on UP, or
+			// the completion handler could never dispatch.
+			depth := env.Machine.Intr.DropAllHeld()
+			env.Sleep(rec)
+			if depth > 0 {
+				env.Machine.Intr.RestoreAll(depth)
+			}
+		} else {
+			// sleep_on enables interrupts *fully* while blocked (sti,
+			// not one restore_flags level): the caller may be nested
+			// under other components' exclusion sections.
+			depth := env.Machine.Intr.DropAll()
+			env.Sleep(rec)
+			env.Machine.Intr.RestoreAll(depth)
+		}
 		k.Current = saved
 	}
 	k.WakeUp = func(q *legacy.WaitQueue) {
 		var rec *core.SleepRec
 		if g.smp.Load() {
-			rec, _ = q.Glue.(*core.SleepRec)
+			rec = wqRec(q)
 		} else {
 			exclude := !env.InIntr()
 			if exclude {
@@ -553,6 +584,12 @@ func (c *nicChip) TxFrame(frame []byte)  { c.nic.Transmit(frame) }
 // gather-DMA engine fetches the frame from the fragment list in one pass
 // (the same single copy a contiguous transmit costs).
 func (c *nicChip) TxFrameGather(parts [][]byte) { c.nic.TransmitGather(parts) }
+
+// TxFrameGatherCsum implements legacy.CsumChip: the gather engine folds
+// the transport checksum into the frame on its way out (FeatCsum).
+func (c *nicChip) TxFrameGatherCsum(parts [][]byte, start, off int) {
+	c.nic.TransmitGatherCsum(parts, start, off)
+}
 
 // RxFrame is the PIO path: the frame is copied off the simulated card.
 func (c *nicChip) RxFrame() []byte { return c.nic.RxPop() }

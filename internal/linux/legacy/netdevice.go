@@ -35,6 +35,12 @@ type NetDevice struct {
 // software flatten.
 const FeatSG uint32 = 1 << 0
 
+// FeatCsum marks a device whose transmit engine can insert the
+// transport checksum during the gather pass (transmit checksum
+// offload): HardStartXmit honours an skbuff's checksum descriptor
+// (NeedsCsum/CsumStart/CsumOff) in hardware.
+const FeatCsum uint32 = 1 << 1
+
 // NetStats is the donor's interface statistics block.
 type NetStats struct {
 	RxPackets, TxPackets uint64
@@ -71,6 +77,18 @@ type GatherChip interface {
 	// TxFrameGather hands one frame, scattered across parts in order,
 	// to the transmitter.
 	TxFrameGather(parts [][]byte)
+}
+
+// CsumChip is the optional transmit checksum-offload capability of a
+// gather engine: during its fetch pass the transmitter ones-complement
+// sums the frame from byte offset start to the end and stores the
+// complemented result at start+off (the seeded pseudo-header sum is
+// already in that field).  A driver whose chip implements it advertises
+// FeatCsum alongside FeatSG.
+type CsumChip interface {
+	// TxFrameGatherCsum transmits one scattered frame, inserting the
+	// checksum described by (start, off) on the way out.
+	TxFrameGatherCsum(parts [][]byte, start, off int)
 }
 
 // DiskChip is the register-level view of an IDE controller, likewise

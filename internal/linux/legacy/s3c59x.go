@@ -47,6 +47,12 @@ func S3C59XProbe(k *Kernel, chip EtherChip, irq int, name string) *NetDevice {
 		// list; advertise it so the glue may skip the flatten copy.
 		dev.Features |= FeatSG
 	}
+	if _, ok := chip.(CsumChip); ok {
+		// The download engine can also fold the transport checksum on
+		// its way past; advertise it so the protocol side may skip the
+		// software sum.
+		dev.Features |= FeatCsum
+	}
 	k.RegisterNetdev(dev)
 	k.Printk("s3c59x: %s at irq %d\n", name, irq)
 	return dev
@@ -139,7 +145,21 @@ func s3c59xXmit(skb *SKBuff, dev *NetDevice) error {
 	}
 	flags := dev.Kern.SaveFlags()
 	dev.Kern.Cli()
-	if skb.NrFrags() > 0 {
+	if skb.NeedsCsum {
+		if cc, ok := dev.Chip.(CsumChip); ok {
+			cc.TxFrameGatherCsum(skb.Runs(), skb.CsumStart, skb.CsumOff)
+		} else {
+			// A checksum-bearing skbuff reached a chip without the
+			// engine (the glue should never let this happen): finish
+			// the sum in software, then transmit normally.
+			skb.FinishCsum()
+			if gc, ok := dev.Chip.(GatherChip); ok && skb.NrFrags() > 0 {
+				gc.TxFrameGather(skb.Runs())
+			} else {
+				dev.Chip.TxFrame(skb.Flatten())
+			}
+		}
+	} else if skb.NrFrags() > 0 {
 		if gc, ok := dev.Chip.(GatherChip); ok {
 			gc.TxFrameGather(skb.Runs())
 		} else {

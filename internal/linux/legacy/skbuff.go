@@ -38,6 +38,16 @@ type SKBuff struct {
 	// skbuffs exist only on the transmit path and only drivers that
 	// declare FeatSG ever see one; everything else must Flatten first.
 	frags [][]byte
+
+	// Checksum-offload descriptor (FeatCsum): when NeedsCsum is set the
+	// transport checksum has NOT been computed — the field at packet
+	// offset CsumStart+CsumOff holds the folded pseudo-header seed and
+	// the transmitter must sum from CsumStart to the end of the frame
+	// and store the complement there.  Only FeatCsum devices may be
+	// handed such an skbuff.
+	NeedsCsum bool
+	CsumStart int
+	CsumOff   int
 }
 
 // AllocSKB allocates a buffer with room for size bytes of packet data
@@ -189,3 +199,48 @@ func (skb *SKBuff) Free() {
 
 // Users reports the current reference count (tests).
 func (skb *SKBuff) Users() int32 { return skb.users.Load() }
+
+// FinishCsum completes a deferred transport checksum in software: the
+// ones-complement sum over the packet from CsumStart (the seeded field
+// included), complemented and stored at CsumStart+CsumOff.  The store
+// lands in the packet's header run, which is private to the frame.
+// Used by transmit paths that cannot offload (no CsumChip engine).
+func (skb *SKBuff) FinishCsum() {
+	if !skb.NeedsCsum {
+		return
+	}
+	start, off := skb.CsumStart, skb.CsumOff
+	var sum uint32
+	pos := 0
+	for _, run := range skb.Runs() {
+		for _, b := range run {
+			if pos >= start {
+				if (pos-start)%2 == 0 {
+					sum += uint32(b) << 8
+				} else {
+					sum += uint32(b)
+				}
+			}
+			pos++
+		}
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	csum := ^uint16(sum)
+	// Store byte-wise across runs: the field never straddles a run in
+	// practice (it sits in the header run), but stay correct if it does.
+	want0, want1 := start+off, start+off+1
+	pos = 0
+	for _, run := range skb.Runs() {
+		for i := range run {
+			if pos == want0 {
+				run[i] = byte(csum >> 8)
+			} else if pos == want1 {
+				run[i] = byte(csum)
+			}
+			pos++
+		}
+	}
+	skb.NeedsCsum = false
+}

@@ -17,6 +17,8 @@
 package netbsdfs
 
 import (
+	"sync/atomic"
+
 	"oskit/internal/com"
 	bsdglue "oskit/internal/freebsd/glue"
 	"oskit/internal/stats"
@@ -39,6 +41,14 @@ type buf struct {
 
 	lruPrev, lruNext *buf
 	event            uint32
+
+	// pins counts sendfile exports holding this buffer's pages on the
+	// wire (E15).  A pinned buffer stays cached — getblk's eviction
+	// scan skips it — so the external mbufs referencing b.data keep
+	// seeing the block they mapped.  Atomic because unpin runs from
+	// transmit-completion context (the network side releasing the last
+	// mbuf reference), not under the FFS component entry.
+	pins atomic.Int32
 }
 
 // bcache is the buffer cache for one mounted file system.
@@ -58,6 +68,9 @@ type bcache struct {
 	scWrites *stats.Counter
 	scHits   *stats.Counter
 	scMisses *stats.Counter
+	scPins   *stats.Counter
+	scUnpins *stats.Counter
+	gPinned  *stats.Gauge
 }
 
 func newBcache(g *bsdglue.Glue, dev com.BlkIO, eventBase uint32) *bcache {
@@ -67,6 +80,9 @@ func newBcache(g *bsdglue.Glue, dev com.BlkIO, eventBase uint32) *bcache {
 	c.scWrites = set.Counter("bcache.disk_writes")
 	c.scHits = set.Counter("bcache.hits")
 	c.scMisses = set.Counter("bcache.misses")
+	c.scPins = set.Counter("bcache.pins")
+	c.scUnpins = set.Counter("bcache.unpins")
+	c.gPinned = set.Gauge("bcache.pinned")
 	g.Env().Registry.Register(com.StatsIID, set)
 	set.Release()
 	for i := range c.bufs {
@@ -119,13 +135,16 @@ func (c *bcache) getblk(blkno uint32) (*buf, error) {
 			c.scHits.Inc()
 			return b, nil
 		}
-		// Miss: evict the least recently used idle buffer.
+		// Miss: evict the least recently used idle buffer.  Pinned
+		// buffers (pages on the wire via sendfile) are not victims:
+		// eviction would re-point b.data at another block while
+		// external mbufs still reference it.
 		victim := c.lruTail
-		for victim != nil && victim.busy {
+		for victim != nil && (victim.busy || victim.pins.Load() > 0) {
 			victim = victim.lruPrev
 		}
 		if victim == nil {
-			// Everything busy: wait for any release.
+			// Everything busy or pinned: wait for any release/unpin.
 			c.g.Tsleep(c.bufs[0].event, "bufwait")
 			continue
 		}
@@ -134,7 +153,12 @@ func (c *bcache) getblk(blkno uint32) (*buf, error) {
 				return nil, err
 			}
 		}
-		if victim.valid {
+		// Unhash the victim under its old identity even when it is
+		// *invalid* (a fault-failed read leaves the buffer in the hash
+		// with valid clear): a stale entry would alias the old block
+		// number to this buffer after it re-reads as the new block, and
+		// bread would then serve the wrong block's bytes as the old one.
+		if c.hash[victim.blkno] == victim {
 			delete(c.hash, victim.blkno)
 		}
 		victim.blkno = blkno
@@ -155,9 +179,14 @@ func (c *bcache) bread(blkno uint32) (*buf, error) {
 		return nil, err
 	}
 	if !b.valid {
-		// The device read blocks inside the driver component; our
-		// caller's spl and curproc are handled by the glue there.
+		// The device read blocks inside the driver component, whose
+		// sleep opens the node lock; while this thread waited, another
+		// may have entered and left this component, clobbering the
+		// uniprocessor glue's single current process (§4.7.5).
+		// Re-manufacture it for the rest of the caller's component call
+		// — the entry epilogue still restores the true outer value.
 		n, err := c.dev.Read(b.data, uint64(blkno)*BlockSize)
+		_ = c.g.Enter("bread")
 		if err != nil || n != BlockSize {
 			b.busy = false
 			c.lruPush(b)
@@ -187,13 +216,39 @@ func (c *bcache) bdwrite(b *buf) {
 
 // writeback flushes one buffer.
 func (c *bcache) writeback(b *buf) error {
+	// Same cross-component discipline as bread: the driver sleep may
+	// have let another thread clobber the UP glue's current process.
 	n, err := c.dev.Write(b.data, uint64(b.blkno)*BlockSize)
+	_ = c.g.Enter("bwrite")
 	if err != nil || n != BlockSize {
 		return com.ErrIO
 	}
 	b.dirty = false
 	c.scWrites.Inc()
 	return nil
+}
+
+// pin adds one eviction barrier to b.  Called with b held busy (the
+// sendfile export path pins under bread), so the count is in place
+// before any other entry could pick b as a victim.
+func (c *bcache) pin(b *buf) {
+	b.pins.Add(1)
+	c.scPins.Inc()
+	c.gPinned.Add(1)
+}
+
+// unpin drops one eviction barrier.  Runs from transmit-completion
+// context — the network stack releasing the last reference on an
+// external mbuf — NOT under the FFS component entry, so it touches
+// only atomics plus the interrupt-safe Wakeup.  Dropping to zero wakes
+// the "bufwait" sleepers: a getblk that found everything busy-or-
+// pinned rescans once a buffer becomes evictable again.
+func (c *bcache) unpin(b *buf) {
+	if b.pins.Add(-1) == 0 {
+		c.g.Wakeup(c.bufs[0].event)
+	}
+	c.scUnpins.Inc()
+	c.gPinned.Add(-1)
 }
 
 // sync flushes every dirty buffer.

@@ -1,0 +1,112 @@
+package netbsdfs
+
+import (
+	"testing"
+
+	"oskit/internal/com"
+)
+
+// flakyDev wraps a BlkIO, failing reads at scripted byte offsets.
+type flakyDev struct {
+	com.BlkIO
+	failReads map[uint64]int // byte offset → remaining failures
+}
+
+func (d *flakyDev) Read(buf []byte, off uint64) (uint, error) {
+	if n := d.failReads[off]; n > 0 {
+		d.failReads[off] = n - 1
+		return 0, com.ErrIO
+	}
+	return d.BlkIO.Read(buf, off)
+}
+
+// TestBcacheFailedReadNoStaleAlias is the regression test for the
+// wrong-block serve: a fault-failed read leaves its buffer in the hash
+// with valid clear; when that buffer is later recycled for another
+// block, the eviction must unhash it under its old block number even
+// though it is invalid.  A stale entry would alias the old number to
+// the recycled buffer, and once the new block's read succeeds, bread of
+// the old number would hash-hit and return the *new* block's bytes as
+// the old block — stable corruption until the next recycle.
+func TestBcacheFailedReadNoStaleAlias(t *testing.T) {
+	g, dev := ramDisk(t, 512)
+	defer dev.Release()
+	flaky := &flakyDev{BlkIO: dev, failReads: map[uint64]int{}}
+	c := newBcache(g, flaky, 0)
+
+	// Distinct content per block, far from the Mkfs metadata.
+	const base = 100
+	blk := make([]byte, BlockSize)
+	for i := uint32(base); i < base+2*nbufs+2; i++ {
+		for j := range blk {
+			blk[j] = byte(i)
+		}
+		if _, err := dev.Write(blk, uint64(i)*BlockSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The faulted read: bread fails, leaving the buffer hashed invalid.
+	const victim = base
+	flaky.failReads[victim*BlockSize] = 1
+	if _, err := c.bread(victim); err != com.ErrIO {
+		t.Fatalf("faulted bread = %v, want ErrIO", err)
+	}
+
+	// Cache pressure recycles every idle buffer — including the invalid
+	// one — for other blocks.
+	for i := uint32(base + 1); i < base+1+2*nbufs; i++ {
+		b, err := c.bread(i)
+		if err != nil {
+			t.Fatalf("bread(%d): %v", i, err)
+		}
+		c.brelse(b)
+	}
+
+	// Re-reading the faulted block must hit the disk again and return
+	// its own bytes, never another block's through a stale hash entry.
+	b, err := c.bread(victim)
+	if err != nil {
+		t.Fatalf("bread(%d) after recycle: %v", victim, err)
+	}
+	defer c.brelse(b)
+	for j, got := range b.data {
+		if got != byte(victim) {
+			t.Fatalf("block %d byte %d = %#x, want %#x — stale alias served another block's bytes",
+				victim, j, got, byte(victim))
+		}
+	}
+}
+
+// TestBcacheFailedReadRetries pins the op-level retry contract the
+// serving path leans on: a read that fails transiently succeeds on the
+// next bread of the same block, with the buffer re-read from disk.
+func TestBcacheFailedReadRetries(t *testing.T) {
+	g, dev := ramDisk(t, 512)
+	defer dev.Release()
+	flaky := &flakyDev{BlkIO: dev, failReads: map[uint64]int{}}
+	c := newBcache(g, flaky, 0)
+
+	blk := make([]byte, BlockSize)
+	for j := range blk {
+		blk[j] = 0x5A
+	}
+	if _, err := dev.Write(blk, 200*BlockSize); err != nil {
+		t.Fatal(err)
+	}
+	flaky.failReads[200*BlockSize] = 2
+	if _, err := c.bread(200); err != com.ErrIO {
+		t.Fatalf("first bread = %v, want ErrIO", err)
+	}
+	if _, err := c.bread(200); err != com.ErrIO {
+		t.Fatalf("second bread = %v, want ErrIO", err)
+	}
+	b, err := c.bread(200)
+	if err != nil {
+		t.Fatalf("third bread = %v", err)
+	}
+	defer c.brelse(b)
+	if b.data[0] != 0x5A || !b.valid {
+		t.Fatalf("retried read returned %#x valid=%v", b.data[0], b.valid)
+	}
+}

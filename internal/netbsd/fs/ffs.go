@@ -2,6 +2,7 @@ package netbsdfs
 
 import (
 	"encoding/binary"
+	"sync"
 
 	"oskit/internal/com"
 	bsdglue "oskit/internal/freebsd/glue"
@@ -118,7 +119,35 @@ type FFS struct {
 
 	nextEvent uint32
 	unmounted bool
+
+	// concurrent arms entryMu (see SetConcurrent).
+	concurrent bool
+	entryMu    ffsEntryLock
 }
+
+// ffsEntryLock is the §4.7.4 component-wide entry lock of a concurrent
+// mount, held for a whole COM call including across its internal
+// sleeps.  Nothing is ever acquired under it by this component's
+// waiters' wakers (disk completions run at interrupt level, sendfile
+// page unpins touch only the pin atomics and the sleep glue), so it
+// sits above every in-component sleep and below nothing.
+//
+//oskit:lockrank 20
+type ffsEntryLock struct{ sync.Mutex }
+
+// SetConcurrent arms a component-wide entry lock inside the file
+// system itself — the §4.7.4 recipe applied internally, for clients
+// that cannot serialize the node around it.  A multiprocessor node
+// whose network stack carries fine-grained per-connection locks (E14)
+// has no node-wide lock, yet this component is not thread safe; with
+// SetConcurrent every COM entry is held exclusive for the whole call,
+// *including across its internal sleeps*.  That is deadlock-free here
+// because nothing an in-progress operation waits on needs to re-enter
+// the component: disk completions arrive as interrupts, and the page
+// unpins that satisfy a bufwait sleep come from the network stack's
+// mbuf frees, which touch only the pin atomics (see sendfile.go).
+// Call once, after Mount, before concurrent traffic.
+func (fs *FFS) SetConcurrent() { fs.concurrent = true }
 
 // Mount reads the superblock and prepares the cache.  The device is any
 // BlkIO — run-time binding per §4.2.2: this component has no link-time
@@ -141,13 +170,20 @@ func Mount(g *bsdglue.Glue, dev com.BlkIO) (*FFS, error) {
 	return fs, nil
 }
 
-// enter is the component prologue (manufactured curproc + splbio).
+// enter is the component prologue (manufactured curproc + splbio; plus
+// the component-wide entry lock on a concurrent mount).
 func (fs *FFS) enter(what string) func() {
+	if fs.concurrent {
+		fs.entryMu.Lock()
+	}
 	restore := fs.g.Enter(what)
 	spl := fs.g.Splbio()
 	return func() {
 		fs.g.Splx(spl)
 		restore()
+		if fs.concurrent {
+			fs.entryMu.Unlock()
+		}
 	}
 }
 

@@ -36,7 +36,27 @@ func (v *vnode) QueryInterface(iid com.GUID) (com.IUnknown, error) {
 		done := v.fs.enter("query")
 		di, err := v.fs.iget(v.ino)
 		done()
-		if err == nil && isDir(di) {
+		if err != nil {
+			// A faulted inode read is not "no such interface": the
+			// caller must see the transient error and retry, or a 404
+			// would be manufactured out of a disk fault.
+			return nil, err
+		}
+		if isDir(di) {
+			v.AddRef()
+			return v, nil
+		}
+	case com.SendfileIID:
+		// Regular files additionally export the zero-copy page seam
+		// (E15); directories do not, and clients that never ask keep
+		// the plain File contract untouched (§4.4.2).
+		done := v.fs.enter("query")
+		di, err := v.fs.iget(v.ino)
+		done()
+		if err != nil {
+			return nil, err
+		}
+		if !isDir(di) {
 			v.AddRef()
 			return v, nil
 		}

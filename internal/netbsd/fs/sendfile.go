@@ -1,0 +1,213 @@
+package netbsdfs
+
+import (
+	"oskit/internal/com"
+)
+
+// The file-side half of the zero-copy serving path (E15): a vnode
+// answers com.SendfileIID (§4.4.2 negotiation — default File bindings
+// never see it) and MapFileSG exports a byte range of the file as a
+// filePin, an SGBufIO whose fragment list aliases the buffer cache's
+// own block storage.  Each underlying buffer is pinned (an eviction
+// barrier, see buf.go) for the life of the pin object; the socket
+// layer wraps the fragments as external mbufs that AddRef the pin, so
+// the pages stay put until the last in-flight mbuf — including every
+// retransmit copy — is freed, at which point OnLastRelease unpins.
+
+// maxPinBlocks caps one MapFileSG call.  The cache has nbufs buffers
+// and FFS metadata reads (indirect blocks, inodes) need evictable ones,
+// so a single export may not pin more than a quarter of the cache;
+// callers serve large files in windows, which the socket layer's
+// send-buffer flow control forces anyway.
+const maxPinBlocks = nbufs / 4
+
+// filePin is one pinned scatter-gather export of a file range.
+type filePin struct {
+	com.RefCount
+	cache  *bcache
+	pinned []*buf
+	parts  [][]byte
+	size   uint
+}
+
+// MapFileSG implements com.Sendfile on a regular file: resolve every
+// block of [offset, offset+amount), pin it in the cache, and hand back
+// the fragment list.  Ranges spanning holes fail with ErrIO (there is
+// no backing page to export; the caller's copy fallback zero-fills),
+// oversized ranges with ErrInval.
+func (v *vnode) MapFileSG(offset, amount uint64) (com.SGBufIO, error) {
+	done := v.fs.enter("sendfile")
+	defer done()
+	di, err := v.fs.iget(v.ino)
+	if err != nil {
+		return nil, err
+	}
+	if isDir(di) {
+		return nil, com.ErrIsDir
+	}
+	if amount == 0 || offset+amount < offset || offset+amount > di.size {
+		return nil, com.ErrInval
+	}
+	firstLbn := uint32(offset / BlockSize)
+	lastLbn := uint32((offset + amount - 1) / BlockSize)
+	if lastLbn-firstLbn+1 > maxPinBlocks {
+		return nil, com.ErrInval
+	}
+
+	p := &filePin{cache: v.fs.cache, size: uint(amount)}
+	unwind := func() {
+		for _, b := range p.pinned {
+			v.fs.cache.unpin(b)
+		}
+	}
+	for lbn := firstLbn; lbn <= lastLbn; lbn++ {
+		blk, err := v.fs.bmap(di, lbn, false)
+		if err != nil {
+			unwind()
+			return nil, err
+		}
+		if blk == 0 { // hole: nothing in place to export
+			unwind()
+			return nil, com.ErrIO
+		}
+		b, err := v.fs.cache.bread(blk)
+		if err != nil {
+			unwind()
+			return nil, err
+		}
+		// Pin under B_BUSY, then release the buffer lock: the pin only
+		// bars eviction, it does not lock the block against re-reads.
+		v.fs.cache.pin(b)
+		v.fs.cache.brelse(b)
+		lo := uint64(0)
+		if lbn == firstLbn {
+			lo = offset % BlockSize
+		}
+		hi := uint64(BlockSize)
+		if end := offset + amount - uint64(lbn)*BlockSize; end < hi {
+			hi = end
+		}
+		p.pinned = append(p.pinned, b)
+		p.parts = append(p.parts, b.data[lo:hi])
+	}
+	p.Init()
+	p.OnLastRelease = func() {
+		for _, b := range p.pinned {
+			p.cache.unpin(b)
+		}
+	}
+	return p, nil
+}
+
+// --- com.SGBufIO on filePin.
+
+// QueryInterface implements com.IUnknown.
+func (p *filePin) QueryInterface(iid com.GUID) (com.IUnknown, error) {
+	switch iid {
+	case com.UnknownIID, com.BlkIOIID, com.BufIOIID, com.SGBufIOIID:
+		p.AddRef()
+		return p, nil
+	}
+	return nil, com.ErrNoInterface
+}
+
+// BlockSize implements com.BlkIO.
+func (p *filePin) BlockSize() uint { return 1 }
+
+// Read implements com.BlkIO: copy out of the pinned fragments.
+func (p *filePin) Read(buf []byte, offset uint64) (uint, error) {
+	if offset >= uint64(p.size) {
+		return 0, nil
+	}
+	done := uint(0)
+	skip := offset
+	for _, part := range p.parts {
+		if skip >= uint64(len(part)) {
+			skip -= uint64(len(part))
+			continue
+		}
+		n := copy(buf[done:], part[skip:])
+		skip = 0
+		done += uint(n)
+		if done == uint(len(buf)) {
+			break
+		}
+	}
+	return done, nil
+}
+
+// Write implements com.BlkIO: the export is read-only.
+func (p *filePin) Write(buf []byte, offset uint64) (uint, error) {
+	return 0, com.ErrNotImplemented
+}
+
+// Size implements com.BlkIO.
+func (p *filePin) Size() (uint64, error) { return uint64(p.size), nil }
+
+// SetSize implements com.BlkIO.
+func (p *filePin) SetSize(size uint64) error { return com.ErrNotImplemented }
+
+// Map implements com.BufIO: only ranges within one storage run are
+// contiguous; anything spanning runs must go through MapSG or Read
+// (the §4.7.3 contract, same as the mbuf chain).
+func (p *filePin) Map(offset, amount uint) ([]byte, error) {
+	if uint64(offset)+uint64(amount) > uint64(p.size) {
+		return nil, com.ErrInval
+	}
+	skip := offset
+	for _, part := range p.parts {
+		if skip >= uint(len(part)) {
+			skip -= uint(len(part))
+			continue
+		}
+		if skip+amount <= uint(len(part)) {
+			return part[skip : skip+amount], nil
+		}
+		return nil, com.ErrNotImplemented
+	}
+	return nil, com.ErrNotImplemented
+}
+
+// Unmap implements com.BufIO.
+func (p *filePin) Unmap(buf []byte) error { return nil }
+
+// Wire implements com.BufIO (no simulated physical address here).
+func (p *filePin) Wire() (uint32, error) { return 0, com.ErrNotImplemented }
+
+// Unwire implements com.BufIO.
+func (p *filePin) Unwire() error { return nil }
+
+// MapSG implements com.SGBufIO: the fragment list, in file order.
+func (p *filePin) MapSG(offset, amount uint) ([][]byte, error) {
+	if uint64(offset)+uint64(amount) > uint64(p.size) {
+		return nil, com.ErrInval
+	}
+	var out [][]byte
+	skip := offset
+	left := amount
+	for _, part := range p.parts {
+		if left == 0 {
+			break
+		}
+		if skip >= uint(len(part)) {
+			skip -= uint(len(part))
+			continue
+		}
+		run := part[skip:]
+		skip = 0
+		if uint(len(run)) > left {
+			run = run[:left]
+		}
+		out = append(out, run)
+		left -= uint(len(run))
+	}
+	return out, nil
+}
+
+// UnmapSG implements com.SGBufIO.
+func (p *filePin) UnmapSG(parts [][]byte) error { return nil }
+
+var (
+	_ com.SGBufIO  = (*filePin)(nil)
+	_ com.Sendfile = (*vnode)(nil)
+)

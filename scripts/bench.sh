@@ -13,6 +13,7 @@
 #   E12 (the opt-in fast-path receive matrix) -> BENCH_e12.json
 #   E13 (cluster connection churn + demux)    -> BENCH_e13.json
 #   E14 (SMP scaling: ttcp/rtcp/churn by CPUs) -> BENCH_e14.json
+#   E15 (sendfile copy/zero-copy x csum matrix) -> BENCH_e15.json
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -54,3 +55,4 @@ run_matrix 'E11_FastPath_Matrix' BENCH_e11.json
 run_matrix 'E12_RxBatch_Matrix' BENCH_e12.json
 run_matrix 'E13_(Churn|Demux)_Matrix' BENCH_e13.json
 run_matrix 'E14_SMP_Matrix' BENCH_e14.json
+run_matrix 'E15_Sendfile_Matrix' BENCH_e15.json

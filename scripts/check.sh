@@ -40,6 +40,8 @@ go test -race -count=1 ./internal/freebsd/net/ \
 
 echo "== refcount lifecycle checks (oskitrefdebug build)"
 go test -race -tags oskitrefdebug ./internal/com/
+go test -race -tags oskitrefdebug -count=1 ./internal/faults/soak/ \
+	-run 'TestHTTPPinLedgerUnderRetransmits'
 
 echo "== shuffled re-run (order-dependence check)"
 go test -shuffle=on -count=1 ./...
@@ -47,7 +49,7 @@ go test -shuffle=on -count=1 ./...
 echo "== shuffled multi-CPU re-run (SMP rigs under a different interleaving)"
 go test -shuffle=on -count=1 ./internal/evalrig/ ./internal/freebsd/net/ ./internal/smp/
 
-echo "== bench smoke (E11-E14 matrices, 1x)"
+echo "== bench smoke (E11-E15 matrices, 1x)"
 scripts/bench.sh 1x >/dev/null
 
 echo "== example smoke (flag parity: -stats/-faults/-fastpath)"
@@ -58,6 +60,8 @@ go run ./examples/rtcp -config freebsd -rounds 50 -cpus 4 >/dev/null
 go run ./cmd/oskit-churn -config freebsd -nodes 4 -conns 128 -cpus 4 >/dev/null
 go run ./examples/fileserver -stats -fastpath \
 	-faults "seed=7 disk.err=0.05 disk.torn=0.02" >/dev/null
+go run ./examples/fileserver -stats -fastpath -cpus 2 \
+	-faults "seed=9 wire.drop=0.03 disk.err=0.02" >/dev/null
 
 if [ "$FUZZTIME" != "0" ]; then
 	echo "== fuzz smoke ($FUZZTIME per target)"
@@ -65,6 +69,7 @@ if [ "$FUZZTIME" != "0" ]; then
 	go test ./internal/freebsd/net/ -run '^$' -fuzz '^FuzzTCPSegInput$' -fuzztime "$FUZZTIME"
 	go test ./internal/freebsd/net/ -run '^$' -fuzz '^FuzzEtherBatchInput$' -fuzztime "$FUZZTIME"
 	go test ./internal/diskpart/ -run '^$' -fuzz '^FuzzReadPartitions$' -fuzztime "$FUZZTIME"
+	go test ./internal/httpd/ -run '^$' -fuzz '^FuzzHTTPRequest$' -fuzztime "$FUZZTIME"
 fi
 
 echo "== all checks passed"
