@@ -1,0 +1,91 @@
+// Fixtures for the E16 per-CPU allocation-front ranks: the magazine
+// slot and depot locks (76, 77) slot between the mbuf cluster lock (70)
+// and the BSD malloc lock (81).  The in-order shapes — depot exchange
+// under a slot, a cluster freed into the front while mclMu is held —
+// stay silent; inversions that would deadlock the front against its
+// backing allocator are flagged.  Without the 76/77 rank entries none
+// of the flagged shapes would produce a diagnostic, which is what these
+// fixtures pin.
+package lockhooktest
+
+import "sync"
+
+//oskit:lockrank 70
+type mclLock struct{ sync.Mutex }
+
+//oskit:lockrank 76
+type cpuSlotLock struct{ sync.Mutex }
+
+//oskit:lockrank 77
+type magDepotLock struct{ sync.Mutex }
+
+//oskit:lockrank 81
+type kmallocLock struct{ sync.Mutex }
+
+type magCache struct {
+	slotMu  cpuSlotLock
+	depotMu magDepotLock
+}
+
+type allocator struct {
+	mclMu mclLock
+	mu    kmallocLock
+}
+
+// magazineExchange is the depot trade: the CPU slot (76) holds its lock
+// while swapping magazines with the depot (77).  In order; silent.
+func magazineExchange(c *magCache) {
+	c.slotMu.Lock()
+	c.depotMu.Lock()
+	c.depotMu.Unlock()
+	c.slotMu.Unlock()
+}
+
+// clusterFreeIntoFront is the clRef release shape: the cluster table
+// lock (70) is held while the block stashes into a CPU slot (76).
+// Ascending; silent.
+func clusterFreeIntoFront(a *allocator, c *magCache) {
+	a.mclMu.Lock()
+	c.slotMu.Lock()
+	c.slotMu.Unlock()
+	a.mclMu.Unlock()
+}
+
+// depotThenSlot takes a CPU slot (76) while holding the depot (77):
+// the inversion of the exchange order, a deadlock against a concurrent
+// magazineExchange.
+func depotThenSlot(c *magCache) {
+	c.depotMu.Lock()
+	c.slotMu.Lock() // want `acquiring c\.slotMu \(lockrank 76\) while holding c\.depotMu \(lockrank 77\) violates the lock hierarchy`
+	c.slotMu.Unlock()
+	c.depotMu.Unlock()
+}
+
+// backingCallsFront takes a CPU slot (76) under the backing allocator's
+// lock (81): the backing allocator must never call into the front —
+// the front frees into it during drain with its slot lock released.
+func backingCallsFront(a *allocator, c *magCache) {
+	a.mu.Lock()
+	c.slotMu.Lock() // want `acquiring c\.slotMu \(lockrank 76\) while holding a\.mu \(lockrank 81\) violates the lock hierarchy`
+	c.slotMu.Unlock()
+	a.mu.Unlock()
+}
+
+// slotPairSameRank locks two CPU slots (76, 76): cross-slot nesting is
+// outlawed — the drain and exchange paths touch one slot at a time.
+func slotPairSameRank(x, y *magCache) {
+	x.slotMu.Lock()
+	y.slotMu.Lock() // want `acquiring y\.slotMu \(lockrank 76\) while holding x\.slotMu \(lockrank 76\) violates the lock hierarchy`
+	y.slotMu.Unlock()
+	x.slotMu.Unlock()
+}
+
+// frontThenBacking is the miss path with the slot lock released first:
+// consult the cache, drop its lock, then enter the backing allocator.
+// No edge; silent.
+func frontThenBacking(a *allocator, c *magCache) {
+	c.slotMu.Lock()
+	c.slotMu.Unlock()
+	a.mu.Lock()
+	a.mu.Unlock()
+}

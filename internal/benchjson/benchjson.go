@@ -1,0 +1,63 @@
+// Package benchjson loads the BENCH_*.json files scripts/bench.sh
+// records — the per-experiment matrix-benchmark medians checked into
+// the repository root.
+//
+// Two file shapes exist historically: a single object (one matched
+// benchmark) and an array of objects (several).  Files recorded before
+// E16 also lack the "host" stamp (go version, GOMAXPROCS, CPU count)
+// bench.sh now writes.  Load accepts every combination, so old
+// recordings keep parsing next to new ones.
+package benchjson
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Host is the machine stamp bench.sh records with each benchmark.
+type Host struct {
+	Go         string `json:"go"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	CPUs       int    `json:"cpus"`
+}
+
+// Entry is one recorded benchmark: its name, the per-row medians, and
+// (on files recorded since E16) the host stamp.  Host is nil on older
+// files.
+type Entry struct {
+	Bench   string             `json:"bench"`
+	Host    *Host              `json:"host,omitempty"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Load reads one BENCH_*.json file in either historical shape and
+// returns its entries.
+func Load(path string) ([]Entry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(data)
+}
+
+// Parse is Load on bytes already in hand.
+func Parse(data []byte) ([]Entry, error) {
+	trimmed := bytes.TrimSpace(data)
+	if len(trimmed) == 0 {
+		return nil, fmt.Errorf("benchjson: empty recording")
+	}
+	if trimmed[0] == '[' {
+		var entries []Entry
+		if err := json.Unmarshal(trimmed, &entries); err != nil {
+			return nil, fmt.Errorf("benchjson: %w", err)
+		}
+		return entries, nil
+	}
+	var e Entry
+	if err := json.Unmarshal(trimmed, &e); err != nil {
+		return nil, fmt.Errorf("benchjson: %w", err)
+	}
+	return []Entry{e}, nil
+}

@@ -1,0 +1,71 @@
+package benchjson
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestLoadsEveryCheckedInRecording: every BENCH_*.json in the
+// repository root parses, whatever vintage its shape — the backfill
+// tolerance the host-stamp change must preserve.
+func TestLoadsEveryCheckedInRecording(t *testing.T) {
+	files, err := filepath.Glob("../../BENCH_*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no BENCH_*.json recordings found at the repository root")
+	}
+	for _, f := range files {
+		entries, err := Load(f)
+		if err != nil {
+			t.Errorf("%s: %v", filepath.Base(f), err)
+			continue
+		}
+		for _, e := range entries {
+			if e.Bench == "" {
+				t.Errorf("%s: entry with empty bench name", filepath.Base(f))
+			}
+			if len(e.Metrics) == 0 {
+				t.Errorf("%s: %s has no metrics", filepath.Base(f), e.Bench)
+			}
+		}
+	}
+}
+
+// TestParseShapes pins the four accepted shapes: object/array, each
+// with and without the host stamp.
+func TestParseShapes(t *testing.T) {
+	oldObj := `{"bench":"BenchmarkX","metrics":{"ns/op":12}}`
+	newObj := `{"bench":"BenchmarkX","host":{"go":"go1.24.0","gomaxprocs":1,"cpus":1},"metrics":{"ns/op":12}}`
+	cases := []struct {
+		name string
+		data string
+		host bool
+	}{
+		{"old-object", oldObj, false},
+		{"new-object", newObj, true},
+		{"old-array", "[" + oldObj + "," + oldObj + "]", false},
+		{"new-array", "[" + newObj + "]", true},
+	}
+	for _, tc := range cases {
+		entries, err := Parse([]byte(tc.data))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		for _, e := range entries {
+			if e.Bench != "BenchmarkX" || e.Metrics["ns/op"] != 12 {
+				t.Fatalf("%s: parsed %+v", tc.name, e)
+			}
+			if tc.host && (e.Host == nil || e.Host.Go != "go1.24.0") {
+				t.Fatalf("%s: host stamp lost: %+v", tc.name, e.Host)
+			}
+			if !tc.host && e.Host != nil {
+				t.Fatalf("%s: phantom host stamp: %+v", tc.name, e.Host)
+			}
+		}
+	}
+	if _, err := Parse([]byte("  ")); err == nil {
+		t.Fatal("empty recording parsed")
+	}
+}

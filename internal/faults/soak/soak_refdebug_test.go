@@ -73,3 +73,45 @@ func TestHTTPPinLedgerUnderRetransmits(t *testing.T) {
 	// serving path touched panics inside Halt.
 	c.Halt()
 }
+
+// TestSMPMagazineDrainLedger runs connection churn on a 4-CPU
+// fast-path cluster — every per-CPU allocation front engaged — and
+// tears it down under the refdebug ledger.  The Halt-time magazine
+// drain frees every cached block back through the pool and the BSD
+// malloc with their user operations already counted; an over-release, a
+// double free, or a drain that charged a counter pair twice panics or
+// fails here.  This is the E16 ledger contract: after drain, soak sees
+// the same balanced totals the global-lock configuration produces.
+func TestSMPMagazineDrainLedger(t *testing.T) {
+	c, err := evalrig.NewCluster(evalrig.OSKit, 3, soakTick, evalrig.Options{
+		FastPath: true, CPUs: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Halt()
+	if !c.Server().QP.MagazinesEnabled() {
+		t.Fatal("magazines not engaged on the SMP fast-path server")
+	}
+	res, err := evalrig.ChurnTCP(c, evalrig.ChurnOptions{
+		Conns: 96, Workers: 3, ReqBytes: 256, Port: 5901, Seed: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 0 {
+		t.Fatalf("%d of %d churn cycles failed: %v", res.Failed, res.Failed+res.Conns, res.Errors)
+	}
+	if v, _ := c.Server().Stat("quickpool", "qp.magazine_hits"); v == 0 {
+		t.Error("magazines never hit during churn — the front was not exercised")
+	}
+	for i, n := range c.Nodes {
+		for _, bad := range Imbalances(n) {
+			t.Errorf("node %d (%s): %s", i, n.Machine.Name, bad)
+		}
+	}
+	// Halt inside the test: the per-CPU drains run here, under the
+	// refdebug ledger, and the machines power off with every cached
+	// block returned.
+	c.Halt()
+}

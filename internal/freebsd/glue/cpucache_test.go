@@ -1,0 +1,196 @@
+package bsdglue
+
+import (
+	"testing"
+
+	"oskit/internal/core"
+	"oskit/internal/hw"
+	"oskit/internal/lmm"
+	"oskit/internal/stats"
+)
+
+func testGlueCPUs(t *testing.T, cpus int) *Glue {
+	t.Helper()
+	m := hw.NewMachine(hw.Config{MemBytes: 16 << 20, CPUs: cpus})
+	t.Cleanup(m.Halt)
+	arena := lmm.NewArena()
+	if err := arena.AddRegion(0x100000, 8<<20, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	arena.AddFree(0x100000, 8<<20)
+	g := New(core.NewEnv(m, arena))
+	if cpus > 1 {
+		g.SetSMP(true)
+	}
+	return g
+}
+
+func mallocSnap(g *Glue) map[string]int64 {
+	out := map[string]int64{}
+	for _, s := range stats.Discover(g.env.Registry) {
+		if s.StatsName() == "bsd_malloc" {
+			for _, st := range s.Snapshot() {
+				out[st.Name] = st.Value
+			}
+		}
+		s.Release()
+	}
+	return out
+}
+
+// TestCPUCacheSingleCPURefuses: the default path stays byte-identical —
+// no front, no malloc.cpu_hits row, FreeSized behaves exactly as Free.
+func TestCPUCacheSingleCPURefuses(t *testing.T) {
+	g := testGlue(t)
+	g.Malloc.EnableCPUCache(128, 2048)
+	if g.Malloc.CPUCacheEnabled() {
+		t.Fatal("front enabled on a 1-CPU machine")
+	}
+	addr, _, ok := g.Malloc.Alloc(2048)
+	if !ok {
+		t.Fatal("Alloc failed")
+	}
+	g.Malloc.FreeSized(addr, 2048)
+	snap := mallocSnap(g)
+	if _, ok := snap["malloc.cpu_hits"]; ok {
+		t.Fatal("malloc.cpu_hits registered without the front")
+	}
+	if snap["malloc.allocs"] != 1 || snap["malloc.frees"] != 1 {
+		t.Fatalf("allocs/frees = %d/%d", snap["malloc.allocs"], snap["malloc.frees"])
+	}
+	if g.Malloc.LiveBytes() != 0 {
+		t.Fatalf("LiveBytes = %d after free", g.Malloc.LiveBytes())
+	}
+}
+
+// TestCPUCacheHitAlignmentAndLedger: cached clusters stay naturally
+// aligned (property 1), hits count once per user op, and drain returns
+// every page so bytes_live comes back to the baseline.
+func TestCPUCacheHitAlignmentAndLedger(t *testing.T) {
+	g := testGlueCPUs(t, 4)
+	g.Malloc.EnableCPUCache(128, 2048)
+	if !g.Malloc.CPUCacheEnabled() {
+		t.Fatal("front not enabled")
+	}
+	g.Malloc.EnableCPUCache(128, 2048) // idempotent
+
+	const n = 24
+	var addrs []hw.PhysAddr
+	for i := 0; i < n; i++ {
+		addr, buf, ok := g.Malloc.Alloc(2048)
+		if !ok || len(buf) != 2048 {
+			t.Fatalf("Alloc = %v len %d", ok, len(buf))
+		}
+		if addr&(2048-1) != 0 {
+			t.Fatalf("cluster %#x misaligned", addr)
+		}
+		addrs = append(addrs, addr)
+	}
+	for _, a := range addrs {
+		g.Malloc.FreeSized(a, 2048)
+	}
+	// Warm wave: magazines are loaded now, so these hit and must stay
+	// aligned — the front may not launder blocks through anything that
+	// would break property 1.
+	for i := 0; i < n; i++ {
+		addr, _, ok := g.Malloc.Alloc(2048)
+		if !ok {
+			t.Fatalf("warm Alloc %d failed", i)
+		}
+		if addr&(2048-1) != 0 {
+			t.Fatalf("cached cluster %#x misaligned", addr)
+		}
+		addrs[i] = addr
+	}
+	for _, a := range addrs {
+		g.Malloc.FreeSized(a, 2048)
+	}
+
+	snap := mallocSnap(g)
+	if snap["malloc.allocs"] != 2*n || snap["malloc.frees"] != 2*n {
+		t.Fatalf("allocs/frees = %d/%d, want %d", snap["malloc.allocs"], snap["malloc.frees"], 2*n)
+	}
+	if snap["malloc.cpu_hits"] == 0 {
+		t.Fatal("malloc.cpu_hits = 0 after warm cycles")
+	}
+	if g.Malloc.CPUCached() == 0 {
+		t.Fatal("nothing cached in the front after frees")
+	}
+	// Cached blocks are still live pages until the drain brings them home.
+	if g.Malloc.LiveBytes() == 0 {
+		t.Fatal("LiveBytes = 0 while the front holds blocks")
+	}
+	g.Malloc.DrainCPUCache()
+	if got := g.Malloc.CPUCached(); got != 0 {
+		t.Fatalf("CPUCached after drain = %d", got)
+	}
+	if g.Malloc.LiveBytes() != 0 {
+		t.Fatalf("LiveBytes = %d after drain", g.Malloc.LiveBytes())
+	}
+	// Drain charged nothing: the pair still balances exactly.
+	snap = mallocSnap(g)
+	if snap["malloc.allocs"] != 2*n || snap["malloc.frees"] != 2*n {
+		t.Fatalf("drain moved counters: allocs/frees = %d/%d", snap["malloc.allocs"], snap["malloc.frees"])
+	}
+}
+
+// TestCPUCacheHookStream: the fault hook fires once per Alloc of a
+// cached size, same as the global path, and a veto counts as a failure
+// without touching the cache.
+func TestCPUCacheHookStream(t *testing.T) {
+	g := testGlueCPUs(t, 2)
+	g.Malloc.EnableCPUCache(2048)
+	var decisions []uint32
+	n := 0
+	g.Malloc.SetFaultHook(func(size uint32) bool {
+		decisions = append(decisions, size)
+		n++
+		return n%3 == 0
+	})
+	fails := 0
+	var live []hw.PhysAddr
+	for i := 0; i < 12; i++ {
+		addr, _, ok := g.Malloc.Alloc(2048)
+		if !ok {
+			fails++
+			continue
+		}
+		live = append(live, addr)
+	}
+	g.Malloc.SetFaultHook(nil)
+	for _, a := range live {
+		g.Malloc.FreeSized(a, 2048)
+	}
+	if len(decisions) != 12 {
+		t.Fatalf("hook saw %d decisions, want 12 (one per Alloc)", len(decisions))
+	}
+	if fails != 4 {
+		t.Fatalf("fails = %d, want 4 (every 3rd decision)", fails)
+	}
+	snap := mallocSnap(g)
+	if snap["malloc.failures"] != 4 {
+		t.Fatalf("malloc.failures = %d, want 4", snap["malloc.failures"])
+	}
+	if snap["malloc.allocs"] != 8 || snap["malloc.frees"] != 8 {
+		t.Fatalf("allocs/frees = %d/%d, want 8/8", snap["malloc.allocs"], snap["malloc.frees"])
+	}
+}
+
+// TestCPUCacheUncachedSizesUntouched: non-cached sizes ride the stock
+// path even with the front on.
+func TestCPUCacheUncachedSizesUntouched(t *testing.T) {
+	g := testGlueCPUs(t, 2)
+	g.Malloc.EnableCPUCache(2048)
+	addr, _, ok := g.Malloc.Alloc(512)
+	if !ok {
+		t.Fatal("Alloc(512) failed")
+	}
+	g.Malloc.FreeSized(addr, 512)
+	if g.Malloc.CPUCached() != 0 {
+		t.Fatal("uncached size landed in the front")
+	}
+	snap := mallocSnap(g)
+	if snap["malloc.cpu_hits"] != 0 {
+		t.Fatalf("malloc.cpu_hits = %d for uncached size", snap["malloc.cpu_hits"])
+	}
+}

@@ -1,0 +1,125 @@
+package bsdglue
+
+import (
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"oskit/internal/hw"
+)
+
+// hammerCPUs honors the OSKIT_CPUS override check.sh uses to widen the
+// contention hammers (the 8-CPU alloc-contention smoke).
+func hammerCPUs(def int) int {
+	if s := os.Getenv("OSKIT_CPUS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 1 {
+			return n
+		}
+	}
+	return def
+}
+
+// TestMallocConcurrentGaugeAudit pins the E16 gauge audit: every read
+// of the allocator's backing state (the live-byte ledger behind
+// malloc.bytes_live, the page table behind malloc.table_bytes, the
+// size table behind SizeOf) happens under the allocator lock, and the
+// exported gauge/counter handles are single atomic words — so an SMP
+// glue can be hammered by allocators, front stashes, gauge readers,
+// snapshot takers and hook togglers at once with the race detector on.
+func TestMallocConcurrentGaugeAudit(t *testing.T) {
+	g := testGlueCPUs(t, hammerCPUs(4))
+	g.Malloc.EnableCPUCache(128, 2048)
+
+	const workers, ops = 6, 400
+	var traffic, pollers sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Allocator traffic: cached and uncached sizes, Free and FreeSized.
+	for w := 0; w < workers; w++ {
+		traffic.Add(1)
+		go func(w int) {
+			defer traffic.Done()
+			sizes := []uint32{128, 512, 2048}
+			var held []struct {
+				addr hw.PhysAddr
+				size uint32
+			}
+			for i := 0; i < ops; i++ {
+				size := sizes[(w+i)%len(sizes)]
+				addr, _, ok := g.Malloc.Alloc(size)
+				if !ok {
+					continue
+				}
+				held = append(held, struct {
+					addr hw.PhysAddr
+					size uint32
+				}{addr, size})
+				if len(held) >= 8 {
+					for _, h := range held {
+						if h.size == 512 {
+							g.Malloc.Free(h.addr)
+						} else {
+							g.Malloc.FreeSized(h.addr, h.size)
+						}
+					}
+					held = held[:0]
+				}
+			}
+			for _, h := range held {
+				g.Malloc.FreeSized(h.addr, h.size)
+			}
+		}(w)
+	}
+	// Readers: the lock-guarded accessors and the stats snapshot path
+	// WriteStats/oskit-stats ride.
+	pollers.Add(1)
+	go func() {
+		defer pollers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = g.Malloc.LiveBytes()
+			_ = g.Malloc.TableBytes()
+			_ = g.Malloc.Growths()
+			_ = g.Malloc.CPUCached()
+			_ = mallocSnap(g)
+		}
+	}()
+	// Hook toggler: SetFaultHook must be safe mid-traffic.
+	pollers.Add(1)
+	go func() {
+		defer pollers.Done()
+		n := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			n++
+			if n%2 == 0 {
+				g.Malloc.SetFaultHook(func(size uint32) bool { return false })
+			} else {
+				g.Malloc.SetFaultHook(nil)
+			}
+		}
+	}()
+
+	traffic.Wait()
+	close(stop)
+	pollers.Wait()
+	g.Malloc.SetFaultHook(nil)
+
+	g.Malloc.DrainCPUCache()
+	if v := g.Malloc.LiveBytes(); v != 0 {
+		t.Fatalf("LiveBytes = %d after all frees and drain", v)
+	}
+	snap := mallocSnap(g)
+	if snap["malloc.frees"] > snap["malloc.allocs"] {
+		t.Fatalf("frees %d > allocs %d", snap["malloc.frees"], snap["malloc.allocs"])
+	}
+}

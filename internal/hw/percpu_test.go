@@ -1,0 +1,92 @@
+package hw
+
+import "testing"
+
+// TestCurCPUDispatcherExact: inside an interrupt handler, CurCPU reports
+// the affinity CPU the handler was routed to — the GoID-keyed dispIDs map
+// makes dispatcher identity exact.
+func TestCurCPUDispatcherExact(t *testing.T) {
+	ic := NewIntrControllerCPUs(4)
+	defer ic.stop()
+	got := make(chan int, 1)
+	ic.SetHandler(5, func(int) { got <- ic.CurCPU() })
+	ic.SetMask(5, false)
+	for want := 0; want < 4; want++ {
+		ic.SetAffinity(5, want)
+		ic.Raise(5)
+		if cpu := <-got; cpu != want {
+			t.Fatalf("handler on affinity CPU %d saw CurCPU = %d", want, cpu)
+		}
+	}
+}
+
+// TestCurCPUProcessLevel: process-level goroutines get a stable in-range
+// slot, and a single-CPU controller always reports 0.
+func TestCurCPUProcessLevel(t *testing.T) {
+	one := NewIntrController()
+	defer one.stop()
+	if cpu := one.CurCPU(); cpu != 0 {
+		t.Fatalf("1-CPU CurCPU = %d, want 0", cpu)
+	}
+
+	ic := NewIntrControllerCPUs(4)
+	defer ic.stop()
+	first := ic.CurCPU()
+	if first < 0 || first >= 4 {
+		t.Fatalf("CurCPU = %d, out of range", first)
+	}
+	for i := 0; i < 8; i++ {
+		if cpu := ic.CurCPU(); cpu != first {
+			t.Fatalf("CurCPU not stable on one goroutine: %d then %d", first, cpu)
+		}
+	}
+}
+
+// TestCPUHintSpreadsAndBatches: the hint stays in range, visits every
+// slot over enough calls, and holds each slot for runs (batched
+// round-robin, not per-call churn).
+func TestCPUHintSpreadsAndBatches(t *testing.T) {
+	one := NewIntrController()
+	defer one.stop()
+	if h := one.CPUHint(); h != 0 {
+		t.Fatalf("1-CPU CPUHint = %d, want 0", h)
+	}
+
+	ic := NewIntrControllerCPUs(4)
+	defer ic.stop()
+	seen := map[int]int{}
+	runs, prev := 0, -1
+	const calls = 16 * HintBatch
+	for i := 0; i < calls; i++ {
+		h := ic.CPUHint()
+		if h < 0 || h >= 4 {
+			t.Fatalf("CPUHint = %d, out of range", h)
+		}
+		seen[h]++
+		if h != prev {
+			runs++
+			prev = h
+		}
+	}
+	if len(seen) != 4 {
+		t.Fatalf("CPUHint visited %d of 4 slots over %d calls: %v", len(seen), calls, seen)
+	}
+	// 16 batches of HintBatch calls can cross at most 17 slot boundaries
+	// (other goroutines may advance the shared clock concurrently, so
+	// allow slack — but per-call churn would give ~calls runs).
+	if runs > calls/4 {
+		t.Fatalf("CPUHint churned slots %d times in %d calls — batching broken", runs, calls)
+	}
+}
+
+// TestMixGoIDSpreads: consecutive goroutine ids land on different slots
+// rather than clustering.
+func TestMixGoIDSpreads(t *testing.T) {
+	seen := map[uint64]bool{}
+	for id := uint64(1); id <= 64; id++ {
+		seen[mixGoID(id)%8] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("64 consecutive goids covered %d of 8 slots", len(seen))
+	}
+}

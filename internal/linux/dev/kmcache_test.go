@@ -1,0 +1,342 @@
+package linuxdev
+
+import (
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"oskit/internal/hw"
+	"oskit/internal/kern"
+	"oskit/internal/libc"
+	"oskit/internal/linux/legacy"
+	"oskit/internal/stats"
+)
+
+// hammerCPUs honors the OSKIT_CPUS override check.sh uses to widen the
+// contention hammers (the 8-CPU alloc-contention smoke).
+func hammerCPUs(def int) int {
+	if s := os.Getenv("OSKIT_CPUS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 1 {
+			return n
+		}
+	}
+	return def
+}
+
+// testKmGlue builds a glue with the fast-path pool bound, on a machine
+// with the given CPU count (SMP discipline on for cpus > 1) — the
+// preconditions EnableAllocCache checks.
+func testKmGlue(t *testing.T, cpus int) *Glue {
+	t.Helper()
+	m := hw.NewMachine(hw.Config{Name: "kmfront", MemBytes: 16 << 20, CPUs: cpus})
+	t.Cleanup(m.Halt)
+	k, err := kern.Setup(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := GlueFor(k.Env)
+	if cpus > 1 {
+		g.SetSMP(true)
+	}
+	g.EnableFastPath(libc.NewQuickPoolService(libc.New(k.Env)))
+	return g
+}
+
+func kmSnap(g *Glue) map[string]int64 {
+	out := map[string]int64{}
+	for _, s := range stats.Discover(g.env.Registry) {
+		if s.StatsName() == "linux_dev" {
+			for _, st := range s.Snapshot() {
+				out[st.Name] = st.Value
+			}
+		}
+		s.Release()
+	}
+	return out
+}
+
+// TestKmCacheSingleCPURefuses: the default path stays byte-identical —
+// no front, no kmalloc.cpu_hits row.
+func TestKmCacheSingleCPURefuses(t *testing.T) {
+	g := testKmGlue(t, 1)
+	g.EnableAllocCache()
+	if g.AllocCacheEnabled() {
+		t.Fatal("front enabled on a 1-CPU machine")
+	}
+	b := g.Kernel().Kmalloc(2048, 0)
+	if b == nil {
+		t.Fatal("Kmalloc failed")
+	}
+	g.Kernel().Kfree(b)
+	snap := kmSnap(g)
+	if _, ok := snap["kmalloc.cpu_hits"]; ok {
+		t.Fatal("kmalloc.cpu_hits registered without the front")
+	}
+	if snap["kmalloc.allocs"] != 1 || snap["kmalloc.frees"] != 1 {
+		t.Fatalf("allocs/frees = %d/%d", snap["kmalloc.allocs"], snap["kmalloc.frees"])
+	}
+}
+
+// TestKmCacheRefusesWithoutPool: the front requires the fast-path pool
+// binding; a plain multi-CPU glue refuses.
+func TestKmCacheRefusesWithoutPool(t *testing.T) {
+	m := hw.NewMachine(hw.Config{Name: "kmnopool", MemBytes: 8 << 20, CPUs: 4})
+	t.Cleanup(m.Halt)
+	k, err := kern.Setup(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := GlueFor(k.Env)
+	g.SetSMP(true)
+	g.EnableAllocCache()
+	if g.AllocCacheEnabled() {
+		t.Fatal("front enabled without a pool binding")
+	}
+}
+
+// TestKmCacheHitsAndLedger: warm reuse hits the front, every user op
+// charges the kmalloc pair exactly once, and drain returns every block
+// to the pool (qp pair balances) without moving the kmalloc counters.
+func TestKmCacheHitsAndLedger(t *testing.T) {
+	g := testKmGlue(t, 4)
+	g.EnableAllocCache()
+	if !g.AllocCacheEnabled() {
+		t.Fatal("front not enabled")
+	}
+	g.EnableAllocCache() // idempotent
+
+	const n = 24
+	var kbufs []*legacy.KBuf
+	for wave := 0; wave < 2; wave++ {
+		kbufs = kbufs[:0]
+		for i := 0; i < n; i++ {
+			b := g.Kernel().Kmalloc(2048, 0)
+			if b == nil || len(b.Data) != 2048 {
+				t.Fatalf("wave %d Kmalloc %d failed", wave, i)
+			}
+			if !b.Pooled {
+				t.Fatalf("wave %d block %d not pool-backed", wave, i)
+			}
+			kbufs = append(kbufs, b)
+		}
+		for _, b := range kbufs {
+			g.Kernel().Kfree(b)
+		}
+	}
+
+	snap := kmSnap(g)
+	if snap["kmalloc.allocs"] != 2*n || snap["kmalloc.frees"] != 2*n {
+		t.Fatalf("allocs/frees = %d/%d, want %d", snap["kmalloc.allocs"], snap["kmalloc.frees"], 2*n)
+	}
+	if snap["kmalloc.cpu_hits"] == 0 {
+		t.Fatal("kmalloc.cpu_hits = 0 after warm waves")
+	}
+	if g.AllocCached() == 0 {
+		t.Fatal("nothing cached in the front after frees")
+	}
+	g.DrainAllocCache()
+	if got := g.AllocCached(); got != 0 {
+		t.Fatalf("AllocCached after drain = %d", got)
+	}
+	snap = kmSnap(g)
+	if snap["kmalloc.allocs"] != 2*n || snap["kmalloc.frees"] != 2*n {
+		t.Fatalf("drain moved counters: allocs/frees = %d/%d", snap["kmalloc.allocs"], snap["kmalloc.frees"])
+	}
+	// The pool's own ledger quiesced: every block the front returned
+	// went back to the class it came from.
+	qAllocs, qFrees := quickpoolPair(t, g.front.Load().pool.(*libc.QuickPool))
+	if qAllocs != qFrees {
+		t.Fatalf("qp.allocs/qp.frees = %d/%d after drain", qAllocs, qFrees)
+	}
+}
+
+// quickpoolPair reads the pool's qp.allocs/qp.frees counters.
+func quickpoolPair(t *testing.T, p *libc.QuickPool) (allocs, frees int64) {
+	t.Helper()
+	for _, st := range p.StatsSet().Snapshot() {
+		switch st.Name {
+		case "qp.allocs":
+			allocs = st.Value
+		case "qp.frees":
+			frees = st.Value
+		}
+	}
+	return allocs, frees
+}
+
+// TestKmCacheClassConsistency: a cached block reused at a smaller size
+// in the same class still frees into its original pool class — the
+// reslice-on-hit rule.  Exercised by allocating 2048 then 1500 (both
+// class 2048) and letting the ledger check above catch any mismatch.
+func TestKmCacheClassConsistency(t *testing.T) {
+	g := testKmGlue(t, 2)
+	g.EnableAllocCache()
+	b := g.Kernel().Kmalloc(2048, 0)
+	if b == nil {
+		t.Fatal("Kmalloc(2048) failed")
+	}
+	g.Kernel().Kfree(b)
+	b2 := g.Kernel().Kmalloc(1500, 0)
+	if b2 == nil {
+		t.Fatal("Kmalloc(1500) failed")
+	}
+	if len(b2.Data) != 1500 || cap(b2.Data) != 2048 {
+		t.Fatalf("reuse len/cap = %d/%d, want 1500/2048", len(b2.Data), cap(b2.Data))
+	}
+	g.Kernel().Kfree(b2)
+	g.DrainAllocCache()
+	pool := g.front.Load().pool.(*libc.QuickPool)
+	qAllocs, qFrees := quickpoolPair(t, pool)
+	if qAllocs != qFrees {
+		t.Fatalf("qp.allocs/qp.frees = %d/%d after drain", qAllocs, qFrees)
+	}
+	snap := kmSnap(g)
+	if snap["kmalloc.cpu_hits"] != 1 {
+		t.Fatalf("kmalloc.cpu_hits = %d, want 1", snap["kmalloc.cpu_hits"])
+	}
+}
+
+// TestKmCacheHookStream: the fault hook fires once per Kmalloc of a
+// fronted size, and a veto counts as a failure without touching the
+// cache.
+func TestKmCacheHookStream(t *testing.T) {
+	g := testKmGlue(t, 2)
+	g.EnableAllocCache()
+	var decisions []uint32
+	n := 0
+	g.SetKmallocFaultHook(func(size uint32) bool {
+		decisions = append(decisions, size)
+		n++
+		return n%3 == 0
+	})
+	fails := 0
+	var live []*legacy.KBuf
+	for i := 0; i < 12; i++ {
+		b := g.Kernel().Kmalloc(2048, 0)
+		if b == nil {
+			fails++
+			continue
+		}
+		live = append(live, b)
+	}
+	g.SetKmallocFaultHook(nil)
+	for _, b := range live {
+		g.Kernel().Kfree(b)
+	}
+	if len(decisions) != 12 {
+		t.Fatalf("hook saw %d decisions, want 12 (one per Kmalloc)", len(decisions))
+	}
+	if fails != 4 {
+		t.Fatalf("fails = %d, want 4 (every 3rd decision)", fails)
+	}
+	snap := kmSnap(g)
+	if snap["kmalloc.failures"] != 4 {
+		t.Fatalf("kmalloc.failures = %d, want 4", snap["kmalloc.failures"])
+	}
+	if snap["kmalloc.allocs"] != 8 || snap["kmalloc.frees"] != 8 {
+		t.Fatalf("allocs/frees = %d/%d, want 8/8", snap["kmalloc.allocs"], snap["kmalloc.frees"])
+	}
+}
+
+// TestKmCacheConcurrentAudit pins the E16 gauge audit for the kmalloc
+// set: concurrent Kmalloc/Kfree traffic through the front, snapshot
+// readers, and hook togglers run clean under the race detector, and the
+// pair balances exactly after a full free and drain.
+func TestKmCacheConcurrentAudit(t *testing.T) {
+	g := testKmGlue(t, hammerCPUs(4))
+	g.EnableAllocCache()
+	var traffic, pollers sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 6; w++ {
+		traffic.Add(1)
+		go func(w int) {
+			defer traffic.Done()
+			sizes := []uint32{64, 256, 2048}
+			var held []*legacy.KBuf
+			for i := 0; i < 300; i++ {
+				b := g.Kernel().Kmalloc(sizes[(w+i)%len(sizes)], 0)
+				if b == nil {
+					continue
+				}
+				held = append(held, b)
+				if len(held) >= 8 {
+					for _, h := range held {
+						g.Kernel().Kfree(h)
+					}
+					held = held[:0]
+				}
+			}
+			for _, h := range held {
+				g.Kernel().Kfree(h)
+			}
+		}(w)
+	}
+	pollers.Add(1)
+	go func() {
+		defer pollers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = kmSnap(g)
+			_ = g.AllocCached()
+		}
+	}()
+	pollers.Add(1)
+	go func() {
+		defer pollers.Done()
+		n := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			n++
+			if n%2 == 0 {
+				g.SetKmallocFaultHook(func(size uint32) bool { return false })
+			} else {
+				g.SetKmallocFaultHook(nil)
+			}
+		}
+	}()
+	traffic.Wait()
+	close(stop)
+	pollers.Wait()
+	g.SetKmallocFaultHook(nil)
+	g.DrainAllocCache()
+	snap := kmSnap(g)
+	if snap["kmalloc.allocs"] != snap["kmalloc.frees"] {
+		t.Fatalf("allocs %d != frees %d after full free and drain",
+			snap["kmalloc.allocs"], snap["kmalloc.frees"])
+	}
+	qAllocs, qFrees := quickpoolPair(t, g.front.Load().pool.(*libc.QuickPool))
+	if qAllocs != qFrees {
+		t.Fatalf("qp.allocs %d != qp.frees %d after drain", qAllocs, qFrees)
+	}
+}
+
+// TestKmCacheLargeUntouched: sizes above the pool range ride the stock
+// closure even with the front on.
+func TestKmCacheLargeUntouched(t *testing.T) {
+	g := testKmGlue(t, 2)
+	g.EnableAllocCache()
+	b := g.Kernel().Kmalloc(8192, 0)
+	if b == nil {
+		t.Fatal("Kmalloc(8192) failed")
+	}
+	if b.Pooled {
+		t.Fatal("large block marked pooled")
+	}
+	g.Kernel().Kfree(b)
+	if g.AllocCached() != 0 {
+		t.Fatal("large block landed in the front")
+	}
+	snap := kmSnap(g)
+	if snap["kmalloc.cpu_hits"] != 0 {
+		t.Fatalf("kmalloc.cpu_hits = %d for uncached size", snap["kmalloc.cpu_hits"])
+	}
+}

@@ -1,0 +1,197 @@
+package percpu
+
+import (
+	"sync"
+	"testing"
+)
+
+// fixed returns a cpuFn pinned to one slot.
+func fixed(i int) func() int { return func() int { return i } }
+
+func TestMissThenHit(t *testing.T) {
+	c := New[int](2, 4, fixed(0))
+	if _, _, ok := c.Get(); ok {
+		t.Fatal("fresh cache returned a hit")
+	}
+	if cpu, ok := c.Put(7); !ok || cpu != 0 {
+		t.Fatalf("Put = (%d, %v)", cpu, ok)
+	}
+	v, cpu, ok := c.Get()
+	if !ok || v != 7 || cpu != 0 {
+		t.Fatalf("Get = (%d, %d, %v), want (7, 0, true)", v, cpu, ok)
+	}
+	if _, _, ok := c.Get(); ok {
+		t.Fatal("drained slot returned a hit")
+	}
+}
+
+func TestLIFOWithinMagazine(t *testing.T) {
+	c := New[int](1, 8, fixed(0))
+	for i := 0; i < 4; i++ {
+		c.Put(i)
+	}
+	for want := 3; want >= 0; want-- {
+		v, _, ok := c.Get()
+		if !ok || v != want {
+			t.Fatalf("Get = (%d, %v), want %d", v, ok, want)
+		}
+	}
+}
+
+// TestDepotExchange: fill CPU 0 past both magazines so a full magazine
+// reaches the depot, then drain CPU 1 from empty — its depot trade must
+// hand it CPU 0's full magazine (the cross-CPU free path).
+func TestDepotExchange(t *testing.T) {
+	cur := 0
+	c := New[int](2, 4, func() int { return cur })
+	for i := 0; i < 12; i++ { // loaded(4) + prev(4) + one depot magazine(4)
+		if _, ok := c.Put(i); !ok {
+			t.Fatalf("Put %d overflowed early", i)
+		}
+	}
+	if got := c.Cached(); got != 12 {
+		t.Fatalf("Cached = %d, want 12", got)
+	}
+	cur = 1
+	v, cpu, ok := c.Get()
+	if !ok || cpu != 1 {
+		t.Fatalf("cross-CPU Get = (%d, %d, %v)", v, cpu, ok)
+	}
+	// The depot magazine held the first batch pushed out: rounds 0-3.
+	if v < 0 || v > 3 {
+		t.Fatalf("depot magazine held %d, want one of rounds 0-3", v)
+	}
+}
+
+// TestOverflowBounded: with the depot at capacity, Put reports overflow
+// and the cache stops growing.
+func TestOverflowBounded(t *testing.T) {
+	c := New[int](1, 4, fixed(0))
+	capTotal := 4 + 4 + depotCapPerCPU*4 // loaded + prev + depot fulls
+	n := 0
+	for i := 0; i < capTotal+10; i++ {
+		if _, ok := c.Put(i); ok {
+			n++
+		}
+	}
+	if n != capTotal {
+		t.Fatalf("accepted %d puts, want %d", n, capTotal)
+	}
+	if got := c.Cached(); got != capTotal {
+		t.Fatalf("Cached = %d, want %d", got, capTotal)
+	}
+}
+
+// TestDrainReturnsEverything: Drain hands back every cached object
+// exactly once and leaves the cache empty.
+func TestDrainReturnsEverything(t *testing.T) {
+	cur := 0
+	c := New[int](3, 4, func() int { return cur })
+	put := 0
+	for cpu := 0; cpu < 3; cpu++ {
+		cur = cpu
+		for i := 0; i < 10; i++ {
+			if _, ok := c.Put(put); ok {
+				put++
+			}
+		}
+	}
+	seen := map[int]bool{}
+	c.Drain(func(v int) {
+		if seen[v] {
+			t.Fatalf("object %d drained twice", v)
+		}
+		seen[v] = true
+	})
+	if len(seen) != put {
+		t.Fatalf("drained %d objects, put %d", len(seen), put)
+	}
+	if got := c.Cached(); got != 0 {
+		t.Fatalf("Cached after drain = %d, want 0", got)
+	}
+	// The cache stays usable after a drain.
+	if _, ok := c.Put(99); !ok {
+		t.Fatal("Put after drain overflowed")
+	}
+	if v, _, ok := c.Get(); !ok || v != 99 {
+		t.Fatalf("Get after drain = (%d, %v)", v, ok)
+	}
+}
+
+// TestOutOfRangeCPUClamps: a bogus cpuFn answer clamps to slot 0 rather
+// than panicking — the key is locality-only.
+func TestOutOfRangeCPUClamps(t *testing.T) {
+	c := New[int](2, 4, fixed(99))
+	if cpu, ok := c.Put(1); !ok || cpu != 0 {
+		t.Fatalf("Put = (%d, %v), want clamp to slot 0", cpu, ok)
+	}
+	c2 := New[int](2, 4, fixed(-1))
+	if cpu, ok := c2.Put(1); !ok || cpu != 0 {
+		t.Fatalf("Put = (%d, %v), want clamp to slot 0", cpu, ok)
+	}
+}
+
+// TestConcurrentChurn: hammer Get/Put/Cached from many goroutines (run
+// under -race in the tier-1 race set); every object a Put accepted must
+// come back exactly once via Get or Drain.
+func TestConcurrentChurn(t *testing.T) {
+	var ctr int
+	var mu sync.Mutex
+	c := New[*int](4, 8, func() int {
+		mu.Lock()
+		ctr++
+		v := ctr
+		mu.Unlock()
+		return v % 4
+	})
+	var accepted, returned sync.Map
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				v := new(int)
+				*v = w*1000 + i
+				if _, ok := c.Put(v); ok {
+					accepted.Store(v, true)
+				}
+				if got, _, ok := c.Get(); ok {
+					if _, dup := returned.LoadOrStore(got, true); dup {
+						t.Error("object returned twice")
+						return
+					}
+				}
+				if i%64 == 0 {
+					c.Cached()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	c.Drain(func(v *int) {
+		if _, dup := returned.LoadOrStore(v, true); dup {
+			t.Error("object drained after being returned")
+		}
+	})
+	nAccepted, nReturned := 0, 0
+	accepted.Range(func(k, _ any) bool {
+		nAccepted++
+		if _, ok := returned.Load(k); !ok {
+			t.Error("accepted object neither returned nor drained")
+			return false
+		}
+		return true
+	})
+	returned.Range(func(k, _ any) bool {
+		nReturned++
+		if _, ok := accepted.Load(k); !ok {
+			t.Error("cache invented an object")
+			return false
+		}
+		return true
+	})
+	if nAccepted != nReturned {
+		t.Fatalf("accepted %d != returned %d", nAccepted, nReturned)
+	}
+}

@@ -1,0 +1,142 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"oskit/internal/com"
+)
+
+// TestShardAggregation: IncOn charges land on slots, Load and Snapshot
+// see the aggregate, reset clears everything.
+func TestShardAggregation(t *testing.T) {
+	s := NewSet("shardtest")
+	defer s.Release()
+	c := s.Counter("ops")
+	c.Inc() // pre-shard charge lands on the base word
+	c.Shard(4)
+	c.IncOn(0)
+	c.IncOn(2)
+	c.IncOn(2)
+	c.IncOn(9)  // out of range: base word
+	c.IncOn(-1) // out of range: base word
+	if got := c.Load(); got != 6 {
+		t.Fatalf("Load = %d, want 6", got)
+	}
+	if v, ok := Get(s.Snapshot(), "ops"); !ok || v != 6 {
+		t.Fatalf("Snapshot ops = %d,%v, want 6", v, ok)
+	}
+	loads := c.ShardLoads()
+	if len(loads) != 4 || loads[0] != 1 || loads[1] != 0 || loads[2] != 2 || loads[3] != 0 {
+		t.Fatalf("ShardLoads = %v", loads)
+	}
+	pc := s.SnapshotPerCPU()
+	if len(pc) != 4 {
+		t.Fatalf("SnapshotPerCPU rows = %d, want 4", len(pc))
+	}
+	if v, ok := Get(pc, "ops.cpu2"); !ok || v != 2 {
+		t.Fatalf("ops.cpu2 = %d,%v, want 2", v, ok)
+	}
+	s.Reset()
+	if got := c.Load(); got != 0 {
+		t.Fatalf("Load after Reset = %d", got)
+	}
+	if loads := c.ShardLoads(); loads[2] != 0 {
+		t.Fatalf("shard 2 after Reset = %d", loads[2])
+	}
+}
+
+// TestShardGrowPreservesAndUnshardedBehaviour: growing keeps slot
+// values; unsharded counters have no per-CPU rows and IncOn falls back
+// to the base word.
+func TestShardGrowPreservesAndUnshardedBehaviour(t *testing.T) {
+	var c Counter
+	c.IncOn(3) // unsharded: base word
+	if c.ShardLoads() != nil {
+		t.Fatal("unsharded counter reported shard loads")
+	}
+	c.Shard(2)
+	c.IncOn(1)
+	c.Shard(4) // grow
+	c.IncOn(3)
+	c.Shard(2) // shrink ignored
+	if got := len(c.ShardLoads()); got != 4 {
+		t.Fatalf("slots after shrink attempt = %d, want 4", got)
+	}
+	if loads := c.ShardLoads(); loads[1] != 1 || loads[3] != 1 {
+		t.Fatalf("ShardLoads = %v", loads)
+	}
+	if got := c.Load(); got != 3 {
+		t.Fatalf("Load = %d, want 3", got)
+	}
+
+	var nilC *Counter
+	nilC.Shard(4)
+	nilC.IncOn(0)
+	if nilC.ShardLoads() != nil || nilC.Load() != 0 {
+		t.Fatal("nil counter sharding not a no-op")
+	}
+
+	s := NewSet("unsharded")
+	defer s.Release()
+	s.Counter("plain").Inc()
+	if rows := s.SnapshotPerCPU(); len(rows) != 0 {
+		t.Fatalf("unsharded set SnapshotPerCPU = %v, want empty", rows)
+	}
+}
+
+// TestShardConcurrent: concurrent IncOn across slots plus Load/Snapshot
+// readers, under -race in the tier-1 set; the aggregate is exact.
+func TestShardConcurrent(t *testing.T) {
+	s := NewSet("shardrace")
+	defer s.Release()
+	c := s.Counter("ops")
+	c.Shard(4)
+	const workers, each = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				c.IncOn(w % 4)
+				if i%128 == 0 {
+					c.Load()
+					s.Snapshot()
+					s.SnapshotPerCPU()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Load(); got != workers*each {
+		t.Fatalf("Load = %d, want %d", got, workers*each)
+	}
+}
+
+// TestWriteTablePerCPU: the -percpu table renders shard rows and says so
+// when there is nothing sharded.
+func TestWriteTablePerCPU(t *testing.T) {
+	s := NewSet("quickpool")
+	defer s.Release()
+	c := s.Counter("qp.allocs")
+	c.Shard(2)
+	c.IncOn(0)
+	c.IncOn(1)
+	c.IncOn(1)
+	var b strings.Builder
+	WriteTablePerCPU(&b, []com.Stats{s}, false)
+	out := b.String()
+	if !strings.Contains(out, "qp.allocs.cpu0") || !strings.Contains(out, "qp.allocs.cpu1") {
+		t.Fatalf("per-cpu table missing shard rows:\n%s", out)
+	}
+
+	empty := NewSet("plain")
+	defer empty.Release()
+	b.Reset()
+	WriteTablePerCPU(&b, []com.Stats{empty}, false)
+	if !strings.Contains(b.String(), "no per-cpu sharded statistics") {
+		t.Fatalf("empty per-cpu table = %q", b.String())
+	}
+}

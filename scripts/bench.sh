@@ -14,20 +14,30 @@
 #   E13 (cluster connection churn + demux)    -> BENCH_e13.json
 #   E14 (SMP scaling: ttcp/rtcp/churn by CPUs) -> BENCH_e14.json
 #   E15 (sendfile copy/zero-copy x csum matrix) -> BENCH_e15.json
+#   E16 (per-CPU allocation fronts vs global locks) -> BENCH_e16.json
 set -eu
 
 cd "$(dirname "$0")/.."
 BENCHTIME="${1:-1x}"
 
+# Host metadata, stamped into every recorded object so numbers can be
+# compared across machines.  Older BENCH_*.json files lack the "host"
+# key; the internal/benchjson loader tolerates both shapes.
+GOVER="$(go version | awk '{print $3}')"
+NCPU="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)"
+MAXPROCS="${GOMAXPROCS:-$NCPU}"
+
 run_matrix() {
 	# $1 = bench regexp, $2 = output file
 	out="$(go test -run '^$' -bench "$1" -benchtime "$BENCHTIME" .)"
 	echo "$out"
-	echo "$out" | awk -v file="$2" '
+	echo "$out" | awk -v file="$2" -v gover="$GOVER" -v maxprocs="$MAXPROCS" -v ncpu="$NCPU" '
 		/^Benchmark/ {
 			# Fields: name, iterations, then repeated "value unit" pairs
 			# (ns/op plus every b.ReportMetric row).
-			s = sprintf("{\n  \"bench\": \"%s\",\n  \"metrics\": {", $1)
+			s = sprintf("{\n  \"bench\": \"%s\",", $1)
+			s = s sprintf("\n  \"host\": {\n    \"go\": \"%s\",\n    \"gomaxprocs\": %s,\n    \"cpus\": %s\n  },", gover, maxprocs, ncpu)
+			s = s "\n  \"metrics\": {"
 			sep = ""
 			for (i = 3; i + 1 <= NF; i += 2) {
 				s = s sprintf("%s\n    \"%s\": %s", sep, $(i+1), $i)
@@ -56,3 +66,4 @@ run_matrix 'E12_RxBatch_Matrix' BENCH_e12.json
 run_matrix 'E13_(Churn|Demux)_Matrix' BENCH_e13.json
 run_matrix 'E14_SMP_Matrix' BENCH_e14.json
 run_matrix 'E15_Sendfile_Matrix' BENCH_e15.json
+run_matrix 'E16_Alloc_Matrix' BENCH_e16.json

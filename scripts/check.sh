@@ -38,10 +38,19 @@ go test -race -count=1 ./internal/evalrig/ \
 go test -race -count=1 ./internal/freebsd/net/ \
 	-run 'TestRace|TestPerConnLockingInterleavings|TestScheduledConnectCloseRace'
 
+echo "== alloc-contention smoke (8-CPU magazine/front hammer, under -race)"
+OSKIT_CPUS=8 go test -race -count=1 \
+	./internal/libc/ -run 'TestMagazineConcurrent'
+OSKIT_CPUS=8 go test -race -count=1 \
+	./internal/freebsd/glue/ -run 'TestMallocConcurrentGaugeAudit'
+OSKIT_CPUS=8 go test -race -count=1 \
+	./internal/linux/dev/ -run 'TestKmCacheConcurrentAudit'
+go test -race -count=1 ./internal/evalrig/ -run 'TestE16AllocFrontsEngageAndDrain'
+
 echo "== refcount lifecycle checks (oskitrefdebug build)"
 go test -race -tags oskitrefdebug ./internal/com/
 go test -race -tags oskitrefdebug -count=1 ./internal/faults/soak/ \
-	-run 'TestHTTPPinLedgerUnderRetransmits'
+	-run 'TestHTTPPinLedgerUnderRetransmits|TestSMPMagazineDrainLedger'
 
 echo "== shuffled re-run (order-dependence check)"
 go test -shuffle=on -count=1 ./...
@@ -49,7 +58,7 @@ go test -shuffle=on -count=1 ./...
 echo "== shuffled multi-CPU re-run (SMP rigs under a different interleaving)"
 go test -shuffle=on -count=1 ./internal/evalrig/ ./internal/freebsd/net/ ./internal/smp/
 
-echo "== bench smoke (E11-E15 matrices, 1x)"
+echo "== bench smoke (E11-E16 matrices, 1x)"
 scripts/bench.sh 1x >/dev/null
 
 echo "== example smoke (flag parity: -stats/-faults/-fastpath)"
@@ -58,6 +67,7 @@ go run ./examples/rtcp -config oskit -rounds 50 -fastpath >/dev/null
 go run ./examples/ttcp -config freebsd -blocks 64 -cpus 4 >/dev/null
 go run ./examples/rtcp -config freebsd -rounds 50 -cpus 4 >/dev/null
 go run ./cmd/oskit-churn -config freebsd -nodes 4 -conns 128 -cpus 4 >/dev/null
+go run ./cmd/oskit-stats -config oskit -blocks 64 -fastpath -cpus 4 -percpu >/dev/null
 go run ./examples/fileserver -stats -fastpath \
 	-faults "seed=7 disk.err=0.05 disk.torn=0.02" >/dev/null
 go run ./examples/fileserver -stats -fastpath -cpus 2 \
