@@ -1,7 +1,7 @@
 # Convenience targets; scripts/check.sh is the source of truth for the
 # verification sequence.
 
-.PHONY: build test race lint lint-fix-fixtures check check-quick bench
+.PHONY: build test race lint lint-json lint-fix-fixtures check check-quick bench
 
 build:
 	go build ./...
@@ -16,10 +16,16 @@ race:
 		./internal/evalrig/... ./internal/com/...
 
 # oskitcheck: the kit's own analyzers (COM refcounts, hooks under locks,
-# GUID registry, determinism contract).  Fails on any unsuppressed
-# diagnostic; //oskit:allow waivers are listed on stderr.
+# guarded-by field ownership, GUID registry, determinism contract).
+# Fails on any unsuppressed diagnostic; //oskit:allow waivers are listed
+# on stderr.
 lint:
 	go run ./cmd/oskitcheck ./...
+
+# Same findings as machine-readable JSON on stdout (file/line/analyzer/
+# message plus applied waivers and per-analyzer timings), for CI.
+lint-json:
+	go run ./cmd/oskitcheck -json ./...
 
 # The analyzer golden fixtures live under testdata/ where go fmt cannot
 # see them; format them and re-run the analyzer test suites.

@@ -1,7 +1,9 @@
 // Command oskitcheck runs the kit's static-analysis suite — comref,
-// lockhook, guidreg, detsource — over the tree, enforcing at build time
-// the invariants the paper leaves to convention: COM references must be
-// Released (§4.4.2), interposed hooks may not run under locks, the GUID
+// lockhook, guarded, guidreg, detsource — over the tree, enforcing at
+// build time the invariants the paper leaves to convention: COM
+// references must be Released (§4.4.2), interposed hooks may not run
+// under locks, every shared field is accessed under its declared owner
+// (//oskit:guardedby, //oskit:atomic, //oskit:initonly), the GUID
 // namespace must stay collision-free, and the fault substrate must stay
 // deterministic.
 //
@@ -9,6 +11,9 @@
 //
 //	oskitcheck ./...                 # whole tree (the tier-1 gate)
 //	oskitcheck -analyzers comref ./internal/libc/
+//	oskitcheck -json ./...           # machine-readable findings for CI
+//	oskitcheck -waivers ./...        # every applied //oskit:allow + reason
+//	oskitcheck -timing -budget 10s ./...  # per-analyzer wall clock, gated
 //
 // As a vet tool (one package per invocation, so guidreg degrades to
 // per-package scope; test files are skipped in both modes — the
@@ -38,6 +43,8 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+
+	"time"
 
 	"oskit/internal/analysis"
 	"oskit/internal/analysis/suite"
@@ -115,8 +122,12 @@ func runStandalone(args []string) int {
 	analyzerList := fs.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
 	list := fs.Bool("list", false, "list the registered analyzers and exit")
 	quiet := fs.Bool("q", false, "suppress the summary line")
+	jsonOut := fs.Bool("json", false, "emit findings/waivers/timings as JSON on stdout (text stays the default)")
+	waiversOut := fs.Bool("waivers", false, "list every applied //oskit:allow waiver with its reviewed reason")
+	timing := fs.Bool("timing", false, "print per-analyzer wall-clock timing")
+	budget := fs.Duration("budget", 0, "fail if any single analyzer exceeds this wall-clock budget (0 = off)")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s [-analyzers a,b] [-list] [packages...]\n", progName())
+		fmt.Fprintf(os.Stderr, "usage: %s [-analyzers a,b] [-list] [-json] [-waivers] [-timing] [-budget d] [packages...]\n", progName())
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -147,8 +158,27 @@ func runStandalone(args []string) int {
 		fmt.Fprintf(os.Stderr, "%s: %v\n", progName(), err)
 		return 2
 	}
-	printDiagnostics(os.Stdout, prog.Fset, res.Diagnostics)
-	if !*quiet {
+	over := overBudget(res, *budget)
+	if *jsonOut {
+		if err := writeJSON(os.Stdout, prog.Fset, res); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", progName(), err)
+			return 2
+		}
+	} else {
+		printDiagnostics(os.Stdout, prog.Fset, res.Diagnostics)
+	}
+	if *waiversOut {
+		printWaivers(os.Stdout, prog.Fset, res.Waivers)
+	}
+	if *timing {
+		for _, tm := range res.Timings {
+			fmt.Fprintf(os.Stderr, "  %-10s %8.1fms\n", tm.Analyzer, float64(tm.Elapsed.Microseconds())/1000)
+		}
+	}
+	for _, tm := range over {
+		fmt.Fprintf(os.Stderr, "%s: analyzer %s took %v, over the %v budget\n", progName(), tm.Analyzer, tm.Elapsed.Round(time.Millisecond), *budget)
+	}
+	if !*quiet && !*jsonOut {
 		fmt.Fprintf(os.Stderr, "%s: %d package(s), %d diagnostic(s), %d suppressed by %s\n",
 			progName(), len(prog.Packages), len(res.Diagnostics), len(res.Suppressed), analysis.AllowPrefix)
 		for _, d := range res.Suppressed {
@@ -156,10 +186,99 @@ func runStandalone(args []string) int {
 			fmt.Fprintf(os.Stderr, "  suppressed: %s: [%s] %s\n", pos, d.Analyzer, d.Message)
 		}
 	}
-	if len(res.Diagnostics) > 0 {
+	if len(res.Diagnostics) > 0 || len(over) > 0 {
 		return 1
 	}
 	return 0
+}
+
+// overBudget returns the timings exceeding the per-analyzer budget.
+func overBudget(res *analysis.Result, budget time.Duration) []analysis.Timing {
+	if budget <= 0 {
+		return nil
+	}
+	var out []analysis.Timing
+	for _, tm := range res.Timings {
+		if tm.Elapsed > budget {
+			out = append(out, tm)
+		}
+	}
+	return out
+}
+
+// jsonFinding is one finding in -json output; waived findings (those an
+// //oskit:allow suppressed) are included so CI can render annotations.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Waived   bool   `json:"waived"`
+}
+
+type jsonWaiver struct {
+	File       string   `json:"file"`
+	Line       int      `json:"line"`
+	Analyzers  []string `json:"analyzers"`
+	Reason     string   `json:"reason"`
+	Suppressed int      `json:"suppressed"`
+}
+
+type jsonTiming struct {
+	Analyzer string  `json:"analyzer"`
+	Millis   float64 `json:"ms"`
+}
+
+type jsonReport struct {
+	Findings []jsonFinding `json:"findings"`
+	Waivers  []jsonWaiver  `json:"waivers"`
+	Timings  []jsonTiming  `json:"timings"`
+}
+
+func writeJSON(w io.Writer, fset *token.FileSet, res *analysis.Result) error {
+	rep := jsonReport{Findings: []jsonFinding{}, Waivers: []jsonWaiver{}, Timings: []jsonTiming{}}
+	add := func(d analysis.Diagnostic, waived bool) {
+		pos := fset.Position(d.Pos)
+		rep.Findings = append(rep.Findings, jsonFinding{
+			File: pos.Filename, Line: pos.Line, Col: pos.Column,
+			Analyzer: d.Analyzer, Message: d.Message, Waived: waived,
+		})
+	}
+	for _, d := range res.Diagnostics {
+		add(d, false)
+	}
+	for _, d := range res.Suppressed {
+		add(d, true)
+	}
+	for _, wv := range res.Waivers {
+		pos := fset.Position(wv.Pos)
+		rep.Waivers = append(rep.Waivers, jsonWaiver{
+			File: pos.Filename, Line: pos.Line,
+			Analyzers: wv.Analyzers, Reason: wv.Reason, Suppressed: wv.Suppressed,
+		})
+	}
+	for _, tm := range res.Timings {
+		rep.Timings = append(rep.Timings, jsonTiming{Analyzer: tm.Analyzer, Millis: float64(tm.Elapsed.Microseconds()) / 1000})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// printWaivers lists every //oskit:allow directive in the analyzed tree
+// with its reviewed reason and how many findings it suppressed, so the
+// waiver inventory stays auditable.
+func printWaivers(w io.Writer, fset *token.FileSet, waivers []*analysis.Waiver) {
+	for _, wv := range waivers {
+		pos := fset.Position(wv.Pos)
+		reason := wv.Reason
+		if reason == "" {
+			reason = "(no reason!)"
+		}
+		fmt.Fprintf(w, "%s:%d: allow %s (suppressed %d) -- %s\n",
+			pos.Filename, pos.Line, strings.Join(wv.Analyzers, ","), wv.Suppressed, reason)
+	}
 }
 
 func printDiagnostics(w io.Writer, fset *token.FileSet, ds []analysis.Diagnostic) {

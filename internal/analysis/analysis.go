@@ -19,6 +19,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Diagnostic is one finding: a position, a message, and the analyzer that
@@ -91,12 +92,31 @@ func Validate(analyzers []*Analyzer) error {
 	return nil
 }
 
-// Result is the outcome of running a suite: diagnostics that stand, and
+// Result is the outcome of running a suite: diagnostics that stand,
 // diagnostics waived by //oskit:allow comments (kept so drivers can report
-// how many waivers are in force).
+// how many waivers are in force), the waiver directives themselves, and
+// per-analyzer wall-clock timings (so CI can budget the lint step).
 type Result struct {
 	Diagnostics []Diagnostic
 	Suppressed  []Diagnostic
+	Waivers     []*Waiver
+	Timings     []Timing
+}
+
+// Waiver is one //oskit:allow directive found in the program: where it
+// sits, which analyzers it names, the reviewed reason after `--`, and how
+// many diagnostics it actually suppressed in this run.
+type Waiver struct {
+	Pos        token.Pos
+	Analyzers  []string
+	Reason     string
+	Suppressed int
+}
+
+// Timing is one analyzer's wall-clock cost over the whole program.
+type Timing struct {
+	Analyzer string
+	Elapsed  time.Duration
 }
 
 // AllowPrefix is the comment directive that waives one diagnostic:
@@ -107,23 +127,36 @@ type Result struct {
 // driver counts applied waivers so suppressions stay visible in output.
 const AllowPrefix = "//oskit:allow"
 
-// allowSet maps filename → line → analyzer names allowed there.
-type allowSet map[string]map[int]map[string]bool
+// ParseAllow exposes the //oskit:allow parser to analyzers that adapt
+// their behavior at waived sites — e.g. reporting at a waived call site
+// (where the driver suppresses it and counts the waiver used) instead
+// of propagating the obligation to every transitive caller.
+func ParseAllow(text string) (names []string, reason string, ok bool) {
+	return parseAllow(text)
+}
 
-func collectAllows(prog *Program) allowSet {
+// allowSet maps filename → line → analyzer name → the waiver directive
+// covering that (line, analyzer), so a match can be attributed back to
+// the //oskit:allow comment that granted it.
+type allowSet map[string]map[int]map[string]*Waiver
+
+func collectAllows(prog *Program) (allowSet, []*Waiver) {
 	out := allowSet{}
+	var waivers []*Waiver
 	for _, pkg := range prog.Packages {
 		for _, f := range pkg.Files {
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
-					names, ok := parseAllow(c.Text)
+					names, reason, ok := parseAllow(c.Text)
 					if !ok {
 						continue
 					}
+					w := &Waiver{Pos: c.Pos(), Analyzers: names, Reason: reason}
+					waivers = append(waivers, w)
 					pos := prog.Fset.Position(c.Pos())
 					byLine := out[pos.Filename]
 					if byLine == nil {
-						byLine = map[int]map[string]bool{}
+						byLine = map[int]map[string]*Waiver{}
 						out[pos.Filename] = byLine
 					}
 					// The directive covers its own line (trailing
@@ -131,47 +164,54 @@ func collectAllows(prog *Program) allowSet {
 					for _, line := range []int{pos.Line, pos.Line + 1} {
 						set := byLine[line]
 						if set == nil {
-							set = map[string]bool{}
+							set = map[string]*Waiver{}
 							byLine[line] = set
 						}
 						for _, n := range names {
-							set[n] = true
+							set[n] = w
 						}
 					}
 				}
 			}
 		}
 	}
-	return out
+	return out, waivers
 }
 
-// parseAllow extracts the analyzer names from an //oskit:allow comment.
-func parseAllow(text string) ([]string, bool) {
+// parseAllow extracts the analyzer names and the reviewed reason (the
+// text after `--`, empty if absent) from an //oskit:allow comment.
+func parseAllow(text string) (names []string, reason string, ok bool) {
 	if !strings.HasPrefix(text, AllowPrefix) {
-		return nil, false
+		return nil, "", false
 	}
 	rest := strings.TrimPrefix(text, AllowPrefix)
 	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
-		return nil, false // e.g. //oskit:allowance
+		return nil, "", false // e.g. //oskit:allowance
 	}
 	if i := strings.Index(rest, "--"); i >= 0 {
-		rest = rest[:i] // trailing justification
+		reason = strings.TrimSpace(rest[i+len("--"):])
+		rest = rest[:i]
 	}
-	var names []string
 	for _, f := range strings.FieldsFunc(rest, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
 		names = append(names, f)
 	}
-	return names, len(names) > 0
+	return names, reason, len(names) > 0
 }
 
-func (a allowSet) allows(fset *token.FileSet, d Diagnostic) bool {
+func (a allowSet) allows(fset *token.FileSet, d Diagnostic) *Waiver {
 	pos := fset.Position(d.Pos)
 	byLine := a[pos.Filename]
 	if byLine == nil {
-		return false
+		return nil
 	}
 	set := byLine[pos.Line]
-	return set != nil && (set[d.Analyzer] || set["all"])
+	if set == nil {
+		return nil
+	}
+	if w := set[d.Analyzer]; w != nil {
+		return w
+	}
+	return set["all"]
 }
 
 // Run applies the analyzers to every package of the program and splits
@@ -183,7 +223,9 @@ func Run(prog *Program, analyzers []*Analyzer) (*Result, error) {
 	}
 	var all []Diagnostic
 	report := func(d Diagnostic) { all = append(all, d) }
+	res := &Result{}
 	for _, a := range analyzers {
+		start := time.Now()
 		if a.RunProgram != nil {
 			name := a.Name
 			if err := a.RunProgram(prog, func(d Diagnostic) {
@@ -192,6 +234,7 @@ func Run(prog *Program, analyzers []*Analyzer) (*Result, error) {
 			}); err != nil {
 				return nil, fmt.Errorf("%s: %w", a.Name, err)
 			}
+			res.Timings = append(res.Timings, Timing{Analyzer: a.Name, Elapsed: time.Since(start)})
 			continue
 		}
 		for _, pkg := range prog.Packages {
@@ -200,11 +243,26 @@ func Run(prog *Program, analyzers []*Analyzer) (*Result, error) {
 				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
 			}
 		}
+		res.Timings = append(res.Timings, Timing{Analyzer: a.Name, Elapsed: time.Since(start)})
 	}
-	allows := collectAllows(prog)
-	res := &Result{}
+	allows, waivers := collectAllows(prog)
+	res.Waivers = waivers
+	// A waiver is a reviewed exception: one without a reason after `--`
+	// is unreviewed by definition and is itself a diagnostic (reported
+	// under the pseudo-analyzer "allow", which //oskit:allow cannot
+	// waive away since the directive only covers real analyzer names).
+	for _, w := range waivers {
+		if w.Reason == "" {
+			all = append(all, Diagnostic{
+				Pos:      w.Pos,
+				Analyzer: "allow",
+				Message:  fmt.Sprintf("%s waiver for %s has no reason: write %s %s -- <why>", AllowPrefix, strings.Join(w.Analyzers, ","), AllowPrefix, strings.Join(w.Analyzers, ",")),
+			})
+		}
+	}
 	for _, d := range all {
-		if allows.allows(prog.Fset, d) {
+		if w := allows.allows(prog.Fset, d); w != nil && d.Analyzer != "allow" {
+			w.Suppressed++
 			res.Suppressed = append(res.Suppressed, d)
 		} else {
 			res.Diagnostics = append(res.Diagnostics, d)

@@ -90,11 +90,20 @@ func collectWants(dir string) ([]*expectation, error) {
 			return nil, err
 		}
 		for i, line := range strings.Split(string(data), "\n") {
-			idx := strings.Index(line, "// want ")
-			if idx < 0 {
+			// `// want "re"` is the usual form; `/* want "re" */` exists
+			// for lines whose line-comment slot is taken by a directive
+			// under test (e.g. an //oskit:allow waiver).
+			var spec string
+			if idx := strings.Index(line, "// want "); idx >= 0 {
+				spec = line[idx+len("// want "):]
+			} else if idx := strings.Index(line, "/* want "); idx >= 0 {
+				spec = line[idx+len("/* want "):]
+				if j := strings.Index(spec, "*/"); j >= 0 {
+					spec = spec[:j]
+				}
+			} else {
 				continue
 			}
-			spec := line[idx+len("// want "):]
 			ms := wantRE.FindAllStringSubmatch(spec, -1)
 			if len(ms) == 0 {
 				return nil, fmt.Errorf("%s:%d: malformed want comment %q", file, i+1, spec)

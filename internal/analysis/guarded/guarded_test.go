@@ -1,0 +1,13 @@
+package guarded_test
+
+import (
+	"testing"
+
+	"oskit/internal/analysis"
+	"oskit/internal/analysis/analysistest"
+	"oskit/internal/analysis/guarded"
+)
+
+func TestGuarded(t *testing.T) {
+	analysistest.Run(t, []*analysis.Analyzer{guarded.Analyzer}, "guardedtest")
+}

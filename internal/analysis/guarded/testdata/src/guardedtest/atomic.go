@@ -1,0 +1,51 @@
+package guardedtest
+
+import "sync/atomic"
+
+// counters is the per-field //oskit:atomic shape.
+type counters struct {
+	hits  uint64 //oskit:atomic
+	drops uint64 //oskit:atomic
+}
+
+// gauges takes the annotation on the type declaration: every field is
+// atomic unless it carries its own directive.
+//
+//oskit:atomic
+type gauges struct {
+	cur int64
+	max int64
+}
+
+type dev struct {
+	stats counters
+	g     gauges
+	seq   atomic.Uint32 //oskit:atomic
+}
+
+func (d *dev) Bump() {
+	atomic.AddUint64(&d.stats.hits, 1) // ok: &f feeds sync/atomic
+	atomic.AddInt64(&d.g.max, 1)       // ok: type-level default, same shape
+	d.seq.Add(1)                       // ok: methods are atomic.T's own
+}
+
+func (d *dev) Racy() {
+	d.stats.hits++ // want `non-atomic write of counters\.hits \(//oskit:atomic\): access it via sync/atomic`
+}
+
+func (d *dev) Read() uint64 {
+	return d.stats.drops // want `non-atomic read of counters\.drops \(//oskit:atomic\)`
+}
+
+func (d *dev) TypeLevel() {
+	d.g.cur = 3 // want `non-atomic write of gauges\.cur \(//oskit:atomic\)`
+}
+
+// Snapshot copies into a local value struct: per-goroutine copies are
+// exempt, the shared side still goes through sync/atomic.
+func Snapshot(d *dev) counters {
+	var out counters
+	out.hits = atomic.LoadUint64(&d.stats.hits)
+	out.drops = atomic.LoadUint64(&d.stats.drops)
+	return out
+}

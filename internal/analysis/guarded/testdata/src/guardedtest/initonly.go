@@ -1,0 +1,43 @@
+package guardedtest
+
+import "sync"
+
+// iface is the configuration shape: addr/mtu are written during
+// construction (or reconfiguration under the owner's lock) and read
+// unguarded on the hot path.
+type iface struct {
+	mu   sync.Mutex
+	addr uint32 //oskit:initonly
+	mtu  int    //oskit:initonly
+	txq  []int  //oskit:guardedby mu
+}
+
+func NewIface(addr uint32) *iface {
+	it := &iface{addr: addr}
+	it.mtu = 1500 // ok: constructor by name, object still fresh
+	return it
+}
+
+// Configure rewrites config under the owner's lock: the sanctioned
+// ifconfig shape.
+func (it *iface) Configure(mtu int) {
+	it.mu.Lock()
+	it.mtu = mtu // ok: config write under the owner's lock
+	it.mu.Unlock()
+}
+
+// Reconfigure writes config with traffic live and no lock.
+func (it *iface) Reconfigure(mtu int) {
+	it.mtu = mtu // want `write to iface\.mtu outside construction \(//oskit:initonly\)`
+}
+
+// MTU reads are free: the field is quiescent after init.
+func (it *iface) MTU() int {
+	return it.mtu
+}
+
+func (it *iface) Enqueue(v int) {
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	it.txq = append(it.txq, v)
+}

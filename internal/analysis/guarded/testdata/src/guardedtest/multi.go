@@ -1,0 +1,132 @@
+package guardedtest
+
+import "sync"
+
+// stack/pcb reproduce the tcpcb-identity pattern: hash entries and pcb
+// identity fields are written under BOTH locks (A+B) and read under
+// EITHER; state takes the A|B form (any one exclusive hold writes).
+type stack struct {
+	mu    sync.Mutex
+	dmu   sync.RWMutex
+	hash  map[uint64]*pcb //oskit:guardedby mu+dmu
+	pcbs  []*pcb          //oskit:guardedby mu
+	first *pcb
+}
+
+type pcb struct {
+	mu sync.Mutex
+	s  *stack
+
+	laddr uint32  //oskit:guardedby mu+s.mu
+	state uint32  //oskit:guardedby mu|s.mu
+	seq   uint32  //oskit:guardedby mu
+	buf   sockbuf //oskit:guardedby mu
+}
+
+// sockbuf's owner lives on another object with no backpointer: any
+// holder of a pcb.mu qualifies (the type-qualified form).
+type sockbuf struct {
+	cc int //oskit:guardedby pcb.mu
+}
+
+func (sb *sockbuf) drain(n int) { sb.cc -= n }
+
+func (s *stack) Register(k uint64, tp *pcb) {
+	s.mu.Lock()
+	tp.mu.Lock()
+	s.dmu.Lock()
+	s.hash[k] = tp       // ok: write holds both mu and dmu
+	tp.laddr = uint32(k) // ok: tp.mu plus an owner-typed stack lock
+	s.pcbs = append(s.pcbs, tp)
+	s.dmu.Unlock()
+	tp.mu.Unlock()
+	s.mu.Unlock()
+}
+
+func (s *stack) Lookup(k uint64) *pcb {
+	s.dmu.RLock()
+	tp := s.hash[k] // ok: reads take either guard; dmu shared suffices
+	s.dmu.RUnlock()
+	return tp
+}
+
+// Local reads identity under just one of the two A+B guards.
+func (tp *pcb) Local() uint32 {
+	tp.mu.Lock()
+	defer tp.mu.Unlock()
+	return tp.laddr
+}
+
+// WriteHashUnderOne holds only one of the two write guards.
+func (s *stack) WriteHashUnderOne(k uint64, tp *pcb) {
+	s.mu.Lock()
+	s.hash[k] = tp // want `exported WriteHashUnderOne reaches stack\.hash \(//oskit:guardedby mu\+dmu\) without dmu held exclusively`
+	s.mu.Unlock()
+}
+
+// Laddr reads identity with neither lock held.
+func Laddr(tp *pcb) uint32 {
+	return tp.laddr // want `exported Laddr reaches pcb\.laddr \(//oskit:guardedby mu\+s\.mu\) without one of mu, s\.mu held`
+}
+
+// Abort writes the | field under one exclusive hold: enough.
+func (s *stack) Abort(tp *pcb) {
+	s.mu.Lock()
+	tp.state = 9 // ok: s.mu is one of the two any-write guards
+	s.mu.Unlock()
+}
+
+// AbortShared only has the read side: | writes need an exclusive hold.
+func (s *stack) AbortShared(tp *pcb) {
+	s.dmu.RLock()
+	tp.state = 9 // want `exported AbortShared reaches pcb\.state \(//oskit:guardedby mu\|s\.mu\) without one of mu, s\.mu held exclusively`
+	s.dmu.RUnlock()
+}
+
+// Consume reaches sockbuf state through its owning pcb's lock: the
+// method call on the guarded field and the type-qualified cc guard are
+// both satisfied by tp.mu.
+func (tp *pcb) Consume(n int) {
+	tp.mu.Lock()
+	tp.buf.drain(n) // ok: tp.mu satisfies drain's "a pcb.mu holder"
+	tp.buf.cc -= n  // ok: type-qualified guard matched by owner type
+	tp.mu.Unlock()
+}
+
+func (tp *pcb) ConsumeUnlocked(n int) {
+	tp.buf.drain(n) // want `exported ConsumeUnlocked reaches pcb\.buf \(//oskit:guardedby mu\) without mu held exclusively` `exported ConsumeUnlocked reaches sockbuf\.cc \(//oskit:guardedby pcb\.mu\) without a pcb\.mu held exclusively`
+}
+
+// AliasLocked shows alias canonicalization: tp.mu and s.first.mu are the
+// same lock once the local alias is expanded.
+func (s *stack) AliasLocked() {
+	tp := s.first
+	tp.mu.Lock()
+	s.first.seq++ // ok: canonical path s.first.mu == tp.mu
+	tp.mu.Unlock()
+}
+
+// sweepStates ranges the pcb list through locals the callers cannot
+// name: the one-of obligation degrades to its type-qualified form and
+// travels up, where CountActive's stack lock discharges it.
+func (s *stack) sweepStates() int {
+	n := 0
+	for _, p := range s.pcbs {
+		if p.state > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func CountActive(s *stack) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sweepStates()
+}
+
+// SweepNoLock leaves the degraded obligation unmet all the way to the
+// exported boundary.
+func SweepNoLock(s *stack) int {
+	return s.sweepStates() // want `exported SweepNoLock reaches stack\.pcbs \(//oskit:guardedby mu\) without mu held` `exported SweepNoLock reaches pcb\.state \(//oskit:guardedby mu\|s\.mu\) without one of a pcb\.mu, a stack\.mu held`
+}

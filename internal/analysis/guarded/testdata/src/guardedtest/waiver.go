@@ -1,0 +1,27 @@
+package guardedtest
+
+var wring ring
+
+// DrainAtShutdown is a reviewed exception: the waiver carries a reason,
+// so the suppressed finding stays silent.
+func DrainAtShutdown() {
+	wring.count = 0 //oskit:allow guarded -- shutdown path runs single-threaded after every worker has joined
+}
+
+// ForgotReason shows the waiver-hygiene rule: an //oskit:allow without a
+// reason after -- is itself a diagnostic (under the pseudo-analyzer
+// "allow"), and no waiver can suppress it.
+func ForgotReason() {
+	wring.count = 0 /* want `waiver for guarded has no reason` */ //oskit:allow guarded --
+}
+
+// absorbAtCall shows that a waiver on a call line absorbs the callee's
+// inherited obligation at that site: the finding is reported here (and
+// suppressed, marking the waiver used) instead of propagating further.
+func absorbAtCall(r *ring) {
+	r.bumpLocked() //oskit:allow guarded -- fixture: reviewed lock-free fast path, revalidated by the callee
+}
+
+// DriveAbsorb stays clean: if the obligation leaked past the waived
+// site, this exported wrapper would report reaching ring.count.
+func DriveAbsorb(r *ring) { absorbAtCall(r) }

@@ -7,6 +7,7 @@ import (
 	"oskit/internal/analysis"
 	"oskit/internal/analysis/comref"
 	"oskit/internal/analysis/detsource"
+	"oskit/internal/analysis/guarded"
 	"oskit/internal/analysis/guidreg"
 	"oskit/internal/analysis/lockhook"
 )
@@ -16,6 +17,7 @@ func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		comref.Analyzer,
 		lockhook.Analyzer,
+		guarded.Analyzer,
 		guidreg.Analyzer,
 		detsource.Analyzer,
 	}

@@ -1,0 +1,14 @@
+package testskip
+
+import "testing"
+
+// TestRacyBump touches Box.n without its lock: if either oskitcheck
+// mode analyzed test files, this would be a guarded diagnostic and
+// TestLintSkipsTestFiles (structure_test.go) would fail.
+func TestRacyBump(t *testing.T) {
+	var b Box
+	b.n++
+	if b.Value() != 1 {
+		t.Fatal("lost the bump")
+	}
+}

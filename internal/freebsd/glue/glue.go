@@ -33,11 +33,11 @@ import (
 type Proc struct {
 	Pid   int
 	Comm  string
-	WChan uint32 // event the proc is sleeping on; 0 when running
-	WMesg string // sleep message ("biowait", "netio", …)
+	WChan uint32 //oskit:guardedby Glue.slpMu  event the proc is sleeping on; 0 when running
+	WMesg string //oskit:guardedby Glue.slpMu  sleep message ("biowait", "netio", …)
 
 	rec   *core.SleepRec
-	qnext *Proc // slpque hash chain
+	qnext *Proc //oskit:guardedby Glue.slpMu  slpque hash chain
 }
 
 // slpqueSize is BSD's sleep-queue hash size (a power of two).
@@ -82,11 +82,11 @@ type Glue struct {
 	smp bool
 
 	curMu    sync.Mutex
-	curprocs map[uint64]*Proc // goroutine id -> current process (SMP)
+	curprocs map[uint64]*Proc //oskit:guardedby curMu  goroutine id -> current process (SMP)
 
 	nextPid int
 	slpMu   sleepLock
-	slpque  [slpqueSize]*Proc
+	slpque  [slpqueSize]*Proc //oskit:guardedby slpMu
 
 	// Malloc is the component's BSD kernel allocator.
 	Malloc *Malloc
@@ -111,6 +111,8 @@ func (g *Glue) Env() *core.Env { return g.env }
 // Call once at boot, before the component sees traffic; never switch
 // back mid-flight.
 func (g *Glue) SetSMP(on bool) {
+	g.curMu.Lock()
+	defer g.curMu.Unlock()
 	g.smp = on
 	if on && g.curprocs == nil {
 		g.curprocs = map[uint64]*Proc{}

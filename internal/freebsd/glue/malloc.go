@@ -59,20 +59,20 @@ type Malloc struct {
 	mu mallocLock
 
 	// kmemusage: one entry per page from basePage, grown on demand.
-	basePage uint32
-	table    []uint16
-	growths  int
+	basePage uint32   //oskit:guardedby mu
+	table    []uint16 //oskit:guardedby mu
+	growths  int      //oskit:guardedby mu
 
 	// buckets[i] is the free list for blocks of size 1<<(i+minBucketShift).
-	buckets [numBuckets][]uint32
+	buckets [numBuckets][]uint32 //oskit:guardedby mu
 
-	allocated uint64 // live bytes, for statistics
+	allocated uint64 //oskit:guardedby mu  live bytes, for statistics
 
 	// hook, when set, may veto an allocation before the buckets are
 	// consulted (fault injection; see SetFaultHook).  hookA mirrors it
 	// atomically for the per-CPU front, which consults the hook with no
 	// locks held (cpucache.go).
-	hook  func(size uint32) bool
+	hook  func(size uint32) bool //oskit:guardedby mu
 	hookA atomic.Pointer[func(size uint32) bool]
 
 	// front, when set, is the per-CPU cache over the mbuf hot sizes
@@ -82,7 +82,7 @@ type Malloc struct {
 	// com.Stats export handles (nil-safe; see initStats).  scCPUHits
 	// exists only once the per-CPU front is enabled, so the default
 	// configuration snapshots exactly the seed's rows.
-	statsSet  *stats.Set
+	statsSet  *stats.Set //oskit:initonly
 	scAllocs  *stats.Counter
 	scFrees   *stats.Counter
 	scFails   *stats.Counter

@@ -18,6 +18,10 @@ const (
 	arpRetryTicks = 2    // slow ticks between re-requests
 )
 
+// arpEntry state lives under its stack's arpMu; entries have no
+// backpointer, so the guard is type-qualified.
+//
+//oskit:guardedby Stack.arpMu
 type arpEntry struct {
 	mac     [6]byte
 	valid   bool
@@ -27,8 +31,8 @@ type arpEntry struct {
 }
 
 type arpTable struct {
-	s       *Stack
-	entries map[IPAddr]*arpEntry
+	s       *Stack               //oskit:initonly
+	entries map[IPAddr]*arpEntry //oskit:guardedby s.arpMu
 }
 
 func (t *arpTable) init(s *Stack) {

@@ -62,6 +62,7 @@ func (s *Stack) etherOutput(m *Mbuf, dst [6]byte, etype uint16) {
 	// The interface hand-off is the TX serialization point (rank 60):
 	// several CPUs' output paths converge on one device queue here.
 	s.txMu.Lock()
+	s.txSeq++
 	out(m) // consumes the chain
 	s.txMu.Unlock()
 }

@@ -48,20 +48,25 @@ import "sync"
 //
 //	current pcb  -> recycled TIME_WAIT pcb   (tcpEnterTimeWait)
 //
-// Field-ownership rules:
+// Field-ownership rules are machine-checked, not prose: every shared
+// field in this package carries an //oskit:guardedby, //oskit:atomic,
+// or //oskit:initonly annotation on its declaration (see the Stack,
+// tcpcb, udpPCB, sockbuf, arpTable and StackStats types), and the
+// `guarded` analyzer in internal/analysis/guarded enforces them on
+// every access.  The annotation forms map to the disciplines that used
+// to be listed here:
 //
-//   - tcpcb sequence space, timers, reassembly, state, err, socket
-//     buffers, batching deferral flags: tcpcb.mu.
-//   - tcpcb identity (laddr/lport/faddr/fport), state, err, listener
-//     linkage: written only with BOTH Stack.mu and tcpcb.mu held, so a
-//     reader may hold either.
-//   - tcpcb.pcbIdx: atomic (the swap-remove in detach writes the moved
-//     pcb's index while holding only Stack.mu).
-//   - Stack.tcpHash: written with Stack.mu AND demuxMu held; read under
-//     either (the fast path holds demuxMu.RLock, slow paths Stack.mu).
-//   - StackStats fields: atomic adds/loads, no lock.
-//   - Interface configuration (addresses, output binding, packet pool):
-//     written before traffic, read unguarded.
+//   - `//oskit:guardedby mu` — the field's own struct's lock.
+//   - `//oskit:guardedby mu+s.mu` — written only with BOTH held, so a
+//     reader may hold either (tcpcb identity, state, err).
+//   - `//oskit:guardedby mu+demuxMu` — same write-both/read-either
+//     shape for Stack.tcpHash (fast path demuxMu.RLock, slow Stack.mu).
+//   - `//oskit:atomic` — sync/atomic only (tcpcb.pcbIdx, StackStats).
+//   - `//oskit:initonly` — written before traffic, read unguarded
+//     (interface configuration, packet pool).
+//
+// Exceptions are //oskit:allow waivers at the access, each carrying its
+// reviewed justification.
 
 //oskit:lockrank 10
 type stackLock struct{ sync.Mutex }

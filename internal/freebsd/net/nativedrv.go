@@ -39,7 +39,8 @@ func (s *Stack) AttachNativeMQ(nic *hw.NIC, queues int) {
 }
 
 func (s *Stack) attachNativeTx(nic *hw.NIC) {
-	s.ifMAC = nic.Mac
+	s.ifMAC = nic.Mac //oskit:allow guarded -- NIC attach runs once at bring-up before interrupts are unmasked; not a New*-shaped constructor
+	//oskit:allow guarded -- same bring-up window as ifMAC above
 	s.output = func(m *Mbuf) {
 		// Gather the chain for the DMA engine.
 		var parts [][]byte

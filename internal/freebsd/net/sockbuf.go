@@ -7,12 +7,17 @@ package bsdnet
 
 const defaultSockbufBytes = 16384
 
+// A sockbuf is owned by the lock of its embedding pcb: TCP buffers live
+// under the connection's tcpcb.mu, UDP receive state under Stack.mu —
+// whichever the embedding path holds (type-qualified guards).  hiwat is
+// config-ish but SO_RCVBUF/SO_SNDBUF mutate it after traffic starts, so
+// it shares the one-of guard rather than claiming initonly.
 type sockbuf struct {
-	s     *Stack
-	head  *Mbuf
-	cc    int // bytes buffered
-	hiwat int // limit
-	event uint32
+	s     *Stack //oskit:initonly
+	head  *Mbuf  //oskit:guardedby tcpcb.mu|Stack.mu
+	cc    int    //oskit:guardedby tcpcb.mu|Stack.mu  bytes buffered
+	hiwat int    //oskit:guardedby tcpcb.mu|Stack.mu  limit
+	event uint32 //oskit:initonly
 }
 
 func (sb *sockbuf) init(s *Stack) {

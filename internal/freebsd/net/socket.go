@@ -325,7 +325,7 @@ func (so *socket) RecvFrom(buf []byte) (uint, com.SockAddr, error) {
 	if so.udp == nil {
 		n, err := so.readTCP(buf)
 		so.tcp.mu.Lock()
-		a, _ := so.peerLocked()
+		a, _ := so.peerLocked() //oskit:allow guarded -- TCP branch: so.udp is nil here, so peerLocked's UDP-side read (which would need Stack.mu) is unreachable; the analyzer cannot correlate the two branches
 		so.tcp.mu.Unlock()
 		return n, a, err
 	}
@@ -481,7 +481,7 @@ func (so *socket) SetSockOpt(name string, value int) error {
 		if so.tcp == nil {
 			return com.ErrInval
 		}
-		so.tcp.nodelay = value != 0
+		so.tcp.nodelay = value != 0 //oskit:allow guarded -- both locks are held: tcp.mu was acquired under the `if so.tcp != nil` guard above, which the analyzer's branch merge cannot correlate with this one
 	case "reuseaddr":
 		so.reuse = value != 0
 	default:

@@ -18,7 +18,7 @@ import (
 // NetIO callbacks), then configure the interface
 // (oskit_freebsd_net_ifconfig).
 type Stack struct {
-	g *bsdglue.Glue
+	g *bsdglue.Glue //oskit:initonly
 
 	// mu is the stack lock (rank 10, see locks.go): pcb lists, demux
 	// registration, listener queues, port occupancy, TIME_WAIT queue,
@@ -38,20 +38,24 @@ type Stack struct {
 
 	// Interface state (one Ethernet interface per stack instance, like
 	// the examples in §5; nothing below prevents generalizing).
-	ifSend com.NetIO // driver's transmit sink (COM-bound configuration)
+	ifSend com.NetIO //oskit:initonly  driver's transmit sink (COM-bound configuration)
 	// output ships one finished frame chain; set by OpenEtherIf (COM
 	// BufIO export) or AttachNative (donor mbuf driver).
-	output func(m *Mbuf)
-	ifMAC  [6]byte
-	ifIP   IPAddr
-	ifMask IPAddr
-	gw     IPAddr // optional default gateway
+	output func(m *Mbuf) //oskit:initonly
+	ifMAC  [6]byte       //oskit:initonly
+	ifIP   IPAddr        //oskit:initonly
+	ifMask IPAddr        //oskit:initonly
+	gw     IPAddr        //oskit:initonly  optional default gateway
 
 	arp arpTable
 
+	// txSeq counts interface hand-offs inside the rank-60 critical
+	// section — the serialization witness of the TX convergence point.
+	txSeq uint64 //oskit:guardedby txMu
+
 	// mbuf cluster refcounts (see mbuf.go).
-	mclBase   uint32
-	mclRefcnt []int16
+	mclBase   uint32  //oskit:guardedby mclMu
+	mclRefcnt []int16 //oskit:guardedby mclMu
 
 	// pktPool, when bound (SetPacketPool), supplies small-mbuf storage
 	// from a fast allocator service instead of the BSD malloc — half of
@@ -59,42 +63,44 @@ type Stack struct {
 	// regardless: the refcount table above indexes by address arithmetic
 	// and needs its natural-alignment guarantee (§4.7.7, property 1),
 	// which header-keeping pools cannot give.
-	pktPool com.Allocator
+	pktPool com.Allocator //oskit:initonly
 
 	// Protocol state.  The pcb slices feed the timer sweeps; the maps
 	// are the hashed demux and port-occupancy indexes (see inpcb.go).
-	udpPCBs []*udpPCB
-	tcpPCBs []*tcpcb
-	ipReasm map[reasmKey]*reasmQ
-	pings   map[uint16]*pingWaiter
-	ipID    atomic.Uint32 // low 16 bits emitted; atomic so TX needs no lock
-	issSeed uint32
+	udpPCBs []*udpPCB              //oskit:guardedby mu
+	tcpPCBs []*tcpcb               //oskit:guardedby mu
+	ipReasm map[reasmKey]*reasmQ   //oskit:guardedby mu
+	pings   map[uint16]*pingWaiter //oskit:guardedby mu
+	ipID    atomic.Uint32          //oskit:atomic  low 16 bits emitted; TX needs no lock
+	issSeed uint32                 //oskit:initonly
 
-	tcpHash   map[tcpKey]*tcpcb  // connected TCP pcbs by exact 4-tuple
-	tcpListen map[uint16]*tcpcb  // listeners by local port
-	tcpPorts  map[uint16]int     // TCP local-port occupancy
-	udpHash   map[udpKey]*udpPCB // connected UDP pcbs by exact 4-tuple
-	udpWild   map[uint16]*udpPCB // unconnected UDP pcbs by local port
-	udpPorts  map[uint16]int     // UDP local-port occupancy
+	// tcpHash is written with mu AND demuxMu held, read under either:
+	// the fast path holds demuxMu.RLock, the slow paths hold mu.
+	tcpHash   map[tcpKey]*tcpcb  //oskit:guardedby mu+demuxMu
+	tcpListen map[uint16]*tcpcb  //oskit:guardedby mu  listeners by local port
+	tcpPorts  map[uint16]int     //oskit:guardedby mu  TCP local-port occupancy
+	udpHash   map[udpKey]*udpPCB //oskit:guardedby mu  connected UDP pcbs by 4-tuple
+	udpWild   map[uint16]*udpPCB //oskit:guardedby mu  unconnected UDP pcbs by port
+	udpPorts  map[uint16]int     //oskit:guardedby mu  UDP local-port occupancy
 
-	nextEphemeral uint16 // rotating hint into the dynamic port range
+	nextEphemeral uint16 //oskit:guardedby mu  rotating hint into the dynamic range
 
 	// TIME_WAIT recycling: lingering pcbs in FIFO order, the count of
 	// live ones, and the cap beyond which the oldest are reclaimed so
 	// churn cannot pin ports and pcbs for a full 2MSL each.
-	twQueue     []*tcpcb
-	twLive      int
-	maxTimeWait int
+	twQueue     []*tcpcb //oskit:guardedby mu
+	twLive      int      //oskit:guardedby mu
+	maxTimeWait int      //oskit:guardedby mu
 
-	nextEvent uint32 // tsleep event id allocator
+	nextEvent uint32 //oskit:guardedby mu  tsleep event id allocator
 
 	// The slow-timer registration: the tick re-arms it at interrupt
 	// level while Close detaches it from an arbitrary goroutine, so the
 	// pair lives under its own mutex rather than the interrupt
 	// exclusion (Close must work without entering the component).
 	slowMu   sync.Mutex
-	stopSlow func()
-	closed   bool
+	stopSlow func() //oskit:guardedby slowMu
+	closed   bool   //oskit:guardedby slowMu
 
 	// Statistics (exposed, open implementation §4.6).  Fields are
 	// updated with atomic adds so the SMP data paths need no lock; read
@@ -103,26 +109,26 @@ type Stack struct {
 
 	// statsSet is the stack's com.Stats export; sc holds the
 	// pre-resolved handles the hot paths update (see netstats).
-	statsSet *stats.Set
-	sc       netstats
+	statsSet *stats.Set //oskit:initonly
+	sc       netstats   //oskit:initonly
 
 	// ForceRxCopy disables the receive-side Map fast path (ablation:
 	// every inbound packet is copied instead of wrapped).
-	ForceRxCopy bool
+	ForceRxCopy bool //oskit:initonly
 
 	// sendfileZC enables the zero-copy SendFile path: payload travels
 	// as external mbufs referencing the file's pinned pages.  Off (the
 	// default), SendFile uses its internal read-and-copy loop and the
 	// wire behaviour is byte-identical to a Write of the same bytes.
 	// Config-before-traffic, like the interface address.
-	sendfileZC bool
+	sendfileZC bool //oskit:initonly
 
 	// csumOffload makes tcp_output seed outbound segments' checksum
 	// fields with the folded pseudo-header sum and mark them NeedsCsum
 	// for a FeatCsum transmit path to finish, instead of summing the
 	// whole chain in software.  Config-before-traffic; enable only over
 	// a driver path that completes deferred checksums.
-	csumOffload bool
+	csumOffload bool //oskit:initonly
 }
 
 // rxCtx is one receive pass's batching state, threaded down the input
@@ -139,6 +145,8 @@ type rxCtx struct {
 // StackStats counts stack-level events.  Fields are plain uint64 for
 // ABI stability but every hot-path update is an atomic add (several CPUs
 // ingest concurrently on an SMP machine); use StatsSnapshot to read.
+//
+//oskit:atomic
 type StackStats struct {
 	IPIn, IPOut   uint64
 	IPBadCsum     uint64
@@ -384,8 +392,10 @@ func (s *Stack) OpenEtherIf(dev com.EtherDev) error {
 	if err != nil {
 		return err
 	}
+	//oskit:allow guarded -- interface attach runs once at bring-up before any traffic exists; OpenEtherIf is not a New*-shaped constructor the initonly heuristic recognizes
 	s.ifSend = send
-	s.ifMAC = dev.GetAddr()
+	s.ifMAC = dev.GetAddr() //oskit:allow guarded -- same bring-up window as ifSend above
+	//oskit:allow guarded -- same bring-up window as ifSend above
 	s.output = func(m *Mbuf) {
 		bio := s.wrapMbuf(m)
 		_ = send.Push(bio, uint(m.PktLen)) // Push consumes the reference

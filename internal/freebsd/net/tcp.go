@@ -96,51 +96,55 @@ type tcpSeg struct {
 // so a reader may hold either — which is what lets the receive fast
 // path run under mu alone while the slow paths run under Stack.mu.
 type tcpcb struct {
-	s     *Stack
+	s     *Stack //oskit:initonly
 	mu    pcbLock
-	state int
+	state int //oskit:guardedby mu+s.mu
 
-	laddr, faddr IPAddr
-	lport, fport uint16
+	laddr, faddr IPAddr //oskit:guardedby mu+s.mu
+	lport, fport uint16 //oskit:guardedby mu+s.mu
 
+	// The buffer structs themselves are never reassigned; their
+	// interiors carry their own annotations (see sockbuf).
 	sndBuf sockbuf
 	rcvBuf sockbuf
 
 	// Send sequence space.
-	iss            uint32
-	sndUna, sndNxt uint32
-	sndMax         uint32
-	sndWnd         uint32
-	sndWL1, sndWL2 uint32
-	cwnd, ssthresh uint32
-	dupacks        int
-	maxSeg         uint32
+	iss            uint32 //oskit:guardedby mu
+	sndUna, sndNxt uint32 //oskit:guardedby mu
+	sndMax         uint32 //oskit:guardedby mu
+	sndWnd         uint32 //oskit:guardedby mu
+	sndWL1, sndWL2 uint32 //oskit:guardedby mu
+	cwnd, ssthresh uint32 //oskit:guardedby mu
+	dupacks        int    //oskit:guardedby mu
+	maxSeg         uint32 //oskit:guardedby mu
 
 	// Receive sequence space.
-	irs    uint32
-	rcvNxt uint32
-	rcvAdv uint32
+	irs    uint32 //oskit:guardedby mu
+	rcvNxt uint32 //oskit:guardedby mu
+	rcvAdv uint32 //oskit:guardedby mu
 
 	// Retransmission machinery.
-	timers   [tcpNTimers]int
-	rxtShift int
-	srtt     int // scaled by 8, in slow ticks
-	rttvar   int // scaled by 4
-	rtt      int // active measurement counter (0 = none)
-	rtseq    uint32
+	timers   [tcpNTimers]int //oskit:guardedby mu
+	rxtShift int             //oskit:guardedby mu
+	srtt     int             //oskit:guardedby mu  scaled by 8, in slow ticks
+	rttvar   int             //oskit:guardedby mu  scaled by 4
+	rtt      int             //oskit:guardedby mu  active measurement counter (0 = none)
+	rtseq    uint32          //oskit:guardedby mu
 
 	// Out-of-order segments, sorted by seq.
-	reass []tcpSeg
+	reass []tcpSeg //oskit:guardedby mu
 
 	// Listener state.  synQ holds embryonic connections (SynRcvd, not
 	// yet completed); acceptQ holds completed connections awaiting
 	// Accept.  A child points at its listener through parent until
-	// accepted or dropped.
-	listening bool
-	backlog   int
-	synQ      []*tcpcb
-	acceptQ   []*tcpcb
-	parent    *tcpcb
+	// accepted or dropped.  The queues live under the stack lock (rank
+	// 10 "listener queues"): detach unlinks a child from its parent's
+	// queues without the parent's pcb lock.
+	listening bool     //oskit:guardedby mu+s.mu
+	backlog   int      //oskit:guardedby s.mu
+	synQ      []*tcpcb //oskit:guardedby s.mu
+	acceptQ   []*tcpcb //oskit:guardedby s.mu
+	parent    *tcpcb   //oskit:guardedby s.mu
 
 	// pcbIdx is this pcb's slot in Stack.tcpPCBs (swap-remove on
 	// detach); -1 once detached, which makes tcpDetach idempotent — a
@@ -149,24 +153,24 @@ type tcpcb struct {
 	// swap-remove writes the *moved* pcb's index while holding only the
 	// stack lock, and the receive fast path reads it under mu alone to
 	// revalidate attachment.
-	pcbIdx atomic.Int32
+	pcbIdx atomic.Int32 //oskit:atomic
 
 	// User synchronization.
-	connEvent   uint32
-	acceptEvent uint32
+	connEvent   uint32 //oskit:initonly
+	acceptEvent uint32 //oskit:initonly
 
 	// Batched-receive deferral (see Stack.rxFlush): while a PushBatch is
 	// ingesting, in-order data sets these instead of waking the reader
 	// and ACKing per segment.  rxAckOwed is cleared by any ACK sent on
 	// the connection's behalf meanwhile (tcpRespondACK), so the flush
 	// never duplicates one.
-	rxPendWake bool
-	rxAckOwed  bool
+	rxPendWake bool //oskit:guardedby mu
+	rxAckOwed  bool //oskit:guardedby mu
 
-	nodelay bool
-	sentFin bool
-	err     com.Error // sticky socket error
-	refcnt  int       // socket references; pcb freed at 0 and closed
+	nodelay bool      //oskit:guardedby mu+s.mu
+	sentFin bool      //oskit:guardedby mu
+	err     com.Error //oskit:guardedby mu+s.mu  sticky socket error
+	refcnt  int       //oskit:guardedby s.mu  socket references; pcb freed at 0
 }
 
 // tcpNew creates an attached pcb.  Called with the stack lock held.
@@ -266,7 +270,7 @@ func (s *Stack) tcpBind(tp *tcpcb, port uint16, reuse bool) error {
 		return com.ErrInval
 	}
 	if port == 0 {
-		p, err := s.ephemeral(func(p uint16) bool { return s.tcpPorts[p] == 0 })
+		p, err := s.ephemeral(func(p uint16) bool { return s.tcpPorts[p] == 0 }) //oskit:allow guarded -- the probe closure runs synchronously inside s.ephemeral with the stack lock held; function literals start from an empty lockset
 		if err != nil {
 			return err
 		}

@@ -99,7 +99,7 @@ func (s *Stack) tcpInput(m *Mbuf, src, dst IPAddr, ctx *rxCtx) {
 				tp.state == tcpsEstablished &&
 				tp.laddr == dst && tp.lport == dport &&
 				tp.faddr == src && tp.fport == sport {
-				s.tcpInputConn(tp, seg, dataLen, ctx)
+				s.tcpInputConn(tp, seg, dataLen, ctx) //oskit:allow guarded -- fast path: no SYN|FIN|RST means tcpInputConn cannot reach the state-machine exit, detach, or listener branches that need the stack lock; identity and state were revalidated under tp.mu above (see locks.go)
 				tp.mu.Unlock()
 				return
 			}
@@ -117,11 +117,15 @@ func (s *Stack) tcpInput(m *Mbuf, src, dst IPAddr, ctx *rxCtx) {
 	// pcb and goes to the listener, so a reused client port can connect
 	// again immediately.
 	if tp != nil && !tp.listening && tp.state == tcpsTimeWait &&
-		seg.flags&thSYN != 0 && seqGT(seg.seq, tp.rcvNxt) {
+		seg.flags&thSYN != 0 {
 		tp.mu.Lock()
-		s.tcpDetach(tp)
-		tp.mu.Unlock()
-		tp = s.tcpLookup(dst, dport, src, sport)
+		if seqGT(seg.seq, tp.rcvNxt) {
+			s.tcpDetach(tp)
+			tp.mu.Unlock()
+			tp = s.tcpLookup(dst, dport, src, sport)
+		} else {
+			tp.mu.Unlock()
+		}
 	}
 	if tp == nil {
 		// No socket: RST unless the segment itself is an RST.

@@ -21,16 +21,18 @@ type udpDatagram struct {
 	data []byte
 }
 
+// All of UDP runs under the stack lock (rank 10): every pcb field is
+// guarded by the backpointer's mu.
 type udpPCB struct {
-	s            *Stack
-	laddr, faddr IPAddr
-	lport, fport uint16
+	s            *Stack //oskit:initonly
+	laddr, faddr IPAddr //oskit:guardedby s.mu
+	lport, fport uint16 //oskit:guardedby s.mu
 
-	rcv      []udpDatagram
-	rcvBytes int
-	rcvLimit int
-	rcvEvent uint32
-	closed   bool
+	rcv      []udpDatagram //oskit:guardedby s.mu
+	rcvBytes int           //oskit:guardedby s.mu
+	rcvLimit int           //oskit:guardedby s.mu  SO_RCVBUF mutates it after traffic starts
+	rcvEvent uint32        //oskit:initonly
+	closed   bool          //oskit:guardedby s.mu
 }
 
 // udpNew allocates a pcb.  Called with the stack lock held.
@@ -57,7 +59,7 @@ func (s *Stack) udpDetach(pcb *udpPCB) {
 // inpcb.go.  Called with the stack lock held.
 func (s *Stack) udpBind(pcb *udpPCB, port uint16) error {
 	if port == 0 {
-		p, err := s.ephemeral(func(p uint16) bool { return s.udpPorts[p] == 0 })
+		p, err := s.ephemeral(func(p uint16) bool { return s.udpPorts[p] == 0 }) //oskit:allow guarded -- the probe closure runs synchronously inside s.ephemeral with the stack lock held; function literals start from an empty lockset
 		if err != nil {
 			return err
 		}

@@ -54,16 +54,16 @@ type Disk struct {
 	line int
 
 	mu      sync.Mutex
-	data    []byte
-	queue   []*DiskReq
-	done    []*DiskReq
-	latency time.Duration
-	hook    DiskFaultHook
-	wake    chan struct{}
-	quit    chan struct{}
+	data    []byte        //oskit:guardedby mu
+	queue   []*DiskReq    //oskit:guardedby mu
+	done    []*DiskReq    //oskit:guardedby mu
+	latency time.Duration //oskit:guardedby mu
+	hook    DiskFaultHook //oskit:guardedby mu
+	wake    chan struct{} //oskit:initonly
+	quit    chan struct{} //oskit:initonly
 	wg      sync.WaitGroup
-	started bool
-	stopped bool
+	started bool //oskit:guardedby mu
+	stopped bool //oskit:guardedby mu
 }
 
 // NewDisk creates a zero-filled disk of the given number of sectors.
@@ -80,12 +80,16 @@ func NewDisk(sectors uint32) *Disk {
 func NewDiskImage(image []byte) *Disk {
 	sectors := (uint32(len(image)) + SectorSize - 1) / SectorSize
 	d := NewDisk(sectors)
-	copy(d.data, image)
+	copy(d.data, image) //oskit:allow guarded -- construction: the disk is unpublished until NewDiskImage returns
 	return d
 }
 
 // Sectors returns the disk capacity in sectors.
-func (d *Disk) Sectors() uint32 { return uint32(len(d.data) / SectorSize) }
+func (d *Disk) Sectors() uint32 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return uint32(len(d.data) / SectorSize)
+}
 
 // SetLatency configures the simulated per-request service time.
 func (d *Disk) SetLatency(l time.Duration) {

@@ -71,19 +71,19 @@ type Segment interface {
 // from a WireFaultHook (see internal/faults).
 type EtherWire struct {
 	mu   sync.Mutex
-	nics []*NIC
-	rng  *rand.Rand
-	loss float64 // probability a frame is dropped
-	hook WireFaultHook
+	nics []*NIC        //oskit:guardedby mu
+	rng  *rand.Rand    //oskit:guardedby mu
+	loss float64       //oskit:guardedby mu  probability a frame is dropped
+	hook WireFaultHook //oskit:guardedby mu
 	// hookMu serializes fault-hook invocations (the injector's burst
 	// state relies on one-frame-at-a-time calls) without holding w.mu,
 	// so a hook that reads wire or stats state cannot deadlock against
 	// concurrent Stats/SetLoss callers — the NIC.deliver hazard class.
 	hookMu sync.Mutex
-	held   *heldFrame // frame held back by a Reorder verdict
+	held   *heldFrame //oskit:guardedby hookMu  frame held back by a Reorder verdict
 
-	txFrames uint64
-	drops    uint64
+	txFrames uint64 //oskit:guardedby mu
+	drops    uint64 //oskit:guardedby mu
 }
 
 // NewEtherWire creates an empty segment.
@@ -105,8 +105,12 @@ func (w *EtherWire) SetLoss(p float64, seed int64) {
 func (w *EtherWire) SetFaultHook(h WireFaultHook) {
 	w.mu.Lock()
 	w.hook = h
-	w.held = nil
 	w.mu.Unlock()
+	// The held-back frame belongs to hookMu, not mu: clearing it under
+	// mu alone would race a concurrent deliver holding hookMu.
+	w.hookMu.Lock()
+	w.held = nil
+	w.hookMu.Unlock()
 }
 
 // Attach joins a NIC to the segment.
@@ -234,14 +238,14 @@ type nicRing struct {
 	line int
 
 	mu   sync.Mutex
-	ring [][]byte
+	ring [][]byte //oskit:guardedby mu
 
-	rxDrops   uint64
-	rxOK      uint64
-	rxRaised  uint64 // receive interrupts raised
-	rxSuppr   uint64 // receive interrupts suppressed by mitigation
-	rxRearms  uint64 // poller/timer re-arms that re-raised the line
-	rxBatched uint64 // frames drained through RxPopBatch
+	rxDrops   uint64 //oskit:guardedby mu
+	rxOK      uint64 //oskit:guardedby mu
+	rxRaised  uint64 //oskit:guardedby mu  receive interrupts raised
+	rxSuppr   uint64 //oskit:guardedby mu  receive interrupts suppressed by mitigation
+	rxRearms  uint64 //oskit:guardedby mu  poller/timer re-arms that re-raised the line
+	rxBatched uint64 //oskit:guardedby mu  frames drained through RxPopBatch
 }
 
 // NIC is a simulated Ethernet controller: a transmit path onto the wire
@@ -257,18 +261,18 @@ type NIC struct {
 	line int // ring 0's line (the legacy single-queue IRQ)
 
 	mu      sync.Mutex
-	rings   []*nicRing
-	promisc bool
-	rxHook  func() bool // true: drop the inbound frame (forced overrun)
+	rings   []*nicRing  //oskit:guardedby mu
+	promisc bool        //oskit:guardedby mu
+	rxHook  func() bool //oskit:guardedby mu  true: drop the inbound frame (forced overrun)
 
 	// rxMitigate, when set, suppresses the receive interrupt unless the
 	// ring just went empty→non-empty: the polled (NAPI-style) drain mode.
 	// The policy covers every ring.
 	rxMitigate bool
 
-	txOK     uint64
-	txGather uint64
-	txCsum   uint64
+	txOK     uint64 //oskit:guardedby mu
+	txGather uint64 //oskit:guardedby mu
+	txCsum   uint64 //oskit:guardedby mu
 }
 
 // NewNIC creates a NIC raising the given IRQ line on receive.

@@ -21,24 +21,24 @@ import "sync"
 // clusters.
 type EtherSwitch struct {
 	mu    sync.Mutex
-	ports []*SwitchPort
-	macs  map[[6]byte]*SwitchPort
-	hook  WireFaultHook
+	ports []*SwitchPort           //oskit:guardedby mu
+	macs  map[[6]byte]*SwitchPort //oskit:guardedby mu
+	hook  WireFaultHook           //oskit:guardedby mu
 	// hookMu serializes fault-hook invocations without holding sw.mu,
 	// for the same reason EtherWire keeps the two apart: a hook that
 	// reads switch state must not deadlock against concurrent senders.
 	hookMu sync.Mutex
-	held   *switchHeld // frame held back by a Reorder verdict
+	held   *switchHeld //oskit:guardedby hookMu  frame held back by a Reorder verdict
 
-	queueLen int // per-port egress queue bound
+	queueLen int //oskit:initonly  per-port egress queue bound
 
-	txFrames   uint64 // frames offered by attached NICs
-	forwarded  uint64 // unicast frames sent to the learned port
-	flooded    uint64 // frames flooded (broadcast or unknown station)
-	filtered   uint64 // unicast frames whose station sits on the ingress port
-	drops      uint64 // egress-queue overflows (backpressure)
-	faultDrops uint64 // frames dropped by the fault hook
-	learned    uint64 // MAC table inserts and moves
+	txFrames   uint64 //oskit:guardedby mu  frames offered by attached NICs
+	forwarded  uint64 //oskit:guardedby mu  unicast frames sent to the learned port
+	flooded    uint64 //oskit:guardedby mu  frames flooded (broadcast or unknown station)
+	filtered   uint64 //oskit:guardedby mu  unicast frames whose station sits on the ingress port
+	drops      uint64 //oskit:guardedby mu  egress-queue overflows (backpressure)
+	faultDrops uint64 //oskit:guardedby mu  frames dropped by the fault hook
+	learned    uint64 //oskit:guardedby mu  MAC table inserts and moves
 }
 
 // switchHeld is a frame stashed by a Reorder verdict, remembering its
@@ -109,8 +109,12 @@ func (sw *EtherSwitch) Ports() int {
 func (sw *EtherSwitch) SetFaultHook(h WireFaultHook) {
 	sw.mu.Lock()
 	sw.hook = h
-	sw.held = nil
 	sw.mu.Unlock()
+	// The held-back frame belongs to hookMu, not mu: clearing it under
+	// mu alone would race a concurrent forward holding hookMu.
+	sw.hookMu.Lock()
+	sw.held = nil
+	sw.hookMu.Unlock()
 }
 
 // SwitchStats is the switch's forwarding ledger.

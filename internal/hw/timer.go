@@ -13,11 +13,11 @@ type Timer struct {
 	line int
 
 	mu     sync.Mutex
-	ticker *time.Ticker
-	quit   chan struct{}
+	ticker *time.Ticker  //oskit:guardedby mu
+	quit   chan struct{} //oskit:guardedby mu
 	wg     sync.WaitGroup
-	hook   TickFaultHook
-	ticks  uint64
+	hook   TickFaultHook //oskit:guardedby mu
+	ticks  uint64        //oskit:guardedby mu
 }
 
 // TickFaultHook injects clock jitter: called with the tick's sequence

@@ -139,15 +139,15 @@ type VM struct {
 
 	natives map[int32]NativeFunc
 
-	preempt atomic.Bool
+	preempt atomic.Bool //oskit:atomic
 	// Quantum is the instruction budget per thread between voluntary
 	// switches (preemption can cut it shorter).
-	Quantum int
+	Quantum int //oskit:initonly
 
 	// BreakHook, when set, is consulted with each pc before execution;
 	// returning true suspends the VM with ErrBreak (the GDB-stub
 	// cooperation point).
-	BreakHook func(pc int) bool
+	BreakHook func(pc int) bool //oskit:initonly
 
 	// Trap, when set, receives faults instead of them aborting Run.
 	// Returning nil resumes with the faulting thread killed.

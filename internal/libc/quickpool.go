@@ -53,15 +53,15 @@ type QuickPool struct {
 	// mu guards the free lists, the slab counts and the fault hook.
 	mu poolLock
 	// classes[i] holds free blocks of size 16<<i.
-	classes [maxClass][]poolBlock
+	classes [maxClass][]poolBlock //oskit:guardedby mu
 	// slabs tracks slab base addresses per class for accounting.
-	slabCount [maxClass]int
+	slabCount [maxClass]int //oskit:guardedby mu
 
 	// hook, when set, may veto an allocation before any free list or
 	// refill runs (fault injection).  Read and written under mu, like
 	// the free lists.  hookA mirrors it atomically for the magazine
 	// fast path, which consults the hook with no locks held.
-	hook  func(size uint32) bool
+	hook  func(size uint32) bool //oskit:guardedby mu
 	hookA atomic.Pointer[func(size uint32) bool]
 
 	// mags, when set, is the per-CPU magazine front (E16, magazine.go).
@@ -73,7 +73,7 @@ type QuickPool struct {
 	// nothing, the service constructor wires a "quickpool" set).
 	// scMagHits exists only once magazines are enabled, so default
 	// configurations snapshot exactly the seed's rows.
-	statsSet  *stats.Set
+	statsSet  *stats.Set //oskit:initonly
 	scAllocs  *stats.Counter
 	scFrees   *stats.Counter
 	scHits    *stats.Counter

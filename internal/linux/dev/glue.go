@@ -33,12 +33,12 @@ type Glue struct {
 	kern *legacy.Kernel
 
 	mu      sync.Mutex
-	nextPID int
-	nextEth int
-	nextHD  int
+	nextPID int //oskit:guardedby mu
+	nextEth int //oskit:guardedby mu
+	nextHD  int //oskit:guardedby mu
 	// route maps donor net devices to their COM nodes for the netif_rx
 	// upcall.
-	route map[*legacy.NetDevice]*etherDev
+	route map[*legacy.NetDevice]*etherDev //oskit:guardedby mu
 
 	// nativeKmalloc selects Linux's own bucket allocator (the
 	// monolithic baseline) over the glue's client-memory-service
@@ -50,7 +50,7 @@ type Glue struct {
 	// allocator exclusion held, like the buckets.  kmHookA mirrors it
 	// atomically for the per-CPU front, which consults the hook with no
 	// locks held (kmcache.go).
-	kmHook  func(size uint32) bool
+	kmHook  func(size uint32) bool //oskit:guardedby klMu
 	kmHookA atomic.Pointer[func(size uint32) bool]
 
 	// front, when set, is the per-CPU cache over the fast-path kmalloc
@@ -83,16 +83,16 @@ type Glue struct {
 	// pool is the discoverable fast allocator (normally a
 	// libc.QuickPool) kmalloc draws packet-sized blocks from on the
 	// fast path.  The glue holds one COM reference.
-	pool com.Allocator
+	pool com.Allocator //oskit:guardedby klMu
 	// rxBudget is the per-interrupt frame budget of the polled receive
-	// loop (rxpoll.go); 0 means DefaultRxBudget.  Guarded by mu.
-	rxBudget int
+	// loop (rxpoll.go); 0 means DefaultRxBudget.
+	rxBudget int //oskit:guardedby mu
 
 	// com.Stats export: driver-glue hot-path counters, registered as
 	// "linux_dev" in the environment's services registry.  scKmCPUHits
 	// exists only once the per-CPU front is enabled, so the default
 	// configuration snapshots exactly the seed's rows.
-	statsSet     *stats.Set
+	statsSet     *stats.Set //oskit:initonly
 	scKmallocs   *stats.Counter
 	scKfrees     *stats.Counter
 	scKmFails    *stats.Counter
@@ -121,9 +121,9 @@ type Glue struct {
 	scRxIntrRaised     *stats.Counter
 	scRxIntrSuppressed *stats.Counter
 	// kmalloc bucket free lists: [class][dma?]; class i holds blocks of
-	// 32<<i bytes.  Protected by interrupt exclusion, not mu (the donor
-	// contract).
-	buckets [kmBuckets][2][]*legacy.KBuf
+	// 32<<i bytes.  Protected by the donor allocator exclusion (klMu in
+	// SMP mode, cli otherwise), not mu (the donor contract).
+	buckets [kmBuckets][2][]*legacy.KBuf //oskit:guardedby klMu
 }
 
 const (
@@ -268,7 +268,7 @@ func (g *Glue) Kernel() *legacy.Kernel { return g.kern }
 // toggled while drivers allocate.
 func (g *Glue) SetKmallocFaultHook(h func(size uint32) bool) {
 	unlock := g.kmLock()
-	g.kmHook = h
+	g.kmHook = h //oskit:allow guarded -- under g.kmLock(): klMu in SMP mode, interrupt exclusion (cli) on the uniprocessor default; the lock wrapper is opaque to the tracker
 	if h == nil {
 		g.kmHookA.Store(nil)
 	} else {
@@ -290,10 +290,10 @@ func (g *Glue) EnableFastPath(pool com.Allocator) {
 		pool.AddRef()
 	}
 	unlock := g.kmLock()
-	if g.pool != nil {
+	if g.pool != nil { //oskit:allow guarded -- under g.kmLock(): klMu in SMP mode, cli otherwise; opaque to the tracker
 		g.pool.Release()
 	}
-	g.pool = pool
+	g.pool = pool //oskit:allow guarded -- under g.kmLock(): klMu in SMP mode, interrupt exclusion (cli) on the uniprocessor default; the lock wrapper is opaque to the tracker
 	unlock()
 	g.fastpath.Store(true)
 	// The receive side engages per open device: devices opened before
@@ -358,17 +358,17 @@ func (g *Glue) buildKernel() *legacy.Kernel {
 		}
 		unlock := g.kmLock()
 		var b *legacy.KBuf
-		if g.kmHook != nil && g.kmHook(size) {
+		if g.kmHook != nil && g.kmHook(size) { //oskit:allow guarded -- under g.kmLock(): klMu in SMP mode, interrupt exclusion (cli) on the uniprocessor default; the lock wrapper is opaque to the tracker
 			// Injected exhaustion: fail before either allocator runs.
 		} else if g.nativeKmalloc {
-			b = g.bucketAlloc(size, gfp)
-		} else if g.fastpath.Load() && g.pool != nil && size <= 4096 {
+			b = g.bucketAlloc(size, gfp) //oskit:allow guarded -- under g.kmLock(): klMu in SMP mode, interrupt exclusion (cli) on the uniprocessor default; the lock wrapper is opaque to the tracker
+		} else if g.fastpath.Load() && g.pool != nil && size <= 4096 { //oskit:allow guarded -- under g.kmLock(): klMu in SMP mode, interrupt exclusion (cli) on the uniprocessor default; the lock wrapper is opaque to the tracker
 			// Fast path: packet-sized blocks (skbuff data areas, driver
 			// staging) come from the bound allocator service.  The GFP
 			// DMA constraint is waived: the simulated busmaster engine
 			// addresses all memory, like PCI-era hardware without the
 			// ISA 16 MB limit.
-			if addr, buf, ok := g.pool.AllocMem(size); ok {
+			if addr, buf, ok := g.pool.AllocMem(size); ok { //oskit:allow guarded -- under g.kmLock(): klMu in SMP mode, interrupt exclusion (cli) on the uniprocessor default; the lock wrapper is opaque to the tracker
 				b = &legacy.KBuf{Addr: addr, Data: buf, Pooled: true}
 			}
 		} else {
@@ -402,9 +402,9 @@ func (g *Glue) buildKernel() *legacy.Kernel {
 		unlock := g.kmLock()
 		switch {
 		case b.Pooled:
-			g.pool.FreeMem(b.Addr, uint32(len(b.Data)))
+			g.pool.FreeMem(b.Addr, uint32(len(b.Data))) //oskit:allow guarded -- under g.kmLock(): klMu in SMP mode, interrupt exclusion (cli) on the uniprocessor default; the lock wrapper is opaque to the tracker
 		case g.nativeKmalloc:
-			g.bucketFree(b)
+			g.bucketFree(b) //oskit:allow guarded -- under g.kmLock(): klMu in SMP mode, interrupt exclusion (cli) on the uniprocessor default; the lock wrapper is opaque to the tracker
 		default:
 			env.MemFree(b.Addr, uint32(len(b.Data)))
 		}

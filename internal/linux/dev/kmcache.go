@@ -94,7 +94,7 @@ func (g *Glue) EnableAllocCache() {
 		return
 	}
 	unlock := g.kmLock()
-	pool := g.pool
+	pool := g.pool //oskit:allow guarded -- under g.kmLock(): klMu in SMP mode, interrupt exclusion (cli) on the uniprocessor default; the lock wrapper is opaque to the tracker
 	native := g.nativeKmalloc
 	unlock()
 	if pool == nil || native || !g.fastpath.Load() {

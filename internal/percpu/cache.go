@@ -52,21 +52,21 @@ type magazine[T any] struct {
 // cache lines so per-CPU locks do not false-share.
 type cpuSlot[T any] struct {
 	mu     cpuLock
-	loaded *magazine[T]
-	prev   *magazine[T]
+	loaded *magazine[T] //oskit:guardedby mu
+	prev   *magazine[T] //oskit:guardedby mu
 	_      [24]byte
 }
 
 // Cache is a per-CPU magazine cache over objects of type T.
 type Cache[T any] struct {
-	cpuFn   func() int
-	rounds  int
-	slots   []cpuSlot[T]
-	fullCap int
+	cpuFn   func() int   //oskit:initonly
+	rounds  int          //oskit:initonly
+	slots   []cpuSlot[T] //oskit:initonly  the slice header; slot contents are per-slot locked
+	fullCap int          //oskit:initonly
 
 	dmu   depotLock
-	full  []*magazine[T]
-	empty []*magazine[T]
+	full  []*magazine[T] //oskit:guardedby dmu
+	empty []*magazine[T] //oskit:guardedby dmu
 }
 
 // New builds a cache with ncpu slots holding up to rounds objects per
@@ -87,8 +87,9 @@ func New[T any](ncpu, rounds int, cpuFn func() int) *Cache[T] {
 		fullCap: ncpu * depotCapPerCPU,
 	}
 	for i := range c.slots {
+		//oskit:allow guarded -- construction: the cache is unpublished until New returns, so no slot lock exists to take yet
 		c.slots[i].loaded = &magazine[T]{rounds: make([]T, 0, rounds)}
-		c.slots[i].prev = &magazine[T]{rounds: make([]T, 0, rounds)}
+		c.slots[i].prev = &magazine[T]{rounds: make([]T, 0, rounds)} //oskit:allow guarded -- same construction window as loaded above
 	}
 	return c
 }

@@ -266,8 +266,8 @@ type Set struct {
 	name string
 
 	mu      sync.Mutex
-	metrics []metric
-	byName  map[string]int
+	metrics []metric       //oskit:guardedby mu
+	byName  map[string]int //oskit:guardedby mu
 }
 
 // NewSet creates an empty set named for its exporting component.  The

@@ -15,8 +15,11 @@ go build ./...
 echo "== tier-1: vet"
 go vet ./...
 
-echo "== tier-1: oskitcheck (comref, lockhook, guidreg, detsource)"
-go run ./cmd/oskitcheck ./...
+echo "== tier-1: oskitcheck (comref, lockhook, guarded, guidreg, detsource)"
+# -timing prints per-analyzer wall clock; -budget fails the lint if any
+# single analyzer blows a generous per-package ceiling (a regression
+# tripwire for the cross-package ones, guarded especially).
+go run ./cmd/oskitcheck -timing -budget 30s ./...
 
 echo "== tier-1: test"
 go test ./...

@@ -85,8 +85,13 @@ func TestAnalyzerSuite(t *testing.T) {
 	if err := analysis.Validate(suite.All()); err != nil {
 		t.Fatal(err)
 	}
-	if len(suite.All()) != 4 {
-		t.Fatalf("suite has %d analyzers, want 4 (comref, lockhook, guidreg, detsource)", len(suite.All()))
+	want := []string{"comref", "lockhook", "guarded", "guidreg", "detsource"}
+	var got []string
+	for _, a := range suite.All() {
+		got = append(got, a.Name)
+	}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("suite analyzers = %v, want %v", got, want)
 	}
 	out, err := exec.Command("go", "run", "./cmd/oskitcheck", "-V=full").CombinedOutput()
 	if err != nil {
@@ -95,6 +100,35 @@ func TestAnalyzerSuite(t *testing.T) {
 	fields := strings.Fields(string(out))
 	if len(fields) < 3 || fields[1] != "version" {
 		t.Fatalf("oskitcheck -V=full = %q, want \"name version ...\" (the vet -vettool handshake)", out)
+	}
+	list, err := exec.Command("go", "run", "./cmd/oskitcheck", "-list").CombinedOutput()
+	if err != nil {
+		t.Fatalf("oskitcheck -list: %v\n%s", err, list)
+	}
+	for _, name := range want {
+		if !strings.Contains(string(list), name) {
+			t.Errorf("oskitcheck -list output missing analyzer %q:\n%s", name, list)
+		}
+	}
+}
+
+// TestLintSkipsTestFiles: internal/analysis/testskip has a clean
+// non-test file and a _test.go that violates its guarded annotation.
+// Both oskitcheck modes — the standalone driver and the `go vet
+// -vettool` protocol — must stay silent on it: test files are outside
+// the invariants in both.
+func TestLintSkipsTestFiles(t *testing.T) {
+	out, err := exec.Command("go", "run", "./cmd/oskitcheck", "./internal/analysis/testskip/").CombinedOutput()
+	if err != nil {
+		t.Fatalf("standalone oskitcheck flagged the test-only violation: %v\n%s", err, out)
+	}
+	bin := filepath.Join(t.TempDir(), "oskitcheck")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/oskitcheck").CombinedOutput(); err != nil {
+		t.Fatalf("building oskitcheck: %v\n%s", err, out)
+	}
+	out, err = exec.Command("go", "vet", "-vettool="+bin, "./internal/analysis/testskip/").CombinedOutput()
+	if err != nil {
+		t.Fatalf("vet-mode oskitcheck flagged the test-only violation: %v\n%s", err, out)
 	}
 }
 
